@@ -1,0 +1,42 @@
+//! Figure 3 microbenchmark: one traffic tick per engine per segment length.
+//!
+//! The full figure (total sim time across many ticks and longer segments)
+//! comes from `cargo run --release -p brace-bench --bin paper -- fig3`;
+//! this bench tracks the per-tick costs Criterion-style so regressions in
+//! any of the three engines are caught in isolation.
+
+use brace_core::Simulation;
+use brace_models::{MitsimBaseline, TrafficBehavior, TrafficParams};
+use brace_spatial::IndexKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn params(segment: f64) -> TrafficParams {
+    TrafficParams { segment, ..TrafficParams::default() }
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_traffic_tick");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    for segment in [1000.0, 2000.0, 4000.0] {
+        group.bench_with_input(BenchmarkId::new("mitsim", segment as u64), &segment, |b, &s| {
+            let mut sim = MitsimBaseline::new(params(s), 1);
+            sim.run(5); // settle
+            b.iter(|| sim.step());
+        });
+        for (name, kind) in [("brace-noidx", IndexKind::Scan), ("brace-idx", IndexKind::KdTree)] {
+            group.bench_with_input(BenchmarkId::new(name, segment as u64), &segment, |b, &s| {
+                let behavior = TrafficBehavior::new(params(s));
+                let pop = behavior.population(1);
+                let mut sim =
+                    Simulation::builder(behavior).agents(pop).seed(1).index(kind).build().unwrap();
+                sim.run(5);
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

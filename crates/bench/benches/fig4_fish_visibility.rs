@@ -1,0 +1,32 @@
+//! Figure 4 microbenchmark: one fish tick, scan vs KD-tree, across
+//! visibility ranges. Full figure: `paper -- fig4`.
+
+use brace_core::Simulation;
+use brace_models::{FishBehavior, FishParams};
+use brace_spatial::IndexKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let n = 1500;
+    let radius = (n as f64 / std::f64::consts::PI / 0.5).sqrt();
+    let mut group = c.benchmark_group("fig4_fish_tick");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    for rho in [2.0, 8.0, 32.0] {
+        for (name, kind) in [("noidx", IndexKind::Scan), ("idx", IndexKind::KdTree)] {
+            group.bench_with_input(BenchmarkId::new(name, rho as u64), &rho, |b, &rho| {
+                let behavior =
+                    FishBehavior::new(FishParams { rho, school_radius: radius, ..FishParams::default() });
+                let pop = behavior.population(n, 2);
+                let mut sim =
+                    Simulation::builder(behavior).agents(pop).seed(2).index(kind).build().unwrap();
+                sim.run(2);
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

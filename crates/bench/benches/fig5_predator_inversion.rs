@@ -1,0 +1,63 @@
+//! Figure 5 microbenchmark: one cluster epoch of the BRASIL predator
+//! script in its four configurations (index × inversion). Full figure:
+//! `paper -- fig5`.
+
+use brace_common::{AgentId, DetRng, Vec2};
+use brace_core::{Agent, Behavior};
+use brace_mapreduce::{ClusterConfig, ClusterSim};
+use brace_models::scripts;
+use brace_spatial::IndexKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build(inverted: bool, kind: IndexKind, n: usize) -> ClusterSim {
+    let behavior = scripts::predator(inverted).expect("script compiles");
+    let schema = behavior.schema().clone();
+    let side = 90.0;
+    let mut rng = DetRng::seed_from_u64(5);
+    let agents: Vec<Agent> = (0..n)
+        .map(|i| {
+            let mut a = Agent::new(
+                AgentId::new(i as u64),
+                Vec2::new(rng.range(0.0, side), rng.range(0.0, side)),
+                &schema,
+            );
+            a.state[0] = rng.range(0.5, 1.5);
+            a
+        })
+        .collect();
+    let cfg = ClusterConfig {
+        workers: 4,
+        epoch_len: 2,
+        index: kind,
+        seed: 5,
+        space_x: (0.0, side),
+        load_balance: false,
+        ..ClusterConfig::default()
+    };
+    ClusterSim::new(Arc::new(behavior), agents, cfg).unwrap()
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let n = 2000;
+    let mut group = c.benchmark_group("fig5_predator_epoch");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    let configs = [
+        ("no_opt", false, IndexKind::Scan),
+        ("idx_only", false, IndexKind::KdTree),
+        ("inv_only", true, IndexKind::Scan),
+        ("idx_inv", true, IndexKind::KdTree),
+    ];
+    for (name, inverted, kind) in configs {
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+            let mut sim = build(inverted, kind, n);
+            sim.run_epochs(1).unwrap();
+            b.iter(|| sim.run_epochs(1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 6 microbenchmark: one traffic epoch with problem size scaled to
+//! the worker count — flat time per epoch means ideal scale-up. Full
+//! figure: `paper -- fig6`.
+
+use brace_mapreduce::{ClusterConfig, ClusterSim};
+use brace_models::{TrafficBehavior, TrafficParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(4);
+    let mut group = c.benchmark_group("fig6_traffic_epoch_scaled");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for workers in 1..=max {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            let params = TrafficParams {
+                segment: 1200.0 * workers as f64,
+                density: 0.04,
+                ..TrafficParams::default()
+            };
+            let behavior = TrafficBehavior::new(params.clone());
+            let pop = behavior.population(6);
+            let cfg = ClusterConfig {
+                workers,
+                epoch_len: 5,
+                seed: 6,
+                space_x: (0.0, params.segment),
+                load_balance: false,
+                ..ClusterConfig::default()
+            };
+            let mut sim = ClusterSim::new(Arc::new(behavior), pop, cfg).unwrap();
+            sim.run_epochs(1).unwrap();
+            b.iter(|| sim.run_epochs(1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

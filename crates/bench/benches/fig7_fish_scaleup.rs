@@ -1,0 +1,65 @@
+//! Figure 7 microbenchmark: a skewed fish epoch with and without load
+//! balancing. The population is pre-split into two distant schools — the
+//! state the no-LB cluster drifts into — so the benchmark isolates the
+//! steady-state cost difference. Full figure: `paper -- fig7`.
+
+use brace_common::Vec2;
+use brace_core::{Agent, Behavior};
+use brace_mapreduce::{ClusterConfig, ClusterSim, LoadBalancer};
+use brace_models::{FishBehavior, FishParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn split_population(n: usize) -> (FishBehavior, Vec<Agent>) {
+    let params = FishParams {
+        informed_a: 0.1,
+        informed_b: 0.1,
+        omega: 1.5,
+        school_radius: 15.0,
+        ..FishParams::default()
+    };
+    let behavior = FishBehavior::new(params);
+    let mut pop = behavior.population(n, 7);
+    // Pre-split: half the school sits far left, half far right.
+    for (i, a) in pop.iter_mut().enumerate() {
+        let offset = if i % 2 == 0 { -60.0 } else { 60.0 };
+        a.pos += Vec2::new(offset, 0.0);
+    }
+    (behavior, pop)
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let n = 3000;
+    let mut group = c.benchmark_group("fig7_fish_epoch_skewed");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for lb in [false, true] {
+        let name = if lb { "lb" } else { "no_lb" };
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+            let (behavior, pop) = split_population(n);
+            let cfg = ClusterConfig {
+                workers: 4,
+                epoch_len: 5,
+                seed: 7,
+                space_x: (-80.0, 80.0),
+                load_balance: lb,
+                balancer: LoadBalancer {
+                    imbalance_threshold: 1.2,
+                    migration_cost_ticks: 1.0,
+                    epoch_len: 5,
+                },
+                ..ClusterConfig::default()
+            };
+            let schema_ok = behavior.schema().visibility().is_finite();
+            assert!(schema_ok);
+            let mut sim = ClusterSim::new(Arc::new(behavior), pop, cfg).unwrap();
+            // Give the balancer (when enabled) a chance to react.
+            sim.run_epochs(3).unwrap();
+            b.iter(|| sim.run_epochs(1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

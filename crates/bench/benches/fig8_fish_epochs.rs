@@ -1,0 +1,54 @@
+//! Figure 8 microbenchmark: early-epoch vs late-epoch cost without load
+//! balancing (the growth the figure plots), and the same with balancing
+//! (flat). Full series: `paper -- fig8`.
+
+use brace_mapreduce::{ClusterConfig, ClusterSim, LoadBalancer};
+use brace_models::{FishBehavior, FishParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cluster(n: usize, lb: bool) -> ClusterSim {
+    let params = FishParams {
+        informed_a: 0.1,
+        informed_b: 0.1,
+        omega: 1.5,
+        jitter: 0.02,
+        school_radius: (n as f64 / std::f64::consts::PI / 0.5).sqrt(),
+        ..FishParams::default()
+    };
+    let behavior = FishBehavior::new(params.clone());
+    let pop = behavior.population(n, 8);
+    let cfg = ClusterConfig {
+        workers: 4,
+        epoch_len: 5,
+        seed: 8,
+        space_x: (-params.school_radius, params.school_radius),
+        load_balance: lb,
+        balancer: LoadBalancer { imbalance_threshold: 1.2, migration_cost_ticks: 1.0, epoch_len: 5 },
+        ..ClusterConfig::default()
+    };
+    ClusterSim::new(Arc::new(behavior), pop, cfg).unwrap()
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let n = 2500;
+    let mut group = c.benchmark_group("fig8_fish_epoch_over_time");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    for (name, lb, drift_epochs) in
+        [("early_no_lb", false, 0u64), ("late_no_lb", false, 20), ("early_lb", true, 0), ("late_lb", true, 20)]
+    {
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+            let mut sim = cluster(n, lb);
+            // Let the schools drift for `drift_epochs` before measuring.
+            if drift_epochs > 0 {
+                sim.run_epochs(drift_epochs).unwrap();
+            }
+            b.iter(|| sim.run_epochs(1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

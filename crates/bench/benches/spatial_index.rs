@@ -1,0 +1,86 @@
+//! Spatial substrate microbenchmarks: index build and range-probe cost for
+//! the three `SpatialIndex` implementations, across population sizes and
+//! point distributions (uniform vs clustered — the fish-school case where
+//! the KD-tree's adaptivity matters).
+
+use brace_common::{DetRng, Rect, Vec2};
+use brace_spatial::{KdTree, ScanIndex, SpatialIndex, UniformGrid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn uniform_points(n: usize, seed: u64) -> Vec<(Vec2, u32)> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..n).map(|i| (Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 100.0)), i as u32)).collect()
+}
+
+fn clustered_points(n: usize, seed: u64) -> Vec<(Vec2, u32)> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let cx = if rng.chance(0.5) { 10.0 } else { 90.0 };
+            (Vec2::new(cx + rng.normal(), 50.0 + rng.normal()), i as u32)
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for n in [1000usize, 10_000] {
+        let pts = uniform_points(n, 1);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &pts, |b, pts| {
+            b.iter(|| KdTree::build(pts));
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &pts, |b, pts| {
+            b.iter(|| UniformGrid::with_cell(pts, 5.0));
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &pts, |b, pts| {
+            b.iter(|| ScanIndex::build(pts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_probe_all_agents");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let n = 5000;
+    for (dist, pts) in [("uniform", uniform_points(n, 2)), ("clustered", clustered_points(n, 2))] {
+        let kd = KdTree::build(&pts);
+        let grid = UniformGrid::with_cell(&pts, 5.0);
+        let scan = ScanIndex::build(&pts);
+        group.bench_with_input(BenchmarkId::new("kdtree", dist), &pts, |b, pts| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for &(p, _) in pts.iter() {
+                    out.clear();
+                    kd.range(&Rect::centered(p, 2.5), &mut out);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("grid", dist), &pts, |b, pts| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for &(p, _) in pts.iter() {
+                    out.clear();
+                    grid.range(&Rect::centered(p, 2.5), &mut out);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scan", dist), &pts, |b, pts| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                // Scan is O(n) per probe; probe a 100-point sample so the
+                // benchmark stays comparable in wall time.
+                for &(p, _) in pts.iter().take(100) {
+                    out.clear();
+                    scan.range(&Rect::centered(p, 2.5), &mut out);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_probe);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Table 2 microbenchmark: the cost of the validation pipeline itself —
+//! observing a tick of each engine and computing the RMSPE comparison.
+//! The actual Table 2 numbers come from `paper -- table2`.
+
+use brace_core::Simulation;
+use brace_models::validation::{compare, TrafficObserver};
+use brace_models::{MitsimBaseline, TrafficBehavior, TrafficParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let params = TrafficParams { segment: 2000.0, ..TrafficParams::default() };
+    let mut group = c.benchmark_group("table2_validation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("observe_brace_tick", |b| {
+        let behavior = TrafficBehavior::new(params.clone());
+        let pop = behavior.population(1);
+        let mut sim = Simulation::builder(behavior).agents(pop).seed(1).build().unwrap();
+        sim.run(10);
+        let mut obs = TrafficObserver::new(&params, 10);
+        b.iter(|| {
+            obs.observe_agents(sim.agents());
+        });
+    });
+
+    group.bench_function("observe_baseline_tick", |b| {
+        let mut sim = MitsimBaseline::new(params.clone(), 1);
+        sim.run(10);
+        let mut obs = TrafficObserver::new(&params, 10);
+        b.iter(|| {
+            obs.observe_baseline(&sim);
+        });
+    });
+
+    group.bench_function("compare_engines_50_ticks", |b| {
+        b.iter(|| {
+            let behavior = TrafficBehavior::new(params.clone());
+            let pop = behavior.population(2);
+            let mut brace_sim = Simulation::builder(behavior).agents(pop).seed(2).build().unwrap();
+            let mut base = MitsimBaseline::new(params.clone(), 2);
+            let mut oa = TrafficObserver::new(&params, 10);
+            let mut ob = TrafficObserver::new(&params, 10);
+            for _ in 0..50 {
+                oa.observe_agents(brace_sim.agents());
+                ob.observe_baseline(&base);
+                brace_sim.step();
+                base.step();
+            }
+            compare(&oa, &ob)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

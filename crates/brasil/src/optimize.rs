@@ -1,0 +1,601 @@
+//! Algebraic optimization of compiled plans.
+//!
+//! Three rewrites, mirroring §4.2:
+//!
+//! * [`constant_fold`] — evaluate constant subtrees at compile time (the
+//!   garden-variety algebraic rewrite; `rand()` and agent reads block
+//!   folding).
+//! * [`dead_code`] — remove `Let`s whose slot is never read, `If`s with
+//!   constant conditions, and empty loops/branches (the paper's "rewrite
+//!   rules that function like dead-code elimination").
+//! * [`invert_effects`] — **effect inversion** (Theorems 2/3): rewrite
+//!   non-local effect assignments `p.f <- E(this, p)` into local ones
+//!   `f <- E(p, this)` by swapping the roles of the querying agent and the
+//!   loop variable, eliminating the second reduce pass of the runtime.
+//!
+//! ### Inversion correctness conditions
+//!
+//! The rewrite is exact when (a) every agent runs the same script with the
+//! same visibility bound — so visibility is *symmetric*: `q` sees `this`
+//! iff `this` sees `q` — and (b) the inverted fragment draws no randomness
+//! (the draw would move from the assigner's stream to the target's,
+//! changing the realization). Condition (a) is the uniform-distance-bound
+//! special case of the paper's Theorem 3 in which the factor-2 relaxation
+//! of the visibility bound is unnecessary; `invert_effects` returns an
+//! error rather than silently changing semantics when the conditions fail.
+
+use crate::ast::{BinOp, UnOp};
+use crate::exec::CompiledClass;
+use crate::plan::{AgentRef, PExpr, PStmt, QueryPlan};
+use brace_common::{BraceError, Result};
+
+/// Apply the always-safe passes: constant folding then dead code.
+pub fn optimize(class: CompiledClass) -> CompiledClass {
+    let folded = QueryPlan {
+        stmts: fold_stmts(class.query.stmts.clone()),
+        n_locals: class.query.n_locals,
+    };
+    let mut out = class.with_query(folded);
+    out = dead_code(out);
+    // Updates fold too.
+    let mut c = out;
+    for rule in &mut c.updates {
+        rule.expr = fold_expr(rule.expr.clone());
+    }
+    c
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+/// Fold constant subtrees of an expression.
+pub fn constant_fold(e: PExpr) -> PExpr {
+    fold_expr(e)
+}
+
+fn fold_expr(e: PExpr) -> PExpr {
+    e.map(&mut |node| match node {
+        PExpr::Unary(op, inner) => match (*inner).clone() {
+            PExpr::Const(v) => PExpr::Const(match op {
+                UnOp::Neg => -v,
+                UnOp::Not => ((v == 0.0) as i32) as f64,
+            }),
+            _ => PExpr::Unary(op, inner),
+        },
+        PExpr::Binary(op, a, b) => match ((*a).clone(), (*b).clone()) {
+            (PExpr::Const(l), PExpr::Const(r)) => PExpr::Const(match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => l / r,
+                BinOp::Rem => l % r,
+                BinOp::Lt => ((l < r) as i32) as f64,
+                BinOp::Le => ((l <= r) as i32) as f64,
+                BinOp::Gt => ((l > r) as i32) as f64,
+                BinOp::Ge => ((l >= r) as i32) as f64,
+                BinOp::Eq => ((l == r) as i32) as f64,
+                BinOp::Ne => ((l != r) as i32) as f64,
+                BinOp::And => ((l != 0.0 && r != 0.0) as i32) as f64,
+                BinOp::Or => ((l != 0.0 || r != 0.0) as i32) as f64,
+            }),
+            // x + 0, x - 0, x * 1, x / 1 identities.
+            (lhs, PExpr::Const(r)) if r == 0.0 && matches!(op, BinOp::Add | BinOp::Sub) => lhs,
+            (lhs, PExpr::Const(r)) if r == 1.0 && matches!(op, BinOp::Mul | BinOp::Div) => lhs,
+            (PExpr::Const(l), rhs) if l == 0.0 && op == BinOp::Add => rhs,
+            (PExpr::Const(l), rhs) if l == 1.0 && op == BinOp::Mul => rhs,
+            _ => PExpr::Binary(op, a, b),
+        },
+        PExpr::Call(b, args) => {
+            if args.iter().all(|a| matches!(a, PExpr::Const(_))) {
+                let vals: Vec<f64> = args
+                    .iter()
+                    .map(|a| match a {
+                        PExpr::Const(v) => *v,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                PExpr::Const(b.apply(&vals))
+            } else {
+                PExpr::Call(b, args)
+            }
+        }
+        other => other,
+    })
+}
+
+fn fold_stmts(stmts: Vec<PStmt>) -> Vec<PStmt> {
+    stmts
+        .into_iter()
+        .map(|s| match s {
+            PStmt::Let { slot, value } => PStmt::Let { slot, value: fold_expr(value) },
+            PStmt::LocalEffect { field, value } => PStmt::LocalEffect { field, value: fold_expr(value) },
+            PStmt::RemoteEffect { field, value } => PStmt::RemoteEffect { field, value: fold_expr(value) },
+            PStmt::If { cond, then_, else_ } => {
+                PStmt::If { cond: fold_expr(cond), then_: fold_stmts(then_), else_: fold_stmts(else_) }
+            }
+            PStmt::Foreach { body } => PStmt::Foreach { body: fold_stmts(body) },
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Dead code elimination
+// ---------------------------------------------------------------------------
+
+/// Remove unread `Let`s, constant `If`s and empty control structures.
+pub fn dead_code(class: CompiledClass) -> CompiledClass {
+    let mut stmts = class.query.stmts.clone();
+    // Iterate to fixpoint: removing an If can orphan a Let, etc.
+    loop {
+        let used = used_slots(&stmts);
+        let before = size(&stmts);
+        stmts = sweep(stmts, &used);
+        if size(&stmts) == before {
+            break;
+        }
+    }
+    class.with_query(QueryPlan { stmts, n_locals: class.query.n_locals })
+}
+
+fn size(stmts: &[PStmt]) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        s.visit(&mut |_| n += 1);
+    }
+    n
+}
+
+fn used_slots(stmts: &[PStmt]) -> Vec<bool> {
+    let mut used = vec![false; u16::MAX as usize + 1];
+    let mut mark = |e: &PExpr| {
+        let mut any = |n: &PExpr| {
+            if let PExpr::Local(i) = n {
+                used[*i as usize] = true;
+            }
+            false
+        };
+        e.any(&mut any);
+    };
+    for s in stmts {
+        s.visit(&mut |st| match st {
+            PStmt::Let { value, .. } => mark(value),
+            PStmt::LocalEffect { value, .. } | PStmt::RemoteEffect { value, .. } => mark(value),
+            PStmt::If { cond, .. } => mark(cond),
+            PStmt::Foreach { .. } => {}
+        });
+    }
+    used
+}
+
+fn sweep(stmts: Vec<PStmt>, used: &[bool]) -> Vec<PStmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            PStmt::Let { slot, value } => {
+                // Keep the binding only if read somewhere. (Expressions are
+                // pure — no effects are lost by dropping the computation.)
+                if used[slot as usize] {
+                    out.push(PStmt::Let { slot, value });
+                }
+            }
+            PStmt::If { cond, then_, else_ } => {
+                let then_ = sweep(then_, used);
+                let else_ = sweep(else_, used);
+                match cond {
+                    PExpr::Const(v) if v != 0.0 => out.extend(then_),
+                    PExpr::Const(_) => out.extend(else_),
+                    cond => {
+                        if !(then_.is_empty() && else_.is_empty()) {
+                            out.push(PStmt::If { cond, then_, else_ });
+                        }
+                    }
+                }
+            }
+            PStmt::Foreach { body } => {
+                let body = sweep(body, used);
+                if !body.is_empty() {
+                    out.push(PStmt::Foreach { body });
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Effect inversion (Theorems 2 and 3)
+// ---------------------------------------------------------------------------
+
+/// Swap the roles of `this` and the loop variable in an expression.
+fn swap_roles(e: PExpr) -> PExpr {
+    e.map(&mut |node| match node {
+        PExpr::SelfPos(a) => PExpr::OtherPos(a),
+        PExpr::OtherPos(a) => PExpr::SelfPos(a),
+        PExpr::SelfState(i) => PExpr::OtherState(i),
+        PExpr::OtherState(i) => PExpr::SelfState(i),
+        PExpr::AgentEq { left, right, negate } => PExpr::AgentEq {
+            left: flip(left),
+            right: flip(right),
+            negate,
+        },
+        other => other,
+    })
+}
+
+fn flip(r: AgentRef) -> AgentRef {
+    match r {
+        AgentRef::This => AgentRef::Other,
+        AgentRef::Other => AgentRef::This,
+    }
+}
+
+/// Offset every local slot in a statement tree (for the duplicated inverted
+/// copy, whose bindings must not collide with the original's).
+fn offset_slots(stmts: Vec<PStmt>, delta: u16) -> Vec<PStmt> {
+    let bump = |e: PExpr| {
+        e.map(&mut |n| match n {
+            PExpr::Local(i) => PExpr::Local(i + delta),
+            other => other,
+        })
+    };
+    stmts
+        .into_iter()
+        .map(|s| match s {
+            PStmt::Let { slot, value } => PStmt::Let { slot: slot + delta, value: bump(value) },
+            PStmt::LocalEffect { field, value } => PStmt::LocalEffect { field, value: bump(value) },
+            PStmt::RemoteEffect { field, value } => PStmt::RemoteEffect { field, value: bump(value) },
+            PStmt::If { cond, then_, else_ } => PStmt::If {
+                cond: bump(cond),
+                then_: offset_slots(then_, delta),
+                else_: offset_slots(else_, delta),
+            },
+            PStmt::Foreach { body } => PStmt::Foreach { body: offset_slots(body, delta) },
+        })
+        .collect()
+}
+
+/// Drop every `RemoteEffect` from a tree (keeping structure).
+fn strip_remote(stmts: Vec<PStmt>) -> Vec<PStmt> {
+    stmts
+        .into_iter()
+        .filter_map(|s| match s {
+            PStmt::RemoteEffect { .. } => None,
+            PStmt::If { cond, then_, else_ } => {
+                Some(PStmt::If { cond, then_: strip_remote(then_), else_: strip_remote(else_) })
+            }
+            PStmt::Foreach { body } => Some(PStmt::Foreach { body: strip_remote(body) }),
+            other => Some(other),
+        })
+        .collect()
+}
+
+/// Drop every `LocalEffect` from a tree, then swap agent roles everywhere —
+/// producing the fragment "what each neighbor would have assigned to me,
+/// computed by me".
+fn remote_as_local(stmts: Vec<PStmt>) -> Vec<PStmt> {
+    stmts
+        .into_iter()
+        .filter_map(|s| match s {
+            PStmt::LocalEffect { .. } => None,
+            PStmt::RemoteEffect { field, value } => {
+                Some(PStmt::LocalEffect { field, value: swap_roles(value) })
+            }
+            PStmt::Let { slot, value } => Some(PStmt::Let { slot, value: swap_roles(value) }),
+            PStmt::If { cond, then_, else_ } => Some(PStmt::If {
+                cond: swap_roles(cond),
+                then_: remote_as_local(then_),
+                else_: remote_as_local(else_),
+            }),
+            PStmt::Foreach { body } => Some(PStmt::Foreach { body: remote_as_local(body) }),
+        })
+        .collect()
+}
+
+fn contains_rand(stmts: &[PStmt]) -> bool {
+    let mut found = false;
+    for s in stmts {
+        s.visit(&mut |st| {
+            let mut check = |e: &PExpr| {
+                if e.any(&mut |n| matches!(n, PExpr::Rand)) {
+                    found = true;
+                }
+            };
+            match st {
+                PStmt::Let { value, .. }
+                | PStmt::LocalEffect { value, .. }
+                | PStmt::RemoteEffect { value, .. } => check(value),
+                PStmt::If { cond, .. } => check(cond),
+                PStmt::Foreach { .. } => {}
+            }
+        });
+    }
+    found
+}
+
+/// Rewrite the class so all effect assignments are local. See the module
+/// docs for the correctness conditions. Idempotent on local-only classes.
+pub fn invert_effects(class: CompiledClass) -> Result<CompiledClass> {
+    if !class.query.has_remote_effects() {
+        return Ok(class);
+    }
+    let n_locals = class.query.n_locals;
+    let mut out: Vec<PStmt> = Vec::new();
+    for stmt in class.query.stmts.clone() {
+        match stmt {
+            PStmt::Foreach { body } => {
+                if contains_rand(&body) {
+                    return Err(BraceError::Rewrite(
+                        "effect inversion would move a rand() draw between agent streams; \
+                         refusing to change the random realization"
+                            .into(),
+                    ));
+                }
+                // Original loop minus its non-local assignments…
+                let local_part = strip_remote(body.clone());
+                // …plus the inverted fragment with fresh local slots.
+                let inverted = offset_slots(remote_as_local(body), n_locals);
+                let mut merged = local_part;
+                merged.extend(inverted);
+                if !merged.is_empty() {
+                    out.push(PStmt::Foreach { body: merged });
+                }
+            }
+            other => {
+                if matches!(other, PStmt::RemoteEffect { .. }) {
+                    return Err(BraceError::Rewrite(
+                        "non-local effect assignment outside a foreach loop cannot be inverted".into(),
+                    ));
+                }
+                out.push(other);
+            }
+        }
+    }
+    let plan = QueryPlan { stmts: out, n_locals: n_locals * 2 };
+    debug_assert!(!plan.has_remote_effects());
+    Ok(class.with_query(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::exec::{compile, BrasilBehavior};
+    use crate::parser::parse;
+    use brace_common::{AgentId, DetRng, Vec2};
+    use brace_core::{Agent, Behavior, Simulation};
+
+    fn compile_src(src: &str) -> CompiledClass {
+        let prog = parse(src).unwrap();
+        compile(&analyze(&prog.classes[0]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn folding_collapses_constants() {
+        let e = PExpr::Binary(
+            BinOp::Add,
+            Box::new(PExpr::Const(1.0)),
+            Box::new(PExpr::Binary(BinOp::Mul, Box::new(PExpr::Const(2.0)), Box::new(PExpr::Const(3.0)))),
+        );
+        assert_eq!(constant_fold(e), PExpr::Const(7.0));
+    }
+
+    #[test]
+    fn folding_applies_identities() {
+        let x = PExpr::SelfState(0);
+        let e = PExpr::Binary(BinOp::Add, Box::new(x.clone()), Box::new(PExpr::Const(0.0)));
+        assert_eq!(constant_fold(e), x.clone());
+        let e = PExpr::Binary(BinOp::Mul, Box::new(PExpr::Const(1.0)), Box::new(x.clone()));
+        assert_eq!(constant_fold(e), x);
+    }
+
+    #[test]
+    fn folding_stops_at_rand() {
+        let e = PExpr::Binary(BinOp::Add, Box::new(PExpr::Rand), Box::new(PExpr::Const(0.0)));
+        // x + 0 identity applies, but Rand itself cannot become Const.
+        assert_eq!(constant_fold(e), PExpr::Rand);
+    }
+
+    #[test]
+    fn dead_let_removed() {
+        let class = compile_src(
+            r#"
+            class A {
+                public state float x : x #range[-1, 1];
+                private effect float e : sum;
+                public void run() {
+                    const float unused = 42;
+                    const float used = 2;
+                    foreach (A p : Extent<A>) { e <- used; }
+                }
+            }
+        "#,
+        );
+        let optimized = optimize(class);
+        let lets = optimized.query.count(&mut |s| matches!(s, PStmt::Let { .. }));
+        assert_eq!(lets, 1, "only the used let survives");
+    }
+
+    #[test]
+    fn constant_if_pruned() {
+        let class = compile_src(
+            r#"
+            class A {
+                public state float x : x #range[-1, 1];
+                private effect float e : sum;
+                public void run() {
+                    foreach (A p : Extent<A>) {
+                        if (1 > 2) { e <- 1; } else { e <- 5; }
+                    }
+                }
+            }
+        "#,
+        );
+        let optimized = optimize(class);
+        assert_eq!(optimized.query.count(&mut |s| matches!(s, PStmt::If { .. })), 0);
+        // The else branch's assignment survives inline.
+        assert_eq!(optimized.query.count(&mut |s| matches!(s, PStmt::LocalEffect { .. })), 1);
+    }
+
+    #[test]
+    fn empty_foreach_removed() {
+        let class = compile_src(
+            r#"
+            class A {
+                public state float x : x #range[-1, 1];
+                private effect float e : sum;
+                public void run() {
+                    const float dead = 3;
+                    foreach (A p : Extent<A>) {
+                        if (false) { e <- dead; }
+                    }
+                }
+            }
+        "#,
+        );
+        let optimized = optimize(class);
+        assert!(optimized.query.stmts.is_empty(), "{:?}", optimized.query.stmts);
+    }
+
+    const PAPER_FISH: &str = r#"
+        class Fish {
+            public state float x : x #range[-1, 1];
+            public state float y : y #range[-1, 1];
+            public state float ax : avoidx;
+            public state float ay : avoidy;
+            public state float c : count;
+            private effect float avoidx : sum;
+            private effect float avoidy : sum;
+            private effect float count : sum;
+            public void run() {
+                foreach (Fish p : Extent<Fish>) {
+                    p.avoidx <- 1 / abs(x - p.x);
+                    p.avoidy <- 1 / abs(y - p.y);
+                    p.count <- 1;
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn inversion_produces_the_papers_rewrite() {
+        let class = compile_src(PAPER_FISH);
+        assert!(class.schema().has_nonlocal_effects());
+        let inverted = invert_effects(class).unwrap();
+        assert!(!inverted.schema().has_nonlocal_effects());
+        assert!(!inverted.query.has_remote_effects());
+        // The paper's rewritten loop assigns 1/abs(p.x - x) locally: the
+        // expression must read OtherPos - SelfPos now.
+        let locals = inverted.query.count(&mut |s| matches!(s, PStmt::LocalEffect { .. }));
+        assert_eq!(locals, 3);
+    }
+
+    #[test]
+    fn inversion_preserves_semantics() {
+        // Run the same population through original and inverted scripts;
+        // aggregated effects (and hence next-tick states) must agree.
+        let run = |class: CompiledClass| {
+            let behavior = BrasilBehavior::new(class);
+            let schema = behavior.schema().clone();
+            let mut rng = DetRng::seed_from_u64(8);
+            let agents: Vec<Agent> = (0..40)
+                .map(|i| {
+                    Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 6.0), rng.range(0.0, 6.0)), &schema)
+                })
+                .collect();
+            let mut sim = Simulation::builder(behavior).agents(agents).seed(5).build().unwrap();
+            sim.step();
+            sim.agents().iter().map(|a| (a.id, a.state.clone())).collect::<Vec<_>>()
+        };
+        let original = run(compile_src(PAPER_FISH));
+        let inverted = run(invert_effects(compile_src(PAPER_FISH)).unwrap());
+        assert_eq!(original.len(), inverted.len());
+        for ((id_a, s_a), (id_b, s_b)) in original.iter().zip(&inverted) {
+            assert_eq!(id_a, id_b);
+            for (va, vb) in s_a.iter().zip(s_b) {
+                let scale = va.abs().max(vb.abs()).max(1.0);
+                assert!((va - vb).abs() <= 1e-9 * scale, "agent {id_a}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn inversion_handles_conditionals() {
+        let src = r#"
+            class Biter {
+                public state float x : x #range[-2, 2];
+                public state float y : y #range[-2, 2];
+                public state float size : size;
+                public state float pain : hurt;
+                private effect float hurt : sum;
+                public void run() {
+                    foreach (Biter p : Extent<Biter>) {
+                        if (size > p.size) { p.hurt <- size - p.size; }
+                    }
+                }
+            }
+        "#;
+        let run = |class: CompiledClass| {
+            let behavior = BrasilBehavior::new(class);
+            let schema = behavior.schema().clone();
+            let agents: Vec<Agent> = (0..6)
+                .map(|i| {
+                    let mut a = Agent::new(AgentId::new(i), Vec2::new(i as f64 * 0.8, 0.0), &schema);
+                    a.state[0] = i as f64; // size
+                    a
+                })
+                .collect();
+            let mut sim = Simulation::builder(behavior).agents(agents).seed(2).build().unwrap();
+            sim.step();
+            sim.agents().iter().map(|a| a.state[1]).collect::<Vec<_>>()
+        };
+        let original = run(compile_src(src));
+        let inverted = run(invert_effects(compile_src(src)).unwrap());
+        assert_eq!(original, inverted);
+        // Sanity: bigger fish are never hurt by smaller neighbors only.
+        assert_eq!(original[5], 0.0, "largest fish takes no damage");
+        assert!(original[0] > 0.0, "smallest fish is bitten");
+    }
+
+    #[test]
+    fn inversion_refuses_randomized_loops() {
+        let src = r#"
+            class R {
+                public state float x : x #range[-1, 1];
+                private effect float e : sum;
+                public void run() {
+                    foreach (R p : Extent<R>) { p.e <- rand(); }
+                }
+            }
+        "#;
+        let err = invert_effects(compile_src(src)).expect_err("must refuse");
+        assert!(err.to_string().contains("rand()"));
+    }
+
+    #[test]
+    fn inversion_is_identity_on_local_scripts() {
+        let src = r#"
+            class L {
+                public state float x : x #range[-1, 1];
+                private effect float e : sum;
+                public void run() {
+                    foreach (L p : Extent<L>) { e <- 1; }
+                }
+            }
+        "#;
+        let class = compile_src(src);
+        let before = class.query.clone();
+        let after = invert_effects(class).unwrap();
+        assert_eq!(before, after.query);
+    }
+
+    #[test]
+    fn inverted_class_runs_single_reduce_pass() {
+        // The schema flag drives the runtime's 1-vs-2 reduce decision.
+        let class = compile_src(PAPER_FISH);
+        assert!(class.schema().has_nonlocal_effects());
+        let inv = invert_effects(class).unwrap();
+        assert!(!inv.schema().has_nonlocal_effects());
+    }
+}

@@ -1,0 +1,554 @@
+//! Recursive-descent parser for BRASIL.
+//!
+//! Grammar (see the BRASIL language notes in `DESIGN.md`):
+//!
+//! ```text
+//! program   := class+
+//! class     := "class" IDENT "{" member* "}"
+//! member    := field | run
+//! field     := vis? ("state" | "effect") type IDENT (":" spec)? ";"
+//! spec      := expr ("#range" "[" expr "," expr "]")?      -- state
+//!            | IDENT                                       -- effect combinator
+//! run       := vis? "void" IDENT "(" ")" block
+//! block     := "{" stmt* "}"
+//! stmt      := "const" type IDENT "=" expr ";"
+//!            | postfix "<-" expr ";"
+//!            | "if" "(" expr ")" block ("else" block)?
+//!            | "foreach" "(" IDENT IDENT ":" "Extent" "<" IDENT ">" ")" block
+//! expr      := or ; or := and ("||" and)* ; and := cmp ("&&" cmp)* ;
+//! cmp       := add (relop add)? ; add := mul (("+"|"-") mul)* ;
+//! mul       := unary (("*"|"/"|"%") unary)* ; unary := ("-"|"!")* postfix ;
+//! postfix   := primary ("." IDENT)* ;
+//! primary   := NUMBER | "true" | "false" | "this" | IDENT ("(" args ")")? | "(" expr ")"
+//! ```
+
+use crate::ast::*;
+use crate::token::{lex, Spanned, Tok};
+use brace_common::{BraceError, Result};
+
+/// Parse a full program.
+pub fn parse(source: &str) -> Result<Program> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut classes = Vec::new();
+    while !p.check(&Tok::Eof) {
+        classes.push(p.class()?);
+    }
+    if classes.is_empty() {
+        return Err(BraceError::Parse { line: 1, col: 1, message: "expected at least one class".into() });
+    }
+    Ok(Program { classes })
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos]
+    }
+
+    fn check(&self, t: &Tok) -> bool {
+        &self.peek().tok == t
+    }
+
+    fn advance(&mut self) -> Spanned {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.check(t) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        let s = self.peek();
+        Err(BraceError::Parse { line: s.line, col: s.col, message: message.into() })
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<Spanned> {
+        if self.check(t) {
+            Ok(self.advance())
+        } else {
+            self.err(format!("expected `{t}`, found `{}`", self.peek().tok))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn class(&mut self) -> Result<ClassDecl> {
+        self.expect(&Tok::Class)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        let mut run: Option<Block> = None;
+        while !self.check(&Tok::RBrace) {
+            let vis = if self.eat(&Tok::Public) {
+                Visibility::Public
+            } else if self.eat(&Tok::Private) {
+                Visibility::Private
+            } else {
+                Visibility::Public
+            };
+            if self.eat(&Tok::Void) {
+                let line = self.peek().line;
+                let mname = self.ident()?;
+                if mname != "run" {
+                    return Err(BraceError::Parse {
+                        line,
+                        col: 1,
+                        message: format!("only the `run()` method is supported, found `{mname}()`"),
+                    });
+                }
+                self.expect(&Tok::LParen)?;
+                self.expect(&Tok::RParen)?;
+                let body = self.block()?;
+                if run.replace(body).is_some() {
+                    return Err(BraceError::Parse { line, col: 1, message: "duplicate run() method".into() });
+                }
+            } else {
+                fields.push(self.field(vis)?);
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(ClassDecl { name, fields, run: run.unwrap_or_default() })
+    }
+
+    fn type_name(&mut self) -> Result<TypeName> {
+        match &self.peek().tok {
+            Tok::Ident(s) => {
+                let ty = match s.as_str() {
+                    "float" | "double" => TypeName::Float,
+                    "int" | "long" => TypeName::Int,
+                    "bool" | "boolean" => TypeName::Bool,
+                    other => TypeName::Agent(other.to_string()),
+                };
+                self.advance();
+                Ok(ty)
+            }
+            other => self.err(format!("expected type, found `{other}`")),
+        }
+    }
+
+    fn field(&mut self, visibility: Visibility) -> Result<FieldDecl> {
+        let line = self.peek().line;
+        let kind_tok = if self.eat(&Tok::State) {
+            Tok::State
+        } else if self.eat(&Tok::Effect) {
+            Tok::Effect
+        } else {
+            return self.err("expected `state` or `effect` field");
+        };
+        let ty = self.type_name()?;
+        let name = self.ident()?;
+        let kind = if kind_tok == Tok::State {
+            let mut update = None;
+            let mut range = None;
+            if self.eat(&Tok::Colon) {
+                update = Some(self.expr()?);
+            }
+            if self.eat(&Tok::RangeTag) {
+                self.expect(&Tok::LBracket)?;
+                let lo = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let hi = self.expr()?;
+                self.expect(&Tok::RBracket)?;
+                range = Some((lo, hi));
+            }
+            FieldKind::State { update, range }
+        } else {
+            self.expect(&Tok::Colon)?;
+            let combinator = self.ident()?;
+            FieldKind::Effect { combinator }
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(FieldDecl { visibility, name, ty, kind, line })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.peek().line;
+        if self.eat(&Tok::Const) {
+            let ty = self.type_name()?;
+            let name = self.ident()?;
+            self.expect(&Tok::Assign)?;
+            let value = self.expr()?;
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::Const { name, ty, value, line });
+        }
+        if self.eat(&Tok::If) {
+            self.expect(&Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            let then_ = self.block()?;
+            let else_ = if self.eat(&Tok::Else) { Some(self.block()?) } else { None };
+            return Ok(Stmt::If { cond, then_, else_, line });
+        }
+        if self.eat(&Tok::Foreach) {
+            self.expect(&Tok::LParen)?;
+            let class = self.ident()?;
+            let var = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            self.expect(&Tok::Extent)?;
+            self.expect(&Tok::Lt)?;
+            let extent = self.ident()?;
+            self.expect(&Tok::Gt)?;
+            self.expect(&Tok::RParen)?;
+            let body = self.block()?;
+            return Ok(Stmt::Foreach { class, var, extent, body, line });
+        }
+        // Effect assignment: `lhs <- expr;` where lhs is ident or postfix
+        // field access.
+        let lhs = self.postfix()?;
+        self.expect(&Tok::Arrow)?;
+        let value = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        match lhs {
+            Expr::Ident(field) => Ok(Stmt::EffectAssign { target: None, field, value, line }),
+            Expr::Field(base, field) => {
+                // `this.f <- e` is local.
+                if *base == Expr::This {
+                    Ok(Stmt::EffectAssign { target: None, field, value, line })
+                } else {
+                    Ok(Stmt::EffectAssign { target: Some(*base), field, value, line })
+                }
+            }
+            _ => Err(BraceError::Parse {
+                line,
+                col: 1,
+                message: "left side of `<-` must be an effect field or target.field".into(),
+            }),
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let r = self.and_expr()?;
+            e = Expr::Binary(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let r = self.cmp_expr()?;
+            e = Expr::Binary(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let e = self.add_expr()?;
+        let op = match self.peek().tok {
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let r = self.add_expr()?;
+            Ok(Expr::Binary(op, Box::new(e), Box::new(r)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let r = self.mul_expr()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.advance();
+            let r = self.unary_expr()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(e)));
+        }
+        if self.eat(&Tok::Not) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::Dot) {
+            let field = self.ident()?;
+            e = Expr::Field(Box::new(e), field);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().tok.clone() {
+            Tok::Number(n) => {
+                self.advance();
+                Ok(Expr::Number(n))
+            }
+            Tok::True => {
+                self.advance();
+                Ok(Expr::Bool(true))
+            }
+            Tok::False => {
+                self.advance();
+                Ok(Expr::Bool(false))
+            }
+            Tok::This => {
+                self.advance();
+                Ok(Expr::This)
+            }
+            Tok::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.advance();
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.check(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FISH: &str = r#"
+        class Fish {
+            public state float x : x + vx #range[-1, 1];
+            public state float y : y + vy #range[-1, 1];
+            public state float vx : vx + rand() + avoidx / count * vx;
+            public state float vy : vy + rand() + avoidy / count * vy;
+            private effect float avoidx : sum;
+            private effect float avoidy : sum;
+            private effect int count : sum;
+            public void run() {
+                foreach (Fish p : Extent<Fish>) {
+                    p.avoidx <- 1 / abs(x - p.x);
+                    p.avoidy <- 1 / abs(y - p.y);
+                    p.count <- 1;
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_paper_figure_2() {
+        let prog = parse(FISH).unwrap();
+        assert_eq!(prog.classes.len(), 1);
+        let c = &prog.classes[0];
+        assert_eq!(c.name, "Fish");
+        assert_eq!(c.fields.len(), 7);
+        assert_eq!(c.run.stmts.len(), 1);
+        match &c.run.stmts[0] {
+            Stmt::Foreach { class, var, extent, body, .. } => {
+                assert_eq!(class, "Fish");
+                assert_eq!(var, "p");
+                assert_eq!(extent, "Fish");
+                assert_eq!(body.stmts.len(), 3);
+                match &body.stmts[0] {
+                    Stmt::EffectAssign { target: Some(t), field, .. } => {
+                        assert_eq!(*t, Expr::Ident("p".into()));
+                        assert_eq!(field, "avoidx");
+                    }
+                    other => panic!("expected non-local assign, got {other:?}"),
+                }
+            }
+            other => panic!("expected foreach, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_field_with_range() {
+        let prog = parse(FISH).unwrap();
+        match &prog.classes[0].fields[0].kind {
+            FieldKind::State { update: Some(_), range: Some((lo, hi)) } => {
+                assert_eq!(*lo, Expr::Unary(UnOp::Neg, Box::new(Expr::Number(1.0))));
+                assert_eq!(*hi, Expr::Number(1.0));
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn effect_field_combinator_name() {
+        let prog = parse(FISH).unwrap();
+        match &prog.classes[0].fields[4].kind {
+            FieldKind::Effect { combinator } => assert_eq!(combinator, "sum"),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn this_dot_field_assign_is_local() {
+        let src = r#"
+            class A {
+                private effect float e : sum;
+                public void run() { this.e <- 1; }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        match &prog.classes[0].run.stmts[0] {
+            Stmt::EffectAssign { target: None, field, .. } => assert_eq!(field, "e"),
+            other => panic!("expected local assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_and_const() {
+        let src = r#"
+            class A {
+                public state float v : v;
+                private effect float e : max;
+                public void run() {
+                    const float t = v * 2;
+                    if (t > 1 && t < 10) { e <- t; } else { e <- 0 - t; }
+                }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.classes[0].run.stmts.len(), 2);
+        match &prog.classes[0].run.stmts[1] {
+            Stmt::If { else_: Some(_), .. } => {}
+            other => panic!("expected if/else, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = r#"
+            class A {
+                private effect float e : sum;
+                public void run() { e <- 1 + 2 * 3 - 4 / 2; }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        // Shape: (1 + (2*3)) - (4/2)
+        match &prog.classes[0].run.stmts[0] {
+            Stmt::EffectAssign { value: Expr::Binary(BinOp::Sub, l, r), .. } => {
+                assert!(matches!(**l, Expr::Binary(BinOp::Add, _, _)));
+                assert!(matches!(**r, Expr::Binary(BinOp::Div, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("class A { public state float x : ; }").expect_err("must fail");
+        match err {
+            brace_common::BraceError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("wrong error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_method() {
+        let err = parse("class A { public void step() {} }").expect_err("must fail");
+        assert!(err.to_string().contains("run()"));
+    }
+
+    #[test]
+    fn rejects_duplicate_run() {
+        let err = parse("class A { public void run() {} public void run() {} }").expect_err("must fail");
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn multiple_classes() {
+        let src = r#"
+            class A { public state float x : x; public void run() {} }
+            class B { public state float x : x; public void run() {} }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.classes.len(), 2);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(parse("  // nothing\n").is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! The dataflow plan — BRASIL's compilation target.
+//!
+//! The paper compiles BRASIL to the monad algebra (Appendix B); the plan
+//! here is that algebra's operational skeleton specialized to the query
+//! shape the language can express: a straight-line prefix, one optional
+//! `foreach` join with the visible extent (the simplified loop form
+//! `F(E, B)` of equation (11)), conditionals, and effect aggregation (⊕).
+//! Every slot is resolved — no names survive compilation — which makes the
+//! algebraic rewrites in [`optimize`](mod@crate::optimize) plain tree surgery.
+
+use crate::ast::{BinOp, UnOp};
+use serde::{Deserialize, Serialize};
+
+/// Spatial axis selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Axis {
+    X,
+    Y,
+}
+
+/// Built-in functions (validated arity at analysis time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Builtin {
+    Abs,
+    Sqrt,
+    Sin,
+    Cos,
+    Exp,
+    Ln,
+    Floor,
+    Ceil,
+    Sign,
+    Min,
+    Max,
+    Pow,
+    Atan2,
+    Clamp,
+}
+
+impl Builtin {
+    pub fn parse(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "abs" => Builtin::Abs,
+            "sqrt" => Builtin::Sqrt,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "exp" => Builtin::Exp,
+            "ln" => Builtin::Ln,
+            "floor" => Builtin::Floor,
+            "ceil" => Builtin::Ceil,
+            "sign" => Builtin::Sign,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "pow" => Builtin::Pow,
+            "atan2" => Builtin::Atan2,
+            "clamp" => Builtin::Clamp,
+            _ => return None,
+        })
+    }
+
+    /// Apply to evaluated arguments.
+    pub fn apply(self, args: &[f64]) -> f64 {
+        match self {
+            Builtin::Abs => args[0].abs(),
+            Builtin::Sqrt => args[0].sqrt(),
+            Builtin::Sin => args[0].sin(),
+            Builtin::Cos => args[0].cos(),
+            Builtin::Exp => args[0].exp(),
+            Builtin::Ln => args[0].ln(),
+            Builtin::Floor => args[0].floor(),
+            Builtin::Ceil => args[0].ceil(),
+            Builtin::Sign => {
+                if args[0] > 0.0 {
+                    1.0
+                } else if args[0] < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Builtin::Min => args[0].min(args[1]),
+            Builtin::Max => args[0].max(args[1]),
+            Builtin::Pow => args[0].powf(args[1]),
+            Builtin::Atan2 => args[0].atan2(args[1]),
+            Builtin::Clamp => args[0].clamp(args[1].min(args[2]), args[2].max(args[1])),
+        }
+    }
+}
+
+/// Which agent an agent-valued reference denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentRef {
+    This,
+    /// The current `foreach` loop variable.
+    Other,
+}
+
+/// A resolved expression. `Self*` reads the querying agent, `Other*` reads
+/// the current loop neighbor (valid only inside `Foreach`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PExpr {
+    Const(f64),
+    SelfPos(Axis),
+    OtherPos(Axis),
+    SelfState(u16),
+    OtherState(u16),
+    /// Read of the agent's *locally aggregated* effect value; analysis
+    /// guarantees this occurs only outside loops.
+    SelfEffect(u16),
+    /// A `const` local slot.
+    Local(u16),
+    /// Agent identity comparison (`p == this`); `negate` for `!=`.
+    AgentEq { left: AgentRef, right: AgentRef, negate: bool },
+    Unary(UnOp, Box<PExpr>),
+    Binary(BinOp, Box<PExpr>, Box<PExpr>),
+    Call(Builtin, Vec<PExpr>),
+    /// Deterministic per-(agent, tick, phase) random draw in [0, 1).
+    Rand,
+}
+
+impl PExpr {
+    /// Does any node satisfy `pred`?
+    pub fn any(&self, pred: &mut impl FnMut(&PExpr) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        match self {
+            PExpr::Unary(_, e) => e.any(pred),
+            PExpr::Binary(_, a, b) => a.any(pred) || b.any(pred),
+            PExpr::Call(_, args) => args.iter().any(|a| a.any(pred)),
+            _ => false,
+        }
+    }
+
+    /// Rewrite every node bottom-up.
+    pub fn map(self, f: &mut impl FnMut(PExpr) -> PExpr) -> PExpr {
+        let rebuilt = match self {
+            PExpr::Unary(op, e) => PExpr::Unary(op, Box::new(e.map(f))),
+            PExpr::Binary(op, a, b) => PExpr::Binary(op, Box::new(a.map(f)), Box::new(b.map(f))),
+            PExpr::Call(b, args) => PExpr::Call(b, args.into_iter().map(|a| a.map(f)).collect()),
+            leaf => leaf,
+        };
+        f(rebuilt)
+    }
+}
+
+/// A plan statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PStmt {
+    /// Bind local slot `slot`.
+    Let { slot: u16, value: PExpr },
+    /// `field <- value` on the querying agent (⊕-aggregated).
+    LocalEffect { field: u16, value: PExpr },
+    /// `other.field <- value` on the current loop neighbor.
+    RemoteEffect { field: u16, value: PExpr },
+    If { cond: PExpr, then_: Vec<PStmt>, else_: Vec<PStmt> },
+    /// Join with the visible extent: run `body` once per visible neighbor.
+    Foreach { body: Vec<PStmt> },
+}
+
+impl PStmt {
+    /// Visit every statement in the tree.
+    pub fn visit(&self, f: &mut impl FnMut(&PStmt)) {
+        f(self);
+        match self {
+            PStmt::If { then_, else_, .. } => {
+                for s in then_.iter().chain(else_) {
+                    s.visit(f);
+                }
+            }
+            PStmt::Foreach { body } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The compiled query phase.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryPlan {
+    pub stmts: Vec<PStmt>,
+    pub n_locals: u16,
+}
+
+impl QueryPlan {
+    /// Count statements matching `pred` (diagnostics and optimizer tests).
+    pub fn count(&self, pred: &mut impl FnMut(&PStmt) -> bool) -> usize {
+        let mut n = 0;
+        for s in &self.stmts {
+            s.visit(&mut |st| {
+                if pred(st) {
+                    n += 1
+                }
+            });
+        }
+        n
+    }
+
+    /// Does the plan contain any non-local effect assignment?
+    pub fn has_remote_effects(&self) -> bool {
+        self.count(&mut |s| matches!(s, PStmt::RemoteEffect { .. })) > 0
+    }
+}
+
+/// Update-rule target: position axis or ordinary state slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateTarget {
+    PosX,
+    PosY,
+    State(u16),
+}
+
+/// One compiled update rule. Rules evaluate against a snapshot of the
+/// agent (simultaneous semantics) and commit together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRule {
+    pub target: UpdateTarget,
+    pub expr: PExpr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_parse_and_apply() {
+        assert_eq!(Builtin::parse("abs"), Some(Builtin::Abs));
+        assert_eq!(Builtin::parse("nope"), None);
+        assert_eq!(Builtin::Abs.apply(&[-3.0]), 3.0);
+        assert_eq!(Builtin::Min.apply(&[2.0, 5.0]), 2.0);
+        assert_eq!(Builtin::Pow.apply(&[2.0, 10.0]), 1024.0);
+        assert_eq!(Builtin::Sign.apply(&[-7.0]), -1.0);
+        assert_eq!(Builtin::Sign.apply(&[0.0]), 0.0);
+        assert_eq!(Builtin::Clamp.apply(&[5.0, 0.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn expr_any_finds_rand() {
+        let e = PExpr::Binary(BinOp::Add, Box::new(PExpr::Const(1.0)), Box::new(PExpr::Rand));
+        assert!(e.any(&mut |n| matches!(n, PExpr::Rand)));
+        assert!(!PExpr::Const(1.0).any(&mut |n| matches!(n, PExpr::Rand)));
+    }
+
+    #[test]
+    fn expr_map_rewrites_leaves() {
+        let e = PExpr::Binary(BinOp::Add, Box::new(PExpr::SelfPos(Axis::X)), Box::new(PExpr::OtherPos(Axis::X)));
+        let swapped = e.map(&mut |n| match n {
+            PExpr::SelfPos(a) => PExpr::OtherPos(a),
+            PExpr::OtherPos(a) => PExpr::SelfPos(a),
+            other => other,
+        });
+        assert_eq!(
+            swapped,
+            PExpr::Binary(BinOp::Add, Box::new(PExpr::OtherPos(Axis::X)), Box::new(PExpr::SelfPos(Axis::X)))
+        );
+    }
+
+    #[test]
+    fn plan_counts_remote_effects() {
+        let plan = QueryPlan {
+            stmts: vec![PStmt::Foreach {
+                body: vec![
+                    PStmt::LocalEffect { field: 0, value: PExpr::Const(1.0) },
+                    PStmt::RemoteEffect { field: 1, value: PExpr::Const(2.0) },
+                ],
+            }],
+            n_locals: 0,
+        };
+        assert!(plan.has_remote_effects());
+        assert_eq!(plan.count(&mut |s| matches!(s, PStmt::LocalEffect { .. })), 1);
+    }
+}

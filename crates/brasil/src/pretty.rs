@@ -1,0 +1,191 @@
+//! Pretty-printer for compiled plans.
+//!
+//! Renders a [`QueryPlan`](crate::plan::QueryPlan) in a compact algebra-flavored notation so the
+//! optimizer's rewrites are inspectable (the `predator_inversion` example
+//! prints before/after plans with it):
+//!
+//! ```text
+//! foreach p ∈ Extent {
+//!   crowd ⊕= 1
+//!   if (self.size > p.size + 0.3) { p.hurt ⊕= self.size - p.size }
+//! }
+//! ```
+
+use crate::ast::{BinOp, UnOp};
+use crate::exec::CompiledClass;
+use crate::plan::{AgentRef, Axis, PExpr, PStmt, UpdateTarget};
+use brace_core::AgentSchema;
+use std::fmt::Write;
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn state_name(schema: &AgentSchema, i: u16) -> String {
+    schema.state_defs().get(i as usize).map(|d| d.name.clone()).unwrap_or_else(|| format!("s{i}"))
+}
+
+fn effect_name(schema: &AgentSchema, i: u16) -> String {
+    schema.effect_defs().get(i as usize).map(|d| d.name.clone()).unwrap_or_else(|| format!("e{i}"))
+}
+
+/// Render one expression.
+pub fn expr(schema: &AgentSchema, e: &PExpr) -> String {
+    match e {
+        PExpr::Const(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        PExpr::SelfPos(Axis::X) => "self.x".into(),
+        PExpr::SelfPos(Axis::Y) => "self.y".into(),
+        PExpr::OtherPos(Axis::X) => "p.x".into(),
+        PExpr::OtherPos(Axis::Y) => "p.y".into(),
+        PExpr::SelfState(i) => format!("self.{}", state_name(schema, *i)),
+        PExpr::OtherState(i) => format!("p.{}", state_name(schema, *i)),
+        PExpr::SelfEffect(i) => format!("self.{}", effect_name(schema, *i)),
+        PExpr::Local(i) => format!("t{i}"),
+        PExpr::AgentEq { left, right, negate } => {
+            let r = |a: &AgentRef| match a {
+                AgentRef::This => "self",
+                AgentRef::Other => "p",
+            };
+            format!("({} {} {})", r(left), if *negate { "!=" } else { "==" }, r(right))
+        }
+        PExpr::Unary(UnOp::Neg, inner) => format!("-{}", expr(schema, inner)),
+        PExpr::Unary(UnOp::Not, inner) => format!("!{}", expr(schema, inner)),
+        PExpr::Binary(op, a, b) => {
+            format!("({} {} {})", expr(schema, a), binop(*op), expr(schema, b))
+        }
+        PExpr::Call(b, args) => {
+            let args: Vec<String> = args.iter().map(|a| expr(schema, a)).collect();
+            format!("{}({})", format!("{b:?}").to_lowercase(), args.join(", "))
+        }
+        PExpr::Rand => "rand()".into(),
+    }
+}
+
+fn stmts(schema: &AgentSchema, list: &[PStmt], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for s in list {
+        match s {
+            PStmt::Let { slot, value } => {
+                let _ = writeln!(out, "{pad}let t{slot} = {}", expr(schema, value));
+            }
+            PStmt::LocalEffect { field, value } => {
+                let _ = writeln!(out, "{pad}{} ⊕= {}", effect_name(schema, *field), expr(schema, value));
+            }
+            PStmt::RemoteEffect { field, value } => {
+                let _ = writeln!(out, "{pad}p.{} ⊕= {}", effect_name(schema, *field), expr(schema, value));
+            }
+            PStmt::If { cond, then_, else_ } => {
+                let _ = writeln!(out, "{pad}if {} {{", expr(schema, cond));
+                stmts(schema, then_, indent + 1, out);
+                if !else_.is_empty() {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    stmts(schema, else_, indent + 1, out);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            PStmt::Foreach { body } => {
+                let _ = writeln!(out, "{pad}foreach p ∈ Extent {{");
+                stmts(schema, body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Render a whole compiled class: query plan and update rules.
+pub fn class(c: &CompiledClass) -> String {
+    let schema = c.schema();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "class {} (visibility {}, reachability {}, {} effects){}",
+        schema.name(),
+        schema.visibility(),
+        schema.reachability(),
+        schema.num_effects(),
+        if schema.has_nonlocal_effects() { " [NON-LOCAL]" } else { "" }
+    );
+    let _ = writeln!(out, "query {{");
+    stmts(schema, &c.query.stmts, 1, &mut out);
+    let _ = writeln!(out, "}}");
+    for rule in &c.updates {
+        let target = match rule.target {
+            UpdateTarget::PosX => "x".to_string(),
+            UpdateTarget::PosY => "y".to_string(),
+            UpdateTarget::State(i) => state_name(schema, i),
+        };
+        let _ = writeln!(out, "update {target} := {}", expr(schema, &rule.expr));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::exec::compile;
+    use crate::parser::parse;
+
+    fn compile_src(src: &str) -> CompiledClass {
+        let prog = parse(src).unwrap();
+        compile(&analyze(&prog.classes[0]).unwrap()).unwrap()
+    }
+
+    const SRC: &str = r#"
+        class Fish {
+            public state float x : x + vx #range[-1, 1];
+            public state float vx : vx * 0.5;
+            private effect float avoid : sum;
+            public void run() {
+                const float one = 1;
+                foreach (Fish p : Extent<Fish>) {
+                    if (p == this) { } else { p.avoid <- one / abs(x - p.x); }
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn renders_all_constructs() {
+        let rendered = class(&compile_src(SRC));
+        assert!(rendered.contains("class Fish"), "{rendered}");
+        assert!(rendered.contains("[NON-LOCAL]"));
+        assert!(rendered.contains("foreach p ∈ Extent {"));
+        assert!(rendered.contains("let t0 = 1"));
+        assert!(rendered.contains("p.avoid ⊕= (t0 / abs((self.x - p.x)))"));
+        assert!(rendered.contains("(p == self)"));
+        assert!(rendered.contains("update x := (self.x + self.vx)"));
+        assert!(rendered.contains("update vx := (self.vx * 0.5)"));
+    }
+
+    #[test]
+    fn inversion_is_visible_in_rendering() {
+        let class_nl = compile_src(SRC);
+        let inverted = crate::optimize::invert_effects(class_nl).unwrap();
+        let rendered = class(&inverted);
+        assert!(!rendered.contains("[NON-LOCAL]"));
+        // The inverted assignment reads the *other* agent's x first.
+        assert!(rendered.contains("avoid ⊕= "), "{rendered}");
+        assert!(rendered.contains("(p.x - self.x)"), "{rendered}");
+    }
+}

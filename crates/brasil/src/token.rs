@@ -1,0 +1,380 @@
+//! Lexer for BRASIL.
+//!
+//! Hand-rolled scanner producing a flat token stream with line/column
+//! positions for error reporting. BRASIL's surface is Java-like; the only
+//! unusual tokens are the effect-assignment arrow `<-` and the constraint
+//! tag `#range`.
+
+use brace_common::{BraceError, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Number(f64),
+    Ident(String),
+    // Keywords.
+    Class,
+    Public,
+    Private,
+    State,
+    Effect,
+    Const,
+    Void,
+    If,
+    Else,
+    Foreach,
+    Extent,
+    This,
+    True,
+    False,
+    RangeTag, // `#range`
+    // Punctuation.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    // Operators.
+    Arrow, // `<-`
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Not,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Class => write!(f, "class"),
+            Tok::Public => write!(f, "public"),
+            Tok::Private => write!(f, "private"),
+            Tok::State => write!(f, "state"),
+            Tok::Effect => write!(f, "effect"),
+            Tok::Const => write!(f, "const"),
+            Tok::Void => write!(f, "void"),
+            Tok::If => write!(f, "if"),
+            Tok::Else => write!(f, "else"),
+            Tok::Foreach => write!(f, "foreach"),
+            Tok::Extent => write!(f, "Extent"),
+            Tok::This => write!(f, "this"),
+            Tok::True => write!(f, "true"),
+            Tok::False => write!(f, "false"),
+            Tok::RangeTag => write!(f, "#range"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Arrow => write!(f, "<-"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Not => write!(f, "!"),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source position (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Tokenize `source`. `//` line comments and `/* */` block comments are
+/// skipped.
+pub fn lex(source: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(BraceError::Parse { line, col, message: format!($($arg)*) })
+        };
+    }
+
+    let mut push = |tok: Tok, line: u32, col: u32| out.push(Spanned { tok, line, col });
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize| {
+            for _ in 0..n {
+                if bytes[*i] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col, 1),
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                advance(&mut i, &mut line, &mut col, 2);
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        advance(&mut i, &mut line, &mut col, 2);
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '#' => {
+                // Only `#range` exists.
+                let word: String = bytes[i..].iter().take(6).collect();
+                if word == "#range" {
+                    push(Tok::RangeTag, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 6);
+                } else {
+                    err!("unknown directive starting with `#` (only `#range` is defined)");
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    // Don't swallow a method-call dot after digits (e.g. not
+                    // expected in BRASIL, but keep the scanner strict: a
+                    // second dot ends the number).
+                    if bytes[i] == '.' && bytes[start..i].contains(&'.') {
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                // Exponent part.
+                if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == '+' || bytes[j] == '-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        while i < j {
+                            advance(&mut i, &mut line, &mut col, 1);
+                        }
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            advance(&mut i, &mut line, &mut col, 1);
+                        }
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                match text.parse::<f64>() {
+                    Ok(n) => push(Tok::Number(n), tl, tc),
+                    Err(_) => err!("malformed number `{text}`"),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "class" => Tok::Class,
+                    "public" => Tok::Public,
+                    "private" => Tok::Private,
+                    "state" => Tok::State,
+                    "effect" => Tok::Effect,
+                    "const" => Tok::Const,
+                    "void" => Tok::Void,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "foreach" => Tok::Foreach,
+                    "Extent" => Tok::Extent,
+                    "this" => Tok::This,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word),
+                };
+                push(tok, tl, tc);
+            }
+            _ => {
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                let (tok, len) = match two.as_str() {
+                    "<-" => (Tok::Arrow, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => match c {
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        ';' => (Tok::Semi, 1),
+                        ':' => (Tok::Colon, 1),
+                        ',' => (Tok::Comma, 1),
+                        '.' => (Tok::Dot, 1),
+                        '=' => (Tok::Assign, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '!' => (Tok::Not, 1),
+                        _ => err!("unexpected character `{c}`"),
+                    },
+                };
+                push(tok, tl, tc);
+                advance(&mut i, &mut line, &mut col, len);
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("class Fish state effectx"),
+            vec![Tok::Class, Tok::Ident("Fish".into()), Tok::State, Tok::Ident("effectx".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("1 2.5 0.125 1e3 2.5e-2"), vec![
+            Tok::Number(1.0),
+            Tok::Number(2.5),
+            Tok::Number(0.125),
+            Tok::Number(1000.0),
+            Tok::Number(0.025),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn arrow_vs_less_than() {
+        assert_eq!(toks("a <- b < c <= d"), vec![
+            Tok::Ident("a".into()),
+            Tok::Arrow,
+            Tok::Ident("b".into()),
+            Tok::Lt,
+            Tok::Ident("c".into()),
+            Tok::Le,
+            Tok::Ident("d".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn range_tag() {
+        assert_eq!(toks("#range[-1, 1]"), vec![
+            Tok::RangeTag,
+            Tok::LBracket,
+            Tok::Minus,
+            Tok::Number(1.0),
+            Tok::Comma,
+            Tok::Number(1.0),
+            Tok::RBracket,
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a // comment\n b /* block\n comment */ c"), vec![
+            Tok::Ident("a".into()),
+            Tok::Ident("b".into()),
+            Tok::Ident("c".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = lex("#foo").expect_err("must reject");
+        assert!(err.to_string().contains("#range"));
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(toks("== != && || ! % ="), vec![
+            Tok::EqEq,
+            Tok::Ne,
+            Tok::AndAnd,
+            Tok::OrOr,
+            Tok::Not,
+            Tok::Percent,
+            Tok::Assign,
+            Tok::Eof
+        ]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The workspace-wide error type.
+//!
+//! BRACE is a library first: nothing here panics on user input. Model
+//! construction, BRASIL compilation and runtime configuration all report
+//! failures through [`BraceError`].
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BraceError>;
+
+/// Errors surfaced by the BRACE engine and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BraceError {
+    /// Invalid engine or runtime configuration (zero workers, empty space,
+    /// inconsistent epoch length, …).
+    Config(String),
+    /// A schema violation: unknown field, state/effect misuse, wrong arity.
+    Schema(String),
+    /// BRASIL front-end failure (lexing/parsing), with 1-based line/column.
+    Parse { line: u32, col: u32, message: String },
+    /// BRASIL semantic analysis failure (the state-effect checker).
+    Semantic(String),
+    /// A rewrite that cannot be applied (e.g. effect inversion on a script
+    /// whose visibility constraints forbid it without relaxation).
+    Rewrite(String),
+    /// Checkpoint serialization/restore failure.
+    Checkpoint(String),
+    /// A worker died and no checkpoint exists to recover from.
+    Unrecoverable(String),
+}
+
+impl fmt::Display for BraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BraceError::Config(m) => write!(f, "configuration error: {m}"),
+            BraceError::Schema(m) => write!(f, "schema error: {m}"),
+            BraceError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            BraceError::Semantic(m) => write!(f, "semantic error: {m}"),
+            BraceError::Rewrite(m) => write!(f, "rewrite error: {m}"),
+            BraceError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            BraceError::Unrecoverable(m) => write!(f, "unrecoverable failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_actionable() {
+        let e = BraceError::Parse { line: 3, col: 14, message: "expected `;`".into() };
+        assert_eq!(e.to_string(), "parse error at 3:14: expected `;`");
+        let c = BraceError::Config("need at least one worker".into());
+        assert!(c.to_string().contains("at least one worker"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BraceError::Semantic("x".into()));
+    }
+}

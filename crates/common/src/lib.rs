@@ -1,0 +1,27 @@
+//! Shared foundation types for the BRACE behavioral-simulation engine.
+//!
+//! This crate deliberately contains no simulation logic. It provides the
+//! vocabulary every other crate speaks:
+//!
+//! * [`geom`] — two-dimensional geometry ([`Vec2`], [`Rect`]) used for agent
+//!   positions, visible regions and partition bounds.
+//! * [`ids`] — strongly-typed identifiers for agents, partitions, workers and
+//!   fields so the compiler catches id mix-ups.
+//! * [`rng`] — a deterministic, splittable random-number generator. Every
+//!   simulation run in this workspace is reproducible from a single `u64`
+//!   seed; per-agent streams keep results independent of iteration order.
+//! * [`stats`] — online statistics (Welford), the RMSPE goodness-of-fit
+//!   measure used by the paper's Table 2, and simple histograms.
+//! * [`error`] — the shared error type.
+
+pub mod error;
+pub mod geom;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use error::{BraceError, Result};
+pub use geom::{Rect, Vec2};
+pub use ids::{AgentId, FieldId, PartitionId, WorkerId};
+pub use rng::DetRng;
+pub use stats::{rmspe, Histogram, Welford};

@@ -1,0 +1,251 @@
+//! Deterministic, splittable random number generation.
+//!
+//! Behavioral models call `rand()` inside agent programs (the fish velocity
+//! perturbation, MITSIM's probabilistic lane selection). For the runtime's
+//! correctness story — *the same seed produces the same simulation regardless
+//! of worker count or agent iteration order* — randomness must be a pure
+//! function of `(seed, agent id, tick)`, never of scheduling. [`DetRng`]
+//! provides exactly that: a small counter-based generator built on
+//! SplitMix64 finalization, plus [`DetRng::stream`] to derive independent
+//! per-agent/per-tick streams.
+//!
+//! `rand::Rng` is implemented so models can use the familiar `gen_range`
+//! API; `rand` is used only for its traits, not for any global state.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer: a bijective mixing of a 64-bit value with good
+/// avalanche properties. Public so tests and hashing helpers can reuse it.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic counter-based RNG.
+///
+/// Equivalent streams are derived by hashing `(seed, stream tags...)`; the
+/// sequence itself is `splitmix64(state + n)` for n = 1, 2, …, which passes
+/// the statistical needs of behavioral simulation (uniform perturbations,
+/// Bernoulli decisions) while being trivially serializable for checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetRng {
+    state: u64,
+    counter: u64,
+}
+
+impl DetRng {
+    /// Root generator for a simulation run.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng { state: splitmix64(seed ^ 0xA076_1D64_78BD_642F), counter: 0 }
+    }
+
+    /// Derive an independent stream tagged by `tag`. Typical use:
+    /// `root.stream(agent_id).stream(tick)` — identical no matter which
+    /// worker executes the agent or in which order.
+    #[inline]
+    pub fn stream(&self, tag: u64) -> DetRng {
+        DetRng { state: splitmix64(self.state ^ splitmix64(tag ^ 0x9E6C_63D0_876A_3F6B)), counter: 0 }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        self.counter = self.counter.wrapping_add(1);
+        splitmix64(self.state.wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. Returns `lo` when the interval is empty or
+    /// inverted, so models degrade gracefully on pathological parameters.
+    #[inline]
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire-style rejection-free multiply-shift is fine here; a tiny
+        // modulo bias on 64-bit space is far below simulation noise, but we
+        // use widening multiply to avoid even that.
+        ((self.next_raw() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal via Box–Muller; used for velocity perturbations.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.unit().max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Raw `(state, counter)` parts, for compact binary checkpoints.
+    pub fn to_parts(&self) -> (u64, u64) {
+        (self.state, self.counter)
+    }
+
+    /// Rebuild from [`DetRng::to_parts`]; the stream continues exactly
+    /// where it left off.
+    pub fn from_parts(state: u64, counter: u64) -> Self {
+        DetRng { state, counter }
+    }
+}
+
+impl RngCore for DetRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_raw().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_raw() == b.next_raw()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_independent_of_parent_consumption() {
+        let root = DetRng::seed_from_u64(7);
+        let mut consumed = root.clone();
+        consumed.next_raw();
+        // Deriving a stream depends only on the seed state, not the counter.
+        assert_eq!(root.stream(5), consumed.stream(5));
+        assert_ne!(root.stream(5), root.stream(6));
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = DetRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_mean_is_near_half() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.unit()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = rng.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::seed_from_u64(8);
+        assert!(!(0..1000).any(|_| rng.chance(0.0)));
+        assert!((0..1000).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn range_handles_degenerate_interval() {
+        let mut rng = DetRng::seed_from_u64(1);
+        assert_eq!(rng.range(3.0, 3.0), 3.0);
+        assert_eq!(rng.range(5.0, 2.0), 5.0);
+    }
+
+    #[test]
+    fn rng_core_fill_bytes_deterministic() {
+        let mut a = DetRng::seed_from_u64(13);
+        let mut b = DetRng::seed_from_u64(13);
+        let mut ba = [0u8; 17];
+        let mut bb = [0u8; 17];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_stream_position() {
+        let mut rng = DetRng::seed_from_u64(21);
+        rng.next_raw();
+        rng.next_raw();
+        let json = serde_json_like(&rng);
+        let mut restored: DetRng = from_json_like(&json);
+        assert_eq!(rng.next_raw(), restored.next_raw());
+    }
+
+    // Minimal stand-ins so this test does not require serde_json: we use the
+    // fact that DetRng is two u64s.
+    fn serde_json_like(r: &DetRng) -> (u64, u64) {
+        (r.state, r.counter)
+    }
+    fn from_json_like(v: &(u64, u64)) -> DetRng {
+        DetRng { state: v.0, counter: v.1 }
+    }
+}

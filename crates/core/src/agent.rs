@@ -1,0 +1,156 @@
+//! The agent record `a = ⟨oid, s, e⟩` of the paper's Appendix A.
+//!
+//! Agents are *dynamic* records: the number and meaning of their state and
+//! effect slots comes from an [`AgentSchema`],
+//! so the same engine runs hand-coded Rust models and compiled BRASIL
+//! classes. The spatial location `ℓ(s)` is stored as an explicit
+//! [`Vec2`] (`pos`) because every subsystem — indexing, partitioning,
+//! replication — keys on it.
+
+use crate::schema::AgentSchema;
+use brace_common::{AgentId, FieldId, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// One simulated agent.
+///
+/// Serializable so that checkpoints and worker-to-worker transfers are just
+/// `serde` on `Vec<Agent>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Agent {
+    /// Stable identity (`oid`). Replicas carry the owner's id.
+    pub id: AgentId,
+    /// Spatial location `ℓ(s)` — a distinguished pair of state attributes.
+    pub pos: Vec2,
+    /// Non-spatial state attributes, indexed by the schema's state fields.
+    pub state: Vec<f64>,
+    /// Effect attributes, indexed by the schema's effect fields. Reset to
+    /// the combinator identities θ at every tick boundary.
+    pub effects: Vec<f64>,
+    /// Liveness flag: update rules may kill an agent (predator model); dead
+    /// agents are removed by the executor at the end of the tick.
+    pub alive: bool,
+}
+
+impl Agent {
+    /// A new agent shaped by `schema`, with all state zeroed and effects at
+    /// their identities.
+    pub fn new(id: AgentId, pos: Vec2, schema: &AgentSchema) -> Self {
+        Agent {
+            id,
+            pos,
+            state: vec![0.0; schema.num_states()],
+            effects: schema.effect_identities(),
+            alive: true,
+        }
+    }
+
+    /// A new agent with explicit initial state values (length-checked by
+    /// debug assertion; release builds trust the caller).
+    pub fn with_state(id: AgentId, pos: Vec2, state: Vec<f64>, schema: &AgentSchema) -> Self {
+        debug_assert_eq!(state.len(), schema.num_states(), "state vector shape mismatch");
+        Agent { id, pos, state, effects: schema.effect_identities(), alive: true }
+    }
+
+    /// Read a state field.
+    #[inline]
+    pub fn get(&self, f: FieldId) -> f64 {
+        self.state[f.index()]
+    }
+
+    /// Write a state field (update phase only — the executor enforces the
+    /// discipline by never handing out `&mut Agent` during queries).
+    #[inline]
+    pub fn set(&mut self, f: FieldId, v: f64) {
+        self.state[f.index()] = v;
+    }
+
+    /// Read an aggregated effect field (update phase).
+    #[inline]
+    pub fn effect(&self, f: FieldId) -> f64 {
+        self.effects[f.index()]
+    }
+
+    /// Reset every effect slot to its combinator identity; called by the
+    /// executor after the update phase consumed them.
+    pub fn reset_effects(&mut self, schema: &AgentSchema) {
+        for (slot, def) in self.effects.iter_mut().zip(schema.effect_defs()) {
+            *slot = def.combinator.identity();
+        }
+    }
+
+    /// Clamp a proposed new position to the agent's reachable region around
+    /// `from` (the position at the start of the tick). BRASIL guarantees
+    /// "the update rule is guaranteed to crop any changes to the x
+    /// coordinate to at most one unit" — this is that crop.
+    pub fn clamp_move(from: Vec2, proposed: Vec2, reachability: f64) -> Vec2 {
+        if !reachability.is_finite() {
+            return proposed;
+        }
+        Vec2::new(
+            proposed.x.clamp(from.x - reachability, from.x + reachability),
+            proposed.y.clamp(from.y - reachability, from.y + reachability),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinator::Combinator;
+
+    fn schema() -> AgentSchema {
+        AgentSchema::builder("T")
+            .state("v")
+            .state("w")
+            .effect("acc", Combinator::Sum)
+            .effect("closest", Combinator::Min)
+            .visibility(2.0)
+            .reachability(1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn new_agent_shape() {
+        let s = schema();
+        let a = Agent::new(AgentId::new(1), Vec2::new(1.0, 2.0), &s);
+        assert_eq!(a.state, vec![0.0, 0.0]);
+        assert_eq!(a.effects, vec![0.0, f64::INFINITY]);
+        assert!(a.alive);
+    }
+
+    #[test]
+    fn field_access_round_trip() {
+        let s = schema();
+        let mut a = Agent::new(AgentId::new(1), Vec2::ZERO, &s);
+        let v = s.state_field("v").unwrap();
+        a.set(v, 3.5);
+        assert_eq!(a.get(v), 3.5);
+    }
+
+    #[test]
+    fn reset_effects_restores_identities() {
+        let s = schema();
+        let mut a = Agent::new(AgentId::new(1), Vec2::ZERO, &s);
+        a.effects = vec![5.0, -2.0];
+        a.reset_effects(&s);
+        assert_eq!(a.effects, vec![0.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn clamp_move_crops_to_reachable_region() {
+        let from = Vec2::new(10.0, 10.0);
+        let out = Agent::clamp_move(from, Vec2::new(15.0, 10.4), 1.0);
+        assert_eq!(out, Vec2::new(11.0, 10.4));
+        // Infinite reachability is a no-op.
+        let free = Agent::clamp_move(from, Vec2::new(1e9, -1e9), f64::INFINITY);
+        assert_eq!(free, Vec2::new(1e9, -1e9));
+    }
+
+    #[test]
+    fn with_state_uses_given_values() {
+        let s = schema();
+        let a = Agent::with_state(AgentId::new(2), Vec2::ZERO, vec![1.0, 2.0], &s);
+        assert_eq!(a.state, vec![1.0, 2.0]);
+    }
+}

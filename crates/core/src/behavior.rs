@@ -1,0 +1,238 @@
+//! The [`Behavior`] trait: what a simulation model is.
+//!
+//! A model supplies exactly the two phases of the state-effect pattern:
+//!
+//! * [`Behavior::query`] — runs once per owned agent per tick. It may read
+//!   `me`'s state, iterate the agents in `me`'s visible region through
+//!   [`Neighbors`], and assign effects through
+//!   [`EffectWriter`]. It *cannot* mutate any
+//!   state — enforced by the types.
+//! * [`Behavior::update`] — runs once per owned agent at the tick boundary.
+//!   It may read `me`'s state and aggregated effects and write `me`'s next
+//!   state (including the position, which the executor crops to the
+//!   reachable region). It sees no other agent — also enforced by types.
+//!
+//! The same trait object drives the single-node executor and every reducer
+//! of the distributed runtime, which is precisely the paper's claim that
+//! programming the agent once suffices ("hides all the complexities of
+//! modeling computations in MapReduce").
+
+use crate::agent::Agent;
+use crate::effect::EffectWriter;
+use crate::schema::AgentSchema;
+use brace_common::{DetRng, Vec2};
+
+/// A reference to a visible neighbor: the agent (previous-tick state) plus
+/// its row index in the visible set, which is how non-local effect
+/// assignments address it.
+#[derive(Clone, Copy)]
+pub struct NeighborRef<'a> {
+    /// Row in the tick's visible set / effect table.
+    pub row: u32,
+    /// The neighbor's frozen (previous-tick) record.
+    pub agent: &'a Agent,
+}
+
+/// The visible neighborhood of one querying agent: the result of the
+/// spatial-join probe, excluding the agent itself.
+pub struct Neighbors<'a> {
+    pool: &'a [Agent],
+    candidates: &'a [u32],
+    me: u32,
+}
+
+impl<'a> Neighbors<'a> {
+    /// `pool` is the partition's visible agent set; `candidates` are row
+    /// indices produced by the index probe (they may include `me`, which
+    /// iteration skips).
+    pub fn new(pool: &'a [Agent], candidates: &'a [u32], me: u32) -> Self {
+        Neighbors { pool, candidates, me }
+    }
+
+    /// Iterate the visible neighbors (self excluded).
+    pub fn iter(&self) -> impl Iterator<Item = NeighborRef<'a>> + '_ {
+        let me = self.me;
+        let pool = self.pool;
+        self.candidates
+            .iter()
+            .copied()
+            .filter(move |&i| i != me)
+            .map(move |i| NeighborRef { row: i, agent: &pool[i as usize] })
+    }
+
+    /// Upper bound on the neighbor count (candidates may include self).
+    pub fn len_hint(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The nearest neighbor by Euclidean distance, if any. Linear in the
+    /// candidate set — the candidates already come from an index probe.
+    pub fn nearest(&self, to: Vec2) -> Option<NeighborRef<'a>> {
+        self.iter().min_by(|a, b| a.agent.pos.dist2(to).total_cmp(&b.agent.pos.dist2(to)))
+    }
+}
+
+/// Context for the update phase: the tick number, a deterministic per-agent
+/// RNG stream, and the spawn queue (agents created this tick enter the
+/// simulation at the next tick, with ids assigned by the executor).
+pub struct UpdateCtx<'a> {
+    /// Tick being completed.
+    pub tick: u64,
+    /// Per-agent, per-tick RNG stream: identical regardless of worker
+    /// placement or iteration order.
+    pub rng: DetRng,
+    spawns: &'a mut Vec<(Vec2, Vec<f64>)>,
+}
+
+impl<'a> UpdateCtx<'a> {
+    pub fn new(tick: u64, rng: DetRng, spawns: &'a mut Vec<(Vec2, Vec<f64>)>) -> Self {
+        UpdateCtx { tick, rng, spawns }
+    }
+
+    /// Queue a new agent at `pos` with the given initial state vector. The
+    /// executor materializes it with a fresh id after the update phase.
+    pub fn spawn(&mut self, pos: Vec2, state: Vec<f64>) {
+        self.spawns.push((pos, state));
+    }
+
+    /// Number of spawns queued so far (by all agents this tick).
+    pub fn queued_spawns(&self) -> usize {
+        self.spawns.len()
+    }
+}
+
+/// How the engine materializes a behavior's neighborhood each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborProbe {
+    /// Orthogonal range query over the visible region — the paper's
+    /// compiled form of a BRASIL `foreach` under `#range` (default).
+    #[default]
+    Range,
+    /// The `k` nearest agents (Euclidean), cropped to the visible region —
+    /// the paper's nearest-neighbor-indexing extension ("planned future
+    /// work" in §5.2, needed for parity with MITSIM's hand-coded lookup).
+    /// Correctness note: candidates beyond the schema's visibility bound
+    /// are filtered out, because the distributed runtime replicates only
+    /// the visible region — k-NN cannot see further than `#range` allows.
+    Nearest(usize),
+}
+
+/// A simulation model: the query and update phases over a fixed schema.
+pub trait Behavior: Send + Sync {
+    /// The agent schema this behavior operates on. The executor shapes
+    /// agents, effect tables and replication from it; it must not change
+    /// between calls.
+    fn schema(&self) -> &AgentSchema;
+
+    /// Neighborhood materialization (default: range query).
+    fn probe(&self) -> NeighborProbe {
+        NeighborProbe::Range
+    }
+
+    /// Query phase for one agent. `rng` is a deterministic stream derived
+    /// from `(seed, agent id, tick)`.
+    fn query(&self, me: &Agent, me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng);
+
+    /// Update phase for one agent: consume `me.effects`, write `me.state` /
+    /// `me.pos` (cropped to reachability by the executor), optionally kill
+    /// (`me.alive = false`) or spawn (`ctx.spawn`).
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>);
+}
+
+/// Blanket impl so `Arc<B>` / `Box<B>` / `&B` are behaviors too — the
+/// runtime shares one behavior across worker threads via `Arc`.
+impl<B: Behavior + ?Sized> Behavior for &B {
+    fn schema(&self) -> &AgentSchema {
+        (**self).schema()
+    }
+    fn probe(&self) -> NeighborProbe {
+        (**self).probe()
+    }
+    fn query(&self, me: &Agent, me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        (**self).query(me, me_row, neighbors, eff, rng)
+    }
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        (**self).update(me, ctx)
+    }
+}
+
+impl<B: Behavior + ?Sized> Behavior for std::sync::Arc<B> {
+    fn schema(&self) -> &AgentSchema {
+        (**self).schema()
+    }
+    fn probe(&self) -> NeighborProbe {
+        (**self).probe()
+    }
+    fn query(&self, me: &Agent, me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        (**self).query(me, me_row, neighbors, eff, rng)
+    }
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        (**self).update(me, ctx)
+    }
+}
+
+impl<B: Behavior + ?Sized> Behavior for Box<B> {
+    fn schema(&self) -> &AgentSchema {
+        (**self).schema()
+    }
+    fn probe(&self) -> NeighborProbe {
+        (**self).probe()
+    }
+    fn query(&self, me: &Agent, me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        (**self).query(me, me_row, neighbors, eff, rng)
+    }
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        (**self).update(me, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinator::Combinator;
+    use brace_common::AgentId;
+
+    fn schema() -> AgentSchema {
+        AgentSchema::builder("T").effect("n", Combinator::Sum).build().unwrap()
+    }
+
+    fn pool(schema: &AgentSchema) -> Vec<Agent> {
+        (0..4).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), schema)).collect()
+    }
+
+    #[test]
+    fn neighbors_exclude_self() {
+        let s = schema();
+        let p = pool(&s);
+        let cands = [0u32, 1, 2, 3];
+        let n = Neighbors::new(&p, &cands, 2);
+        let rows: Vec<u32> = n.iter().map(|r| r.row).collect();
+        assert_eq!(rows, vec![0, 1, 3]);
+        assert_eq!(n.len_hint(), 4);
+    }
+
+    #[test]
+    fn neighbors_nearest() {
+        let s = schema();
+        let p = pool(&s);
+        let cands = [0u32, 1, 2, 3];
+        let n = Neighbors::new(&p, &cands, 0);
+        let near = n.nearest(Vec2::new(0.0, 0.0)).unwrap();
+        assert_eq!(near.row, 1);
+        // Empty candidate set -> None.
+        let empty = Neighbors::new(&p, &[], 0);
+        assert!(empty.nearest(Vec2::ZERO).is_none());
+    }
+
+    #[test]
+    fn update_ctx_spawn_queues() {
+        let mut spawns = Vec::new();
+        let mut ctx = UpdateCtx::new(3, DetRng::seed_from_u64(1), &mut spawns);
+        assert_eq!(ctx.tick, 3);
+        ctx.spawn(Vec2::new(1.0, 1.0), vec![0.5]);
+        assert_eq!(ctx.queued_spawns(), 1);
+        let _ = ctx;
+        assert_eq!(spawns.len(), 1);
+        assert_eq!(spawns[0].0, Vec2::new(1.0, 1.0));
+    }
+}

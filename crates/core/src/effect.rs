@@ -1,0 +1,257 @@
+//! Staged effect aggregation.
+//!
+//! During the query phase agents assign effect values; the state-effect
+//! pattern requires those assignments to be aggregated by each field's
+//! combinator, in any order, possibly partially on one node and finally on
+//! another. [`EffectTable`] is the dense accumulator for one partition's
+//! visible agent set; [`EffectWriter`] is the capability handed to a
+//! behavior's query phase — it can *only* combine into effect slots, which
+//! is how the executor enforces "state variables are read-only during the
+//! query phase and effect variables are write-only" at the API level.
+
+use crate::agent::Agent;
+use crate::schema::AgentSchema;
+use brace_common::FieldId;
+
+/// Dense per-tick effect accumulator: one row of `num_effects` slots per
+/// agent in the visible set, initialized to combinator identities.
+#[derive(Debug, Clone)]
+pub struct EffectTable {
+    identities: Vec<f64>,
+    slots: Vec<f64>,
+    rows: usize,
+}
+
+impl EffectTable {
+    /// An empty table shaped by `schema`.
+    pub fn new(schema: &AgentSchema) -> Self {
+        EffectTable { identities: schema.effect_identities(), slots: Vec::new(), rows: 0 }
+    }
+
+    /// Number of effect fields per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.identities.len()
+    }
+
+    /// Number of rows currently allocated.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Resize for `rows` agents and reset every slot to its identity.
+    /// Reuses the allocation across ticks (hot path: called every tick).
+    pub fn reset(&mut self, rows: usize) {
+        self.rows = rows;
+        let want = rows * self.identities.len();
+        self.slots.clear();
+        self.slots.reserve(want);
+        for _ in 0..rows {
+            self.slots.extend_from_slice(&self.identities);
+        }
+    }
+
+    /// Combine `v` into `(row, field)` using the schema's combinator.
+    #[inline]
+    pub fn combine(&mut self, schema: &AgentSchema, row: u32, field: FieldId, v: f64) {
+        let w = self.identities.len();
+        let slot = &mut self.slots[row as usize * w + field.index()];
+        *slot = schema.combinator(field).combine(*slot, v);
+    }
+
+    /// The aggregated row for one agent.
+    #[inline]
+    pub fn row(&self, row: u32) -> &[f64] {
+        let w = self.identities.len();
+        &self.slots[row as usize * w..(row as usize + 1) * w]
+    }
+
+    /// True if the row still holds only identities — such rows carry no
+    /// information and the runtime skips shipping them (the paper's
+    /// "∀i s.t. fᵗᵢ ≠ θ" filter).
+    pub fn row_is_identity(&self, row: u32) -> bool {
+        self.row(row).iter().zip(&self.identities).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// ⊕-merge a partial aggregate row (shipped from another partition)
+    /// into `row`. This is the second reduce pass's `⊕ⱼfᵗⱼ`.
+    pub fn merge_row(&mut self, schema: &AgentSchema, row: u32, partial: &[f64]) {
+        debug_assert_eq!(partial.len(), self.width());
+        let w = self.identities.len();
+        let base = row as usize * w;
+        for (i, &p) in partial.iter().enumerate() {
+            let comb = schema.combinator(FieldId::new(i as u16));
+            let slot = &mut self.slots[base + i];
+            *slot = comb.combine(*slot, p);
+        }
+    }
+
+    /// Copy each agent's final aggregated row into `agent.effects`, making
+    /// the effects readable for the update phase.
+    pub fn write_into(&self, agents: &mut [Agent]) {
+        debug_assert!(agents.len() <= self.rows);
+        let w = self.identities.len();
+        for (i, agent) in agents.iter_mut().enumerate() {
+            agent.effects.clear();
+            agent.effects.extend_from_slice(&self.slots[i * w..(i + 1) * w]);
+        }
+    }
+}
+
+/// Write capability for one agent's query phase.
+///
+/// `me` addresses the querying agent's own row (local assignments, the
+/// BRASIL `f <- v`); neighbor rows are addressed by their index in the
+/// visible set (non-local assignments, `other.f <- v`).
+pub struct EffectWriter<'a> {
+    schema: &'a AgentSchema,
+    table: &'a mut EffectTable,
+    me: u32,
+    nonlocal_writes: u64,
+}
+
+impl<'a> EffectWriter<'a> {
+    pub fn new(schema: &'a AgentSchema, table: &'a mut EffectTable, me: u32) -> Self {
+        EffectWriter { schema, table, me, nonlocal_writes: 0 }
+    }
+
+    /// `field <- v` on the querying agent itself.
+    #[inline]
+    pub fn local(&mut self, field: FieldId, v: f64) {
+        self.table.combine(self.schema, self.me, field, v);
+    }
+
+    /// `target.field <- v` on another visible agent. Models whose schema
+    /// does not declare [`nonlocal_effects`](crate::schema::SchemaBuilder::nonlocal_effects)
+    /// must not call this; debug builds assert it, and the runtime would
+    /// otherwise silently drop the effect at partition boundaries.
+    #[inline]
+    pub fn remote(&mut self, target_row: u32, field: FieldId, v: f64) {
+        debug_assert!(
+            self.schema.has_nonlocal_effects() || target_row == self.me,
+            "schema `{}` declares local effects only but wrote to another agent",
+            self.schema.name()
+        );
+        if target_row != self.me {
+            self.nonlocal_writes += 1;
+        }
+        self.table.combine(self.schema, target_row, field, v);
+    }
+
+    /// Number of genuinely non-local writes performed through this writer
+    /// (statistics for the optimizer's inversion payoff accounting).
+    pub fn nonlocal_writes(&self) -> u64 {
+        self.nonlocal_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinator::Combinator;
+    use brace_common::{AgentId, Vec2};
+
+    fn schema() -> AgentSchema {
+        AgentSchema::builder("T")
+            .effect("total", Combinator::Sum)
+            .effect("closest", Combinator::Min)
+            .nonlocal_effects(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reset_fills_identities() {
+        let s = schema();
+        let mut t = EffectTable::new(&s);
+        t.reset(3);
+        assert_eq!(t.rows(), 3);
+        for r in 0..3 {
+            assert_eq!(t.row(r), &[0.0, f64::INFINITY]);
+            assert!(t.row_is_identity(r));
+        }
+    }
+
+    #[test]
+    fn combine_aggregates_in_order_independent_way() {
+        let s = schema();
+        let mut t = EffectTable::new(&s);
+        t.reset(1);
+        let total = s.effect_field("total").unwrap();
+        let closest = s.effect_field("closest").unwrap();
+        t.combine(&s, 0, total, 2.0);
+        t.combine(&s, 0, total, 3.0);
+        t.combine(&s, 0, closest, 7.0);
+        t.combine(&s, 0, closest, 4.0);
+        assert_eq!(t.row(0), &[5.0, 4.0]);
+        assert!(!t.row_is_identity(0));
+    }
+
+    #[test]
+    fn merge_row_is_second_reduce_pass() {
+        let s = schema();
+        // Partition A aggregates partially…
+        let mut a = EffectTable::new(&s);
+        a.reset(1);
+        a.combine(&s, 0, FieldId::new(0), 1.0);
+        a.combine(&s, 0, FieldId::new(1), 9.0);
+        // …partition B owns the agent and merges A's partial row.
+        let mut b = EffectTable::new(&s);
+        b.reset(1);
+        b.combine(&s, 0, FieldId::new(0), 2.0);
+        b.combine(&s, 0, FieldId::new(1), 5.0);
+        b.merge_row(&s, 0, a.row(0));
+        assert_eq!(b.row(0), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn merge_of_identity_row_is_noop() {
+        let s = schema();
+        let mut t = EffectTable::new(&s);
+        t.reset(1);
+        t.combine(&s, 0, FieldId::new(0), 4.0);
+        let before = t.row(0).to_vec();
+        let identities = s.effect_identities();
+        t.merge_row(&s, 0, &identities);
+        assert_eq!(t.row(0), &before[..]);
+    }
+
+    #[test]
+    fn write_into_copies_rows() {
+        let s = schema();
+        let mut t = EffectTable::new(&s);
+        t.reset(2);
+        t.combine(&s, 1, FieldId::new(0), 8.0);
+        let mut agents =
+            vec![Agent::new(AgentId::new(0), Vec2::ZERO, &s), Agent::new(AgentId::new(1), Vec2::ZERO, &s)];
+        t.write_into(&mut agents);
+        assert_eq!(agents[0].effects, vec![0.0, f64::INFINITY]);
+        assert_eq!(agents[1].effects, vec![8.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn writer_local_and_remote() {
+        let s = schema();
+        let mut t = EffectTable::new(&s);
+        t.reset(2);
+        let mut w = EffectWriter::new(&s, &mut t, 0);
+        w.local(FieldId::new(0), 1.0);
+        w.remote(1, FieldId::new(0), 2.0);
+        w.remote(0, FieldId::new(0), 3.0); // remote to self counts as local
+        assert_eq!(w.nonlocal_writes(), 1);
+        assert_eq!(t.row(0)[0], 4.0);
+        assert_eq!(t.row(1)[0], 2.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "local effects only")]
+    fn writer_rejects_undeclared_nonlocal() {
+        let s = AgentSchema::builder("L").effect("e", Combinator::Sum).build().unwrap();
+        let mut t = EffectTable::new(&s);
+        t.reset(2);
+        let mut w = EffectWriter::new(&s, &mut t, 0);
+        w.remote(1, FieldId::new(0), 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! High-level single-node simulation API.
+//!
+//! [`Simulation`] wraps [`TickExecutor`] with
+//! a builder, validation and the couple of conveniences every experiment
+//! harness wants (warm-up discarding, snapshotting). Distributed runs use
+//! `brace_mapreduce::ClusterSim`, which exposes the same surface over the
+//! multi-worker runtime.
+
+use crate::agent::Agent;
+use crate::behavior::Behavior;
+use crate::executor::TickExecutor;
+use crate::metrics::{SimMetrics, TickMetrics};
+use brace_common::{BraceError, Result};
+use brace_spatial::IndexKind;
+
+/// Builder for a single-node [`Simulation`].
+pub struct SimulationBuilder<B: Behavior> {
+    behavior: B,
+    agents: Vec<Agent>,
+    index: IndexKind,
+    seed: u64,
+}
+
+impl<B: Behavior> SimulationBuilder<B> {
+    /// Initial population. Each agent must match the behavior's schema.
+    pub fn agents(mut self, agents: Vec<Agent>) -> Self {
+        self.agents = agents;
+        self
+    }
+
+    /// Spatial index used by the query phase (default: KD-tree).
+    pub fn index(mut self, kind: IndexKind) -> Self {
+        self.index = kind;
+        self
+    }
+
+    /// Master seed; every run with the same seed is bit-identical.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<Simulation<B>> {
+        let schema = self.behavior.schema();
+        for a in &self.agents {
+            if a.state.len() != schema.num_states() {
+                return Err(BraceError::Schema(format!(
+                    "agent {} has {} state slots, schema `{}` expects {}",
+                    a.id,
+                    a.state.len(),
+                    schema.name(),
+                    schema.num_states()
+                )));
+            }
+            if a.effects.len() != schema.num_effects() {
+                return Err(BraceError::Schema(format!(
+                    "agent {} has {} effect slots, schema `{}` expects {}",
+                    a.id,
+                    a.effects.len(),
+                    schema.name(),
+                    schema.num_effects()
+                )));
+            }
+        }
+        let mut ids = std::collections::HashSet::new();
+        for a in &self.agents {
+            if !ids.insert(a.id) {
+                return Err(BraceError::Config(format!("duplicate agent id {}", a.id)));
+            }
+        }
+        Ok(Simulation { exec: TickExecutor::new(self.behavior, self.agents, self.index, self.seed) })
+    }
+}
+
+/// A single-node behavioral simulation.
+pub struct Simulation<B: Behavior> {
+    exec: TickExecutor<B>,
+}
+
+impl<B: Behavior> Simulation<B> {
+    /// Start building a simulation around `behavior`.
+    pub fn builder(behavior: B) -> SimulationBuilder<B> {
+        SimulationBuilder { behavior, agents: Vec::new(), index: IndexKind::KdTree, seed: 0 }
+    }
+
+    /// Execute one tick.
+    pub fn step(&mut self) -> TickMetrics {
+        self.exec.step()
+    }
+
+    /// Execute `n` ticks.
+    pub fn run(&mut self, n: u64) {
+        self.exec.run(n)
+    }
+
+    /// Execute `warmup` ticks, discard their metrics, then run `measured`
+    /// ticks — the paper's transient-elimination protocol.
+    pub fn run_measured(&mut self, warmup: u64, measured: u64) -> SimMetrics {
+        self.exec.run(warmup);
+        self.exec.reset_metrics();
+        self.exec.run(measured);
+        self.exec.metrics().clone()
+    }
+
+    pub fn agents(&self) -> &[Agent] {
+        self.exec.agents()
+    }
+
+    pub fn behavior(&self) -> &B {
+        self.exec.behavior()
+    }
+
+    pub fn tick(&self) -> u64 {
+        self.exec.tick()
+    }
+
+    pub fn metrics(&self) -> &SimMetrics {
+        self.exec.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Neighbors, UpdateCtx};
+    use crate::effect::EffectWriter;
+    use crate::schema::AgentSchema;
+    use brace_common::{AgentId, DetRng, Vec2};
+
+    struct Noop(AgentSchema);
+
+    impl Behavior for Noop {
+        fn schema(&self) -> &AgentSchema {
+            &self.0
+        }
+        fn query(&self, _m: &Agent, _r: u32, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
+        fn update(&self, _m: &mut Agent, _c: &mut UpdateCtx<'_>) {}
+    }
+
+    fn noop() -> Noop {
+        Noop(AgentSchema::builder("Noop").state("s").visibility(1.0).build().unwrap())
+    }
+
+    #[test]
+    fn builder_validates_state_shape() {
+        let b = noop();
+        let bad = Agent { id: AgentId::new(0), pos: Vec2::ZERO, state: vec![], effects: vec![], alive: true };
+        let err = Simulation::builder(b).agents(vec![bad]).build().err().expect("shape must be rejected");
+        assert!(err.to_string().contains("state slots"));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_ids() {
+        let b = noop();
+        let a1 = Agent::new(AgentId::new(1), Vec2::ZERO, b.schema());
+        let a2 = Agent::new(AgentId::new(1), Vec2::new(1.0, 0.0), b.schema());
+        let err = Simulation::builder(b).agents(vec![a1, a2]).build().err().expect("duplicate ids must be rejected");
+        assert!(err.to_string().contains("duplicate agent id"));
+    }
+
+    #[test]
+    fn run_measured_discards_warmup() {
+        let b = noop();
+        let agents = vec![Agent::new(AgentId::new(0), Vec2::ZERO, b.schema())];
+        let mut sim = Simulation::builder(b).agents(agents).seed(1).build().unwrap();
+        let m = sim.run_measured(3, 5);
+        assert_eq!(m.ticks, 5);
+        assert_eq!(sim.tick(), 8);
+    }
+}

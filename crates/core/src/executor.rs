@@ -1,0 +1,444 @@
+//! The tick executor: query phase, effect finalization, update phase.
+//!
+//! The two phase functions ([`query_phase`], [`update_phase`]) are exposed
+//! separately because the distributed runtime interleaves communication
+//! between them (Table 1 of the paper):
+//!
+//! ```text
+//!   mapᵗ        = update phase of t−1 + distribute (runtime)
+//!   reduceᵗ₁    = query_phase over owned agents        (this module)
+//!   reduceᵗ₂    = ⊕-merge of shipped partial effects   (EffectTable::merge_row)
+//!   mapᵗ⁺¹      = update_phase                          (this module)
+//! ```
+//!
+//! The single-node [`TickExecutor`] simply calls them back to back — it *is*
+//! the one-partition special case of the runtime, and the integration tests
+//! exploit that: the distributed engine must produce bit-identical agents.
+//!
+//! # Visible-set convention
+//!
+//! The agent pool passed to [`query_phase`] holds the *owned* agents first
+//! (rows `0..n_owned`) followed by replicas shipped from other partitions.
+//! Queries run only for owned rows; effects may land on any row.
+
+use crate::agent::Agent;
+use crate::behavior::{Behavior, Neighbors, UpdateCtx};
+use crate::effect::{EffectTable, EffectWriter};
+use crate::metrics::{SimMetrics, TickMetrics};
+use brace_common::ids::AgentIdGen;
+use brace_common::{DetRng, Rect};
+use brace_spatial::{IndexKind, KdTree, ScanIndex, SpatialIndex, UniformGrid};
+use std::time::Instant;
+
+/// Deterministic RNG stream for `(seed, tick, agent, phase)`. Phase 0 =
+/// query, phase 1 = update. Placement- and order-independent by
+/// construction.
+#[inline]
+pub fn agent_rng(seed: u64, tick: u64, agent: brace_common::AgentId, phase: u64) -> DetRng {
+    DetRng::seed_from_u64(seed).stream(tick.wrapping_shl(1) | phase).stream(agent.raw())
+}
+
+/// An index built for one tick over the visible set. Dispatch is dynamic at
+/// tick granularity (one enum branch per *probe*, negligible next to the
+/// probe itself) so [`IndexKind`] can live in run configuration.
+enum BuiltIndex {
+    Scan(ScanIndex),
+    Kd(KdTree),
+    Grid(UniformGrid),
+}
+
+impl BuiltIndex {
+    fn build(kind: IndexKind, points: &[(brace_common::Vec2, u32)], vis: f64) -> BuiltIndex {
+        match kind {
+            IndexKind::Scan => BuiltIndex::Scan(ScanIndex::build(points)),
+            IndexKind::KdTree => BuiltIndex::Kd(KdTree::build(points)),
+            IndexKind::Grid => {
+                // Cell ≈ visibility is the classic tuning; fall back to the
+                // auto heuristic when visibility is unbounded.
+                if vis.is_finite() && vis > 0.0 {
+                    BuiltIndex::Grid(UniformGrid::with_cell(points, vis))
+                } else {
+                    BuiltIndex::Grid(UniformGrid::build(points))
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
+        match self {
+            BuiltIndex::Scan(i) => i.range(rect, out),
+            BuiltIndex::Kd(i) => i.range(rect, out),
+            BuiltIndex::Grid(i) => i.range(rect, out),
+        }
+    }
+
+    #[inline]
+    fn k_nearest(&self, q: brace_common::Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
+        match self {
+            BuiltIndex::Scan(i) => i.k_nearest(q, k, exclude),
+            BuiltIndex::Kd(i) => i.k_nearest(q, k, exclude),
+            BuiltIndex::Grid(i) => i.k_nearest(q, k, exclude),
+        }
+    }
+}
+
+/// Counters returned by [`query_phase`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    pub index_build_ns: u64,
+    pub query_ns: u64,
+    pub neighbor_visits: u64,
+    pub nonlocal_writes: u64,
+}
+
+/// Run the query phase for rows `0..n_owned` of `visible`, aggregating
+/// effects for *every* visible row into `table` (which is reset first).
+///
+/// After this returns, rows `0..n_owned` hold this partition's aggregated
+/// local effects and rows `n_owned..` hold partial aggregates destined for
+/// the replicas' owners (the runtime ships the non-identity ones).
+pub fn query_phase<B: Behavior>(
+    behavior: &B,
+    visible: &[Agent],
+    n_owned: usize,
+    kind: IndexKind,
+    table: &mut EffectTable,
+    tick: u64,
+    seed: u64,
+) -> QueryStats {
+    let schema = behavior.schema();
+    let vis = schema.visibility();
+    let mut stats = QueryStats::default();
+    table.reset(visible.len());
+
+    let t0 = Instant::now();
+    let points: Vec<(brace_common::Vec2, u32)> =
+        visible.iter().enumerate().map(|(i, a)| (a.pos, i as u32)).collect();
+    let index = BuiltIndex::build(kind, &points, vis);
+    stats.index_build_ns = t0.elapsed().as_nanos() as u64;
+
+    let probe = behavior.probe();
+    let t1 = Instant::now();
+    let mut candidates: Vec<u32> = Vec::new();
+    for row in 0..n_owned as u32 {
+        let me = &visible[row as usize];
+        debug_assert!(me.alive, "dead agent in query phase");
+        candidates.clear();
+        match probe {
+            crate::behavior::NeighborProbe::Range => {
+                if vis.is_finite() {
+                    index.range(&Rect::centered(me.pos, vis), &mut candidates);
+                } else {
+                    candidates.extend(0..visible.len() as u32);
+                }
+            }
+            crate::behavior::NeighborProbe::Nearest(k) => {
+                // Ask for k + 1 so self (always distance 0) doesn't crowd
+                // out a real neighbor; crop to the visible region, which is
+                // all the distributed runtime replicates.
+                candidates = index.k_nearest(me.pos, k + 1, None);
+                if vis.is_finite() {
+                    candidates.retain(|&i| visible[i as usize].pos.dist_linf(me.pos) <= vis);
+                }
+            }
+        }
+        stats.neighbor_visits += candidates.len() as u64;
+        let neighbors = Neighbors::new(visible, &candidates, row);
+        let mut writer = EffectWriter::new(schema, table, row);
+        let mut rng = agent_rng(seed, tick, me.id, 0);
+        behavior.query(me, row, &neighbors, &mut writer, &mut rng);
+        stats.nonlocal_writes += writer.nonlocal_writes();
+    }
+    stats.query_ns = t1.elapsed().as_nanos() as u64;
+    stats
+}
+
+/// Counters returned by [`update_phase`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    pub update_ns: u64,
+    pub spawned: usize,
+    pub killed: usize,
+}
+
+/// Run the update phase over `agents` (owned agents with final effects
+/// already written into `agent.effects`), then: crop movement to the
+/// reachable region, remove killed agents, materialize spawns with ids from
+/// `id_gen`, and reset effect slots for the next tick.
+pub fn update_phase<B: Behavior>(
+    behavior: &B,
+    agents: &mut Vec<Agent>,
+    tick: u64,
+    seed: u64,
+    id_gen: &mut AgentIdGen,
+) -> UpdateStats {
+    let schema = behavior.schema();
+    let reach = schema.reachability();
+    let t0 = Instant::now();
+    let mut spawns: Vec<(brace_common::Vec2, Vec<f64>)> = Vec::new();
+    for agent in agents.iter_mut() {
+        let from = agent.pos;
+        let rng = agent_rng(seed, tick, agent.id, 1);
+        let mut ctx = UpdateCtx::new(tick, rng, &mut spawns);
+        behavior.update(agent, &mut ctx);
+        agent.pos = Agent::clamp_move(from, agent.pos, reach);
+        debug_assert!(!agent.pos.is_nan(), "model produced NaN position for {}", agent.id);
+        agent.reset_effects(schema);
+    }
+    let before = agents.len();
+    agents.retain(|a| a.alive);
+    let killed = before - agents.len();
+    let spawned = spawns.len();
+    for (pos, state) in spawns {
+        let id = id_gen.alloc().expect("agent id space exhausted");
+        agents.push(Agent::with_state(id, pos, state, schema));
+    }
+    UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
+}
+
+/// Single-node executor: the reference implementation of a BRACE tick, and
+/// the baseline of the paper's Figures 3 and 4.
+pub struct TickExecutor<B: Behavior> {
+    behavior: B,
+    agents: Vec<Agent>,
+    table: EffectTable,
+    id_gen: AgentIdGen,
+    kind: IndexKind,
+    seed: u64,
+    tick: u64,
+    metrics: SimMetrics,
+}
+
+impl<B: Behavior> TickExecutor<B> {
+    /// Create an executor. `agents` must already match the behavior's
+    /// schema; `id_gen` must start above every existing agent id.
+    pub fn new(behavior: B, agents: Vec<Agent>, kind: IndexKind, seed: u64) -> Self {
+        let table = EffectTable::new(behavior.schema());
+        let max_id = agents.iter().map(|a| a.id.raw()).max().map_or(0, |m| m + 1);
+        TickExecutor { behavior, agents, table, id_gen: AgentIdGen::from(max_id), kind, seed, tick: 0, metrics: SimMetrics::default() }
+    }
+
+    /// Execute one tick (query → finalize effects → update).
+    pub fn step(&mut self) -> TickMetrics {
+        let n = self.agents.len();
+        let qs = query_phase(&self.behavior, &self.agents, n, self.kind, &mut self.table, self.tick, self.seed);
+        self.table.write_into(&mut self.agents);
+        let us = update_phase(&self.behavior, &mut self.agents, self.tick, self.seed, &mut self.id_gen);
+        let tm = TickMetrics {
+            tick: self.tick,
+            n_agents: n,
+            index_build_ns: qs.index_build_ns,
+            query_ns: qs.query_ns,
+            update_ns: us.update_ns,
+            neighbor_visits: qs.neighbor_visits,
+            nonlocal_writes: qs.nonlocal_writes,
+            spawned: us.spawned,
+            killed: us.killed,
+        };
+        self.metrics.record(tm.clone());
+        self.tick += 1;
+        tm
+    }
+
+    /// Execute `n` ticks.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    pub fn agents_mut(&mut self) -> &mut Vec<Agent> {
+        &mut self.agents
+    }
+
+    pub fn behavior(&self) -> &B {
+        &self.behavior
+    }
+
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Discard accumulated metrics (start-up transient elimination).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinator::Combinator;
+    use crate::schema::AgentSchema;
+    use brace_common::{AgentId, FieldId, Vec2};
+
+    /// Test model: each agent counts neighbors within distance 1 (L∞) into
+    /// effect `n`, then moves right by 0.1 * n (cropped by reachability).
+    struct CountAndDrift {
+        schema: AgentSchema,
+    }
+
+    impl CountAndDrift {
+        fn new() -> Self {
+            let schema = AgentSchema::builder("CountAndDrift")
+                .effect("n", Combinator::Sum)
+                .visibility(1.0)
+                .reachability(0.5)
+                .build()
+                .unwrap();
+            CountAndDrift { schema }
+        }
+    }
+
+    impl Behavior for CountAndDrift {
+        fn schema(&self) -> &AgentSchema {
+            &self.schema
+        }
+
+        fn query(&self, _me: &Agent, _row: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+            for _ in nbrs.iter() {
+                eff.local(FieldId::new(0), 1.0);
+            }
+        }
+
+        fn update(&self, me: &mut Agent, _ctx: &mut UpdateCtx<'_>) {
+            let n = me.effect(FieldId::new(0));
+            me.pos.x += 0.1 * n;
+        }
+    }
+
+    fn line_of_agents(schema: &AgentSchema, n: usize, gap: f64) -> Vec<Agent> {
+        (0..n).map(|i| Agent::new(AgentId::new(i as u64), Vec2::new(i as f64 * gap, 0.0), schema)).collect()
+    }
+
+    #[test]
+    fn neighbor_counts_are_correct() {
+        let b = CountAndDrift::new();
+        let agents = line_of_agents(b.schema(), 5, 0.9); // each sees adjacent only
+        let mut exec = TickExecutor::new(b, agents, IndexKind::KdTree, 1);
+        let tm = exec.step();
+        assert_eq!(tm.n_agents, 5);
+        // After the tick, agents moved: ends saw 1 neighbor (moved 0.1),
+        // middles saw 2 (moved 0.2).
+        let xs: Vec<f64> = exec.agents().iter().map(|a| a.pos.x).collect();
+        assert!((xs[0] - 0.1).abs() < 1e-12);
+        assert!((xs[1] - (0.9 + 0.2)).abs() < 1e-12);
+        assert!((xs[4] - (3.6 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_index_kinds_agree() {
+        let mk = || {
+            let b = CountAndDrift::new();
+            let agents = line_of_agents(b.schema(), 40, 0.3);
+            TickExecutor::new(b, agents, IndexKind::KdTree, 7)
+        };
+        let mut kd = mk();
+        let mut scan = TickExecutor::new(CountAndDrift::new(), line_of_agents(&CountAndDrift::new().schema, 40, 0.3), IndexKind::Scan, 7);
+        let mut grid = TickExecutor::new(CountAndDrift::new(), line_of_agents(&CountAndDrift::new().schema, 40, 0.3), IndexKind::Grid, 7);
+        for _ in 0..5 {
+            kd.step();
+            scan.step();
+            grid.step();
+        }
+        let k: Vec<_> = kd.agents().iter().map(|a| a.pos).collect();
+        let s: Vec<_> = scan.agents().iter().map(|a| a.pos).collect();
+        let g: Vec<_> = grid.agents().iter().map(|a| a.pos).collect();
+        assert_eq!(k, s);
+        assert_eq!(k, g);
+    }
+
+    #[test]
+    fn movement_cropped_to_reachability() {
+        // One dense cluster: counts are large, drift would exceed 0.5.
+        let b = CountAndDrift::new();
+        let agents: Vec<Agent> = (0..20).map(|i| Agent::new(AgentId::new(i), Vec2::ZERO, b.schema())).collect();
+        let mut exec = TickExecutor::new(b, agents, IndexKind::KdTree, 1);
+        exec.step();
+        for a in exec.agents() {
+            assert!((a.pos.x - 0.5).abs() < 1e-12, "movement not cropped: {}", a.pos.x);
+        }
+    }
+
+    #[test]
+    fn effects_reset_between_ticks() {
+        let b = CountAndDrift::new();
+        let agents = line_of_agents(b.schema(), 3, 0.5);
+        let mut exec = TickExecutor::new(b, agents, IndexKind::KdTree, 1);
+        exec.step();
+        for a in exec.agents() {
+            assert_eq!(a.effects, vec![0.0], "effects must be identity after tick");
+        }
+    }
+
+    /// Model that spawns one child per tick per agent at tick 0 and kills
+    /// agents with odd ids at tick 1. Exercises spawn/kill handling.
+    struct SpawnKill {
+        schema: AgentSchema,
+    }
+
+    impl Behavior for SpawnKill {
+        fn schema(&self) -> &AgentSchema {
+            &self.schema
+        }
+        fn query(&self, _m: &Agent, _r: u32, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
+        fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+            if ctx.tick == 0 {
+                ctx.spawn(me.pos + Vec2::new(0.1, 0.0), vec![]);
+            }
+            if ctx.tick == 1 && me.id.raw() % 2 == 1 {
+                me.alive = false;
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_and_kill_lifecycle() {
+        let schema = AgentSchema::builder("SpawnKill").visibility(1.0).build().unwrap();
+        let b = SpawnKill { schema };
+        let agents: Vec<Agent> = (0..4).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), b.schema())).collect();
+        let mut exec = TickExecutor::new(b, agents, IndexKind::KdTree, 1);
+        let tm0 = exec.step();
+        assert_eq!(tm0.spawned, 4);
+        assert_eq!(exec.agents().len(), 8);
+        // Spawned ids continue above the original max.
+        assert!(exec.agents().iter().any(|a| a.id.raw() >= 4));
+        let tm1 = exec.step();
+        assert!(tm1.killed > 0);
+        assert!(exec.agents().iter().all(|a| a.alive));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_world() {
+        let run = |seed| {
+            let b = CountAndDrift::new();
+            let agents = line_of_agents(b.schema(), 30, 0.4);
+            let mut e = TickExecutor::new(b, agents, IndexKind::KdTree, seed);
+            e.run(10);
+            e.agents().iter().map(|a| (a.id, a.pos)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let b = CountAndDrift::new();
+        let agents = line_of_agents(b.schema(), 10, 0.4);
+        let mut exec = TickExecutor::new(b, agents, IndexKind::KdTree, 1);
+        exec.run(4);
+        assert_eq!(exec.metrics().ticks, 4);
+        assert_eq!(exec.metrics().agent_ticks, 40);
+        exec.reset_metrics();
+        assert_eq!(exec.metrics().ticks, 0);
+        assert_eq!(exec.tick(), 4, "reset_metrics must not rewind the clock");
+    }
+}

@@ -1,0 +1,48 @@
+//! # brace-core — the state-effect pattern and the single-node engine
+//!
+//! The paper observes (§2.1) that nearly all behavioral simulations share a
+//! structure it calls the **state-effect pattern**: agent attributes divide
+//! into *states* (public, frozen during a tick, updated only at tick
+//! boundaries) and *effects* (write-only intermediate values aggregated by
+//! decomposable, order-independent *combinator* functions). Each tick is a
+//! **query phase** (read states / assign effects) followed by an **update
+//! phase** (read own state + aggregated effects / write own next state).
+//! Combined with the **neighborhood property** — agents only interact within
+//! a bounded *visible region* and move within a bounded *reachable region* —
+//! a tick becomes a spatial self-join that can be partitioned.
+//!
+//! This crate implements that model:
+//!
+//! * [`combinator`] — the ⊕ aggregate operators with their identities;
+//! * [`schema`] — agent schemas: state fields, effect fields with
+//!   combinators, visibility/reachability bounds;
+//! * [`agent`] — the dynamic agent record `⟨oid, s, e⟩` of Appendix A;
+//! * [`behavior`] — the [`Behavior`] trait every model
+//!   (hand-coded Rust or compiled BRASIL) implements, plus the
+//!   [`Neighbors`] view and
+//!   [`EffectWriter`] through which the query phase
+//!   runs;
+//! * [`effect`] — staged, order-independent effect aggregation;
+//! * [`executor`] — the single-node tick executor (build index → query →
+//!   aggregate → update), the unit the MapReduce runtime replicates per
+//!   partition;
+//! * [`engine`] — a high-level `Simulation` builder for single-node runs;
+//! * [`metrics`] — per-tick timing and throughput accounting.
+
+pub mod agent;
+pub mod behavior;
+pub mod combinator;
+pub mod effect;
+pub mod engine;
+pub mod executor;
+pub mod metrics;
+pub mod schema;
+
+pub use agent::Agent;
+pub use behavior::{Behavior, NeighborRef, Neighbors, UpdateCtx};
+pub use combinator::Combinator;
+pub use effect::{EffectTable, EffectWriter};
+pub use engine::{Simulation, SimulationBuilder};
+pub use executor::TickExecutor;
+pub use metrics::{SimMetrics, TickMetrics};
+pub use schema::{AgentSchema, SchemaBuilder};

@@ -1,0 +1,283 @@
+//! Coordinated checkpoints.
+//!
+//! "We employ epoch synchronization with the master to trigger coordinated
+//! checkpoints of the main memory of the workers. As the master determines a
+//! pre-defined tick boundary for checkpointing, the workers can write their
+//! checkpoints independently without global synchronization" (§3.3). Because
+//! every tick is deterministic given the checkpointed state, recovery is
+//! re-execution of all epochs since the last checkpoint — the store keeps
+//! the master's command log for exactly that replay.
+
+use crate::runtime::EpochCommand;
+use brace_common::{BraceError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+/// A complete, consistent cluster state at an epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterCheckpoint {
+    /// Epoch after which the snapshot was taken.
+    pub epoch: u64,
+    /// Global tick at the snapshot.
+    pub tick: u64,
+    /// Column boundaries in force at the snapshot.
+    pub x_bounds: Vec<f64>,
+    /// Histogram range in force (so replayed commands match originals).
+    pub hist_range: (f64, f64),
+    /// One serialized `WorkerSnapshot` per worker, by worker index.
+    pub workers: Vec<Bytes>,
+}
+
+impl ClusterCheckpoint {
+    /// Serialize to a single buffer (for the on-disk option).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(self.epoch);
+        buf.put_u64_le(self.tick);
+        buf.put_u32_le(self.x_bounds.len() as u32);
+        for &b in &self.x_bounds {
+            buf.put_f64_le(b);
+        }
+        buf.put_f64_le(self.hist_range.0);
+        buf.put_f64_le(self.hist_range.1);
+        buf.put_u32_le(self.workers.len() as u32);
+        for w in &self.workers {
+            buf.put_u64_le(w.len() as u64);
+            buf.extend_from_slice(w);
+        }
+        buf.freeze()
+    }
+
+    /// Inverse of [`ClusterCheckpoint::encode`].
+    pub fn decode(mut bytes: Bytes) -> Result<Self> {
+        let need = |b: &Bytes, n: usize| -> Result<()> {
+            if b.remaining() < n {
+                Err(BraceError::Checkpoint("truncated checkpoint".into()))
+            } else {
+                Ok(())
+            }
+        };
+        need(&bytes, 16)?;
+        let epoch = bytes.get_u64_le();
+        let tick = bytes.get_u64_le();
+        need(&bytes, 4)?;
+        let nb = bytes.get_u32_le() as usize;
+        need(&bytes, nb * 8 + 16 + 4)?;
+        let x_bounds = (0..nb).map(|_| bytes.get_f64_le()).collect();
+        let hist_range = (bytes.get_f64_le(), bytes.get_f64_le());
+        let nw = bytes.get_u32_le() as usize;
+        let mut workers = Vec::with_capacity(nw);
+        for _ in 0..nw {
+            need(&bytes, 8)?;
+            let len = bytes.get_u64_le() as usize;
+            need(&bytes, len)?;
+            workers.push(bytes.copy_to_bytes(len));
+        }
+        Ok(ClusterCheckpoint { epoch, tick, x_bounds, hist_range, workers })
+    }
+}
+
+/// Ring buffer of recent checkpoints plus the command log needed to replay
+/// past any kept one. Optionally mirrors checkpoints to disk.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    keep: usize,
+    checkpoints: VecDeque<ClusterCheckpoint>,
+    /// Every live command executed, trimmed below the oldest kept
+    /// checkpoint. `cp.epoch` counts *completed* epochs, so resuming from a
+    /// checkpoint means replaying commands with `cmd.epoch >= cp.epoch`.
+    log: Vec<EpochCommand>,
+    dir: Option<PathBuf>,
+}
+
+impl CheckpointStore {
+    /// Keep the `keep` most recent checkpoints in memory (≥ 1).
+    pub fn new(keep: usize) -> Self {
+        CheckpointStore { keep: keep.max(1), checkpoints: VecDeque::new(), log: Vec::new(), dir: None }
+    }
+
+    /// Also write each checkpoint to `dir` as `checkpoint-<epoch>.brace`.
+    pub fn with_dir(mut self, dir: PathBuf) -> Self {
+        self.dir = Some(dir);
+        self
+    }
+
+    /// Record a new checkpoint and trim the log below the oldest kept one.
+    pub fn push(&mut self, cp: ClusterCheckpoint) -> Result<()> {
+        if let Some(dir) = &self.dir {
+            std::fs::create_dir_all(dir)
+                .and_then(|_| std::fs::write(dir.join(format!("checkpoint-{}.brace", cp.epoch)), cp.encode()))
+                .map_err(|e| BraceError::Checkpoint(format!("writing checkpoint: {e}")))?;
+        }
+        self.checkpoints.push_back(cp);
+        while self.checkpoints.len() > self.keep {
+            self.checkpoints.pop_front();
+        }
+        let floor = self.checkpoints.front().map(|c| c.epoch).unwrap_or(0);
+        self.log.retain(|c| c.epoch >= floor);
+        Ok(())
+    }
+
+    /// Append an executed live command to the replay log.
+    pub fn log_command(&mut self, cmd: EpochCommand) {
+        self.log.push(cmd);
+    }
+
+    /// Most recent checkpoint, if any.
+    pub fn latest(&self) -> Option<&ClusterCheckpoint> {
+        self.checkpoints.back()
+    }
+
+    /// Discard checkpoints taken after `epoch` completed epochs — a failure
+    /// during epoch `e` destroys any snapshot written at its end
+    /// (`cp.epoch == e + 1`).
+    pub fn discard_after(&mut self, epoch: u64) {
+        while self.checkpoints.back().is_some_and(|c| c.epoch > epoch) {
+            self.checkpoints.pop_back();
+        }
+    }
+
+    /// Commands to replay when resuming from `epoch` completed epochs.
+    pub fn replay_since(&self, epoch: u64) -> Vec<EpochCommand> {
+        self.log.iter().filter(|c| c.epoch >= epoch).cloned().collect()
+    }
+
+    /// Full retained log (diagnostics).
+    pub fn replay_log(&self) -> &[EpochCommand] {
+        &self.log
+    }
+
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Load the newest on-disk checkpoint from `dir` (for cold restart).
+    pub fn load_latest_from(dir: &std::path::Path) -> Result<Option<ClusterCheckpoint>> {
+        let mut newest: Option<(u64, PathBuf)> = None;
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(None),
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name.strip_prefix("checkpoint-").and_then(|s| s.strip_suffix(".brace")) {
+                if let Ok(epoch) = num.parse::<u64>() {
+                    if newest.as_ref().is_none_or(|(e, _)| epoch > *e) {
+                        newest = Some((epoch, entry.path()));
+                    }
+                }
+            }
+        }
+        match newest {
+            None => Ok(None),
+            Some((_, path)) => {
+                let data = std::fs::read(&path)
+                    .map_err(|e| BraceError::Checkpoint(format!("reading {}: {e}", path.display())))?;
+                Ok(Some(ClusterCheckpoint::decode(Bytes::from(data))?))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(epoch: u64) -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            epoch,
+            tick: epoch * 10,
+            x_bounds: vec![0.0, 50.0, 100.0],
+            hist_range: (0.0, 100.0),
+            workers: vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"beta")],
+        }
+    }
+
+    fn cmd(epoch: u64) -> EpochCommand {
+        EpochCommand { epoch, ticks: 10, new_x_bounds: None, checkpoint: false, hist_range: (0.0, 100.0) }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = cp(3);
+        let d = ClusterCheckpoint::decode(c.encode()).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let c = cp(3).encode();
+        let cut = c.slice(0..c.len() - 3);
+        assert!(ClusterCheckpoint::decode(cut).is_err());
+    }
+
+    #[test]
+    fn store_keeps_only_latest_k() {
+        let mut s = CheckpointStore::new(2);
+        for e in 0..5 {
+            s.push(cp(e)).unwrap();
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.latest().unwrap().epoch, 4);
+    }
+
+    #[test]
+    fn replay_since_selects_commands_at_or_after_checkpoint() {
+        let mut s = CheckpointStore::new(1);
+        s.push(cp(0)).unwrap();
+        s.log_command(cmd(0));
+        s.log_command(cmd(1));
+        s.log_command(cmd(2));
+        let replay = s.replay_since(1);
+        assert_eq!(replay.iter().map(|c| c.epoch).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn push_trims_log_below_oldest_checkpoint() {
+        let mut s = CheckpointStore::new(1);
+        s.push(cp(0)).unwrap();
+        s.log_command(cmd(0));
+        s.log_command(cmd(1));
+        // New checkpoint after epoch 2: keep=1 drops cp(0); log trims to >= 2.
+        s.push(cp(2)).unwrap();
+        s.log_command(cmd(2));
+        assert_eq!(s.replay_log().iter().map(|c| c.epoch).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn discard_after_drops_fault_epoch_snapshot() {
+        let mut s = CheckpointStore::new(3);
+        s.push(cp(0)).unwrap();
+        s.push(cp(2)).unwrap();
+        s.push(cp(4)).unwrap();
+        // Fault during epoch 3: snapshots with epoch > 3 are lost.
+        s.discard_after(3);
+        assert_eq!(s.latest().unwrap().epoch, 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("brace-cp-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = CheckpointStore::new(1).with_dir(dir.clone());
+        s.push(cp(1)).unwrap();
+        s.push(cp(7)).unwrap();
+        let loaded = CheckpointStore::load_latest_from(&dir).unwrap().unwrap();
+        assert_eq!(loaded.epoch, 7);
+        assert_eq!(loaded, cp(7));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_from_missing_dir_is_none() {
+        let got = CheckpointStore::load_latest_from(std::path::Path::new("/definitely/not/here")).unwrap();
+        assert!(got.is_none());
+    }
+}

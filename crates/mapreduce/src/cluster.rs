@@ -1,0 +1,508 @@
+//! [`ClusterSim`] — the user-facing distributed engine.
+//!
+//! Mirrors `brace_core::Simulation` over a simulated shared-nothing cluster:
+//! give it a behavior, an initial population and a [`ClusterConfig`]; run
+//! epochs; collect agents and statistics. One worker thread per "node", one
+//! spatial partition per worker, a master coordinating at epoch boundaries.
+
+use crate::balance::LoadBalancer;
+use crate::checkpoint::CheckpointStore;
+use crate::master::{ClusterStats, Master};
+use crate::net::NetLedger;
+use crate::runtime::{Command, PeerMsg, Report};
+use crate::worker::{Worker, WorkerConfig, WorkerLinks};
+use brace_common::{BraceError, Result, WorkerId};
+use brace_core::{Agent, Behavior};
+use brace_spatial::{GridPartitioning, IndexKind, Partitioner};
+use crossbeam::channel::{unbounded, Sender};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A scheduled failure: the cluster loses all live worker state "during"
+/// epoch `at_epoch` (its results are discarded) and must recover from the
+/// last coordinated checkpoint by replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub at_epoch: u64,
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker nodes (= spatial partitions). ≥ 1.
+    pub workers: usize,
+    /// Ticks per epoch (master coordination cadence).
+    pub epoch_len: u64,
+    /// Spatial index each reducer builds per tick.
+    pub index: IndexKind,
+    /// Master seed; identical seeds give identical simulations regardless
+    /// of worker count (up to floating-point aggregation order).
+    pub seed: u64,
+    /// Initial x-extent for the 1-D column partitioning.
+    pub space_x: (f64, f64),
+    /// Enable the 1-D load balancer.
+    pub load_balance: bool,
+    /// Balancer tuning (threshold, migration cost model).
+    pub balancer: LoadBalancer,
+    /// Coordinated checkpoint cadence in epochs (`None` = only the initial
+    /// checkpoint).
+    pub checkpoint_every: Option<u64>,
+    /// Keep this many recent checkpoints in memory.
+    pub keep_checkpoints: usize,
+    /// Also persist checkpoints to this directory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Collocate map/reduce tasks (false = ablation: every hand-off pays
+    /// serialization and is charged to the network ledger).
+    pub collocation: bool,
+    /// Scheduled failure, if any.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            epoch_len: 10,
+            index: IndexKind::KdTree,
+            seed: 0,
+            space_x: (0.0, 100.0),
+            load_balance: true,
+            balancer: LoadBalancer::default(),
+            checkpoint_every: None,
+            keep_checkpoints: 2,
+            checkpoint_dir: None,
+            collocation: true,
+            fault: None,
+        }
+    }
+}
+
+/// The distributed BRACE engine.
+pub struct ClusterSim {
+    master: Master,
+    handles: Vec<JoinHandle<()>>,
+    ledger: NetLedger,
+    epoch_len: u64,
+    fault: Option<FaultPlan>,
+    fault_fired: bool,
+}
+
+impl ClusterSim {
+    /// Build the cluster: partition `agents` over `cfg.workers` column
+    /// partitions, spawn the worker threads, take the initial checkpoint.
+    pub fn new(behavior: Arc<dyn Behavior>, agents: Vec<Agent>, cfg: ClusterConfig) -> Result<Self> {
+        if cfg.workers == 0 {
+            return Err(BraceError::Config("need at least one worker".into()));
+        }
+        if cfg.epoch_len == 0 {
+            return Err(BraceError::Config("epoch length must be at least one tick".into()));
+        }
+        if cfg.space_x.0 >= cfg.space_x.1 {
+            return Err(BraceError::Config("space_x must be a non-empty interval".into()));
+        }
+        let schema = behavior.schema();
+        for a in &agents {
+            if a.state.len() != schema.num_states() || a.effects.len() != schema.num_effects() {
+                return Err(BraceError::Schema(format!("agent {} does not match schema `{}`", a.id, schema.name())));
+            }
+        }
+
+        let n = cfg.workers;
+        let part = GridPartitioning::columns(cfg.space_x.0, cfg.space_x.1, n);
+
+        // Distribute the initial population to owners.
+        let mut initial: Vec<Vec<Agent>> = (0..n).map(|_| Vec::new()).collect();
+        let mut max_id = 0u64;
+        for a in agents {
+            max_id = max_id.max(a.id.raw() + 1);
+            initial[part.partition_of(a.pos).index()].push(a);
+        }
+        // Disjoint spawn-id blocks per worker.
+        let block = (u64::MAX - max_id) / n as u64;
+
+        // Channel fabric.
+        let ledger = NetLedger::new();
+        let (report_tx, report_rx) = unbounded::<Report>();
+        let mut peer_tx: Vec<Sender<PeerMsg>> = Vec::with_capacity(n);
+        let mut peer_rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<PeerMsg>();
+            peer_tx.push(tx);
+            peer_rx.push(rx);
+        }
+        let mut cmd_tx: Vec<Sender<Command>> = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (w, (inbox, owned)) in peer_rx.into_iter().zip(initial).enumerate() {
+            let (ctx, crx) = unbounded::<Command>();
+            cmd_tx.push(ctx);
+            let links = WorkerLinks {
+                peers: peer_tx.clone(),
+                inbox,
+                commands: crx,
+                reports: report_tx.clone(),
+                ledger: ledger.clone(),
+            };
+            let wcfg = WorkerConfig {
+                id: WorkerId::new(w as u32),
+                num_workers: n,
+                index: cfg.index,
+                seed: cfg.seed,
+                collocation: cfg.collocation,
+            };
+            let worker = Worker::new(
+                behavior.clone(),
+                wcfg,
+                links,
+                part.clone(),
+                owned,
+                (max_id + w as u64 * block, max_id + (w as u64 + 1) * block),
+            );
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("brace-worker-{w}"))
+                    .spawn(move || worker.run_loop())
+                    .map_err(|e| BraceError::Config(format!("spawning worker thread: {e}")))?,
+            );
+        }
+
+        let mut store = CheckpointStore::new(cfg.keep_checkpoints);
+        if let Some(dir) = cfg.checkpoint_dir.clone() {
+            store = store.with_dir(dir);
+        }
+        let mut balancer = cfg.balancer.clone();
+        balancer.epoch_len = cfg.epoch_len;
+        let mut master = Master::new(
+            n,
+            cfg.epoch_len,
+            cfg.load_balance,
+            balancer,
+            cfg.checkpoint_every,
+            store,
+            cmd_tx,
+            report_rx,
+            part.x_bounds().to_vec(),
+        );
+        master.initial_checkpoint()?;
+        Ok(ClusterSim { master, handles, ledger, epoch_len: cfg.epoch_len, fault: cfg.fault, fault_fired: false })
+    }
+
+    /// Run `n` epochs, firing the scheduled fault (if any) when its epoch
+    /// completes, followed by recovery and replay.
+    pub fn run_epochs(&mut self, n: u64) -> Result<()> {
+        for _ in 0..n {
+            self.master.run_epoch()?;
+            if let Some(plan) = self.fault {
+                if !self.fault_fired && self.master.epoch() == plan.at_epoch + 1 {
+                    self.fault_fired = true;
+                    // Epoch `at_epoch` just ran but its results are lost.
+                    self.master.recover(plan.at_epoch)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run `ticks` ticks; must be a multiple of the epoch length.
+    pub fn run_ticks(&mut self, ticks: u64) -> Result<()> {
+        if !ticks.is_multiple_of(self.epoch_len) {
+            return Err(BraceError::Config(format!(
+                "{ticks} ticks is not a multiple of the epoch length {}",
+                self.epoch_len
+            )));
+        }
+        self.run_epochs(ticks / self.epoch_len)
+    }
+
+    /// Gather all agents, sorted by id.
+    pub fn collect_agents(&mut self) -> Result<Vec<Agent>> {
+        self.master.collect_agents()
+    }
+
+    /// Completed simulation ticks.
+    pub fn tick(&self) -> u64 {
+        self.master.tick()
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.master.epoch()
+    }
+
+    /// Current column boundaries (moves when the load balancer acts).
+    pub fn x_bounds(&self) -> &[f64] {
+        self.master.x_bounds()
+    }
+
+    /// Run statistics with current network totals merged in.
+    pub fn stats(&self) -> ClusterStats {
+        let mut s = self.master.stats().clone();
+        s.net = self.ledger.stats();
+        s
+    }
+
+    /// Zero the network counters (e.g. after warm-up epochs).
+    pub fn reset_net(&self) {
+        self.ledger.reset();
+    }
+}
+
+impl Drop for ClusterSim {
+    fn drop(&mut self) {
+        self.master.stop();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Re-export for convenience at the crate root.
+pub use crate::master::ClusterStats as Stats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brace_common::{AgentId, DetRng, FieldId, Vec2};
+    use brace_core::behavior::{Neighbors, UpdateCtx};
+    use brace_core::effect::EffectWriter;
+    use brace_core::{AgentSchema, Combinator, Simulation};
+
+    /// Local-effects model with exactly-associative aggregation (integer
+    /// counts): cluster results must equal single-node results bit for bit.
+    struct Flock(AgentSchema);
+
+    impl Flock {
+        fn new() -> Self {
+            Flock(
+                AgentSchema::builder("Flock")
+                    .state("heading")
+                    .effect("n", Combinator::Sum)
+                    .effect("closest", Combinator::Min)
+                    .visibility(3.0)
+                    .reachability(1.0)
+                    .build()
+                    .unwrap(),
+            )
+        }
+    }
+
+    impl Behavior for Flock {
+        fn schema(&self) -> &AgentSchema {
+            &self.0
+        }
+        fn query(&self, me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+            for nb in nbrs.iter() {
+                eff.local(FieldId::new(0), 1.0);
+                eff.local(FieldId::new(1), me.pos.dist_linf(nb.agent.pos));
+            }
+        }
+        fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+            let n = me.effect(FieldId::new(0));
+            let closest = me.effect(FieldId::new(1));
+            // Drift right, faster when crowded; jitter deterministically.
+            let jitter = ctx.rng.range(-0.05, 0.05);
+            let step = if closest.is_finite() { 0.2 + 0.01 * n } else { 0.3 };
+            me.pos.x += step + jitter;
+            me.pos.y += jitter;
+            me.set(FieldId::new(0), n);
+        }
+    }
+
+    /// Non-local model: every agent pushes a "ping" effect to each neighbor;
+    /// agents then record how many pings they received. Integer sums ⇒
+    /// exact distributed equivalence.
+    struct Ping(AgentSchema);
+
+    impl Ping {
+        fn new() -> Self {
+            Ping(
+                AgentSchema::builder("Ping")
+                    .state("received")
+                    .effect("pings", Combinator::Sum)
+                    .visibility(2.5)
+                    .reachability(0.5)
+                    .nonlocal_effects(true)
+                    .build()
+                    .unwrap(),
+            )
+        }
+    }
+
+    impl Behavior for Ping {
+        fn schema(&self) -> &AgentSchema {
+            &self.0
+        }
+        fn query(&self, _me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+            for nb in nbrs.iter() {
+                eff.remote(nb.row, FieldId::new(0), 1.0);
+            }
+        }
+        fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+            let pings = me.effect(FieldId::new(0));
+            me.set(FieldId::new(0), me.get(FieldId::new(0)) + pings);
+            me.pos.x += ctx.rng.range(-0.4, 0.4);
+            me.pos.y += ctx.rng.range(-0.4, 0.4);
+        }
+    }
+
+    fn population(schema: &AgentSchema, n: usize, seed: u64) -> Vec<Agent> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 20.0)), schema)
+            })
+            .collect()
+    }
+
+    fn run_single_node<B: Behavior>(behavior: B, agents: Vec<Agent>, ticks: u64, seed: u64) -> Vec<Agent> {
+        let mut sim = Simulation::builder(behavior).agents(agents).seed(seed).build().unwrap();
+        sim.run(ticks);
+        let mut out = sim.agents().to_vec();
+        out.sort_by_key(|a| a.id);
+        out
+    }
+
+    fn run_cluster(behavior: Arc<dyn Behavior>, agents: Vec<Agent>, ticks: u64, cfg: ClusterConfig) -> Vec<Agent> {
+        let mut sim = ClusterSim::new(behavior, agents, cfg).unwrap();
+        sim.run_ticks(ticks).unwrap();
+        sim.collect_agents().unwrap()
+    }
+
+    #[test]
+    fn cluster_equals_single_node_local_effects() {
+        let agents = population(Flock::new().schema(), 120, 1);
+        let single = run_single_node(Flock::new(), agents.clone(), 20, 42);
+        for workers in [1, 2, 4] {
+            let cfg = ClusterConfig {
+                workers,
+                epoch_len: 5,
+                seed: 42,
+                load_balance: false,
+                ..ClusterConfig::default()
+            };
+            let distributed = run_cluster(Arc::new(Flock::new()), agents.clone(), 20, cfg);
+            assert_eq!(single, distributed, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cluster_equals_single_node_nonlocal_effects() {
+        let agents = population(Ping::new().schema(), 80, 3);
+        let single = run_single_node(Ping::new(), agents.clone(), 12, 7);
+        for workers in [2, 3] {
+            let cfg = ClusterConfig {
+                workers,
+                epoch_len: 4,
+                seed: 7,
+                load_balance: false,
+                ..ClusterConfig::default()
+            };
+            let distributed = run_cluster(Arc::new(Ping::new()), agents.clone(), 12, cfg);
+            assert_eq!(single, distributed, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn table1_comm_rounds_match_effect_locality() {
+        let agents = population(Flock::new().schema(), 40, 5);
+        let cfg = ClusterConfig { workers: 2, epoch_len: 2, seed: 1, load_balance: false, ..Default::default() };
+        let mut local = ClusterSim::new(Arc::new(Flock::new()), agents, cfg.clone()).unwrap();
+        local.run_epochs(1).unwrap();
+        assert_eq!(local.stats().comm_rounds_per_tick, 1, "local effects: single reduce pass");
+        assert_eq!(local.stats().net.effects.messages, 0, "no effect traffic for local model");
+
+        let agents = population(Ping::new().schema(), 40, 5);
+        let mut nonlocal = ClusterSim::new(Arc::new(Ping::new()), agents, cfg).unwrap();
+        nonlocal.run_epochs(1).unwrap();
+        assert_eq!(nonlocal.stats().comm_rounds_per_tick, 2, "non-local effects: map-reduce-reduce");
+        assert!(nonlocal.stats().net.effects.messages > 0, "effect rows must cross the network");
+    }
+
+    #[test]
+    fn fault_recovery_reproduces_failure_free_run() {
+        let agents = population(Flock::new().schema(), 100, 9);
+        let base = ClusterConfig {
+            workers: 3,
+            epoch_len: 5,
+            seed: 13,
+            load_balance: false,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let clean = run_cluster(Arc::new(Flock::new()), agents.clone(), 40, base.clone());
+        let faulty_cfg = ClusterConfig { fault: Some(FaultPlan { at_epoch: 5 }), ..base };
+        let mut sim = ClusterSim::new(Arc::new(Flock::new()), agents, faulty_cfg).unwrap();
+        sim.run_ticks(40).unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.recoveries, 1);
+        assert!(stats.replayed_epochs > 0);
+        let recovered = sim.collect_agents().unwrap();
+        assert_eq!(clean, recovered, "recovery must reproduce the failure-free run");
+    }
+
+    #[test]
+    fn load_balancer_moves_boundaries_under_skew() {
+        // All agents packed into the leftmost 10% of space.
+        let schema = Flock::new();
+        let mut rng = DetRng::seed_from_u64(2);
+        let agents: Vec<Agent> = (0..300)
+            .map(|i| {
+                Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 10.0), rng.range(0.0, 10.0)), schema.schema())
+            })
+            .collect();
+        let cfg = ClusterConfig {
+            workers: 4,
+            epoch_len: 3,
+            seed: 21,
+            load_balance: true,
+            balancer: LoadBalancer { imbalance_threshold: 1.2, migration_cost_ticks: 0.5, epoch_len: 3 },
+            ..Default::default()
+        };
+        let before = GridPartitioning::columns(0.0, 100.0, 4).x_bounds().to_vec();
+        let mut sim = ClusterSim::new(Arc::new(Flock::new()), agents, cfg).unwrap();
+        sim.run_epochs(4).unwrap();
+        let stats = sim.stats();
+        assert!(stats.repartitions >= 1, "skew must trigger repartitioning");
+        assert_ne!(sim.x_bounds(), &before[..], "boundaries must move");
+        // Imbalance after balancing must be better than the initial 4x.
+        assert!(stats.last_imbalance() < 2.5, "imbalance {} not improved", stats.last_imbalance());
+    }
+
+    #[test]
+    fn run_ticks_requires_epoch_multiple() {
+        let agents = population(Flock::new().schema(), 10, 1);
+        let cfg = ClusterConfig { workers: 2, epoch_len: 4, ..Default::default() };
+        let mut sim = ClusterSim::new(Arc::new(Flock::new()), agents, cfg).unwrap();
+        assert!(sim.run_ticks(6).is_err());
+        assert!(sim.run_ticks(8).is_ok());
+        assert_eq!(sim.tick(), 8);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let cfg = ClusterConfig { workers: 0, ..Default::default() };
+        let err = ClusterSim::new(Arc::new(Flock::new()), vec![], cfg).err().expect("must reject");
+        assert!(err.to_string().contains("at least one worker"));
+    }
+
+    #[test]
+    fn collocation_off_charges_local_traffic() {
+        let agents = population(Flock::new().schema(), 60, 4);
+        let mk = |collocation| ClusterConfig {
+            workers: 2,
+            epoch_len: 5,
+            seed: 2,
+            load_balance: false,
+            collocation,
+            ..Default::default()
+        };
+        let mut on = ClusterSim::new(Arc::new(Flock::new()), agents.clone(), mk(true)).unwrap();
+        on.run_epochs(2).unwrap();
+        let mut off = ClusterSim::new(Arc::new(Flock::new()), agents, mk(false)).unwrap();
+        off.run_epochs(2).unwrap();
+        let (b_on, b_off) = (on.stats().net.total_bytes(), off.stats().net.total_bytes());
+        assert!(b_off > b_on, "no-collocation must move more bytes ({b_off} <= {b_on})");
+        // And the simulation result is unaffected.
+        assert_eq!(on.collect_agents().unwrap(), off.collect_agents().unwrap());
+    }
+}

@@ -1,0 +1,232 @@
+//! Wire format for worker-to-worker and checkpoint payloads.
+//!
+//! Messages cross the (simulated) network as opaque byte buffers, exactly as
+//! they would over MPI: agents are *serialized* out of the sending worker's
+//! memory and *deserialized* into the receiver's. This keeps the
+//! shared-nothing claim honest — a worker cannot observe another worker's
+//! agents except through these buffers — and gives the
+//! [`NetLedger`](crate::net::NetLedger) true byte counts.
+//!
+//! The format is a straightforward little-endian layout (no self-description;
+//! both ends share the schema). Checkpoints reuse the same primitives.
+
+use brace_common::{AgentId, DetRng, Vec2};
+use brace_core::Agent;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Append one agent to `buf`.
+pub fn put_agent(buf: &mut BytesMut, a: &Agent) {
+    buf.put_u64_le(a.id.raw());
+    buf.put_f64_le(a.pos.x);
+    buf.put_f64_le(a.pos.y);
+    buf.put_u8(a.alive as u8);
+    buf.put_u16_le(a.state.len() as u16);
+    for &s in &a.state {
+        buf.put_f64_le(s);
+    }
+    buf.put_u16_le(a.effects.len() as u16);
+    for &e in &a.effects {
+        buf.put_f64_le(e);
+    }
+}
+
+/// Decode one agent from `buf`.
+pub fn get_agent(buf: &mut impl Buf) -> Agent {
+    let id = AgentId::new(buf.get_u64_le());
+    let pos = Vec2::new(buf.get_f64_le(), buf.get_f64_le());
+    let alive = buf.get_u8() != 0;
+    let ns = buf.get_u16_le() as usize;
+    let mut state = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        state.push(buf.get_f64_le());
+    }
+    let ne = buf.get_u16_le() as usize;
+    let mut effects = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        effects.push(buf.get_f64_le());
+    }
+    Agent { id, pos, state, effects, alive }
+}
+
+/// Encoded size of one agent in bytes (for pre-reservation and analysis).
+pub fn agent_wire_size(a: &Agent) -> usize {
+    8 + 16 + 1 + 2 + 8 * a.state.len() + 2 + 8 * a.effects.len()
+}
+
+/// Serialize a batch of agents.
+pub fn encode_agents<'a>(agents: impl IntoIterator<Item = &'a Agent>) -> Bytes {
+    let mut buf = BytesMut::new();
+    let mut count = 0u32;
+    let mut body = BytesMut::new();
+    for a in agents {
+        put_agent(&mut body, a);
+        count += 1;
+    }
+    buf.put_u32_le(count);
+    buf.extend_from_slice(&body);
+    buf.freeze()
+}
+
+/// Deserialize a batch of agents.
+pub fn decode_agents(mut bytes: Bytes) -> Vec<Agent> {
+    let count = bytes.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(get_agent(&mut bytes));
+    }
+    out
+}
+
+/// Serialize partial effect rows `(agent id, aggregated effect values)` —
+/// the payload of the second reduce pass.
+pub fn encode_effect_rows<'a>(rows: impl IntoIterator<Item = (AgentId, &'a [f64])>) -> Bytes {
+    let mut body = BytesMut::new();
+    let mut count = 0u32;
+    let mut width: u16 = 0;
+    for (id, vals) in rows {
+        body.put_u64_le(id.raw());
+        for &v in vals {
+            body.put_f64_le(v);
+        }
+        width = vals.len() as u16;
+        count += 1;
+    }
+    let mut buf = BytesMut::with_capacity(6 + body.len());
+    buf.put_u32_le(count);
+    buf.put_u16_le(width);
+    buf.extend_from_slice(&body);
+    buf.freeze()
+}
+
+/// Deserialize partial effect rows.
+pub fn decode_effect_rows(mut bytes: Bytes) -> Vec<(AgentId, Vec<f64>)> {
+    let count = bytes.get_u32_le() as usize;
+    let width = bytes.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = AgentId::new(bytes.get_u64_le());
+        let mut vals = Vec::with_capacity(width);
+        for _ in 0..width {
+            vals.push(bytes.get_f64_le());
+        }
+        out.push((id, vals));
+    }
+    out
+}
+
+/// A worker's checkpointable state: its simulation clock, its RNG (models
+/// never consume it outside agent streams, but serialize it for
+/// completeness) and its owned agents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSnapshot {
+    pub tick: u64,
+    pub next_spawn_id: u64,
+    pub rng: DetRng,
+    pub agents: Vec<Agent>,
+}
+
+/// Serialize a worker snapshot (checkpoint payload).
+pub fn encode_snapshot(s: &WorkerSnapshot) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(s.tick);
+    buf.put_u64_le(s.next_spawn_id);
+    let (state, counter) = s.rng.to_parts();
+    buf.put_u64_le(state);
+    buf.put_u64_le(counter);
+    buf.put_u32_le(s.agents.len() as u32);
+    for a in &s.agents {
+        put_agent(&mut buf, a);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a worker snapshot.
+pub fn decode_snapshot(mut bytes: Bytes) -> WorkerSnapshot {
+    let tick = bytes.get_u64_le();
+    let next_spawn_id = bytes.get_u64_le();
+    let state = bytes.get_u64_le();
+    let counter = bytes.get_u64_le();
+    let rng = DetRng::from_parts(state, counter);
+    let count = bytes.get_u32_le() as usize;
+    let mut agents = Vec::with_capacity(count);
+    for _ in 0..count {
+        agents.push(get_agent(&mut bytes));
+    }
+    WorkerSnapshot { tick, next_spawn_id, rng, agents }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brace_core::{AgentSchema, Combinator};
+
+    fn schema() -> AgentSchema {
+        AgentSchema::builder("T").state("v").effect("e", Combinator::Sum).build().unwrap()
+    }
+
+    fn agent(id: u64) -> Agent {
+        let s = schema();
+        let mut a = Agent::new(AgentId::new(id), Vec2::new(id as f64, -1.5), &s);
+        a.state[0] = id as f64 * 0.25;
+        a.effects[0] = 7.5;
+        a
+    }
+
+    #[test]
+    fn agent_round_trip() {
+        let a = agent(42);
+        let mut buf = BytesMut::new();
+        put_agent(&mut buf, &a);
+        assert_eq!(buf.len(), agent_wire_size(&a));
+        let mut bytes = buf.freeze();
+        let b = get_agent(&mut bytes);
+        assert_eq!(a, b);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let batch: Vec<Agent> = (0..10).map(agent).collect();
+        let encoded = encode_agents(&batch);
+        let decoded = decode_agents(encoded);
+        assert_eq!(batch, decoded);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let encoded = encode_agents(&[]);
+        assert_eq!(decode_agents(encoded), Vec::<Agent>::new());
+    }
+
+    #[test]
+    fn effect_rows_round_trip() {
+        let rows =
+            vec![(AgentId::new(1), vec![1.0, 2.0]), (AgentId::new(9), vec![-0.5, f64::INFINITY])];
+        let encoded = encode_effect_rows(rows.iter().map(|(id, v)| (*id, v.as_slice())));
+        let decoded = decode_effect_rows(encoded);
+        assert_eq!(rows, decoded);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_rng_position() {
+        let mut rng = DetRng::seed_from_u64(5);
+        rng.next_raw();
+        rng.next_raw();
+        let snap = WorkerSnapshot { tick: 99, next_spawn_id: 1234, rng: rng.clone(), agents: (0..3).map(agent).collect() };
+        let restored = decode_snapshot(encode_snapshot(&snap));
+        assert_eq!(snap, restored);
+        // RNG continues identically after restore.
+        let mut a = snap.rng.clone();
+        let mut b = restored.rng.clone();
+        assert_eq!(a.next_raw(), b.next_raw());
+    }
+
+    #[test]
+    fn dead_agent_round_trip() {
+        let s = schema();
+        let mut a = Agent::new(AgentId::new(1), Vec2::ZERO, &s);
+        a.alive = false;
+        let decoded = decode_agents(encode_agents(&[a.clone()]));
+        assert!(!decoded[0].alive);
+    }
+}

@@ -1,0 +1,237 @@
+//! A small, general, iterated main-memory MapReduce engine.
+//!
+//! The paper frames BRACE as an *extension of the MapReduce programming
+//! model* to iterated spatial joins (§2.2, §3). To keep that framing honest
+//! rather than rhetorical, this module implements the unextended model —
+//! `map : (k1, v1) → [(k2, v2)]`, `reduce : (k2, [v2]) → [(k3, v3)]`, with
+//! the iterative variant feeding reduce output into the next map — over the
+//! same in-memory, multi-threaded substrate the BRACE runtime uses. The
+//! spatial runtime in [`worker`](crate::worker)/[`master`](crate::master)
+//! is the specialization of this engine where the map key is the partition
+//! id from the spatial partitioning function and reducers are collocated
+//! with mappers.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Deterministic partition assignment for the shuffle: we hash with a fixed
+/// seed (not `RandomState`) so that runs are reproducible.
+fn shard_of<K: Hash>(key: &K, shards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Execute one MapReduce round over `input`.
+///
+/// * `mapper` receives each input pair and emits intermediate pairs.
+/// * Intermediate pairs are grouped by key (the shuffle); grouping is
+///   stable: values keep the order mappers emitted them within one shard.
+/// * `reducer` receives each key with all its values and emits output
+///   pairs.
+///
+/// `workers` map tasks and `workers` reduce tasks run on scoped threads.
+/// Output is sorted by reduce shard then key-encounter order, making the
+/// result deterministic for a fixed `workers`.
+pub fn map_reduce<K1, V1, K2, V2, K3, V3, M, R>(
+    input: Vec<(K1, V1)>,
+    workers: usize,
+    mapper: M,
+    reducer: R,
+) -> Vec<(K3, V3)>
+where
+    K1: Send,
+    V1: Send,
+    K2: Eq + Hash + Ord + Send + Clone,
+    V2: Send,
+    K3: Send,
+    V3: Send,
+    M: Fn(K1, V1, &mut Vec<(K2, V2)>) + Sync,
+    R: Fn(&K2, Vec<V2>, &mut Vec<(K3, V3)>) + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    // ---- map phase -------------------------------------------------------
+    let n = input.len();
+    let chunk = n.div_ceil(workers).max(1);
+    let chunks: Vec<Vec<(K1, V1)>> = {
+        let mut it = input.into_iter();
+        let mut out = Vec::new();
+        loop {
+            let c: Vec<(K1, V1)> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            out.push(c);
+        }
+        out
+    };
+    let mapped: Vec<Vec<(K2, V2)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                let mapper = &mapper;
+                s.spawn(move || {
+                    let mut emitted = Vec::new();
+                    for (k, v) in c {
+                        mapper(k, v, &mut emitted);
+                    }
+                    emitted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("map task panicked")).collect()
+    });
+
+    // ---- shuffle ---------------------------------------------------------
+    let mut shards: Vec<HashMap<K2, Vec<V2>>> = (0..workers).map(|_| HashMap::new()).collect();
+    for batch in mapped {
+        for (k, v) in batch {
+            let s = shard_of(&k, workers);
+            shards[s].entry(k).or_default().push(v);
+        }
+    }
+
+    // ---- reduce phase ----------------------------------------------------
+    let reduced: Vec<Vec<(K3, V3)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let reducer = &reducer;
+                s.spawn(move || {
+                    // Sort keys for deterministic output order.
+                    let mut pairs: Vec<(K2, Vec<V2>)> = shard.into_iter().collect();
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut out = Vec::new();
+                    for (k, vs) in pairs {
+                        reducer(&k, vs, &mut out);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("reduce task panicked")).collect()
+    });
+    reduced.into_iter().flatten().collect()
+}
+
+/// The iterated model of §2.2: "the output of the reduce step is fed into
+/// the next map step" — `reduce : (k2, [v2]) → [(k3, v3)]` with
+/// `k3/v3 = k1/v1`. Runs `rounds` rounds and returns the final collection.
+pub fn iterate<K, V, M, R>(
+    mut state: Vec<(K, V)>,
+    rounds: usize,
+    workers: usize,
+    mapper: M,
+    reducer: R,
+) -> Vec<(K, V)>
+where
+    K: Eq + Hash + Ord + Send + Clone,
+    V: Send,
+    M: Fn(K, V, &mut Vec<(K, V)>) + Sync,
+    R: Fn(&K, Vec<V>, &mut Vec<(K, V)>) + Sync,
+{
+    for _ in 0..rounds {
+        state = map_reduce(state, workers, &mapper, &reducer);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical example: word count.
+    fn word_count(docs: Vec<&str>, workers: usize) -> Vec<(String, usize)> {
+        let input: Vec<((), String)> = docs.into_iter().map(|d| ((), d.to_string())).collect();
+        let mut out = map_reduce(
+            input,
+            workers,
+            |_k, doc: String, emit| {
+                for w in doc.split_whitespace() {
+                    emit.push((w.to_string(), 1usize));
+                }
+            },
+            |k: &String, vs: Vec<usize>, out| {
+                out.push((k.clone(), vs.into_iter().sum()));
+            },
+        );
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn word_count_single_worker() {
+        let got = word_count(vec!["a b a", "b c"], 1);
+        assert_eq!(got, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
+    }
+
+    #[test]
+    fn word_count_is_worker_count_invariant() {
+        let docs = vec!["the quick brown fox", "the lazy dog", "the fox"];
+        let one = word_count(docs.clone(), 1);
+        for w in [2, 3, 8] {
+            assert_eq!(word_count(docs.clone(), w), one, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<(String, usize)> = map_reduce(
+            Vec::<((), String)>::new(),
+            4,
+            |_, _, _| {},
+            |k: &String, vs: Vec<usize>, out| out.push((k.clone(), vs.len())),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reduce_sees_all_values_for_a_key() {
+        let input: Vec<(u32, u32)> = (0..100).map(|i| (i % 5, i)).collect();
+        let mut out = map_reduce(
+            input,
+            3,
+            |k, v, emit| emit.push((k, v)),
+            |k: &u32, vs: Vec<u32>, out| out.push((*k, vs.len())),
+        );
+        out.sort();
+        assert_eq!(out, (0..5).map(|k| (k, 20)).collect::<Vec<_>>());
+    }
+
+    /// Iterated MapReduce: N counters that each add their neighbors' values
+    /// every round (a 1-D diffusion) — the shape of a simulation tick,
+    /// minus spatial optimization.
+    #[test]
+    fn iterated_diffusion_converges() {
+        let n = 8u32;
+        let state: Vec<(u32, f64)> = (0..n).map(|i| (i, if i == 0 { 1.0 } else { 0.0 })).collect();
+        let result = iterate(
+            state,
+            50,
+            4,
+            move |k, v, emit| {
+                // Send a third of my value to each neighbor (ring), keep a third.
+                let left = (k + n - 1) % n;
+                let right = (k + 1) % n;
+                emit.push((k, v / 3.0));
+                emit.push((left, v / 3.0));
+                emit.push((right, v / 3.0));
+            },
+            |k, vs, out| out.push((*k, vs.into_iter().sum())),
+        );
+        let total: f64 = result.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass must be conserved, got {total}");
+        for (_, v) in &result {
+            assert!((v - 1.0 / n as f64).abs() < 1e-3, "should be near uniform, got {v}");
+        }
+    }
+
+    #[test]
+    fn iterate_zero_rounds_is_identity() {
+        let state = vec![(1u32, 5.0f64)];
+        let out = iterate(state.clone(), 0, 2, |k, v, e| e.push((k, v)), |k, vs, o| {
+            o.push((*k, vs.into_iter().sum()))
+        });
+        assert_eq!(out, state);
+    }
+}

@@ -1,0 +1,50 @@
+//! # brace-mapreduce — the BRACE main-memory MapReduce runtime
+//!
+//! The paper builds "a new main memory MapReduce runtime" rather than using
+//! Hadoop, because behavioral simulations need millions of *short* iterations
+//! with almost no I/O. This crate is that runtime, as a simulated
+//! shared-nothing cluster: every worker "node" is an OS thread that owns its
+//! agents exclusively and communicates with peers and the master **only**
+//! through serialized byte messages over channels. Nothing else is shared —
+//! the cut from channels to sockets/MPI is confined to the transport inside
+//! [`worker`]/[`master`].
+//!
+//! Layout:
+//!
+//! * [`generic`] — a small, general iterated MapReduce engine (`map`,
+//!   `reduce` as functions over key-value pairs, parallel workers, iteration
+//!   driver). BRACE's runtime is the spatial specialization of this model;
+//!   the generic engine exists to keep that claim honest (its tests run
+//!   word-count and an iterated computation).
+//! * [`codec`] — the wire format: agents, effect rows and worker snapshots
+//!   encoded to [`bytes::Bytes`].
+//! * [`net`] — the network ledger: every cross-worker message is counted
+//!   (messages, payload bytes) exactly where a real transport would sit.
+//! * [`runtime`] — worker protocol types and the per-tick map–reduce–reduce
+//!   schedule of Table 1.
+//! * [`worker`] — the worker node: distribute (map), query/local effects
+//!   (reduce 1), effect aggregation (reduce 2), update — with collocation of
+//!   all tasks for a partition on its node.
+//! * [`master`] — epoch-granularity coordination: statistics, load
+//!   balancing decisions, coordinated checkpoints, failure recovery by
+//!   replay.
+//! * [`balance`] — the one-dimensional load balancer.
+//! * [`checkpoint`] — coordinated checkpoint store.
+//! * [`cluster`] — [`ClusterSim`], the user-facing
+//!   facade mirroring `brace_core::Simulation` over many workers.
+
+pub mod balance;
+pub mod checkpoint;
+pub mod cluster;
+pub mod codec;
+pub mod generic;
+pub mod master;
+pub mod net;
+pub mod runtime;
+pub mod worker;
+
+pub use balance::{BalanceDecision, LoadBalancer};
+pub use checkpoint::{CheckpointStore, ClusterCheckpoint};
+pub use cluster::{ClusterConfig, ClusterSim, FaultPlan};
+pub use master::ClusterStats;
+pub use net::{NetLedger, NetStats};

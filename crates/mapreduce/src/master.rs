@@ -1,0 +1,376 @@
+//! The master node: epoch-granularity coordination.
+//!
+//! "BRACE's master node only interacts with worker nodes every epoch … so we
+//! wish to amortize the overheads related to fault tolerance and load
+//! balancing" (§3.3). The master:
+//!
+//! * broadcasts one [`EpochCommand`] per epoch and waits for every worker's
+//!   report;
+//! * merges worker statistics and (when enabled) asks the
+//!   `LoadBalancer` whether to install new
+//!   column boundaries at the next epoch boundary;
+//! * triggers coordinated checkpoints on a fixed epoch cadence and keeps the
+//!   command log needed to replay forward from the newest one;
+//! * recovers from a (simulated) worker failure by restoring every worker
+//!   from the last checkpoint and re-executing the logged epochs — exact,
+//!   because ticks are deterministic.
+
+use crate::balance::{BalanceDecision, LoadBalancer};
+use crate::checkpoint::{CheckpointStore, ClusterCheckpoint};
+use crate::codec;
+use crate::net::NetStats;
+use crate::runtime::{Command, EpochCommand, Report, WorkerEpochStats};
+use brace_common::{BraceError, Result, WorkerId};
+use brace_core::Agent;
+use crossbeam::channel::{Receiver, Sender};
+use std::time::Instant;
+
+/// Run-level statistics kept by the master (see also
+/// `NetStats` (merged in by the facade).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Live (non-replay) epochs completed.
+    pub epochs: u64,
+    /// Ticks of simulated time completed (replay does not double-count).
+    pub ticks: u64,
+    /// Agent-ticks executed in live epochs.
+    pub agent_ticks: u64,
+    /// Wall time of live epochs (max across workers, summed over epochs).
+    pub wall_ns: u64,
+    /// Per-epoch wall time (for the Fig. 8 series).
+    pub epoch_wall_ns: Vec<u64>,
+    /// Per-epoch owned-agent counts per worker (imbalance over time).
+    pub agents_per_worker: Vec<Vec<usize>>,
+    pub repartitions: u64,
+    pub checkpoints: u64,
+    pub recoveries: u64,
+    pub replayed_epochs: u64,
+    /// Replicas received across workers (replication volume).
+    pub replicas_in: u64,
+    /// Ownership transfers received across workers.
+    pub transfers_in: u64,
+    /// 1 for local-effects models, 2 for map-reduce-reduce (Table 1).
+    pub comm_rounds_per_tick: u32,
+    /// Network totals, snapshotted by the facade.
+    pub net: NetStats,
+}
+
+impl ClusterStats {
+    /// Agent-ticks per second of wall time — the unit of Figures 5–7.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.agent_ticks as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Max/mean owned-agent imbalance of the last completed epoch.
+    pub fn last_imbalance(&self) -> f64 {
+        let Some(last) = self.agents_per_worker.last() else { return 1.0 };
+        let total: usize = last.iter().sum();
+        if total == 0 || last.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / last.len() as f64;
+        *last.iter().max().unwrap() as f64 / mean
+    }
+}
+
+/// The master half of the runtime. Owns the command/report channels; the
+/// facade ([`ClusterSim`](crate::cluster::ClusterSim)) owns the threads.
+pub struct Master {
+    num_workers: usize,
+    epoch_len: u64,
+    lb_enabled: bool,
+    balancer: LoadBalancer,
+    checkpoint_every: Option<u64>,
+    cmd_tx: Vec<Sender<Command>>,
+    report_rx: Receiver<Report>,
+    x_bounds: Vec<f64>,
+    hist_range: (f64, f64),
+    epoch: u64,
+    tick: u64,
+    pending_bounds: Option<Vec<f64>>,
+    store: CheckpointStore,
+    stats: ClusterStats,
+}
+
+impl Master {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        num_workers: usize,
+        epoch_len: u64,
+        lb_enabled: bool,
+        balancer: LoadBalancer,
+        checkpoint_every: Option<u64>,
+        store: CheckpointStore,
+        cmd_tx: Vec<Sender<Command>>,
+        report_rx: Receiver<Report>,
+        x_bounds: Vec<f64>,
+    ) -> Self {
+        let hist_range = (x_bounds[0], *x_bounds.last().unwrap());
+        Master {
+            num_workers,
+            epoch_len,
+            lb_enabled,
+            balancer,
+            checkpoint_every,
+            cmd_tx,
+            report_rx,
+            x_bounds,
+            hist_range,
+            epoch: 0,
+            tick: 0,
+            pending_bounds: None,
+            store,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn x_bounds(&self) -> &[f64] {
+        &self.x_bounds
+    }
+
+    /// Take the initial coordinated checkpoint (state before any tick), so
+    /// that every failure is recoverable.
+    pub fn initial_checkpoint(&mut self) -> Result<()> {
+        let workers = self.collect_snapshots()?;
+        self.store.push(ClusterCheckpoint {
+            epoch: 0,
+            tick: 0,
+            x_bounds: self.x_bounds.clone(),
+            hist_range: self.hist_range,
+            workers,
+        })?;
+        Ok(())
+    }
+
+    /// Execute one live epoch: broadcast, gather, account, decide.
+    pub fn run_epoch(&mut self) -> Result<()> {
+        let checkpoint = self
+            .checkpoint_every
+            .map(|k| (self.epoch + 1).is_multiple_of(k))
+            .unwrap_or(false);
+        let cmd = EpochCommand {
+            epoch: self.epoch,
+            ticks: self.epoch_len,
+            new_x_bounds: self.pending_bounds.take(),
+            checkpoint,
+            hist_range: self.hist_range,
+        };
+        let reports = self.run_command(&cmd, true)?;
+        self.decide(&reports);
+        Ok(())
+    }
+
+    /// Execute one command (live or replay). Live commands are logged and
+    /// advance the clocks; replayed ones only restore state. Checkpoint
+    /// commands (re-)push their snapshot either way, so a recovered store
+    /// converges to the failure-free store.
+    fn run_command(&mut self, cmd: &EpochCommand, live: bool) -> Result<Vec<WorkerEpochStats>> {
+        let (reports, snapshots) = self.execute(cmd)?;
+        if cmd.checkpoint {
+            self.store.push(ClusterCheckpoint {
+                epoch: cmd.epoch + 1,
+                tick: (cmd.epoch + 1) * self.epoch_len,
+                x_bounds: self.x_bounds.clone(),
+                hist_range: cmd.hist_range,
+                workers: snapshots,
+            })?;
+            if live {
+                self.stats.checkpoints += 1;
+            }
+        }
+        if live {
+            self.store.log_command(cmd.clone());
+            self.epoch += 1;
+            self.tick += cmd.ticks;
+            self.account(&reports);
+        } else {
+            self.stats.replayed_epochs += 1;
+        }
+        Ok(reports)
+    }
+
+    /// Broadcast `cmd` and gather one report per worker (ordered by worker
+    /// index). Returns the per-worker stats and checkpoint snapshots.
+    fn execute(&mut self, cmd: &EpochCommand) -> Result<(Vec<WorkerEpochStats>, Vec<bytes::Bytes>)> {
+        if let Some(b) = &cmd.new_x_bounds {
+            self.x_bounds = b.clone();
+        }
+        for tx in &self.cmd_tx {
+            tx.send(Command::RunEpoch(cmd.clone()))
+                .map_err(|_| BraceError::Unrecoverable("worker channel closed".into()))?;
+        }
+        let mut stats: Vec<Option<WorkerEpochStats>> = (0..self.num_workers).map(|_| None).collect();
+        let mut snaps: Vec<Option<bytes::Bytes>> = (0..self.num_workers).map(|_| None).collect();
+        for _ in 0..self.num_workers {
+            match self.report_rx.recv() {
+                Ok(Report::EpochDone { worker, stats: s, snapshot }) => {
+                    snaps[worker.index()] = snapshot;
+                    stats[worker.index()] = Some(s);
+                }
+                Ok(other) => {
+                    return Err(BraceError::Unrecoverable(format!("unexpected report {other:?} during epoch")))
+                }
+                Err(_) => return Err(BraceError::Unrecoverable("a worker died without checkpoint protocol".into())),
+            }
+        }
+        let stats: Vec<WorkerEpochStats> = stats.into_iter().map(|s| s.expect("worker reported")).collect();
+        let snapshots: Vec<bytes::Bytes> =
+            if cmd.checkpoint { snaps.into_iter().map(|s| s.expect("checkpoint snapshot")).collect() } else { Vec::new() };
+        Ok((stats, snapshots))
+    }
+
+    /// Merge an epoch's worker reports into run statistics.
+    fn account(&mut self, reports: &[WorkerEpochStats]) {
+        self.stats.epochs += 1;
+        let wall = reports.iter().map(|r| r.wall_ns).max().unwrap_or(0);
+        self.stats.wall_ns += wall;
+        self.stats.epoch_wall_ns.push(wall);
+        self.stats.agent_ticks += reports.iter().map(|r| r.agent_ticks).sum::<u64>();
+        self.stats.agents_per_worker.push(reports.iter().map(|r| r.owned_agents).collect());
+        self.stats.replicas_in += reports.iter().map(|r| r.replicas_in).sum::<u64>();
+        self.stats.transfers_in += reports.iter().map(|r| r.transfers_in).sum::<u64>();
+        self.stats.comm_rounds_per_tick = reports.iter().map(|r| r.comm_rounds_per_tick).max().unwrap_or(1);
+    }
+
+    /// Update the histogram range and ask the balancer about the next epoch.
+    fn decide(&mut self, reports: &[WorkerEpochStats]) {
+        // Widen/track the histogram range from observed extents (fish swim
+        // out of the initial space; the range must follow them).
+        let xmin = reports.iter().map(|r| r.x_min).fold(f64::INFINITY, f64::min);
+        let xmax = reports.iter().map(|r| r.x_max).fold(f64::NEG_INFINITY, f64::max);
+        if xmin.is_finite() && xmax.is_finite() && xmax > xmin {
+            let margin = (xmax - xmin) * 0.05 + 1e-6;
+            self.hist_range = (xmin - margin, xmax + margin);
+        }
+        if !self.lb_enabled {
+            return;
+        }
+        // Merge per-worker histograms (all over the same command range).
+        let bins = reports.first().map(|r| r.x_hist.len()).unwrap_or(0);
+        let mut hist = vec![0u64; bins];
+        for r in reports {
+            for (h, &v) in hist.iter_mut().zip(&r.x_hist) {
+                *h += v;
+            }
+        }
+        let counts: Vec<u64> = reports.iter().map(|r| r.owned_agents as u64).collect();
+        // Histograms were computed over the *command's* range, which at this
+        // point is still `self.hist_range` from before the update above only
+        // if no drift happened; to stay exact we recompute decisions against
+        // the range the workers actually used — which the balancer receives.
+        let used_range = reports
+            .iter()
+            .map(|_| ())
+            .next()
+            .map(|_| self.last_command_range())
+            .unwrap_or(self.hist_range);
+        match self.balancer.decide(&self.x_bounds, &counts, &hist, used_range) {
+            BalanceDecision::Keep => {}
+            BalanceDecision::Repartition { x_bounds, .. } => {
+                self.pending_bounds = Some(x_bounds);
+                self.stats.repartitions += 1;
+            }
+        }
+    }
+
+    /// Range the previous epoch's histograms were computed over: the
+    /// current log/commands carry it; fall back to the live value.
+    fn last_command_range(&self) -> (f64, f64) {
+        self.store.replay_log().last().map(|c| c.hist_range).unwrap_or(self.hist_range)
+    }
+
+    /// Recover from the loss of all live worker state during epoch
+    /// `failed_epoch` (0-based; that epoch's results — including any
+    /// checkpoint it would have written — are gone). Restores every worker
+    /// from the newest surviving checkpoint and replays the logged epochs.
+    pub fn recover(&mut self, failed_epoch: u64) -> Result<()> {
+        self.store.discard_after(failed_epoch);
+        let cp = self
+            .store
+            .latest()
+            .cloned()
+            .ok_or_else(|| BraceError::Unrecoverable("no checkpoint to recover from".into()))?;
+        for (i, tx) in self.cmd_tx.iter().enumerate() {
+            tx.send(Command::Restore { snapshot: cp.workers[i].clone(), x_bounds: cp.x_bounds.clone() })
+                .map_err(|_| BraceError::Unrecoverable("worker channel closed".into()))?;
+        }
+        self.x_bounds = cp.x_bounds.clone();
+        self.stats.recoveries += 1;
+        // Re-execute every epoch since the snapshot, verbatim. Ticks are
+        // deterministic, so this reproduces the lost state exactly.
+        let log = self.store.replay_since(cp.epoch);
+        let mut last_reports: Option<Vec<WorkerEpochStats>> = None;
+        for cmd in &log {
+            let reports = self.run_command(cmd, false)?;
+            last_reports = Some(reports);
+        }
+        // Re-derive the pending decision from the final replayed epoch so
+        // the post-recovery trajectory matches a failure-free run exactly.
+        if let Some(reports) = &last_reports {
+            self.pending_bounds = None;
+            self.decide(reports);
+        }
+        Ok(())
+    }
+
+    /// Gather every worker's current agents (sorted by id).
+    pub fn collect_agents(&mut self) -> Result<Vec<Agent>> {
+        let snaps = self.collect_snapshots()?;
+        let mut agents: Vec<Agent> =
+            snaps.into_iter().flat_map(|s| codec::decode_snapshot(s).agents).collect();
+        agents.sort_by_key(|a| a.id);
+        Ok(agents)
+    }
+
+    fn collect_snapshots(&mut self) -> Result<Vec<bytes::Bytes>> {
+        for tx in &self.cmd_tx {
+            tx.send(Command::Collect)
+                .map_err(|_| BraceError::Unrecoverable("worker channel closed".into()))?;
+        }
+        let mut snaps: Vec<Option<bytes::Bytes>> = (0..self.num_workers).map(|_| None).collect();
+        for _ in 0..self.num_workers {
+            match self.report_rx.recv() {
+                Ok(Report::Collected { worker, snapshot }) => snaps[worker.index()] = Some(snapshot),
+                Ok(other) => {
+                    return Err(BraceError::Unrecoverable(format!("unexpected report {other:?} during collect")))
+                }
+                Err(_) => return Err(BraceError::Unrecoverable("worker died during collect".into())),
+            }
+        }
+        Ok(snaps.into_iter().map(|s| s.expect("collected")).collect())
+    }
+
+    /// Ask all workers to stop (the facade joins the threads).
+    pub fn stop(&mut self) {
+        for tx in &self.cmd_tx {
+            let _ = tx.send(Command::Stop);
+        }
+    }
+
+    /// Wall-clock instrumentation hook used by the facade.
+    pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        let t0 = Instant::now();
+        let out = f();
+        (out, t0.elapsed().as_nanos() as u64)
+    }
+
+    /// Workers addressed by this master (test/diagnostic).
+    pub fn worker_ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.num_workers as u32).map(WorkerId::new)
+    }
+}

@@ -1,0 +1,139 @@
+//! Protocol types of the BRACE runtime.
+//!
+//! The schedule per tick is the paper's Table 1:
+//!
+//! | phase              | task                | here                         |
+//! |--------------------|---------------------|------------------------------|
+//! | updateᵗ⁻¹ + distributeᵗ | mapᵗ₁          | `Worker::distribute` (update executed eagerly at the end of the previous tick) |
+//! | queryᵗ / local effectᵗ | reduceᵗ₁        | `brace_core::query_phase`    |
+//! | (distribute effects)   | mapᵗ₂ (identity) | eliminated, as the paper notes |
+//! | global effectᵗ          | reduceᵗ₂        | `EffectTable::merge_row` over shipped rows |
+//!
+//! Workers exchange [`PeerMsg`]s (serialized payloads — see
+//! [`codec`](crate::codec)); the master exchanges [`Command`]/[`Report`]
+//! at *epoch* granularity only, which is the design point that amortizes
+//! coordination over many in-memory ticks.
+
+use brace_common::{Welford, WorkerId};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Worker-to-worker message. Payloads are opaque bytes (agents or effect
+/// rows); `tick` tags the lockstep round the message belongs to.
+#[derive(Debug, Clone)]
+pub enum PeerMsg {
+    /// Round 1 of a tick: ownership transfers + replicas for the receiver.
+    Batch { tick: u64, from: WorkerId, transfers: Bytes, replicas: Bytes },
+    /// Round 2 of a tick (non-local effects only): partial effect rows for
+    /// agents the receiver owns.
+    Effects { tick: u64, from: WorkerId, rows: Bytes },
+}
+
+impl PeerMsg {
+    pub fn tick(&self) -> u64 {
+        match self {
+            PeerMsg::Batch { tick, .. } | PeerMsg::Effects { tick, .. } => *tick,
+        }
+    }
+
+    pub fn from(&self) -> WorkerId {
+        match self {
+            PeerMsg::Batch { from, .. } | PeerMsg::Effects { from, .. } => *from,
+        }
+    }
+
+    pub fn round(&self) -> Round {
+        match self {
+            PeerMsg::Batch { .. } => Round::Distribute,
+            PeerMsg::Effects { .. } => Round::Effects,
+        }
+    }
+}
+
+/// The two communication rounds of a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Round {
+    Distribute,
+    Effects,
+}
+
+/// One epoch's marching orders from the master.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochCommand {
+    pub epoch: u64,
+    /// Ticks to execute in this epoch.
+    pub ticks: u64,
+    /// Repartitioning: new column boundaries to install *before* the epoch
+    /// (the paper: "workers switch to the new partitioning at a specified
+    /// epoch boundary").
+    pub new_x_bounds: Option<Vec<f64>>,
+    /// Produce a coordinated checkpoint snapshot after this epoch.
+    pub checkpoint: bool,
+    /// Range over which to histogram owned agent x-positions for the load
+    /// balancer.
+    pub hist_range: (f64, f64),
+}
+
+/// Master-to-worker commands.
+#[derive(Debug, Clone)]
+pub enum Command {
+    RunEpoch(EpochCommand),
+    /// Replace worker state from a checkpoint snapshot (recovery).
+    Restore { snapshot: Bytes, x_bounds: Vec<f64> },
+    /// Send back the current owned agents (end-of-run collection).
+    Collect,
+    Stop,
+}
+
+/// Statistics one worker reports per epoch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerEpochStats {
+    /// Owned agents at the end of the epoch.
+    pub owned_agents: usize,
+    /// Agent-ticks executed this epoch.
+    pub agent_ticks: u64,
+    /// Wall time of the epoch on this worker (includes waiting on peers —
+    /// the straggler effect load balancing exists to fix).
+    pub wall_ns: u64,
+    /// Busy time actually spent computing (index+query+update).
+    pub busy_ns: u64,
+    /// Histogram of owned agents' x positions over the command's
+    /// `hist_range` (input to the 1-D load balancer).
+    pub x_hist: Vec<u64>,
+    /// Observed x extent of owned agents, so the master can widen the
+    /// histogram range as the population drifts.
+    pub x_min: f64,
+    pub x_max: f64,
+    /// Communication rounds executed per tick (1 = local effects only,
+    /// 2 = map-reduce-reduce). Exposed to assert the Table 1 mapping.
+    pub comm_rounds_per_tick: u32,
+    /// Per-tick busy-time distribution.
+    pub tick_time: Welford,
+    /// Replicas received this epoch (replication factor diagnostics).
+    pub replicas_in: u64,
+    /// Agents whose ownership transferred in this epoch.
+    pub transfers_in: u64,
+}
+
+/// Worker-to-master reports.
+#[derive(Debug)]
+pub enum Report {
+    EpochDone { worker: WorkerId, stats: WorkerEpochStats, snapshot: Option<Bytes> },
+    Collected { worker: WorkerId, snapshot: Bytes },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_msg_accessors() {
+        let b = PeerMsg::Batch { tick: 3, from: WorkerId::new(1), transfers: Bytes::new(), replicas: Bytes::new() };
+        assert_eq!(b.tick(), 3);
+        assert_eq!(b.from(), WorkerId::new(1));
+        assert_eq!(b.round(), Round::Distribute);
+        let e = PeerMsg::Effects { tick: 4, from: WorkerId::new(2), rows: Bytes::new() };
+        assert_eq!(e.round(), Round::Effects);
+        assert_eq!(e.tick(), 4);
+    }
+}

@@ -1,0 +1,500 @@
+//! A worker node of the simulated cluster.
+//!
+//! Each worker is one OS thread owning one spatial partition (the paper
+//! assigns "each grid cell to a separate slave node"). Per tick it executes
+//! the collocated task chain of Figure 1:
+//!
+//! 1. **map (distribute)** — partition its agents under the current
+//!    partitioning function; ship ownership transfers and boundary replicas
+//!    to peers; keep same-partition agents in memory (collocation: those
+//!    never touch the network).
+//! 2. **reduce 1 (query / local effects)** — run the query phase for its
+//!    owned agents over the visible set (owned + replicas), aggregating
+//!    effects for every visible row.
+//! 3. **reduce 2 (global effects)** — only for models with non-local effect
+//!    assignments: ship each replica's non-identity partial effect row to
+//!    the replica's owner and ⊕-merge rows received for its own agents.
+//! 4. **update** — the next tick's map-side update, executed eagerly: write
+//!    new states, crop movement to the reachable region, apply kills and
+//!    spawns.
+//!
+//! All peer communication is serialized bytes over channels, recorded in the
+//! [`NetLedger`]. The worker speaks to the master only between epochs.
+
+use crate::codec::{self, WorkerSnapshot};
+use crate::net::{NetLedger, Traffic};
+use crate::runtime::{Command, EpochCommand, PeerMsg, Report, Round, WorkerEpochStats};
+use brace_common::ids::AgentIdGen;
+use brace_common::{AgentId, DetRng, Welford, WorkerId};
+use brace_core::executor::{query_phase, update_phase};
+use brace_core::{Agent, Behavior, EffectTable};
+use brace_spatial::{GridPartitioning, IndexKind, Partitioner};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bins in the per-worker x-position histogram reported to the master.
+pub const HIST_BINS: usize = 64;
+
+/// Static configuration for one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    pub id: WorkerId,
+    pub num_workers: usize,
+    pub index: IndexKind,
+    /// Master seed; agent RNG streams derive from it exactly as on a single
+    /// node, so placement does not perturb the simulation.
+    pub seed: u64,
+    /// When false, even same-partition hand-offs are serialized and charged
+    /// to the ledger — the no-collocation ablation.
+    pub collocation: bool,
+}
+
+/// Communication endpoints for one worker.
+pub struct WorkerLinks {
+    /// Senders to every worker's inbox, indexed by worker; `peers[self]` is
+    /// unused.
+    pub peers: Vec<Sender<PeerMsg>>,
+    pub inbox: Receiver<PeerMsg>,
+    pub commands: Receiver<Command>,
+    pub reports: Sender<Report>,
+    pub ledger: NetLedger,
+}
+
+/// One worker node. Owns its agents exclusively; everything in and out is
+/// a message.
+pub struct Worker {
+    behavior: Arc<dyn Behavior>,
+    cfg: WorkerConfig,
+    links: WorkerLinks,
+    part: GridPartitioning,
+    owned: Vec<Agent>,
+    table: EffectTable,
+    tick: u64,
+    /// Next / end of this worker's private agent-id block (for spawns).
+    next_id: u64,
+    end_id: u64,
+    /// Worker-level RNG (reserved for runtime-level randomness; agent
+    /// streams come from the seed directly). Checkpointed for completeness.
+    rng: DetRng,
+    /// Out-of-round messages (peers may run one round ahead).
+    stash: Vec<PeerMsg>,
+    // Reusable scratch buffers.
+    targets: Vec<brace_common::PartitionId>,
+}
+
+impl Worker {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        behavior: Arc<dyn Behavior>,
+        cfg: WorkerConfig,
+        links: WorkerLinks,
+        part: GridPartitioning,
+        owned: Vec<Agent>,
+        id_block: (u64, u64),
+    ) -> Self {
+        let table = EffectTable::new(behavior.schema());
+        let rng = DetRng::seed_from_u64(cfg.seed).stream(0x5EED_0000 + cfg.id.raw() as u64);
+        Worker {
+            behavior,
+            cfg,
+            links,
+            part,
+            owned,
+            table,
+            tick: 0,
+            next_id: id_block.0,
+            end_id: id_block.1,
+            rng,
+            stash: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    fn me(&self) -> usize {
+        self.cfg.id.index()
+    }
+
+    /// Thread entry point: serve master commands until `Stop`.
+    pub fn run_loop(mut self) {
+        loop {
+            match self.links.commands.recv() {
+                Err(_) => break, // master dropped; shut down
+                Ok(Command::Stop) => break,
+                Ok(Command::Collect) => {
+                    let snapshot = codec::encode_snapshot(&self.snapshot());
+                    self.links.ledger.record(Traffic::Control, snapshot.len());
+                    let _ = self.links.reports.send(Report::Collected { worker: self.cfg.id, snapshot });
+                }
+                Ok(Command::Restore { snapshot, x_bounds }) => {
+                    self.restore(codec::decode_snapshot(snapshot), x_bounds);
+                }
+                Ok(Command::RunEpoch(cmd)) => {
+                    let (stats, snapshot) = self.run_epoch(&cmd);
+                    self.links.ledger.record(Traffic::Control, 64 + stats.x_hist.len() * 8);
+                    let _ = self.links.reports.send(Report::EpochDone { worker: self.cfg.id, stats, snapshot });
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self) -> WorkerSnapshot {
+        WorkerSnapshot {
+            tick: self.tick,
+            next_spawn_id: self.next_id,
+            rng: self.rng.clone(),
+            agents: self.owned.clone(),
+        }
+    }
+
+    fn restore(&mut self, snap: WorkerSnapshot, x_bounds: Vec<f64>) {
+        self.tick = snap.tick;
+        self.next_id = snap.next_spawn_id;
+        self.rng = snap.rng;
+        self.owned = snap.agents;
+        self.part.set_x_bounds(x_bounds);
+        self.stash.clear();
+    }
+
+    /// Execute one epoch: optional repartition switch, then `cmd.ticks`
+    /// ticks, then statistics (and a checkpoint snapshot if asked).
+    fn run_epoch(&mut self, cmd: &EpochCommand) -> (WorkerEpochStats, Option<Bytes>) {
+        if let Some(bounds) = &cmd.new_x_bounds {
+            self.part.set_x_bounds(bounds.clone());
+        }
+        let wall = Instant::now();
+        let mut stats = WorkerEpochStats {
+            comm_rounds_per_tick: if self.behavior.schema().has_nonlocal_effects() { 2 } else { 1 },
+            x_min: f64::INFINITY,
+            x_max: f64::NEG_INFINITY,
+            tick_time: Welford::new(),
+            ..Default::default()
+        };
+        for _ in 0..cmd.ticks {
+            let t0 = Instant::now();
+            let owned_at_start = self.owned.len();
+            self.run_tick(&mut stats);
+            stats.agent_ticks += owned_at_start as u64;
+            let ns = t0.elapsed().as_nanos() as u64;
+            stats.busy_ns += ns;
+            stats.tick_time.push(ns as f64);
+        }
+        stats.wall_ns = wall.elapsed().as_nanos() as u64;
+        stats.owned_agents = self.owned.len();
+        stats.x_hist = self.histogram(cmd.hist_range);
+        for a in &self.owned {
+            stats.x_min = stats.x_min.min(a.pos.x);
+            stats.x_max = stats.x_max.max(a.pos.x);
+        }
+        let snapshot = cmd.checkpoint.then(|| codec::encode_snapshot(&self.snapshot()));
+        (stats, snapshot)
+    }
+
+    fn histogram(&self, range: (f64, f64)) -> Vec<u64> {
+        let (lo, hi) = range;
+        let mut hist = vec![0u64; HIST_BINS];
+        let w = (hi - lo).max(1e-12) / HIST_BINS as f64;
+        for a in &self.owned {
+            let bin = (((a.pos.x - lo) / w).floor().max(0.0) as usize).min(HIST_BINS - 1);
+            hist[bin] += 1;
+        }
+        hist
+    }
+
+    /// One tick of the map–reduce(–reduce) pipeline. Public within the
+    /// crate so tests can drive a worker directly.
+    pub(crate) fn run_tick(&mut self, stats: &mut WorkerEpochStats) {
+        let n = self.cfg.num_workers;
+        let me = self.me();
+        // Clone the Arc so the schema borrow is independent of `self` (the
+        // receive loops below need `&mut self`).
+        let behavior = Arc::clone(&self.behavior);
+        let schema = behavior.schema();
+        let vis = schema.visibility();
+
+        // ---- map: distribute ---------------------------------------------
+        let mut transfers: Vec<Vec<Agent>> = (0..n).map(|_| Vec::new()).collect();
+        let mut replicas: Vec<Vec<Agent>> = (0..n).map(|_| Vec::new()).collect();
+        let mut kept: Vec<Agent> = Vec::with_capacity(self.owned.len());
+        for agent in self.owned.drain(..) {
+            let owner = self.part.partition_of(agent.pos).index();
+            self.targets.clear();
+            self.part.replica_targets(agent.pos, vis, &mut self.targets);
+            for &t in &self.targets {
+                let t = t.index();
+                if t != owner {
+                    replicas[t].push(agent.clone());
+                }
+            }
+            if owner == me {
+                kept.push(agent);
+            } else {
+                transfers[owner].push(agent);
+            }
+        }
+        for j in 0..n {
+            if j == me {
+                continue;
+            }
+            let t = codec::encode_agents(&transfers[j]);
+            let r = codec::encode_agents(&replicas[j]);
+            self.links.ledger.record(Traffic::Transfer, t.len());
+            self.links.ledger.record(Traffic::Replica, r.len());
+            self.links.peers[j]
+                .send(PeerMsg::Batch { tick: self.tick, from: self.cfg.id, transfers: t, replicas: r })
+                .expect("peer inbox closed");
+        }
+        // Collocation: same-partition agents stay in memory. The ablation
+        // charges them through the codec as if they had crossed the network.
+        let mut local_replicas = std::mem::take(&mut replicas[me]);
+        if !self.cfg.collocation {
+            let k = codec::encode_agents(&kept);
+            let r = codec::encode_agents(&local_replicas);
+            self.links.ledger.record(Traffic::Transfer, k.len());
+            self.links.ledger.record(Traffic::Replica, r.len());
+            kept = codec::decode_agents(k);
+            local_replicas = codec::decode_agents(r);
+        }
+
+        // ---- receive round 1, in sender order for determinism -------------
+        let mut pool = kept;
+        let mut incoming_replicas: Vec<Agent> = local_replicas;
+        for msg in self.recv_round(Round::Distribute) {
+            if let PeerMsg::Batch { transfers, replicas, .. } = msg {
+                let t = codec::decode_agents(transfers);
+                stats.transfers_in += t.len() as u64;
+                pool.extend(t);
+                let r = codec::decode_agents(replicas);
+                stats.replicas_in += r.len() as u64;
+                incoming_replicas.extend(r);
+            } else {
+                unreachable!("recv_round filtered by round");
+            }
+        }
+        let n_owned = pool.len();
+        pool.extend(incoming_replicas);
+
+        // ---- reduce 1: query phase over owned rows ------------------------
+        query_phase(&self.behavior, &pool, n_owned, self.cfg.index, &mut self.table, self.tick, self.cfg.seed);
+
+        // ---- reduce 2: ship partial effects to owners, merge own ----------
+        if schema.has_nonlocal_effects() {
+            let mut dest_rows: Vec<Vec<(AgentId, u32)>> = (0..n).map(|_| Vec::new()).collect();
+            for r in n_owned..pool.len() {
+                let r = r as u32;
+                if self.table.row_is_identity(r) {
+                    continue;
+                }
+                let owner = self.part.partition_of(pool[r as usize].pos).index();
+                debug_assert_ne!(owner, me, "replica owned by its replica holder");
+                dest_rows[owner].push((pool[r as usize].id, r));
+            }
+            #[allow(clippy::needless_range_loop)] // symmetric with round 1's send loop
+            for j in 0..n {
+                if j == me {
+                    continue;
+                }
+                let bytes = codec::encode_effect_rows(
+                    dest_rows[j].iter().map(|&(id, row)| (id, self.table.row(row))),
+                );
+                self.links.ledger.record(Traffic::Effects, bytes.len());
+                self.links.peers[j]
+                    .send(PeerMsg::Effects { tick: self.tick, from: self.cfg.id, rows: bytes })
+                    .expect("peer inbox closed");
+            }
+            let id_to_row: HashMap<AgentId, u32> =
+                pool[..n_owned].iter().enumerate().map(|(i, a)| (a.id, i as u32)).collect();
+            for msg in self.recv_round(Round::Effects) {
+                if let PeerMsg::Effects { rows, .. } = msg {
+                    for (id, vals) in codec::decode_effect_rows(rows) {
+                        let row = *id_to_row
+                            .get(&id)
+                            .expect("partial effects addressed to the wrong owner");
+                        self.table.merge_row(schema, row, &vals);
+                    }
+                }
+            }
+        }
+
+        // ---- finalize effects, run update (next tick's map side) ----------
+        pool.truncate(n_owned);
+        self.table.write_into(&mut pool);
+        let mut gen = AgentIdGen::block(self.next_id, self.end_id);
+        update_phase(&self.behavior, &mut pool, self.tick, self.cfg.seed, &mut gen);
+        self.next_id = self.end_id - gen.remaining();
+        self.owned = pool;
+        self.tick += 1;
+    }
+
+    /// Receive exactly one message of `round` for the current tick from
+    /// every peer, buffering out-of-round traffic. Messages are returned in
+    /// ascending sender order so downstream state is deterministic.
+    fn recv_round(&mut self, round: Round) -> Vec<PeerMsg> {
+        let n = self.cfg.num_workers;
+        if n == 1 {
+            return Vec::new();
+        }
+        let me = self.me();
+        let tick = self.tick;
+        let mut got: Vec<Option<PeerMsg>> = (0..n).map(|_| None).collect();
+        let mut remaining = n - 1;
+        // Drain previously stashed messages for this round first.
+        let mut i = 0;
+        while i < self.stash.len() {
+            let m = &self.stash[i];
+            if m.tick() == tick && m.round() == round {
+                let m = self.stash.swap_remove(i);
+                let from = m.from().index();
+                debug_assert!(got[from].is_none(), "duplicate message from {from}");
+                got[from] = Some(m);
+                remaining -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        while remaining > 0 {
+            let m = self.links.inbox.recv().expect("peer channel closed mid-round");
+            if m.tick() == tick && m.round() == round {
+                let from = m.from().index();
+                debug_assert!(got[from].is_none(), "duplicate message from {from}");
+                got[from] = Some(m);
+                remaining -= 1;
+            } else {
+                debug_assert!(
+                    m.tick() >= tick,
+                    "stale message: tick {} round {:?} while at {} {:?}",
+                    m.tick(),
+                    m.round(),
+                    tick,
+                    round
+                );
+                self.stash.push(m);
+            }
+        }
+        got.into_iter()
+            .enumerate()
+            .filter(|(j, _)| *j != me)
+            .map(|(_, m)| m.expect("round barrier incomplete"))
+            .collect()
+    }
+
+    /// Current tick (tests).
+    #[cfg(test)]
+    pub(crate) fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Owned agents (tests).
+    #[cfg(test)]
+    pub(crate) fn owned_agents(&self) -> &[Agent] {
+        &self.owned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brace_common::{FieldId, Vec2};
+    use brace_core::behavior::{Neighbors, UpdateCtx};
+    use brace_core::effect::EffectWriter;
+    use brace_core::{AgentSchema, Combinator, TickExecutor};
+    use crossbeam::channel::unbounded;
+
+    /// Count visible neighbors; drift right by 0.1 * count.
+    struct Drift(AgentSchema);
+
+    impl Drift {
+        fn new() -> Self {
+            Drift(
+                AgentSchema::builder("Drift")
+                    .effect("n", Combinator::Sum)
+                    .visibility(1.5)
+                    .reachability(1.0)
+                    .build()
+                    .unwrap(),
+            )
+        }
+    }
+
+    impl Behavior for Drift {
+        fn schema(&self) -> &AgentSchema {
+            &self.0
+        }
+        fn query(&self, _m: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+            for _ in nbrs.iter() {
+                eff.local(FieldId::new(0), 1.0);
+            }
+        }
+        fn update(&self, me: &mut Agent, _ctx: &mut UpdateCtx<'_>) {
+            me.pos.x += 0.1 * me.effect(FieldId::new(0));
+        }
+    }
+
+    fn single_worker(agents: Vec<Agent>) -> Worker {
+        let (_peer_tx, inbox) = unbounded();
+        let (_cmd_tx, commands) = unbounded::<Command>();
+        let (reports, _report_rx) = unbounded();
+        let links = WorkerLinks { peers: vec![_peer_tx], inbox, commands, reports, ledger: NetLedger::new() };
+        let cfg = WorkerConfig {
+            id: WorkerId::new(0),
+            num_workers: 1,
+            index: IndexKind::KdTree,
+            seed: 11,
+            collocation: true,
+        };
+        let part = GridPartitioning::columns(0.0, 100.0, 1);
+        Worker::new(Arc::new(Drift::new()), cfg, links, part, agents, (1 << 32, 1 << 33))
+    }
+
+    fn line(n: usize, gap: f64) -> Vec<Agent> {
+        let b = Drift::new();
+        (0..n).map(|i| Agent::new(AgentId::new(i as u64), Vec2::new(i as f64 * gap, 0.0), b.schema())).collect()
+    }
+
+    #[test]
+    fn single_worker_tick_matches_single_node_executor() {
+        let agents = line(25, 0.7);
+        let mut worker = single_worker(agents.clone());
+        let mut exec = TickExecutor::new(Drift::new(), agents, IndexKind::KdTree, 11);
+        let mut stats = WorkerEpochStats::default();
+        for _ in 0..6 {
+            worker.run_tick(&mut stats);
+            exec.step();
+        }
+        let mut a: Vec<_> = worker.owned_agents().to_vec();
+        let mut b: Vec<_> = exec.agents().to_vec();
+        a.sort_by_key(|x| x.id);
+        b.sort_by_key(|x| x.id);
+        assert_eq!(a, b, "1-worker cluster must equal the single-node executor");
+        assert_eq!(worker.current_tick(), 6);
+    }
+
+    #[test]
+    fn histogram_counts_owned_agents() {
+        let worker = single_worker(line(10, 1.0)); // x = 0..9
+        let hist = worker.histogram((0.0, 10.0));
+        assert_eq!(hist.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut worker = single_worker(line(5, 1.0));
+        let mut stats = WorkerEpochStats::default();
+        worker.run_tick(&mut stats);
+        let snap = worker.snapshot();
+        let before: Vec<_> = worker.owned_agents().to_vec();
+        // Run further, then roll back.
+        worker.run_tick(&mut stats);
+        worker.run_tick(&mut stats);
+        worker.restore(snap, vec![0.0, 100.0]);
+        assert_eq!(worker.owned_agents(), &before[..]);
+        assert_eq!(worker.current_tick(), 1);
+        // Replay is deterministic.
+        worker.run_tick(&mut stats);
+        let replayed: Vec<_> = worker.owned_agents().to_vec();
+        worker.restore(worker.snapshot(), vec![0.0, 100.0]);
+        assert_eq!(worker.owned_agents(), &replayed[..]);
+    }
+}

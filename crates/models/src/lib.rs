@@ -1,0 +1,38 @@
+//! # brace-models — the paper's evaluation workloads
+//!
+//! Three real-world behavioral simulations, exactly the evaluation suite of
+//! §5:
+//!
+//! * [`traffic`] — a MITSIM-style microscopic traffic model (lane selection
+//!   with gap acceptance, car following, free-flow) as a BRACE
+//!   [`Behavior`](brace_core::Behavior), plus [`mitsim`], a **hand-coded
+//!   single-node baseline** with a per-lane nearest-neighbor index standing
+//!   in for the closed-source MITSIM comparator of Figure 3 / Table 2.
+//! * [`fish`] — the Couzin et al. information-transfer model: repulsion
+//!   inside a personal zone, attraction/alignment inside the visible zone,
+//!   informed individuals balancing a preferred direction. Local effects
+//!   only. The two-informed-classes configuration drives the load-balancing
+//!   experiments (Figures 7/8).
+//! * [`predator`] — an artificial-society predator simulation with biting
+//!   (the paper's example of a **non-local** effect assignment), in both
+//!   non-local and hand-inverted local form, plus spawn/death population
+//!   dynamics.
+//! * [`scripts`] — the same models written in BRASIL (the fish school is
+//!   the paper's Figure 2), compiled through the `brasil` crate; the
+//!   predator script is the Figure 5 workload, inverted automatically by
+//!   `brasil::invert_effects`.
+//! * [`validation`] — the Table 2 machinery: per-lane traffic statistics
+//!   and RMSPE comparison between the BRACE reimplementation and the
+//!   baseline.
+
+pub mod fish;
+pub mod mitsim;
+pub mod predator;
+pub mod scripts;
+pub mod traffic;
+pub mod validation;
+
+pub use fish::{FishBehavior, FishParams};
+pub use mitsim::MitsimBaseline;
+pub use predator::{PredatorBehavior, PredatorParams};
+pub use traffic::{TrafficBehavior, TrafficParams};

@@ -1,0 +1,225 @@
+//! The evaluation models written in BRASIL.
+//!
+//! [`FIGURE2_FISH`] is the paper's Figure 2 verbatim (modulo surface-syntax
+//! normalization); it parses, type-checks and inverts, demonstrating the
+//! compiler pipeline on the paper's own example. [`FISH_SCHOOL`] is a
+//! numerically hardened variant actually used in simulations (the original
+//! divides by zero for coincident fish — NIL semantics skip those
+//! assignments, but a directional force makes better physics).
+//! [`PREDATOR`] is the Figure 5 workload: biting as a **non-local** effect
+//! assignment, which `brasil::invert_effects` rewrites into the local form
+//! automatically — the optimization whose payoff Figure 5 measures.
+
+use brace_common::Result;
+use brasil::{invert_effects, BrasilBehavior, Script};
+
+/// The paper's Figure 2, normalized to this implementation's surface
+/// syntax (update rule and `#range` tag in one declaration; explicit
+/// divide-by-zero guard is *not* added — NIL semantics handle it).
+pub const FIGURE2_FISH: &str = r#"
+class Fish {
+    // The fish location
+    public state float x : x + vx #range[-1, 1];
+    public state float y : y + vy #range[-1, 1];
+    // The latest fish velocity
+    public state float vx : vx + rand() + avoidx / count * vx;
+    public state float vy : vy + rand() + avoidy / count * vy;
+    // Used to update our velocity
+    private effect float avoidx : sum;
+    private effect float avoidy : sum;
+    private effect int count : sum;
+    /** The query-phase for this fish. */
+    public void run() {
+        // Use "forces" to repel fish too close
+        foreach (Fish p : Extent<Fish>) {
+            p.avoidx <- 1 / abs(x - p.x);
+            p.avoidy <- 1 / abs(y - p.y);
+            p.count <- 1;
+        }
+    }
+}
+"#;
+
+/// Runnable fish-school script: directional repulsion, bounded speed,
+/// local effects only.
+pub const FISH_SCHOOL: &str = r#"
+class Fish {
+    public state float x : x + vx #range[-1, 1];
+    public state float y : y + vy #range[-1, 1];
+    public state float vx : clamp(vx * 0.9 + (rand() - 0.5) * 0.1 + avoidx / max(count, 1), 0 - 1, 1);
+    public state float vy : clamp(vy * 0.9 + (rand() - 0.5) * 0.1 + avoidy / max(count, 1), 0 - 1, 1);
+    private effect float avoidx : sum;
+    private effect float avoidy : sum;
+    private effect int count : sum;
+    public void run() {
+        foreach (Fish p : Extent<Fish>) {
+            avoidx <- (x - p.x) / max((x - p.x) * (x - p.x) + (y - p.y) * (y - p.y), 0.04);
+            avoidy <- (y - p.y) / max((x - p.x) * (x - p.x) + (y - p.y) * (y - p.y), 0.04);
+            count <- 1;
+        }
+    }
+}
+"#;
+
+/// The predator workload of Figure 5: biting pushes a `hurt` effect onto
+/// the victim — a non-local assignment forcing the two-reduce-pass
+/// schedule until effect inversion eliminates it.
+pub const PREDATOR: &str = r#"
+class Fish {
+    public state float x : x + (rand() - 0.5) #range[-2, 2];
+    public state float y : y + (rand() - 0.5) #range[-2, 2];
+    public state float size : size + 0.01;
+    public state float pain : pain * 0.5 + hurt;
+    private effect float hurt : sum;
+    private effect float crowd : sum;
+    public void run() {
+        foreach (Fish p : Extent<Fish>) {
+            crowd <- 1;
+            if (size > p.size + 0.3) {
+                p.hurt <- size - p.size;
+            }
+        }
+    }
+}
+"#;
+
+/// A simplified car-following-only traffic script (the full MITSIM lane
+/// model needs argmin-style neighbor selection, outside the BRASIL
+/// aggregate subset — see DESIGN.md); used by the quickstart example.
+pub const CAR_FOLLOWING: &str = r#"
+class Car {
+    public state float x : x + vel #range[-40, 40];
+    public state float vel : clamp(vel + 0.25 * (28 - vel) - press / max(ahead, 1), 0, 36);
+    private effect float press : sum;
+    private effect float ahead : sum;
+    public void run() {
+        foreach (Car p : Extent<Car>) {
+            if (p.x > x) {
+                // Pressure from each leader, strongest when close.
+                press <- clamp(40 - (p.x - x), 0, 40) * 0.2;
+                ahead <- 1;
+            }
+        }
+    }
+}
+"#;
+
+/// Compile the runnable fish-school behavior.
+pub fn fish_school() -> Result<BrasilBehavior> {
+    let script = Script::compile(FISH_SCHOOL)?;
+    Ok(script.behavior("Fish").expect("class Fish exists"))
+}
+
+/// Compile the predator behavior; `inverted` applies effect inversion
+/// (Theorem 2/3), turning the non-local script into a local one. The
+/// safe optimizer passes re-run after inversion to prune the empty
+/// conditional shells the rewrite leaves behind.
+pub fn predator(inverted: bool) -> Result<BrasilBehavior> {
+    let script = Script::compile(PREDATOR)?;
+    let class = script.classes()[0].clone();
+    let class = if inverted { brasil::optimize(invert_effects(class)?) } else { class };
+    Ok(BrasilBehavior::new(class))
+}
+
+/// Compile the car-following example.
+pub fn car_following() -> Result<BrasilBehavior> {
+    let script = Script::compile(CAR_FOLLOWING)?;
+    Ok(script.behavior("Car").expect("class Car exists"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brace_common::{AgentId, DetRng, Vec2};
+    use brace_core::{Agent, Behavior, Simulation};
+
+    #[test]
+    fn figure2_parses_checks_and_inverts() {
+        let script = Script::compile(FIGURE2_FISH).unwrap();
+        let class = script.classes()[0].clone();
+        assert!(class.schema().has_nonlocal_effects());
+        assert_eq!(class.schema().visibility(), 1.0);
+        let inverted = invert_effects(class).unwrap();
+        assert!(!inverted.schema().has_nonlocal_effects());
+    }
+
+    #[test]
+    fn fish_school_script_runs() {
+        let behavior = fish_school().unwrap();
+        let schema = behavior.schema().clone();
+        let mut rng = DetRng::seed_from_u64(1);
+        let agents: Vec<Agent> = (0..80)
+            .map(|i| {
+                Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 8.0), rng.range(0.0, 8.0)), &schema)
+            })
+            .collect();
+        let mut sim = Simulation::builder(behavior).agents(agents).seed(2).build().unwrap();
+        sim.run(20);
+        assert_eq!(sim.agents().len(), 80);
+        for a in sim.agents() {
+            assert!(!a.pos.is_nan());
+            assert!(a.state[0].abs() <= 1.0 + 1e-9, "vx bounded");
+        }
+        // Repulsion must spread the school.
+        let spread: f64 = sim.agents().iter().map(|a| a.pos.norm()).fold(0.0, f64::max);
+        assert!(spread > 6.0);
+    }
+
+    #[test]
+    fn predator_nonlocal_and_inverted_agree() {
+        let run = |inverted: bool| {
+            let behavior = predator(inverted).unwrap();
+            let schema = behavior.schema().clone();
+            let mut rng = DetRng::seed_from_u64(7);
+            let agents: Vec<Agent> = (0..120)
+                .map(|i| {
+                    let mut a = Agent::new(
+                        AgentId::new(i),
+                        Vec2::new(rng.range(0.0, 12.0), rng.range(0.0, 12.0)),
+                        &schema,
+                    );
+                    a.state[0] = rng.range(0.5, 1.5); // size
+                    a
+                })
+                .collect();
+            let mut sim = Simulation::builder(behavior).agents(agents).seed(11).build().unwrap();
+            sim.run(8);
+            sim.agents().iter().map(|a| (a.id, a.state.clone())).collect::<Vec<_>>()
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a.len(), b.len());
+        for ((id_a, sa), (id_b, sb)) in a.iter().zip(&b) {
+            assert_eq!(id_a, id_b);
+            for (va, vb) in sa.iter().zip(sb) {
+                let scale = va.abs().max(vb.abs()).max(1.0);
+                assert!((va - vb).abs() < 1e-9 * scale, "{id_a}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn predator_schema_flags() {
+        assert!(predator(false).unwrap().schema().has_nonlocal_effects());
+        assert!(!predator(true).unwrap().schema().has_nonlocal_effects());
+    }
+
+    #[test]
+    fn car_following_keeps_order_and_speed() {
+        let behavior = car_following().unwrap();
+        let schema = behavior.schema().clone();
+        let agents: Vec<Agent> = (0..30)
+            .map(|i| {
+                let mut a = Agent::new(AgentId::new(i), Vec2::new(i as f64 * 30.0, 0.0), &schema);
+                a.state[0] = 20.0;
+                a
+            })
+            .collect();
+        let mut sim = Simulation::builder(behavior).agents(agents).seed(3).build().unwrap();
+        sim.run(40);
+        for a in sim.agents() {
+            let v = a.state[0];
+            assert!((0.0..=36.0).contains(&v), "vel {v}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Uniform-grid (bucket) spatial index.
+//!
+//! The ablation alternative to the KD-tree: space is covered by square cells
+//! of side `cell`; each cell holds the points inside it. Range queries visit
+//! only the cells overlapping the query rectangle. For the roughly uniform
+//! densities of the traffic workload a grid with cell ≈ visibility radius is
+//! hard to beat; for strongly clustered workloads (fish schools) the KD-tree
+//! adapts where the grid degrades — which is exactly why the comparison is
+//! interesting (see `bench/benches/spatial_index.rs`).
+//!
+//! The grid hashes unbounded space: cell coordinates are derived by flooring
+//! and looked up in a hash map, so the "unbounded ocean" of the fish model
+//! needs no special casing.
+
+use crate::index::SpatialIndex;
+use brace_common::{Rect, Vec2};
+use std::collections::HashMap;
+
+/// Bucket index over uniform square cells. See module docs.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<(Vec2, u32)>>,
+    len: usize,
+}
+
+/// Default cell size when the caller builds through the generic
+/// [`SpatialIndex::build`] (which cannot pass a size): chosen from the data
+/// so that an average cell holds a handful of points.
+fn auto_cell(points: &[(Vec2, u32)]) -> f64 {
+    if points.is_empty() {
+        return 1.0;
+    }
+    let bounds = points.iter().fold(Rect::EMPTY, |b, &(p, _)| b.extended(p));
+    let area = (bounds.width().max(1e-9)) * (bounds.height().max(1e-9));
+    // Target ~4 points per cell.
+    (area * 4.0 / points.len() as f64).sqrt().max(1e-9)
+}
+
+impl UniformGrid {
+    /// Build with an explicit cell size (normally the visibility bound).
+    pub fn with_cell(points: &[(Vec2, u32)], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let mut cells: HashMap<(i64, i64), Vec<(Vec2, u32)>> = HashMap::new();
+        for &(p, payload) in points {
+            cells.entry(Self::key(p, cell)).or_default().push((p, payload));
+        }
+        UniformGrid { cell, cells, len: points.len() }
+    }
+
+    #[inline]
+    fn key(p: Vec2, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// The configured cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of non-empty cells (diagnostic for load-skew analysis).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl SpatialIndex for UniformGrid {
+    fn build(points: &[(Vec2, u32)]) -> Self {
+        UniformGrid::with_cell(points, auto_cell(points))
+    }
+
+    fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
+        if rect.is_empty() || self.len == 0 {
+            return;
+        }
+        let (x0, y0) = Self::key(rect.lo, self.cell);
+        let (x1, y1) = Self::key(rect.hi, self.cell);
+        // Guard against absurd query rectangles producing gigantic loops:
+        // iterate cells only when the cell count is smaller than the point
+        // count; otherwise scan the occupied cells directly.
+        let cell_count = (x1 - x0 + 1).saturating_mul(y1 - y0 + 1);
+        if cell_count as usize > self.cells.len() {
+            for (_, bucket) in self.cells.iter() {
+                for &(p, payload) in bucket {
+                    if rect.contains(p) {
+                        out.push(payload);
+                    }
+                }
+            }
+            return;
+        }
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for &(p, payload) in bucket {
+                        if rect.contains(p) {
+                            out.push(payload);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn nearest(&self, q: Vec2, exclude: Option<u32>) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        // Expanding ring search over cells; falls back to a full scan once
+        // the ring is larger than the populated area.
+        let (qx, qy) = Self::key(q, self.cell);
+        let mut best: Option<(f64, u32)> = None;
+        let mut ring = 0i64;
+        loop {
+            let mut saw_any = false;
+            for cx in (qx - ring)..=(qx + ring) {
+                for cy in (qy - ring)..=(qy + ring) {
+                    // Only the ring boundary (inner cells were already done).
+                    if ring > 0 && cx != qx - ring && cx != qx + ring && cy != qy - ring && cy != qy + ring {
+                        continue;
+                    }
+                    if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                        saw_any = true;
+                        for &(p, payload) in bucket {
+                            if Some(payload) == exclude {
+                                continue;
+                            }
+                            let d = p.dist2(q);
+                            if best.is_none_or(|(bd, _)| d < bd) {
+                                best = Some((d, payload));
+                            }
+                        }
+                    }
+                }
+            }
+            // A hit in ring r guarantees the true nearest is within ring
+            // r+1 (cell geometry), so scan one extra ring then stop.
+            if let Some((bd, _)) = best {
+                let safe_radius = (ring as f64) * self.cell;
+                if bd.sqrt() <= safe_radius || ring as usize > self.cells.len() {
+                    return best.map(|(_, p)| p);
+                }
+            }
+            if !saw_any && ring > 0 && (ring as u64) > 2 * self.len as u64 + 2 {
+                // Degenerate spread; brute force the remainder.
+                for (_, bucket) in self.cells.iter() {
+                    for &(p, payload) in bucket {
+                        if Some(payload) == exclude {
+                            continue;
+                        }
+                        let d = p.dist2(q);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, payload));
+                        }
+                    }
+                }
+                return best.map(|(_, p)| p);
+            }
+            ring += 1;
+        }
+    }
+
+    /// Grid k-NN: gather-and-sort over the occupied cells. Correct but not
+    /// ring-pruned — the KD-tree is the index of choice for k-NN probes;
+    /// the grid's implementation exists so every index satisfies the full
+    /// trait (ablations can still measure the difference).
+    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
+        let mut all: Vec<(f64, u32)> = self
+            .cells
+            .values()
+            .flatten()
+            .filter(|&&(_, payload)| Some(payload) != exclude)
+            .map(|&(p, payload)| (p.dist2(q), payload))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
+        all.truncate(k);
+        all.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ScanIndex;
+    use brace_common::DetRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Vec2, u32)> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..n).map(|i| (Vec2::new(rng.range(-50.0, 50.0), rng.range(-50.0, 50.0)), i as u32)).collect()
+    }
+
+    #[test]
+    fn grid_range_matches_scan() {
+        let pts = random_points(400, 11);
+        let grid = UniformGrid::with_cell(&pts, 7.0);
+        let scan = ScanIndex::build(&pts);
+        let mut rng = DetRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let c = Vec2::new(rng.range(-60.0, 60.0), rng.range(-60.0, 60.0));
+            let rect = Rect::centered(c, rng.range(0.0, 25.0));
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            grid.range(&rect, &mut a);
+            scan.range(&rect, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn grid_nearest_matches_scan() {
+        let pts = random_points(200, 13);
+        let grid = UniformGrid::with_cell(&pts, 5.0);
+        let scan = ScanIndex::build(&pts);
+        let mut rng = DetRng::seed_from_u64(14);
+        for _ in 0..100 {
+            let q = Vec2::new(rng.range(-70.0, 70.0), rng.range(-70.0, 70.0));
+            let a = grid.nearest(q, None).unwrap();
+            let b = scan.nearest(q, None).unwrap();
+            let da = pts[a as usize].0.dist2(q);
+            let db = pts[b as usize].0.dist2(q);
+            assert!((da - db).abs() < 1e-12, "grid {da} vs scan {db}");
+        }
+    }
+
+    #[test]
+    fn grid_handles_negative_coordinates() {
+        let pts = vec![(Vec2::new(-10.5, -0.1), 0), (Vec2::new(-9.9, -0.2), 1)];
+        let grid = UniformGrid::with_cell(&pts, 1.0);
+        let mut out = Vec::new();
+        grid.range(&Rect::from_bounds(-11.0, -10.0, -1.0, 0.0), &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn auto_cell_build_works() {
+        let pts = random_points(100, 15);
+        let grid = UniformGrid::build(&pts);
+        assert_eq!(grid.len(), 100);
+        assert!(grid.cell_size() > 0.0);
+        let mut out = Vec::new();
+        grid.range(&Rect::EVERYTHING.intersection(&Rect::from_bounds(-50.0, 50.0, -50.0, 50.0)), &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = UniformGrid::build(&[]);
+        assert!(grid.is_empty());
+        assert_eq!(grid.nearest(Vec2::ZERO, None), None);
+    }
+
+    #[test]
+    fn nearest_with_exclusion() {
+        let pts = vec![(Vec2::ZERO, 0), (Vec2::new(1.0, 0.0), 1)];
+        let grid = UniformGrid::with_cell(&pts, 1.0);
+        assert_eq!(grid.nearest(Vec2::new(0.1, 0.0), Some(0)), Some(1));
+    }
+
+    #[test]
+    fn far_query_still_finds_nearest() {
+        let pts = vec![(Vec2::new(1000.0, 1000.0), 7)];
+        let grid = UniformGrid::with_cell(&pts, 1.0);
+        assert_eq!(grid.nearest(Vec2::ZERO, None), Some(7));
+    }
+}

@@ -1,0 +1,168 @@
+//! The spatial-index abstraction.
+//!
+//! BRACE's reducers answer one query shape billions of times: *"which agents
+//! lie inside this axis-aligned rectangle?"* (the compiled form of a BRASIL
+//! `foreach` under a `#range` visibility constraint) — plus nearest-neighbor
+//! probes for models like MITSIM's lead/rear-vehicle lookup. The engine is
+//! generic over [`SpatialIndex`] so the paper's indexing-on/off experiments
+//! (Figures 3 and 4) are a one-line configuration change, and so the KD-tree
+//! can be compared against a uniform grid in the ablation benchmarks.
+//!
+//! Indexes are rebuilt per tick from the positions of the current tick's
+//! agents. Positions are immutable during the query phase (the state-effect
+//! pattern guarantees states are frozen within a tick), so no index needs to
+//! support updates mid-tick.
+
+use brace_common::{Rect, Vec2};
+
+/// A read-only spatial index over a set of points, each carrying a `u32`
+/// payload (the index of the agent in the tick's agent table).
+pub trait SpatialIndex: Send + Sync {
+    /// Build an index over `points`. Payloads need not be unique or dense.
+    fn build(points: &[(Vec2, u32)]) -> Self
+    where
+        Self: Sized;
+
+    /// Append the payloads of every point inside the closed rectangle
+    /// `rect` to `out`, in unspecified order.
+    fn range(&self, rect: &Rect, out: &mut Vec<u32>);
+
+    /// Payload of a point nearest to `q` in Euclidean distance (ties are
+    /// broken arbitrarily), excluding points whose payload equals `exclude`
+    /// (so an agent can ask for its nearest *other* agent). `None` when no
+    /// eligible point exists.
+    fn nearest(&self, q: Vec2, exclude: Option<u32>) -> Option<u32>;
+
+    /// The `k` nearest points to `q` by Euclidean distance, sorted
+    /// ascending, excluding payload `exclude`. Fewer than `k` results when
+    /// fewer points exist. This is the probe behind the paper's
+    /// nearest-neighbor-indexing extension (its "planned future work"):
+    /// MITSIM-style models look up lead/rear vehicles by proximity rather
+    /// than fixed range.
+    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32>;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// True when no points are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which index the engine should build each tick. This enum exists so that
+/// configuration is data (serializable into experiment manifests) rather
+/// than a type parameter, while the hot loops still run against the
+/// concrete, monomorphized index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// No index: the query phase scans every agent for every agent. This is
+    /// the quadratic baseline of Figures 3 and 4.
+    Scan,
+    /// KD-tree with orthogonal range queries (the paper's choice).
+    #[default]
+    KdTree,
+    /// Uniform grid (bucket) index; ablation alternative.
+    Grid,
+}
+
+/// Brute-force "index": linear scan. The `build` step is free; every query
+/// is O(n). With n agents each running one range query per tick the tick
+/// cost is O(n²) — exactly the no-indexing degradation the paper reports.
+#[derive(Debug, Clone, Default)]
+pub struct ScanIndex {
+    points: Vec<(Vec2, u32)>,
+}
+
+impl SpatialIndex for ScanIndex {
+    fn build(points: &[(Vec2, u32)]) -> Self {
+        ScanIndex { points: points.to_vec() }
+    }
+
+    fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
+        for &(p, payload) in &self.points {
+            if rect.contains(p) {
+                out.push(payload);
+            }
+        }
+    }
+
+    fn nearest(&self, q: Vec2, exclude: Option<u32>) -> Option<u32> {
+        let mut best: Option<(f64, u32)> = None;
+        for &(p, payload) in &self.points {
+            if Some(payload) == exclude {
+                continue;
+            }
+            let d = p.dist2(q);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, payload));
+            }
+        }
+        best.map(|(_, payload)| payload)
+    }
+
+    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
+        let mut all: Vec<(f64, u32)> = self
+            .points
+            .iter()
+            .filter(|&&(_, payload)| Some(payload) != exclude)
+            .map(|&(p, payload)| (p.dist2(q), payload))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
+        all.truncate(k);
+        all.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<(Vec2, u32)> {
+        vec![
+            (Vec2::new(0.0, 0.0), 0),
+            (Vec2::new(1.0, 1.0), 1),
+            (Vec2::new(2.0, 2.0), 2),
+            (Vec2::new(-1.0, 3.0), 3),
+        ]
+    }
+
+    #[test]
+    fn scan_range_finds_exact_set() {
+        let idx = ScanIndex::build(&pts());
+        let mut out = Vec::new();
+        idx.range(&Rect::from_bounds(0.0, 1.5, 0.0, 1.5), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn scan_range_boundary_inclusive() {
+        let idx = ScanIndex::build(&pts());
+        let mut out = Vec::new();
+        idx.range(&Rect::from_bounds(1.0, 2.0, 1.0, 2.0), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn scan_nearest_with_exclusion() {
+        let idx = ScanIndex::build(&pts());
+        assert_eq!(idx.nearest(Vec2::new(0.1, 0.1), None), Some(0));
+        assert_eq!(idx.nearest(Vec2::new(0.1, 0.1), Some(0)), Some(1));
+    }
+
+    #[test]
+    fn scan_empty() {
+        let idx = ScanIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(Vec2::ZERO, None), None);
+        let mut out = Vec::new();
+        idx.range(&Rect::EVERYTHING, &mut out);
+        assert!(out.is_empty());
+    }
+}

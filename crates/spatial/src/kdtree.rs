@@ -1,0 +1,438 @@
+//! A two-dimensional KD-tree (Bentley-style, array-backed).
+//!
+//! This is the index the BRACE prototype used ("a generic KD-tree based
+//! spatial index capability \[3\]", citing Bentley's semidynamic k-d trees).
+//! The engine rebuilds it each tick, so the implementation optimizes bulk
+//! build + query throughput rather than incremental updates:
+//!
+//! * nodes live in a flat `Vec` in build order (no per-node allocation);
+//! * construction is the classic median split with Hoare partitioning
+//!   (`select_nth_unstable_by`), alternating split axes — O(n log n);
+//! * leaves hold up to a fixed number of points (16) and are scanned linearly, which
+//!   beats deeper recursion for the query sizes behavioral simulations see;
+//! * orthogonal range queries and nearest-neighbor search both prune by the
+//!   node bounding boxes maintained during the build.
+//!
+//! Bentley's *semidynamic* flavor (delete/undelete without restructure) is
+//! supported through [`KdTree::deactivate`]/[`KdTree::reactivate`]: the
+//! predator model kills agents mid-tick-sequence and it is cheaper to mask
+//! them than rebuild.
+
+use crate::index::SpatialIndex;
+use brace_common::{Rect, Vec2};
+
+/// Maximum number of points in a leaf node. 16 keeps the tree shallow while
+/// the per-leaf scan stays within a cache line or two of point data.
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal node: splits `axis` at `split`; children are `left`/`right`
+    /// indices into the node vec. `bounds` is the bounding box of the whole
+    /// subtree (used for pruning).
+    Inner { axis: u8, split: f64, left: u32, right: u32, bounds: Rect },
+    /// Leaf: a `start..end` range into the `points` array.
+    Leaf { start: u32, end: u32, bounds: Rect },
+}
+
+/// Array-backed 2-D KD-tree. See the module docs for design rationale.
+#[derive(Debug, Clone, Default)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    /// Points permuted into build order, so each leaf is a contiguous slice.
+    points: Vec<(Vec2, u32)>,
+    /// `active[i]` mirrors `points[i]`; deactivated points are invisible to
+    /// all queries (Bentley's "deletion").
+    active: Vec<bool>,
+    root: Option<u32>,
+    live: usize,
+}
+
+impl KdTree {
+    /// Bounding box of all points (empty rect for an empty tree).
+    pub fn bounds(&self) -> Rect {
+        match self.root {
+            Some(r) => match &self.nodes[r as usize] {
+                Node::Inner { bounds, .. } | Node::Leaf { bounds, .. } => *bounds,
+            },
+            None => Rect::EMPTY,
+        }
+    }
+
+    /// Depth of the tree (0 for empty); exposed for testing the build shape.
+    pub fn depth(&self) -> usize {
+        fn go(nodes: &[Node], n: u32) -> usize {
+            match &nodes[n as usize] {
+                Node::Leaf { .. } => 1,
+                Node::Inner { left, right, .. } => 1 + go(nodes, *left).max(go(nodes, *right)),
+            }
+        }
+        self.root.map_or(0, |r| go(&self.nodes, r))
+    }
+
+    /// Mask every point carrying `payload` out of all queries. Returns how
+    /// many points were newly deactivated. O(n) scan: payloads are not
+    /// indexed because deactivation is rare compared to queries.
+    pub fn deactivate(&mut self, payload: u32) -> usize {
+        let mut n = 0;
+        for (i, &(_, pl)) in self.points.iter().enumerate() {
+            if pl == payload && self.active[i] {
+                self.active[i] = false;
+                n += 1;
+            }
+        }
+        self.live -= n;
+        n
+    }
+
+    /// Undo [`KdTree::deactivate`] for `payload`. Returns how many points
+    /// were reactivated.
+    pub fn reactivate(&mut self, payload: u32) -> usize {
+        let mut n = 0;
+        for (i, &(_, pl)) in self.points.iter().enumerate() {
+            if pl == payload && !self.active[i] {
+                self.active[i] = true;
+                n += 1;
+            }
+        }
+        self.live += n;
+        n
+    }
+
+    /// Number of active (query-visible) points.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    fn build_rec(points: &mut [(Vec2, u32)], offset: u32, nodes: &mut Vec<Node>) -> u32 {
+        let bounds = points.iter().fold(Rect::EMPTY, |b, &(p, _)| b.extended(p));
+        if points.len() <= LEAF_SIZE {
+            nodes.push(Node::Leaf { start: offset, end: offset + points.len() as u32, bounds });
+            return (nodes.len() - 1) as u32;
+        }
+        // Split the wider axis of the actual bounding box rather than simply
+        // alternating: degenerate distributions (all agents on a highway
+        // line) otherwise produce sliver cells and deep trees.
+        let axis = if bounds.width() >= bounds.height() { 0u8 } else { 1u8 };
+        let mid = points.len() / 2;
+        let key = |p: &(Vec2, u32)| if axis == 0 { p.0.x } else { p.0.y };
+        points.select_nth_unstable_by(mid, |a, b| key(a).total_cmp(&key(b)));
+        let split = key(&points[mid]);
+        let (lo, hi) = points.split_at_mut(mid);
+        let placeholder = nodes.len() as u32;
+        nodes.push(Node::Leaf { start: 0, end: 0, bounds: Rect::EMPTY }); // patched below
+        let left = Self::build_rec(lo, offset, nodes);
+        let right = Self::build_rec(hi, offset + mid as u32, nodes);
+        nodes[placeholder as usize] = Node::Inner { axis, split, left, right, bounds };
+        placeholder
+    }
+
+    fn range_rec(&self, n: u32, rect: &Rect, out: &mut Vec<u32>) {
+        match &self.nodes[n as usize] {
+            Node::Leaf { start, end, bounds } => {
+                if !rect.intersects(bounds) {
+                    return;
+                }
+                for i in *start as usize..*end as usize {
+                    if self.active[i] && rect.contains(self.points[i].0) {
+                        out.push(self.points[i].1);
+                    }
+                }
+            }
+            Node::Inner { left, right, bounds, .. } => {
+                if !rect.intersects(bounds) {
+                    return;
+                }
+                if rect.contains_rect(bounds) {
+                    // Whole subtree inside the query: report without tests.
+                    self.report_subtree(n, out);
+                    return;
+                }
+                self.range_rec(*left, rect, out);
+                self.range_rec(*right, rect, out);
+            }
+        }
+    }
+
+    fn report_subtree(&self, n: u32, out: &mut Vec<u32>) {
+        match &self.nodes[n as usize] {
+            Node::Leaf { start, end, .. } => {
+                for i in *start as usize..*end as usize {
+                    if self.active[i] {
+                        out.push(self.points[i].1);
+                    }
+                }
+            }
+            Node::Inner { left, right, .. } => {
+                self.report_subtree(*left, out);
+                self.report_subtree(*right, out);
+            }
+        }
+    }
+
+    fn nearest_rec(&self, n: u32, q: Vec2, exclude: Option<u32>, best: &mut (f64, Option<u32>)) {
+        match &self.nodes[n as usize] {
+            Node::Leaf { start, end, bounds } => {
+                if bounds.dist2_to_point(q) > best.0 {
+                    return;
+                }
+                for i in *start as usize..*end as usize {
+                    if !self.active[i] {
+                        continue;
+                    }
+                    let (p, payload) = self.points[i];
+                    if Some(payload) == exclude {
+                        continue;
+                    }
+                    let d = p.dist2(q);
+                    if d < best.0 {
+                        *best = (d, Some(payload));
+                    }
+                }
+            }
+            Node::Inner { axis, split, left, right, bounds } => {
+                if bounds.dist2_to_point(q) > best.0 {
+                    return;
+                }
+                let qk = if *axis == 0 { q.x } else { q.y };
+                // Descend the side containing q first so `best` shrinks
+                // early and prunes the far side.
+                let (near, far) = if qk <= *split { (*left, *right) } else { (*right, *left) };
+                self.nearest_rec(near, q, exclude, best);
+                self.nearest_rec(far, q, exclude, best);
+            }
+        }
+    }
+
+    fn knn_rec(&self, n: u32, q: Vec2, exclude: Option<u32>, k: usize, heap: &mut Vec<(f64, u32)>) {
+        let worst = if heap.len() < k { f64::INFINITY } else { heap.last().unwrap().0 };
+        match &self.nodes[n as usize] {
+            Node::Leaf { start, end, bounds } => {
+                if bounds.dist2_to_point(q) > worst {
+                    return;
+                }
+                for i in *start as usize..*end as usize {
+                    if !self.active[i] {
+                        continue;
+                    }
+                    let (p, payload) = self.points[i];
+                    if Some(payload) == exclude {
+                        continue;
+                    }
+                    let d = p.dist2(q);
+                    let worst = if heap.len() < k { f64::INFINITY } else { heap.last().unwrap().0 };
+                    if d < worst {
+                        let pos = heap.partition_point(|&(hd, _)| hd < d);
+                        heap.insert(pos, (d, payload));
+                        if heap.len() > k {
+                            heap.pop();
+                        }
+                    }
+                }
+            }
+            Node::Inner { axis, split, left, right, bounds } => {
+                if bounds.dist2_to_point(q) > worst {
+                    return;
+                }
+                let qk = if *axis == 0 { q.x } else { q.y };
+                let (near, far) = if qk <= *split { (*left, *right) } else { (*right, *left) };
+                self.knn_rec(near, q, exclude, k, heap);
+                self.knn_rec(far, q, exclude, k, heap);
+            }
+        }
+    }
+}
+
+impl SpatialIndex for KdTree {
+    fn build(points: &[(Vec2, u32)]) -> Self {
+        if points.is_empty() {
+            return KdTree::default();
+        }
+        let mut pts = points.to_vec();
+        let mut nodes = Vec::with_capacity(2 * points.len() / LEAF_SIZE + 1);
+        let root = Self::build_rec(&mut pts, 0, &mut nodes);
+        let live = pts.len();
+        KdTree { nodes, active: vec![true; pts.len()], points: pts, root: Some(root), live }
+    }
+
+    fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
+        if let Some(r) = self.root {
+            self.range_rec(r, rect, out);
+        }
+    }
+
+    fn nearest(&self, q: Vec2, exclude: Option<u32>) -> Option<u32> {
+        let r = self.root?;
+        let mut best = (f64::INFINITY, None);
+        self.nearest_rec(r, q, exclude, &mut best);
+        best.1
+    }
+
+    /// Branch-and-bound k-NN over the tree: a sorted bounded buffer plays
+    /// the max-heap, and subtree bounding boxes prune against its worst
+    /// entry.
+    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
+        if k == 0 || self.root.is_none() {
+            return Vec::new();
+        }
+        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        self.knn_rec(self.root.unwrap(), q, exclude, k, &mut heap);
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0));
+        heap.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ScanIndex;
+    use brace_common::DetRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Vec2, u32)> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..n).map(|i| (Vec2::new(rng.range(-100.0, 100.0), rng.range(-100.0, 100.0)), i as u32)).collect()
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.nearest(Vec2::ZERO, None), None);
+        assert_eq!(t.depth(), 0);
+        assert!(t.bounds().is_empty());
+        let mut out = Vec::new();
+        t.range(&Rect::EVERYTHING, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(&[(Vec2::new(1.0, 2.0), 42)]);
+        assert_eq!(t.nearest(Vec2::ZERO, None), Some(42));
+        assert_eq!(t.nearest(Vec2::ZERO, Some(42)), None);
+        let mut out = Vec::new();
+        t.range(&Rect::centered(Vec2::new(1.0, 2.0), 0.1), &mut out);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn range_matches_scan_on_random_data() {
+        let pts = random_points(500, 1);
+        let tree = KdTree::build(&pts);
+        let scan = ScanIndex::build(&pts);
+        let mut rng = DetRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = Vec2::new(rng.range(-110.0, 110.0), rng.range(-110.0, 110.0));
+            let rect = Rect::centered(c, rng.range(0.0, 40.0));
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            tree.range(&rect, &mut a);
+            scan.range(&rect, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "range mismatch for {rect}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_scan_on_random_data() {
+        let pts = random_points(300, 3);
+        let tree = KdTree::build(&pts);
+        let scan = ScanIndex::build(&pts);
+        let mut rng = DetRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let q = Vec2::new(rng.range(-120.0, 120.0), rng.range(-120.0, 120.0));
+            let a = tree.nearest(q, None).unwrap();
+            let b = scan.nearest(q, None).unwrap();
+            // Distances must match (payload may differ on exact ties).
+            let da = pts[a as usize].0.dist2(q);
+            let db = pts[b as usize].0.dist2(q);
+            assert!((da - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_sorted_and_correct() {
+        let pts = random_points(200, 5);
+        let tree = KdTree::build(&pts);
+        let q = Vec2::new(3.0, -7.0);
+        let got = tree.k_nearest(q, 10, None);
+        assert_eq!(got.len(), 10);
+        // Verify ordering.
+        let dists: Vec<f64> = got.iter().map(|&i| pts[i as usize].0.dist2(q)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        // Verify against brute force.
+        let mut all: Vec<(f64, u32)> = pts.iter().map(|&(p, i)| (p.dist2(q), i)).collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let brute: Vec<f64> = all.iter().take(10).map(|&(d, _)| d).collect();
+        for (g, b) in dists.iter().zip(&brute) {
+            assert!((g - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_more_than_available() {
+        let pts = random_points(5, 6);
+        let tree = KdTree::build(&pts);
+        let got = tree.k_nearest(Vec2::ZERO, 10, None);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_positions_all_reported() {
+        let p = Vec2::new(1.0, 1.0);
+        let pts: Vec<(Vec2, u32)> = (0..40).map(|i| (p, i)).collect();
+        let tree = KdTree::build(&pts);
+        let mut out = Vec::new();
+        tree.range(&Rect::centered(p, 0.5), &mut out);
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn collinear_points_stay_balanced() {
+        // Highway-like degenerate input: all on y = 0.
+        let pts: Vec<(Vec2, u32)> = (0..1024).map(|i| (Vec2::new(i as f64, 0.0), i as u32)).collect();
+        let tree = KdTree::build(&pts);
+        // A balanced tree over 1024 points with leaves of 16 has depth ~7..9.
+        assert!(tree.depth() <= 12, "depth {} too deep for collinear input", tree.depth());
+        let mut out = Vec::new();
+        tree.range(&Rect::from_bounds(10.0, 20.0, -1.0, 1.0), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, (10..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn deactivate_hides_from_all_queries() {
+        let pts = random_points(100, 7);
+        let mut tree = KdTree::build(&pts);
+        assert_eq!(tree.live_len(), 100);
+        let removed = tree.deactivate(17);
+        assert_eq!(removed, 1);
+        assert_eq!(tree.live_len(), 99);
+        let mut out = Vec::new();
+        tree.range(&Rect::EVERYTHING, &mut out);
+        assert_eq!(out.len(), 99);
+        assert!(!out.contains(&17));
+        let q = pts[17].0;
+        assert_ne!(tree.nearest(q, None), Some(17));
+        assert!(!tree.k_nearest(q, 100, None).contains(&17));
+        // Reactivate restores visibility.
+        assert_eq!(tree.reactivate(17), 1);
+        assert_eq!(tree.live_len(), 100);
+        assert_eq!(tree.nearest(q, None), Some(17));
+    }
+
+    #[test]
+    fn bounds_covers_all_points() {
+        let pts = random_points(64, 8);
+        let tree = KdTree::build(&pts);
+        let b = tree.bounds();
+        for &(p, _) in &pts {
+            assert!(b.contains(p));
+        }
+    }
+}

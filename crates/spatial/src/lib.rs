@@ -1,0 +1,32 @@
+//! Spatial substrate for BRACE.
+//!
+//! The paper's central abstraction is that a simulation tick is a *spatial
+//! self-join*: each agent must see exactly the agents inside its visible
+//! region. This crate supplies everything spatial that the engine and the
+//! MapReduce runtime need:
+//!
+//! * [`index`] — the [`SpatialIndex`] abstraction with
+//!   three implementations: a brute-force scan (the paper's "no indexing"
+//!   baseline), a [`KdTree`] (the paper's prototype used a
+//!   KD-tree, citing Bentley), and a [`UniformGrid`]
+//!   bucket index (an ablation alternative).
+//! * [`partition`] — the spatial partitioning function `P : L → P` of the
+//!   paper's Appendix A: a rectilinear grid whose column boundaries can be
+//!   moved by the load balancer, owned regions, partition visible regions
+//!   and replica-target enumeration; [`quadtree`] provides the paper's
+//!   other named candidate, an adaptive quadtree.
+//! * [`join`] — reference spatial self-join implementations used to
+//!   cross-validate the indexes and as the formal ground truth in tests.
+
+pub mod grid;
+pub mod index;
+pub mod join;
+pub mod kdtree;
+pub mod partition;
+pub mod quadtree;
+
+pub use grid::UniformGrid;
+pub use index::{IndexKind, ScanIndex, SpatialIndex};
+pub use kdtree::KdTree;
+pub use partition::{GridPartitioning, Partitioner};
+pub use quadtree::QuadTreePartitioning;

@@ -1,0 +1,302 @@
+//! Quadtree spatial partitioning.
+//!
+//! The paper names two candidate partitioning functions: "a regular grid or
+//! a quadtree" (§3.2, Appendix A). The grid ([`GridPartitioning`](crate::partition::GridPartitioning)) is what
+//! the prototype's 1-D load balancer manages; the quadtree is the
+//! *adaptive* alternative — it subdivides space until no leaf holds more
+//! than a target number of agents, so a skewed initial distribution (a
+//! dense school in an empty ocean) gets balanced partitions without any
+//! balancing protocol. The trade-off: boundaries are fixed at construction
+//! (rebuilding mid-run would transfer many agents), so the quadtree suits
+//! workloads whose density profile is stable, the grid+balancer suits
+//! drifting ones.
+//!
+//! The tree is built over a sample of agent positions and then *flattened*:
+//! leaves are numbered left-to-right and become the partitions. Ownership
+//! lookups descend the tree (O(depth)); replica enumeration walks exactly
+//! the subtrees intersecting the dilated query box.
+
+use crate::partition::Partitioner;
+use brace_common::{PartitionId, Rect, Vec2};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum QNode {
+    /// Leaf: partition id.
+    Leaf(u32),
+    /// Internal: children in quadrant order [SW, SE, NW, NE], split at
+    /// `(cx, cy)`.
+    Inner { cx: f64, cy: f64, children: [usize; 4] },
+}
+
+/// Adaptive quadtree partitioning. Construct with [`QuadTreePartitioning::build`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuadTreePartitioning {
+    nodes: Vec<QNode>,
+    root: usize,
+    bounds: Rect,
+    /// Owned region per partition (border leaves extended to infinity so
+    /// the partitioning covers the plane).
+    regions: Vec<Rect>,
+}
+
+impl QuadTreePartitioning {
+    /// Build over `points`: subdivide `bounds` until every leaf holds at
+    /// most `max_per_leaf` of the given points or `max_depth` is reached.
+    pub fn build(points: &[Vec2], bounds: Rect, max_per_leaf: usize, max_depth: u32) -> Self {
+        assert!(!bounds.is_empty(), "quadtree needs a non-empty bounding box");
+        assert!(max_per_leaf > 0, "leaf capacity must be positive");
+        let mut nodes = Vec::new();
+        let mut regions = Vec::new();
+        let idx: Vec<usize> = (0..points.len()).collect();
+        let root = Self::build_rec(points, idx, bounds, max_per_leaf, max_depth, &mut nodes, &mut regions);
+        // Extend border regions to infinity (clamping semantics).
+        let mut out = QuadTreePartitioning { nodes, root, bounds, regions };
+        for r in &mut out.regions {
+            if r.lo.x <= bounds.lo.x {
+                r.lo.x = f64::NEG_INFINITY;
+            }
+            if r.lo.y <= bounds.lo.y {
+                r.lo.y = f64::NEG_INFINITY;
+            }
+            if r.hi.x >= bounds.hi.x {
+                r.hi.x = f64::INFINITY;
+            }
+            if r.hi.y >= bounds.hi.y {
+                r.hi.y = f64::INFINITY;
+            }
+        }
+        out
+    }
+
+    fn build_rec(
+        points: &[Vec2],
+        idx: Vec<usize>,
+        cell: Rect,
+        cap: usize,
+        depth_left: u32,
+        nodes: &mut Vec<QNode>,
+        regions: &mut Vec<Rect>,
+    ) -> usize {
+        if idx.len() <= cap || depth_left == 0 {
+            let pid = regions.len() as u32;
+            regions.push(cell);
+            nodes.push(QNode::Leaf(pid));
+            return nodes.len() - 1;
+        }
+        let c = cell.center();
+        let mut quads: [Vec<usize>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for i in idx {
+            let p = points[i];
+            let q = Self::quadrant(p, c.x, c.y);
+            quads[q].push(i);
+        }
+        let children_cells = [
+            Rect::new(cell.lo, c),
+            Rect::from_bounds(c.x, cell.hi.x, cell.lo.y, c.y),
+            Rect::from_bounds(cell.lo.x, c.x, c.y, cell.hi.y),
+            Rect::new(c, cell.hi),
+        ];
+        let slot = nodes.len();
+        nodes.push(QNode::Leaf(u32::MAX)); // placeholder, patched below
+        let mut children = [0usize; 4];
+        for (q, (sub, sub_cell)) in quads.into_iter().zip(children_cells).enumerate() {
+            children[q] = Self::build_rec(points, sub, sub_cell, cap, depth_left - 1, nodes, regions);
+        }
+        nodes[slot] = QNode::Inner { cx: c.x, cy: c.y, children };
+        slot
+    }
+
+    /// Quadrant of `p` relative to split `(cx, cy)`: SW=0, SE=1, NW=2, NE=3.
+    #[inline]
+    fn quadrant(p: Vec2, cx: f64, cy: f64) -> usize {
+        ((p.x >= cx) as usize) | (((p.y >= cy) as usize) << 1)
+    }
+
+    /// Leaves = partitions.
+    pub fn num_leaves(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Tree depth (1 = a single leaf).
+    pub fn depth(&self) -> usize {
+        fn go(nodes: &[QNode], n: usize) -> usize {
+            match &nodes[n] {
+                QNode::Leaf(_) => 1,
+                QNode::Inner { children, .. } => 1 + children.iter().map(|&c| go(nodes, c)).max().unwrap(),
+            }
+        }
+        go(&self.nodes, self.root)
+    }
+
+    fn collect_intersecting(&self, n: usize, query: &Rect, out: &mut Vec<PartitionId>) {
+        match &self.nodes[n] {
+            QNode::Leaf(pid) => {
+                if query.intersects(&self.regions[*pid as usize]) {
+                    out.push(PartitionId::new(*pid));
+                }
+            }
+            QNode::Inner { children, .. } => {
+                for &c in children {
+                    self.collect_intersecting(c, query, out);
+                }
+            }
+        }
+    }
+}
+
+impl Partitioner for QuadTreePartitioning {
+    fn num_partitions(&self) -> usize {
+        self.regions.len()
+    }
+
+    fn partition_of(&self, p: Vec2) -> PartitionId {
+        // Clamp into bounds, then descend.
+        let p = p.clamped(&Rect::new(self.bounds.lo, self.bounds.hi));
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n] {
+                QNode::Leaf(pid) => return PartitionId::new(*pid),
+                QNode::Inner { cx, cy, children } => {
+                    n = children[Self::quadrant(p, *cx, *cy)];
+                }
+            }
+        }
+    }
+
+    fn owned_region(&self, pid: PartitionId) -> Rect {
+        self.regions[pid.index()]
+    }
+
+    fn replica_targets(&self, p: Vec2, vis: f64, out: &mut Vec<PartitionId>) {
+        let query = Rect::centered(p, vis);
+        self.collect_intersecting(self.root, &query, out);
+        // `intersects` over the extended border regions covers the clamped
+        // semantics; ensure the owner is present even for far-out points.
+        let owner = self.partition_of(p);
+        if !out.contains(&owner) {
+            out.push(owner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::{nested_loop_join, partitioned_join};
+    use brace_common::DetRng;
+
+    fn clustered_points(n: usize, seed: u64) -> Vec<Vec2> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                if rng.chance(0.8) {
+                    // Dense cluster in one corner.
+                    Vec2::new(rng.range(0.0, 10.0), rng.range(0.0, 10.0))
+                } else {
+                    Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 100.0))
+                }
+            })
+            .collect()
+    }
+
+    fn space() -> Rect {
+        Rect::from_bounds(0.0, 100.0, 0.0, 100.0)
+    }
+
+    #[test]
+    fn single_leaf_when_under_capacity() {
+        let pts = vec![Vec2::new(1.0, 1.0); 5];
+        let qt = QuadTreePartitioning::build(&pts, space(), 10, 8);
+        assert_eq!(qt.num_leaves(), 1);
+        assert_eq!(qt.depth(), 1);
+        assert_eq!(qt.partition_of(Vec2::new(50.0, 50.0)), PartitionId::new(0));
+    }
+
+    #[test]
+    fn subdivides_dense_regions_deeper() {
+        let pts = clustered_points(400, 1);
+        let qt = QuadTreePartitioning::build(&pts, space(), 32, 8);
+        assert!(qt.num_leaves() > 4, "skew must force subdivision, got {}", qt.num_leaves());
+        // Leaves in the dense corner are small; far corner stays coarse.
+        let dense = qt.owned_region(qt.partition_of(Vec2::new(5.0, 5.0)));
+        let sparse = qt.owned_region(qt.partition_of(Vec2::new(90.0, 90.0)));
+        let finite_area = |r: Rect| {
+            let rr = r.intersection(&space());
+            rr.area()
+        };
+        assert!(
+            finite_area(dense) < finite_area(sparse),
+            "dense leaf {dense} should be smaller than sparse leaf {sparse}"
+        );
+    }
+
+    #[test]
+    fn ownership_matches_owned_regions() {
+        let pts = clustered_points(300, 2);
+        let qt = QuadTreePartitioning::build(&pts, space(), 16, 8);
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let p = Vec2::new(rng.range(-20.0, 120.0), rng.range(-20.0, 120.0));
+            let owner = qt.partition_of(p);
+            assert!(
+                qt.owned_region(owner).contains(p),
+                "{p} not inside its owner's region {}",
+                qt.owned_region(owner)
+            );
+        }
+    }
+
+    #[test]
+    fn owned_set_sizes_are_balanced_on_skewed_data() {
+        let pts = clustered_points(1000, 4);
+        let qt = QuadTreePartitioning::build(&pts, space(), 64, 10);
+        let mut counts = vec![0usize; qt.num_partitions()];
+        for &p in &pts {
+            counts[qt.partition_of(p).index()] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max <= 64, "no leaf may exceed its capacity, got {max}");
+    }
+
+    #[test]
+    fn replica_targets_match_visible_region_definition() {
+        let pts = clustered_points(200, 5);
+        let qt = QuadTreePartitioning::build(&pts, space(), 16, 8);
+        let mut rng = DetRng::seed_from_u64(6);
+        for _ in 0..300 {
+            let p = Vec2::new(rng.range(-5.0, 105.0), rng.range(-5.0, 105.0));
+            let vis = rng.range(0.0, 15.0);
+            let mut targets = Vec::new();
+            qt.replica_targets(p, vis, &mut targets);
+            targets.sort_unstable();
+            targets.dedup();
+            let expected: Vec<PartitionId> = (0..qt.num_partitions())
+                .map(|i| PartitionId::new(i as u32))
+                .filter(|&pid| qt.visible_region(pid, vis).contains(p))
+                .collect();
+            assert_eq!(targets, expected, "p={p} vis={vis}");
+        }
+    }
+
+    #[test]
+    fn partitioned_join_through_quadtree_equals_reference() {
+        let pts = clustered_points(250, 7);
+        let qt = QuadTreePartitioning::build(&pts, space(), 24, 8);
+        for vis in [0.5, 2.0, 8.0] {
+            let mut reference = nested_loop_join(&pts, vis);
+            let mut got = partitioned_join(&pts, &qt, vis);
+            reference.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(reference, got, "vis={vis}");
+        }
+    }
+
+    #[test]
+    fn max_depth_caps_subdivision() {
+        // Everything at one point: capacity can never be met, depth must cap.
+        let pts = vec![Vec2::new(1.0, 1.0); 100];
+        let qt = QuadTreePartitioning::build(&pts, space(), 2, 3);
+        assert!(qt.depth() <= 4); // root + 3 levels
+    }
+}

@@ -1,0 +1,143 @@
+//! `brasil_run` — compile and execute a BRASIL script from a file.
+//!
+//! ```sh
+//! cargo run --release --example brasil_run -- scripts/swarm.brasil \
+//!     [--agents 500] [--ticks 100] [--seed 7] [--workers 4] [--show-plan]
+//! ```
+//!
+//! Agents start at deterministic random positions in a square sized to the
+//! population; state fields start at 0. With `--workers N` the script runs
+//! on the distributed runtime instead of the single-node engine.
+
+use brace::common::{AgentId, DetRng, Vec2};
+use brace::core::{Agent, Behavior, Simulation};
+use brace::mapreduce::{ClusterConfig, ClusterSim};
+use brasil::Script;
+use std::sync::Arc;
+
+struct Opts {
+    path: String,
+    agents: usize,
+    ticks: u64,
+    seed: u64,
+    workers: usize,
+    show_plan: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts =
+        Opts { path: String::new(), agents: 500, ticks: 100, seed: 7, workers: 1, show_plan: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--agents" => opts.agents = take("--agents")?.parse().map_err(|e| format!("--agents: {e}"))?,
+            "--ticks" => opts.ticks = take("--ticks")?.parse().map_err(|e| format!("--ticks: {e}"))?,
+            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--workers" => {
+                opts.workers = take("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--show-plan" => opts.show_plan = true,
+            "-h" | "--help" => return Err("usage".into()),
+            path if !path.starts_with('-') && opts.path.is_empty() => opts.path = path.to_string(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("missing script path".into());
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: brasil_run <script.brasil> [--agents N] [--ticks N] [--seed N] [--workers N] [--show-plan]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let source = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
+        eprintln!("error: reading {}: {e}", opts.path);
+        std::process::exit(2);
+    });
+    let script = Script::compile(&source).unwrap_or_else(|e| {
+        eprintln!("compile error: {e}");
+        std::process::exit(1);
+    });
+    let class = script.classes()[0].clone();
+    println!(
+        "compiled `{}`: {} state, {} effect fields; visibility {}; non-local effects: {}",
+        class.schema().name(),
+        class.schema().num_states(),
+        class.schema().num_effects(),
+        class.schema().visibility(),
+        class.schema().has_nonlocal_effects()
+    );
+    if opts.show_plan {
+        println!("\n{}", brasil::pretty::class(&class));
+    }
+    let behavior = brasil::BrasilBehavior::new(class);
+    let schema = behavior.schema().clone();
+
+    // Deterministic population over a density-normalized square.
+    let side = (opts.agents as f64 * 2.0).sqrt().max(1.0);
+    let mut rng = DetRng::seed_from_u64(opts.seed);
+    let agents: Vec<Agent> = (0..opts.agents)
+        .map(|i| {
+            Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, side), rng.range(0.0, side)), &schema)
+        })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let world = if opts.workers > 1 {
+        let epoch_len = 10.min(opts.ticks.max(1));
+        let ticks = opts.ticks / epoch_len * epoch_len;
+        let cfg = ClusterConfig {
+            workers: opts.workers,
+            epoch_len,
+            seed: opts.seed,
+            space_x: (0.0, side),
+            ..ClusterConfig::default()
+        };
+        let mut sim = ClusterSim::new(Arc::new(behavior), agents, cfg).expect("valid cluster");
+        sim.run_ticks(ticks).expect("runs");
+        let stats = sim.stats();
+        println!(
+            "ran {ticks} ticks on {} workers: {} messages, {} bytes over the network",
+            opts.workers,
+            stats.net.total_messages(),
+            stats.net.total_bytes()
+        );
+        sim.collect_agents().expect("collect")
+    } else {
+        let mut sim = Simulation::builder(behavior).agents(agents).seed(opts.seed).build().expect("valid sim");
+        sim.run(opts.ticks);
+        println!("ran {} ticks single-node: {:.0} agent-ticks/s", opts.ticks, sim.metrics().throughput());
+        sim.agents().to_vec()
+    };
+    let elapsed = t0.elapsed();
+
+    // World summary.
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for a in &world {
+        cx += a.pos.x;
+        cy += a.pos.y;
+    }
+    let n = world.len().max(1) as f64;
+    println!(
+        "final world: {} agents, centroid ({:.2}, {:.2}), wall {:.2?}",
+        world.len(),
+        cx / n,
+        cy / n,
+        elapsed
+    );
+    for a in world.iter().take(3) {
+        println!("  {}: pos {} state {:?}", a.id, a.pos, a.state);
+    }
+}

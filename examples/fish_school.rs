@@ -1,0 +1,86 @@
+//! The Couzin fish-school simulation on the distributed runtime, with the
+//! load balancer chasing a migrating school.
+//!
+//! ```sh
+//! cargo run --release --example fish_school
+//! ```
+//!
+//! Every fish is informed of a +x travel direction (the migration
+//! configuration), so the school marches out of the initial partitioning.
+//! The example prints, per epoch, an ASCII density strip over the
+//! partitioning axis together with the per-worker ownership counts — run it
+//! twice (with/without `--no-lb`) and watch the boundaries follow the fish
+//! or fail to.
+
+use brace::mapreduce::{ClusterConfig, ClusterSim, LoadBalancer};
+use brace::models::{FishBehavior, FishParams};
+use std::sync::Arc;
+
+fn main() {
+    let lb = !std::env::args().any(|a| a == "--no-lb");
+    let n = 2000;
+    let params = FishParams {
+        informed_a: 1.0,
+        informed_b: 0.0,
+        omega: 2.0,
+        jitter: 0.02,
+        school_radius: (n as f64 / std::f64::consts::PI / 0.5).sqrt(),
+        ..FishParams::default()
+    };
+    let radius = params.school_radius;
+    let behavior = FishBehavior::new(params);
+    let pop = behavior.population(n, 7);
+    let workers = 4;
+    let cfg = ClusterConfig {
+        workers,
+        epoch_len: 10,
+        seed: 7,
+        space_x: (-radius, radius),
+        load_balance: lb,
+        balancer: LoadBalancer { imbalance_threshold: 1.2, migration_cost_ticks: 1.0, epoch_len: 10 },
+        ..ClusterConfig::default()
+    };
+    println!(
+        "{} fish, {workers} workers, load balancing {}",
+        n,
+        if lb { "ON" } else { "OFF (run with --no-lb to compare)" }
+    );
+    let mut sim = ClusterSim::new(Arc::new(behavior), pop, cfg).expect("valid cluster");
+    for epoch in 0..20 {
+        sim.run_epochs(1).expect("epoch runs");
+        let stats = sim.stats();
+        let owned = stats.agents_per_worker.last().cloned().unwrap_or_default();
+        let bounds = sim.x_bounds().to_vec();
+        // Density strip: 40 columns over the current boundary span.
+        let world = sim.collect_agents().expect("collect");
+        let (lo, hi) = (bounds[0], bounds[workers]);
+        let mut strip = [0usize; 40];
+        for a in &world {
+            let t = ((a.pos.x - lo) / (hi - lo) * 40.0).clamp(0.0, 39.0) as usize;
+            strip[t] += 1;
+        }
+        let max = strip.iter().copied().max().unwrap_or(1).max(1);
+        let art: String = strip
+            .iter()
+            .map(|&c| match c * 8 / max {
+                0 => ' ',
+                1..=2 => '.',
+                3..=5 => 'o',
+                _ => '#',
+            })
+            .collect();
+        println!(
+            "epoch {epoch:>2} | [{art}] | owned per worker {owned:?} | imbalance {:.2} | repartitions {}",
+            stats.last_imbalance(),
+            stats.repartitions
+        );
+    }
+    let stats = sim.stats();
+    println!(
+        "\nthroughput {:.0} agent-ticks/s; network: {} msgs, {} bytes ({} replica bytes)",
+        stats.throughput(),
+        stats.net.total_messages(),
+        stats.net.total_bytes(),
+        stats.net.replica.bytes,
+    );
+}

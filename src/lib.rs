@@ -1,0 +1,30 @@
+//! # BRACE — Behavioral Simulations in MapReduce
+//!
+//! Umbrella crate re-exporting the whole workspace: a faithful Rust
+//! reproduction of *"Behavioral Simulations in MapReduce"* (Wang et al.,
+//! VLDB 2010). See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+//!
+//! ```
+//! // The three-line quickstart: simulate a fish school on 4 workers.
+//! use brace::prelude::*;
+//! ```
+
+/// Common geometry, ids, RNG and statistics.
+pub use brace_common as common;
+/// Spatial indexes, partitioning and joins.
+pub use brace_spatial as spatial;
+/// The state-effect pattern and single-node engine.
+pub use brace_core as core;
+/// The distributed (simulated-cluster) MapReduce runtime.
+pub use brace_mapreduce as mapreduce;
+/// The BRASIL agent language.
+pub use brasil;
+/// Reference simulation models (traffic, fish, predator).
+pub use brace_models as models;
+
+/// The most common imports for building and running a simulation.
+pub mod prelude {
+    pub use brace_common::{AgentId, DetRng, Rect, Vec2};
+    pub use brace_spatial::{IndexKind, Partitioner};
+}

@@ -1,0 +1,176 @@
+//! The load-bearing correctness claim of the whole system: running a
+//! behavioral simulation on the distributed MapReduce runtime produces the
+//! same world as running it on a single node — for any worker count, for
+//! local-effect and non-local-effect models, with and without the load
+//! balancer moving partition boundaries mid-run.
+//!
+//! (The mapreduce crate asserts this for synthetic behaviors; here it is
+//! asserted end-to-end for the paper's real models and compiled BRASIL
+//! scripts.)
+
+use brace_common::{AgentId, DetRng, Vec2};
+use brace_core::{Agent, Behavior, Simulation};
+use brace_mapreduce::{ClusterConfig, ClusterSim, LoadBalancer};
+use brace_models::scripts;
+use brace_models::{FishBehavior, FishParams, PredatorBehavior, PredatorParams, TrafficBehavior, TrafficParams};
+use std::sync::Arc;
+
+fn single_node<B: Behavior>(behavior: B, agents: Vec<Agent>, ticks: u64, seed: u64) -> Vec<Agent> {
+    let mut sim = Simulation::builder(behavior).agents(agents).seed(seed).build().unwrap();
+    sim.run(ticks);
+    let mut out = sim.agents().to_vec();
+    out.sort_by_key(|a| a.id);
+    out
+}
+
+fn cluster(
+    behavior: Arc<dyn Behavior>,
+    agents: Vec<Agent>,
+    ticks: u64,
+    seed: u64,
+    workers: usize,
+    space_x: (f64, f64),
+    lb: bool,
+) -> Vec<Agent> {
+    let cfg = ClusterConfig {
+        workers,
+        epoch_len: 5,
+        seed,
+        space_x,
+        load_balance: lb,
+        balancer: LoadBalancer { imbalance_threshold: 1.1, migration_cost_ticks: 0.5, epoch_len: 5 },
+        ..ClusterConfig::default()
+    };
+    let mut sim = ClusterSim::new(behavior, agents, cfg).unwrap();
+    sim.run_ticks(ticks).unwrap();
+    sim.collect_agents().unwrap()
+}
+
+/// Compare agent worlds allowing for floating-point aggregation-order
+/// differences (partition-local partial sums associate differently).
+fn assert_world_close(a: &[Agent], b: &[Agent], tol: f64, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: population size");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{what}: agent identity");
+        assert_eq!(x.alive, y.alive, "{what}: liveness of {}", x.id);
+        let dp = x.pos.dist_linf(y.pos);
+        assert!(dp <= tol, "{what}: {} position drift {dp} > {tol}", x.id);
+        for (i, (sa, sb)) in x.state.iter().zip(&y.state).enumerate() {
+            let scale = sa.abs().max(sb.abs()).max(1.0);
+            assert!(
+                (sa - sb).abs() <= tol * scale,
+                "{what}: {} state[{i}] {sa} vs {sb}",
+                x.id
+            );
+        }
+    }
+}
+
+#[test]
+fn fish_school_cluster_equals_single_node() {
+    let params = FishParams { school_radius: 15.0, ..FishParams::default() };
+    let make = || FishBehavior::new(params.clone());
+    let pop = make().population(200, 31);
+    let reference = single_node(make(), pop.clone(), 15, 77);
+    for workers in [1, 2, 3] {
+        let got = cluster(Arc::new(make()), pop.clone(), 15, 77, workers, (-15.0, 15.0), false);
+        // Fish sums are genuinely order-sensitive in the last bits; chaotic
+        // amplification over 15 ticks bounds the tolerance we can demand.
+        assert_world_close(&reference, &got, 1e-6, &format!("fish x{workers}"));
+    }
+}
+
+#[test]
+fn traffic_cluster_equals_single_node() {
+    // No respawns within the horizon (vehicles start far from the end), so
+    // worker-count-dependent id assignment cannot kick in.
+    let params = TrafficParams { segment: 4000.0, density: 0.02, ..TrafficParams::default() };
+    let make = || TrafficBehavior::new(params.clone());
+    let pop: Vec<Agent> =
+        make().population(5).into_iter().filter(|a| a.pos.x < 2000.0).collect();
+    let reference = single_node(make(), pop.clone(), 20, 13);
+    for workers in [2, 4] {
+        let got = cluster(Arc::new(make()), pop.clone(), 20, 13, workers, (0.0, 4000.0), false);
+        assert_world_close(&reference, &got, 1e-9, &format!("traffic x{workers}"));
+    }
+}
+
+#[test]
+fn predator_nonlocal_cluster_equals_single_node() {
+    // The map-reduce-reduce path: non-local hurt effects cross partitions.
+    let params = PredatorParams { spawn_probability: 0.0, nonlocal: true, ..Default::default() };
+    let make = || PredatorBehavior::new(params.clone());
+    let pop = make().population(150, 20.0, 3);
+    let reference = single_node(make(), pop.clone(), 10, 5);
+    for workers in [2, 3] {
+        let got = cluster(Arc::new(make()), pop.clone(), 10, 5, workers, (0.0, 20.0), false);
+        assert_world_close(&reference, &got, 1e-9, &format!("predator x{workers}"));
+    }
+}
+
+#[test]
+fn brasil_script_cluster_equals_single_node() {
+    // Compiled BRASIL runs identically through both engines.
+    let make = || scripts::predator(false).unwrap();
+    let schema = make().schema().clone();
+    let mut rng = DetRng::seed_from_u64(21);
+    let pop: Vec<Agent> = (0..150)
+        .map(|i| {
+            let mut a = Agent::new(
+                AgentId::new(i),
+                Vec2::new(rng.range(0.0, 18.0), rng.range(0.0, 18.0)),
+                &schema,
+            );
+            a.state[0] = rng.range(0.5, 1.5);
+            a
+        })
+        .collect();
+    let reference = single_node(make(), pop.clone(), 10, 55);
+    let got = cluster(Arc::new(make()), pop.clone(), 10, 55, 3, (0.0, 18.0), false);
+    assert_world_close(&reference, &got, 1e-9, "brasil predator x3");
+}
+
+#[test]
+fn load_balancing_does_not_change_results() {
+    // Moving partition boundaries mid-run must be invisible to the agents.
+    let params = FishParams {
+        informed_a: 1.0,
+        informed_b: 0.0,
+        omega: 2.0,
+        school_radius: 12.0,
+        ..FishParams::default()
+    };
+    let make = || FishBehavior::new(params.clone());
+    let pop = make().population(150, 41);
+    let without = cluster(Arc::new(make()), pop.clone(), 30, 9, 3, (-12.0, 12.0), false);
+    let with = cluster(Arc::new(make()), pop, 30, 9, 3, (-12.0, 12.0), true);
+    assert_world_close(&without, &with, 1e-6, "fish LB vs no-LB");
+}
+
+#[test]
+fn spawning_dynamics_are_statistically_stable_across_engines() {
+    // With spawning enabled, exact equality across engines is impossible by
+    // design: spawned agents draw ids from per-worker blocks, and an
+    // agent's RNG stream is keyed by its id, so children behave differently
+    // even though the *parents'* spawn decisions are identical. The claim
+    // that survives is statistical: population trajectories stay close, and
+    // the id discipline holds (unique, from the right blocks).
+    let params = PredatorParams { nonlocal: true, ..Default::default() };
+    let make = || PredatorBehavior::new(params.clone());
+    let pop = make().population(200, 22.0, 8);
+    let reference = single_node(make(), pop.clone(), 10, 15);
+    let got = cluster(Arc::new(make()), pop, 10, 15, 3, (0.0, 22.0), false);
+    // Population sizes agree within a small tolerance.
+    let (nr, ng) = (reference.len() as f64, got.len() as f64);
+    assert!(
+        (nr - ng).abs() / nr < 0.05,
+        "population trajectories diverged: {nr} vs {ng}"
+    );
+    // Ids are unique and spawned ids sit above the initial range.
+    let mut ids: Vec<u64> = got.iter().map(|a| a.id.raw()).collect();
+    ids.sort_unstable();
+    let len_before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), len_before, "duplicate agent ids after distributed spawning");
+    assert!(got.iter().any(|a| a.id.raw() >= 200), "spawns happened");
+}

@@ -1,0 +1,241 @@
+//! Property-based tests on the invariants the paper's design rests on.
+//!
+//! * Effect aggregation is order-independent (the state-effect pattern's
+//!   foundational assumption): any partition of any sequence of effect
+//!   assignments, merged in any order, yields the same aggregate.
+//! * The distributed spatial join equals the single-node join for *every*
+//!   partitioning and visibility (the Appendix A decomposition).
+//! * Replication is exactly the visible-region membership — no agent is
+//!   missing where it is visible, none is shipped where it is not.
+//! * Codec round-trips are lossless (checkpoints and messages cannot
+//!   corrupt a world).
+
+use brace_common::{AgentId, DetRng, Rect, Vec2};
+use brace_core::{Agent, AgentSchema, Combinator, EffectTable};
+use brace_mapreduce::codec;
+use brace_spatial::join::{distribute, nested_loop_join, partitioned_join};
+use brace_spatial::{GridPartitioning, KdTree, Partitioner, ScanIndex, SpatialIndex, UniformGrid};
+use proptest::prelude::*;
+
+fn any_combinator() -> impl Strategy<Value = Combinator> {
+    prop::sample::select(Combinator::ALL.to_vec())
+}
+
+fn schema_with(comb: Combinator) -> AgentSchema {
+    AgentSchema::builder("P").effect("e", comb).nonlocal_effects(true).build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting an assignment stream across "partitions", aggregating
+    /// partially, and ⊕-merging equals aggregating the whole stream — for
+    /// every combinator, every split point, every permutation. This is the
+    /// exact algebraic fact the second reduce pass relies on.
+    #[test]
+    fn partial_aggregation_merges_exactly(
+        comb in any_combinator(),
+        values in prop::collection::vec(-100.0f64..100.0, 0..24),
+        split in 0usize..24,
+        swap in any::<bool>(),
+    ) {
+        let schema = schema_with(comb);
+        let split = split.min(values.len());
+        // Whole-stream aggregate (lattice ops are exactly associative;
+        // Sum/Prod get a tolerance below).
+        let mut whole = EffectTable::new(&schema);
+        whole.reset(1);
+        for &v in &values {
+            whole.combine(&schema, 0, brace_common::FieldId::new(0), v);
+        }
+        // Two partitions, merged in either order.
+        let (a, b) = values.split_at(split);
+        let (a, b) = if swap { (b, a) } else { (a, b) };
+        let mut pa = EffectTable::new(&schema);
+        pa.reset(1);
+        for &v in a {
+            pa.combine(&schema, 0, brace_common::FieldId::new(0), v);
+        }
+        let mut pb = EffectTable::new(&schema);
+        pb.reset(1);
+        for &v in b {
+            pb.combine(&schema, 0, brace_common::FieldId::new(0), v);
+        }
+        pa.merge_row(&schema, 0, pb.row(0));
+        let (w, m) = (whole.row(0)[0], pa.row(0)[0]);
+        match comb {
+            Combinator::Sum | Combinator::Prod => {
+                let scale = w.abs().max(m.abs()).max(1.0);
+                prop_assert!((w - m).abs() <= 1e-9 * scale, "{} vs {}", w, m);
+            }
+            _ => prop_assert_eq!(w.to_bits(), m.to_bits()),
+        }
+    }
+
+    /// Appendix A, as a property: the partitioned spatial join equals the
+    /// single-node join for arbitrary populations, visibilities and grid
+    /// shapes.
+    #[test]
+    fn partitioned_join_always_equals_reference(
+        seed in 0u64..1000,
+        n in 1usize..120,
+        vis in 0.0f64..30.0,
+        cols in 1usize..6,
+        rows in 1usize..4,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let points: Vec<Vec2> =
+            (0..n).map(|_| Vec2::new(rng.range(-20.0, 120.0), rng.range(-20.0, 120.0))).collect();
+        let part = GridPartitioning::uniform(Rect::from_bounds(0.0, 100.0, 0.0, 100.0), cols, rows);
+        let mut reference = nested_loop_join(&points, vis);
+        let mut got = partitioned_join(&points, &part, vis);
+        reference.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(reference, got);
+    }
+
+    /// Replication invariant: agent a is shipped to partition p iff a lies
+    /// in p's visible region.
+    #[test]
+    fn replication_is_exactly_visible_region_membership(
+        seed in 0u64..1000,
+        n in 1usize..80,
+        vis in 0.0f64..25.0,
+        cols in 1usize..6,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let points: Vec<Vec2> =
+            (0..n).map(|_| Vec2::new(rng.range(-10.0, 110.0), rng.range(0.0, 50.0))).collect();
+        let part = GridPartitioning::columns(0.0, 100.0, cols);
+        let slices = distribute(&points, &part, vis);
+        for (p, slice) in slices.iter().enumerate() {
+            let vr = part.visible_region(brace_common::PartitionId::new(p as u32), vis);
+            for (i, pt) in points.iter().enumerate() {
+                let shipped = slice.visible.contains(&(i as u32));
+                prop_assert_eq!(
+                    shipped,
+                    vr.contains(*pt),
+                    "agent {} at {} vs partition {} visible region {}",
+                    i, pt, p, vr
+                );
+            }
+        }
+    }
+
+    /// All three spatial indexes answer every range query identically.
+    #[test]
+    fn all_indexes_agree_on_range_queries(
+        seed in 0u64..1000,
+        n in 0usize..150,
+        probes in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.0f64..40.0), 1..8),
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let pts: Vec<(Vec2, u32)> =
+            (0..n).map(|i| (Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 100.0)), i as u32)).collect();
+        let kd = KdTree::build(&pts);
+        let grid = UniformGrid::build(&pts);
+        let scan = ScanIndex::build(&pts);
+        for (x, y, r) in probes {
+            let rect = Rect::centered(Vec2::new(x, y), r);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let mut c = Vec::new();
+            kd.range(&rect, &mut a);
+            grid.range(&rect, &mut b);
+            scan.range(&rect, &mut c);
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            prop_assert_eq!(&a, &c, "kd vs scan");
+            prop_assert_eq!(&b, &c, "grid vs scan");
+        }
+    }
+
+    /// Codec round-trips preserve agents bit-for-bit, including NaN-free
+    /// extremes and dead agents.
+    #[test]
+    fn agent_codec_round_trips(
+        id in any::<u64>(),
+        x in -1e12f64..1e12,
+        y in -1e12f64..1e12,
+        state in prop::collection::vec(-1e9f64..1e9, 0..6),
+        effects in prop::collection::vec(-1e9f64..1e9, 0..6),
+        alive in any::<bool>(),
+    ) {
+        let a = Agent { id: AgentId::new(id), pos: Vec2::new(x, y), state, effects, alive };
+        let decoded = codec::decode_agents(codec::encode_agents(std::slice::from_ref(&a)));
+        prop_assert_eq!(vec![a], decoded);
+    }
+
+    /// Snapshot round-trips preserve the whole worker state.
+    #[test]
+    fn snapshot_codec_round_trips(
+        tick in any::<u64>(),
+        next in any::<u64>(),
+        seed in any::<u64>(),
+        n in 0usize..20,
+    ) {
+        let schema = AgentSchema::builder("S").state("v").effect("e", Combinator::Sum).build().unwrap();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let agents: Vec<Agent> = (0..n)
+            .map(|i| {
+                let mut a = Agent::new(AgentId::new(i as u64), Vec2::new(rng.unit(), rng.unit()), &schema);
+                a.state[0] = rng.range(-5.0, 5.0);
+                a
+            })
+            .collect();
+        let snap = codec::WorkerSnapshot { tick, next_spawn_id: next, rng, agents };
+        let back = codec::decode_snapshot(codec::encode_snapshot(&snap));
+        prop_assert_eq!(snap, back);
+    }
+
+    /// All three indexes agree on k-NN (distances; ties may permute).
+    #[test]
+    fn all_indexes_agree_on_knn(
+        seed in 0u64..1000,
+        n in 0usize..120,
+        k in 1usize..12,
+        qx in -20.0f64..120.0,
+        qy in -20.0f64..120.0,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let pts: Vec<(Vec2, u32)> =
+            (0..n).map(|i| (Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 100.0)), i as u32)).collect();
+        let kd = KdTree::build(&pts);
+        let grid = UniformGrid::build(&pts);
+        let scan = ScanIndex::build(&pts);
+        let q = Vec2::new(qx, qy);
+        let dists = |ids: Vec<u32>| -> Vec<f64> {
+            ids.into_iter().map(|i| pts[i as usize].0.dist2(q)).collect()
+        };
+        let a = dists(kd.k_nearest(q, k, None));
+        let b = dists(grid.k_nearest(q, k, None));
+        let c = dists(scan.k_nearest(q, k, None));
+        prop_assert_eq!(a.len(), c.len());
+        prop_assert_eq!(b.len(), c.len());
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            prop_assert!((x - z).abs() < 1e-12, "kd {} vs scan {}", x, z);
+            prop_assert!((y - z).abs() < 1e-12, "grid {} vs scan {}", y, z);
+        }
+        // Sorted ascending.
+        prop_assert!(c.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// KD-tree nearest neighbor matches brute force for arbitrary inputs.
+    #[test]
+    fn kdtree_nearest_matches_brute_force(
+        seed in 0u64..1000,
+        n in 1usize..100,
+        qx in -50.0f64..150.0,
+        qy in -50.0f64..150.0,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let pts: Vec<(Vec2, u32)> =
+            (0..n).map(|i| (Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 100.0)), i as u32)).collect();
+        let kd = KdTree::build(&pts);
+        let q = Vec2::new(qx, qy);
+        let got = kd.nearest(q, None).unwrap();
+        let best = pts.iter().map(|&(p, _)| p.dist2(q)).fold(f64::INFINITY, f64::min);
+        prop_assert!((pts[got as usize].0.dist2(q) - best).abs() < 1e-12);
+    }
+}
