@@ -7,10 +7,10 @@
 //! * **Index choice on a clustered workload** — KD-tree vs uniform grid vs
 //!   scan on the fish school.
 
+use brace_core::Simulation;
 use brace_mapreduce::{ClusterConfig, ClusterSim};
 use brace_models::{FishBehavior, FishParams, TrafficBehavior, TrafficParams};
 use brace_spatial::IndexKind;
-use brace_core::Simulation;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use std::time::Duration;
@@ -94,9 +94,7 @@ fn bench_index_choice(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_index_on_clustered_fish");
     group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
     let n = 2000;
-    for (name, kind) in
-        [("kdtree", IndexKind::KdTree), ("grid", IndexKind::Grid), ("scan", IndexKind::Scan)]
-    {
+    for (name, kind) in [("kdtree", IndexKind::KdTree), ("grid", IndexKind::Grid), ("scan", IndexKind::Scan)] {
         group.bench_function(name, |b| {
             let params = FishParams { school_radius: 12.0, ..FishParams::default() };
             let behavior = FishBehavior::new(params);

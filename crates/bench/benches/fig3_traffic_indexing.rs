@@ -28,8 +28,7 @@ fn bench_fig3(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(name, segment as u64), &segment, |b, &s| {
                 let behavior = TrafficBehavior::new(params(s));
                 let pop = behavior.population(1);
-                let mut sim =
-                    Simulation::builder(behavior).agents(pop).seed(1).index(kind).build().unwrap();
+                let mut sim = Simulation::builder(behavior).agents(pop).seed(1).index(kind).build().unwrap();
                 sim.run(5);
                 b.iter(|| sim.step());
             });

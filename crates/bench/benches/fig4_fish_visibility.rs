@@ -15,11 +15,9 @@ fn bench_fig4(c: &mut Criterion) {
     for rho in [2.0, 8.0, 32.0] {
         for (name, kind) in [("noidx", IndexKind::Scan), ("idx", IndexKind::KdTree)] {
             group.bench_with_input(BenchmarkId::new(name, rho as u64), &rho, |b, &rho| {
-                let behavior =
-                    FishBehavior::new(FishParams { rho, school_radius: radius, ..FishParams::default() });
+                let behavior = FishBehavior::new(FishParams { rho, school_radius: radius, ..FishParams::default() });
                 let pop = behavior.population(n, 2);
-                let mut sim =
-                    Simulation::builder(behavior).agents(pop).seed(2).index(kind).build().unwrap();
+                let mut sim = Simulation::builder(behavior).agents(pop).seed(2).index(kind).build().unwrap();
                 sim.run(2);
                 b.iter(|| sim.step());
             });

@@ -18,11 +18,8 @@ fn build(inverted: bool, kind: IndexKind, n: usize) -> ClusterSim {
     let mut rng = DetRng::seed_from_u64(5);
     let agents: Vec<Agent> = (0..n)
         .map(|i| {
-            let mut a = Agent::new(
-                AgentId::new(i as u64),
-                Vec2::new(rng.range(0.0, side), rng.range(0.0, side)),
-                &schema,
-            );
+            let mut a =
+                Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, side), rng.range(0.0, side)), &schema);
             a.state[0] = rng.range(0.5, 1.5);
             a
         })

@@ -14,11 +14,7 @@ fn bench_fig6(c: &mut Criterion) {
     group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
     for workers in 1..=max {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
-            let params = TrafficParams {
-                segment: 1200.0 * workers as f64,
-                density: 0.04,
-                ..TrafficParams::default()
-            };
+            let params = TrafficParams { segment: 1200.0 * workers as f64, density: 0.04, ..TrafficParams::default() };
             let behavior = TrafficBehavior::new(params.clone());
             let pop = behavior.population(6);
             let cfg = ClusterConfig {

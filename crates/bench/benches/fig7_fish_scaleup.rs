@@ -12,13 +12,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn split_population(n: usize) -> (FishBehavior, Vec<Agent>) {
-    let params = FishParams {
-        informed_a: 0.1,
-        informed_b: 0.1,
-        omega: 1.5,
-        school_radius: 15.0,
-        ..FishParams::default()
-    };
+    let params =
+        FishParams { informed_a: 0.1, informed_b: 0.1, omega: 1.5, school_radius: 15.0, ..FishParams::default() };
     let behavior = FishBehavior::new(params);
     let mut pop = behavior.population(n, 7);
     // Pre-split: half the school sits far left, half far right.
@@ -43,11 +38,7 @@ fn bench_fig7(c: &mut Criterion) {
                 seed: 7,
                 space_x: (-80.0, 80.0),
                 load_balance: lb,
-                balancer: LoadBalancer {
-                    imbalance_threshold: 1.2,
-                    migration_cost_ticks: 1.0,
-                    epoch_len: 5,
-                },
+                balancer: LoadBalancer { imbalance_threshold: 1.2, migration_cost_ticks: 1.0, epoch_len: 5 },
                 ..ClusterConfig::default()
             };
             let schema_ok = behavior.schema().visibility().is_finite();

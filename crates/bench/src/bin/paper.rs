@@ -1,21 +1,31 @@
 //! `paper` — regenerate every figure and table of "Behavioral Simulations
-//! in MapReduce" (Wang et al., VLDB 2010).
+//! in MapReduce" (Wang et al., VLDB 2010), plus the executor throughput
+//! baseline.
 //!
 //! ```text
 //! paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]
+//! paper tick-throughput [--agents N,M] [--ticks T] [--warmup W]
+//!                       [--parallel P] [--out PATH]
 //! ```
 //!
 //! Absolute numbers are machine-dependent; the shapes (growth orders,
 //! who-wins, crossovers) are what reproduce the paper. Each section prints
 //! a shape summary next to the raw rows. See EXPERIMENTS.md for recorded
-//! paper-vs-measured comparisons.
+//! paper-vs-measured comparisons. `tick-throughput` measures the sharded
+//! executor serial vs parallel and writes `BENCH_tick_throughput.json`,
+//! the baseline future perf PRs regress against.
 
 use brace_bench::table::{print_table, secs, tput};
 use brace_bench::{fig3, fig4, fig5, fig6, fig7, fig8, table2, Scale};
+use brace_bench::{throughput, ThroughputConfig};
 use brace_common::stats::log_log_slope;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("tick-throughput") {
+        run_tick_throughput(&args[1..]);
+        return;
+    }
     let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::Small;
     let mut i = 0;
@@ -29,11 +39,13 @@ fn main() {
                     .unwrap_or_else(|| die("--scale takes `small` or `paper`"));
             }
             s if s.starts_with("--scale=") => {
-                scale = Scale::parse(&s["--scale=".len()..])
-                    .unwrap_or_else(|| die("--scale takes `small` or `paper`"));
+                scale = Scale::parse(&s["--scale=".len()..]).unwrap_or_else(|| die("--scale takes `small` or `paper`"));
             }
             "-h" | "--help" => {
-                println!("usage: paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]");
+                println!(
+                    "usage: paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]\n\
+                     \x20      paper tick-throughput [--agents N,M] [--ticks T] [--warmup W] [--parallel P] [--out PATH]"
+                );
                 return;
             }
             other => which.push(other.to_string()),
@@ -41,10 +53,7 @@ fn main() {
         i += 1;
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        which = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2"].iter().map(|s| s.to_string()).collect();
     }
     println!("BRACE paper harness — scale: {scale:?}");
     for w in &which {
@@ -59,6 +68,71 @@ fn main() {
             other => die(&format!("unknown experiment `{other}`")),
         }
     }
+}
+
+fn run_tick_throughput(args: &[String]) {
+    let mut cfg = ThroughputConfig::default();
+    let mut out = String::from("BENCH_tick_throughput.json");
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value): (&str, Option<String>) = match args[i].split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (args[i].as_str(), None),
+        };
+        let take = |i: &mut usize| -> String {
+            match &value {
+                Some(v) => v.clone(),
+                None => {
+                    *i += 1;
+                    args.get(*i).cloned().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+                }
+            }
+        };
+        match flag {
+            "--agents" => {
+                cfg.agent_counts = take(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| die("--agents takes N,M,...")))
+                    .collect();
+            }
+            "--ticks" => cfg.ticks = take(&mut i).parse().unwrap_or_else(|_| die("--ticks takes a number")),
+            "--warmup" => cfg.warmup = take(&mut i).parse().unwrap_or_else(|_| die("--warmup takes a number")),
+            "--parallel" => cfg.parallelism = take(&mut i).parse().unwrap_or_else(|_| die("--parallel takes a number")),
+            "--scan-cap" => cfg.scan_cap = take(&mut i).parse().unwrap_or_else(|_| die("--scan-cap takes a number")),
+            "--out" => out = take(&mut i),
+            other => die(&format!("unknown tick-throughput flag `{other}`")),
+        }
+        i += 1;
+    }
+    let report = throughput::tick_throughput(&cfg);
+    print_table(
+        &format!("Tick throughput — sharded executor, {} core(s)", report.cores),
+        &["model", "agents", "index", "mode", "threads", "query [agents/s]", "tick [agents/s]"],
+        &report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.to_string(),
+                    r.actual_agents.to_string(),
+                    format!("{:?}", r.index),
+                    r.mode.to_string(),
+                    r.parallelism.to_string(),
+                    tput(r.query_agents_per_sec),
+                    tput(r.tick_agents_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    for (model, agents, kind, q, t) in &report.speedups {
+        println!("speedup {model}/{agents}/{kind:?}: query {q:.2}x, tick {t:.2}x");
+    }
+    for s in &report.skipped {
+        println!("skipped: {s}");
+    }
+    let json = throughput::to_json(&report, &cfg);
+    std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    println!("wrote {out}");
 }
 
 fn die(msg: &str) -> ! {
@@ -84,9 +158,7 @@ fn run_fig3(scale: Scale) {
             })
             .collect::<Vec<_>>(),
     );
-    let pts = |f: fn(&brace_bench::Fig3Row) -> f64| {
-        rows.iter().map(|r| (r.segment, f(r))).collect::<Vec<_>>()
-    };
+    let pts = |f: fn(&brace_bench::Fig3Row) -> f64| rows.iter().map(|r| (r.segment, f(r))).collect::<Vec<_>>();
     let s_noidx = log_log_slope(&pts(|r| r.noidx_secs)).unwrap_or(f64::NAN);
     let s_idx = log_log_slope(&pts(|r| r.idx_secs)).unwrap_or(f64::NAN);
     let s_mitsim = log_log_slope(&pts(|r| r.mitsim_secs)).unwrap_or(f64::NAN);
@@ -126,10 +198,7 @@ fn run_fig4(scale: Scale) {
 fn run_fig5(scale: Scale) {
     let r = fig5(scale);
     print_table(
-        &format!(
-            "Figure 5 — predator: effect inversion ({} agents, {} workers)",
-            r.agents, r.workers
-        ),
+        &format!("Figure 5 — predator: effect inversion ({} agents, {} workers)", r.agents, r.workers),
         &["config", "throughput [agent-ticks/s]"],
         &[
             vec!["No-Opt".into(), tput(r.no_opt)],
@@ -153,10 +222,7 @@ fn run_fig6(scale: Scale) {
     print_table(
         "Figure 6 — traffic: scale-up (size grows with workers)",
         &["workers", "vehicles", "throughput"],
-        &rows
-            .iter()
-            .map(|r| vec![r.workers.to_string(), r.agents.to_string(), tput(r.throughput)])
-            .collect::<Vec<_>>(),
+        &rows.iter().map(|r| vec![r.workers.to_string(), r.agents.to_string(), tput(r.throughput)]).collect::<Vec<_>>(),
     );
     if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
         let ideal = last.workers as f64 / first.workers as f64;
@@ -224,10 +290,7 @@ fn run_fig8(scale: Scale) {
 fn run_table2(scale: Scale) {
     let t = table2(scale);
     print_table(
-        &format!(
-            "Table 2 — traffic validation RMSPE (segment {:.0}, {} observed ticks)",
-            t.segment, t.observed_ticks
-        ),
+        &format!("Table 2 — traffic validation RMSPE (segment {:.0}, {} observed ticks)", t.segment, t.observed_ticks),
         &["lane", "change freq", "Δmean rate", "avg density", "avg velocity", "mean vehicles"],
         &t.rows
             .iter()

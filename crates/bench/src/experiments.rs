@@ -1,13 +1,13 @@
 //! The experiment runners, one per figure/table of the paper's §5.
 
 use crate::{max_workers, Scale};
+use brace_common::{AgentId, DetRng, Vec2};
 use brace_core::{Agent, Behavior, Simulation};
 use brace_mapreduce::{ClusterConfig, ClusterSim, LoadBalancer};
 use brace_models::scripts;
 use brace_models::validation::{compare, Table2Row, TrafficObserver};
 use brace_models::{FishBehavior, FishParams, MitsimBaseline, TrafficBehavior, TrafficParams};
 use brace_spatial::IndexKind;
-use brace_common::{AgentId, DetRng, Vec2};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -70,8 +70,7 @@ pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
                 let pop = behavior.population(1);
                 let n = pop.len();
                 let (_, secs) = timed(|| {
-                    let mut sim =
-                        Simulation::builder(behavior).agents(pop).seed(1).index(kind).build().unwrap();
+                    let mut sim = Simulation::builder(behavior).agents(pop).seed(1).index(kind).build().unwrap();
                     sim.run(ticks);
                 });
                 (n, secs)
@@ -116,8 +115,7 @@ pub fn fig4(scale: Scale) -> Vec<Fig4Row> {
                 let behavior = FishBehavior::new(params);
                 let pop = behavior.population(n, 2);
                 let (_, secs) = timed(|| {
-                    let mut sim =
-                        Simulation::builder(behavior).agents(pop).seed(2).index(kind).build().unwrap();
+                    let mut sim = Simulation::builder(behavior).agents(pop).seed(2).index(kind).build().unwrap();
                     sim.run(ticks);
                 });
                 secs
@@ -167,11 +165,8 @@ pub fn fig5(scale: Scale) -> Fig5Result {
         let mut rng = DetRng::seed_from_u64(5);
         let agents: Vec<Agent> = (0..n)
             .map(|i| {
-                let mut a = Agent::new(
-                    AgentId::new(i as u64),
-                    Vec2::new(rng.range(0.0, side), rng.range(0.0, side)),
-                    &schema,
-                );
+                let mut a =
+                    Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, side), rng.range(0.0, side)), &schema);
                 a.state[0] = rng.range(0.5, 1.5); // size
                 a
             })
@@ -233,11 +228,8 @@ pub fn fig6(scale: Scale) -> Vec<ScaleUpRow> {
     };
     (1..=max_workers())
         .map(|workers| {
-            let params = TrafficParams {
-                segment: seg_per_worker * workers as f64,
-                density: 0.04,
-                ..TrafficParams::default()
-            };
+            let params =
+                TrafficParams { segment: seg_per_worker * workers as f64, density: 0.04, ..TrafficParams::default() };
             let behavior = TrafficBehavior::new(params.clone());
             let pop = behavior.population(6);
             let agents = pop.len();
@@ -438,8 +430,7 @@ pub fn table2(scale: Scale) -> Table2 {
         baseline.step();
     }
     let rows = compare(&obs_brace, &obs_base);
-    let mean_vehicles_per_lane =
-        (0..params.lanes).map(|l| obs_base.mean_density(l) * segment).collect();
+    let mean_vehicles_per_lane = (0..params.lanes).map(|l| obs_base.mean_density(l) * segment).collect();
     let mean_change_rate_err = (0..params.lanes)
         .map(|l| {
             let base = obs_base.mean_change_freq(l);

@@ -9,8 +9,10 @@
 
 pub mod experiments;
 pub mod table;
+pub mod throughput;
 
 pub use experiments::*;
+pub use throughput::{tick_throughput, ThroughputConfig, ThroughputReport};
 
 /// Scale presets: `Small` finishes in seconds per experiment (CI-friendly);
 /// `Paper` approaches the paper's problem sizes (minutes).

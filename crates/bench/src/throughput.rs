@@ -1,0 +1,267 @@
+//! The tick-throughput baseline: agents/second of the sharded executor,
+//! serial vs parallel, per model / population / index kind.
+//!
+//! `cargo run -p brace-bench --release -- tick-throughput` runs the matrix
+//! and writes `BENCH_tick_throughput.json`, the perf trajectory future PRs
+//! regress against (see ROADMAP "Open items"). The paper's figures report
+//! relative shapes; this baseline pins absolute per-phase numbers on the
+//! machine that produced it.
+
+use brace_core::TickExecutor;
+use brace_models::{FishBehavior, FishParams, TrafficBehavior, TrafficParams};
+use brace_spatial::IndexKind;
+
+/// One measured configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    pub model: &'static str,
+    /// Requested population size (actual sizes differ slightly for traffic,
+    /// whose population derives from segment length × density).
+    pub agents: usize,
+    pub actual_agents: usize,
+    pub index: IndexKind,
+    /// `"serial"` (parallelism 1) or `"parallel"` (the run's thread budget).
+    pub mode: &'static str,
+    /// Thread budget the executor ran with (serial rows report 1).
+    pub parallelism: usize,
+    pub ticks: u64,
+    pub index_build_ns: u64,
+    pub query_ns: u64,
+    pub update_ns: u64,
+    /// Agent-ticks per second of query-phase time — the number the sharded
+    /// executor exists to improve.
+    pub query_agents_per_sec: f64,
+    /// Agent-ticks per second of whole-tick time (index + query + update).
+    pub tick_agents_per_sec: f64,
+}
+
+/// Configuration for [`tick_throughput`].
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Population sizes to measure (default 10k and 100k).
+    pub agent_counts: Vec<usize>,
+    /// Measured ticks per configuration (after warm-up).
+    pub ticks: u64,
+    pub warmup: u64,
+    /// Thread budget for the parallel rows (`0` = all cores).
+    pub parallelism: usize,
+    /// Populations above this size skip [`IndexKind::Scan`] (quadratic: a
+    /// single 100k-agent scan tick is ~1e10 distance checks). Skips are
+    /// recorded in [`ThroughputReport::skipped`] rather than silently
+    /// dropped.
+    pub scan_cap: usize,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig { agent_counts: vec![10_000, 100_000], ticks: 3, warmup: 1, parallelism: 0, scan_cap: 20_000 }
+    }
+}
+
+/// The full measurement matrix plus derived speedups.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputReport {
+    pub rows: Vec<ThroughputRow>,
+    /// `(model, agents, index, query_speedup, tick_speedup)` — parallel
+    /// over serial, per configuration.
+    pub speedups: Vec<(String, usize, IndexKind, f64, f64)>,
+    /// Configurations skipped with the reason (e.g. scan at 100k).
+    pub skipped: Vec<String>,
+    /// Cores visible to the process when the matrix ran.
+    pub cores: usize,
+}
+
+fn fish_executor(n: usize, kind: IndexKind, parallelism: usize) -> TickExecutor<FishBehavior> {
+    // Constant density (as in Figure 4): the school radius grows with the
+    // population so per-probe neighborhood size stays scale-independent.
+    let params = FishParams { school_radius: (n as f64 / std::f64::consts::PI / 0.5).sqrt(), ..FishParams::default() };
+    let behavior = FishBehavior::new(params);
+    let pop = behavior.population(n, 42);
+    let mut exec = TickExecutor::new(behavior, pop, kind, 42);
+    exec.set_parallelism(parallelism);
+    exec
+}
+
+fn traffic_executor(n: usize, kind: IndexKind, parallelism: usize) -> TickExecutor<TrafficBehavior> {
+    let defaults = TrafficParams::default();
+    // population = floor(segment × density) × lanes ⇒ pick segment for ≈ n.
+    let segment = n as f64 / (defaults.density * defaults.lanes as f64);
+    let params = TrafficParams { segment, ..defaults };
+    let behavior = TrafficBehavior::new(params);
+    let pop = behavior.population(42);
+    let mut exec = TickExecutor::new(behavior, pop, kind, 42);
+    exec.set_parallelism(parallelism);
+    exec
+}
+
+#[allow(clippy::too_many_arguments)] // a measurement descriptor, not an API
+fn measure<B: brace_core::Behavior>(
+    mut exec: TickExecutor<B>,
+    model: &'static str,
+    agents: usize,
+    kind: IndexKind,
+    mode: &'static str,
+    parallelism: usize,
+    warmup: u64,
+    ticks: u64,
+) -> ThroughputRow {
+    let actual = exec.agents().len();
+    exec.run(warmup);
+    exec.reset_metrics();
+    exec.run(ticks);
+    let m = exec.metrics();
+    let per_sec = |ns: u64| if ns == 0 { 0.0 } else { m.agent_ticks as f64 / (ns as f64 / 1e9) };
+    ThroughputRow {
+        model,
+        agents,
+        actual_agents: actual,
+        index: kind,
+        mode,
+        parallelism,
+        ticks: m.ticks,
+        index_build_ns: m.index_build_ns,
+        query_ns: m.query_ns,
+        update_ns: m.update_ns,
+        query_agents_per_sec: per_sec(m.query_ns),
+        tick_agents_per_sec: per_sec(m.total_ns),
+    }
+}
+
+/// Run the serial-vs-parallel matrix over fish + traffic, every population
+/// size and every index kind (scan capped per the config).
+pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let parallel_threads = if cfg.parallelism == 0 { cores } else { cfg.parallelism };
+    let mut report = ThroughputReport { cores, ..Default::default() };
+    let kinds = [IndexKind::KdTree, IndexKind::Grid, IndexKind::Scan];
+    for &n in &cfg.agent_counts {
+        for kind in kinds {
+            if kind == IndexKind::Scan && n > cfg.scan_cap {
+                report.skipped.push(format!("scan index at {n} agents (quadratic; cap {})", cfg.scan_cap));
+                continue;
+            }
+            for model in ["fish", "traffic"] {
+                let run = |threads: usize, mode: &'static str| -> ThroughputRow {
+                    match model {
+                        "fish" => measure(
+                            fish_executor(n, kind, threads),
+                            "fish",
+                            n,
+                            kind,
+                            mode,
+                            threads,
+                            cfg.warmup,
+                            cfg.ticks,
+                        ),
+                        _ => measure(
+                            traffic_executor(n, kind, threads),
+                            "traffic",
+                            n,
+                            kind,
+                            mode,
+                            threads,
+                            cfg.warmup,
+                            cfg.ticks,
+                        ),
+                    }
+                };
+                let serial = run(1, "serial");
+                let parallel = run(parallel_threads, "parallel");
+                report.speedups.push((
+                    model.to_string(),
+                    n,
+                    kind,
+                    parallel.query_agents_per_sec / serial.query_agents_per_sec.max(1e-9),
+                    parallel.tick_agents_per_sec / serial.tick_agents_per_sec.max(1e-9),
+                ));
+                report.rows.push(serial);
+                report.rows.push(parallel);
+            }
+        }
+    }
+    report
+}
+
+fn index_name(kind: IndexKind) -> &'static str {
+    match kind {
+        IndexKind::Scan => "scan",
+        IndexKind::KdTree => "kdtree",
+        IndexKind::Grid => "grid",
+    }
+}
+
+/// Render the report as the `BENCH_tick_throughput.json` document. Written
+/// by hand (the offline build has no serde_json); the format is stable:
+/// bump `schema_version` on layout changes.
+pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"cores\": {},\n", report.cores));
+    out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
+    out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"agents\": {}, \"actual_agents\": {}, \"index\": \"{}\", \
+             \"mode\": \"{}\", \"parallelism\": {}, \"ticks\": {}, \"index_build_ns\": {}, \
+             \"query_ns\": {}, \"update_ns\": {}, \"query_agents_per_sec\": {:.1}, \
+             \"tick_agents_per_sec\": {:.1}}}{}\n",
+            r.model,
+            r.agents,
+            r.actual_agents,
+            index_name(r.index),
+            r.mode,
+            r.parallelism,
+            r.ticks,
+            r.index_build_ns,
+            r.query_ns,
+            r.update_ns,
+            r.query_agents_per_sec,
+            r.tick_agents_per_sec,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": [\n");
+    for (i, (model, agents, kind, q, t)) in report.speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"agents\": {}, \"index\": \"{}\", \
+             \"query_speedup\": {:.3}, \"tick_speedup\": {:.3}}}{}\n",
+            model,
+            agents,
+            index_name(*kind),
+            q,
+            t,
+            if i + 1 == report.speedups.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"skipped\": [\n");
+    for (i, s) in report.skipped.iter().enumerate() {
+        out.push_str(&format!("    \"{}\"{}\n", s, if i + 1 == report.skipped.len() { "" } else { "," }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miniature_matrix_runs_and_serializes() {
+        let cfg = ThroughputConfig { agent_counts: vec![300], ticks: 1, warmup: 0, parallelism: 2, scan_cap: 1_000 };
+        let report = tick_throughput(&cfg);
+        // 1 size × 3 kinds × 2 models × 2 modes.
+        assert_eq!(report.rows.len(), 12);
+        assert_eq!(report.speedups.len(), 6);
+        assert!(report.skipped.is_empty());
+        let json = to_json(&report, &cfg);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"model\": \"traffic\""));
+        assert!(json.ends_with("}\n"));
+        // Crude balance check so the hand-rolled JSON stays well-formed.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

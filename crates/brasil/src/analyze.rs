@@ -238,12 +238,7 @@ impl<'a> Checker<'a> {
                             Expr::Ident(v) if self.loop_vars.iter().any(|lv| lv == v) => {
                                 self.has_nonlocal = true;
                             }
-                            _ => {
-                                return self.sem(
-                                    *line,
-                                    "non-local effect target must be a foreach loop variable",
-                                )
-                            }
+                            _ => return self.sem(*line, "non-local effect target must be a foreach loop variable"),
                         }
                     }
                 }
@@ -268,7 +263,10 @@ impl<'a> Checker<'a> {
                         );
                     }
                     if in_loop {
-                        return self.sem(*line, "nested foreach loops are not supported (no self-join of extents inside a tick)");
+                        return self.sem(
+                            *line,
+                            "nested foreach loops are not supported (no self-join of extents inside a tick)",
+                        );
                     }
                     if self.loop_vars.iter().any(|v| v == var) || self.locals.iter().any(|v| v == var) {
                         return self.sem(*line, format!("loop variable `{var}` shadows another binding"));
@@ -297,9 +295,7 @@ impl<'a> Checker<'a> {
                     self.sem(line, format!("update rules may only read the agent's own fields; `{name}` is not one"))
                 }
             }
-            Expr::Field(_, f) => {
-                self.sem(line, format!("update rules cannot access other agents (`.{f}`)"))
-            }
+            Expr::Field(_, f) => self.sem(line, format!("update rules cannot access other agents (`.{f}`)")),
             Expr::Unary(_, inner) => self.update_expr(inner, line),
             Expr::Binary(_, a, b) => {
                 self.update_expr(a, line)?;

@@ -195,11 +195,8 @@ pub fn compile(a: &AnalyzedClass) -> Result<CompiledClass> {
     for (e, c) in a.effect_names.iter().zip(&a.combinators) {
         builder = builder.effect(e.clone(), *c);
     }
-    let schema = builder
-        .visibility(a.visibility)
-        .reachability(a.reachability)
-        .nonlocal_effects(a.has_nonlocal)
-        .build()?;
+    let schema =
+        builder.visibility(a.visibility).reachability(a.reachability).nonlocal_effects(a.has_nonlocal).build()?;
 
     let mut c = Compiler {
         state_ids: a.state_names.iter().enumerate().map(|(i, n)| (n.as_str(), i as u16)).collect(),
@@ -354,16 +351,14 @@ impl BrasilBehavior {
             match stmt {
                 PStmt::Let { slot, value } => {
                     let v = {
-                        let mut ctx =
-                            EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
+                        let mut ctx = EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
                         eval(value, &mut ctx)
                     };
                     locals[*slot as usize] = v.filter(|v| !v.is_nan());
                 }
                 PStmt::LocalEffect { field, value } => {
                     let v = {
-                        let mut ctx =
-                            EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
+                        let mut ctx = EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
                         eval(value, &mut ctx)
                     };
                     if let Some(v) = v.filter(|v| !v.is_nan()) {
@@ -378,8 +373,7 @@ impl BrasilBehavior {
                         unreachable!("remote effect outside foreach (rejected by analysis)")
                     };
                     let v = {
-                        let mut ctx =
-                            EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
+                        let mut ctx = EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
                         eval(value, &mut ctx)
                     };
                     if let Some(v) = v.filter(|v| !v.is_nan()) {
@@ -388,8 +382,7 @@ impl BrasilBehavior {
                 }
                 PStmt::If { cond, then_, else_ } => {
                     let c = {
-                        let mut ctx =
-                            EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
+                        let mut ctx = EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
                         eval(cond, &mut ctx)
                     };
                     let branch = match c {
@@ -401,16 +394,7 @@ impl BrasilBehavior {
                 }
                 PStmt::Foreach { body } => {
                     for nb in neighbors.iter() {
-                        self.exec_stmts(
-                            body,
-                            me,
-                            neighbors,
-                            eff,
-                            shadow,
-                            locals,
-                            Some((nb.agent, nb.row)),
-                            rng,
-                        );
+                        self.exec_stmts(body, me, neighbors, eff, shadow, locals, Some((nb.agent, nb.row)), rng);
                     }
                 }
             }
@@ -427,16 +411,7 @@ impl Behavior for BrasilBehavior {
         let schema = self.class.schema();
         let mut shadow = schema.effect_identities();
         let mut locals = vec![None; self.class.query.n_locals as usize];
-        self.exec_stmts(
-            &self.class.query.stmts,
-            me,
-            neighbors,
-            eff,
-            &mut shadow,
-            &mut locals,
-            None,
-            rng,
-        );
+        self.exec_stmts(&self.class.query.stmts, me, neighbors, eff, &mut shadow, &mut locals, None, rng);
     }
 
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
@@ -532,11 +507,7 @@ mod tests {
             .map(|a| {
                 agents
                     .iter()
-                    .filter(|b| {
-                        b.id != a.id
-                            && (b.pos.x - a.pos.x).abs() <= 1.0
-                            && (b.pos.y - a.pos.y).abs() <= 1.0
-                    })
+                    .filter(|b| b.id != a.id && (b.pos.x - a.pos.x).abs() <= 1.0 && (b.pos.y - a.pos.y).abs() <= 1.0)
                     .count() as f64
             })
             .collect();

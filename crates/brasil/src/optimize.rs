@@ -31,10 +31,7 @@ use brace_common::{BraceError, Result};
 
 /// Apply the always-safe passes: constant folding then dead code.
 pub fn optimize(class: CompiledClass) -> CompiledClass {
-    let folded = QueryPlan {
-        stmts: fold_stmts(class.query.stmts.clone()),
-        n_locals: class.query.n_locals,
-    };
+    let folded = QueryPlan { stmts: fold_stmts(class.query.stmts.clone()), n_locals: class.query.n_locals };
     let mut out = class.with_query(folded);
     out = dead_code(out);
     // Updates fold too.
@@ -215,11 +212,7 @@ fn swap_roles(e: PExpr) -> PExpr {
         PExpr::OtherPos(a) => PExpr::SelfPos(a),
         PExpr::SelfState(i) => PExpr::OtherState(i),
         PExpr::OtherState(i) => PExpr::SelfState(i),
-        PExpr::AgentEq { left, right, negate } => PExpr::AgentEq {
-            left: flip(left),
-            right: flip(right),
-            negate,
-        },
+        PExpr::AgentEq { left, right, negate } => PExpr::AgentEq { left: flip(left), right: flip(right), negate },
         other => other,
     })
 }
@@ -246,11 +239,9 @@ fn offset_slots(stmts: Vec<PStmt>, delta: u16) -> Vec<PStmt> {
             PStmt::Let { slot, value } => PStmt::Let { slot: slot + delta, value: bump(value) },
             PStmt::LocalEffect { field, value } => PStmt::LocalEffect { field, value: bump(value) },
             PStmt::RemoteEffect { field, value } => PStmt::RemoteEffect { field, value: bump(value) },
-            PStmt::If { cond, then_, else_ } => PStmt::If {
-                cond: bump(cond),
-                then_: offset_slots(then_, delta),
-                else_: offset_slots(else_, delta),
-            },
+            PStmt::If { cond, then_, else_ } => {
+                PStmt::If { cond: bump(cond), then_: offset_slots(then_, delta), else_: offset_slots(else_, delta) }
+            }
             PStmt::Foreach { body } => PStmt::Foreach { body: offset_slots(body, delta) },
         })
         .collect()
@@ -279,15 +270,11 @@ fn remote_as_local(stmts: Vec<PStmt>) -> Vec<PStmt> {
         .into_iter()
         .filter_map(|s| match s {
             PStmt::LocalEffect { .. } => None,
-            PStmt::RemoteEffect { field, value } => {
-                Some(PStmt::LocalEffect { field, value: swap_roles(value) })
-            }
+            PStmt::RemoteEffect { field, value } => Some(PStmt::LocalEffect { field, value: swap_roles(value) }),
             PStmt::Let { slot, value } => Some(PStmt::Let { slot, value: swap_roles(value) }),
-            PStmt::If { cond, then_, else_ } => Some(PStmt::If {
-                cond: swap_roles(cond),
-                then_: remote_as_local(then_),
-                else_: remote_as_local(else_),
-            }),
+            PStmt::If { cond, then_, else_ } => {
+                Some(PStmt::If { cond: swap_roles(cond), then_: remote_as_local(then_), else_: remote_as_local(else_) })
+            }
             PStmt::Foreach { body } => Some(PStmt::Foreach { body: remote_as_local(body) }),
         })
         .collect()
@@ -303,9 +290,9 @@ fn contains_rand(stmts: &[PStmt]) -> bool {
                 }
             };
             match st {
-                PStmt::Let { value, .. }
-                | PStmt::LocalEffect { value, .. }
-                | PStmt::RemoteEffect { value, .. } => check(value),
+                PStmt::Let { value, .. } | PStmt::LocalEffect { value, .. } | PStmt::RemoteEffect { value, .. } => {
+                    check(value)
+                }
                 PStmt::If { cond, .. } => check(cond),
                 PStmt::Foreach { .. } => {}
             }
@@ -500,9 +487,7 @@ mod tests {
             let schema = behavior.schema().clone();
             let mut rng = DetRng::seed_from_u64(8);
             let agents: Vec<Agent> = (0..40)
-                .map(|i| {
-                    Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 6.0), rng.range(0.0, 6.0)), &schema)
-                })
+                .map(|i| Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 6.0), rng.range(0.0, 6.0)), &schema))
                 .collect();
             let mut sim = Simulation::builder(behavior).agents(agents).seed(5).build().unwrap();
             sim.step();

@@ -110,7 +110,11 @@ pub enum PExpr {
     /// A `const` local slot.
     Local(u16),
     /// Agent identity comparison (`p == this`); `negate` for `!=`.
-    AgentEq { left: AgentRef, right: AgentRef, negate: bool },
+    AgentEq {
+        left: AgentRef,
+        right: AgentRef,
+        negate: bool,
+    },
     Unary(UnOp, Box<PExpr>),
     Binary(BinOp, Box<PExpr>, Box<PExpr>),
     Call(Builtin, Vec<PExpr>),
@@ -148,14 +152,29 @@ impl PExpr {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PStmt {
     /// Bind local slot `slot`.
-    Let { slot: u16, value: PExpr },
+    Let {
+        slot: u16,
+        value: PExpr,
+    },
     /// `field <- value` on the querying agent (⊕-aggregated).
-    LocalEffect { field: u16, value: PExpr },
+    LocalEffect {
+        field: u16,
+        value: PExpr,
+    },
     /// `other.field <- value` on the current loop neighbor.
-    RemoteEffect { field: u16, value: PExpr },
-    If { cond: PExpr, then_: Vec<PStmt>, else_: Vec<PStmt> },
+    RemoteEffect {
+        field: u16,
+        value: PExpr,
+    },
+    If {
+        cond: PExpr,
+        then_: Vec<PStmt>,
+        else_: Vec<PStmt>,
+    },
     /// Join with the visible extent: run `body` once per visible neighbor.
-    Foreach { body: Vec<PStmt> },
+    Foreach {
+        body: Vec<PStmt>,
+    },
 }
 
 impl PStmt {

@@ -298,52 +298,59 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("1 2.5 0.125 1e3 2.5e-2"), vec![
-            Tok::Number(1.0),
-            Tok::Number(2.5),
-            Tok::Number(0.125),
-            Tok::Number(1000.0),
-            Tok::Number(0.025),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("1 2.5 0.125 1e3 2.5e-2"),
+            vec![
+                Tok::Number(1.0),
+                Tok::Number(2.5),
+                Tok::Number(0.125),
+                Tok::Number(1000.0),
+                Tok::Number(0.025),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn arrow_vs_less_than() {
-        assert_eq!(toks("a <- b < c <= d"), vec![
-            Tok::Ident("a".into()),
-            Tok::Arrow,
-            Tok::Ident("b".into()),
-            Tok::Lt,
-            Tok::Ident("c".into()),
-            Tok::Le,
-            Tok::Ident("d".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a <- b < c <= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Lt,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn range_tag() {
-        assert_eq!(toks("#range[-1, 1]"), vec![
-            Tok::RangeTag,
-            Tok::LBracket,
-            Tok::Minus,
-            Tok::Number(1.0),
-            Tok::Comma,
-            Tok::Number(1.0),
-            Tok::RBracket,
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("#range[-1, 1]"),
+            vec![
+                Tok::RangeTag,
+                Tok::LBracket,
+                Tok::Minus,
+                Tok::Number(1.0),
+                Tok::Comma,
+                Tok::Number(1.0),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a // comment\n b /* block\n comment */ c"), vec![
-            Tok::Ident("a".into()),
-            Tok::Ident("b".into()),
-            Tok::Ident("c".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a // comment\n b /* block\n comment */ c"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -366,15 +373,9 @@ mod tests {
 
     #[test]
     fn operators() {
-        assert_eq!(toks("== != && || ! % ="), vec![
-            Tok::EqEq,
-            Tok::Ne,
-            Tok::AndAnd,
-            Tok::OrOr,
-            Tok::Not,
-            Tok::Percent,
-            Tok::Assign,
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("== != && || ! % ="),
+            vec![Tok::EqEq, Tok::Ne, Tok::AndAnd, Tok::OrOr, Tok::Not, Tok::Percent, Tok::Assign, Tok::Eof]
+        );
     }
 }

@@ -300,10 +300,7 @@ impl Rect {
     /// Grow the rectangle to include point `p`.
     #[inline]
     pub fn extended(&self, p: Vec2) -> Rect {
-        Rect::new(
-            Vec2::new(self.lo.x.min(p.x), self.lo.y.min(p.y)),
-            Vec2::new(self.hi.x.max(p.x), self.hi.y.max(p.y)),
-        )
+        Rect::new(Vec2::new(self.lo.x.min(p.x), self.lo.y.min(p.y)), Vec2::new(self.hi.x.max(p.x), self.hi.y.max(p.y)))
     }
 
     /// Minimum squared distance from `p` to any point of the rectangle

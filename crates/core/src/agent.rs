@@ -35,13 +35,7 @@ impl Agent {
     /// A new agent shaped by `schema`, with all state zeroed and effects at
     /// their identities.
     pub fn new(id: AgentId, pos: Vec2, schema: &AgentSchema) -> Self {
-        Agent {
-            id,
-            pos,
-            state: vec![0.0; schema.num_states()],
-            effects: schema.effect_identities(),
-            alive: true,
-        }
+        Agent { id, pos, state: vec![0.0; schema.num_states()], effects: schema.effect_identities(), alive: true }
     }
 
     /// A new agent with explicit initial state values (length-checked by

@@ -18,6 +18,9 @@ use brace_common::FieldId;
 #[derive(Debug, Clone)]
 pub struct EffectTable {
     identities: Vec<f64>,
+    /// `Some(v)` when every identity is bit-identical to `v`, enabling the
+    /// `slice::fill` fast path in [`EffectTable::reset`].
+    uniform_identity: Option<f64>,
     slots: Vec<f64>,
     rows: usize,
 }
@@ -25,7 +28,12 @@ pub struct EffectTable {
 impl EffectTable {
     /// An empty table shaped by `schema`.
     pub fn new(schema: &AgentSchema) -> Self {
-        EffectTable { identities: schema.effect_identities(), slots: Vec::new(), rows: 0 }
+        let identities = schema.effect_identities();
+        let uniform_identity = match identities.first() {
+            Some(&first) if identities.iter().all(|v| v.to_bits() == first.to_bits()) => Some(first),
+            _ => None,
+        };
+        EffectTable { identities, uniform_identity, slots: Vec::new(), rows: 0 }
     }
 
     /// Number of effect fields per row.
@@ -41,14 +49,30 @@ impl EffectTable {
     }
 
     /// Resize for `rows` agents and reset every slot to its identity.
-    /// Reuses the allocation across ticks (hot path: called every tick).
+    /// Reuses the allocation across ticks (hot path: called every tick by
+    /// every shard): a single `fill` when all identities agree bitwise,
+    /// otherwise one row written then doubled into place with
+    /// `copy_within` — O(log rows) memcpys instead of a per-row
+    /// `extend_from_slice` loop.
     pub fn reset(&mut self, rows: usize) {
         self.rows = rows;
-        let want = rows * self.identities.len();
-        self.slots.clear();
-        self.slots.reserve(want);
-        for _ in 0..rows {
-            self.slots.extend_from_slice(&self.identities);
+        let w = self.identities.len();
+        let want = rows * w;
+        self.slots.resize(want, 0.0);
+        if want == 0 {
+            return;
+        }
+        match self.uniform_identity {
+            Some(v) => self.slots.fill(v),
+            None => {
+                self.slots[..w].copy_from_slice(&self.identities);
+                let mut filled = w;
+                while filled < want {
+                    let n = filled.min(want - filled);
+                    self.slots.copy_within(filled - n..filled, filled);
+                    filled += n;
+                }
+            }
         }
     }
 
@@ -87,6 +111,42 @@ impl EffectTable {
         }
     }
 
+    /// Overwrite rows `dst_row..dst_row + src.rows()` of this table with the
+    /// entire contents of `src`. Used by the sharded executor to merge a
+    /// shard's disjoint row slice back into the tick's table: for
+    /// local-effect schemas each shard owns its row range exclusively, so
+    /// the merge is a bitwise copy — exactly the values the serial path
+    /// would have produced.
+    pub fn copy_rows_from(&mut self, src: &EffectTable, dst_row: usize) {
+        let w = self.identities.len();
+        debug_assert_eq!(src.width(), w, "schema mismatch in copy_rows_from");
+        debug_assert!(dst_row + src.rows() <= self.rows, "shard copy out of range");
+        let base = dst_row * w;
+        let n = src.rows() * w;
+        self.slots[base..base + n].copy_from_slice(&src.slots[..n]);
+    }
+
+    /// ⊕-merge every row of `src` into this table (row `i` into row `i`).
+    /// This is the shard-merge step for schemas with non-local effects,
+    /// where any shard may have written to any visible row; callers must
+    /// merge shards in a deterministic order (the executor uses ascending
+    /// shard index) so float aggregation is reproducible run to run.
+    pub fn merge_table(&mut self, schema: &AgentSchema, src: &EffectTable) {
+        let w = self.identities.len();
+        debug_assert_eq!(src.width(), w, "schema mismatch in merge_table");
+        debug_assert!(src.rows() <= self.rows, "shard merge out of range");
+        if w == 0 {
+            return;
+        }
+        let combs: Vec<crate::combinator::Combinator> =
+            (0..w).map(|i| schema.combinator(FieldId::new(i as u16))).collect();
+        for (dst, src_row) in self.slots.chunks_exact_mut(w).zip(src.slots.chunks_exact(w)) {
+            for ((slot, &p), comb) in dst.iter_mut().zip(src_row).zip(&combs) {
+                *slot = comb.combine(*slot, p);
+            }
+        }
+    }
+
     /// Copy each agent's final aggregated row into `agent.effects`, making
     /// the effects readable for the update phase.
     pub fn write_into(&self, agents: &mut [Agent]) {
@@ -108,18 +168,30 @@ pub struct EffectWriter<'a> {
     schema: &'a AgentSchema,
     table: &'a mut EffectTable,
     me: u32,
+    /// Row offset of `table` within the tick's visible set: the sharded
+    /// executor hands each shard a table covering only its own row range,
+    /// and the writer translates global row addresses by `base`. `0` for a
+    /// full-width table (the serial path and non-local shards).
+    base: u32,
     nonlocal_writes: u64,
 }
 
 impl<'a> EffectWriter<'a> {
     pub fn new(schema: &'a AgentSchema, table: &'a mut EffectTable, me: u32) -> Self {
-        EffectWriter { schema, table, me, nonlocal_writes: 0 }
+        EffectWriter { schema, table, me, base: 0, nonlocal_writes: 0 }
+    }
+
+    /// Writer over a shard-local table whose row 0 corresponds to global
+    /// row `base` of the visible set. `me` stays a global row index.
+    pub fn with_base(schema: &'a AgentSchema, table: &'a mut EffectTable, me: u32, base: u32) -> Self {
+        debug_assert!(me >= base, "querying row below the shard base");
+        EffectWriter { schema, table, me, base, nonlocal_writes: 0 }
     }
 
     /// `field <- v` on the querying agent itself.
     #[inline]
     pub fn local(&mut self, field: FieldId, v: f64) {
-        self.table.combine(self.schema, self.me, field, v);
+        self.table.combine(self.schema, self.me - self.base, field, v);
     }
 
     /// `target.field <- v` on another visible agent. Models whose schema
@@ -136,7 +208,17 @@ impl<'a> EffectWriter<'a> {
         if target_row != self.me {
             self.nonlocal_writes += 1;
         }
-        self.table.combine(self.schema, target_row, field, v);
+        // Shard writers of local-effect schemas have `base > 0`; a
+        // contract-violating write below the shard base must fail loudly
+        // (naming the violation) rather than wrap and index out of bounds.
+        let row = target_row.checked_sub(self.base).unwrap_or_else(|| {
+            panic!(
+                "schema `{}` declares local effects only but wrote to row {} outside its shard",
+                self.schema.name(),
+                target_row
+            )
+        });
+        self.table.combine(self.schema, row, field, v);
     }
 
     /// Number of genuinely non-local writes performed through this writer
@@ -223,8 +305,7 @@ mod tests {
         let mut t = EffectTable::new(&s);
         t.reset(2);
         t.combine(&s, 1, FieldId::new(0), 8.0);
-        let mut agents =
-            vec![Agent::new(AgentId::new(0), Vec2::ZERO, &s), Agent::new(AgentId::new(1), Vec2::ZERO, &s)];
+        let mut agents = vec![Agent::new(AgentId::new(0), Vec2::ZERO, &s), Agent::new(AgentId::new(1), Vec2::ZERO, &s)];
         t.write_into(&mut agents);
         assert_eq!(agents[0].effects, vec![0.0, f64::INFINITY]);
         assert_eq!(agents[1].effects, vec![8.0, f64::INFINITY]);

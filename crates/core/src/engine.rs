@@ -19,6 +19,7 @@ pub struct SimulationBuilder<B: Behavior> {
     agents: Vec<Agent>,
     index: IndexKind,
     seed: u64,
+    parallelism: usize,
 }
 
 impl<B: Behavior> SimulationBuilder<B> {
@@ -37,6 +38,15 @@ impl<B: Behavior> SimulationBuilder<B> {
     /// Master seed; every run with the same seed is bit-identical.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Thread budget for the query/update phases: `1` (default) runs the
+    /// deterministic shard plan serially, `0` uses every available core,
+    /// `n` caps at `n` threads. Results are identical for every setting —
+    /// only wall time changes.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -69,7 +79,9 @@ impl<B: Behavior> SimulationBuilder<B> {
                 return Err(BraceError::Config(format!("duplicate agent id {}", a.id)));
             }
         }
-        Ok(Simulation { exec: TickExecutor::new(self.behavior, self.agents, self.index, self.seed) })
+        let mut exec = TickExecutor::new(self.behavior, self.agents, self.index, self.seed);
+        exec.set_parallelism(self.parallelism);
+        Ok(Simulation { exec })
     }
 }
 
@@ -81,7 +93,7 @@ pub struct Simulation<B: Behavior> {
 impl<B: Behavior> Simulation<B> {
     /// Start building a simulation around `behavior`.
     pub fn builder(behavior: B) -> SimulationBuilder<B> {
-        SimulationBuilder { behavior, agents: Vec::new(), index: IndexKind::KdTree, seed: 0 }
+        SimulationBuilder { behavior, agents: Vec::new(), index: IndexKind::KdTree, seed: 0, parallelism: 1 }
     }
 
     /// Execute one tick.

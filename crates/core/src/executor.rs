@@ -1,33 +1,78 @@
-//! The tick executor: query phase, effect finalization, update phase.
+//! The tick executor: query phase, effect finalization, update phase —
+//! sharded for intra-worker parallelism.
 //!
-//! The two phase functions ([`query_phase`], [`update_phase`]) are exposed
-//! separately because the distributed runtime interleaves communication
-//! between them (Table 1 of the paper):
+//! The two phase functions ([`query_phase_sharded`], [`update_phase_sharded`])
+//! are exposed separately because the distributed runtime interleaves
+//! communication between them (Table 1 of the paper):
 //!
 //! ```text
 //!   mapᵗ        = update phase of t−1 + distribute (runtime)
-//!   reduceᵗ₁    = query_phase over owned agents        (this module)
-//!   reduceᵗ₂    = ⊕-merge of shipped partial effects   (EffectTable::merge_row)
-//!   mapᵗ⁺¹      = update_phase                          (this module)
+//!   reduceᵗ₁    = query phase over owned agents       (this module)
+//!   reduceᵗ₂    = ⊕-merge of shipped partial effects  (EffectTable::merge_row)
+//!   mapᵗ⁺¹      = update phase                         (this module)
 //! ```
 //!
 //! The single-node [`TickExecutor`] simply calls them back to back — it *is*
 //! the one-partition special case of the runtime, and the integration tests
 //! exploit that: the distributed engine must produce bit-identical agents.
 //!
+//! # Sharded execution model
+//!
+//! The state-effect pattern makes the per-partition query phase
+//! embarrassingly parallel: queries read only frozen previous-tick state,
+//! and effect assignments combine through associative, commutative ⊕
+//! operators. The executor exploits this by cutting the owned-row range
+//! into **logical shards** and running shards on a pool of scoped threads
+//! (the `parallelism` knob; `0` means one thread per available core):
+//!
+//! * Each shard accumulates into its **own** [`EffectTable`] and reuses its
+//!   own candidate scratch buffer, so the hot loop performs no allocation
+//!   and no synchronization. All per-tick buffers (the position array, the
+//!   shard tables, spawn queues) live in a [`TickScratch`] that persists
+//!   across ticks.
+//! * For **local-effect** schemas a shard's writes land only in its own row
+//!   range, so its table covers just that slice and the merge is a bitwise
+//!   copy — parallel output is identical to serial output at the bit level,
+//!   for any shard plan and any thread count.
+//! * For **non-local** schemas any shard may write to any visible row, so
+//!   every shard table spans the visible set and shards are ⊕-merged in
+//!   ascending shard order.
+//! * The inner probe loop is monomorphized over the concrete index type
+//!   ([`ScanIndex`] / [`KdTree`] / [`UniformGrid`]): the [`BuiltIndex`]
+//!   enum is dispatched once per tick, not once per probe.
+//!
+//! # Determinism argument
+//!
+//! The shard plan is a pure function of `(n_owned, has_nonlocal_effects)` —
+//! **never** of the thread count — and shards merge in ascending order, so
+//! the ⊕ reduction tree is fixed: running with 1 thread or 64 produces
+//! bit-identical effect tables and agent states (`tests/properties.rs`
+//! proves this across seeds, populations and every [`IndexKind`]). Relative
+//! to the unsharded serial reference ([`query_phase`]), results are also
+//! bit-identical whenever effects are local (copy-merge) or the combinators
+//! are exactly associative on the values involved (the lattice ops
+//! Min/Max/Or/And always; Sum/Prod on integer-valued effects) — the same
+//! contract the distributed runtime already imposes on cross-partition
+//! effect aggregation. The update phase parallelizes with any contiguous
+//! chunking: each agent's update depends only on `(seed, tick, agent)`, and
+//! per-chunk spawn queues are concatenated in chunk order, preserving the
+//! serial spawn-id assignment exactly.
+//!
 //! # Visible-set convention
 //!
-//! The agent pool passed to [`query_phase`] holds the *owned* agents first
+//! The agent pool passed to the query phase holds the *owned* agents first
 //! (rows `0..n_owned`) followed by replicas shipped from other partitions.
 //! Queries run only for owned rows; effects may land on any row.
 
 use crate::agent::Agent;
-use crate::behavior::{Behavior, Neighbors, UpdateCtx};
+use crate::behavior::{Behavior, NeighborProbe, Neighbors, UpdateCtx};
 use crate::effect::{EffectTable, EffectWriter};
 use crate::metrics::{SimMetrics, TickMetrics};
+use crate::schema::AgentSchema;
 use brace_common::ids::AgentIdGen;
-use brace_common::{DetRng, Rect};
+use brace_common::{DetRng, Rect, Vec2};
 use brace_spatial::{IndexKind, KdTree, ScanIndex, SpatialIndex, UniformGrid};
+use std::ops::Range;
 use std::time::Instant;
 
 /// Deterministic RNG stream for `(seed, tick, agent, phase)`. Phase 0 =
@@ -38,9 +83,47 @@ pub fn agent_rng(seed: u64, tick: u64, agent: brace_common::AgentId, phase: u64)
     DetRng::seed_from_u64(seed).stream(tick.wrapping_shl(1) | phase).stream(agent.raw())
 }
 
-/// An index built for one tick over the visible set. Dispatch is dynamic at
-/// tick granularity (one enum branch per *probe*, negligible next to the
-/// probe itself) so [`IndexKind`] can live in run configuration.
+/// Rows per logical shard of the query phase. Small enough to give a
+/// thread pool slack for balancing, large enough that per-shard overhead
+/// (a table reset and a merge) stays negligible.
+pub const SHARD_ROWS: usize = 2048;
+
+/// Shard-count cap for schemas with non-local effects, whose shard tables
+/// span the whole visible set: bounds both memory (`shards × rows × width`)
+/// and the ⊕-merge cost.
+const MAX_NONLOCAL_SHARDS: usize = 8;
+
+/// The logical shard plan for `n_owned` rows: a pure function of the row
+/// count, effect locality and the rows-per-shard granule — independent of
+/// thread count, which is what makes parallel execution bit-reproducible
+/// (see the module docs).
+fn shard_count(n_owned: usize, nonlocal: bool, shard_rows: usize) -> usize {
+    let k = n_owned.div_ceil(shard_rows.max(1));
+    if nonlocal {
+        k.min(MAX_NONLOCAL_SHARDS)
+    } else {
+        k
+    }
+}
+
+/// Row range of shard `i` of `k` over `n` rows (balanced contiguous split).
+fn shard_range(n: usize, k: usize, i: usize) -> Range<usize> {
+    (i * n / k)..((i + 1) * n / k)
+}
+
+/// Resolve a `parallelism` knob: `0` = one thread per available core.
+pub fn effective_parallelism(parallelism: usize) -> usize {
+    if parallelism == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        parallelism
+    }
+}
+
+/// An index built for one tick over the visible set. The enum exists so
+/// [`IndexKind`] can live in run configuration; it is dispatched **once per
+/// tick** into a monomorphized shard loop, so no per-probe branching
+/// remains in the hot path.
 enum BuiltIndex {
     Scan(ScanIndex),
     Kd(KdTree),
@@ -48,7 +131,7 @@ enum BuiltIndex {
 }
 
 impl BuiltIndex {
-    fn build(kind: IndexKind, points: &[(brace_common::Vec2, u32)], vis: f64) -> BuiltIndex {
+    fn build(kind: IndexKind, points: &[(Vec2, u32)], vis: f64) -> BuiltIndex {
         match kind {
             IndexKind::Scan => BuiltIndex::Scan(ScanIndex::build(points)),
             IndexKind::KdTree => BuiltIndex::Kd(KdTree::build(points)),
@@ -63,27 +146,9 @@ impl BuiltIndex {
             }
         }
     }
-
-    #[inline]
-    fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
-        match self {
-            BuiltIndex::Scan(i) => i.range(rect, out),
-            BuiltIndex::Kd(i) => i.range(rect, out),
-            BuiltIndex::Grid(i) => i.range(rect, out),
-        }
-    }
-
-    #[inline]
-    fn k_nearest(&self, q: brace_common::Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
-        match self {
-            BuiltIndex::Scan(i) => i.k_nearest(q, k, exclude),
-            BuiltIndex::Kd(i) => i.k_nearest(q, k, exclude),
-            BuiltIndex::Grid(i) => i.k_nearest(q, k, exclude),
-        }
-    }
 }
 
-/// Counters returned by [`query_phase`].
+/// Counters returned by the query phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     pub index_build_ns: u64,
@@ -92,8 +157,57 @@ pub struct QueryStats {
     pub nonlocal_writes: u64,
 }
 
-/// Run the query phase for rows `0..n_owned` of `visible`, aggregating
-/// effects for *every* visible row into `table` (which is reset first).
+/// Reusable per-tick working memory, threaded through the executor so the
+/// hot path allocates nothing after the first tick: the position array the
+/// index is built from, and one [`ShardScratch`] (effect table + candidate
+/// buffer + spawn queue) per logical shard. One `TickScratch` belongs to
+/// one behavior (its tables are shaped by the behavior's schema).
+#[derive(Default)]
+pub struct TickScratch {
+    points: Vec<(Vec2, u32)>,
+    shards: Vec<ShardScratch>,
+}
+
+/// Working memory of one logical shard.
+struct ShardScratch {
+    table: EffectTable,
+    candidates: Vec<u32>,
+    spawns: Vec<(Vec2, Vec<f64>)>,
+    visits: u64,
+    nonlocal: u64,
+}
+
+impl ShardScratch {
+    fn new(schema: &AgentSchema) -> Self {
+        ShardScratch {
+            table: EffectTable::new(schema),
+            candidates: Vec::new(),
+            spawns: Vec::new(),
+            visits: 0,
+            nonlocal: 0,
+        }
+    }
+}
+
+impl TickScratch {
+    pub fn new() -> Self {
+        TickScratch::default()
+    }
+
+    /// Grow to at least `n` shard scratches shaped by `schema`.
+    fn ensure_shards(&mut self, schema: &AgentSchema, n: usize) -> &mut [ShardScratch] {
+        while self.shards.len() < n {
+            self.shards.push(ShardScratch::new(schema));
+        }
+        &mut self.shards[..n]
+    }
+}
+
+/// Serial reference implementation of the query phase: one pass over rows
+/// `0..n_owned` into a single full-width `table` (which is reset first).
+/// This is the executable specification the sharded path is tested against;
+/// production paths ([`TickExecutor`], the MapReduce worker) call
+/// [`query_phase_sharded`].
 ///
 /// After this returns, rows `0..n_owned` hold this partition's aggregated
 /// local effects and rows `n_owned..` hold partial aggregates destined for
@@ -113,48 +227,245 @@ pub fn query_phase<B: Behavior>(
     table.reset(visible.len());
 
     let t0 = Instant::now();
-    let points: Vec<(brace_common::Vec2, u32)> =
-        visible.iter().enumerate().map(|(i, a)| (a.pos, i as u32)).collect();
+    let points: Vec<(Vec2, u32)> = visible.iter().enumerate().map(|(i, a)| (a.pos, i as u32)).collect();
     let index = BuiltIndex::build(kind, &points, vis);
     stats.index_build_ns = t0.elapsed().as_nanos() as u64;
 
-    let probe = behavior.probe();
     let t1 = Instant::now();
     let mut candidates: Vec<u32> = Vec::new();
-    for row in 0..n_owned as u32 {
+    let (visits, nonlocal) = match &index {
+        BuiltIndex::Scan(i) => {
+            query_rows(behavior, schema, i, visible, 0..n_owned, 0, table, &mut candidates, tick, seed)
+        }
+        BuiltIndex::Kd(i) => {
+            query_rows(behavior, schema, i, visible, 0..n_owned, 0, table, &mut candidates, tick, seed)
+        }
+        BuiltIndex::Grid(i) => {
+            query_rows(behavior, schema, i, visible, 0..n_owned, 0, table, &mut candidates, tick, seed)
+        }
+    };
+    stats.neighbor_visits = visits;
+    stats.nonlocal_writes = nonlocal;
+    stats.query_ns = t1.elapsed().as_nanos() as u64;
+    stats
+}
+
+/// The monomorphized inner loop: run the query phase for global rows
+/// `rows`, writing into `table` whose row 0 is global row `base`. Returns
+/// `(neighbor_visits, nonlocal_writes)`.
+#[allow(clippy::too_many_arguments)]
+fn query_rows<B: Behavior, I: SpatialIndex>(
+    behavior: &B,
+    schema: &AgentSchema,
+    index: &I,
+    visible: &[Agent],
+    rows: Range<usize>,
+    base: u32,
+    table: &mut EffectTable,
+    candidates: &mut Vec<u32>,
+    tick: u64,
+    seed: u64,
+) -> (u64, u64) {
+    let vis = schema.visibility();
+    let probe = behavior.probe();
+    let mut visits = 0u64;
+    let mut nonlocal = 0u64;
+    for row in rows {
+        let row = row as u32;
         let me = &visible[row as usize];
         debug_assert!(me.alive, "dead agent in query phase");
         candidates.clear();
         match probe {
-            crate::behavior::NeighborProbe::Range => {
+            NeighborProbe::Range => {
                 if vis.is_finite() {
-                    index.range(&Rect::centered(me.pos, vis), &mut candidates);
+                    index.range(&Rect::centered(me.pos, vis), candidates);
                 } else {
                     candidates.extend(0..visible.len() as u32);
                 }
             }
-            crate::behavior::NeighborProbe::Nearest(k) => {
+            NeighborProbe::Nearest(k) => {
                 // Ask for k + 1 so self (always distance 0) doesn't crowd
                 // out a real neighbor; crop to the visible region, which is
                 // all the distributed runtime replicates.
-                candidates = index.k_nearest(me.pos, k + 1, None);
+                *candidates = index.k_nearest(me.pos, k + 1, None);
                 if vis.is_finite() {
                     candidates.retain(|&i| visible[i as usize].pos.dist_linf(me.pos) <= vis);
                 }
             }
         }
-        stats.neighbor_visits += candidates.len() as u64;
-        let neighbors = Neighbors::new(visible, &candidates, row);
-        let mut writer = EffectWriter::new(schema, table, row);
+        visits += candidates.len() as u64;
+        let neighbors = Neighbors::new(visible, candidates, row);
+        let mut writer = EffectWriter::with_base(schema, table, row, base);
         let mut rng = agent_rng(seed, tick, me.id, 0);
         behavior.query(me, row, &neighbors, &mut writer, &mut rng);
-        stats.nonlocal_writes += writer.nonlocal_writes();
+        nonlocal += writer.nonlocal_writes();
+    }
+    (visits, nonlocal)
+}
+
+/// Sharded, optionally parallel query phase. Semantics match
+/// [`query_phase`] (rows `0..n_owned` of `visible` queried, effects for
+/// every visible row aggregated into `table`), executed over the
+/// deterministic shard plan described in the module docs. `parallelism` is
+/// the physical thread budget (`0` = all cores, `1` = run shards inline);
+/// it never affects results, only wall time.
+#[allow(clippy::too_many_arguments)]
+pub fn query_phase_sharded<B: Behavior>(
+    behavior: &B,
+    visible: &[Agent],
+    n_owned: usize,
+    kind: IndexKind,
+    table: &mut EffectTable,
+    tick: u64,
+    seed: u64,
+    scratch: &mut TickScratch,
+    parallelism: usize,
+) -> QueryStats {
+    query_phase_sharded_with(behavior, visible, n_owned, kind, table, tick, seed, scratch, SHARD_ROWS, parallelism)
+}
+
+/// [`query_phase_sharded`] with an explicit rows-per-shard granule.
+/// Production uses [`SHARD_ROWS`]; property tests pass tiny granules to
+/// exercise many-shard merges on small worlds. Results depend on the
+/// granule only through the documented re-association of non-local float
+/// aggregates — never on `parallelism`.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn query_phase_sharded_with<B: Behavior>(
+    behavior: &B,
+    visible: &[Agent],
+    n_owned: usize,
+    kind: IndexKind,
+    table: &mut EffectTable,
+    tick: u64,
+    seed: u64,
+    scratch: &mut TickScratch,
+    shard_rows: usize,
+    parallelism: usize,
+) -> QueryStats {
+    let schema = behavior.schema();
+    let vis = schema.visibility();
+    let mut stats = QueryStats::default();
+    table.reset(visible.len());
+
+    let t0 = Instant::now();
+    scratch.points.clear();
+    scratch.points.extend(visible.iter().enumerate().map(|(i, a)| (a.pos, i as u32)));
+    let index = BuiltIndex::build(kind, &scratch.points, vis);
+    stats.index_build_ns = t0.elapsed().as_nanos() as u64;
+
+    let nonlocal_schema = schema.has_nonlocal_effects();
+    let k = shard_count(n_owned, nonlocal_schema, shard_rows);
+    if k == 0 {
+        return stats;
+    }
+    let threads = effective_parallelism(parallelism).min(k);
+    let shards = scratch.ensure_shards(schema, k);
+
+    let t1 = Instant::now();
+    // Reset each shard's accumulator to the width it covers this tick.
+    for (i, shard) in shards.iter_mut().enumerate() {
+        let rows = if nonlocal_schema { visible.len() } else { shard_range(n_owned, k, i).len() };
+        shard.table.reset(rows);
+        shard.visits = 0;
+        shard.nonlocal = 0;
+    }
+
+    // One monomorphized dispatch per tick, then the shard loop runs against
+    // the concrete index type.
+    match &index {
+        BuiltIndex::Scan(i) => {
+            run_query_shards(behavior, schema, i, visible, n_owned, nonlocal_schema, shards, threads, tick, seed)
+        }
+        BuiltIndex::Kd(i) => {
+            run_query_shards(behavior, schema, i, visible, n_owned, nonlocal_schema, shards, threads, tick, seed)
+        }
+        BuiltIndex::Grid(i) => {
+            run_query_shards(behavior, schema, i, visible, n_owned, nonlocal_schema, shards, threads, tick, seed)
+        }
+    }
+
+    // Deterministic merge, ascending shard order. Local-effect shards own
+    // disjoint row ranges: a bitwise copy. Non-local shards span the whole
+    // visible set: copy the first, ⊕-merge the rest.
+    for (i, shard) in shards.iter().enumerate() {
+        if nonlocal_schema {
+            if i == 0 {
+                table.copy_rows_from(&shard.table, 0);
+            } else {
+                table.merge_table(schema, &shard.table);
+            }
+        } else {
+            table.copy_rows_from(&shard.table, shard_range(n_owned, k, i).start);
+        }
+        stats.neighbor_visits += shard.visits;
+        stats.nonlocal_writes += shard.nonlocal;
     }
     stats.query_ns = t1.elapsed().as_nanos() as u64;
     stats
 }
 
-/// Counters returned by [`update_phase`].
+/// Distribute `shards` over up to `threads` scoped worker threads in
+/// contiguous groups. Shard → result mapping is positional, so scheduling
+/// cannot affect the merge order.
+#[allow(clippy::too_many_arguments)]
+fn run_query_shards<B: Behavior, I: SpatialIndex>(
+    behavior: &B,
+    schema: &AgentSchema,
+    index: &I,
+    visible: &[Agent],
+    n_owned: usize,
+    nonlocal_schema: bool,
+    shards: &mut [ShardScratch],
+    threads: usize,
+    tick: u64,
+    seed: u64,
+) {
+    let k = shards.len();
+    let run_one = |i: usize, shard: &mut ShardScratch| {
+        let rows = shard_range(n_owned, k, i);
+        let base = if nonlocal_schema { 0 } else { rows.start as u32 };
+        let (visits, nonlocal) = query_rows(
+            behavior,
+            schema,
+            index,
+            visible,
+            rows,
+            base,
+            &mut shard.table,
+            &mut shard.candidates,
+            tick,
+            seed,
+        );
+        shard.visits = visits;
+        shard.nonlocal = nonlocal;
+    };
+    if threads <= 1 {
+        for (i, shard) in shards.iter_mut().enumerate() {
+            run_one(i, shard);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = shards;
+        let mut next = 0usize;
+        for t in 0..threads {
+            let group = shard_range(k, threads, t).len();
+            let (head, tail) = rest.split_at_mut(group);
+            rest = tail;
+            let first = next;
+            next += group;
+            let run_one = &run_one;
+            scope.spawn(move || {
+                for (j, shard) in head.iter_mut().enumerate() {
+                    run_one(first + j, shard);
+                }
+            });
+        }
+    });
+}
+
+/// Counters returned by the update phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UpdateStats {
     pub update_ns: u64,
@@ -162,10 +473,12 @@ pub struct UpdateStats {
     pub killed: usize,
 }
 
-/// Run the update phase over `agents` (owned agents with final effects
-/// already written into `agent.effects`), then: crop movement to the
-/// reachable region, remove killed agents, materialize spawns with ids from
-/// `id_gen`, and reset effect slots for the next tick.
+/// Serial reference implementation of the update phase over `agents`
+/// (owned agents with final effects already written into `agent.effects`):
+/// run updates, crop movement to the reachable region, remove killed
+/// agents, materialize spawns with ids from `id_gen`, and reset effect
+/// slots for the next tick. Production paths call
+/// [`update_phase_sharded`].
 pub fn update_phase<B: Behavior>(
     behavior: &B,
     agents: &mut Vec<Agent>,
@@ -174,37 +487,116 @@ pub fn update_phase<B: Behavior>(
     id_gen: &mut AgentIdGen,
 ) -> UpdateStats {
     let schema = behavior.schema();
-    let reach = schema.reachability();
     let t0 = Instant::now();
-    let mut spawns: Vec<(brace_common::Vec2, Vec<f64>)> = Vec::new();
+    let mut spawns: Vec<(Vec2, Vec<f64>)> = Vec::new();
+    update_rows(behavior, schema, agents, tick, seed, &mut spawns);
+    let (spawned, killed) = finish_update(agents, schema, id_gen, [&mut spawns]);
+    UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
+}
+
+/// Sharded, optionally parallel update phase. Bit-identical to
+/// [`update_phase`] for every chunking and thread count: each agent's
+/// update is a pure function of `(seed, tick, agent)`, and per-chunk spawn
+/// queues are concatenated in chunk order, which reproduces the serial
+/// spawn ordering (and therefore id assignment) exactly.
+pub fn update_phase_sharded<B: Behavior>(
+    behavior: &B,
+    agents: &mut Vec<Agent>,
+    tick: u64,
+    seed: u64,
+    id_gen: &mut AgentIdGen,
+    scratch: &mut TickScratch,
+    parallelism: usize,
+) -> UpdateStats {
+    let schema = behavior.schema();
+    let t0 = Instant::now();
+    let threads = effective_parallelism(parallelism).min(agents.len()).max(1);
+    if threads <= 1 {
+        let shards = scratch.ensure_shards(schema, 1);
+        let spawns = &mut shards[0].spawns;
+        spawns.clear();
+        update_rows(behavior, schema, agents, tick, seed, spawns);
+        let (spawned, killed) = finish_update(agents, schema, id_gen, [spawns]);
+        return UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed };
+    }
+    let n = agents.len();
+    let shards = scratch.ensure_shards(schema, threads);
+    for shard in shards.iter_mut() {
+        shard.spawns.clear();
+    }
+    std::thread::scope(|scope| {
+        let mut rest_agents = &mut agents[..];
+        let mut rest_shards = &mut *shards;
+        for t in 0..threads {
+            let count = shard_range(n, threads, t).len();
+            let (chunk, tail) = rest_agents.split_at_mut(count);
+            rest_agents = tail;
+            let (shard, shard_tail) = rest_shards.split_at_mut(1);
+            rest_shards = shard_tail;
+            let spawns = &mut shard[0].spawns;
+            scope.spawn(move || update_rows(behavior, schema, chunk, tick, seed, spawns));
+        }
+    });
+    let (spawned, killed) = finish_update(agents, schema, id_gen, shards.iter_mut().map(|s| &mut s.spawns));
+    UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
+}
+
+/// Update one contiguous run of agents, queueing spawns locally.
+fn update_rows<B: Behavior>(
+    behavior: &B,
+    schema: &AgentSchema,
+    agents: &mut [Agent],
+    tick: u64,
+    seed: u64,
+    spawns: &mut Vec<(Vec2, Vec<f64>)>,
+) {
+    let reach = schema.reachability();
     for agent in agents.iter_mut() {
         let from = agent.pos;
         let rng = agent_rng(seed, tick, agent.id, 1);
-        let mut ctx = UpdateCtx::new(tick, rng, &mut spawns);
+        let mut ctx = UpdateCtx::new(tick, rng, spawns);
         behavior.update(agent, &mut ctx);
         agent.pos = Agent::clamp_move(from, agent.pos, reach);
         debug_assert!(!agent.pos.is_nan(), "model produced NaN position for {}", agent.id);
         agent.reset_effects(schema);
     }
+}
+
+/// Sequential tail of the update phase: remove killed agents, then
+/// materialize the spawn queues **in the order given** (chunk order ≡
+/// serial agent order) with ids from `id_gen`.
+fn finish_update<'a>(
+    agents: &mut Vec<Agent>,
+    schema: &AgentSchema,
+    id_gen: &mut AgentIdGen,
+    spawn_queues: impl IntoIterator<Item = &'a mut Vec<(Vec2, Vec<f64>)>>,
+) -> (usize, usize) {
     let before = agents.len();
     agents.retain(|a| a.alive);
     let killed = before - agents.len();
-    let spawned = spawns.len();
-    for (pos, state) in spawns {
-        let id = id_gen.alloc().expect("agent id space exhausted");
-        agents.push(Agent::with_state(id, pos, state, schema));
+    let mut spawned = 0;
+    for queue in spawn_queues {
+        spawned += queue.len();
+        for (pos, state) in queue.drain(..) {
+            let id = id_gen.alloc().expect("agent id space exhausted");
+            agents.push(Agent::with_state(id, pos, state, schema));
+        }
     }
-    UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
+    (spawned, killed)
 }
 
 /// Single-node executor: the reference implementation of a BRACE tick, and
-/// the baseline of the paper's Figures 3 and 4.
+/// the baseline of the paper's Figures 3 and 4. Runs the sharded phases
+/// with a configurable thread budget ([`TickExecutor::set_parallelism`];
+/// default 1 = serial execution of the same deterministic shard plan).
 pub struct TickExecutor<B: Behavior> {
     behavior: B,
     agents: Vec<Agent>,
     table: EffectTable,
+    scratch: TickScratch,
     id_gen: AgentIdGen,
     kind: IndexKind,
+    parallelism: usize,
     seed: u64,
     tick: u64,
     metrics: SimMetrics,
@@ -216,15 +608,57 @@ impl<B: Behavior> TickExecutor<B> {
     pub fn new(behavior: B, agents: Vec<Agent>, kind: IndexKind, seed: u64) -> Self {
         let table = EffectTable::new(behavior.schema());
         let max_id = agents.iter().map(|a| a.id.raw()).max().map_or(0, |m| m + 1);
-        TickExecutor { behavior, agents, table, id_gen: AgentIdGen::from(max_id), kind, seed, tick: 0, metrics: SimMetrics::default() }
+        TickExecutor {
+            behavior,
+            agents,
+            table,
+            scratch: TickScratch::new(),
+            id_gen: AgentIdGen::from(max_id),
+            kind,
+            parallelism: 1,
+            seed,
+            tick: 0,
+            metrics: SimMetrics::default(),
+        }
+    }
+
+    /// Set the thread budget for the query and update phases: `1` (the
+    /// default) runs the shard plan serially, `0` uses every available
+    /// core, `n` uses up to `n` threads. Never changes results — only wall
+    /// time (see the module's determinism argument).
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism;
+    }
+
+    /// Current thread budget (`0` = auto).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Execute one tick (query → finalize effects → update).
     pub fn step(&mut self) -> TickMetrics {
         let n = self.agents.len();
-        let qs = query_phase(&self.behavior, &self.agents, n, self.kind, &mut self.table, self.tick, self.seed);
+        let qs = query_phase_sharded(
+            &self.behavior,
+            &self.agents,
+            n,
+            self.kind,
+            &mut self.table,
+            self.tick,
+            self.seed,
+            &mut self.scratch,
+            self.parallelism,
+        );
         self.table.write_into(&mut self.agents);
-        let us = update_phase(&self.behavior, &mut self.agents, self.tick, self.seed, &mut self.id_gen);
+        let us = update_phase_sharded(
+            &self.behavior,
+            &mut self.agents,
+            self.tick,
+            self.seed,
+            &mut self.id_gen,
+            &mut self.scratch,
+            self.parallelism,
+        );
         let tm = TickMetrics {
             tick: self.tick,
             n_agents: n,
@@ -343,8 +777,18 @@ mod tests {
             TickExecutor::new(b, agents, IndexKind::KdTree, 7)
         };
         let mut kd = mk();
-        let mut scan = TickExecutor::new(CountAndDrift::new(), line_of_agents(&CountAndDrift::new().schema, 40, 0.3), IndexKind::Scan, 7);
-        let mut grid = TickExecutor::new(CountAndDrift::new(), line_of_agents(&CountAndDrift::new().schema, 40, 0.3), IndexKind::Grid, 7);
+        let mut scan = TickExecutor::new(
+            CountAndDrift::new(),
+            line_of_agents(&CountAndDrift::new().schema, 40, 0.3),
+            IndexKind::Scan,
+            7,
+        );
+        let mut grid = TickExecutor::new(
+            CountAndDrift::new(),
+            line_of_agents(&CountAndDrift::new().schema, 40, 0.3),
+            IndexKind::Grid,
+            7,
+        );
         for _ in 0..5 {
             kd.step();
             scan.step();
@@ -405,7 +849,8 @@ mod tests {
     fn spawn_and_kill_lifecycle() {
         let schema = AgentSchema::builder("SpawnKill").visibility(1.0).build().unwrap();
         let b = SpawnKill { schema };
-        let agents: Vec<Agent> = (0..4).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), b.schema())).collect();
+        let agents: Vec<Agent> =
+            (0..4).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), b.schema())).collect();
         let mut exec = TickExecutor::new(b, agents, IndexKind::KdTree, 1);
         let tm0 = exec.step();
         assert_eq!(tm0.spawned, 4);
@@ -440,5 +885,70 @@ mod tests {
         exec.reset_metrics();
         assert_eq!(exec.metrics().ticks, 0);
         assert_eq!(exec.tick(), 4, "reset_metrics must not rewind the clock");
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial_executor() {
+        // Same world stepped with 1 and 4 threads: bit-identical states.
+        let run = |threads: usize| {
+            let b = CountAndDrift::new();
+            let agents = line_of_agents(b.schema(), 500, 0.2);
+            let mut e = TickExecutor::new(b, agents, IndexKind::KdTree, 9);
+            e.set_parallelism(threads);
+            e.run(8);
+            e.agents().to_vec()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sharded_phases_match_serial_reference() {
+        // Direct phase-level comparison against the unsharded reference:
+        // 5000 owned rows put the deterministic plan at 3 shards, and a
+        // local-effect schema merges by copy, so the tables must agree
+        // bit for bit.
+        let b = CountAndDrift::new();
+        let agents = line_of_agents(b.schema(), 5000, 0.2);
+        let mut ref_table = EffectTable::new(b.schema());
+        let ref_stats = query_phase(&b, &agents, agents.len(), IndexKind::Grid, &mut ref_table, 0, 3);
+        let mut sh_table = EffectTable::new(b.schema());
+        let mut scratch = TickScratch::new();
+        let sh_stats =
+            query_phase_sharded(&b, &agents, agents.len(), IndexKind::Grid, &mut sh_table, 0, 3, &mut scratch, 2);
+        assert_eq!(ref_stats.neighbor_visits, sh_stats.neighbor_visits);
+        for r in 0..agents.len() as u32 {
+            assert_eq!(ref_table.row(r), sh_table.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent_across_population_changes() {
+        // Spawning grows the population across SHARD_ROWS boundaries while
+        // the scratch persists; results must stay deterministic.
+        let schema = AgentSchema::builder("Spawner").visibility(1.0).build().unwrap();
+        struct Spawner(AgentSchema);
+        impl Behavior for Spawner {
+            fn schema(&self) -> &AgentSchema {
+                &self.0
+            }
+            fn query(&self, _m: &Agent, _r: u32, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
+            fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+                if me.id.raw().is_multiple_of(3) {
+                    ctx.spawn(me.pos + Vec2::new(0.01, 0.0), vec![]);
+                }
+            }
+        }
+        let run = |threads: usize| {
+            let b = Spawner(schema.clone());
+            let agents: Vec<Agent> =
+                (0..1500).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64 * 0.1, 0.0), &schema)).collect();
+            let mut e = TickExecutor::new(b, agents, IndexKind::Grid, 2);
+            e.set_parallelism(threads);
+            e.run(3); // population: 1500 -> 2000 -> ~2667 -> crosses 2048
+            e.agents().iter().map(|a| (a.id, a.pos)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(3));
     }
 }

@@ -23,9 +23,9 @@
 //!   [`EffectWriter`] through which the query phase
 //!   runs;
 //! * [`effect`] — staged, order-independent effect aggregation;
-//! * [`executor`] — the single-node tick executor (build index → query →
-//!   aggregate → update), the unit the MapReduce runtime replicates per
-//!   partition;
+//! * [`executor`] — the sharded tick executor (build index → query shards
+//!   in parallel → deterministic merge → update), the unit the MapReduce
+//!   runtime replicates per partition;
 //! * [`engine`] — a high-level `Simulation` builder for single-node runs;
 //! * [`metrics`] — per-tick timing and throughput accounting.
 
@@ -43,6 +43,6 @@ pub use behavior::{Behavior, NeighborRef, Neighbors, UpdateCtx};
 pub use combinator::Combinator;
 pub use effect::{EffectTable, EffectWriter};
 pub use engine::{Simulation, SimulationBuilder};
-pub use executor::TickExecutor;
+pub use executor::{TickExecutor, TickScratch};
 pub use metrics::{SimMetrics, TickMetrics};
 pub use schema::{AgentSchema, SchemaBuilder};

@@ -75,11 +75,7 @@ impl LoadBalancer {
         // A repartitioning that barely moves any boundary is a no-op; skip
         // the broadcast and the partitioning switch.
         let span = (current_bounds[workers] - current_bounds[0]).abs().max(1e-9);
-        let max_shift = current_bounds
-            .iter()
-            .zip(&new_bounds)
-            .map(|(o, n)| (o - n).abs())
-            .fold(0.0f64, f64::max);
+        let max_shift = current_bounds.iter().zip(&new_bounds).map(|(o, n)| (o - n).abs()).fold(0.0f64, f64::max);
         if max_shift < span * 1e-6 {
             return BalanceDecision::Keep;
         }
@@ -212,10 +208,7 @@ mod tests {
         assert_eq!(d, BalanceDecision::Keep);
         // Same situation with cheap migration -> Repartition.
         let cheap = LoadBalancer { imbalance_threshold: 1.05, migration_cost_ticks: 0.1, epoch_len: 10 };
-        assert!(matches!(
-            cheap.decide(&bounds, &[55, 45], &hist, (0.0, 100.0)),
-            BalanceDecision::Repartition { .. }
-        ));
+        assert!(matches!(cheap.decide(&bounds, &[55, 45], &hist, (0.0, 100.0)), BalanceDecision::Repartition { .. }));
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct ClusterConfig {
     /// Collocate map/reduce tasks (false = ablation: every hand-off pays
     /// serialization and is charged to the network ledger).
     pub collocation: bool,
+    /// Intra-worker thread budget for the query/update phases (`1` =
+    /// serial, `0` = all cores, `n` = up to `n` threads **per worker**).
+    /// Never affects results — the executor's shard plan is thread-count
+    /// independent.
+    pub parallelism: usize,
     /// Scheduled failure, if any.
     pub fault: Option<FaultPlan>,
 }
@@ -73,6 +78,7 @@ impl Default for ClusterConfig {
             keep_checkpoints: 2,
             checkpoint_dir: None,
             collocation: true,
+            parallelism: 1,
             fault: None,
         }
     }
@@ -149,6 +155,7 @@ impl ClusterSim {
                 index: cfg.index,
                 seed: cfg.seed,
                 collocation: cfg.collocation,
+                parallelism: cfg.parallelism,
             };
             let worker = Worker::new(
                 behavior.clone(),
@@ -348,9 +355,7 @@ mod tests {
     fn population(schema: &AgentSchema, n: usize, seed: u64) -> Vec<Agent> {
         let mut rng = DetRng::seed_from_u64(seed);
         (0..n)
-            .map(|i| {
-                Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 20.0)), schema)
-            })
+            .map(|i| Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 20.0)), schema))
             .collect()
     }
 
@@ -373,13 +378,8 @@ mod tests {
         let agents = population(Flock::new().schema(), 120, 1);
         let single = run_single_node(Flock::new(), agents.clone(), 20, 42);
         for workers in [1, 2, 4] {
-            let cfg = ClusterConfig {
-                workers,
-                epoch_len: 5,
-                seed: 42,
-                load_balance: false,
-                ..ClusterConfig::default()
-            };
+            let cfg =
+                ClusterConfig { workers, epoch_len: 5, seed: 42, load_balance: false, ..ClusterConfig::default() };
             let distributed = run_cluster(Arc::new(Flock::new()), agents.clone(), 20, cfg);
             assert_eq!(single, distributed, "workers={workers}");
         }
@@ -390,13 +390,7 @@ mod tests {
         let agents = population(Ping::new().schema(), 80, 3);
         let single = run_single_node(Ping::new(), agents.clone(), 12, 7);
         for workers in [2, 3] {
-            let cfg = ClusterConfig {
-                workers,
-                epoch_len: 4,
-                seed: 7,
-                load_balance: false,
-                ..ClusterConfig::default()
-            };
+            let cfg = ClusterConfig { workers, epoch_len: 4, seed: 7, load_balance: false, ..ClusterConfig::default() };
             let distributed = run_cluster(Arc::new(Ping::new()), agents.clone(), 12, cfg);
             assert_eq!(single, distributed, "workers={workers}");
         }

@@ -200,8 +200,7 @@ mod tests {
 
     #[test]
     fn effect_rows_round_trip() {
-        let rows =
-            vec![(AgentId::new(1), vec![1.0, 2.0]), (AgentId::new(9), vec![-0.5, f64::INFINITY])];
+        let rows = vec![(AgentId::new(1), vec![1.0, 2.0]), (AgentId::new(9), vec![-0.5, f64::INFINITY])];
         let encoded = encode_effect_rows(rows.iter().map(|(id, v)| (*id, v.as_slice())));
         let decoded = decode_effect_rows(encoded);
         assert_eq!(rows, decoded);
@@ -212,7 +211,8 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(5);
         rng.next_raw();
         rng.next_raw();
-        let snap = WorkerSnapshot { tick: 99, next_spawn_id: 1234, rng: rng.clone(), agents: (0..3).map(agent).collect() };
+        let snap =
+            WorkerSnapshot { tick: 99, next_spawn_id: 1234, rng: rng.clone(), agents: (0..3).map(agent).collect() };
         let restored = decode_snapshot(encode_snapshot(&snap));
         assert_eq!(snap, restored);
         // RNG continues identically after restore.

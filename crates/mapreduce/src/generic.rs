@@ -117,13 +117,7 @@ where
 /// The iterated model of §2.2: "the output of the reduce step is fed into
 /// the next map step" — `reduce : (k2, [v2]) → [(k3, v3)]` with
 /// `k3/v3 = k1/v1`. Runs `rounds` rounds and returns the final collection.
-pub fn iterate<K, V, M, R>(
-    mut state: Vec<(K, V)>,
-    rounds: usize,
-    workers: usize,
-    mapper: M,
-    reducer: R,
-) -> Vec<(K, V)>
+pub fn iterate<K, V, M, R>(mut state: Vec<(K, V)>, rounds: usize, workers: usize, mapper: M, reducer: R) -> Vec<(K, V)>
 where
     K: Eq + Hash + Ord + Send + Clone,
     V: Send,
@@ -188,12 +182,8 @@ mod tests {
     #[test]
     fn reduce_sees_all_values_for_a_key() {
         let input: Vec<(u32, u32)> = (0..100).map(|i| (i % 5, i)).collect();
-        let mut out = map_reduce(
-            input,
-            3,
-            |k, v, emit| emit.push((k, v)),
-            |k: &u32, vs: Vec<u32>, out| out.push((*k, vs.len())),
-        );
+        let mut out =
+            map_reduce(input, 3, |k, v, emit| emit.push((k, v)), |k: &u32, vs: Vec<u32>, out| out.push((*k, vs.len())));
         out.sort();
         assert_eq!(out, (0..5).map(|k| (k, 20)).collect::<Vec<_>>());
     }
@@ -229,9 +219,7 @@ mod tests {
     #[test]
     fn iterate_zero_rounds_is_identity() {
         let state = vec![(1u32, 5.0f64)];
-        let out = iterate(state.clone(), 0, 2, |k, v, e| e.push((k, v)), |k, vs, o| {
-            o.push((*k, vs.into_iter().sum()))
-        });
+        let out = iterate(state.clone(), 0, 2, |k, v, e| e.push((k, v)), |k, vs, o| o.push((*k, vs.into_iter().sum())));
         assert_eq!(out, state);
     }
 }

@@ -159,10 +159,7 @@ impl Master {
 
     /// Execute one live epoch: broadcast, gather, account, decide.
     pub fn run_epoch(&mut self) -> Result<()> {
-        let checkpoint = self
-            .checkpoint_every
-            .map(|k| (self.epoch + 1).is_multiple_of(k))
-            .unwrap_or(false);
+        let checkpoint = self.checkpoint_every.map(|k| (self.epoch + 1).is_multiple_of(k)).unwrap_or(false);
         let cmd = EpochCommand {
             epoch: self.epoch,
             ticks: self.epoch_len,
@@ -229,8 +226,11 @@ impl Master {
             }
         }
         let stats: Vec<WorkerEpochStats> = stats.into_iter().map(|s| s.expect("worker reported")).collect();
-        let snapshots: Vec<bytes::Bytes> =
-            if cmd.checkpoint { snaps.into_iter().map(|s| s.expect("checkpoint snapshot")).collect() } else { Vec::new() };
+        let snapshots: Vec<bytes::Bytes> = if cmd.checkpoint {
+            snaps.into_iter().map(|s| s.expect("checkpoint snapshot")).collect()
+        } else {
+            Vec::new()
+        };
         Ok((stats, snapshots))
     }
 
@@ -273,12 +273,8 @@ impl Master {
         // point is still `self.hist_range` from before the update above only
         // if no drift happened; to stay exact we recompute decisions against
         // the range the workers actually used — which the balancer receives.
-        let used_range = reports
-            .iter()
-            .map(|_| ())
-            .next()
-            .map(|_| self.last_command_range())
-            .unwrap_or(self.hist_range);
+        let used_range =
+            reports.iter().map(|_| ()).next().map(|_| self.last_command_range()).unwrap_or(self.hist_range);
         match self.balancer.decide(&self.x_bounds, &counts, &hist, used_range) {
             BalanceDecision::Keep => {}
             BalanceDecision::Repartition { x_bounds, .. } => {
@@ -331,16 +327,14 @@ impl Master {
     /// Gather every worker's current agents (sorted by id).
     pub fn collect_agents(&mut self) -> Result<Vec<Agent>> {
         let snaps = self.collect_snapshots()?;
-        let mut agents: Vec<Agent> =
-            snaps.into_iter().flat_map(|s| codec::decode_snapshot(s).agents).collect();
+        let mut agents: Vec<Agent> = snaps.into_iter().flat_map(|s| codec::decode_snapshot(s).agents).collect();
         agents.sort_by_key(|a| a.id);
         Ok(agents)
     }
 
     fn collect_snapshots(&mut self) -> Result<Vec<bytes::Bytes>> {
         for tx in &self.cmd_tx {
-            tx.send(Command::Collect)
-                .map_err(|_| BraceError::Unrecoverable("worker channel closed".into()))?;
+            tx.send(Command::Collect).map_err(|_| BraceError::Unrecoverable("worker channel closed".into()))?;
         }
         let mut snaps: Vec<Option<bytes::Bytes>> = (0..self.num_workers).map(|_| None).collect();
         for _ in 0..self.num_workers {

@@ -79,7 +79,10 @@ pub struct EpochCommand {
 pub enum Command {
     RunEpoch(EpochCommand),
     /// Replace worker state from a checkpoint snapshot (recovery).
-    Restore { snapshot: Bytes, x_bounds: Vec<f64> },
+    Restore {
+        snapshot: Bytes,
+        x_bounds: Vec<f64>,
+    },
     /// Send back the current owned agents (end-of-run collection).
     Collect,
     Stop,

@@ -26,7 +26,7 @@ use crate::net::{NetLedger, Traffic};
 use crate::runtime::{Command, EpochCommand, PeerMsg, Report, Round, WorkerEpochStats};
 use brace_common::ids::AgentIdGen;
 use brace_common::{AgentId, DetRng, Welford, WorkerId};
-use brace_core::executor::{query_phase, update_phase};
+use brace_core::executor::{query_phase_sharded, update_phase_sharded, TickScratch};
 use brace_core::{Agent, Behavior, EffectTable};
 use brace_spatial::{GridPartitioning, IndexKind, Partitioner};
 use bytes::Bytes;
@@ -50,6 +50,12 @@ pub struct WorkerConfig {
     /// When false, even same-partition hand-offs are serialized and charged
     /// to the ledger — the no-collocation ablation.
     pub collocation: bool,
+    /// Intra-worker thread budget for the query/update phases (`1` =
+    /// serial, `0` = all cores). Multiplies with the worker count, so
+    /// clusters saturating the machine with workers should leave this at 1.
+    /// Never affects results (the executor's shard plan is thread-count
+    /// independent).
+    pub parallelism: usize,
 }
 
 /// Communication endpoints for one worker.
@@ -72,6 +78,9 @@ pub struct Worker {
     part: GridPartitioning,
     owned: Vec<Agent>,
     table: EffectTable,
+    /// Reusable per-tick buffers (points, shard tables, spawn queues) for
+    /// the sharded executor phases.
+    scratch: TickScratch,
     tick: u64,
     /// Next / end of this worker's private agent-id block (for spawns).
     next_id: u64,
@@ -104,6 +113,7 @@ impl Worker {
             part,
             owned,
             table,
+            scratch: TickScratch::new(),
             tick: 0,
             next_id: id_block.0,
             end_id: id_block.1,
@@ -277,7 +287,17 @@ impl Worker {
         pool.extend(incoming_replicas);
 
         // ---- reduce 1: query phase over owned rows ------------------------
-        query_phase(&self.behavior, &pool, n_owned, self.cfg.index, &mut self.table, self.tick, self.cfg.seed);
+        query_phase_sharded(
+            &self.behavior,
+            &pool,
+            n_owned,
+            self.cfg.index,
+            &mut self.table,
+            self.tick,
+            self.cfg.seed,
+            &mut self.scratch,
+            self.cfg.parallelism,
+        );
 
         // ---- reduce 2: ship partial effects to owners, merge own ----------
         if schema.has_nonlocal_effects() {
@@ -296,9 +316,7 @@ impl Worker {
                 if j == me {
                     continue;
                 }
-                let bytes = codec::encode_effect_rows(
-                    dest_rows[j].iter().map(|&(id, row)| (id, self.table.row(row))),
-                );
+                let bytes = codec::encode_effect_rows(dest_rows[j].iter().map(|&(id, row)| (id, self.table.row(row))));
                 self.links.ledger.record(Traffic::Effects, bytes.len());
                 self.links.peers[j]
                     .send(PeerMsg::Effects { tick: self.tick, from: self.cfg.id, rows: bytes })
@@ -309,9 +327,7 @@ impl Worker {
             for msg in self.recv_round(Round::Effects) {
                 if let PeerMsg::Effects { rows, .. } = msg {
                     for (id, vals) in codec::decode_effect_rows(rows) {
-                        let row = *id_to_row
-                            .get(&id)
-                            .expect("partial effects addressed to the wrong owner");
+                        let row = *id_to_row.get(&id).expect("partial effects addressed to the wrong owner");
                         self.table.merge_row(schema, row, &vals);
                     }
                 }
@@ -322,7 +338,15 @@ impl Worker {
         pool.truncate(n_owned);
         self.table.write_into(&mut pool);
         let mut gen = AgentIdGen::block(self.next_id, self.end_id);
-        update_phase(&self.behavior, &mut pool, self.tick, self.cfg.seed, &mut gen);
+        update_phase_sharded(
+            &self.behavior,
+            &mut pool,
+            self.tick,
+            self.cfg.seed,
+            &mut gen,
+            &mut self.scratch,
+            self.cfg.parallelism,
+        );
         self.next_id = self.end_id - gen.remaining();
         self.owned = pool;
         self.tick += 1;
@@ -443,6 +467,7 @@ mod tests {
             index: IndexKind::KdTree,
             seed: 11,
             collocation: true,
+            parallelism: 2,
         };
         let part = GridPartitioning::columns(0.0, 100.0, 1);
         Worker::new(Arc::new(Drift::new()), cfg, links, part, agents, (1 << 32, 1 << 33))

@@ -305,8 +305,8 @@ mod tests {
         let mut sim = Simulation::builder(b).agents(pop).seed(5).build().unwrap();
         sim.run(150);
         let xs: Vec<f64> = sim.agents().iter().map(|a| a.pos.x).collect();
-        let spread = xs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
-            - xs.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+        let spread =
+            xs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x)) - xs.iter().fold(f64::INFINITY, |m, &x| m.min(x));
         assert!(spread > 60.0, "two leader classes must stretch the school, spread = {spread}");
     }
 

@@ -133,9 +133,7 @@ impl MitsimBaseline {
                 let current = self.lane_view(lane, car.x, car.id);
                 let left = (lane > 0).then(|| self.lane_view(lane - 1, car.x, car.id));
                 let right = (lane + 1 < p.lanes).then(|| self.lane_view(lane + 1, car.x, car.id));
-                let mut rng = DetRng::seed_from_u64(self.seed)
-                    .stream(self.tick.wrapping_shl(1))
-                    .stream(car.id);
+                let mut rng = DetRng::seed_from_u64(self.seed).stream(self.tick.wrapping_shl(1)).stream(car.id);
                 let (acc, delta) =
                     drive(&p, lane, car.vel, car.desired, [left.as_ref(), Some(&current), right.as_ref()], &mut rng);
                 decisions.push((lane, i, acc, delta));
@@ -157,9 +155,7 @@ impl MitsimBaseline {
             car.x += car.vel * p.dt;
             if car.x > p.segment {
                 // Constant upstream traffic: replace with a fresh entry.
-                let mut rng = DetRng::seed_from_u64(self.seed)
-                    .stream(self.tick.wrapping_shl(1) | 1)
-                    .stream(car.id);
+                let mut rng = DetRng::seed_from_u64(self.seed).stream(self.tick.wrapping_shl(1) | 1).stream(car.id);
                 let desired = p.desired_speed * rng.range(0.8, 1.2);
                 staged[target].push(Car {
                     id: self.next_id,
@@ -204,11 +200,8 @@ mod tests {
         let brace = crate::traffic::TrafficBehavior::new(p).population(9);
         assert_eq!(baseline.len(), brace.len());
         // Same ids at the same positions with the same speeds.
-        let mut base: Vec<(u64, f64, f64)> = baseline
-            .lanes()
-            .iter()
-            .flat_map(|l| l.iter().map(|c| (c.id, c.x, c.vel)))
-            .collect();
+        let mut base: Vec<(u64, f64, f64)> =
+            baseline.lanes().iter().flat_map(|l| l.iter().map(|c| (c.id, c.x, c.vel))).collect();
         base.sort_by_key(|c| c.0);
         let mut brc: Vec<(u64, f64, f64)> =
             brace.iter().map(|a| (a.id.raw(), a.pos.x, a.state[state::VEL as usize])).collect();
@@ -228,9 +221,7 @@ mod tests {
                     .lanes()
                     .iter()
                     .enumerate()
-                    .flat_map(|(l, cars)| {
-                        cars.iter().filter(|c| c.id != car.id).map(move |c| (c.x, l, c.vel))
-                    })
+                    .flat_map(|(l, cars)| cars.iter().filter(|c| c.id != car.id).map(move |c| (c.x, l, c.vel)))
                     .filter(|(x, _, _)| (x - car.x).abs() <= p.lookahead)
                     .collect();
                 let reference = views_from_scan(&p, car.x, lane, all.into_iter());

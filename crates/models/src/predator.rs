@@ -286,11 +286,7 @@ mod tests {
         let schema = b.schema().clone();
         let agents: Vec<Agent> = (0..20)
             .map(|i| {
-                let mut a = Agent::new(
-                    AgentId::new(i),
-                    Vec2::new((i % 5) as f64 * 0.3, (i / 5) as f64 * 0.3),
-                    &schema,
-                );
+                let mut a = Agent::new(AgentId::new(i), Vec2::new((i % 5) as f64 * 0.3, (i / 5) as f64 * 0.3), &schema);
                 a.state[state::SIZE as usize] = 1.0; // equal sizes: no biting
                 a
             })

@@ -149,9 +149,7 @@ mod tests {
         let schema = behavior.schema().clone();
         let mut rng = DetRng::seed_from_u64(1);
         let agents: Vec<Agent> = (0..80)
-            .map(|i| {
-                Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 8.0), rng.range(0.0, 8.0)), &schema)
-            })
+            .map(|i| Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 8.0), rng.range(0.0, 8.0)), &schema))
             .collect();
         let mut sim = Simulation::builder(behavior).agents(agents).seed(2).build().unwrap();
         sim.run(20);
@@ -173,11 +171,8 @@ mod tests {
             let mut rng = DetRng::seed_from_u64(7);
             let agents: Vec<Agent> = (0..120)
                 .map(|i| {
-                    let mut a = Agent::new(
-                        AgentId::new(i),
-                        Vec2::new(rng.range(0.0, 12.0), rng.range(0.0, 12.0)),
-                        &schema,
-                    );
+                    let mut a =
+                        Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 12.0), rng.range(0.0, 12.0)), &schema);
                     a.state[0] = rng.range(0.5, 1.5); // size
                     a
                 })

@@ -203,10 +203,9 @@ pub fn drive(
         let Some(view) = view else { continue };
         let target_lane = (lane as i64 + delta as i64) as usize;
         let u = lane_utility(p, target_lane, view);
-        if u > u_cur + p.utility_threshold && gap_acceptable(p, view)
-            && best.is_none_or(|(_, bu, _)| u > bu) {
-                best = Some((delta, u, view));
-            }
+        if u > u_cur + p.utility_threshold && gap_acceptable(p, view) && best.is_none_or(|(_, bu, _)| u > bu) {
+            best = Some((delta, u, view));
+        }
     }
     if let Some((delta, _, _)) = best {
         if rng.chance(p.change_probability) {
@@ -497,10 +496,7 @@ mod tests {
             collisions += lane.windows(2).filter(|w| w[1] - w[0] < 1.0).count();
         }
         let total: usize = by_lane.iter().map(|l| l.len()).sum();
-        assert!(
-            collisions < total / 20,
-            "{collisions} near-collisions among {total} vehicles"
-        );
+        assert!(collisions < total / 20, "{collisions} near-collisions among {total} vehicles");
     }
 
     #[test]

@@ -62,10 +62,8 @@ impl TrafficObserver {
 
     /// Record one tick of a BRACE population.
     pub fn observe_agents(&mut self, agents: &[Agent]) {
-        let snapshot: Vec<(u64, usize, f64)> = agents
-            .iter()
-            .map(|a| (a.id.raw(), a.pos.y.round() as usize, a.state[state::VEL as usize]))
-            .collect();
+        let snapshot: Vec<(u64, usize, f64)> =
+            agents.iter().map(|a| (a.id.raw(), a.pos.y.round() as usize, a.state[state::VEL as usize])).collect();
         self.observe(snapshot);
     }
 
@@ -248,18 +246,8 @@ mod tests {
         }
         let rows = compare(&obs_brace, &obs_base);
         for row in &rows {
-            assert!(
-                row.velocity_rmspe < 0.25,
-                "lane {} velocity RMSPE {} too high",
-                row.lane,
-                row.velocity_rmspe
-            );
-            assert!(
-                row.density_rmspe < 0.5,
-                "lane {} density RMSPE {} too high",
-                row.lane,
-                row.density_rmspe
-            );
+            assert!(row.velocity_rmspe < 0.25, "lane {} velocity RMSPE {} too high", row.lane, row.velocity_rmspe);
+            assert!(row.density_rmspe < 0.5, "lane {} density RMSPE {} too high", row.lane, row.density_rmspe);
         }
     }
 }

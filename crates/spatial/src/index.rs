@@ -123,12 +123,7 @@ mod tests {
     use super::*;
 
     fn pts() -> Vec<(Vec2, u32)> {
-        vec![
-            (Vec2::new(0.0, 0.0), 0),
-            (Vec2::new(1.0, 1.0), 1),
-            (Vec2::new(2.0, 2.0), 2),
-            (Vec2::new(-1.0, 3.0), 3),
-        ]
+        vec![(Vec2::new(0.0, 0.0), 0), (Vec2::new(1.0, 1.0), 1), (Vec2::new(2.0, 2.0), 2), (Vec2::new(-1.0, 3.0), 3)]
     }
 
     #[test]

@@ -63,10 +63,8 @@ impl GridPartitioning {
     pub fn uniform(space: Rect, cols: usize, rows: usize) -> Self {
         assert!(cols > 0 && rows > 0, "grid needs at least one cell");
         assert!(!space.is_empty(), "space must be non-empty");
-        let x_bounds =
-            (0..=cols).map(|i| space.lo.x + space.width() * i as f64 / cols as f64).collect();
-        let y_bounds =
-            (0..=rows).map(|i| space.lo.y + space.height() * i as f64 / rows as f64).collect();
+        let x_bounds = (0..=cols).map(|i| space.lo.x + space.width() * i as f64 / cols as f64).collect();
+        let y_bounds = (0..=rows).map(|i| space.lo.y + space.height() * i as f64 / rows as f64).collect();
         GridPartitioning { x_bounds, y_bounds }
     }
 

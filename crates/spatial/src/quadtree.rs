@@ -239,11 +239,7 @@ mod tests {
         for _ in 0..500 {
             let p = Vec2::new(rng.range(-20.0, 120.0), rng.range(-20.0, 120.0));
             let owner = qt.partition_of(p);
-            assert!(
-                qt.owned_region(owner).contains(p),
-                "{p} not inside its owner's region {}",
-                qt.owned_region(owner)
-            );
+            assert!(qt.owned_region(owner).contains(p), "{p} not inside its owner's region {}", qt.owned_region(owner));
         }
     }
 

@@ -25,20 +25,16 @@ struct Opts {
 }
 
 fn parse_args() -> Result<Opts, String> {
-    let mut opts =
-        Opts { path: String::new(), agents: 500, ticks: 100, seed: 7, workers: 1, show_plan: false };
+    let mut opts = Opts { path: String::new(), agents: 500, ticks: 100, seed: 7, workers: 1, show_plan: false };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut take = |what: &str| -> Result<String, String> {
-            args.next().ok_or_else(|| format!("{what} needs a value"))
-        };
+        let mut take =
+            |what: &str| -> Result<String, String> { args.next().ok_or_else(|| format!("{what} needs a value")) };
         match a.as_str() {
             "--agents" => opts.agents = take("--agents")?.parse().map_err(|e| format!("--agents: {e}"))?,
             "--ticks" => opts.ticks = take("--ticks")?.parse().map_err(|e| format!("--ticks: {e}"))?,
             "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--workers" => {
-                opts.workers = take("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
-            }
+            "--workers" => opts.workers = take("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?,
             "--show-plan" => opts.show_plan = true,
             "-h" | "--help" => return Err("usage".into()),
             path if !path.starts_with('-') && opts.path.is_empty() => opts.path = path.to_string(),
@@ -89,9 +85,7 @@ fn main() {
     let side = (opts.agents as f64 * 2.0).sqrt().max(1.0);
     let mut rng = DetRng::seed_from_u64(opts.seed);
     let agents: Vec<Agent> = (0..opts.agents)
-        .map(|i| {
-            Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, side), rng.range(0.0, side)), &schema)
-        })
+        .map(|i| Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, side), rng.range(0.0, side)), &schema))
         .collect();
 
     let t0 = std::time::Instant::now();
@@ -130,13 +124,7 @@ fn main() {
         cy += a.pos.y;
     }
     let n = world.len().max(1) as f64;
-    println!(
-        "final world: {} agents, centroid ({:.2}, {:.2}), wall {:.2?}",
-        world.len(),
-        cx / n,
-        cy / n,
-        elapsed
-    );
+    println!("final world: {} agents, centroid ({:.2}, {:.2}), wall {:.2?}", world.len(), cx / n, cy / n, elapsed);
     for a in world.iter().take(3) {
         println!("  {}: pos {} state {:?}", a.id, a.pos, a.state);
     }

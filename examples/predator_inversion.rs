@@ -24,18 +24,17 @@ fn main() {
     let inverted = brasil::optimize(invert_effects(class.clone()).expect("invertible"));
     println!("after inversion, non-local effects: {}", inverted.schema().has_nonlocal_effects());
     println!("\n--- compiled plan, before inversion ---\n{}", brasil::pretty::class(&class));
-    println!("--- compiled plan, after inversion (roles of `self` and `p` swapped) ---\n{}", brasil::pretty::class(&inverted));
+    println!(
+        "--- compiled plan, after inversion (roles of `self` and `p` swapped) ---\n{}",
+        brasil::pretty::class(&inverted)
+    );
 
     // Run both forms on the cluster and compare.
     let population = |schema: &brace::core::AgentSchema| -> Vec<Agent> {
         let mut rng = DetRng::seed_from_u64(5);
         (0..1000)
             .map(|i| {
-                let mut a = Agent::new(
-                    AgentId::new(i),
-                    Vec2::new(rng.range(0.0, 60.0), rng.range(0.0, 60.0)),
-                    schema,
-                );
+                let mut a = Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 60.0), rng.range(0.0, 60.0)), schema);
                 a.state[0] = rng.range(0.5, 1.5);
                 a
             })

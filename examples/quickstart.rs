@@ -63,15 +63,10 @@ fn main() {
         sim.run(10);
         let xs: Vec<f64> = sim.agents().iter().map(|a| a.pos.x).collect();
         let vels: Vec<f64> = sim.agents().iter().map(|a| a.state[0]).collect();
-        let span = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let span =
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let mean_v = vels.iter().sum::<f64>() / vels.len() as f64;
-        println!(
-            "tick {:>3}: platoon span {:6.1} m, mean speed {:5.2} m/s",
-            (round + 1) * 10,
-            span,
-            mean_v
-        );
+        println!("tick {:>3}: platoon span {:6.1} m, mean speed {:5.2} m/s", (round + 1) * 10, span, mean_v);
     }
     println!("\nthroughput: {:.0} agent-ticks/s", sim.metrics().throughput());
 }

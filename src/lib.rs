@@ -12,16 +12,16 @@
 
 /// Common geometry, ids, RNG and statistics.
 pub use brace_common as common;
-/// Spatial indexes, partitioning and joins.
-pub use brace_spatial as spatial;
 /// The state-effect pattern and single-node engine.
 pub use brace_core as core;
 /// The distributed (simulated-cluster) MapReduce runtime.
 pub use brace_mapreduce as mapreduce;
-/// The BRASIL agent language.
-pub use brasil;
 /// Reference simulation models (traffic, fish, predator).
 pub use brace_models as models;
+/// Spatial indexes, partitioning and joins.
+pub use brace_spatial as spatial;
+/// The BRASIL agent language.
+pub use brasil;
 
 /// The most common imports for building and running a simulation.
 pub mod prelude {

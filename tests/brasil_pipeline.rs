@@ -24,11 +24,7 @@ fn figure2_full_pipeline_to_cluster() {
     let mut rng = DetRng::seed_from_u64(2);
     let agents: Vec<Agent> = (0..120)
         .map(|i| {
-            let mut a = Agent::new(
-                AgentId::new(i),
-                Vec2::new(rng.range(0.0, 10.0), rng.range(0.0, 10.0)),
-                &schema,
-            );
+            let mut a = Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 10.0), rng.range(0.0, 10.0)), &schema);
             // Start with small random velocities.
             a.state[0] = rng.range(-0.2, 0.2);
             a.state[1] = rng.range(-0.2, 0.2);
@@ -68,9 +64,7 @@ fn theorem2_inverted_figure2_is_equivalent_and_single_pass() {
         let schema = behavior.schema().clone();
         let mut rng = DetRng::seed_from_u64(4);
         let agents: Vec<Agent> = (0..60)
-            .map(|i| {
-                Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 6.0), rng.range(0.0, 6.0)), &schema)
-            })
+            .map(|i| Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 6.0), rng.range(0.0, 6.0)), &schema))
             .collect();
         let mut sim = Simulation::builder(behavior).agents(agents).seed(6).build().unwrap();
         sim.step();
@@ -125,10 +119,7 @@ fn state_effect_violations_are_compile_errors() {
     for (src, needle) in cases {
         let err = Script::compile(src).err().unwrap_or_else(|| panic!("must reject: {src}"));
         if !needle.is_empty() {
-            assert!(
-                err.to_string().contains(needle),
-                "error for `{src}` was `{err}`, expected to mention `{needle}`"
-            );
+            assert!(err.to_string().contains(needle), "error for `{src}` was `{err}`, expected to mention `{needle}`");
         }
     }
 }
@@ -156,9 +147,7 @@ fn range_tag_drives_replication_volume() {
         assert_eq!(schema.visibility(), r);
         let mut rng = DetRng::seed_from_u64(8);
         let agents: Vec<Agent> = (0..200)
-            .map(|i| {
-                Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 40.0), rng.range(0.0, 10.0)), &schema)
-            })
+            .map(|i| Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 40.0), rng.range(0.0, 10.0)), &schema))
             .collect();
         let cfg = ClusterConfig {
             workers: 4,
@@ -174,10 +163,7 @@ fn range_tag_drives_replication_volume() {
     };
     let small = replicas_for(1.0);
     let large = replicas_for(4.0);
-    assert!(
-        large > small,
-        "4x visibility must ship more replica bytes ({large} <= {small})"
-    );
+    assert!(large > small, "4x visibility must ship more replica bytes ({large} <= {small})");
 }
 
 #[test]
@@ -205,9 +191,8 @@ fn optimizer_output_runs_identically_to_unoptimized() {
         let behavior = script.behavior("O").unwrap();
         let schema = behavior.schema().clone();
         let mut rng = DetRng::seed_from_u64(9);
-        let agents: Vec<Agent> = (0..50)
-            .map(|i| Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 5.0), 0.0), &schema))
-            .collect();
+        let agents: Vec<Agent> =
+            (0..50).map(|i| Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 5.0), 0.0), &schema)).collect();
         let mut sim = Simulation::builder(behavior).agents(agents).seed(10).build().unwrap();
         sim.run(5);
         sim.agents().iter().map(|a| (a.id, a.pos, a.state.clone())).collect::<Vec<_>>()

@@ -57,11 +57,7 @@ fn assert_world_close(a: &[Agent], b: &[Agent], tol: f64, what: &str) {
         assert!(dp <= tol, "{what}: {} position drift {dp} > {tol}", x.id);
         for (i, (sa, sb)) in x.state.iter().zip(&y.state).enumerate() {
             let scale = sa.abs().max(sb.abs()).max(1.0);
-            assert!(
-                (sa - sb).abs() <= tol * scale,
-                "{what}: {} state[{i}] {sa} vs {sb}",
-                x.id
-            );
+            assert!((sa - sb).abs() <= tol * scale, "{what}: {} state[{i}] {sa} vs {sb}", x.id);
         }
     }
 }
@@ -86,8 +82,7 @@ fn traffic_cluster_equals_single_node() {
     // worker-count-dependent id assignment cannot kick in.
     let params = TrafficParams { segment: 4000.0, density: 0.02, ..TrafficParams::default() };
     let make = || TrafficBehavior::new(params.clone());
-    let pop: Vec<Agent> =
-        make().population(5).into_iter().filter(|a| a.pos.x < 2000.0).collect();
+    let pop: Vec<Agent> = make().population(5).into_iter().filter(|a| a.pos.x < 2000.0).collect();
     let reference = single_node(make(), pop.clone(), 20, 13);
     for workers in [2, 4] {
         let got = cluster(Arc::new(make()), pop.clone(), 20, 13, workers, (0.0, 4000.0), false);
@@ -116,11 +111,7 @@ fn brasil_script_cluster_equals_single_node() {
     let mut rng = DetRng::seed_from_u64(21);
     let pop: Vec<Agent> = (0..150)
         .map(|i| {
-            let mut a = Agent::new(
-                AgentId::new(i),
-                Vec2::new(rng.range(0.0, 18.0), rng.range(0.0, 18.0)),
-                &schema,
-            );
+            let mut a = Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 18.0), rng.range(0.0, 18.0)), &schema);
             a.state[0] = rng.range(0.5, 1.5);
             a
         })
@@ -133,13 +124,8 @@ fn brasil_script_cluster_equals_single_node() {
 #[test]
 fn load_balancing_does_not_change_results() {
     // Moving partition boundaries mid-run must be invisible to the agents.
-    let params = FishParams {
-        informed_a: 1.0,
-        informed_b: 0.0,
-        omega: 2.0,
-        school_radius: 12.0,
-        ..FishParams::default()
-    };
+    let params =
+        FishParams { informed_a: 1.0, informed_b: 0.0, omega: 2.0, school_radius: 12.0, ..FishParams::default() };
     let make = || FishBehavior::new(params.clone());
     let pop = make().population(150, 41);
     let without = cluster(Arc::new(make()), pop.clone(), 30, 9, 3, (-12.0, 12.0), false);
@@ -162,10 +148,7 @@ fn spawning_dynamics_are_statistically_stable_across_engines() {
     let got = cluster(Arc::new(make()), pop, 10, 15, 3, (0.0, 22.0), false);
     // Population sizes agree within a small tolerance.
     let (nr, ng) = (reference.len() as f64, got.len() as f64);
-    assert!(
-        (nr - ng).abs() / nr < 0.05,
-        "population trajectories diverged: {nr} vs {ng}"
-    );
+    assert!((nr - ng).abs() / nr < 0.05, "population trajectories diverged: {nr} vs {ng}");
     // Ids are unique and spawned ids sit above the initial range.
     let mut ids: Vec<u64> = got.iter().map(|a| a.id.raw()).collect();
     ids.sort_unstable();

@@ -146,10 +146,6 @@ fn recovery_cost_is_bounded_by_checkpoint_cadence() {
         sim.run_epochs(9).unwrap();
         let s = sim.stats();
         assert_eq!(s.recoveries, 1);
-        assert!(
-            s.replayed_epochs <= max_replay,
-            "cadence {every}: replayed {} > {max_replay}",
-            s.replayed_epochs
-        );
+        assert!(s.replayed_epochs <= max_replay, "cadence {every}: replayed {} > {max_replay}", s.replayed_epochs);
     }
 }

@@ -67,10 +67,7 @@ fn fig3_shape_baseline_is_faster_than_generic_engine() {
     });
     // The paper shows "comparable but inferior"; we only assert the
     // direction with a wide noise margin.
-    assert!(
-        t_base < t_brace * 1.5,
-        "hand-coded baseline should not lose badly: {t_base}s vs {t_brace}s"
-    );
+    assert!(t_base < t_brace * 1.5, "hand-coded baseline should not lose badly: {t_base}s vs {t_brace}s");
 }
 
 /// Figure 4's shape: the index's wall-time advantage shrinks as visibility
@@ -81,8 +78,7 @@ fn fig4_shape_index_advantage_shrinks_with_visibility() {
     let radius = (n as f64 / std::f64::consts::PI / 0.5).sqrt();
     let ratio_at = |rho: f64| {
         let secs = |kind: IndexKind| {
-            let behavior =
-                FishBehavior::new(FishParams { rho, school_radius: radius, ..FishParams::default() });
+            let behavior = FishBehavior::new(FishParams { rho, school_radius: radius, ..FishParams::default() });
             let pop = behavior.population(n, 2);
             let mut sim = Simulation::builder(behavior).agents(pop).seed(2).index(kind).build().unwrap();
             sim.run(1);
@@ -112,11 +108,7 @@ fn fig5_shape_inversion_eliminates_second_reduce_pass() {
         let mut rng = DetRng::seed_from_u64(5);
         let agents: Vec<Agent> = (0..200)
             .map(|i| {
-                let mut a = Agent::new(
-                    AgentId::new(i),
-                    Vec2::new(rng.range(0.0, 25.0), rng.range(0.0, 25.0)),
-                    &schema,
-                );
+                let mut a = Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 25.0), rng.range(0.0, 25.0)), &schema);
                 a.state[0] = rng.range(0.5, 1.5);
                 a
             })

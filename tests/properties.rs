@@ -9,9 +9,15 @@
 //!   missing where it is visible, none is shipped where it is not.
 //! * Codec round-trips are lossless (checkpoints and messages cannot
 //!   corrupt a world).
+//! * The sharded/parallel executor phases equal the serial reference at
+//!   the bit level — for every thread count, shard granule, index kind and
+//!   seed (the determinism contract of `brace_core::executor`).
 
-use brace_common::{AgentId, DetRng, Rect, Vec2};
-use brace_core::{Agent, AgentSchema, Combinator, EffectTable};
+use brace_common::ids::AgentIdGen;
+use brace_common::{AgentId, DetRng, FieldId, Rect, Vec2};
+use brace_core::behavior::{Behavior, Neighbors, UpdateCtx};
+use brace_core::executor::{query_phase, query_phase_sharded_with, update_phase, update_phase_sharded, TickScratch};
+use brace_core::{Agent, AgentSchema, Combinator, EffectTable, EffectWriter};
 use brace_mapreduce::codec;
 use brace_spatial::join::{distribute, nested_loop_join, partitioned_join};
 use brace_spatial::{GridPartitioning, KdTree, Partitioner, ScanIndex, SpatialIndex, UniformGrid};
@@ -19,6 +25,174 @@ use proptest::prelude::*;
 
 fn any_combinator() -> impl Strategy<Value = Combinator> {
     prop::sample::select(Combinator::ALL.to_vec())
+}
+
+fn any_index_kind() -> impl Strategy<Value = brace_spatial::IndexKind> {
+    prop::sample::select(vec![
+        brace_spatial::IndexKind::Scan,
+        brace_spatial::IndexKind::KdTree,
+        brace_spatial::IndexKind::Grid,
+    ])
+}
+
+/// Local-effects model with float-valued aggregates (Sum + Min + Max):
+/// every agent records, per neighbor, a distance-derived float. Local
+/// effects shard-merge by copy, so the parallel path must match the serial
+/// reference bit for bit even though the values are "awkward" floats.
+struct LocalFloat(AgentSchema);
+
+impl LocalFloat {
+    fn new(vis: f64) -> Self {
+        LocalFloat(
+            AgentSchema::builder("LocalFloat")
+                .state("s")
+                .effect("acc", Combinator::Sum)
+                .effect("near", Combinator::Min)
+                .effect("far", Combinator::Max)
+                .visibility(vis)
+                .reachability(1.0)
+                .build()
+                .unwrap(),
+        )
+    }
+}
+
+impl Behavior for LocalFloat {
+    fn schema(&self) -> &AgentSchema {
+        &self.0
+    }
+    fn query(&self, me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        for nb in nbrs.iter() {
+            let d = me.pos.dist_linf(nb.agent.pos);
+            eff.local(FieldId::new(0), d * rng.range(0.1, 1.3));
+            eff.local(FieldId::new(1), d);
+            eff.local(FieldId::new(2), d);
+        }
+    }
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        let acc = me.effect(FieldId::new(0));
+        me.set(FieldId::new(0), me.get(FieldId::new(0)) + acc);
+        me.pos.x += ctx.rng.range(-0.6, 0.6);
+        me.pos.y += ctx.rng.range(-0.6, 0.6);
+    }
+}
+
+/// Non-local model whose aggregates are exactly associative: integer Sum
+/// (pings of 1.0) and lattice Min (distance). Parallel shard ⊕-merges may
+/// re-associate, but on these values re-association is exact, so serial ≡
+/// parallel holds at the bit level here too.
+struct NonlocalExact(AgentSchema);
+
+impl NonlocalExact {
+    fn new(vis: f64) -> Self {
+        NonlocalExact(
+            AgentSchema::builder("NonlocalExact")
+                .state("hits")
+                .effect("pings", Combinator::Sum)
+                .effect("near", Combinator::Min)
+                .visibility(vis)
+                .reachability(0.5)
+                .nonlocal_effects(true)
+                .build()
+                .unwrap(),
+        )
+    }
+}
+
+impl Behavior for NonlocalExact {
+    fn schema(&self) -> &AgentSchema {
+        &self.0
+    }
+    fn query(&self, me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+        for nb in nbrs.iter() {
+            eff.remote(nb.row, FieldId::new(0), 1.0);
+            eff.remote(nb.row, FieldId::new(1), me.pos.dist_linf(nb.agent.pos));
+        }
+    }
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        let pings = me.effect(FieldId::new(0));
+        me.set(FieldId::new(0), me.get(FieldId::new(0)) + pings);
+        me.pos.x += ctx.rng.range(-0.3, 0.3);
+    }
+}
+
+/// Non-local model with arbitrary float aggregation: serial and sharded
+/// runs may legitimately differ in the last bit (re-association), but any
+/// two runs of the *same shard plan* must agree bitwise regardless of
+/// thread count — that is the determinism contract.
+struct NonlocalFloat(AgentSchema);
+
+impl NonlocalFloat {
+    fn new(vis: f64) -> Self {
+        NonlocalFloat(
+            AgentSchema::builder("NonlocalFloat")
+                .effect("w", Combinator::Sum)
+                .visibility(vis)
+                .reachability(0.5)
+                .nonlocal_effects(true)
+                .build()
+                .unwrap(),
+        )
+    }
+}
+
+impl Behavior for NonlocalFloat {
+    fn schema(&self) -> &AgentSchema {
+        &self.0
+    }
+    fn query(&self, me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        for nb in nbrs.iter() {
+            eff.remote(nb.row, FieldId::new(0), (me.pos.x - nb.agent.pos.x) * rng.range(0.01, 2.7));
+        }
+    }
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        me.pos.y += ctx.rng.range(-0.2, 0.2);
+    }
+}
+
+/// Update-phase model exercising spawns, kills and RNG in one pass.
+struct Churn(AgentSchema);
+
+impl Churn {
+    fn new() -> Self {
+        Churn(AgentSchema::builder("Churn").state("age").visibility(1.0).reachability(2.0).build().unwrap())
+    }
+}
+
+impl Behavior for Churn {
+    fn schema(&self) -> &AgentSchema {
+        &self.0
+    }
+    fn query(&self, _m: &Agent, _r: u32, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        me.set(FieldId::new(0), me.get(FieldId::new(0)) + 1.0);
+        if ctx.rng.chance(0.15) {
+            ctx.spawn(me.pos + Vec2::new(0.1, -0.1), vec![0.0]);
+        }
+        if ctx.rng.chance(0.1) {
+            me.alive = false;
+        }
+        me.pos.x += ctx.rng.range(-1.5, 1.5);
+    }
+}
+
+fn random_population(schema: &AgentSchema, n: usize, seed: u64) -> Vec<Agent> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, 40.0), rng.range(0.0, 40.0)), schema))
+        .collect()
+}
+
+/// Assert two effect tables agree bitwise on every row.
+fn assert_tables_bit_identical(a: &EffectTable, b: &EffectTable, rows: usize) -> Result<(), String> {
+    for r in 0..rows as u32 {
+        let (ra, rb) = (a.row(r), b.row(r));
+        let same = ra.len() == rb.len() && ra.iter().zip(rb).all(|(x, y)| x.to_bits() == y.to_bits());
+        if !same {
+            return Err(format!("row {r} differs: {ra:?} vs {rb:?}"));
+        }
+    }
+    Ok(())
 }
 
 fn schema_with(comb: Combinator) -> AgentSchema {
@@ -237,5 +411,142 @@ proptest! {
         let got = kd.nearest(q, None).unwrap();
         let best = pts.iter().map(|&(p, _)| p.dist2(q)).fold(f64::INFINITY, f64::min);
         prop_assert!((pts[got as usize].0.dist2(q) - best).abs() < 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel executor ≡ serial executor (the sharded determinism contract)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Local-effect schemas: the sharded query phase must equal the serial
+    /// reference bit for bit — for every index kind, shard granule, thread
+    /// count, population and visibility. Shards merge disjoint row slices
+    /// by copy, so no float re-association can occur.
+    #[test]
+    fn sharded_query_equals_serial_for_local_effects(
+        seed in 0u64..10_000,
+        n in 1usize..220,
+        owned_frac in 0.3f64..1.0,
+        vis in 0.4f64..8.0,
+        kind in any_index_kind(),
+        shard_rows in 1usize..40,
+        threads in 1usize..5,
+    ) {
+        let b = LocalFloat::new(vis);
+        let agents = random_population(b.schema(), n, seed);
+        let n_owned = ((n as f64 * owned_frac) as usize).max(1);
+        let mut serial = EffectTable::new(b.schema());
+        let s_stats = query_phase(&b, &agents, n_owned, kind, &mut serial, 3, seed);
+        let mut sharded = EffectTable::new(b.schema());
+        let mut scratch = TickScratch::new();
+        let p_stats = query_phase_sharded_with(
+            &b, &agents, n_owned, kind, &mut sharded, 3, seed, &mut scratch, shard_rows, threads,
+        );
+        prop_assert_eq!(s_stats.neighbor_visits, p_stats.neighbor_visits);
+        prop_assert_eq!(s_stats.nonlocal_writes, p_stats.nonlocal_writes);
+        assert_tables_bit_identical(&serial, &sharded, n)?;
+    }
+
+    /// Non-local schemas whose aggregation is exactly associative (integer
+    /// Sum, lattice Min): shard ⊕-merges re-associate, but on these values
+    /// re-association is exact, so parallel must still equal serial at the
+    /// bit level — including the partial rows of replica agents.
+    #[test]
+    fn sharded_query_equals_serial_for_exact_nonlocal_effects(
+        seed in 0u64..10_000,
+        n in 2usize..160,
+        owned_frac in 0.3f64..1.0,
+        vis in 0.4f64..8.0,
+        kind in any_index_kind(),
+        shard_rows in 1usize..40,
+        threads in 1usize..5,
+    ) {
+        let b = NonlocalExact::new(vis);
+        let agents = random_population(b.schema(), n, seed);
+        let n_owned = ((n as f64 * owned_frac) as usize).max(1);
+        let mut serial = EffectTable::new(b.schema());
+        query_phase(&b, &agents, n_owned, kind, &mut serial, 1, seed);
+        let mut sharded = EffectTable::new(b.schema());
+        let mut scratch = TickScratch::new();
+        query_phase_sharded_with(
+            &b, &agents, n_owned, kind, &mut sharded, 1, seed, &mut scratch, shard_rows, threads,
+        );
+        assert_tables_bit_identical(&serial, &sharded, n)?;
+    }
+
+    /// Non-local schemas with arbitrary float aggregation: the thread count
+    /// must never influence the result — only the (deterministic) shard
+    /// plan defines the reduction tree. Same granule, different thread
+    /// counts ⇒ bitwise identical tables.
+    #[test]
+    fn sharded_query_is_thread_count_invariant_for_float_nonlocal(
+        seed in 0u64..10_000,
+        n in 2usize..180,
+        vis in 0.4f64..8.0,
+        kind in any_index_kind(),
+        shard_rows in 1usize..30,
+        threads_a in 1usize..6,
+        threads_b in 1usize..6,
+    ) {
+        let b = NonlocalFloat::new(vis);
+        let agents = random_population(b.schema(), n, seed);
+        let run = |threads: usize| {
+            let mut table = EffectTable::new(b.schema());
+            let mut scratch = TickScratch::new();
+            query_phase_sharded_with(
+                &b, &agents, n, kind, &mut table, 2, seed, &mut scratch, shard_rows, threads,
+            );
+            table
+        };
+        let (ta, tb) = (run(threads_a), run(threads_b));
+        assert_tables_bit_identical(&ta, &tb, n)?;
+    }
+
+    /// The sharded update phase (spawns, kills, RNG, movement cropping)
+    /// must reproduce the serial reference exactly for every thread count:
+    /// same survivors, same new states, same spawn ids in the same order.
+    #[test]
+    fn sharded_update_equals_serial(
+        seed in 0u64..10_000,
+        n in 1usize..300,
+        threads in 1usize..6,
+        tick in 0u64..50,
+    ) {
+        let b = Churn::new();
+        let mut serial_agents = random_population(b.schema(), n, seed);
+        let mut sharded_agents = serial_agents.clone();
+        let mut gen_a = AgentIdGen::from(n as u64);
+        let mut gen_b = AgentIdGen::from(n as u64);
+        let s = update_phase(&b, &mut serial_agents, tick, seed, &mut gen_a);
+        let mut scratch = TickScratch::new();
+        let p = update_phase_sharded(&b, &mut sharded_agents, tick, seed, &mut gen_b, &mut scratch, threads);
+        prop_assert_eq!(s.spawned, p.spawned);
+        prop_assert_eq!(s.killed, p.killed);
+        prop_assert_eq!(serial_agents, sharded_agents);
+    }
+
+    /// End to end: a multi-tick simulation stepped under different thread
+    /// budgets converges on bitwise-identical worlds (local-effect model,
+    /// spawning population crossing shard boundaries).
+    #[test]
+    fn executor_is_parallelism_invariant_end_to_end(
+        seed in 0u64..10_000,
+        n in 2usize..120,
+        vis in 0.5f64..5.0,
+        kind in any_index_kind(),
+        threads in 2usize..5,
+    ) {
+        let run = |parallelism: usize| {
+            let b = LocalFloat::new(vis);
+            let agents = random_population(b.schema(), n, seed);
+            let mut exec = brace_core::TickExecutor::new(b, agents, kind, seed);
+            exec.set_parallelism(parallelism);
+            exec.run(6);
+            exec.agents().to_vec()
+        };
+        prop_assert_eq!(run(1), run(threads));
     }
 }

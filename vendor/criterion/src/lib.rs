@@ -1,0 +1,170 @@
+//! Minimal benchmark harness exposing the subset of the `criterion` API the
+//! bench targets use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, the group/main macros). Vendored
+//! because the build environment is offline; see `vendor/README.md`.
+//!
+//! Measurement model: per benchmark, run a short warm-up, then time
+//! `sample_size` batches within roughly `measurement_time` and report the
+//! best and mean batch time. No statistics beyond that — the workspace's
+//! real regression tracking lives in the `tick-throughput` JSON baseline,
+//! not here.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// `(best, mean)` batch times filled in by [`Bencher::iter`].
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: warm up, then time samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        let mut iters_per_sample = 0u64;
+        while Instant::now() < warm_end || iters_per_sample == 0 {
+            black_box(f());
+            iters_per_sample += 1;
+        }
+        // Aim each sample at measurement_time / samples, in whole iterations.
+        let per_iter = self.warm_up.as_secs_f64() / iters_per_sample as f64;
+        let target = self.measurement.as_secs_f64() / self.samples as f64;
+        let batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed() / batch as u32;
+            best = best.min(dt);
+            total += dt;
+        }
+        self.result = Some((best, total / self.samples as u32));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b =
+            Bencher { warm_up: self.warm_up, measurement: self.measurement, samples: self.samples, result: None };
+        f(&mut b);
+        match b.result {
+            Some((best, mean)) => {
+                println!("{}/{}: best {:>12?}  mean {:>12?}  ({} samples)", self.name, label, best, mean, self.samples)
+            }
+            None => println!("{}/{}: no measurement (Bencher::iter never called)", self.name, label),
+        }
+    }
+
+    pub fn bench_function(&mut self, label: impl std::fmt::Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = label.to_string();
+        self.run(&label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.label.clone(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, label: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = label.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Prevent the optimizer from eliding a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

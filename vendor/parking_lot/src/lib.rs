@@ -1,0 +1,45 @@
+//! Minimal stand-in for `parking_lot`: a [`Mutex`] with the non-poisoning
+//! `lock()` API, backed by `std::sync::Mutex`. Vendored because the build
+//! environment is offline; see `vendor/README.md`.
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// Mutex whose `lock()` never returns a poison error (a panicked holder
+/// simply hands the data over, matching parking_lot semantics closely
+/// enough for this workspace's counters).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value) }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Mini property-testing harness exposing the subset of the `proptest` API
+//! this workspace uses: the `proptest!` macro, range / `any` / `select` /
+//! `vec` / tuple strategies, and `prop_assert!`/`prop_assert_eq!`. Vendored
+//! because the build environment is offline; see `vendor/README.md`.
+//!
+//! Differences from real proptest, deliberate for a deterministic offline
+//! harness: inputs are generated from a fixed per-test seed (derived from
+//! the test's name) so failures reproduce exactly across runs, and there is
+//! no shrinking — the failing case prints its number, and the whole input
+//! set can be regenerated from it.
+
+pub mod config;
+pub mod runner;
+pub mod strategy;
+
+/// `prop::...` paths (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// `proptest::collection::vec` path compatibility.
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// `proptest::sample::select` path compatibility.
+pub mod sample {
+    pub use crate::strategy::select;
+}
+
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::{any, select, vec, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a `proptest!` body; failure aborts the current case with a
+/// formatted message instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} ({})", ::core::stringify!($cond), ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}` ({})", l, r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err(::std::format!("assertion failed: `{:?}` == `{:?}`", l, r));
+        }
+    }};
+}
+
+/// The `proptest!` block macro: declares `#[test]` functions whose
+/// arguments are drawn from strategies for a configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::config::ProptestConfig = $cfg;
+                let mut __rng = $crate::runner::TestRng::for_test(::core::stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __result: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(__msg) = __result {
+                        ::core::panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            ::core::stringify!($name), __case + 1, __cfg.cases, __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.5f64..2.5, n in 3usize..7, s in any::<u64>()) {
+            prop_assert!((0.5..2.5).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            let _ = s;
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in vec(0.0f64..1.0, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn tuples_and_select(t in (0u64..10, -1.0f64..1.0), pick in select(vec![1, 2, 3])) {
+            prop_assert!(t.0 < 10);
+            prop_assert!((-1.0..1.0).contains(&t.1));
+            prop_assert!([1, 2, 3].contains(&pick));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let mut a = crate::runner::TestRng::for_test("x");
+        let mut b = crate::runner::TestRng::for_test("x");
+        let mut c = crate::runner::TestRng::for_test("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

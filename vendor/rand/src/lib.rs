@@ -1,0 +1,36 @@
+//! Minimal stand-in for the `rand` crate: just the [`RngCore`]/[`Rng`]
+//! traits and [`Error`] type that `brace_common::DetRng` implements for
+//! ecosystem compatibility. No generator state lives here — determinism in
+//! this workspace comes entirely from `DetRng`. Vendored because the build
+//! environment is offline; see `vendor/README.md`.
+
+/// Error type for fallible RNG operations (never produced by `DetRng`).
+#[derive(Debug, Clone)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core RNG interface, mirroring `rand::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Convenience extension trait, mirroring the subset of `rand::Rng` that
+/// simulation models reach for.
+pub trait Rng: RngCore {
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}

@@ -1,0 +1,15 @@
+//! Minimal stand-in for `serde`: the `Serialize`/`Deserialize` names resolve
+//! (as no-op derive macros plus empty marker traits) so the workspace's
+//! annotated types compile, while all actual serialization in this repo goes
+//! through the hand-rolled codec in `brace-mapreduce`. Vendored because the
+//! build environment is offline; see `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the no-op derive does not implement it, and nothing in the
+/// workspace requires the bound. Present so `T: serde::Serialize` bounds in
+/// downstream code at least name-resolve.
+pub trait SerializeMarker {}
+
+/// See [`SerializeMarker`].
+pub trait DeserializeMarker<'de> {}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace's wire formats are hand-rolled (see `brace-mapreduce`'s
+//! `codec` module); the serde derives on value types exist so downstream
+//! users *could* plug in real serde. In this offline build the derives
+//! expand to nothing — the annotation compiles, no impl is generated, and
+//! nothing in the workspace calls serde serialization.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
