@@ -18,9 +18,12 @@ fn bench_table2(c: &mut Criterion) {
         let pop = behavior.population(1);
         let mut sim = Simulation::builder(behavior).agents(pop).seed(1).build().unwrap();
         sim.run(10);
+        // Materialize once: the benchmark measures the observer, not the
+        // pool -> record conversion at the serialization boundary.
+        let agents = sim.agents();
         let mut obs = TrafficObserver::new(&params, 10);
         b.iter(|| {
-            obs.observe_agents(sim.agents());
+            obs.observe_agents(&agents);
         });
     });
 
@@ -42,7 +45,7 @@ fn bench_table2(c: &mut Criterion) {
             let mut oa = TrafficObserver::new(&params, 10);
             let mut ob = TrafficObserver::new(&params, 10);
             for _ in 0..50 {
-                oa.observe_agents(brace_sim.agents());
+                oa.observe_agents(&brace_sim.agents());
                 ob.observe_baseline(&base);
                 brace_sim.step();
                 base.step();

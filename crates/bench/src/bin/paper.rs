@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]
-//! paper tick-throughput [--agents N,M] [--ticks T] [--warmup W]
+//! paper tick-throughput [--quick] [--agents N,M] [--ticks T] [--warmup W]
 //!                       [--parallel P] [--out PATH]
 //! ```
 //!
@@ -44,7 +44,7 @@ fn main() {
             "-h" | "--help" => {
                 println!(
                     "usage: paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]\n\
-                     \x20      paper tick-throughput [--agents N,M] [--ticks T] [--warmup W] [--parallel P] [--out PATH]"
+                     \x20      paper tick-throughput [--quick] [--agents N,M] [--ticks T] [--warmup W] [--parallel P] [--out PATH]"
                 );
                 return;
             }
@@ -71,14 +71,27 @@ fn main() {
 }
 
 fn run_tick_throughput(args: &[String]) {
-    let mut cfg = ThroughputConfig::default();
-    let mut out = String::from("BENCH_tick_throughput.json");
+    // `--quick` is a preset applied before flag parsing, so explicit
+    // `--agents`/`--ticks`/... override it regardless of argument order.
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = if quick { ThroughputConfig::quick() } else { ThroughputConfig::default() };
+    // The quick smoke writes next to the build artifacts so the checked-in
+    // baseline stays untouched unless --out points back at it.
+    let mut out = if quick {
+        String::from("target/BENCH_tick_throughput_quick.json")
+    } else {
+        String::from("BENCH_tick_throughput.json")
+    };
     let mut i = 0;
     while i < args.len() {
         let (flag, value): (&str, Option<String>) = match args[i].split_once('=') {
             Some((f, v)) => (f, Some(v.to_string())),
             None => (args[i].as_str(), None),
         };
+        if flag == "--quick" {
+            i += 1;
+            continue;
+        }
         let take = |i: &mut usize| -> String {
             match &value {
                 Some(v) => v.clone(),
@@ -124,8 +137,11 @@ fn run_tick_throughput(args: &[String]) {
             })
             .collect::<Vec<_>>(),
     );
-    for (model, agents, kind, q, t) in &report.speedups {
-        println!("speedup {model}/{agents}/{kind:?}: query {q:.2}x, tick {t:.2}x");
+    for s in &report.speedups {
+        println!(
+            "speedup {}/{}/{:?}: query {:.2}x, tick {:.2}x, incremental-index {:.2}x, soa-vs-aos {:.2}x",
+            s.model, s.agents, s.index, s.query_speedup, s.tick_speedup, s.incremental_speedup, s.soa_speedup
+        );
     }
     for s in &report.skipped {
         println!("skipped: {s}");

@@ -424,7 +424,7 @@ pub fn table2(scale: Scale) -> Table2 {
     let mut obs_brace = TrafficObserver::new(&params, window);
     let mut obs_base = TrafficObserver::new(&params, window);
     for _ in 0..observe {
-        obs_brace.observe_agents(brace_sim.agents());
+        obs_brace.observe_agents(&brace_sim.agents());
         obs_base.observe_baseline(&baseline);
         brace_sim.step();
         baseline.step();

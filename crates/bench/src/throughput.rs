@@ -1,13 +1,18 @@
 //! The tick-throughput baseline: agents/second of the sharded executor,
-//! serial vs parallel, per model / population / index kind.
+//! serial vs parallel, per model / population / index kind — plus the two
+//! ablations of the columnar refactor (SoA pool vs `Vec<Agent>` reference
+//! path, incremental index maintenance vs rebuild-every-tick).
 //!
 //! `cargo run -p brace-bench --release -- tick-throughput` runs the matrix
 //! and writes `BENCH_tick_throughput.json`, the perf trajectory future PRs
-//! regress against (see ROADMAP "Open items"). The paper's figures report
-//! relative shapes; this baseline pins absolute per-phase numbers on the
-//! machine that produced it.
+//! regress against (see ROADMAP "Open items"). `--quick` runs a miniature
+//! matrix as a CI smoke test (panics, shape mismatches and gross
+//! regressions on the perf path surface on every PR). The paper's figures
+//! report relative shapes; this baseline pins absolute per-phase numbers
+//! on the machine that produced it.
 
-use brace_core::TickExecutor;
+use brace_core::executor::reference_step;
+use brace_core::{Agent, Behavior, IndexMaintenance, TickExecutor};
 use brace_models::{FishBehavior, FishParams, TrafficBehavior, TrafficParams};
 use brace_spatial::IndexKind;
 
@@ -20,19 +25,39 @@ pub struct ThroughputRow {
     pub agents: usize,
     pub actual_agents: usize,
     pub index: IndexKind,
-    /// `"serial"` (parallelism 1) or `"parallel"` (the run's thread budget).
+    /// `"serial"` (parallelism 1), `"parallel"` (the run's thread budget),
+    /// `"rebuild"` (serial, index rebuilt every tick — the
+    /// incremental-maintenance ablation) or `"aos"` (the `Vec<Agent>`
+    /// reference path with per-tick pool conversion — the SoA ablation).
     pub mode: &'static str,
-    /// Thread budget the executor ran with (serial rows report 1).
+    /// Thread budget the executor ran with (serial/ablation rows report 1).
     pub parallelism: usize,
     pub ticks: u64,
     pub index_build_ns: u64,
     pub query_ns: u64,
     pub update_ns: u64,
+    /// Full index builds over the measured ticks (incremental rows stay at
+    /// 0 once warmed; rebuild/aos rows build every tick).
+    pub index_rebuilds: u64,
     /// Agent-ticks per second of query-phase time — the number the sharded
     /// executor exists to improve.
     pub query_agents_per_sec: f64,
     /// Agent-ticks per second of whole-tick time (index + query + update).
     pub tick_agents_per_sec: f64,
+}
+
+impl ThroughputRow {
+    /// Agent-ticks per second over index maintenance + query time (the
+    /// basis of the incremental-vs-rebuild comparison, where the build
+    /// phase is exactly what changes).
+    pub fn index_query_agents_per_sec(&self) -> f64 {
+        let ns = self.index_build_ns + self.query_ns;
+        if ns == 0 {
+            0.0
+        } else {
+            self.query_agents_per_sec * self.query_ns as f64 / ns as f64
+        }
+    }
 }
 
 /// Configuration for [`tick_throughput`].
@@ -58,45 +83,62 @@ impl Default for ThroughputConfig {
     }
 }
 
+impl ThroughputConfig {
+    /// The `--quick` CI smoke preset: one small population, two ticks —
+    /// enough to drive every mode of the perf path end to end in seconds.
+    pub fn quick() -> Self {
+        ThroughputConfig { agent_counts: vec![2_000], ticks: 2, warmup: 1, parallelism: 2, scan_cap: 2_500 }
+    }
+}
+
+/// Derived per-configuration comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    pub model: String,
+    pub agents: usize,
+    pub index: IndexKind,
+    /// Parallel over serial, query-phase throughput.
+    pub query_speedup: f64,
+    /// Parallel over serial, whole-tick throughput.
+    pub tick_speedup: f64,
+    /// Incremental maintenance over rebuild-every-tick, on index+query
+    /// throughput (the phases maintenance changes).
+    pub incremental_speedup: f64,
+    /// SoA pool executor over the `Vec<Agent>` reference path, whole-tick.
+    pub soa_speedup: f64,
+}
+
 /// The full measurement matrix plus derived speedups.
 #[derive(Debug, Clone, Default)]
 pub struct ThroughputReport {
     pub rows: Vec<ThroughputRow>,
-    /// `(model, agents, index, query_speedup, tick_speedup)` — parallel
-    /// over serial, per configuration.
-    pub speedups: Vec<(String, usize, IndexKind, f64, f64)>,
+    pub speedups: Vec<SpeedupRow>,
     /// Configurations skipped with the reason (e.g. scan at 100k).
     pub skipped: Vec<String>,
     /// Cores visible to the process when the matrix ran.
     pub cores: usize,
 }
 
-fn fish_executor(n: usize, kind: IndexKind, parallelism: usize) -> TickExecutor<FishBehavior> {
+fn fish_world(n: usize) -> (FishBehavior, Vec<Agent>) {
     // Constant density (as in Figure 4): the school radius grows with the
     // population so per-probe neighborhood size stays scale-independent.
     let params = FishParams { school_radius: (n as f64 / std::f64::consts::PI / 0.5).sqrt(), ..FishParams::default() };
     let behavior = FishBehavior::new(params);
     let pop = behavior.population(n, 42);
-    let mut exec = TickExecutor::new(behavior, pop, kind, 42);
-    exec.set_parallelism(parallelism);
-    exec
+    (behavior, pop)
 }
 
-fn traffic_executor(n: usize, kind: IndexKind, parallelism: usize) -> TickExecutor<TrafficBehavior> {
+fn traffic_world(n: usize) -> (TrafficBehavior, Vec<Agent>) {
     let defaults = TrafficParams::default();
     // population = floor(segment × density) × lanes ⇒ pick segment for ≈ n.
     let segment = n as f64 / (defaults.density * defaults.lanes as f64);
     let params = TrafficParams { segment, ..defaults };
     let behavior = TrafficBehavior::new(params);
     let pop = behavior.population(42);
-    let mut exec = TickExecutor::new(behavior, pop, kind, 42);
-    exec.set_parallelism(parallelism);
-    exec
+    (behavior, pop)
 }
 
-#[allow(clippy::too_many_arguments)] // a measurement descriptor, not an API
-fn measure<B: brace_core::Behavior>(
-    mut exec: TickExecutor<B>,
+struct MeasureCtx {
     model: &'static str,
     agents: usize,
     kind: IndexKind,
@@ -104,31 +146,84 @@ fn measure<B: brace_core::Behavior>(
     parallelism: usize,
     warmup: u64,
     ticks: u64,
+}
+
+fn measure_exec<B: Behavior>(
+    ctx: &MeasureCtx,
+    behavior: B,
+    pop: Vec<Agent>,
+    maintenance: IndexMaintenance,
 ) -> ThroughputRow {
-    let actual = exec.agents().len();
-    exec.run(warmup);
+    let actual = pop.len();
+    let mut exec = TickExecutor::new(behavior, pop, ctx.kind, 42);
+    exec.set_parallelism(ctx.parallelism);
+    exec.set_index_maintenance(maintenance);
+    exec.run(ctx.warmup);
     exec.reset_metrics();
-    exec.run(ticks);
+    let rebuilds_before = exec.index_rebuilds();
+    exec.run(ctx.ticks);
     let m = exec.metrics();
     let per_sec = |ns: u64| if ns == 0 { 0.0 } else { m.agent_ticks as f64 / (ns as f64 / 1e9) };
     ThroughputRow {
-        model,
-        agents,
+        model: ctx.model,
+        agents: ctx.agents,
         actual_agents: actual,
-        index: kind,
-        mode,
-        parallelism,
+        index: ctx.kind,
+        mode: ctx.mode,
+        parallelism: ctx.parallelism,
         ticks: m.ticks,
         index_build_ns: m.index_build_ns,
         query_ns: m.query_ns,
         update_ns: m.update_ns,
+        index_rebuilds: exec.index_rebuilds() - rebuilds_before,
         query_agents_per_sec: per_sec(m.query_ns),
         tick_agents_per_sec: per_sec(m.total_ns),
     }
 }
 
-/// Run the serial-vs-parallel matrix over fish + traffic, every population
-/// size and every index kind (scan capped per the config).
+/// The SoA ablation: run the `Vec<Agent>` reference path ([`reference_step`]
+/// — per-tick pool conversion, fresh index build, serial phases), which is
+/// what the executor's working representation would cost if `Vec<Agent>`
+/// were still the source of truth.
+fn measure_aos<B: Behavior>(ctx: &MeasureCtx, behavior: B, mut agents: Vec<Agent>) -> ThroughputRow {
+    let actual = agents.len();
+    let max_id = agents.iter().map(|a| a.id.raw()).max().map_or(0, |m| m + 1);
+    let mut id_gen = brace_common::ids::AgentIdGen::from(max_id);
+    let mut tick = 0u64;
+    for _ in 0..ctx.warmup {
+        reference_step(&behavior, &mut agents, ctx.kind, tick, 42, &mut id_gen);
+        tick += 1;
+    }
+    let (mut build_ns, mut query_ns, mut update_ns, mut agent_ticks) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..ctx.ticks {
+        agent_ticks += agents.len() as u64;
+        let (qs, us) = reference_step(&behavior, &mut agents, ctx.kind, tick, 42, &mut id_gen);
+        build_ns += qs.index_build_ns;
+        query_ns += qs.query_ns;
+        update_ns += us.update_ns;
+        tick += 1;
+    }
+    let per_sec = |ns: u64| if ns == 0 { 0.0 } else { agent_ticks as f64 / (ns as f64 / 1e9) };
+    ThroughputRow {
+        model: ctx.model,
+        agents: ctx.agents,
+        actual_agents: actual,
+        index: ctx.kind,
+        mode: ctx.mode,
+        parallelism: 1,
+        ticks: ctx.ticks,
+        index_build_ns: build_ns,
+        query_ns,
+        update_ns,
+        index_rebuilds: ctx.ticks,
+        query_agents_per_sec: per_sec(query_ns),
+        tick_agents_per_sec: per_sec(build_ns + query_ns + update_ns),
+    }
+}
+
+/// Run the measurement matrix over fish + traffic, every population size
+/// and every index kind (scan capped per the config): serial, parallel,
+/// and the two ablation modes.
 pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let parallel_threads = if cfg.parallelism == 0 { cores } else { cfg.parallelism };
@@ -141,41 +236,55 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                 continue;
             }
             for model in ["fish", "traffic"] {
-                let run = |threads: usize, mode: &'static str| -> ThroughputRow {
-                    match model {
-                        "fish" => measure(
-                            fish_executor(n, kind, threads),
-                            "fish",
-                            n,
-                            kind,
-                            mode,
-                            threads,
-                            cfg.warmup,
-                            cfg.ticks,
-                        ),
-                        _ => measure(
-                            traffic_executor(n, kind, threads),
-                            "traffic",
-                            n,
-                            kind,
-                            mode,
-                            threads,
-                            cfg.warmup,
-                            cfg.ticks,
-                        ),
+                let run = |mode: &'static str, threads: usize| -> ThroughputRow {
+                    let ctx = MeasureCtx {
+                        model,
+                        agents: n,
+                        kind,
+                        mode,
+                        parallelism: threads,
+                        warmup: cfg.warmup,
+                        ticks: cfg.ticks,
+                    };
+                    let maintenance =
+                        if mode == "rebuild" { IndexMaintenance::Rebuild } else { IndexMaintenance::Incremental };
+                    match (model, mode) {
+                        ("fish", "aos") => {
+                            let (b, pop) = fish_world(n);
+                            measure_aos(&ctx, b, pop)
+                        }
+                        ("fish", _) => {
+                            let (b, pop) = fish_world(n);
+                            measure_exec(&ctx, b, pop, maintenance)
+                        }
+                        (_, "aos") => {
+                            let (b, pop) = traffic_world(n);
+                            measure_aos(&ctx, b, pop)
+                        }
+                        _ => {
+                            let (b, pop) = traffic_world(n);
+                            measure_exec(&ctx, b, pop, maintenance)
+                        }
                     }
                 };
-                let serial = run(1, "serial");
-                let parallel = run(parallel_threads, "parallel");
-                report.speedups.push((
-                    model.to_string(),
-                    n,
-                    kind,
-                    parallel.query_agents_per_sec / serial.query_agents_per_sec.max(1e-9),
-                    parallel.tick_agents_per_sec / serial.tick_agents_per_sec.max(1e-9),
-                ));
+                let serial = run("serial", 1);
+                let parallel = run("parallel", parallel_threads);
+                let rebuild = run("rebuild", 1);
+                let aos = run("aos", 1);
+                report.speedups.push(SpeedupRow {
+                    model: model.to_string(),
+                    agents: n,
+                    index: kind,
+                    query_speedup: parallel.query_agents_per_sec / serial.query_agents_per_sec.max(1e-9),
+                    tick_speedup: parallel.tick_agents_per_sec / serial.tick_agents_per_sec.max(1e-9),
+                    incremental_speedup: serial.index_query_agents_per_sec()
+                        / rebuild.index_query_agents_per_sec().max(1e-9),
+                    soa_speedup: serial.tick_agents_per_sec / aos.tick_agents_per_sec.max(1e-9),
+                });
                 report.rows.push(serial);
                 report.rows.push(parallel);
+                report.rows.push(rebuild);
+                report.rows.push(aos);
             }
         }
     }
@@ -192,10 +301,12 @@ fn index_name(kind: IndexKind) -> &'static str {
 
 /// Render the report as the `BENCH_tick_throughput.json` document. Written
 /// by hand (the offline build has no serde_json); the format is stable:
-/// bump `schema_version` on layout changes.
+/// bump `schema_version` on layout changes. Version 2 added the `rebuild`
+/// and `aos` ablation rows, the per-row `index_rebuilds` column and the
+/// `incremental_speedup` / `soa_speedup` ablation columns.
 pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"cores\": {},\n", report.cores));
     out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
     out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
@@ -204,8 +315,8 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"agents\": {}, \"actual_agents\": {}, \"index\": \"{}\", \
              \"mode\": \"{}\", \"parallelism\": {}, \"ticks\": {}, \"index_build_ns\": {}, \
-             \"query_ns\": {}, \"update_ns\": {}, \"query_agents_per_sec\": {:.1}, \
-             \"tick_agents_per_sec\": {:.1}}}{}\n",
+             \"query_ns\": {}, \"update_ns\": {}, \"index_rebuilds\": {}, \
+             \"query_agents_per_sec\": {:.1}, \"tick_agents_per_sec\": {:.1}}}{}\n",
             r.model,
             r.agents,
             r.actual_agents,
@@ -216,6 +327,7 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
             r.index_build_ns,
             r.query_ns,
             r.update_ns,
+            r.index_rebuilds,
             r.query_agents_per_sec,
             r.tick_agents_per_sec,
             if i + 1 == report.rows.len() { "" } else { "," }
@@ -223,15 +335,18 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     }
     out.push_str("  ],\n");
     out.push_str("  \"speedups\": [\n");
-    for (i, (model, agents, kind, q, t)) in report.speedups.iter().enumerate() {
+    for (i, s) in report.speedups.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"agents\": {}, \"index\": \"{}\", \
-             \"query_speedup\": {:.3}, \"tick_speedup\": {:.3}}}{}\n",
-            model,
-            agents,
-            index_name(*kind),
-            q,
-            t,
+             \"query_speedup\": {:.3}, \"tick_speedup\": {:.3}, \
+             \"incremental_speedup\": {:.3}, \"soa_speedup\": {:.3}}}{}\n",
+            s.model,
+            s.agents,
+            index_name(s.index),
+            s.query_speedup,
+            s.tick_speedup,
+            s.incremental_speedup,
+            s.soa_speedup,
             if i + 1 == report.speedups.len() { "" } else { "," }
         ));
     }
@@ -252,16 +367,28 @@ mod tests {
     fn miniature_matrix_runs_and_serializes() {
         let cfg = ThroughputConfig { agent_counts: vec![300], ticks: 1, warmup: 0, parallelism: 2, scan_cap: 1_000 };
         let report = tick_throughput(&cfg);
-        // 1 size × 3 kinds × 2 models × 2 modes.
-        assert_eq!(report.rows.len(), 12);
+        // 1 size × 3 kinds × 2 models × 4 modes.
+        assert_eq!(report.rows.len(), 24);
         assert_eq!(report.speedups.len(), 6);
         assert!(report.skipped.is_empty());
+        for mode in ["serial", "parallel", "rebuild", "aos"] {
+            assert!(report.rows.iter().any(|r| r.mode == mode), "missing mode {mode}");
+        }
         let json = to_json(&report, &cfg);
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"model\": \"traffic\""));
+        assert!(json.contains("\"incremental_speedup\""));
+        assert!(json.contains("\"mode\": \"aos\""));
         assert!(json.ends_with("}\n"));
         // Crude balance check so the hand-rolled JSON stays well-formed.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn quick_preset_is_small() {
+        let q = ThroughputConfig::quick();
+        assert!(q.agent_counts.iter().all(|&n| n <= 5_000));
+        assert!(q.ticks <= 2);
     }
 }

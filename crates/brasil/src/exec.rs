@@ -24,7 +24,7 @@ use crate::plan::{AgentRef, Axis, Builtin, PExpr, PStmt, QueryPlan, UpdateRule, 
 use brace_common::{BraceError, DetRng, FieldId, Result};
 use brace_core::behavior::{Behavior, Neighbors, UpdateCtx};
 use brace_core::effect::EffectWriter;
-use brace_core::{Agent, AgentSchema};
+use brace_core::{Agent, AgentRead, AgentRef as RowRef, AgentSchema};
 use std::collections::HashMap;
 
 /// A fully compiled agent class.
@@ -228,10 +228,13 @@ pub fn compile(a: &AnalyzedClass) -> Result<CompiledClass> {
 // Interpretation
 // ---------------------------------------------------------------------------
 
-/// Evaluation context for one query/update invocation.
-struct EvalCtx<'a> {
-    me: &'a Agent,
-    other: Option<&'a Agent>,
+/// Evaluation context for one query/update invocation. Generic over the
+/// agent representation ([`AgentRead`]): the query phase evaluates against
+/// pool row views, the update phase against a snapshot record — both
+/// monomorphize to direct reads.
+struct EvalCtx<'a, R: AgentRead + Copy> {
+    me: R,
+    other: Option<R>,
     locals: &'a mut [Option<f64>],
     /// Locally-aggregated effect shadow (query) or the final aggregated
     /// effects (update).
@@ -240,25 +243,25 @@ struct EvalCtx<'a> {
 }
 
 /// NIL-propagating evaluation.
-fn eval(e: &PExpr, ctx: &mut EvalCtx<'_>) -> Option<f64> {
+fn eval<R: AgentRead + Copy>(e: &PExpr, ctx: &mut EvalCtx<'_, R>) -> Option<f64> {
     Some(match e {
         PExpr::Const(c) => *c,
-        PExpr::SelfPos(Axis::X) => ctx.me.pos.x,
-        PExpr::SelfPos(Axis::Y) => ctx.me.pos.y,
-        PExpr::OtherPos(Axis::X) => ctx.other?.pos.x,
-        PExpr::OtherPos(Axis::Y) => ctx.other?.pos.y,
-        PExpr::SelfState(i) => ctx.me.state[*i as usize],
-        PExpr::OtherState(i) => ctx.other?.state[*i as usize],
+        PExpr::SelfPos(Axis::X) => ctx.me.pos().x,
+        PExpr::SelfPos(Axis::Y) => ctx.me.pos().y,
+        PExpr::OtherPos(Axis::X) => ctx.other?.pos().x,
+        PExpr::OtherPos(Axis::Y) => ctx.other?.pos().y,
+        PExpr::SelfState(i) => ctx.me.state(*i),
+        PExpr::OtherState(i) => ctx.other?.state(*i),
         PExpr::SelfEffect(i) => ctx.effects[*i as usize],
         PExpr::Local(i) => ctx.locals[*i as usize]?,
         PExpr::AgentEq { left, right, negate } => {
             let l = match left {
-                AgentRef::This => ctx.me.id,
-                AgentRef::Other => ctx.other?.id,
+                AgentRef::This => ctx.me.id(),
+                AgentRef::Other => ctx.other?.id(),
             };
             let r = match right {
-                AgentRef::This => ctx.me.id,
-                AgentRef::Other => ctx.other?.id,
+                AgentRef::This => ctx.me.id(),
+                AgentRef::Other => ctx.other?.id(),
             };
             (((l == r) != *negate) as i32) as f64
         }
@@ -335,15 +338,15 @@ impl BrasilBehavior {
     }
 
     #[allow(clippy::too_many_arguments)] // interpreter context, flattened for the hot path
-    fn exec_stmts(
+    fn exec_stmts<'v>(
         &self,
         stmts: &[PStmt],
-        me: &Agent,
-        neighbors: &Neighbors<'_>,
+        me: RowRef<'v>,
+        neighbors: &Neighbors<'v>,
         eff: &mut EffectWriter<'_>,
         shadow: &mut [f64],
         locals: &mut [Option<f64>],
-        other: Option<(&Agent, u32)>,
+        other: Option<(RowRef<'v>, u32)>,
         rng: &mut DetRng,
     ) {
         let schema = self.class.schema();
@@ -407,7 +410,7 @@ impl Behavior for BrasilBehavior {
         self.class.schema()
     }
 
-    fn query(&self, me: &Agent, _me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+    fn query(&self, me: RowRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
         let schema = self.class.schema();
         let mut shadow = schema.effect_identities();
         let mut locals = vec![None; self.class.query.n_locals as usize];

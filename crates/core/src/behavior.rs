@@ -3,12 +3,14 @@
 //! A model supplies exactly the two phases of the state-effect pattern:
 //!
 //! * [`Behavior::query`] — runs once per owned agent per tick. It may read
-//!   `me`'s state, iterate the agents in `me`'s visible region through
-//!   [`Neighbors`], and assign effects through
-//!   [`EffectWriter`]. It *cannot* mutate any
-//!   state — enforced by the types.
+//!   `me`'s state (an [`AgentRef`] row view over the
+//!   [`AgentPool`](crate::agent::AgentPool)'s columns), iterate the agents
+//!   in `me`'s visible region through [`Neighbors`], and assign effects
+//!   through [`EffectWriter`]. It *cannot* mutate any state — enforced by
+//!   the types: row views only hand out reads.
 //! * [`Behavior::update`] — runs once per owned agent at the tick boundary.
-//!   It may read `me`'s state and aggregated effects and write `me`'s next
+//!   It receives a gathered row record (`&mut Agent`) whose effects hold
+//!   the tick's aggregates; it may read state + effects and write next
 //!   state (including the position, which the executor crops to the
 //!   reachable region). It sees no other agent — also enforced by types.
 //!
@@ -17,47 +19,47 @@
 //! programming the agent once suffices ("hides all the complexities of
 //! modeling computations in MapReduce").
 
-use crate::agent::Agent;
+use crate::agent::{Agent, AgentRef, PoolView};
 use crate::effect::EffectWriter;
 use crate::schema::AgentSchema;
 use brace_common::{DetRng, Vec2};
 
-/// A reference to a visible neighbor: the agent (previous-tick state) plus
-/// its row index in the visible set, which is how non-local effect
+/// A reference to a visible neighbor: the row view (previous-tick state)
+/// plus its row index in the visible set, which is how non-local effect
 /// assignments address it.
 #[derive(Clone, Copy)]
 pub struct NeighborRef<'a> {
     /// Row in the tick's visible set / effect table.
     pub row: u32,
-    /// The neighbor's frozen (previous-tick) record.
-    pub agent: &'a Agent,
+    /// The neighbor's frozen (previous-tick) columns.
+    pub agent: AgentRef<'a>,
 }
 
 /// The visible neighborhood of one querying agent: the result of the
 /// spatial-join probe, excluding the agent itself.
 pub struct Neighbors<'a> {
-    pool: &'a [Agent],
+    view: PoolView<'a>,
     candidates: &'a [u32],
     me: u32,
 }
 
 impl<'a> Neighbors<'a> {
-    /// `pool` is the partition's visible agent set; `candidates` are row
-    /// indices produced by the index probe (they may include `me`, which
-    /// iteration skips).
-    pub fn new(pool: &'a [Agent], candidates: &'a [u32], me: u32) -> Self {
-        Neighbors { pool, candidates, me }
+    /// `view` is the partition's visible agent columns; `candidates` are
+    /// row indices produced by the index probe (they may include `me`,
+    /// which iteration skips).
+    pub fn new(view: PoolView<'a>, candidates: &'a [u32], me: u32) -> Self {
+        Neighbors { view, candidates, me }
     }
 
     /// Iterate the visible neighbors (self excluded).
     pub fn iter(&self) -> impl Iterator<Item = NeighborRef<'a>> + '_ {
         let me = self.me;
-        let pool = self.pool;
+        let view = self.view;
         self.candidates
             .iter()
             .copied()
             .filter(move |&i| i != me)
-            .map(move |i| NeighborRef { row: i, agent: &pool[i as usize] })
+            .map(move |i| NeighborRef { row: i, agent: view.agent(i) })
     }
 
     /// Upper bound on the neighbor count (candidates may include self).
@@ -68,7 +70,7 @@ impl<'a> Neighbors<'a> {
     /// The nearest neighbor by Euclidean distance, if any. Linear in the
     /// candidate set — the candidates already come from an index probe.
     pub fn nearest(&self, to: Vec2) -> Option<NeighborRef<'a>> {
-        self.iter().min_by(|a, b| a.agent.pos.dist2(to).total_cmp(&b.agent.pos.dist2(to)))
+        self.iter().min_by(|a, b| a.agent.pos().dist2(to).total_cmp(&b.agent.pos().dist2(to)))
     }
 }
 
@@ -129,9 +131,10 @@ pub trait Behavior: Send + Sync {
         NeighborProbe::Range
     }
 
-    /// Query phase for one agent. `rng` is a deterministic stream derived
-    /// from `(seed, agent id, tick)`.
-    fn query(&self, me: &Agent, me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng);
+    /// Query phase for one agent. `me` is the querying agent's row view
+    /// (`me.row` addresses it in the effect table); `rng` is a
+    /// deterministic stream derived from `(seed, agent id, tick)`.
+    fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng);
 
     /// Update phase for one agent: consume `me.effects`, write `me.state` /
     /// `me.pos` (cropped to reachability by the executor), optionally kill
@@ -148,8 +151,8 @@ impl<B: Behavior + ?Sized> Behavior for &B {
     fn probe(&self) -> NeighborProbe {
         (**self).probe()
     }
-    fn query(&self, me: &Agent, me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
-        (**self).query(me, me_row, neighbors, eff, rng)
+    fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        (**self).query(me, neighbors, eff, rng)
     }
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
         (**self).update(me, ctx)
@@ -163,8 +166,8 @@ impl<B: Behavior + ?Sized> Behavior for std::sync::Arc<B> {
     fn probe(&self) -> NeighborProbe {
         (**self).probe()
     }
-    fn query(&self, me: &Agent, me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
-        (**self).query(me, me_row, neighbors, eff, rng)
+    fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        (**self).query(me, neighbors, eff, rng)
     }
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
         (**self).update(me, ctx)
@@ -178,8 +181,8 @@ impl<B: Behavior + ?Sized> Behavior for Box<B> {
     fn probe(&self) -> NeighborProbe {
         (**self).probe()
     }
-    fn query(&self, me: &Agent, me_row: u32, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
-        (**self).query(me, me_row, neighbors, eff, rng)
+    fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        (**self).query(me, neighbors, eff, rng)
     }
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
         (**self).update(me, ctx)
@@ -189,6 +192,7 @@ impl<B: Behavior + ?Sized> Behavior for Box<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agent::AgentPool;
     use crate::combinator::Combinator;
     use brace_common::AgentId;
 
@@ -196,8 +200,10 @@ mod tests {
         AgentSchema::builder("T").effect("n", Combinator::Sum).build().unwrap()
     }
 
-    fn pool(schema: &AgentSchema) -> Vec<Agent> {
-        (0..4).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), schema)).collect()
+    fn pool(schema: &AgentSchema) -> AgentPool {
+        let agents: Vec<Agent> =
+            (0..4).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), schema)).collect();
+        AgentPool::from_agents(schema, &agents)
     }
 
     #[test]
@@ -205,7 +211,7 @@ mod tests {
         let s = schema();
         let p = pool(&s);
         let cands = [0u32, 1, 2, 3];
-        let n = Neighbors::new(&p, &cands, 2);
+        let n = Neighbors::new(p.view(), &cands, 2);
         let rows: Vec<u32> = n.iter().map(|r| r.row).collect();
         assert_eq!(rows, vec![0, 1, 3]);
         assert_eq!(n.len_hint(), 4);
@@ -216,11 +222,11 @@ mod tests {
         let s = schema();
         let p = pool(&s);
         let cands = [0u32, 1, 2, 3];
-        let n = Neighbors::new(&p, &cands, 0);
+        let n = Neighbors::new(p.view(), &cands, 0);
         let near = n.nearest(Vec2::new(0.0, 0.0)).unwrap();
         assert_eq!(near.row, 1);
         // Empty candidate set -> None.
-        let empty = Neighbors::new(&p, &[], 0);
+        let empty = Neighbors::new(p.view(), &[], 0);
         assert!(empty.nearest(Vec2::ZERO).is_none());
     }
 

@@ -8,20 +8,28 @@
 //! behavior's query phase — it can *only* combine into effect slots, which
 //! is how the executor enforces "state variables are read-only during the
 //! query phase and effect variables are write-only" at the API level.
+//!
+//! The table is **column-major**: one flat `Vec<f64>` per effect field,
+//! matching the [`AgentPool`](crate::agent::AgentPool)'s struct-of-arrays
+//! layout — the pool's per-tick accumulator *is* an `EffectTable`, so the
+//! final shard merge lands directly in the pool's effect columns and the
+//! update phase reads them with no copy-back step. Column layout also
+//! makes [`EffectTable::reset`] schema-aware and trivially fast: one
+//! `slice::fill` with the field's identity per column, instead of writing
+//! row-interleaved identity patterns.
 
 use crate::agent::Agent;
+use crate::combinator::Combinator;
 use crate::schema::AgentSchema;
 use brace_common::FieldId;
 
-/// Dense per-tick effect accumulator: one row of `num_effects` slots per
-/// agent in the visible set, initialized to combinator identities.
+/// Dense per-tick effect accumulator: one column of `rows` slots per
+/// effect field, initialized to combinator identities.
 #[derive(Debug, Clone)]
 pub struct EffectTable {
     identities: Vec<f64>,
-    /// `Some(v)` when every identity is bit-identical to `v`, enabling the
-    /// `slice::fill` fast path in [`EffectTable::reset`].
-    uniform_identity: Option<f64>,
-    slots: Vec<f64>,
+    combs: Vec<Combinator>,
+    cols: Vec<Vec<f64>>,
     rows: usize,
 }
 
@@ -29,11 +37,9 @@ impl EffectTable {
     /// An empty table shaped by `schema`.
     pub fn new(schema: &AgentSchema) -> Self {
         let identities = schema.effect_identities();
-        let uniform_identity = match identities.first() {
-            Some(&first) if identities.iter().all(|v| v.to_bits() == first.to_bits()) => Some(first),
-            _ => None,
-        };
-        EffectTable { identities, uniform_identity, slots: Vec::new(), rows: 0 }
+        let combs = schema.effect_defs().iter().map(|d| d.combinator).collect();
+        let cols = vec![Vec::new(); identities.len()];
+        EffectTable { identities, combs, cols, rows: 0 }
     }
 
     /// Number of effect fields per row.
@@ -49,64 +55,91 @@ impl EffectTable {
     }
 
     /// Resize for `rows` agents and reset every slot to its identity.
-    /// Reuses the allocation across ticks (hot path: called every tick by
-    /// every shard): a single `fill` when all identities agree bitwise,
-    /// otherwise one row written then doubled into place with
-    /// `copy_within` — O(log rows) memcpys instead of a per-row
-    /// `extend_from_slice` loop.
+    /// Reuses the allocations across ticks (hot path: called every tick by
+    /// every shard): exactly one `resize` + `fill` per effect column.
     pub fn reset(&mut self, rows: usize) {
         self.rows = rows;
-        let w = self.identities.len();
-        let want = rows * w;
-        self.slots.resize(want, 0.0);
-        if want == 0 {
+        for (col, &id) in self.cols.iter_mut().zip(&self.identities) {
+            col.resize(rows, id);
+            col.fill(id);
+        }
+    }
+
+    /// Append one row holding the given values (pool construction path).
+    pub fn push_row(&mut self, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.width(), "effect row shape mismatch");
+        for (col, &v) in self.cols.iter_mut().zip(values) {
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Append one identity row (spawn path).
+    pub fn push_identity_row(&mut self) {
+        for (col, &id) in self.cols.iter_mut().zip(&self.identities) {
+            col.push(id);
+        }
+        self.rows += 1;
+    }
+
+    /// Drop rows `n..` (replica rows after the query phase).
+    pub fn truncate_rows(&mut self, n: usize) {
+        if n >= self.rows {
             return;
         }
-        match self.uniform_identity {
-            Some(v) => self.slots.fill(v),
-            None => {
-                self.slots[..w].copy_from_slice(&self.identities);
-                let mut filled = w;
-                while filled < want {
-                    let n = filled.min(want - filled);
-                    self.slots.copy_within(filled - n..filled, filled);
-                    filled += n;
-                }
-            }
+        for col in &mut self.cols {
+            col.truncate(n);
         }
+        self.rows = n;
     }
 
-    /// Combine `v` into `(row, field)` using the schema's combinator.
+    /// Combine `v` into `(row, field)` using the field's combinator (the
+    /// table carries its schema's combinator vector, so the hot path needs
+    /// no schema lookup).
     #[inline]
-    pub fn combine(&mut self, schema: &AgentSchema, row: u32, field: FieldId, v: f64) {
-        let w = self.identities.len();
-        let slot = &mut self.slots[row as usize * w + field.index()];
-        *slot = schema.combinator(field).combine(*slot, v);
+    pub fn combine(&mut self, row: u32, field: FieldId, v: f64) {
+        let slot = &mut self.cols[field.index()][row as usize];
+        *slot = self.combs[field.index()].combine(*slot, v);
     }
 
-    /// The aggregated row for one agent.
+    /// Read one aggregated slot.
     #[inline]
-    pub fn row(&self, row: u32) -> &[f64] {
-        let w = self.identities.len();
-        &self.slots[row as usize * w..(row as usize + 1) * w]
+    pub fn get(&self, row: u32, field: FieldId) -> f64 {
+        self.cols[field.index()][row as usize]
+    }
+
+    /// One whole column (cache-linear reads for analytics / SIMD passes).
+    #[inline]
+    pub fn col(&self, field: FieldId) -> &[f64] {
+        &self.cols[field.index()]
+    }
+
+    /// The aggregated row for one agent, gathered from the columns.
+    /// Allocates — row extraction is a boundary operation (tests, shipping
+    /// partial aggregates); hot paths read columns or single slots.
+    pub fn row(&self, row: u32) -> Vec<f64> {
+        self.cols.iter().map(|col| col[row as usize]).collect()
+    }
+
+    /// Gather the aggregated row for one agent into a reused buffer.
+    pub fn copy_row_into(&self, row: u32, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.cols.iter().map(|col| col[row as usize]));
     }
 
     /// True if the row still holds only identities — such rows carry no
     /// information and the runtime skips shipping them (the paper's
     /// "∀i s.t. fᵗᵢ ≠ θ" filter).
     pub fn row_is_identity(&self, row: u32) -> bool {
-        self.row(row).iter().zip(&self.identities).all(|(a, b)| a.to_bits() == b.to_bits())
+        self.cols.iter().zip(&self.identities).all(|(col, id)| col[row as usize].to_bits() == id.to_bits())
     }
 
     /// ⊕-merge a partial aggregate row (shipped from another partition)
     /// into `row`. This is the second reduce pass's `⊕ⱼfᵗⱼ`.
-    pub fn merge_row(&mut self, schema: &AgentSchema, row: u32, partial: &[f64]) {
+    pub fn merge_row(&mut self, row: u32, partial: &[f64]) {
         debug_assert_eq!(partial.len(), self.width());
-        let w = self.identities.len();
-        let base = row as usize * w;
-        for (i, &p) in partial.iter().enumerate() {
-            let comb = schema.combinator(FieldId::new(i as u16));
-            let slot = &mut self.slots[base + i];
+        for ((col, &p), &comb) in self.cols.iter_mut().zip(partial).zip(&self.combs) {
+            let slot = &mut col[row as usize];
             *slot = comb.combine(*slot, p);
         }
     }
@@ -115,46 +148,41 @@ impl EffectTable {
     /// entire contents of `src`. Used by the sharded executor to merge a
     /// shard's disjoint row slice back into the tick's table: for
     /// local-effect schemas each shard owns its row range exclusively, so
-    /// the merge is a bitwise copy — exactly the values the serial path
-    /// would have produced.
+    /// the merge is one bitwise column-segment copy per field — exactly the
+    /// values the serial path would have produced.
     pub fn copy_rows_from(&mut self, src: &EffectTable, dst_row: usize) {
-        let w = self.identities.len();
-        debug_assert_eq!(src.width(), w, "schema mismatch in copy_rows_from");
+        debug_assert_eq!(src.width(), self.width(), "schema mismatch in copy_rows_from");
         debug_assert!(dst_row + src.rows() <= self.rows, "shard copy out of range");
-        let base = dst_row * w;
-        let n = src.rows() * w;
-        self.slots[base..base + n].copy_from_slice(&src.slots[..n]);
+        let n = src.rows();
+        for (dst, s) in self.cols.iter_mut().zip(&src.cols) {
+            dst[dst_row..dst_row + n].copy_from_slice(&s[..n]);
+        }
     }
 
     /// ⊕-merge every row of `src` into this table (row `i` into row `i`).
     /// This is the shard-merge step for schemas with non-local effects,
     /// where any shard may have written to any visible row; callers must
     /// merge shards in a deterministic order (the executor uses ascending
-    /// shard index) so float aggregation is reproducible run to run.
-    pub fn merge_table(&mut self, schema: &AgentSchema, src: &EffectTable) {
-        let w = self.identities.len();
-        debug_assert_eq!(src.width(), w, "schema mismatch in merge_table");
+    /// shard index) so float aggregation is reproducible run to run. The
+    /// column layout turns this into one tight combine loop per field.
+    pub fn merge_table(&mut self, src: &EffectTable) {
+        debug_assert_eq!(src.width(), self.width(), "schema mismatch in merge_table");
         debug_assert!(src.rows() <= self.rows, "shard merge out of range");
-        if w == 0 {
-            return;
-        }
-        let combs: Vec<crate::combinator::Combinator> =
-            (0..w).map(|i| schema.combinator(FieldId::new(i as u16))).collect();
-        for (dst, src_row) in self.slots.chunks_exact_mut(w).zip(src.slots.chunks_exact(w)) {
-            for ((slot, &p), comb) in dst.iter_mut().zip(src_row).zip(&combs) {
-                *slot = comb.combine(*slot, p);
+        for ((dst, s), &comb) in self.cols.iter_mut().zip(&src.cols).zip(&self.combs) {
+            for (d, &p) in dst.iter_mut().zip(s.iter()) {
+                *d = comb.combine(*d, p);
             }
         }
     }
 
     /// Copy each agent's final aggregated row into `agent.effects`, making
-    /// the effects readable for the update phase.
+    /// the effects readable for the update phase. Used by the `Vec<Agent>`
+    /// reference path; the pool path reads the columns in place.
     pub fn write_into(&self, agents: &mut [Agent]) {
         debug_assert!(agents.len() <= self.rows);
-        let w = self.identities.len();
         for (i, agent) in agents.iter_mut().enumerate() {
             agent.effects.clear();
-            agent.effects.extend_from_slice(&self.slots[i * w..(i + 1) * w]);
+            agent.effects.extend(self.cols.iter().map(|col| col[i]));
         }
     }
 }
@@ -191,7 +219,7 @@ impl<'a> EffectWriter<'a> {
     /// `field <- v` on the querying agent itself.
     #[inline]
     pub fn local(&mut self, field: FieldId, v: f64) {
-        self.table.combine(self.schema, self.me - self.base, field, v);
+        self.table.combine(self.me - self.base, field, v);
     }
 
     /// `target.field <- v` on another visible agent. Models whose schema
@@ -218,7 +246,7 @@ impl<'a> EffectWriter<'a> {
                 target_row
             )
         });
-        self.table.combine(self.schema, row, field, v);
+        self.table.combine(row, field, v);
     }
 
     /// Number of genuinely non-local writes performed through this writer
@@ -253,6 +281,9 @@ mod tests {
             assert_eq!(t.row(r), &[0.0, f64::INFINITY]);
             assert!(t.row_is_identity(r));
         }
+        // Columns are identity-filled per field, not row-interleaved.
+        assert_eq!(t.col(FieldId::new(0)), &[0.0; 3]);
+        assert_eq!(t.col(FieldId::new(1)), &[f64::INFINITY; 3]);
     }
 
     #[test]
@@ -262,10 +293,10 @@ mod tests {
         t.reset(1);
         let total = s.effect_field("total").unwrap();
         let closest = s.effect_field("closest").unwrap();
-        t.combine(&s, 0, total, 2.0);
-        t.combine(&s, 0, total, 3.0);
-        t.combine(&s, 0, closest, 7.0);
-        t.combine(&s, 0, closest, 4.0);
+        t.combine(0, total, 2.0);
+        t.combine(0, total, 3.0);
+        t.combine(0, closest, 7.0);
+        t.combine(0, closest, 4.0);
         assert_eq!(t.row(0), &[5.0, 4.0]);
         assert!(!t.row_is_identity(0));
     }
@@ -276,14 +307,14 @@ mod tests {
         // Partition A aggregates partially…
         let mut a = EffectTable::new(&s);
         a.reset(1);
-        a.combine(&s, 0, FieldId::new(0), 1.0);
-        a.combine(&s, 0, FieldId::new(1), 9.0);
+        a.combine(0, FieldId::new(0), 1.0);
+        a.combine(0, FieldId::new(1), 9.0);
         // …partition B owns the agent and merges A's partial row.
         let mut b = EffectTable::new(&s);
         b.reset(1);
-        b.combine(&s, 0, FieldId::new(0), 2.0);
-        b.combine(&s, 0, FieldId::new(1), 5.0);
-        b.merge_row(&s, 0, a.row(0));
+        b.combine(0, FieldId::new(0), 2.0);
+        b.combine(0, FieldId::new(1), 5.0);
+        b.merge_row(0, &a.row(0));
         assert_eq!(b.row(0), &[3.0, 5.0]);
     }
 
@@ -292,11 +323,11 @@ mod tests {
         let s = schema();
         let mut t = EffectTable::new(&s);
         t.reset(1);
-        t.combine(&s, 0, FieldId::new(0), 4.0);
-        let before = t.row(0).to_vec();
+        t.combine(0, FieldId::new(0), 4.0);
+        let before = t.row(0);
         let identities = s.effect_identities();
-        t.merge_row(&s, 0, &identities);
-        assert_eq!(t.row(0), &before[..]);
+        t.merge_row(0, &identities);
+        assert_eq!(t.row(0), before);
     }
 
     #[test]
@@ -304,11 +335,27 @@ mod tests {
         let s = schema();
         let mut t = EffectTable::new(&s);
         t.reset(2);
-        t.combine(&s, 1, FieldId::new(0), 8.0);
+        t.combine(1, FieldId::new(0), 8.0);
         let mut agents = vec![Agent::new(AgentId::new(0), Vec2::ZERO, &s), Agent::new(AgentId::new(1), Vec2::ZERO, &s)];
         t.write_into(&mut agents);
         assert_eq!(agents[0].effects, vec![0.0, f64::INFINITY]);
         assert_eq!(agents[1].effects, vec![8.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn push_and_truncate_rows() {
+        let s = schema();
+        let mut t = EffectTable::new(&s);
+        t.push_row(&[1.0, 2.0]);
+        t.push_identity_row();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert!(t.row_is_identity(1));
+        t.truncate_rows(1);
+        assert_eq!(t.rows(), 1);
+        let mut buf = vec![9.0];
+        t.copy_row_into(0, &mut buf);
+        assert_eq!(buf, vec![1.0, 2.0]);
     }
 
     #[test]
@@ -321,8 +368,8 @@ mod tests {
         w.remote(1, FieldId::new(0), 2.0);
         w.remote(0, FieldId::new(0), 3.0); // remote to self counts as local
         assert_eq!(w.nonlocal_writes(), 1);
-        assert_eq!(t.row(0)[0], 4.0);
-        assert_eq!(t.row(1)[0], 2.0);
+        assert_eq!(t.get(0, FieldId::new(0)), 4.0);
+        assert_eq!(t.get(1, FieldId::new(0)), 2.0);
     }
 
     #[test]

@@ -115,8 +115,15 @@ impl<B: Behavior> Simulation<B> {
         self.exec.metrics().clone()
     }
 
-    pub fn agents(&self) -> &[Agent] {
+    /// Materialize the world as row records (the serialization boundary;
+    /// hot paths read [`Simulation::pool`]).
+    pub fn agents(&self) -> Vec<Agent> {
         self.exec.agents()
+    }
+
+    /// The executor's columnar working representation.
+    pub fn pool(&self) -> &crate::agent::AgentPool {
+        self.exec.pool()
     }
 
     pub fn behavior(&self) -> &B {
@@ -146,7 +153,14 @@ mod tests {
         fn schema(&self) -> &AgentSchema {
             &self.0
         }
-        fn query(&self, _m: &Agent, _r: u32, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
+        fn query(
+            &self,
+            _m: crate::agent::AgentRef<'_>,
+            _n: &Neighbors<'_>,
+            _e: &mut EffectWriter<'_>,
+            _rng: &mut DetRng,
+        ) {
+        }
         fn update(&self, _m: &mut Agent, _c: &mut UpdateCtx<'_>) {}
     }
 

@@ -1,5 +1,6 @@
 //! The tick executor: query phase, effect finalization, update phase —
-//! sharded for intra-worker parallelism.
+//! sharded for intra-worker parallelism, columnar, and incremental about
+//! its spatial index.
 //!
 //! The two phase functions ([`query_phase_sharded`], [`update_phase_sharded`])
 //! are exposed separately because the distributed runtime interleaves
@@ -16,6 +17,39 @@
 //! the one-partition special case of the runtime, and the integration tests
 //! exploit that: the distributed engine must produce bit-identical agents.
 //!
+//! # Columnar working representation
+//!
+//! Both phases run over an [`AgentPool`] (struct-of-arrays; see
+//! `crate::agent`). The query phase reads positions and state as flat
+//! column scans through a copyable [`PoolView`], and the tick's aggregated
+//! effects land directly in the pool's effect columns — there is no
+//! separate final table and no per-tick `write_into` copy. `Vec<Agent>`
+//! survives only at the serialization boundary; [`reference_step`] keeps a
+//! row-oriented executable specification around for property tests (and
+//! for the SoA-vs-AoS ablation in the benchmarks).
+//!
+//! # Incremental index maintenance
+//!
+//! The reachability bound caps per-tick movement, so the spatial index is
+//! *maintained*, not rebuilt: a [`MaintainedIndex`] diffs the pool's
+//! position columns against the positions it indexed last tick, applies
+//! only the rows that actually moved ([`SpatialIndex::update`] — grid
+//! bucket moves, KD-tree in-place slot updates with bound expansion), and
+//! lets the index restructure lazily once accumulated motion exceeds a
+//! budget of half the visibility range ([`SpatialIndex::maintain`] — the
+//! KD-tree's per-subtree rebuild threshold). A full rebuild happens only
+//! when the row ↔ agent mapping changed (spawns, kills, repartitioning) or
+//! an index reports it cannot maintain itself. The
+//! [`IndexMaintenance::Rebuild`] mode forces the old rebuild-every-tick
+//! behavior for ablations.
+//!
+//! Probe results are **canonicalized** per index kind: grid and scan emit
+//! range candidates in an order that is already a pure function of the
+//! point set (`SpatialIndex::RANGE_CANONICAL`), the KD-tree's candidates
+//! are row-sorted here, and k-NN ties break by row everywhere — so a
+//! maintained index and a fresh rebuild aggregate float effects in exactly
+//! the same order and produce bit-identical effect tables.
+//!
 //! # Sharded execution model
 //!
 //! The state-effect pattern makes the per-partition query phase
@@ -27,13 +61,12 @@
 //!
 //! * Each shard accumulates into its **own** [`EffectTable`] and reuses its
 //!   own candidate scratch buffer, so the hot loop performs no allocation
-//!   and no synchronization. All per-tick buffers (the position array, the
-//!   shard tables, spawn queues) live in a [`TickScratch`] that persists
-//!   across ticks.
+//!   and no synchronization. All per-tick buffers live in a
+//!   [`TickScratch`] that persists across ticks.
 //! * For **local-effect** schemas a shard's writes land only in its own row
 //!   range, so its table covers just that slice and the merge is a bitwise
-//!   copy — parallel output is identical to serial output at the bit level,
-//!   for any shard plan and any thread count.
+//!   column-segment copy — parallel output is identical to serial output at
+//!   the bit level, for any shard plan and any thread count.
 //! * For **non-local** schemas any shard may write to any visible row, so
 //!   every shard table spans the visible set and shards are ⊕-merged in
 //!   ascending shard order.
@@ -53,24 +86,27 @@
 //! are exactly associative on the values involved (the lattice ops
 //! Min/Max/Or/And always; Sum/Prod on integer-valued effects) — the same
 //! contract the distributed runtime already imposes on cross-partition
-//! effect aggregation. The update phase parallelizes with any contiguous
-//! chunking: each agent's update depends only on `(seed, tick, agent)`, and
-//! per-chunk spawn queues are concatenated in chunk order, preserving the
-//! serial spawn-id assignment exactly.
+//! effect aggregation. Candidate canonicalization extends the argument
+//! across index state: incremental maintenance ≡ rebuild-every-tick at the
+//! bit level, for every model (also proven in `tests/properties.rs`). The
+//! update phase parallelizes with any contiguous chunking: each agent's
+//! update depends only on `(seed, tick, agent)`, and per-chunk spawn
+//! queues are concatenated in chunk order, preserving the serial spawn-id
+//! assignment exactly.
 //!
 //! # Visible-set convention
 //!
-//! The agent pool passed to the query phase holds the *owned* agents first
+//! The pool passed to the query phase holds the *owned* agents first
 //! (rows `0..n_owned`) followed by replicas shipped from other partitions.
 //! Queries run only for owned rows; effects may land on any row.
 
-use crate::agent::Agent;
+use crate::agent::{Agent, AgentPool, PoolView, UpdateChunk};
 use crate::behavior::{Behavior, NeighborProbe, Neighbors, UpdateCtx};
 use crate::effect::{EffectTable, EffectWriter};
 use crate::metrics::{SimMetrics, TickMetrics};
 use crate::schema::AgentSchema;
 use brace_common::ids::AgentIdGen;
-use brace_common::{DetRng, Rect, Vec2};
+use brace_common::{AgentId, DetRng, Rect, Vec2};
 use brace_spatial::{IndexKind, KdTree, ScanIndex, SpatialIndex, UniformGrid};
 use std::ops::Range;
 use std::time::Instant;
@@ -92,6 +128,12 @@ pub const SHARD_ROWS: usize = 2048;
 /// span the whole visible set: bounds both memory (`shards × rows × width`)
 /// and the ⊕-merge cost.
 const MAX_NONLOCAL_SHARDS: usize = 8;
+
+/// Fraction of the schema's visibility bound that accumulated index motion
+/// may reach before the maintained index restructures (KD-tree subtree
+/// rebuilds). Half the visible range keeps bounding-box inflation well
+/// below the probe rectangle size, so pruning quality stays near-fresh.
+const MOTION_BUDGET_VIS_FRACTION: f64 = 0.5;
 
 /// The logical shard plan for `n_owned` rows: a pure function of the row
 /// count, effect locality and the rows-per-shard granule — independent of
@@ -120,10 +162,10 @@ pub fn effective_parallelism(parallelism: usize) -> usize {
     }
 }
 
-/// An index built for one tick over the visible set. The enum exists so
-/// [`IndexKind`] can live in run configuration; it is dispatched **once per
-/// tick** into a monomorphized shard loop, so no per-probe branching
-/// remains in the hot path.
+/// An index over the visible set. The enum exists so [`IndexKind`] can
+/// live in run configuration; it is dispatched **once per tick** into a
+/// monomorphized shard loop, so no per-probe branching remains in the hot
+/// path.
 enum BuiltIndex {
     Scan(ScanIndex),
     Kd(KdTree),
@@ -146,6 +188,138 @@ impl BuiltIndex {
             }
         }
     }
+
+    fn update(&mut self, moved: &[(u32, Vec2)]) -> bool {
+        match self {
+            BuiltIndex::Scan(i) => i.update(moved),
+            BuiltIndex::Kd(i) => i.update(moved),
+            BuiltIndex::Grid(i) => i.update(moved),
+        }
+    }
+
+    fn maintain(&mut self, motion_budget: f64) {
+        match self {
+            BuiltIndex::Scan(i) => i.maintain(motion_budget),
+            BuiltIndex::Kd(i) => i.maintain(motion_budget),
+            BuiltIndex::Grid(i) => i.maintain(motion_budget),
+        }
+    }
+}
+
+/// Index maintenance policy of a [`MaintainedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMaintenance {
+    /// Diff positions against the last sync and update the index in place;
+    /// rebuild only on row-mapping changes (default).
+    #[default]
+    Incremental,
+    /// Rebuild from scratch every tick (the pre-incremental behavior;
+    /// kept as the ablation baseline).
+    Rebuild,
+}
+
+/// A spatial index kept in sync with a pool's position columns across
+/// ticks. Owns the policy described in the module docs: diff → in-place
+/// update → lazy restructure, with full rebuilds only when the row ↔ agent
+/// mapping changed or the index kind cannot maintain itself.
+pub struct MaintainedIndex {
+    kind: IndexKind,
+    mode: IndexMaintenance,
+    built: Option<BuiltIndex>,
+    /// Ids as of the last sync: a cheap identity check that the pool's
+    /// rows still mean the same agents (spawns/kills/redistribution all
+    /// change this and force a rebuild).
+    ids: Vec<AgentId>,
+    /// Positions as of the last sync (the diff baseline).
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    points: Vec<(Vec2, u32)>,
+    moved: Vec<(u32, Vec2)>,
+    rebuilds: u64,
+    incremental_syncs: u64,
+}
+
+impl MaintainedIndex {
+    pub fn new(kind: IndexKind) -> Self {
+        Self::with_mode(kind, IndexMaintenance::default())
+    }
+
+    pub fn with_mode(kind: IndexKind, mode: IndexMaintenance) -> Self {
+        MaintainedIndex {
+            kind,
+            mode,
+            built: None,
+            ids: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            points: Vec::new(),
+            moved: Vec::new(),
+            rebuilds: 0,
+            incremental_syncs: 0,
+        }
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    pub fn mode(&self) -> IndexMaintenance {
+        self.mode
+    }
+
+    /// Switch policy (the next sync under `Rebuild` starts from scratch).
+    pub fn set_mode(&mut self, mode: IndexMaintenance) {
+        self.mode = mode;
+    }
+
+    /// Full builds performed so far (ablation statistic).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Syncs served by in-place updates (ablation statistic).
+    pub fn incremental_syncs(&self) -> u64 {
+        self.incremental_syncs
+    }
+
+    /// Bring the index up to date with `view`'s positions.
+    fn sync(&mut self, view: PoolView<'_>, vis: f64) {
+        let n = view.len();
+        if let Some(built) = &mut self.built {
+            if self.mode == IndexMaintenance::Incremental && self.ids.as_slice() == view.ids {
+                self.moved.clear();
+                for r in 0..n {
+                    if view.xs[r].to_bits() != self.xs[r].to_bits() || view.ys[r].to_bits() != self.ys[r].to_bits() {
+                        self.moved.push((r as u32, Vec2::new(view.xs[r], view.ys[r])));
+                    }
+                }
+                if built.update(&self.moved) {
+                    let budget = if vis.is_finite() && vis > 0.0 { MOTION_BUDGET_VIS_FRACTION * vis } else { 0.0 };
+                    built.maintain(budget);
+                    self.xs.clear();
+                    self.xs.extend_from_slice(view.xs);
+                    self.ys.clear();
+                    self.ys.extend_from_slice(view.ys);
+                    self.incremental_syncs += 1;
+                    return;
+                }
+            }
+        }
+        self.points.clear();
+        self.points.extend((0..n).map(|r| (Vec2::new(view.xs[r], view.ys[r]), r as u32)));
+        self.built = Some(BuiltIndex::build(self.kind, &self.points, vis));
+        self.ids.clear();
+        self.xs.clear();
+        self.ys.clear();
+        if self.mode == IndexMaintenance::Incremental {
+            // Diff baselines are only consumed by incremental syncs; the
+            // Rebuild ablation must not pay (or time) the column copies.
+            self.ids.extend_from_slice(view.ids);
+            self.xs.extend_from_slice(view.xs);
+            self.ys.extend_from_slice(view.ys);
+        }
+        self.rebuilds += 1;
+    }
 }
 
 /// Counters returned by the query phase.
@@ -158,13 +332,12 @@ pub struct QueryStats {
 }
 
 /// Reusable per-tick working memory, threaded through the executor so the
-/// hot path allocates nothing after the first tick: the position array the
-/// index is built from, and one [`ShardScratch`] (effect table + candidate
-/// buffer + spawn queue) per logical shard. One `TickScratch` belongs to
-/// one behavior (its tables are shaped by the behavior's schema).
+/// hot path allocates nothing after the first tick: one [`ShardScratch`]
+/// (effect table + candidate buffer + spawn queue) per logical shard. One
+/// `TickScratch` belongs to one behavior (its tables are shaped by the
+/// behavior's schema).
 #[derive(Default)]
 pub struct TickScratch {
-    points: Vec<(Vec2, u32)>,
     shards: Vec<ShardScratch>,
 }
 
@@ -204,17 +377,17 @@ impl TickScratch {
 }
 
 /// Serial reference implementation of the query phase: one pass over rows
-/// `0..n_owned` into a single full-width `table` (which is reset first).
-/// This is the executable specification the sharded path is tested against;
-/// production paths ([`TickExecutor`], the MapReduce worker) call
-/// [`query_phase_sharded`].
+/// `0..n_owned` into a single full-width `table` (which is reset first),
+/// over an index built fresh for this call. This is the executable
+/// specification the sharded path is tested against; production paths
+/// ([`TickExecutor`], the MapReduce worker) call [`query_phase_sharded`].
 ///
 /// After this returns, rows `0..n_owned` hold this partition's aggregated
 /// local effects and rows `n_owned..` hold partial aggregates destined for
 /// the replicas' owners (the runtime ships the non-identity ones).
 pub fn query_phase<B: Behavior>(
     behavior: &B,
-    visible: &[Agent],
+    pool: &AgentPool,
     n_owned: usize,
     kind: IndexKind,
     table: &mut EffectTable,
@@ -223,26 +396,21 @@ pub fn query_phase<B: Behavior>(
 ) -> QueryStats {
     let schema = behavior.schema();
     let vis = schema.visibility();
+    let view = pool.view();
     let mut stats = QueryStats::default();
-    table.reset(visible.len());
+    table.reset(view.len());
 
     let t0 = Instant::now();
-    let points: Vec<(Vec2, u32)> = visible.iter().enumerate().map(|(i, a)| (a.pos, i as u32)).collect();
+    let points: Vec<(Vec2, u32)> = (0..view.len()).map(|r| (view.pos(r as u32), r as u32)).collect();
     let index = BuiltIndex::build(kind, &points, vis);
     stats.index_build_ns = t0.elapsed().as_nanos() as u64;
 
     let t1 = Instant::now();
     let mut candidates: Vec<u32> = Vec::new();
     let (visits, nonlocal) = match &index {
-        BuiltIndex::Scan(i) => {
-            query_rows(behavior, schema, i, visible, 0..n_owned, 0, table, &mut candidates, tick, seed)
-        }
-        BuiltIndex::Kd(i) => {
-            query_rows(behavior, schema, i, visible, 0..n_owned, 0, table, &mut candidates, tick, seed)
-        }
-        BuiltIndex::Grid(i) => {
-            query_rows(behavior, schema, i, visible, 0..n_owned, 0, table, &mut candidates, tick, seed)
-        }
+        BuiltIndex::Scan(i) => query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut candidates, tick, seed),
+        BuiltIndex::Kd(i) => query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut candidates, tick, seed),
+        BuiltIndex::Grid(i) => query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut candidates, tick, seed),
     };
     stats.neighbor_visits = visits;
     stats.nonlocal_writes = nonlocal;
@@ -258,7 +426,7 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
     behavior: &B,
     schema: &AgentSchema,
     index: &I,
-    visible: &[Agent],
+    view: PoolView<'_>,
     rows: Range<usize>,
     base: u32,
     table: &mut EffectTable,
@@ -272,56 +440,68 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
     let mut nonlocal = 0u64;
     for row in rows {
         let row = row as u32;
-        let me = &visible[row as usize];
-        debug_assert!(me.alive, "dead agent in query phase");
+        let me = view.agent(row);
+        debug_assert!(me.alive(), "dead agent in query phase");
+        let pos = me.pos();
         candidates.clear();
         match probe {
             NeighborProbe::Range => {
                 if vis.is_finite() {
-                    index.range(&Rect::centered(me.pos, vis), candidates);
+                    index.range(&Rect::centered(pos, vis), candidates);
+                    // Canonical candidate order: per index kind, results
+                    // must be a pure function of the position multiset so
+                    // that maintained indexes and fresh rebuilds aggregate
+                    // float effects in the same order. Grid and scan are
+                    // canonical by construction (`RANGE_CANONICAL`); the
+                    // KD-tree's emission order depends on its build
+                    // history, so its candidates are row-sorted here.
+                    if !I::RANGE_CANONICAL {
+                        candidates.sort_unstable();
+                    }
                 } else {
-                    candidates.extend(0..visible.len() as u32);
+                    candidates.extend(0..view.len() as u32);
                 }
             }
             NeighborProbe::Nearest(k) => {
                 // Ask for k + 1 so self (always distance 0) doesn't crowd
                 // out a real neighbor; crop to the visible region, which is
-                // all the distributed runtime replicates.
-                *candidates = index.k_nearest(me.pos, k + 1, None);
+                // all the distributed runtime replicates. k-NN results are
+                // canonical already ((distance, row) order).
+                index.k_nearest_into(pos, k + 1, None, candidates);
                 if vis.is_finite() {
-                    candidates.retain(|&i| visible[i as usize].pos.dist_linf(me.pos) <= vis);
+                    candidates.retain(|&i| view.pos(i).dist_linf(pos) <= vis);
                 }
             }
         }
         visits += candidates.len() as u64;
-        let neighbors = Neighbors::new(visible, candidates, row);
+        let neighbors = Neighbors::new(view, candidates, row);
         let mut writer = EffectWriter::with_base(schema, table, row, base);
-        let mut rng = agent_rng(seed, tick, me.id, 0);
-        behavior.query(me, row, &neighbors, &mut writer, &mut rng);
+        let mut rng = agent_rng(seed, tick, me.id(), 0);
+        behavior.query(me, &neighbors, &mut writer, &mut rng);
         nonlocal += writer.nonlocal_writes();
     }
     (visits, nonlocal)
 }
 
 /// Sharded, optionally parallel query phase. Semantics match
-/// [`query_phase`] (rows `0..n_owned` of `visible` queried, effects for
-/// every visible row aggregated into `table`), executed over the
-/// deterministic shard plan described in the module docs. `parallelism` is
-/// the physical thread budget (`0` = all cores, `1` = run shards inline);
-/// it never affects results, only wall time.
+/// [`query_phase`] (rows `0..n_owned` of the pool queried, effects for
+/// every visible row aggregated into the **pool's own effect columns**),
+/// executed over the deterministic shard plan described in the module docs
+/// and against the incrementally maintained `index`. `parallelism` is the
+/// physical thread budget (`0` = all cores, `1` = run shards inline); it
+/// never affects results, only wall time.
 #[allow(clippy::too_many_arguments)]
 pub fn query_phase_sharded<B: Behavior>(
     behavior: &B,
-    visible: &[Agent],
+    pool: &mut AgentPool,
     n_owned: usize,
-    kind: IndexKind,
-    table: &mut EffectTable,
+    index: &mut MaintainedIndex,
     tick: u64,
     seed: u64,
     scratch: &mut TickScratch,
     parallelism: usize,
 ) -> QueryStats {
-    query_phase_sharded_with(behavior, visible, n_owned, kind, table, tick, seed, scratch, SHARD_ROWS, parallelism)
+    query_phase_sharded_with(behavior, pool, n_owned, index, tick, seed, scratch, SHARD_ROWS, parallelism)
 }
 
 /// [`query_phase_sharded`] with an explicit rows-per-shard granule.
@@ -333,10 +513,9 @@ pub fn query_phase_sharded<B: Behavior>(
 #[allow(clippy::too_many_arguments)]
 pub fn query_phase_sharded_with<B: Behavior>(
     behavior: &B,
-    visible: &[Agent],
+    pool: &mut AgentPool,
     n_owned: usize,
-    kind: IndexKind,
-    table: &mut EffectTable,
+    index: &mut MaintainedIndex,
     tick: u64,
     seed: u64,
     scratch: &mut TickScratch,
@@ -346,12 +525,11 @@ pub fn query_phase_sharded_with<B: Behavior>(
     let schema = behavior.schema();
     let vis = schema.visibility();
     let mut stats = QueryStats::default();
-    table.reset(visible.len());
+    let (view, table) = pool.split_query();
+    table.reset(view.len());
 
     let t0 = Instant::now();
-    scratch.points.clear();
-    scratch.points.extend(visible.iter().enumerate().map(|(i, a)| (a.pos, i as u32)));
-    let index = BuiltIndex::build(kind, &scratch.points, vis);
+    index.sync(view, vis);
     stats.index_build_ns = t0.elapsed().as_nanos() as u64;
 
     let nonlocal_schema = schema.has_nonlocal_effects();
@@ -365,7 +543,7 @@ pub fn query_phase_sharded_with<B: Behavior>(
     let t1 = Instant::now();
     // Reset each shard's accumulator to the width it covers this tick.
     for (i, shard) in shards.iter_mut().enumerate() {
-        let rows = if nonlocal_schema { visible.len() } else { shard_range(n_owned, k, i).len() };
+        let rows = if nonlocal_schema { view.len() } else { shard_range(n_owned, k, i).len() };
         shard.table.reset(rows);
         shard.visits = 0;
         shard.nonlocal = 0;
@@ -373,27 +551,28 @@ pub fn query_phase_sharded_with<B: Behavior>(
 
     // One monomorphized dispatch per tick, then the shard loop runs against
     // the concrete index type.
-    match &index {
+    match index.built.as_ref().expect("sync built an index") {
         BuiltIndex::Scan(i) => {
-            run_query_shards(behavior, schema, i, visible, n_owned, nonlocal_schema, shards, threads, tick, seed)
+            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed)
         }
         BuiltIndex::Kd(i) => {
-            run_query_shards(behavior, schema, i, visible, n_owned, nonlocal_schema, shards, threads, tick, seed)
+            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed)
         }
         BuiltIndex::Grid(i) => {
-            run_query_shards(behavior, schema, i, visible, n_owned, nonlocal_schema, shards, threads, tick, seed)
+            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed)
         }
     }
 
-    // Deterministic merge, ascending shard order. Local-effect shards own
-    // disjoint row ranges: a bitwise copy. Non-local shards span the whole
-    // visible set: copy the first, ⊕-merge the rest.
+    // Deterministic merge, ascending shard order, directly into the pool's
+    // effect columns. Local-effect shards own disjoint row ranges: a
+    // bitwise column-segment copy. Non-local shards span the whole visible
+    // set: copy the first, ⊕-merge the rest.
     for (i, shard) in shards.iter().enumerate() {
         if nonlocal_schema {
             if i == 0 {
                 table.copy_rows_from(&shard.table, 0);
             } else {
-                table.merge_table(schema, &shard.table);
+                table.merge_table(&shard.table);
             }
         } else {
             table.copy_rows_from(&shard.table, shard_range(n_owned, k, i).start);
@@ -413,7 +592,7 @@ fn run_query_shards<B: Behavior, I: SpatialIndex>(
     behavior: &B,
     schema: &AgentSchema,
     index: &I,
-    visible: &[Agent],
+    view: PoolView<'_>,
     n_owned: usize,
     nonlocal_schema: bool,
     shards: &mut [ShardScratch],
@@ -425,18 +604,8 @@ fn run_query_shards<B: Behavior, I: SpatialIndex>(
     let run_one = |i: usize, shard: &mut ShardScratch| {
         let rows = shard_range(n_owned, k, i);
         let base = if nonlocal_schema { 0 } else { rows.start as u32 };
-        let (visits, nonlocal) = query_rows(
-            behavior,
-            schema,
-            index,
-            visible,
-            rows,
-            base,
-            &mut shard.table,
-            &mut shard.candidates,
-            tick,
-            seed,
-        );
+        let (visits, nonlocal) =
+            query_rows(behavior, schema, index, view, rows, base, &mut shard.table, &mut shard.candidates, tick, seed);
         shard.visits = visits;
         shard.nonlocal = nonlocal;
     };
@@ -473,12 +642,13 @@ pub struct UpdateStats {
     pub killed: usize,
 }
 
-/// Serial reference implementation of the update phase over `agents`
+/// Serial reference implementation of the update phase over row records
 /// (owned agents with final effects already written into `agent.effects`):
 /// run updates, crop movement to the reachable region, remove killed
 /// agents, materialize spawns with ids from `id_gen`, and reset effect
 /// slots for the next tick. Production paths call
-/// [`update_phase_sharded`].
+/// [`update_phase_sharded`]; this is the `Vec<Agent>` half of the
+/// executable specification (see [`reference_step`]).
 pub fn update_phase<B: Behavior>(
     behavior: &B,
     agents: &mut Vec<Agent>,
@@ -490,58 +660,20 @@ pub fn update_phase<B: Behavior>(
     let t0 = Instant::now();
     let mut spawns: Vec<(Vec2, Vec<f64>)> = Vec::new();
     update_rows(behavior, schema, agents, tick, seed, &mut spawns);
-    let (spawned, killed) = finish_update(agents, schema, id_gen, [&mut spawns]);
+    let before = agents.len();
+    agents.retain(|a| a.alive);
+    let killed = before - agents.len();
+    let mut spawned = 0;
+    spawned += spawns.len();
+    for (pos, state) in spawns.drain(..) {
+        let id = id_gen.alloc().expect("agent id space exhausted");
+        agents.push(Agent::with_state(id, pos, state, schema));
+    }
     UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
 }
 
-/// Sharded, optionally parallel update phase. Bit-identical to
-/// [`update_phase`] for every chunking and thread count: each agent's
-/// update is a pure function of `(seed, tick, agent)`, and per-chunk spawn
-/// queues are concatenated in chunk order, which reproduces the serial
-/// spawn ordering (and therefore id assignment) exactly.
-pub fn update_phase_sharded<B: Behavior>(
-    behavior: &B,
-    agents: &mut Vec<Agent>,
-    tick: u64,
-    seed: u64,
-    id_gen: &mut AgentIdGen,
-    scratch: &mut TickScratch,
-    parallelism: usize,
-) -> UpdateStats {
-    let schema = behavior.schema();
-    let t0 = Instant::now();
-    let threads = effective_parallelism(parallelism).min(agents.len()).max(1);
-    if threads <= 1 {
-        let shards = scratch.ensure_shards(schema, 1);
-        let spawns = &mut shards[0].spawns;
-        spawns.clear();
-        update_rows(behavior, schema, agents, tick, seed, spawns);
-        let (spawned, killed) = finish_update(agents, schema, id_gen, [spawns]);
-        return UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed };
-    }
-    let n = agents.len();
-    let shards = scratch.ensure_shards(schema, threads);
-    for shard in shards.iter_mut() {
-        shard.spawns.clear();
-    }
-    std::thread::scope(|scope| {
-        let mut rest_agents = &mut agents[..];
-        let mut rest_shards = &mut *shards;
-        for t in 0..threads {
-            let count = shard_range(n, threads, t).len();
-            let (chunk, tail) = rest_agents.split_at_mut(count);
-            rest_agents = tail;
-            let (shard, shard_tail) = rest_shards.split_at_mut(1);
-            rest_shards = shard_tail;
-            let spawns = &mut shard[0].spawns;
-            scope.spawn(move || update_rows(behavior, schema, chunk, tick, seed, spawns));
-        }
-    });
-    let (spawned, killed) = finish_update(agents, schema, id_gen, shards.iter_mut().map(|s| &mut s.spawns));
-    UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
-}
-
-/// Update one contiguous run of agents, queueing spawns locally.
+/// Update one contiguous run of row records, queueing spawns locally
+/// (reference path).
 fn update_rows<B: Behavior>(
     behavior: &B,
     schema: &AgentSchema,
@@ -562,40 +694,124 @@ fn update_rows<B: Behavior>(
     }
 }
 
-/// Sequential tail of the update phase: remove killed agents, then
-/// materialize the spawn queues **in the order given** (chunk order ≡
-/// serial agent order) with ids from `id_gen`.
-fn finish_update<'a>(
-    agents: &mut Vec<Agent>,
-    schema: &AgentSchema,
+/// Sharded, optionally parallel update phase over the pool. Bit-identical
+/// to [`update_phase`] for every chunking and thread count: each agent's
+/// update is a pure function of `(seed, tick, agent)`, and per-chunk spawn
+/// queues are concatenated in chunk order, which reproduces the serial
+/// spawn ordering (and therefore id assignment) exactly. Each chunk
+/// gathers one row at a time into a reused scratch record, scatters the
+/// written state back into the columns, and the pool's effect columns are
+/// reset wholesale (one fill per column) at the end.
+pub fn update_phase_sharded<B: Behavior>(
+    behavior: &B,
+    pool: &mut AgentPool,
+    tick: u64,
+    seed: u64,
     id_gen: &mut AgentIdGen,
-    spawn_queues: impl IntoIterator<Item = &'a mut Vec<(Vec2, Vec<f64>)>>,
-) -> (usize, usize) {
-    let before = agents.len();
-    agents.retain(|a| a.alive);
-    let killed = before - agents.len();
-    let mut spawned = 0;
-    for queue in spawn_queues {
-        spawned += queue.len();
-        for (pos, state) in queue.drain(..) {
-            let id = id_gen.alloc().expect("agent id space exhausted");
-            agents.push(Agent::with_state(id, pos, state, schema));
+    scratch: &mut TickScratch,
+    parallelism: usize,
+) -> UpdateStats {
+    let schema = behavior.schema();
+    let t0 = Instant::now();
+    let n = pool.len();
+    let threads = effective_parallelism(parallelism).min(n).max(1);
+    let shards = scratch.ensure_shards(schema, threads);
+    for shard in shards.iter_mut() {
+        shard.spawns.clear();
+    }
+    {
+        let counts: Vec<usize> = (0..threads).map(|t| shard_range(n, threads, t).len()).collect();
+        let mut chunks = pool.update_chunks(&counts);
+        if threads <= 1 {
+            update_chunk_rows(behavior, schema, &mut chunks[0], tick, seed, &mut shards[0].spawns);
+        } else {
+            std::thread::scope(|scope| {
+                let mut rest = &mut *shards;
+                for mut chunk in chunks {
+                    let (shard, tail) = rest.split_at_mut(1);
+                    rest = tail;
+                    let spawns = &mut shard[0].spawns;
+                    scope.spawn(move || update_chunk_rows(behavior, schema, &mut chunk, tick, seed, spawns));
+                }
+            });
         }
     }
-    (spawned, killed)
+    let killed = pool.retain_alive();
+    let mut spawned = 0;
+    for shard in shards.iter_mut() {
+        spawned += shard.spawns.len();
+        for (pos, state) in shard.spawns.drain(..) {
+            let id = id_gen.alloc().expect("agent id space exhausted");
+            pool.push_spawn(id, pos, &state);
+        }
+    }
+    pool.reset_effects();
+    UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
+}
+
+/// Update one pool chunk through a reused scratch record.
+fn update_chunk_rows<B: Behavior>(
+    behavior: &B,
+    schema: &AgentSchema,
+    chunk: &mut UpdateChunk<'_>,
+    tick: u64,
+    seed: u64,
+    spawns: &mut Vec<(Vec2, Vec<f64>)>,
+) {
+    let reach = schema.reachability();
+    let mut me = Agent {
+        id: AgentId::new(0),
+        pos: Vec2::ZERO,
+        state: Vec::with_capacity(schema.num_states()),
+        effects: Vec::with_capacity(schema.num_effects()),
+        alive: true,
+    };
+    for i in 0..chunk.len() {
+        chunk.load(i, &mut me);
+        let from = me.pos;
+        let rng = agent_rng(seed, tick, me.id, 1);
+        let mut ctx = UpdateCtx::new(tick, rng, spawns);
+        behavior.update(&mut me, &mut ctx);
+        me.pos = Agent::clamp_move(from, me.pos, reach);
+        debug_assert!(!me.pos.is_nan(), "model produced NaN position for {}", me.id);
+        chunk.store(i, &me);
+    }
+}
+
+/// One full tick over a `Vec<Agent>` world: convert to a fresh pool at the
+/// boundary, run the unsharded reference query phase over a freshly built
+/// index, copy effects back into the records, run the serial reference
+/// update phase. This is the row-oriented executable specification the
+/// pool-backed [`TickExecutor`] is property-tested against (bit-identical
+/// worlds), and the AoS baseline of the throughput ablation.
+pub fn reference_step<B: Behavior>(
+    behavior: &B,
+    agents: &mut Vec<Agent>,
+    kind: IndexKind,
+    tick: u64,
+    seed: u64,
+    id_gen: &mut AgentIdGen,
+) -> (QueryStats, UpdateStats) {
+    let schema = behavior.schema();
+    let pool = AgentPool::from_agents(schema, agents);
+    let mut table = EffectTable::new(schema);
+    let qs = query_phase(behavior, &pool, agents.len(), kind, &mut table, tick, seed);
+    table.write_into(agents);
+    let us = update_phase(behavior, agents, tick, seed, id_gen);
+    (qs, us)
 }
 
 /// Single-node executor: the reference implementation of a BRACE tick, and
-/// the baseline of the paper's Figures 3 and 4. Runs the sharded phases
-/// with a configurable thread budget ([`TickExecutor::set_parallelism`];
-/// default 1 = serial execution of the same deterministic shard plan).
+/// the baseline of the paper's Figures 3 and 4. Owns the agent pool, the
+/// maintained index and the shard scratch; runs the sharded phases with a
+/// configurable thread budget ([`TickExecutor::set_parallelism`]; default
+/// 1 = serial execution of the same deterministic shard plan).
 pub struct TickExecutor<B: Behavior> {
     behavior: B,
-    agents: Vec<Agent>,
-    table: EffectTable,
+    pool: AgentPool,
+    index: MaintainedIndex,
     scratch: TickScratch,
     id_gen: AgentIdGen,
-    kind: IndexKind,
     parallelism: usize,
     seed: u64,
     tick: u64,
@@ -604,17 +820,16 @@ pub struct TickExecutor<B: Behavior> {
 
 impl<B: Behavior> TickExecutor<B> {
     /// Create an executor. `agents` must already match the behavior's
-    /// schema; `id_gen` must start above every existing agent id.
+    /// schema; the id generator starts above every existing agent id.
     pub fn new(behavior: B, agents: Vec<Agent>, kind: IndexKind, seed: u64) -> Self {
-        let table = EffectTable::new(behavior.schema());
+        let pool = AgentPool::from_agents(behavior.schema(), &agents);
         let max_id = agents.iter().map(|a| a.id.raw()).max().map_or(0, |m| m + 1);
         TickExecutor {
             behavior,
-            agents,
-            table,
+            pool,
+            index: MaintainedIndex::new(kind),
             scratch: TickScratch::new(),
             id_gen: AgentIdGen::from(max_id),
-            kind,
             parallelism: 1,
             seed,
             tick: 0,
@@ -635,24 +850,34 @@ impl<B: Behavior> TickExecutor<B> {
         self.parallelism
     }
 
+    /// Index maintenance policy (ablation knob): incremental (default) or
+    /// rebuild-every-tick. Never changes results — proven by the
+    /// incremental ≡ rebuild property.
+    pub fn set_index_maintenance(&mut self, mode: IndexMaintenance) {
+        self.index.set_mode(mode);
+    }
+
+    /// Full index builds performed so far (ablation statistic).
+    pub fn index_rebuilds(&self) -> u64 {
+        self.index.rebuilds()
+    }
+
     /// Execute one tick (query → finalize effects → update).
     pub fn step(&mut self) -> TickMetrics {
-        let n = self.agents.len();
+        let n = self.pool.len();
         let qs = query_phase_sharded(
             &self.behavior,
-            &self.agents,
+            &mut self.pool,
             n,
-            self.kind,
-            &mut self.table,
+            &mut self.index,
             self.tick,
             self.seed,
             &mut self.scratch,
             self.parallelism,
         );
-        self.table.write_into(&mut self.agents);
         let us = update_phase_sharded(
             &self.behavior,
-            &mut self.agents,
+            &mut self.pool,
             self.tick,
             self.seed,
             &mut self.id_gen,
@@ -682,12 +907,15 @@ impl<B: Behavior> TickExecutor<B> {
         }
     }
 
-    pub fn agents(&self) -> &[Agent] {
-        &self.agents
+    /// Materialize the world as row records (the serialization boundary;
+    /// hot paths use [`TickExecutor::pool`]).
+    pub fn agents(&self) -> Vec<Agent> {
+        self.pool.to_agents()
     }
 
-    pub fn agents_mut(&mut self) -> &mut Vec<Agent> {
-        &mut self.agents
+    /// The columnar working representation.
+    pub fn pool(&self) -> &AgentPool {
+        &self.pool
     }
 
     pub fn behavior(&self) -> &B {
@@ -711,6 +939,7 @@ impl<B: Behavior> TickExecutor<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agent::AgentRef;
     use crate::combinator::Combinator;
     use crate::schema::AgentSchema;
     use brace_common::{AgentId, FieldId, Vec2};
@@ -738,7 +967,7 @@ mod tests {
             &self.schema
         }
 
-        fn query(&self, _me: &Agent, _row: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+        fn query(&self, _me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
             for _ in nbrs.iter() {
                 eff.local(FieldId::new(0), 1.0);
             }
@@ -771,34 +1000,16 @@ mod tests {
 
     #[test]
     fn all_index_kinds_agree() {
-        let mk = || {
+        let run = |kind: IndexKind| {
             let b = CountAndDrift::new();
             let agents = line_of_agents(b.schema(), 40, 0.3);
-            TickExecutor::new(b, agents, IndexKind::KdTree, 7)
+            let mut e = TickExecutor::new(b, agents, kind, 7);
+            e.run(5);
+            e.agents().iter().map(|a| a.pos).collect::<Vec<_>>()
         };
-        let mut kd = mk();
-        let mut scan = TickExecutor::new(
-            CountAndDrift::new(),
-            line_of_agents(&CountAndDrift::new().schema, 40, 0.3),
-            IndexKind::Scan,
-            7,
-        );
-        let mut grid = TickExecutor::new(
-            CountAndDrift::new(),
-            line_of_agents(&CountAndDrift::new().schema, 40, 0.3),
-            IndexKind::Grid,
-            7,
-        );
-        for _ in 0..5 {
-            kd.step();
-            scan.step();
-            grid.step();
-        }
-        let k: Vec<_> = kd.agents().iter().map(|a| a.pos).collect();
-        let s: Vec<_> = scan.agents().iter().map(|a| a.pos).collect();
-        let g: Vec<_> = grid.agents().iter().map(|a| a.pos).collect();
-        assert_eq!(k, s);
-        assert_eq!(k, g);
+        let k = run(IndexKind::KdTree);
+        assert_eq!(k, run(IndexKind::Scan));
+        assert_eq!(k, run(IndexKind::Grid));
     }
 
     #[test]
@@ -834,7 +1045,7 @@ mod tests {
         fn schema(&self) -> &AgentSchema {
             &self.schema
         }
-        fn query(&self, _m: &Agent, _r: u32, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
+        fn query(&self, _m: AgentRef<'_>, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
         fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
             if ctx.tick == 0 {
                 ctx.spawn(me.pos + Vec2::new(0.1, 0.0), vec![]);
@@ -896,11 +1107,54 @@ mod tests {
             let mut e = TickExecutor::new(b, agents, IndexKind::KdTree, 9);
             e.set_parallelism(threads);
             e.run(8);
-            e.agents().to_vec()
+            e.agents()
         };
         let serial = run(1);
         let parallel = run(4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn incremental_executor_matches_rebuild_executor() {
+        // Incremental index maintenance must never change results — for
+        // any index kind (the canonical-candidate argument).
+        for kind in [IndexKind::Scan, IndexKind::KdTree, IndexKind::Grid] {
+            let run = |mode: IndexMaintenance| {
+                let b = CountAndDrift::new();
+                let agents = line_of_agents(b.schema(), 300, 0.25);
+                let mut e = TickExecutor::new(b, agents, kind, 11);
+                e.set_index_maintenance(mode);
+                e.run(10);
+                e.agents()
+            };
+            let inc = run(IndexMaintenance::Incremental);
+            let reb = run(IndexMaintenance::Rebuild);
+            assert_eq!(inc, reb, "{kind:?} diverged under incremental maintenance");
+        }
+    }
+
+    #[test]
+    fn incremental_mode_actually_skips_rebuilds() {
+        let b = CountAndDrift::new();
+        let agents = line_of_agents(b.schema(), 300, 0.25);
+        let mut e = TickExecutor::new(b, agents, IndexKind::Grid, 11);
+        e.run(10);
+        // Tick 0 builds; the stable population lets every later tick sync
+        // incrementally.
+        assert_eq!(e.index_rebuilds(), 1, "stable population must not rebuild");
+    }
+
+    #[test]
+    fn pool_executor_matches_reference_step() {
+        let b = CountAndDrift::new();
+        let mut world = line_of_agents(b.schema(), 120, 0.3);
+        let mut exec = TickExecutor::new(CountAndDrift::new(), world.clone(), IndexKind::Grid, 13);
+        let mut id_gen = AgentIdGen::from(world.iter().map(|a| a.id.raw()).max().unwrap() + 1);
+        for tick in 0..6 {
+            exec.step();
+            reference_step(&b, &mut world, IndexKind::Grid, tick, 13, &mut id_gen);
+        }
+        assert_eq!(exec.agents(), world);
     }
 
     #[test]
@@ -911,15 +1165,17 @@ mod tests {
         // bit for bit.
         let b = CountAndDrift::new();
         let agents = line_of_agents(b.schema(), 5000, 0.2);
+        let pool = AgentPool::from_agents(b.schema(), &agents);
         let mut ref_table = EffectTable::new(b.schema());
-        let ref_stats = query_phase(&b, &agents, agents.len(), IndexKind::Grid, &mut ref_table, 0, 3);
-        let mut sh_table = EffectTable::new(b.schema());
+        let ref_stats = query_phase(&b, &pool, pool.len(), IndexKind::Grid, &mut ref_table, 0, 3);
+        let mut sh_pool = AgentPool::from_agents(b.schema(), &agents);
+        let n = sh_pool.len();
+        let mut index = MaintainedIndex::new(IndexKind::Grid);
         let mut scratch = TickScratch::new();
-        let sh_stats =
-            query_phase_sharded(&b, &agents, agents.len(), IndexKind::Grid, &mut sh_table, 0, 3, &mut scratch, 2);
+        let sh_stats = query_phase_sharded(&b, &mut sh_pool, n, &mut index, 0, 3, &mut scratch, 2);
         assert_eq!(ref_stats.neighbor_visits, sh_stats.neighbor_visits);
-        for r in 0..agents.len() as u32 {
-            assert_eq!(ref_table.row(r), sh_table.row(r), "row {r}");
+        for r in 0..n as u32 {
+            assert_eq!(ref_table.row(r), sh_pool.effects().row(r), "row {r}");
         }
     }
 
@@ -933,7 +1189,7 @@ mod tests {
             fn schema(&self) -> &AgentSchema {
                 &self.0
             }
-            fn query(&self, _m: &Agent, _r: u32, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
+            fn query(&self, _m: AgentRef<'_>, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
             fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
                 if me.id.raw().is_multiple_of(3) {
                     ctx.spawn(me.pos + Vec2::new(0.01, 0.0), vec![]);

@@ -16,7 +16,8 @@
 //! * [`combinator`] — the ⊕ aggregate operators with their identities;
 //! * [`schema`] — agent schemas: state fields, effect fields with
 //!   combinators, visibility/reachability bounds;
-//! * [`agent`] — the dynamic agent record `⟨oid, s, e⟩` of Appendix A;
+//! * [`agent`] — the dynamic agent record `⟨oid, s, e⟩` of Appendix A,
+//!   plus the struct-of-arrays [`AgentPool`] the executor runs on;
 //! * [`behavior`] — the [`Behavior`] trait every model
 //!   (hand-coded Rust or compiled BRASIL) implements, plus the
 //!   [`Neighbors`] view and
@@ -38,11 +39,11 @@ pub mod executor;
 pub mod metrics;
 pub mod schema;
 
-pub use agent::Agent;
+pub use agent::{Agent, AgentPool, AgentRead, AgentRef, PoolView};
 pub use behavior::{Behavior, NeighborRef, Neighbors, UpdateCtx};
 pub use combinator::Combinator;
 pub use effect::{EffectTable, EffectWriter};
 pub use engine::{Simulation, SimulationBuilder};
-pub use executor::{TickExecutor, TickScratch};
+pub use executor::{IndexMaintenance, MaintainedIndex, TickExecutor, TickScratch};
 pub use metrics::{SimMetrics, TickMetrics};
 pub use schema::{AgentSchema, SchemaBuilder};

@@ -297,10 +297,16 @@ mod tests {
         fn schema(&self) -> &AgentSchema {
             &self.0
         }
-        fn query(&self, me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+        fn query(
+            &self,
+            me: brace_core::AgentRef<'_>,
+            nbrs: &Neighbors<'_>,
+            eff: &mut EffectWriter<'_>,
+            _rng: &mut DetRng,
+        ) {
             for nb in nbrs.iter() {
                 eff.local(FieldId::new(0), 1.0);
-                eff.local(FieldId::new(1), me.pos.dist_linf(nb.agent.pos));
+                eff.local(FieldId::new(1), me.pos().dist_linf(nb.agent.pos()));
             }
         }
         fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
@@ -339,7 +345,13 @@ mod tests {
         fn schema(&self) -> &AgentSchema {
             &self.0
         }
-        fn query(&self, _me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+        fn query(
+            &self,
+            _me: brace_core::AgentRef<'_>,
+            nbrs: &Neighbors<'_>,
+            eff: &mut EffectWriter<'_>,
+            _rng: &mut DetRng,
+        ) {
             for nb in nbrs.iter() {
                 eff.remote(nb.row, FieldId::new(0), 1.0);
             }

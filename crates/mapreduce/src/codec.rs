@@ -77,13 +77,34 @@ pub fn decode_agents(mut bytes: Bytes) -> Vec<Agent> {
     out
 }
 
-/// Serialize partial effect rows `(agent id, aggregated effect values)` —
-/// the payload of the second reduce pass.
-pub fn encode_effect_rows<'a>(rows: impl IntoIterator<Item = (AgentId, &'a [f64])>) -> Bytes {
+/// Serialize partial effect rows straight from a column-major
+/// [`EffectTable`](brace_core::EffectTable) — the payload of the second
+/// reduce pass, on the worker's ship path. Gathers each row from the
+/// columns into the output buffer directly, so shipping allocates nothing
+/// per row.
+pub fn encode_effect_table_rows(table: &brace_core::EffectTable, rows: &[(AgentId, u32)]) -> Bytes {
+    let width = table.width();
+    let mut buf = BytesMut::with_capacity(6 + rows.len() * (8 + width * 8));
+    buf.put_u32_le(rows.len() as u32);
+    buf.put_u16_le(width as u16);
+    for &(id, row) in rows {
+        buf.put_u64_le(id.raw());
+        for f in 0..width {
+            buf.put_f64_le(table.get(row, brace_common::FieldId::new(f as u16)));
+        }
+    }
+    buf.freeze()
+}
+
+/// Serialize partial effect rows `(agent id, aggregated effect values)`
+/// from materialized row slices — same wire format as
+/// [`encode_effect_table_rows`], for callers that already hold rows.
+pub fn encode_effect_rows<V: AsRef<[f64]>>(rows: impl IntoIterator<Item = (AgentId, V)>) -> Bytes {
     let mut body = BytesMut::new();
     let mut count = 0u32;
     let mut width: u16 = 0;
     for (id, vals) in rows {
+        let vals = vals.as_ref();
         body.put_u64_le(id.raw());
         for &v in vals {
             body.put_f64_le(v);

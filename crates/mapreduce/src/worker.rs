@@ -26,8 +26,8 @@ use crate::net::{NetLedger, Traffic};
 use crate::runtime::{Command, EpochCommand, PeerMsg, Report, Round, WorkerEpochStats};
 use brace_common::ids::AgentIdGen;
 use brace_common::{AgentId, DetRng, Welford, WorkerId};
-use brace_core::executor::{query_phase_sharded, update_phase_sharded, TickScratch};
-use brace_core::{Agent, Behavior, EffectTable};
+use brace_core::executor::{query_phase_sharded, update_phase_sharded, MaintainedIndex, TickScratch};
+use brace_core::{Agent, AgentPool, Behavior};
 use brace_spatial::{GridPartitioning, IndexKind, Partitioner};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
@@ -77,9 +77,18 @@ pub struct Worker {
     links: WorkerLinks,
     part: GridPartitioning,
     owned: Vec<Agent>,
-    table: EffectTable,
-    /// Reusable per-tick buffers (points, shard tables, spawn queues) for
-    /// the sharded executor phases.
+    /// The columnar working pool the query/update phases run on. Rebuilt
+    /// from `owned` + incoming replicas each tick (the `Vec<Agent>` ↔ pool
+    /// conversion lives exactly at this serialization boundary); the
+    /// allocation persists across ticks.
+    pool: AgentPool,
+    /// Spatial index maintained across ticks: when this worker's row set
+    /// is stable (no migration, no churn) the index updates in place and
+    /// charges only the moved agents; any row-mapping change triggers a
+    /// rebuild automatically.
+    index: MaintainedIndex,
+    /// Reusable per-tick buffers (shard tables, spawn queues) for the
+    /// sharded executor phases.
     scratch: TickScratch,
     tick: u64,
     /// Next / end of this worker's private agent-id block (for spawns).
@@ -104,7 +113,8 @@ impl Worker {
         owned: Vec<Agent>,
         id_block: (u64, u64),
     ) -> Self {
-        let table = EffectTable::new(behavior.schema());
+        let pool = AgentPool::new(behavior.schema());
+        let index = MaintainedIndex::new(cfg.index);
         let rng = DetRng::seed_from_u64(cfg.seed).stream(0x5EED_0000 + cfg.id.raw() as u64);
         Worker {
             behavior,
@@ -112,7 +122,8 @@ impl Worker {
             links,
             part,
             owned,
-            table,
+            pool,
+            index,
             scratch: TickScratch::new(),
             tick: 0,
             next_id: id_block.0,
@@ -269,13 +280,12 @@ impl Worker {
         }
 
         // ---- receive round 1, in sender order for determinism -------------
-        let mut pool = kept;
         let mut incoming_replicas: Vec<Agent> = local_replicas;
         for msg in self.recv_round(Round::Distribute) {
             if let PeerMsg::Batch { transfers, replicas, .. } = msg {
                 let t = codec::decode_agents(transfers);
                 stats.transfers_in += t.len() as u64;
-                pool.extend(t);
+                kept.extend(t);
                 let r = codec::decode_agents(replicas);
                 stats.replicas_in += r.len() as u64;
                 incoming_replicas.extend(r);
@@ -283,16 +293,19 @@ impl Worker {
                 unreachable!("recv_round filtered by round");
             }
         }
-        let n_owned = pool.len();
-        pool.extend(incoming_replicas);
+        let n_owned = kept.len();
+
+        // ---- columnar boundary: materialize the tick's visible pool -------
+        self.pool.clear();
+        self.pool.extend_from_agents(&kept);
+        self.pool.extend_from_agents(&incoming_replicas);
 
         // ---- reduce 1: query phase over owned rows ------------------------
         query_phase_sharded(
-            &self.behavior,
-            &pool,
+            &behavior,
+            &mut self.pool,
             n_owned,
-            self.cfg.index,
-            &mut self.table,
+            &mut self.index,
             self.tick,
             self.cfg.seed,
             &mut self.scratch,
@@ -302,45 +315,43 @@ impl Worker {
         // ---- reduce 2: ship partial effects to owners, merge own ----------
         if schema.has_nonlocal_effects() {
             let mut dest_rows: Vec<Vec<(AgentId, u32)>> = (0..n).map(|_| Vec::new()).collect();
-            for r in n_owned..pool.len() {
+            for r in n_owned..self.pool.len() {
                 let r = r as u32;
-                if self.table.row_is_identity(r) {
+                if self.pool.effects().row_is_identity(r) {
                     continue;
                 }
-                let owner = self.part.partition_of(pool[r as usize].pos).index();
+                let owner = self.part.partition_of(self.pool.pos(r)).index();
                 debug_assert_ne!(owner, me, "replica owned by its replica holder");
-                dest_rows[owner].push((pool[r as usize].id, r));
+                dest_rows[owner].push((self.pool.id(r), r));
             }
             #[allow(clippy::needless_range_loop)] // symmetric with round 1's send loop
             for j in 0..n {
                 if j == me {
                     continue;
                 }
-                let bytes = codec::encode_effect_rows(dest_rows[j].iter().map(|&(id, row)| (id, self.table.row(row))));
+                let bytes = codec::encode_effect_table_rows(self.pool.effects(), &dest_rows[j]);
                 self.links.ledger.record(Traffic::Effects, bytes.len());
                 self.links.peers[j]
                     .send(PeerMsg::Effects { tick: self.tick, from: self.cfg.id, rows: bytes })
                     .expect("peer inbox closed");
             }
-            let id_to_row: HashMap<AgentId, u32> =
-                pool[..n_owned].iter().enumerate().map(|(i, a)| (a.id, i as u32)).collect();
+            let id_to_row: HashMap<AgentId, u32> = (0..n_owned as u32).map(|i| (self.pool.id(i), i)).collect();
             for msg in self.recv_round(Round::Effects) {
                 if let PeerMsg::Effects { rows, .. } = msg {
                     for (id, vals) in codec::decode_effect_rows(rows) {
                         let row = *id_to_row.get(&id).expect("partial effects addressed to the wrong owner");
-                        self.table.merge_row(schema, row, &vals);
+                        self.pool.effects_mut().merge_row(row, &vals);
                     }
                 }
             }
         }
 
-        // ---- finalize effects, run update (next tick's map side) ----------
-        pool.truncate(n_owned);
-        self.table.write_into(&mut pool);
+        // ---- drop replica rows, run update (next tick's map side) ---------
+        self.pool.truncate(n_owned);
         let mut gen = AgentIdGen::block(self.next_id, self.end_id);
         update_phase_sharded(
-            &self.behavior,
-            &mut pool,
+            &behavior,
+            &mut self.pool,
             self.tick,
             self.cfg.seed,
             &mut gen,
@@ -348,7 +359,8 @@ impl Worker {
             self.cfg.parallelism,
         );
         self.next_id = self.end_id - gen.remaining();
-        self.owned = pool;
+        // ---- columnar boundary out: owned agents back to row records ------
+        self.pool.write_agents_into(&mut self.owned);
         self.tick += 1;
     }
 
@@ -446,7 +458,13 @@ mod tests {
         fn schema(&self) -> &AgentSchema {
             &self.0
         }
-        fn query(&self, _m: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+        fn query(
+            &self,
+            _m: brace_core::AgentRef<'_>,
+            nbrs: &Neighbors<'_>,
+            eff: &mut EffectWriter<'_>,
+            _rng: &mut DetRng,
+        ) {
             for _ in nbrs.iter() {
                 eff.local(FieldId::new(0), 1.0);
             }

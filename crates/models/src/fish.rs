@@ -25,7 +25,7 @@
 use brace_common::{AgentId, DetRng, FieldId, Vec2};
 use brace_core::behavior::{Behavior, Neighbors, UpdateCtx};
 use brace_core::effect::EffectWriter;
-use brace_core::{Agent, AgentSchema, Combinator};
+use brace_core::{Agent, AgentRef, AgentSchema, Combinator};
 
 /// Model parameters. Distances in body lengths, speeds in body lengths per
 /// tick.
@@ -162,10 +162,11 @@ impl Behavior for FishBehavior {
         &self.schema
     }
 
-    fn query(&self, me: &Agent, _row: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+    fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
         let p = &self.params;
+        let my_pos = me.pos();
         for nb in nbrs.iter() {
-            let offset = nb.agent.pos - me.pos;
+            let offset = nb.agent.pos() - my_pos;
             let d = offset.norm();
             if d > p.rho {
                 // Corner of the square visible region beyond ρ: the model
@@ -181,8 +182,8 @@ impl Behavior for FishBehavior {
                 let dir = offset.normalized();
                 eff.local(FieldId::new(effect::ATT_X), dir.x);
                 eff.local(FieldId::new(effect::ATT_Y), dir.y);
-                eff.local(FieldId::new(effect::ALI_X), nb.agent.state[state::HX as usize]);
-                eff.local(FieldId::new(effect::ALI_Y), nb.agent.state[state::HY as usize]);
+                eff.local(FieldId::new(effect::ALI_X), nb.agent.state(state::HX));
+                eff.local(FieldId::new(effect::ALI_Y), nb.agent.state(state::HY));
                 eff.local(FieldId::new(effect::N_VIS), 1.0);
             }
         }

@@ -19,7 +19,7 @@
 use brace_common::{AgentId, DetRng, FieldId, Vec2};
 use brace_core::behavior::{Behavior, Neighbors, UpdateCtx};
 use brace_core::effect::EffectWriter;
-use brace_core::{Agent, AgentSchema, Combinator};
+use brace_core::{Agent, AgentRef, AgentSchema, Combinator};
 
 /// Model parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,11 +137,11 @@ impl Behavior for PredatorBehavior {
         &self.schema
     }
 
-    fn query(&self, me: &Agent, _row: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+    fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
         let p = &self.params;
-        let my_size = me.state[state::SIZE as usize];
+        let my_size = me.state(state::SIZE);
         for nb in nbrs.iter() {
-            let other_size = nb.agent.state[state::SIZE as usize];
+            let other_size = nb.agent.state(state::SIZE);
             eff.local(FieldId::new(effect::CROWD), 1.0);
             if p.nonlocal {
                 // Non-local form: I push hurt onto my victim.

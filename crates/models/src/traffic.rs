@@ -36,7 +36,7 @@
 use brace_common::{AgentId, DetRng, FieldId, Vec2};
 use brace_core::behavior::{Behavior, Neighbors, UpdateCtx};
 use brace_core::effect::EffectWriter;
-use brace_core::{Agent, AgentSchema, Combinator};
+use brace_core::{Agent, AgentRef, AgentSchema, Combinator};
 
 /// Model parameters (time unit: seconds; distance unit: meters).
 #[derive(Debug, Clone, PartialEq)]
@@ -321,16 +321,20 @@ impl Behavior for TrafficBehavior {
         }
     }
 
-    fn query(&self, me: &Agent, _row: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+    fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
         let p = &self.params;
-        let lane = me.pos.y.round() as usize;
-        let vel = me.state[state::VEL as usize];
-        let desired = me.state[state::DESIRED as usize];
+        let my_pos = me.pos();
+        let lane = my_pos.y.round() as usize;
+        let vel = me.state(state::VEL);
+        let desired = me.state(state::DESIRED);
         let views = views_from_scan(
             p,
-            me.pos.x,
+            my_pos.x,
             lane,
-            nbrs.iter().map(|n| (n.agent.pos.x, n.agent.pos.y.round() as usize, n.agent.state[state::VEL as usize])),
+            nbrs.iter().map(|n| {
+                let pos = n.agent.pos();
+                (pos.x, pos.y.round() as usize, n.agent.state(state::VEL))
+            }),
         );
         let left = (lane > 0).then_some(&views[0]);
         let right = (lane + 1 < p.lanes).then_some(&views[2]);

@@ -188,7 +188,7 @@ mod tests {
         let mut sim = Simulation::builder(b).agents(pop).seed(1).build().unwrap();
         let mut obs = TrafficObserver::new(&p, 5);
         for _ in 0..20 {
-            obs.observe_agents(sim.agents());
+            obs.observe_agents(&sim.agents());
             sim.step();
         }
         assert_eq!(obs.windows(), 4);
@@ -207,7 +207,7 @@ mod tests {
             let mut sim = Simulation::builder(b).agents(pop).seed(2).build().unwrap();
             let mut obs = TrafficObserver::new(&p, 10);
             for _ in 0..50 {
-                obs.observe_agents(sim.agents());
+                obs.observe_agents(&sim.agents());
                 sim.step();
             }
             obs
@@ -239,7 +239,7 @@ mod tests {
         brace_sim.run(50);
         base.run(50);
         for _ in 0..150 {
-            obs_brace.observe_agents(brace_sim.agents());
+            obs_brace.observe_agents(&brace_sim.agents());
             obs_base.observe_baseline(&base);
             brace_sim.step();
             base.step();

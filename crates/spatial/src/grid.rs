@@ -11,8 +11,15 @@
 //! The grid hashes unbounded space: cell coordinates are derived by flooring
 //! and looked up in a hash map, so the "unbounded ocean" of the fish model
 //! needs no special casing.
+//!
+//! The grid is the index most amenable to **incremental maintenance**: a
+//! moved agent either stays in its bucket (position overwritten in place —
+//! the common case when cell ≈ visibility ≫ reachability) or moves to an
+//! adjacent bucket (one sorted remove + one sorted insert). Query
+//! efficiency never degrades under updates, so [`SpatialIndex::maintain`]
+//! is a no-op.
 
-use crate::index::SpatialIndex;
+use crate::index::{dense_slots, finish_knn, with_knn_scratch, SpatialIndex};
 use brace_common::{Rect, Vec2};
 use std::collections::HashMap;
 
@@ -22,6 +29,10 @@ pub struct UniformGrid {
     cell: f64,
     cells: HashMap<(i64, i64), Vec<(Vec2, u32)>>,
     len: usize,
+    /// `payload -> current cell key`, when payloads are dense (enables
+    /// `update`); buckets are kept sorted by payload so removal is a binary
+    /// search rather than a scan.
+    locator: Option<Vec<(i64, i64)>>,
 }
 
 /// Default cell size when the caller builds through the generic
@@ -45,7 +56,17 @@ impl UniformGrid {
         for &(p, payload) in points {
             cells.entry(Self::key(p, cell)).or_default().push((p, payload));
         }
-        UniformGrid { cell, cells, len: points.len() }
+        for bucket in cells.values_mut() {
+            bucket.sort_unstable_by_key(|&(_, payload)| payload);
+        }
+        let locator = dense_slots(points).map(|slots| {
+            let mut loc = vec![(i64::MAX, i64::MAX); slots.len()];
+            for &(p, payload) in points {
+                loc[payload as usize] = Self::key(p, cell);
+            }
+            loc
+        });
+        UniformGrid { cell, cells, len: points.len(), locator }
     }
 
     #[inline]
@@ -64,7 +85,22 @@ impl UniformGrid {
     }
 }
 
+/// Reusable per-thread cell-key buffer for the sparse-occupancy range
+/// fallback, which must emit in sorted key order (canonical) without a
+/// per-probe allocation.
+fn with_key_scratch<R>(f: impl FnOnce(&mut Vec<(i64, i64)>) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<(i64, i64)>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 impl SpatialIndex for UniformGrid {
+    /// Cell iteration is coordinate-ordered and buckets stay payload-sorted
+    /// through `update`s, so emission order is a pure function of the
+    /// point set and the cell size.
+    const RANGE_CANONICAL: bool = true;
+
     fn build(points: &[(Vec2, u32)]) -> Self {
         UniformGrid::with_cell(points, auto_cell(points))
     }
@@ -77,16 +113,23 @@ impl SpatialIndex for UniformGrid {
         let (x1, y1) = Self::key(rect.hi, self.cell);
         // Guard against absurd query rectangles producing gigantic loops:
         // iterate cells only when the cell count is smaller than the point
-        // count; otherwise scan the occupied cells directly.
+        // count; otherwise scan the occupied cells directly — in sorted
+        // key order, so even this fallback emits canonically (hash-map
+        // iteration order must never leak into results).
         let cell_count = (x1 - x0 + 1).saturating_mul(y1 - y0 + 1);
         if cell_count as usize > self.cells.len() {
-            for (_, bucket) in self.cells.iter() {
-                for &(p, payload) in bucket {
-                    if rect.contains(p) {
-                        out.push(payload);
+            with_key_scratch(|keys| {
+                keys.clear();
+                keys.extend(self.cells.keys().copied());
+                keys.sort_unstable();
+                for key in keys {
+                    for &(p, payload) in &self.cells[key] {
+                        if rect.contains(p) {
+                            out.push(payload);
+                        }
                     }
                 }
-            }
+            });
             return;
         }
         for cx in x0..=x1 {
@@ -160,21 +203,58 @@ impl SpatialIndex for UniformGrid {
         }
     }
 
-    /// Grid k-NN: gather-and-sort over the occupied cells. Correct but not
-    /// ring-pruned — the KD-tree is the index of choice for k-NN probes;
-    /// the grid's implementation exists so every index satisfies the full
-    /// trait (ablations can still measure the difference).
-    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
-        let mut all: Vec<(f64, u32)> = self
-            .cells
-            .values()
-            .flatten()
-            .filter(|&&(_, payload)| Some(payload) != exclude)
-            .map(|&(p, payload)| (p.dist2(q), payload))
-            .collect();
-        all.sort_by(|a, b| a.0.total_cmp(&b.0));
-        all.truncate(k);
-        all.into_iter().map(|(_, p)| p).collect()
+    /// Grid k-NN: gather-and-select over the occupied cells. Correct but
+    /// not ring-pruned — the KD-tree is the index of choice for k-NN
+    /// probes; the grid's implementation exists so every index satisfies
+    /// the full trait (ablations can still measure the difference).
+    fn k_nearest_into(&self, q: Vec2, k: usize, exclude: Option<u32>, out: &mut Vec<u32>) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        with_knn_scratch(|scratch| {
+            scratch.clear();
+            scratch.extend(
+                self.cells
+                    .values()
+                    .flatten()
+                    .filter(|&&(_, payload)| Some(payload) != exclude)
+                    .map(|&(p, payload)| (p.dist2(q), payload)),
+            );
+            finish_knn(scratch, k, out);
+        });
+    }
+
+    fn update(&mut self, moved: &[(u32, Vec2)]) -> bool {
+        if self.locator.is_none() {
+            return false;
+        }
+        for &(payload, new) in moved {
+            let old_key = match self.locator.as_ref().unwrap().get(payload as usize) {
+                Some(&key) if key != (i64::MAX, i64::MAX) => key,
+                _ => return false,
+            };
+            let new_key = Self::key(new, self.cell);
+            if new_key == old_key {
+                // Same bucket (the common case with cell ≈ visibility ≫
+                // reachability): overwrite the position in place.
+                let bucket = self.cells.get_mut(&old_key).expect("locator points at a live bucket");
+                let i = bucket.binary_search_by_key(&payload, |&(_, pl)| pl).expect("payload in its bucket");
+                bucket[i].0 = new;
+            } else {
+                let bucket = self.cells.get_mut(&old_key).expect("locator points at a live bucket");
+                let i = bucket.binary_search_by_key(&payload, |&(_, pl)| pl).expect("payload in its bucket");
+                bucket.remove(i);
+                if bucket.is_empty() {
+                    self.cells.remove(&old_key);
+                }
+                let bucket = self.cells.entry(new_key).or_default();
+                let i = bucket.binary_search_by_key(&payload, |&(_, pl)| pl).unwrap_err();
+                bucket.insert(i, (new, payload));
+                self.locator.as_mut().unwrap()[payload as usize] = new_key;
+            }
+        }
+        true
     }
 
     fn len(&self) -> usize {

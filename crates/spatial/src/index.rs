@@ -8,16 +8,30 @@
 //! (Figures 3 and 4) are a one-line configuration change, and so the KD-tree
 //! can be compared against a uniform grid in the ablation benchmarks.
 //!
-//! Indexes are rebuilt per tick from the positions of the current tick's
-//! agents. Positions are immutable during the query phase (the state-effect
+//! Positions are immutable during the query phase (the state-effect
 //! pattern guarantees states are frozen within a tick), so no index needs to
-//! support updates mid-tick.
+//! support updates mid-tick. *Between* ticks, however, the reachability
+//! bound limits how far any agent can move, so rebuilding from scratch every
+//! tick wastes the work of the previous build. Indexes that can exploit this
+//! implement [`SpatialIndex::update`] (apply a batch of per-payload position
+//! changes in place) and [`SpatialIndex::maintain`] (amortized
+//! restructuring once accumulated motion exceeds a budget); the executor
+//! charges only the agents that actually moved and falls back to a full
+//! rebuild when `update` reports the index cannot maintain itself.
 
 use brace_common::{Rect, Vec2};
 
 /// A read-only spatial index over a set of points, each carrying a `u32`
 /// payload (the index of the agent in the tick's agent table).
 pub trait SpatialIndex: Send + Sync {
+    /// True when [`SpatialIndex::range`] emits candidates in an order that
+    /// is a pure function of the current point set (same points in the
+    /// same payload order ⇒ same emission order), independent of the
+    /// history of [`SpatialIndex::update`] calls. Canonical indexes let
+    /// the executor skip its per-probe candidate sort: a maintained index
+    /// and a fresh rebuild already aggregate float effects identically.
+    const RANGE_CANONICAL: bool = false;
+
     /// Build an index over `points`. Payloads need not be unique or dense.
     fn build(points: &[(Vec2, u32)]) -> Self
     where
@@ -38,8 +52,42 @@ pub trait SpatialIndex: Send + Sync {
     /// fewer points exist. This is the probe behind the paper's
     /// nearest-neighbor-indexing extension (its "planned future work"):
     /// MITSIM-style models look up lead/rear vehicles by proximity rather
-    /// than fixed range.
-    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32>;
+    /// than fixed range. Ties are broken by ascending payload, so the
+    /// result is a pure function of the point *set* — independent of build
+    /// history, which is what lets incrementally maintained indexes answer
+    /// bit-identically to freshly rebuilt ones.
+    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.k_nearest_into(q, k, exclude, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`SpatialIndex::k_nearest`]: clears `out` and
+    /// fills it with the result, so a caller probing once per agent per
+    /// tick performs no per-probe allocation (the `Nearest` probe path of
+    /// the executor).
+    fn k_nearest_into(&self, q: Vec2, k: usize, exclude: Option<u32>, out: &mut Vec<u32>);
+
+    /// Apply a batch of position changes: each `(payload, new_pos)` moves
+    /// every point carrying `payload` to `new_pos`. Returns `true` when the
+    /// index applied the batch in place; `false` when it does not support
+    /// in-place maintenance (or its internal payload map cannot represent
+    /// the workload), in which case the caller must rebuild. After a
+    /// successful `update`, every query answers exactly as a fresh build
+    /// over the moved points would (candidate *sets*; intra-probe order may
+    /// differ).
+    fn update(&mut self, _moved: &[(u32, Vec2)]) -> bool {
+        false
+    }
+
+    /// Amortized restructuring hook for indexes whose query efficiency
+    /// (not correctness) degrades under [`SpatialIndex::update`]: once the
+    /// accumulated motion since the last restructure exceeds
+    /// `motion_budget`, the index rebuilds its stale regions. The budget is
+    /// policy owned by the caller — the executor passes a fraction of the
+    /// schema's visibility bound, the scale at which inflated bounding
+    /// boxes start admitting extra probe candidates.
+    fn maintain(&mut self, _motion_budget: f64) {}
 
     /// Number of indexed points.
     fn len(&self) -> usize;
@@ -66,17 +114,70 @@ pub enum IndexKind {
     Grid,
 }
 
+/// Map `payload -> slot` for point sets whose payloads are unique and
+/// dense enough (max payload < 4 × point count) — the executor's row
+/// payloads always are. `None` when the payload space is sparse or
+/// duplicated, in which case in-place maintenance is unsupported and the
+/// caller rebuilds. Shared by every index's [`SpatialIndex::update`].
+pub(crate) fn dense_slots(points: &[(Vec2, u32)]) -> Option<Vec<u32>> {
+    let max = points.iter().map(|&(_, p)| p).max()?;
+    if max as usize >= 4 * points.len().max(16) {
+        return None;
+    }
+    let mut slots = vec![u32::MAX; max as usize + 1];
+    for (i, &(_, p)) in points.iter().enumerate() {
+        if slots[p as usize] != u32::MAX {
+            return None; // duplicate payload
+        }
+        slots[p as usize] = i as u32;
+    }
+    Some(slots)
+}
+
+/// Reusable per-thread `(dist², payload)` buffer for k-NN gathering, so
+/// [`SpatialIndex::k_nearest_into`] implementations allocate nothing per
+/// probe after warm-up.
+pub(crate) fn with_knn_scratch<R>(f: impl FnOnce(&mut Vec<(f64, u32)>) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<(f64, u32)>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Canonical k-NN ordering: ascending distance, ties by ascending payload.
+#[inline]
+pub(crate) fn knn_cmp(a: &(f64, u32), b: &(f64, u32)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
+/// Keep the canonical first `k` of `scratch` (see [`knn_cmp`]), sorted, and
+/// append their payloads to `out`.
+pub(crate) fn finish_knn(scratch: &mut Vec<(f64, u32)>, k: usize, out: &mut Vec<u32>) {
+    if scratch.len() > k {
+        scratch.select_nth_unstable_by(k, knn_cmp);
+        scratch.truncate(k);
+    }
+    scratch.sort_unstable_by(knn_cmp);
+    out.extend(scratch.iter().map(|&(_, p)| p));
+}
+
 /// Brute-force "index": linear scan. The `build` step is free; every query
 /// is O(n). With n agents each running one range query per tick the tick
 /// cost is O(n²) — exactly the no-indexing degradation the paper reports.
 #[derive(Debug, Clone, Default)]
 pub struct ScanIndex {
     points: Vec<(Vec2, u32)>,
+    /// `payload -> slot`, when payloads are dense (enables `update`).
+    slots: Option<Vec<u32>>,
 }
 
 impl SpatialIndex for ScanIndex {
+    /// The scan preserves insertion order and `update` overwrites slots in
+    /// place, so emission order never depends on update history.
+    const RANGE_CANONICAL: bool = true;
+
     fn build(points: &[(Vec2, u32)]) -> Self {
-        ScanIndex { points: points.to_vec() }
+        ScanIndex { points: points.to_vec(), slots: dense_slots(points) }
     }
 
     fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
@@ -101,16 +202,32 @@ impl SpatialIndex for ScanIndex {
         best.map(|(_, payload)| payload)
     }
 
-    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
-        let mut all: Vec<(f64, u32)> = self
-            .points
-            .iter()
-            .filter(|&&(_, payload)| Some(payload) != exclude)
-            .map(|&(p, payload)| (p.dist2(q), payload))
-            .collect();
-        all.sort_by(|a, b| a.0.total_cmp(&b.0));
-        all.truncate(k);
-        all.into_iter().map(|(_, p)| p).collect()
+    fn k_nearest_into(&self, q: Vec2, k: usize, exclude: Option<u32>, out: &mut Vec<u32>) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        with_knn_scratch(|scratch| {
+            scratch.clear();
+            scratch.extend(
+                self.points
+                    .iter()
+                    .filter(|&&(_, payload)| Some(payload) != exclude)
+                    .map(|&(p, payload)| (p.dist2(q), payload)),
+            );
+            finish_knn(scratch, k, out);
+        });
+    }
+
+    fn update(&mut self, moved: &[(u32, Vec2)]) -> bool {
+        let Some(slots) = &self.slots else { return false };
+        for &(payload, new) in moved {
+            match slots.get(payload as usize) {
+                Some(&slot) if slot != u32::MAX => self.points[slot as usize].0 = new,
+                _ => return false,
+            }
+        }
+        true
     }
 
     fn len(&self) -> usize {

@@ -37,7 +37,7 @@ fn main() {
     let mut obs_brace = TrafficObserver::new(&params, 50);
     let mut obs_base = TrafficObserver::new(&params, 50);
     for _ in 0..400 {
-        obs_brace.observe_agents(brace_sim.agents());
+        obs_brace.observe_agents(&brace_sim.agents());
         obs_base.observe_baseline(&baseline);
         brace_sim.step();
         baseline.step();

@@ -187,7 +187,7 @@ fn table2_shape_engines_agree_on_aggregates() {
     let mut oa = TrafficObserver::new(&params, 30);
     let mut ob = TrafficObserver::new(&params, 30);
     for _ in 0..120 {
-        oa.observe_agents(brace_sim.agents());
+        oa.observe_agents(&brace_sim.agents());
         ob.observe_baseline(&baseline);
         brace_sim.step();
         baseline.step();

@@ -12,12 +12,18 @@
 //! * The sharded/parallel executor phases equal the serial reference at
 //!   the bit level — for every thread count, shard granule, index kind and
 //!   seed (the determinism contract of `brace_core::executor`).
+//! * The pool-backed executor equals the `Vec<Agent>` reference path at
+//!   the bit level, and incremental index maintenance equals a fresh
+//!   rebuild every tick — the contracts of the struct-of-arrays refactor.
 
 use brace_common::ids::AgentIdGen;
 use brace_common::{AgentId, DetRng, FieldId, Rect, Vec2};
 use brace_core::behavior::{Behavior, Neighbors, UpdateCtx};
-use brace_core::executor::{query_phase, query_phase_sharded_with, update_phase, update_phase_sharded, TickScratch};
-use brace_core::{Agent, AgentSchema, Combinator, EffectTable, EffectWriter};
+use brace_core::executor::{
+    query_phase, query_phase_sharded_with, reference_step, update_phase, update_phase_sharded, MaintainedIndex,
+    TickScratch,
+};
+use brace_core::{Agent, AgentPool, AgentRef, AgentSchema, Combinator, EffectTable, EffectWriter, IndexMaintenance};
 use brace_mapreduce::codec;
 use brace_spatial::join::{distribute, nested_loop_join, partitioned_join};
 use brace_spatial::{GridPartitioning, KdTree, Partitioner, ScanIndex, SpatialIndex, UniformGrid};
@@ -61,9 +67,10 @@ impl Behavior for LocalFloat {
     fn schema(&self) -> &AgentSchema {
         &self.0
     }
-    fn query(&self, me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+    fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        let my_pos = me.pos();
         for nb in nbrs.iter() {
-            let d = me.pos.dist_linf(nb.agent.pos);
+            let d = my_pos.dist_linf(nb.agent.pos());
             eff.local(FieldId::new(0), d * rng.range(0.1, 1.3));
             eff.local(FieldId::new(1), d);
             eff.local(FieldId::new(2), d);
@@ -103,10 +110,11 @@ impl Behavior for NonlocalExact {
     fn schema(&self) -> &AgentSchema {
         &self.0
     }
-    fn query(&self, me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+    fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+        let my_pos = me.pos();
         for nb in nbrs.iter() {
             eff.remote(nb.row, FieldId::new(0), 1.0);
-            eff.remote(nb.row, FieldId::new(1), me.pos.dist_linf(nb.agent.pos));
+            eff.remote(nb.row, FieldId::new(1), my_pos.dist_linf(nb.agent.pos()));
         }
     }
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
@@ -140,9 +148,10 @@ impl Behavior for NonlocalFloat {
     fn schema(&self) -> &AgentSchema {
         &self.0
     }
-    fn query(&self, me: &Agent, _r: u32, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+    fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        let my_pos = me.pos();
         for nb in nbrs.iter() {
-            eff.remote(nb.row, FieldId::new(0), (me.pos.x - nb.agent.pos.x) * rng.range(0.01, 2.7));
+            eff.remote(nb.row, FieldId::new(0), (my_pos.x - nb.agent.pos().x) * rng.range(0.01, 2.7));
         }
     }
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
@@ -163,7 +172,7 @@ impl Behavior for Churn {
     fn schema(&self) -> &AgentSchema {
         &self.0
     }
-    fn query(&self, _m: &Agent, _r: u32, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
+    fn query(&self, _m: AgentRef<'_>, _n: &Neighbors<'_>, _e: &mut EffectWriter<'_>, _rng: &mut DetRng) {}
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
         me.set(FieldId::new(0), me.get(FieldId::new(0)) + 1.0);
         if ctx.rng.chance(0.15) {
@@ -173,6 +182,53 @@ impl Behavior for Churn {
             me.alive = false;
         }
         me.pos.x += ctx.rng.range(-1.5, 1.5);
+    }
+}
+
+/// Churn plus a float-effect query: the full lifecycle model for the
+/// pool ≡ reference end-to-end property (spawns, kills, movement, effect
+/// aggregation all in one world).
+struct ChurnField(AgentSchema);
+
+impl ChurnField {
+    fn new(vis: f64) -> Self {
+        ChurnField(
+            AgentSchema::builder("ChurnField")
+                .state("age")
+                .effect("mass", Combinator::Sum)
+                .effect("near", Combinator::Min)
+                .visibility(vis)
+                .reachability(1.5)
+                .build()
+                .unwrap(),
+        )
+    }
+}
+
+impl Behavior for ChurnField {
+    fn schema(&self) -> &AgentSchema {
+        &self.0
+    }
+    fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+        let my_pos = me.pos();
+        for nb in nbrs.iter() {
+            let d = my_pos.dist_linf(nb.agent.pos());
+            eff.local(FieldId::new(0), 1.0 / (1.0 + d));
+            eff.local(FieldId::new(1), d);
+        }
+    }
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        me.set(FieldId::new(0), me.get(FieldId::new(0)) + 1.0);
+        let mass = me.effect(FieldId::new(0));
+        if ctx.rng.chance(0.1) && mass < 3.0 {
+            ctx.spawn(me.pos + Vec2::new(0.2, 0.2), vec![0.0]);
+        }
+        if ctx.rng.chance(0.08) {
+            me.alive = false;
+            return;
+        }
+        me.pos.x += ctx.rng.range(-1.2, 1.2);
+        me.pos.y += ctx.rng.range(-1.2, 1.2);
     }
 }
 
@@ -187,7 +243,7 @@ fn random_population(schema: &AgentSchema, n: usize, seed: u64) -> Vec<Agent> {
 fn assert_tables_bit_identical(a: &EffectTable, b: &EffectTable, rows: usize) -> Result<(), String> {
     for r in 0..rows as u32 {
         let (ra, rb) = (a.row(r), b.row(r));
-        let same = ra.len() == rb.len() && ra.iter().zip(rb).all(|(x, y)| x.to_bits() == y.to_bits());
+        let same = ra.len() == rb.len() && ra.iter().zip(&rb).all(|(x, y)| x.to_bits() == y.to_bits());
         if !same {
             return Err(format!("row {r} differs: {ra:?} vs {rb:?}"));
         }
@@ -220,7 +276,7 @@ proptest! {
         let mut whole = EffectTable::new(&schema);
         whole.reset(1);
         for &v in &values {
-            whole.combine(&schema, 0, brace_common::FieldId::new(0), v);
+            whole.combine(0, brace_common::FieldId::new(0), v);
         }
         // Two partitions, merged in either order.
         let (a, b) = values.split_at(split);
@@ -228,14 +284,14 @@ proptest! {
         let mut pa = EffectTable::new(&schema);
         pa.reset(1);
         for &v in a {
-            pa.combine(&schema, 0, brace_common::FieldId::new(0), v);
+            pa.combine(0, brace_common::FieldId::new(0), v);
         }
         let mut pb = EffectTable::new(&schema);
         pb.reset(1);
         for &v in b {
-            pb.combine(&schema, 0, brace_common::FieldId::new(0), v);
+            pb.combine(0, brace_common::FieldId::new(0), v);
         }
-        pa.merge_row(&schema, 0, pb.row(0));
+        pa.merge_row(0, &pb.row(0));
         let (w, m) = (whole.row(0)[0], pa.row(0)[0]);
         match comb {
             Combinator::Sum | Combinator::Prod => {
@@ -341,6 +397,42 @@ proptest! {
         prop_assert_eq!(vec![a], decoded);
     }
 
+    /// Pool conversion round-trips preserve agents bit-for-bit: the
+    /// serialization boundary (checkpoints, transfers) cannot corrupt a
+    /// world that passed through the columnar representation.
+    #[test]
+    fn pool_conversion_round_trips(
+        seed in 0u64..10_000,
+        n in 0usize..60,
+        n_states in 0usize..4,
+        n_effects in 0usize..4,
+    ) {
+        let mut b = AgentSchema::builder("RT");
+        for i in 0..n_states {
+            b = b.state(format!("s{i}"));
+        }
+        for i in 0..n_effects {
+            b = b.effect(format!("e{i}"), Combinator::Sum);
+        }
+        let schema = b.build().unwrap();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let agents: Vec<Agent> = (0..n)
+            .map(|i| {
+                let mut a = Agent::new(AgentId::new(i as u64), Vec2::new(rng.unit(), rng.unit()), &schema);
+                for s in &mut a.state {
+                    *s = rng.range(-1e6, 1e6);
+                }
+                for e in &mut a.effects {
+                    *e = rng.range(-1e6, 1e6);
+                }
+                a.alive = rng.chance(0.9);
+                a
+            })
+            .collect();
+        let pool = AgentPool::from_agents(&schema, &agents);
+        prop_assert_eq!(pool.to_agents(), agents);
+    }
+
     /// Snapshot round-trips preserve the whole worker state.
     #[test]
     fn snapshot_codec_round_trips(
@@ -363,7 +455,8 @@ proptest! {
         prop_assert_eq!(snap, back);
     }
 
-    /// All three indexes agree on k-NN (distances; ties may permute).
+    /// All three indexes agree on k-NN — exactly, including ties, because
+    /// every implementation breaks ties by ascending payload.
     #[test]
     fn all_indexes_agree_on_knn(
         seed in 0u64..1000,
@@ -379,20 +472,17 @@ proptest! {
         let grid = UniformGrid::build(&pts);
         let scan = ScanIndex::build(&pts);
         let q = Vec2::new(qx, qy);
-        let dists = |ids: Vec<u32>| -> Vec<f64> {
-            ids.into_iter().map(|i| pts[i as usize].0.dist2(q)).collect()
-        };
-        let a = dists(kd.k_nearest(q, k, None));
-        let b = dists(grid.k_nearest(q, k, None));
-        let c = dists(scan.k_nearest(q, k, None));
-        prop_assert_eq!(a.len(), c.len());
-        prop_assert_eq!(b.len(), c.len());
-        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
-            prop_assert!((x - z).abs() < 1e-12, "kd {} vs scan {}", x, z);
-            prop_assert!((y - z).abs() < 1e-12, "grid {} vs scan {}", y, z);
-        }
-        // Sorted ascending.
-        prop_assert!(c.windows(2).all(|w| w[0] <= w[1]));
+        let a = kd.k_nearest(q, k, None);
+        let b = grid.k_nearest(q, k, None);
+        let c = scan.k_nearest(q, k, None);
+        prop_assert_eq!(&a, &c, "kd vs scan");
+        prop_assert_eq!(&b, &c, "grid vs scan");
+        // Sorted ascending by distance, and buffer-reuse variant agrees.
+        let dists: Vec<f64> = c.iter().map(|&i| pts[i as usize].0.dist2(q)).collect();
+        prop_assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        let mut buf = vec![7u32; 3];
+        kd.k_nearest_into(q, k, None, &mut buf);
+        prop_assert_eq!(buf, a);
     }
 
     /// KD-tree nearest neighbor matches brute force for arbitrary inputs.
@@ -411,6 +501,82 @@ proptest! {
         let got = kd.nearest(q, None).unwrap();
         let best = pts.iter().map(|&(p, _)| p.dist2(q)).fold(f64::INFINITY, f64::min);
         prop_assert!((pts[got as usize].0.dist2(q) - best).abs() < 1e-12);
+    }
+
+    /// Incrementally maintained indexes answer every query exactly like a
+    /// fresh rebuild over the moved points — across several rounds of
+    /// bounded motion, for every index kind, including after lazy
+    /// restructuring (`maintain`).
+    #[test]
+    fn incremental_maintenance_equals_fresh_rebuild(
+        seed in 0u64..10_000,
+        n in 1usize..120,
+        rounds in 1usize..6,
+        move_frac in 0.0f64..1.0,
+        step in 0.0f64..2.0,
+        k in 1usize..8,
+        budget in 0.0f64..3.0,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut pts: Vec<(Vec2, u32)> =
+            (0..n).map(|i| (Vec2::new(rng.range(0.0, 60.0), rng.range(0.0, 60.0)), i as u32)).collect();
+        let mut kd = KdTree::build(&pts);
+        let mut grid = UniformGrid::build(&pts);
+        let mut scan = ScanIndex::build(&pts);
+        for _ in 0..rounds {
+            let mut moved: Vec<(u32, Vec2)> = Vec::new();
+            for &(p, payload) in &pts {
+                if rng.chance(move_frac) {
+                    moved.push((payload, p + Vec2::new(rng.range(-step, step), rng.range(-step, step))));
+                }
+            }
+            for &(payload, new) in &moved {
+                pts[payload as usize].0 = new;
+            }
+            // The KD-tree declines dense batches by contract (a rebuild
+            // is cheaper); the caller rebuilds — same as the executor.
+            if !kd.update(&moved) {
+                kd = KdTree::build(&pts);
+            }
+            prop_assert!(grid.update(&moved), "grid update must apply for dense payloads");
+            prop_assert!(scan.update(&moved), "scan update must apply for dense payloads");
+            kd.maintain(budget);
+            grid.maintain(budget);
+            scan.maintain(budget);
+            let fresh = KdTree::build(&pts);
+            for _ in 0..8 {
+                let q = Vec2::new(rng.range(-10.0, 70.0), rng.range(-10.0, 70.0));
+                let rect = Rect::centered(q, rng.range(0.0, 10.0));
+                let mut want = Vec::new();
+                fresh.range(&rect, &mut want);
+                want.sort_unstable();
+                for (name, got) in [
+                    ("kd", {
+                        let mut v = Vec::new();
+                        kd.range(&rect, &mut v);
+                        v
+                    }),
+                    ("grid", {
+                        let mut v = Vec::new();
+                        grid.range(&rect, &mut v);
+                        v
+                    }),
+                    ("scan", {
+                        let mut v = Vec::new();
+                        scan.range(&rect, &mut v);
+                        v
+                    }),
+                ] {
+                    let mut got = got;
+                    got.sort_unstable();
+                    prop_assert_eq!(&got, &want, "{} range diverged after incremental updates", name);
+                }
+                let want_knn = fresh.k_nearest(q, k, None);
+                prop_assert_eq!(&kd.k_nearest(q, k, None), &want_knn, "kd k-NN diverged");
+                prop_assert_eq!(&grid.k_nearest(q, k, None), &want_knn, "grid k-NN diverged");
+                prop_assert_eq!(&scan.k_nearest(q, k, None), &want_knn, "scan k-NN diverged");
+            }
+        }
     }
 }
 
@@ -438,16 +604,18 @@ proptest! {
         let b = LocalFloat::new(vis);
         let agents = random_population(b.schema(), n, seed);
         let n_owned = ((n as f64 * owned_frac) as usize).max(1);
+        let pool = AgentPool::from_agents(b.schema(), &agents);
         let mut serial = EffectTable::new(b.schema());
-        let s_stats = query_phase(&b, &agents, n_owned, kind, &mut serial, 3, seed);
-        let mut sharded = EffectTable::new(b.schema());
+        let s_stats = query_phase(&b, &pool, n_owned, kind, &mut serial, 3, seed);
+        let mut sh_pool = AgentPool::from_agents(b.schema(), &agents);
+        let mut index = MaintainedIndex::new(kind);
         let mut scratch = TickScratch::new();
         let p_stats = query_phase_sharded_with(
-            &b, &agents, n_owned, kind, &mut sharded, 3, seed, &mut scratch, shard_rows, threads,
+            &b, &mut sh_pool, n_owned, &mut index, 3, seed, &mut scratch, shard_rows, threads,
         );
         prop_assert_eq!(s_stats.neighbor_visits, p_stats.neighbor_visits);
         prop_assert_eq!(s_stats.nonlocal_writes, p_stats.nonlocal_writes);
-        assert_tables_bit_identical(&serial, &sharded, n)?;
+        assert_tables_bit_identical(&serial, sh_pool.effects(), n)?;
     }
 
     /// Non-local schemas whose aggregation is exactly associative (integer
@@ -467,14 +635,16 @@ proptest! {
         let b = NonlocalExact::new(vis);
         let agents = random_population(b.schema(), n, seed);
         let n_owned = ((n as f64 * owned_frac) as usize).max(1);
+        let pool = AgentPool::from_agents(b.schema(), &agents);
         let mut serial = EffectTable::new(b.schema());
-        query_phase(&b, &agents, n_owned, kind, &mut serial, 1, seed);
-        let mut sharded = EffectTable::new(b.schema());
+        query_phase(&b, &pool, n_owned, kind, &mut serial, 1, seed);
+        let mut sh_pool = AgentPool::from_agents(b.schema(), &agents);
+        let mut index = MaintainedIndex::new(kind);
         let mut scratch = TickScratch::new();
         query_phase_sharded_with(
-            &b, &agents, n_owned, kind, &mut sharded, 1, seed, &mut scratch, shard_rows, threads,
+            &b, &mut sh_pool, n_owned, &mut index, 1, seed, &mut scratch, shard_rows, threads,
         );
-        assert_tables_bit_identical(&serial, &sharded, n)?;
+        assert_tables_bit_identical(&serial, sh_pool.effects(), n)?;
     }
 
     /// Non-local schemas with arbitrary float aggregation: the thread count
@@ -494,15 +664,16 @@ proptest! {
         let b = NonlocalFloat::new(vis);
         let agents = random_population(b.schema(), n, seed);
         let run = |threads: usize| {
-            let mut table = EffectTable::new(b.schema());
+            let mut pool = AgentPool::from_agents(b.schema(), &agents);
+            let mut index = MaintainedIndex::new(kind);
             let mut scratch = TickScratch::new();
             query_phase_sharded_with(
-                &b, &agents, n, kind, &mut table, 2, seed, &mut scratch, shard_rows, threads,
+                &b, &mut pool, n, &mut index, 2, seed, &mut scratch, shard_rows, threads,
             );
-            table
+            pool
         };
-        let (ta, tb) = (run(threads_a), run(threads_b));
-        assert_tables_bit_identical(&ta, &tb, n)?;
+        let (pa, pb) = (run(threads_a), run(threads_b));
+        assert_tables_bit_identical(pa.effects(), pb.effects(), n)?;
     }
 
     /// The sharded update phase (spawns, kills, RNG, movement cropping)
@@ -517,15 +688,15 @@ proptest! {
     ) {
         let b = Churn::new();
         let mut serial_agents = random_population(b.schema(), n, seed);
-        let mut sharded_agents = serial_agents.clone();
+        let mut pool = AgentPool::from_agents(b.schema(), &serial_agents);
         let mut gen_a = AgentIdGen::from(n as u64);
         let mut gen_b = AgentIdGen::from(n as u64);
         let s = update_phase(&b, &mut serial_agents, tick, seed, &mut gen_a);
         let mut scratch = TickScratch::new();
-        let p = update_phase_sharded(&b, &mut sharded_agents, tick, seed, &mut gen_b, &mut scratch, threads);
+        let p = update_phase_sharded(&b, &mut pool, tick, seed, &mut gen_b, &mut scratch, threads);
         prop_assert_eq!(s.spawned, p.spawned);
         prop_assert_eq!(s.killed, p.killed);
-        prop_assert_eq!(serial_agents, sharded_agents);
+        prop_assert_eq!(serial_agents, pool.to_agents());
     }
 
     /// End to end: a multi-tick simulation stepped under different thread
@@ -545,8 +716,56 @@ proptest! {
             let mut exec = brace_core::TickExecutor::new(b, agents, kind, seed);
             exec.set_parallelism(parallelism);
             exec.run(6);
-            exec.agents().to_vec()
+            exec.agents()
         };
         prop_assert_eq!(run(1), run(threads));
+    }
+
+    /// End to end: the pool-backed sharded executor (persistent scratch,
+    /// incremental index maintenance, columnar effects) produces a world
+    /// bit-identical to the `Vec<Agent>` reference path (per-tick pool
+    /// conversion, fresh index build, serial phases) — across seeds,
+    /// models with churn, visibilities and every index kind.
+    #[test]
+    fn pool_executor_equals_vec_agent_reference(
+        seed in 0u64..10_000,
+        n in 2usize..100,
+        vis in 0.5f64..5.0,
+        kind in any_index_kind(),
+        ticks in 1u64..6,
+        threads in 1usize..4,
+    ) {
+        let b = ChurnField::new(vis);
+        let mut world = random_population(b.schema(), n, seed);
+        let mut exec = brace_core::TickExecutor::new(ChurnField::new(vis), world.clone(), kind, seed);
+        exec.set_parallelism(threads);
+        let mut id_gen = AgentIdGen::from(n as u64);
+        for tick in 0..ticks {
+            exec.step();
+            reference_step(&b, &mut world, kind, tick, seed, &mut id_gen);
+        }
+        prop_assert_eq!(exec.agents(), world);
+    }
+
+    /// End to end: incremental index maintenance never changes results —
+    /// the executor under `Incremental` equals the executor under
+    /// `Rebuild` bit for bit, for every model shape and index kind.
+    #[test]
+    fn incremental_executor_equals_rebuild_executor(
+        seed in 0u64..10_000,
+        n in 2usize..120,
+        vis in 0.5f64..5.0,
+        kind in any_index_kind(),
+        ticks in 1u64..8,
+    ) {
+        let run = |mode: IndexMaintenance| {
+            let b = LocalFloat::new(vis);
+            let agents = random_population(b.schema(), n, seed);
+            let mut exec = brace_core::TickExecutor::new(b, agents, kind, seed);
+            exec.set_index_maintenance(mode);
+            exec.run(ticks);
+            exec.agents()
+        };
+        prop_assert_eq!(run(IndexMaintenance::Incremental), run(IndexMaintenance::Rebuild));
     }
 }
