@@ -118,6 +118,12 @@ fn run_tick_throughput(args: &[String]) {
         i += 1;
     }
     let report = throughput::tick_throughput(&cfg);
+    // The kernel ablation row must always be present — the CI smoke run
+    // (`--quick`) relies on this to catch a silently dropped mode.
+    assert!(
+        report.rows.iter().any(|r| r.mode == "scalar-kernel"),
+        "tick-throughput matrix lost the scalar-kernel ablation row"
+    );
     print_table(
         &format!("Tick throughput — sharded executor, {} core(s)", report.cores),
         &["model", "agents", "index", "mode", "threads", "query [agents/s]", "tick [agents/s]"],
@@ -139,8 +145,16 @@ fn run_tick_throughput(args: &[String]) {
     );
     for s in &report.speedups {
         println!(
-            "speedup {}/{}/{:?}: query {:.2}x, tick {:.2}x, incremental-index {:.2}x, soa-vs-aos {:.2}x",
-            s.model, s.agents, s.index, s.query_speedup, s.tick_speedup, s.incremental_speedup, s.soa_speedup
+            "speedup {}/{}/{:?}: query {:.2}x, tick {:.2}x, incremental-index {:.2}x, soa-vs-aos {:.2}x, \
+             kernel {:.2}x",
+            s.model,
+            s.agents,
+            s.index,
+            s.query_speedup,
+            s.tick_speedup,
+            s.incremental_speedup,
+            s.soa_speedup,
+            s.kernel_speedup
         );
     }
     for s in &report.skipped {

@@ -12,7 +12,7 @@
 //! on the machine that produced it.
 
 use brace_core::executor::reference_step;
-use brace_core::{Agent, Behavior, IndexMaintenance, TickExecutor};
+use brace_core::{Agent, Behavior, IndexMaintenance, QueryKernel, TickExecutor};
 use brace_models::{FishBehavior, FishParams, TrafficBehavior, TrafficParams};
 use brace_spatial::IndexKind;
 
@@ -27,8 +27,10 @@ pub struct ThroughputRow {
     pub index: IndexKind,
     /// `"serial"` (parallelism 1), `"parallel"` (the run's thread budget),
     /// `"rebuild"` (serial, index rebuilt every tick — the
-    /// incremental-maintenance ablation) or `"aos"` (the `Vec<Agent>`
-    /// reference path with per-tick pool conversion — the SoA ablation).
+    /// incremental-maintenance ablation), `"aos"` (the `Vec<Agent>`
+    /// reference path with per-tick pool conversion — the SoA ablation) or
+    /// `"scalar-kernel"` (serial with the per-row scalar probe loop — the
+    /// batched-kernel ablation).
     pub mode: &'static str,
     /// Thread budget the executor ran with (serial/ablation rows report 1).
     pub parallelism: usize,
@@ -105,7 +107,12 @@ pub struct SpeedupRow {
     /// throughput (the phases maintenance changes).
     pub incremental_speedup: f64,
     /// SoA pool executor over the `Vec<Agent>` reference path, whole-tick.
+    /// Both sides run the scalar query kernel (the reference path has no
+    /// batched mode), so the column isolates layout from the kernel gain.
     pub soa_speedup: f64,
+    /// Batched lane kernels over the scalar per-row probe loop, on
+    /// query-phase throughput (the phase the kernels change).
+    pub kernel_speedup: f64,
 }
 
 /// The full measurement matrix plus derived speedups.
@@ -153,11 +160,13 @@ fn measure_exec<B: Behavior>(
     behavior: B,
     pop: Vec<Agent>,
     maintenance: IndexMaintenance,
+    kernel: QueryKernel,
 ) -> ThroughputRow {
     let actual = pop.len();
     let mut exec = TickExecutor::new(behavior, pop, ctx.kind, 42);
     exec.set_parallelism(ctx.parallelism);
     exec.set_index_maintenance(maintenance);
+    exec.set_query_kernel(kernel);
     exec.run(ctx.warmup);
     exec.reset_metrics();
     let rebuilds_before = exec.index_rebuilds();
@@ -248,6 +257,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                     };
                     let maintenance =
                         if mode == "rebuild" { IndexMaintenance::Rebuild } else { IndexMaintenance::Incremental };
+                    let kernel = if mode == "scalar-kernel" { QueryKernel::Scalar } else { QueryKernel::Batched };
                     match (model, mode) {
                         ("fish", "aos") => {
                             let (b, pop) = fish_world(n);
@@ -255,7 +265,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                         }
                         ("fish", _) => {
                             let (b, pop) = fish_world(n);
-                            measure_exec(&ctx, b, pop, maintenance)
+                            measure_exec(&ctx, b, pop, maintenance, kernel)
                         }
                         (_, "aos") => {
                             let (b, pop) = traffic_world(n);
@@ -263,7 +273,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                         }
                         _ => {
                             let (b, pop) = traffic_world(n);
-                            measure_exec(&ctx, b, pop, maintenance)
+                            measure_exec(&ctx, b, pop, maintenance, kernel)
                         }
                     }
                 };
@@ -271,6 +281,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                 let parallel = run("parallel", parallel_threads);
                 let rebuild = run("rebuild", 1);
                 let aos = run("aos", 1);
+                let scalar_kernel = run("scalar-kernel", 1);
                 report.speedups.push(SpeedupRow {
                     model: model.to_string(),
                     agents: n,
@@ -279,12 +290,16 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                     tick_speedup: parallel.tick_agents_per_sec / serial.tick_agents_per_sec.max(1e-9),
                     incremental_speedup: serial.index_query_agents_per_sec()
                         / rebuild.index_query_agents_per_sec().max(1e-9),
-                    soa_speedup: serial.tick_agents_per_sec / aos.tick_agents_per_sec.max(1e-9),
+                    // scalar-kernel vs aos: both scalar probe loops, so
+                    // this isolates SoA layout from the kernel effect.
+                    soa_speedup: scalar_kernel.tick_agents_per_sec / aos.tick_agents_per_sec.max(1e-9),
+                    kernel_speedup: serial.query_agents_per_sec / scalar_kernel.query_agents_per_sec.max(1e-9),
                 });
                 report.rows.push(serial);
                 report.rows.push(parallel);
                 report.rows.push(rebuild);
                 report.rows.push(aos);
+                report.rows.push(scalar_kernel);
             }
         }
     }
@@ -303,10 +318,12 @@ fn index_name(kind: IndexKind) -> &'static str {
 /// by hand (the offline build has no serde_json); the format is stable:
 /// bump `schema_version` on layout changes. Version 2 added the `rebuild`
 /// and `aos` ablation rows, the per-row `index_rebuilds` column and the
-/// `incremental_speedup` / `soa_speedup` ablation columns.
+/// `incremental_speedup` / `soa_speedup` ablation columns. Version 3 added
+/// the `scalar-kernel` ablation rows and the `kernel_speedup` column
+/// (batched lane kernels over the scalar probe loop).
 pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!("  \"cores\": {},\n", report.cores));
     out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
     out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
@@ -339,7 +356,7 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"agents\": {}, \"index\": \"{}\", \
              \"query_speedup\": {:.3}, \"tick_speedup\": {:.3}, \
-             \"incremental_speedup\": {:.3}, \"soa_speedup\": {:.3}}}{}\n",
+             \"incremental_speedup\": {:.3}, \"soa_speedup\": {:.3}, \"kernel_speedup\": {:.3}}}{}\n",
             s.model,
             s.agents,
             index_name(s.index),
@@ -347,6 +364,7 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
             s.tick_speedup,
             s.incremental_speedup,
             s.soa_speedup,
+            s.kernel_speedup,
             if i + 1 == report.speedups.len() { "" } else { "," }
         ));
     }
@@ -367,18 +385,20 @@ mod tests {
     fn miniature_matrix_runs_and_serializes() {
         let cfg = ThroughputConfig { agent_counts: vec![300], ticks: 1, warmup: 0, parallelism: 2, scan_cap: 1_000 };
         let report = tick_throughput(&cfg);
-        // 1 size × 3 kinds × 2 models × 4 modes.
-        assert_eq!(report.rows.len(), 24);
+        // 1 size × 3 kinds × 2 models × 5 modes.
+        assert_eq!(report.rows.len(), 30);
         assert_eq!(report.speedups.len(), 6);
         assert!(report.skipped.is_empty());
-        for mode in ["serial", "parallel", "rebuild", "aos"] {
+        for mode in ["serial", "parallel", "rebuild", "aos", "scalar-kernel"] {
             assert!(report.rows.iter().any(|r| r.mode == mode), "missing mode {mode}");
         }
         let json = to_json(&report, &cfg);
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"model\": \"traffic\""));
         assert!(json.contains("\"incremental_speedup\""));
+        assert!(json.contains("\"kernel_speedup\""));
         assert!(json.contains("\"mode\": \"aos\""));
+        assert!(json.contains("\"mode\": \"scalar-kernel\""));
         assert!(json.ends_with("}\n"));
         // Crude balance check so the hand-rolled JSON stays well-formed.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

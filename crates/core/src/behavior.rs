@@ -74,6 +74,124 @@ impl<'a> Neighbors<'a> {
     }
 }
 
+/// Reusable gather columns backing one shard's [`NeighborBatch`]: candidate
+/// positions and any state columns a batched behavior asks for, gathered
+/// once per probe into flat, reused `f64` buffers so the lane kernels read
+/// contiguous memory. Owned by the executor's per-shard scratch; behaviors
+/// only ever see it through [`NeighborBatch::gather`].
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+/// The candidate batch handed to [`Behavior::query_batch`]: the probe's
+/// candidate rows (canonical order, possibly including `me`) plus the means
+/// to materialize them as SoA columns. The default `query_batch` never
+/// gathers — it falls back to the per-row [`Behavior::query`] through
+/// [`NeighborBatch::neighbors`] at zero extra cost; batched behaviors call
+/// [`NeighborBatch::gather`] and run lane kernels over the returned columns.
+pub struct NeighborBatch<'a> {
+    view: PoolView<'a>,
+    rows: &'a [u32],
+    me: u32,
+    scratch: &'a mut BatchScratch,
+}
+
+impl<'a> NeighborBatch<'a> {
+    /// `rows` are the probe's candidate row indices (they may include `me`,
+    /// which batched emission loops must skip exactly like [`Neighbors`]).
+    pub fn new(view: PoolView<'a>, rows: &'a [u32], me: u32, scratch: &'a mut BatchScratch) -> Self {
+        NeighborBatch { view, rows, me, scratch }
+    }
+
+    /// Number of candidates (self included when the probe emitted it).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The candidate rows, in canonical probe order.
+    #[inline]
+    pub fn rows(&self) -> &'a [u32] {
+        self.rows
+    }
+
+    /// Row index of the querying agent (for self-exclusion).
+    #[inline]
+    pub fn me(&self) -> u32 {
+        self.me
+    }
+
+    /// The per-row neighbor view over the same candidates — the default
+    /// [`Behavior::query_batch`] fallback path.
+    #[inline]
+    pub fn neighbors(&self) -> Neighbors<'a> {
+        Neighbors::new(self.view, self.rows, self.me)
+    }
+
+    /// Gather candidate positions and the requested state columns
+    /// (`state_slots`, schema order) into the reused scratch columns and
+    /// return them as a SoA view parallel to [`NeighborBatch::rows`]. The
+    /// gather itself is the batched layer's only indexed access; everything
+    /// downstream streams flat `f64` columns.
+    pub fn gather(&mut self, state_slots: &[u16]) -> GatheredBatch<'_> {
+        let s = &mut *self.scratch;
+        s.xs.clear();
+        s.xs.extend(self.rows.iter().map(|&r| self.view.xs[r as usize]));
+        s.ys.clear();
+        s.ys.extend(self.rows.iter().map(|&r| self.view.ys[r as usize]));
+        while s.states.len() < state_slots.len() {
+            s.states.push(Vec::new());
+        }
+        for (gathered, &slot) in s.states.iter_mut().zip(state_slots) {
+            let col = &self.view.states[slot as usize];
+            gathered.clear();
+            gathered.extend(self.rows.iter().map(|&r| col[r as usize]));
+        }
+        GatheredBatch { rows: self.rows, me: self.me, xs: &s.xs, ys: &s.ys, states: &s.states[..state_slots.len()] }
+    }
+}
+
+/// SoA view of a gathered candidate batch: coordinate and state columns
+/// parallel to `rows`. All slices share one length ([`GatheredBatch::len`]).
+pub struct GatheredBatch<'g> {
+    /// Candidate rows, canonical probe order (may include `me`).
+    pub rows: &'g [u32],
+    /// Row index of the querying agent.
+    pub me: u32,
+    /// Candidate x coordinates.
+    pub xs: &'g [f64],
+    /// Candidate y coordinates.
+    pub ys: &'g [f64],
+    states: &'g [Vec<f64>],
+}
+
+impl GatheredBatch<'_> {
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The `i`-th gathered state column, in the order the slots were passed
+    /// to [`NeighborBatch::gather`].
+    #[inline]
+    pub fn state(&self, i: usize) -> &[f64] {
+        &self.states[i]
+    }
+}
+
 /// Context for the update phase: the tick number, a deterministic per-agent
 /// RNG stream, and the spawn queue (agents created this tick enter the
 /// simulation at the next tick, with ids assigned by the executor).
@@ -136,6 +254,37 @@ pub trait Behavior: Send + Sync {
     /// deterministic stream derived from `(seed, agent id, tick)`.
     fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng);
 
+    /// Whether the executor's batched mode should route this behavior
+    /// through [`Behavior::query_batch`] (`true`, the default) or keep the
+    /// per-row [`Behavior::query`]. Pure scheduling policy, never
+    /// semantics — the two paths are bit-identical by contract — mirroring
+    /// `SpatialIndex::RANGE_BATCH_NATIVE` on the index side: a batched
+    /// kernel pays a gather pass over every candidate, which only
+    /// amortizes when the per-candidate map is expensive enough (fish's
+    /// sqrt + divides: yes; traffic's three subtractions: measured ~0.75×
+    /// on the reference container, so it opts out by default).
+    fn batch_profitable(&self) -> bool {
+        true
+    }
+
+    /// Batched query phase for one agent: the same contract as
+    /// [`Behavior::query`], but over a [`NeighborBatch`] whose candidates
+    /// can be gathered into SoA columns for lane kernels. Overrides **must
+    /// be bit-identical** to `query` — the executor treats the two as
+    /// interchangeable (its `QueryKernel` ablation knob runs either), and
+    /// the kernel conformance properties in `tests/properties.rs` enforce
+    /// the equivalence. The default gathers nothing and falls back to the
+    /// per-row path.
+    fn query_batch(
+        &self,
+        me: AgentRef<'_>,
+        batch: &mut NeighborBatch<'_>,
+        eff: &mut EffectWriter<'_>,
+        rng: &mut DetRng,
+    ) {
+        self.query(me, &batch.neighbors(), eff, rng)
+    }
+
     /// Update phase for one agent: consume `me.effects`, write `me.state` /
     /// `me.pos` (cropped to reachability by the executor), optionally kill
     /// (`me.alive = false`) or spawn (`ctx.spawn`).
@@ -154,6 +303,18 @@ impl<B: Behavior + ?Sized> Behavior for &B {
     fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
         (**self).query(me, neighbors, eff, rng)
     }
+    fn batch_profitable(&self) -> bool {
+        (**self).batch_profitable()
+    }
+    fn query_batch(
+        &self,
+        me: AgentRef<'_>,
+        batch: &mut NeighborBatch<'_>,
+        eff: &mut EffectWriter<'_>,
+        rng: &mut DetRng,
+    ) {
+        (**self).query_batch(me, batch, eff, rng)
+    }
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
         (**self).update(me, ctx)
     }
@@ -169,6 +330,18 @@ impl<B: Behavior + ?Sized> Behavior for std::sync::Arc<B> {
     fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
         (**self).query(me, neighbors, eff, rng)
     }
+    fn batch_profitable(&self) -> bool {
+        (**self).batch_profitable()
+    }
+    fn query_batch(
+        &self,
+        me: AgentRef<'_>,
+        batch: &mut NeighborBatch<'_>,
+        eff: &mut EffectWriter<'_>,
+        rng: &mut DetRng,
+    ) {
+        (**self).query_batch(me, batch, eff, rng)
+    }
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
         (**self).update(me, ctx)
     }
@@ -183,6 +356,18 @@ impl<B: Behavior + ?Sized> Behavior for Box<B> {
     }
     fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
         (**self).query(me, neighbors, eff, rng)
+    }
+    fn batch_profitable(&self) -> bool {
+        (**self).batch_profitable()
+    }
+    fn query_batch(
+        &self,
+        me: AgentRef<'_>,
+        batch: &mut NeighborBatch<'_>,
+        eff: &mut EffectWriter<'_>,
+        rng: &mut DetRng,
+    ) {
+        (**self).query_batch(me, batch, eff, rng)
     }
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
         (**self).update(me, ctx)

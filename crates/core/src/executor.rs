@@ -101,7 +101,7 @@
 //! Queries run only for owned rows; effects may land on any row.
 
 use crate::agent::{Agent, AgentPool, PoolView, UpdateChunk};
-use crate::behavior::{Behavior, NeighborProbe, Neighbors, UpdateCtx};
+use crate::behavior::{BatchScratch, Behavior, NeighborBatch, NeighborProbe, Neighbors, UpdateCtx};
 use crate::effect::{EffectTable, EffectWriter};
 use crate::metrics::{SimMetrics, TickMetrics};
 use crate::schema::AgentSchema;
@@ -204,6 +204,25 @@ impl BuiltIndex {
             BuiltIndex::Grid(i) => i.maintain(motion_budget),
         }
     }
+}
+
+/// Which implementation of the query phase's probe loop the executor runs
+/// (ablation knob, like [`IndexMaintenance`]). The two are bit-identical —
+/// proven by the kernel conformance properties in `tests/properties.rs` —
+/// so the knob only ever changes speed, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryKernel {
+    /// Batched lane kernels (default): behaviors run through
+    /// [`Behavior::query_batch`] (vectorized per-candidate math, ordered
+    /// emission), and indexes whose batched filter is gather-free
+    /// (`SpatialIndex::RANGE_BATCH_NATIVE` — the scan's native columns)
+    /// answer range probes through `range_batch` (containment as a lane
+    /// kernel) instead of the per-point test.
+    #[default]
+    Batched,
+    /// The per-row scalar path (`range` + [`Behavior::query`]) — the
+    /// pre-kernel behavior, kept as the ablation baseline.
+    Scalar,
 }
 
 /// Index maintenance policy of a [`MaintainedIndex`].
@@ -345,6 +364,7 @@ pub struct TickScratch {
 struct ShardScratch {
     table: EffectTable,
     candidates: Vec<u32>,
+    batch: BatchScratch,
     spawns: Vec<(Vec2, Vec<f64>)>,
     visits: u64,
     nonlocal: u64,
@@ -355,6 +375,7 @@ impl ShardScratch {
         ShardScratch {
             table: EffectTable::new(schema),
             candidates: Vec::new(),
+            batch: BatchScratch::default(),
             spawns: Vec::new(),
             visits: 0,
             nonlocal: 0,
@@ -406,11 +427,21 @@ pub fn query_phase<B: Behavior>(
     stats.index_build_ns = t0.elapsed().as_nanos() as u64;
 
     let t1 = Instant::now();
-    let mut candidates: Vec<u32> = Vec::new();
+    let mut cands: Vec<u32> = Vec::new();
+    let mut batch = BatchScratch::default();
+    // The reference path is the *scalar* probe loop: `range` + per-row
+    // `query`. The batched kernels are proven against it.
+    let k = QueryKernel::Scalar;
     let (visits, nonlocal) = match &index {
-        BuiltIndex::Scan(i) => query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut candidates, tick, seed),
-        BuiltIndex::Kd(i) => query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut candidates, tick, seed),
-        BuiltIndex::Grid(i) => query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut candidates, tick, seed),
+        BuiltIndex::Scan(i) => {
+            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k)
+        }
+        BuiltIndex::Kd(i) => {
+            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k)
+        }
+        BuiltIndex::Grid(i) => {
+            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k)
+        }
     };
     stats.neighbor_visits = visits;
     stats.nonlocal_writes = nonlocal;
@@ -420,7 +451,11 @@ pub fn query_phase<B: Behavior>(
 
 /// The monomorphized inner loop: run the query phase for global rows
 /// `rows`, writing into `table` whose row 0 is global row `base`. Returns
-/// `(neighbor_visits, nonlocal_writes)`.
+/// `(neighbor_visits, nonlocal_writes)`. Under [`QueryKernel::Batched`] the
+/// range probe filters through the index's lane kernels
+/// (`SpatialIndex::range_batch`) and the behavior runs through
+/// [`Behavior::query_batch`]; under [`QueryKernel::Scalar`] both fall back
+/// to the per-row path — bit-identical either way.
 #[allow(clippy::too_many_arguments)]
 fn query_rows<B: Behavior, I: SpatialIndex>(
     behavior: &B,
@@ -431,11 +466,17 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
     base: u32,
     table: &mut EffectTable,
     candidates: &mut Vec<u32>,
+    batch: &mut BatchScratch,
     tick: u64,
     seed: u64,
+    kernel: QueryKernel,
 ) -> (u64, u64) {
     let vis = schema.visibility();
     let probe = behavior.probe();
+    // The behavior decides once per loop whether its batched kernel pays
+    // for the candidate gather (`Behavior::batch_profitable`); the ablation
+    // knob still forces the scalar path wholesale.
+    let run_batched = kernel == QueryKernel::Batched && behavior.batch_profitable();
     let mut visits = 0u64;
     let mut nonlocal = 0u64;
     for row in rows {
@@ -447,14 +488,21 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
         match probe {
             NeighborProbe::Range => {
                 if vis.is_finite() {
-                    index.range(&Rect::centered(pos, vis), candidates);
+                    let rect = Rect::centered(pos, vis);
+                    // The lane-kernel filter is the default probe only
+                    // where it is gather-free (`RANGE_BATCH_NATIVE`); see
+                    // the trait docs for the measured tradeoff.
+                    match kernel {
+                        QueryKernel::Batched if I::RANGE_BATCH_NATIVE => index.range_batch(&rect, candidates),
+                        _ => index.range(&rect, candidates),
+                    }
                     // Canonical candidate order: per index kind, results
                     // must be a pure function of the position multiset so
                     // that maintained indexes and fresh rebuilds aggregate
                     // float effects in the same order. Grid and scan are
-                    // canonical by construction (`RANGE_CANONICAL`); the
-                    // KD-tree's emission order depends on its build
-                    // history, so its candidates are row-sorted here.
+                    // canonical by construction (`RANGE_CANONICAL`, batched
+                    // or not); the KD-tree's emission order depends on its
+                    // build history, so its candidates are row-sorted here.
                     if !I::RANGE_CANONICAL {
                         candidates.sort_unstable();
                     }
@@ -474,10 +522,15 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
             }
         }
         visits += candidates.len() as u64;
-        let neighbors = Neighbors::new(view, candidates, row);
         let mut writer = EffectWriter::with_base(schema, table, row, base);
         let mut rng = agent_rng(seed, tick, me.id(), 0);
-        behavior.query(me, &neighbors, &mut writer, &mut rng);
+        if run_batched {
+            let mut nb = NeighborBatch::new(view, candidates, row, batch);
+            behavior.query_batch(me, &mut nb, &mut writer, &mut rng);
+        } else {
+            let neighbors = Neighbors::new(view, candidates, row);
+            behavior.query(me, &neighbors, &mut writer, &mut rng);
+        }
         nonlocal += writer.nonlocal_writes();
     }
     (visits, nonlocal)
@@ -501,14 +554,27 @@ pub fn query_phase_sharded<B: Behavior>(
     scratch: &mut TickScratch,
     parallelism: usize,
 ) -> QueryStats {
-    query_phase_sharded_with(behavior, pool, n_owned, index, tick, seed, scratch, SHARD_ROWS, parallelism)
+    query_phase_sharded_with(
+        behavior,
+        pool,
+        n_owned,
+        index,
+        tick,
+        seed,
+        scratch,
+        SHARD_ROWS,
+        parallelism,
+        QueryKernel::default(),
+    )
 }
 
-/// [`query_phase_sharded`] with an explicit rows-per-shard granule.
-/// Production uses [`SHARD_ROWS`]; property tests pass tiny granules to
-/// exercise many-shard merges on small worlds. Results depend on the
-/// granule only through the documented re-association of non-local float
-/// aggregates — never on `parallelism`.
+/// [`query_phase_sharded`] with an explicit rows-per-shard granule and
+/// query-kernel mode. Production uses [`SHARD_ROWS`] and the default
+/// (batched) kernel; property tests pass tiny granules to exercise
+/// many-shard merges on small worlds, and the kernel ablation passes
+/// [`QueryKernel::Scalar`]. Results depend on the granule only through the
+/// documented re-association of non-local float aggregates — never on
+/// `parallelism` or `kernel`.
 #[doc(hidden)]
 #[allow(clippy::too_many_arguments)]
 pub fn query_phase_sharded_with<B: Behavior>(
@@ -521,6 +587,7 @@ pub fn query_phase_sharded_with<B: Behavior>(
     scratch: &mut TickScratch,
     shard_rows: usize,
     parallelism: usize,
+    kernel: QueryKernel,
 ) -> QueryStats {
     let schema = behavior.schema();
     let vis = schema.visibility();
@@ -553,13 +620,13 @@ pub fn query_phase_sharded_with<B: Behavior>(
     // the concrete index type.
     match index.built.as_ref().expect("sync built an index") {
         BuiltIndex::Scan(i) => {
-            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed)
+            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed, kernel)
         }
         BuiltIndex::Kd(i) => {
-            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed)
+            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed, kernel)
         }
         BuiltIndex::Grid(i) => {
-            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed)
+            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed, kernel)
         }
     }
 
@@ -599,13 +666,26 @@ fn run_query_shards<B: Behavior, I: SpatialIndex>(
     threads: usize,
     tick: u64,
     seed: u64,
+    kernel: QueryKernel,
 ) {
     let k = shards.len();
     let run_one = |i: usize, shard: &mut ShardScratch| {
         let rows = shard_range(n_owned, k, i);
         let base = if nonlocal_schema { 0 } else { rows.start as u32 };
-        let (visits, nonlocal) =
-            query_rows(behavior, schema, index, view, rows, base, &mut shard.table, &mut shard.candidates, tick, seed);
+        let (visits, nonlocal) = query_rows(
+            behavior,
+            schema,
+            index,
+            view,
+            rows,
+            base,
+            &mut shard.table,
+            &mut shard.candidates,
+            &mut shard.batch,
+            tick,
+            seed,
+            kernel,
+        );
         shard.visits = visits;
         shard.nonlocal = nonlocal;
     };
@@ -813,6 +893,7 @@ pub struct TickExecutor<B: Behavior> {
     scratch: TickScratch,
     id_gen: AgentIdGen,
     parallelism: usize,
+    kernel: QueryKernel,
     seed: u64,
     tick: u64,
     metrics: SimMetrics,
@@ -831,6 +912,7 @@ impl<B: Behavior> TickExecutor<B> {
             scratch: TickScratch::new(),
             id_gen: AgentIdGen::from(max_id),
             parallelism: 1,
+            kernel: QueryKernel::default(),
             seed,
             tick: 0,
             metrics: SimMetrics::default(),
@@ -857,6 +939,18 @@ impl<B: Behavior> TickExecutor<B> {
         self.index.set_mode(mode);
     }
 
+    /// Query-kernel mode (ablation knob): batched lane kernels (default)
+    /// or the per-row scalar path. Never changes results — proven by the
+    /// kernel conformance properties.
+    pub fn set_query_kernel(&mut self, kernel: QueryKernel) {
+        self.kernel = kernel;
+    }
+
+    /// Current query-kernel mode.
+    pub fn query_kernel(&self) -> QueryKernel {
+        self.kernel
+    }
+
     /// Full index builds performed so far (ablation statistic).
     pub fn index_rebuilds(&self) -> u64 {
         self.index.rebuilds()
@@ -865,7 +959,7 @@ impl<B: Behavior> TickExecutor<B> {
     /// Execute one tick (query → finalize effects → update).
     pub fn step(&mut self) -> TickMetrics {
         let n = self.pool.len();
-        let qs = query_phase_sharded(
+        let qs = query_phase_sharded_with(
             &self.behavior,
             &mut self.pool,
             n,
@@ -873,7 +967,9 @@ impl<B: Behavior> TickExecutor<B> {
             self.tick,
             self.seed,
             &mut self.scratch,
+            SHARD_ROWS,
             self.parallelism,
+            self.kernel,
         );
         let us = update_phase_sharded(
             &self.behavior,

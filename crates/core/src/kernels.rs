@@ -1,0 +1,46 @@
+//! Per-thread derived-column scratch for batched behaviors.
+//!
+//! A [`Behavior::query_batch`](crate::Behavior::query_batch) override
+//! typically runs in two halves: a vectorizable per-candidate *map* (lane
+//! kernels writing distances, unit directions, gaps — one derived column
+//! per quantity, parallel to the gathered candidate columns) followed by an
+//! ordered scalar *fold* that emits effects in canonical candidate order
+//! (the bit-identity argument; see `brace_spatial::kernels`). The map needs
+//! somewhere allocation-free to write: these reused per-thread columns.
+//! They are deliberately anonymous (`a`/`b`/`c`) — each model kernel binds
+//! its own meaning per probe, and no state survives between probes.
+
+/// Three reusable derived-value columns — enough for the widest current
+/// model kernel (fish: distance², unit-x, unit-y; traffic: offset, lead
+/// gap, rear gap). Grow it if a future kernel maps more quantities.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    pub a: Vec<f64>,
+    pub b: Vec<f64>,
+    pub c: Vec<f64>,
+}
+
+brace_common::tls_scratch!(
+    /// Run `f` with the thread's reusable [`LaneScratch`]. Not reentrant: a
+    /// kernel must not invoke another kernel that also takes the scratch
+    /// (no current model does — each probe maps, folds, and returns).
+    pub fn with_lane_scratch -> LaneScratch
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        with_lane_scratch(|s| {
+            s.a.clear();
+            s.a.resize(8, 1.5);
+        });
+        with_lane_scratch(|s| {
+            // Same thread-local buffer: capacity persists, contents are the
+            // caller's responsibility (every kernel resizes before writing).
+            assert!(s.a.capacity() >= 8);
+        });
+    }
+}

@@ -23,8 +23,9 @@
 //! itself), so the runtime needs a single reduce pass.
 
 use brace_common::{AgentId, DetRng, FieldId, Vec2};
-use brace_core::behavior::{Behavior, Neighbors, UpdateCtx};
+use brace_core::behavior::{Behavior, NeighborBatch, Neighbors, UpdateCtx};
 use brace_core::effect::EffectWriter;
+use brace_core::kernels::with_lane_scratch;
 use brace_core::{Agent, AgentRef, AgentSchema, Combinator};
 
 /// Model parameters. Distances in body lengths, speeds in body lengths per
@@ -91,6 +92,59 @@ pub mod effect {
     pub const N_REP: u16 = 6;
     /// Visible neighbor count.
     pub const N_VIS: u16 = 7;
+}
+
+/// Per-candidate force geometry, shared verbatim by the scalar query path
+/// and (op for op) the lane kernel [`force_kernel`], so the two are
+/// bit-identical: squared distance from the querying fish to the candidate
+/// plus the unit direction toward it — zero when (near) coincident, the
+/// same guard `Vec2::normalized` applies, but on `sqrt(d²)` rather than
+/// `hypot` so the root vectorizes. Zone cutoffs compare against squared
+/// radii for the same reason.
+#[inline]
+fn candidate_force(mx: f64, my: f64, cx: f64, cy: f64) -> (f64, f64, f64) {
+    let dx = cx - mx;
+    let dy = cy - my;
+    let d2 = dx * dx + dy * dy;
+    let d = d2.sqrt();
+    if d > f64::EPSILON {
+        (d2, dx / d, dy / d)
+    } else {
+        (d2, 0.0, 0.0)
+    }
+}
+
+/// Lane kernel behind [`FishBehavior`]'s batched query: [`candidate_force`]
+/// over whole candidate columns. Written branch-free (the division always
+/// runs; degenerate lanes — including the querying fish itself at distance
+/// zero — select the zero direction afterwards) so LLVM vectorizes the
+/// squares, the root and the divides; every element is IEEE-identical to
+/// the scalar helper.
+pub fn force_kernel(xs: &[f64], ys: &[f64], mx: f64, my: f64, d2: &mut Vec<f64>, ux: &mut Vec<f64>, uy: &mut Vec<f64>) {
+    let n = xs.len();
+    debug_assert_eq!(ys.len(), n, "coordinate columns must be parallel");
+    d2.clear();
+    d2.resize(n, 0.0);
+    ux.clear();
+    ux.resize(n, 0.0);
+    uy.clear();
+    uy.resize(n, 0.0);
+    // Lockstep iterators (not indexing): the bounds checks that block the
+    // loop vectorizer disappear, and LLVM emits packed sqrt/div.
+    let ys = &ys[..n];
+    let it = xs.iter().zip(ys).zip(d2.iter_mut().zip(ux.iter_mut()).zip(uy.iter_mut()));
+    for ((&x, &y), ((d2i, uxi), uyi)) in it {
+        let dx = x - mx;
+        let dy = y - my;
+        let q = dx * dx + dy * dy;
+        let d = q.sqrt();
+        let inv_x = dx / d;
+        let inv_y = dy / d;
+        let ok = d > f64::EPSILON;
+        *d2i = q;
+        *uxi = if ok { inv_x } else { 0.0 };
+        *uyi = if ok { inv_y } else { 0.0 };
+    }
 }
 
 /// The fish school as a BRACE behavior.
@@ -164,29 +218,68 @@ impl Behavior for FishBehavior {
 
     fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
         let p = &self.params;
+        let (alpha2, rho2) = (p.alpha * p.alpha, p.rho * p.rho);
         let my_pos = me.pos();
         for nb in nbrs.iter() {
-            let offset = nb.agent.pos() - my_pos;
-            let d = offset.norm();
-            if d > p.rho {
+            let npos = nb.agent.pos();
+            let (d2, ux, uy) = candidate_force(my_pos.x, my_pos.y, npos.x, npos.y);
+            if d2 > rho2 {
                 // Corner of the square visible region beyond ρ: the model
                 // is radial, the index is rectangular; filter here.
                 continue;
             }
-            if d <= p.alpha {
-                let dir = offset.normalized();
-                eff.local(FieldId::new(effect::REP_X), -dir.x);
-                eff.local(FieldId::new(effect::REP_Y), -dir.y);
+            if d2 <= alpha2 {
+                eff.local(FieldId::new(effect::REP_X), -ux);
+                eff.local(FieldId::new(effect::REP_Y), -uy);
                 eff.local(FieldId::new(effect::N_REP), 1.0);
             } else {
-                let dir = offset.normalized();
-                eff.local(FieldId::new(effect::ATT_X), dir.x);
-                eff.local(FieldId::new(effect::ATT_Y), dir.y);
+                eff.local(FieldId::new(effect::ATT_X), ux);
+                eff.local(FieldId::new(effect::ATT_Y), uy);
                 eff.local(FieldId::new(effect::ALI_X), nb.agent.state(state::HX));
                 eff.local(FieldId::new(effect::ALI_Y), nb.agent.state(state::HY));
                 eff.local(FieldId::new(effect::N_VIS), 1.0);
             }
         }
+    }
+
+    /// Batched query: gather positions + headings, run [`force_kernel`]
+    /// over the candidate columns, then emit effects in candidate order —
+    /// the same fold, over lane-computed values, as the scalar path.
+    fn query_batch(
+        &self,
+        me: AgentRef<'_>,
+        batch: &mut NeighborBatch<'_>,
+        eff: &mut EffectWriter<'_>,
+        _rng: &mut DetRng,
+    ) {
+        let p = &self.params;
+        let (alpha2, rho2) = (p.alpha * p.alpha, p.rho * p.rho);
+        let my_pos = me.pos();
+        let g = batch.gather(&[state::HX, state::HY]);
+        with_lane_scratch(|s| {
+            force_kernel(g.xs, g.ys, my_pos.x, my_pos.y, &mut s.a, &mut s.b, &mut s.c);
+            let (hx, hy) = (g.state(0), g.state(1));
+            for i in 0..g.len() {
+                if g.rows[i] == g.me {
+                    continue;
+                }
+                let d2 = s.a[i];
+                if d2 > rho2 {
+                    continue;
+                }
+                if d2 <= alpha2 {
+                    eff.local(FieldId::new(effect::REP_X), -s.b[i]);
+                    eff.local(FieldId::new(effect::REP_Y), -s.c[i]);
+                    eff.local(FieldId::new(effect::N_REP), 1.0);
+                } else {
+                    eff.local(FieldId::new(effect::ATT_X), s.b[i]);
+                    eff.local(FieldId::new(effect::ATT_Y), s.c[i]);
+                    eff.local(FieldId::new(effect::ALI_X), hx[i]);
+                    eff.local(FieldId::new(effect::ALI_Y), hy[i]);
+                    eff.local(FieldId::new(effect::N_VIS), 1.0);
+                }
+            }
+        });
     }
 
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
@@ -226,6 +319,32 @@ mod tests {
 
     fn behavior() -> FishBehavior {
         FishBehavior::new(FishParams::default())
+    }
+
+    /// Pin the force kernel's scalar-tail handling at candidate counts
+    /// straddling the lane width (0, 1, L−1, L, L+1, 2L−1): every element
+    /// must match the per-candidate definition bit for bit.
+    #[test]
+    fn force_kernel_tail_counts_match_scalar_definition() {
+        const L: usize = brace_spatial::kernels::LANES;
+        let (mx, my) = (0.3, -1.7);
+        for n in [0, 1, L - 1, L, L + 1, 2 * L - 1] {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.7 - 1.0).collect();
+            let mut ys: Vec<f64> = (0..n).map(|i| 2.0 - i as f64 * 0.3).collect();
+            if n > 1 {
+                // Coincident candidate: the degenerate-direction select.
+                ys[1] = my;
+            }
+            let (mut d2, mut ux, mut uy) = (Vec::new(), Vec::new(), Vec::new());
+            force_kernel(&xs, &ys, mx, my, &mut d2, &mut ux, &mut uy);
+            assert_eq!(d2.len(), n);
+            for i in 0..n {
+                let (sd2, sux, suy) = candidate_force(mx, my, xs[i], ys[i]);
+                assert_eq!(d2[i].to_bits(), sd2.to_bits(), "count {n} element {i}");
+                assert_eq!(ux[i].to_bits(), sux.to_bits(), "count {n} element {i}");
+                assert_eq!(uy[i].to_bits(), suy.to_bits(), "count {n} element {i}");
+            }
+        }
     }
 
     #[test]

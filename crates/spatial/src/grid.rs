@@ -20,6 +20,7 @@
 //! is a no-op.
 
 use crate::index::{dense_slots, finish_knn, with_knn_scratch, SpatialIndex};
+use crate::kernels::{filter_rect, with_gather_scratch};
 use brace_common::{Rect, Vec2};
 use std::collections::HashMap;
 
@@ -83,29 +84,14 @@ impl UniformGrid {
     pub fn occupied_cells(&self) -> usize {
         self.cells.len()
     }
-}
 
-/// Reusable per-thread cell-key buffer for the sparse-occupancy range
-/// fallback, which must emit in sorted key order (canonical) without a
-/// per-probe allocation.
-fn with_key_scratch<R>(f: impl FnOnce(&mut Vec<(i64, i64)>) -> R) -> R {
-    thread_local! {
-        static SCRATCH: std::cell::RefCell<Vec<(i64, i64)>> = const { std::cell::RefCell::new(Vec::new()) };
-    }
-    SCRATCH.with(|s| f(&mut s.borrow_mut()))
-}
-
-impl SpatialIndex for UniformGrid {
-    /// Cell iteration is coordinate-ordered and buckets stay payload-sorted
-    /// through `update`s, so emission order is a pure function of the
-    /// point set and the cell size.
-    const RANGE_CANONICAL: bool = true;
-
-    fn build(points: &[(Vec2, u32)]) -> Self {
-        UniformGrid::with_cell(points, auto_cell(points))
-    }
-
-    fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
+    /// Visit the buckets overlapping `rect` in canonical order (coordinate
+    /// order of the cell loop, or sorted key order in the sparse-occupancy
+    /// fallback). Shared by the scalar [`SpatialIndex::range`] (inline
+    /// containment test) and the batched [`SpatialIndex::range_batch`]
+    /// (gather, then one lane-kernel filter pass) so both emit candidates
+    /// from exactly the same bucket sequence.
+    fn for_overlapping_buckets(&self, rect: &Rect, mut f: impl FnMut(&[(Vec2, u32)])) {
         if rect.is_empty() || self.len == 0 {
             return;
         }
@@ -123,11 +109,7 @@ impl SpatialIndex for UniformGrid {
                 keys.extend(self.cells.keys().copied());
                 keys.sort_unstable();
                 for key in keys {
-                    for &(p, payload) in &self.cells[key] {
-                        if rect.contains(p) {
-                            out.push(payload);
-                        }
-                    }
+                    f(&self.cells[key]);
                 }
             });
             return;
@@ -135,14 +117,55 @@ impl SpatialIndex for UniformGrid {
         for cx in x0..=x1 {
             for cy in y0..=y1 {
                 if let Some(bucket) = self.cells.get(&(cx, cy)) {
-                    for &(p, payload) in bucket {
-                        if rect.contains(p) {
-                            out.push(payload);
-                        }
-                    }
+                    f(bucket);
                 }
             }
         }
+    }
+}
+
+brace_common::tls_scratch!(
+    /// Reusable per-thread cell-key buffer for the sparse-occupancy range
+    /// fallback, which must emit in sorted key order (canonical) without a
+    /// per-probe allocation.
+    fn with_key_scratch -> Vec<(i64, i64)>
+);
+
+impl SpatialIndex for UniformGrid {
+    /// Cell iteration is coordinate-ordered and buckets stay payload-sorted
+    /// through `update`s, so emission order is a pure function of the
+    /// point set and the cell size.
+    const RANGE_CANONICAL: bool = true;
+
+    fn build(points: &[(Vec2, u32)]) -> Self {
+        UniformGrid::with_cell(points, auto_cell(points))
+    }
+
+    fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
+        self.for_overlapping_buckets(rect, |bucket| {
+            for &(p, payload) in bucket {
+                if rect.contains(p) {
+                    out.push(payload);
+                }
+            }
+        });
+    }
+
+    /// Batched range: gather the overlapping buckets into the thread's SoA
+    /// columns (sequential copies of contiguous bucket storage), then run
+    /// the containment test as one lane-kernel pass. Bucket order and
+    /// order-preserving filtering make the emitted sequence exactly equal
+    /// to [`SpatialIndex::range`]'s (the canonical-order contract).
+    fn range_batch(&self, rect: &Rect, out: &mut Vec<u32>) {
+        with_gather_scratch(|s| {
+            s.clear();
+            self.for_overlapping_buckets(rect, |bucket| {
+                for &(p, payload) in bucket {
+                    s.push(p.x, p.y, payload);
+                }
+            });
+            filter_rect(&s.xs, &s.ys, &s.payloads, rect, out);
+        });
     }
 
     fn nearest(&self, q: Vec2, exclude: Option<u32>) -> Option<u32> {
@@ -206,7 +229,13 @@ impl SpatialIndex for UniformGrid {
     /// Grid k-NN: gather-and-select over the occupied cells. Correct but
     /// not ring-pruned — the KD-tree is the index of choice for k-NN
     /// probes; the grid's implementation exists so every index satisfies
-    /// the full trait (ablations can still measure the difference).
+    /// the full trait (ablations can still measure the difference). This
+    /// stays a *single* pass on purpose: a batched form would first gather
+    /// the bucket points into SoA columns, exactly the unprofitable
+    /// gather-per-probe pattern `RANGE_BATCH_NATIVE` exists to avoid (the
+    /// scan's k-NN runs the lane kernel because its columns need no
+    /// gather). The canonical `(distance, payload)` selection makes the
+    /// result independent of the hash map's iteration order.
     fn k_nearest_into(&self, q: Vec2, k: usize, exclude: Option<u32>, out: &mut Vec<u32>) {
         out.clear();
         if k == 0 {

@@ -325,6 +325,43 @@ impl KdTree {
         }
     }
 
+    /// The batched-range walk: fully contained subtrees report their
+    /// payloads directly (no test needed, exactly like [`KdTree::range_rec`]);
+    /// boundary leaves gather their active points into the SoA scratch for
+    /// one lane-kernel containment pass afterwards. The candidate *set*
+    /// equals `range`'s; order may differ, which is fine — the KD-tree is
+    /// not `RANGE_CANONICAL` and callers sort either way.
+    fn gather_rec(&self, n: u32, rect: &Rect, s: &mut crate::kernels::GatherScratch, out: &mut Vec<u32>) {
+        match &self.nodes[n as usize] {
+            Node::Leaf { start, end, bounds } => {
+                if !rect.intersects(bounds) {
+                    return;
+                }
+                if rect.contains_rect(bounds) {
+                    self.report_subtree(n, out);
+                    return;
+                }
+                for i in *start as usize..*end as usize {
+                    if self.active[i] {
+                        let (p, payload) = self.points[i];
+                        s.push(p.x, p.y, payload);
+                    }
+                }
+            }
+            Node::Inner { left, right, bounds, .. } => {
+                if !rect.intersects(bounds) {
+                    return;
+                }
+                if rect.contains_rect(bounds) {
+                    self.report_subtree(n, out);
+                    return;
+                }
+                self.gather_rec(*left, rect, s, out);
+                self.gather_rec(*right, rect, s, out);
+            }
+        }
+    }
+
     fn report_subtree(&self, n: u32, out: &mut Vec<u32>) {
         match &self.nodes[n as usize] {
             Node::Leaf { start, end, .. } => {
@@ -437,6 +474,15 @@ impl SpatialIndex for KdTree {
         }
     }
 
+    fn range_batch(&self, rect: &Rect, out: &mut Vec<u32>) {
+        let Some(r) = self.root else { return };
+        crate::kernels::with_gather_scratch(|s| {
+            s.clear();
+            self.gather_rec(r, rect, s, out);
+            crate::kernels::filter_rect(&s.xs, &s.ys, &s.payloads, rect, out);
+        });
+    }
+
     fn nearest(&self, q: Vec2, exclude: Option<u32>) -> Option<u32> {
         let r = self.root?;
         let mut best = (f64::INFINITY, None);
@@ -534,6 +580,14 @@ mod tests {
         (0..n).map(|i| (Vec2::new(rng.range(-100.0, 100.0), rng.range(-100.0, 100.0)), i as u32)).collect()
     }
 
+    /// Buffer-routed k-NN for assertions (the allocating trait default is
+    /// deprecated; every call site goes through `k_nearest_into`).
+    fn knn(t: &KdTree, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        t.k_nearest_into(q, k, exclude, &mut out);
+        out
+    }
+
     #[test]
     fn empty_tree_behaves() {
         let t = KdTree::build(&[]);
@@ -597,7 +651,7 @@ mod tests {
         let pts = random_points(200, 5);
         let tree = KdTree::build(&pts);
         let q = Vec2::new(3.0, -7.0);
-        let got = tree.k_nearest(q, 10, None);
+        let got = knn(&tree, q, 10, None);
         assert_eq!(got.len(), 10);
         // Verify ordering.
         let dists: Vec<f64> = got.iter().map(|&i| pts[i as usize].0.dist2(q)).collect();
@@ -615,7 +669,7 @@ mod tests {
     fn knn_more_than_available() {
         let pts = random_points(5, 6);
         let tree = KdTree::build(&pts);
-        let got = tree.k_nearest(Vec2::ZERO, 10, None);
+        let got = knn(&tree, Vec2::ZERO, 10, None);
         assert_eq!(got.len(), 5);
     }
 
@@ -626,7 +680,7 @@ mod tests {
         let mut out = vec![99u32; 32];
         tree.k_nearest_into(Vec2::ZERO, 4, None, &mut out);
         assert_eq!(out.len(), 4);
-        assert_eq!(out, tree.k_nearest(Vec2::ZERO, 4, None));
+        assert_eq!(out, knn(&tree, Vec2::ZERO, 4, None));
     }
 
     #[test]
@@ -635,7 +689,7 @@ mod tests {
         let p = Vec2::new(1.0, 1.0);
         let pts = vec![(p, 3), (p, 1), (p, 2), (p, 0)];
         let tree = KdTree::build(&pts);
-        assert_eq!(tree.k_nearest(Vec2::ZERO, 3, None), vec![0, 1, 2]);
+        assert_eq!(knn(&tree, Vec2::ZERO, 3, None), vec![0, 1, 2]);
     }
 
     #[test]
@@ -675,7 +729,7 @@ mod tests {
         assert!(!out.contains(&17));
         let q = pts[17].0;
         assert_ne!(tree.nearest(q, None), Some(17));
-        assert!(!tree.k_nearest(q, 100, None).contains(&17));
+        assert!(!knn(&tree, q, 100, None).contains(&17));
         // Reactivate restores visibility.
         assert_eq!(tree.reactivate(17), 1);
         assert_eq!(tree.live_len(), 100);
@@ -731,7 +785,7 @@ mod tests {
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "range diverged after incremental maintenance");
-                assert_eq!(tree.k_nearest(c, 5, None), fresh.k_nearest(c, 5, None), "k-NN diverged");
+                assert_eq!(knn(&tree, c, 5, None), knn(&fresh, c, 5, None), "k-NN diverged");
             }
         }
     }

@@ -17,11 +17,16 @@
 //!   other named candidate, an adaptive quadtree.
 //! * [`join`] — reference spatial self-join implementations used to
 //!   cross-validate the indexes and as the formal ground truth in tests.
+//! * [`kernels`] — fixed-width lane kernels (range filter, squared
+//!   distances) behind the indexes' batched probe paths
+//!   (`SpatialIndex::range_batch`), proven bit-identical to the scalar
+//!   loops by the kernel conformance suite in `tests/properties.rs`.
 
 pub mod grid;
 pub mod index;
 pub mod join;
 pub mod kdtree;
+pub mod kernels;
 pub mod partition;
 pub mod quadtree;
 

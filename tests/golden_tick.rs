@@ -1,0 +1,95 @@
+//! Golden-tick regression: fixed-seed, fixed-model, 100-tick runs whose
+//! final world checksums are committed below.
+//!
+//! Bit-reproducibility is this repo's core invariant: the same seed must
+//! produce the same world on every machine, thread count, index kind and
+//! kernel path. The property suite proves those equivalences *within* a
+//! build; this test pins the absolute bits *across* builds — if any future
+//! change to the kernels, the executor, the indexes or the models perturbs
+//! a single bit of any of these three trajectories, the checksum moves and
+//! this test fails.
+//!
+//! That is sometimes the intent (a deliberate model-definition change, like
+//! the squared-distance cutoff that landed with the batched kernels). In
+//! that case — and only after confirming the kernel conformance properties
+//! in `tests/properties.rs` still pass, so batched ≡ scalar still holds —
+//! regenerate the constants with:
+//!
+//! ```text
+//! cargo test --test golden_tick -- --nocapture   # failing output prints actuals
+//! ```
+//!
+//! and say so in the PR. An *unexplained* checksum change is a determinism
+//! bug; do not update the constants to paper over one.
+
+use brace_core::{Agent, TickExecutor};
+use brace_models::{FishBehavior, FishParams, PredatorBehavior, PredatorParams, TrafficBehavior, TrafficParams};
+use brace_spatial::IndexKind;
+
+/// FNV-1a over every bit of the world: ids, positions, states, effects,
+/// liveness, in row order. Position/state bits go in via `to_bits`, so even
+/// a `-0.0` vs `0.0` flip moves the sum.
+fn world_checksum(agents: &[Agent]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(PRIME)
+    }
+    let mut h = OFFSET;
+    for a in agents {
+        h = mix(h, a.id.raw());
+        h = mix(h, a.pos.x.to_bits());
+        h = mix(h, a.pos.y.to_bits());
+        h = mix(h, a.alive as u64);
+        for s in &a.state {
+            h = mix(h, s.to_bits());
+        }
+        for e in &a.effects {
+            h = mix(h, e.to_bits());
+        }
+    }
+    h
+}
+
+const TICKS: u64 = 100;
+const SEED: u64 = 42;
+
+fn run_checksum<B: brace_core::Behavior>(behavior: B, pop: Vec<Agent>, kind: IndexKind) -> u64 {
+    let mut exec = TickExecutor::new(behavior, pop, kind, SEED);
+    exec.run(TICKS);
+    world_checksum(&exec.agents())
+}
+
+#[test]
+fn golden_fish_100_ticks() {
+    let b = FishBehavior::new(FishParams::default());
+    let pop = b.population(300, SEED);
+    let got = run_checksum(b, pop, IndexKind::KdTree);
+    assert_eq!(
+        got, 0x7FCC_939F_AE16_A057,
+        "fish golden world drifted (got {got:#06X}); see the module docs before touching this constant"
+    );
+}
+
+#[test]
+fn golden_traffic_100_ticks() {
+    let b =
+        TrafficBehavior::new(TrafficParams { segment: 1_000.0, lanes: 3, density: 0.03, ..TrafficParams::default() });
+    let pop = b.population(SEED);
+    let got = run_checksum(b, pop, IndexKind::Grid);
+    assert_eq!(
+        got, 0xA23D_BFEE_B720_92E2,
+        "traffic golden world drifted (got {got:#06X}); see the module docs before touching this constant"
+    );
+}
+
+#[test]
+fn golden_predator_100_ticks() {
+    let b = PredatorBehavior::new(PredatorParams::default());
+    let pop = b.population(200, 30.0, SEED);
+    let got = run_checksum(b, pop, IndexKind::Scan);
+    assert_eq!(
+        got, 0x4009_9BD6_5F84_5536,
+        "predator golden world drifted (got {got:#06X}); see the module docs before touching this constant"
+    );
+}

@@ -23,7 +23,9 @@ use brace_core::executor::{
     query_phase, query_phase_sharded_with, reference_step, update_phase, update_phase_sharded, MaintainedIndex,
     TickScratch,
 };
-use brace_core::{Agent, AgentPool, AgentRef, AgentSchema, Combinator, EffectTable, EffectWriter, IndexMaintenance};
+use brace_core::{
+    Agent, AgentPool, AgentRef, AgentSchema, Combinator, EffectTable, EffectWriter, IndexMaintenance, QueryKernel,
+};
 use brace_mapreduce::codec;
 use brace_spatial::join::{distribute, nested_loop_join, partitioned_join};
 use brace_spatial::{GridPartitioning, KdTree, Partitioner, ScanIndex, SpatialIndex, UniformGrid};
@@ -230,6 +232,14 @@ impl Behavior for ChurnField {
         me.pos.x += ctx.rng.range(-1.2, 1.2);
         me.pos.y += ctx.rng.range(-1.2, 1.2);
     }
+}
+
+/// Buffer-routed k-NN for assertions (the allocating `k_nearest` default
+/// is deprecated; every call site goes through `k_nearest_into`).
+fn knn<I: SpatialIndex>(idx: &I, q: Vec2, k: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    idx.k_nearest_into(q, k, None, &mut out);
+    out
 }
 
 fn random_population(schema: &AgentSchema, n: usize, seed: u64) -> Vec<Agent> {
@@ -472,9 +482,9 @@ proptest! {
         let grid = UniformGrid::build(&pts);
         let scan = ScanIndex::build(&pts);
         let q = Vec2::new(qx, qy);
-        let a = kd.k_nearest(q, k, None);
-        let b = grid.k_nearest(q, k, None);
-        let c = scan.k_nearest(q, k, None);
+        let a = knn(&kd, q, k);
+        let b = knn(&grid, q, k);
+        let c = knn(&scan, q, k);
         prop_assert_eq!(&a, &c, "kd vs scan");
         prop_assert_eq!(&b, &c, "grid vs scan");
         // Sorted ascending by distance, and buffer-reuse variant agrees.
@@ -571,10 +581,10 @@ proptest! {
                     got.sort_unstable();
                     prop_assert_eq!(&got, &want, "{} range diverged after incremental updates", name);
                 }
-                let want_knn = fresh.k_nearest(q, k, None);
-                prop_assert_eq!(&kd.k_nearest(q, k, None), &want_knn, "kd k-NN diverged");
-                prop_assert_eq!(&grid.k_nearest(q, k, None), &want_knn, "grid k-NN diverged");
-                prop_assert_eq!(&scan.k_nearest(q, k, None), &want_knn, "scan k-NN diverged");
+                let want_knn = knn(&fresh, q, k);
+                prop_assert_eq!(&knn(&kd, q, k), &want_knn, "kd k-NN diverged");
+                prop_assert_eq!(&knn(&grid, q, k), &want_knn, "grid k-NN diverged");
+                prop_assert_eq!(&knn(&scan, q, k), &want_knn, "scan k-NN diverged");
             }
         }
     }
@@ -612,6 +622,7 @@ proptest! {
         let mut scratch = TickScratch::new();
         let p_stats = query_phase_sharded_with(
             &b, &mut sh_pool, n_owned, &mut index, 3, seed, &mut scratch, shard_rows, threads,
+            QueryKernel::Batched,
         );
         prop_assert_eq!(s_stats.neighbor_visits, p_stats.neighbor_visits);
         prop_assert_eq!(s_stats.nonlocal_writes, p_stats.nonlocal_writes);
@@ -643,6 +654,7 @@ proptest! {
         let mut scratch = TickScratch::new();
         query_phase_sharded_with(
             &b, &mut sh_pool, n_owned, &mut index, 1, seed, &mut scratch, shard_rows, threads,
+            QueryKernel::Batched,
         );
         assert_tables_bit_identical(&serial, sh_pool.effects(), n)?;
     }
@@ -669,6 +681,7 @@ proptest! {
             let mut scratch = TickScratch::new();
             query_phase_sharded_with(
                 &b, &mut pool, n, &mut index, 2, seed, &mut scratch, shard_rows, threads,
+                QueryKernel::Batched,
             );
             pool
         };
@@ -767,5 +780,242 @@ proptest! {
             exec.agents()
         };
         prop_assert_eq!(run(IndexMaintenance::Incremental), run(IndexMaintenance::Rebuild));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel conformance: batched lane kernels ≡ scalar per-row paths, bitwise
+// (the contract of the `kernels` layer; CI reruns this section with
+// PROPTEST_CASES=256)
+// ---------------------------------------------------------------------------
+
+use brace_models::{fish, traffic, FishBehavior, FishParams, TrafficBehavior, TrafficParams};
+
+/// Point sets that stress the lane kernels' compare/select paths: ordinary
+/// coordinates salted with signed zeros, subnormals and coincident pairs
+/// (NaN-free — NaN positions are a model bug the executor debug-asserts
+/// against).
+fn edge_points(n: usize, seed: u64) -> Vec<(Vec2, u32)> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut pts: Vec<(Vec2, u32)> =
+        (0..n).map(|i| (Vec2::new(rng.range(-40.0, 40.0), rng.range(-40.0, 40.0)), i as u32)).collect();
+    for i in 0..n {
+        match i % 9 {
+            1 => pts[i].0.x = 0.0,
+            3 => pts[i].0.y = -0.0,
+            5 => pts[i].0.x = f64::from_bits(1),   // smallest subnormal
+            7 if i > 0 => pts[i].0 = pts[i - 1].0, // coincident pair
+            _ => {}
+        }
+    }
+    pts
+}
+
+/// Bitwise world equality: stricter than `Agent == Agent` (which treats
+/// `0.0 == -0.0`), because the kernel contract is bit-identity.
+fn worlds_bit_identical(a: &[Agent], b: &[Agent]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("world sizes differ: {} vs {}", a.len(), b.len()));
+    }
+    for (x, y) in a.iter().zip(b) {
+        let same = x.id == y.id
+            && x.alive == y.alive
+            && x.pos.x.to_bits() == y.pos.x.to_bits()
+            && x.pos.y.to_bits() == y.pos.y.to_bits()
+            && x.state.len() == y.state.len()
+            && x.state.iter().zip(&y.state).all(|(u, v)| u.to_bits() == v.to_bits())
+            && x.effects.len() == y.effects.len()
+            && x.effects.iter().zip(&y.effects).all(|(u, v)| u.to_bits() == v.to_bits());
+        if !same {
+            return Err(format!("agent {} diverged:\n  batched: {:?}\n  scalar:  {:?}", x.id, x, y));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Range filter: for every index kind, the batched path (coarse
+    /// emission + lane-kernel containment) produces exactly the candidates
+    /// of the scalar `range` — the same *sequence* for canonical indexes
+    /// (scan, grid), the same *set* for the KD-tree — across random
+    /// populations including empty/singleton sets, signed zeros, denormals
+    /// and coincident points.
+    #[test]
+    fn kernel_range_filter_batched_equals_scalar(
+        seed in 0u64..10_000,
+        n in 0usize..170,
+        probes in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, 0.0f64..30.0), 1..8),
+    ) {
+        let pts = edge_points(n, seed);
+        let kd = KdTree::build(&pts);
+        let grid = UniformGrid::build(&pts);
+        let scan = ScanIndex::build(&pts);
+        for (x, y, r) in probes {
+            let rect = Rect::centered(Vec2::new(x, y), r);
+            let (mut batched, mut scalar) = (Vec::new(), Vec::new());
+            scan.range_batch(&rect, &mut batched);
+            scan.range(&rect, &mut scalar);
+            prop_assert_eq!(&batched, &scalar, "scan sequence diverged");
+            batched.clear();
+            scalar.clear();
+            grid.range_batch(&rect, &mut batched);
+            grid.range(&rect, &mut scalar);
+            prop_assert_eq!(&batched, &scalar, "grid sequence diverged");
+            batched.clear();
+            scalar.clear();
+            kd.range_batch(&rect, &mut batched);
+            kd.range(&rect, &mut scalar);
+            batched.sort_unstable();
+            scalar.sort_unstable();
+            prop_assert_eq!(&batched, &scalar, "kd set diverged");
+        }
+    }
+
+    /// k-NN: the batched gather (squared distances as one lane kernel over
+    /// the columns) selects exactly the scalar brute-force sequence —
+    /// canonical (distance, payload) order, exclusion respected — for
+    /// every index kind, including empty and singleton point sets.
+    #[test]
+    fn kernel_knn_batched_equals_scalar(
+        seed in 0u64..10_000,
+        n in 0usize..140,
+        k in 1usize..10,
+        qx in -50.0f64..50.0,
+        qy in -50.0f64..50.0,
+        exclude in 0u32..150,
+    ) {
+        let pts = edge_points(n, seed);
+        let q = Vec2::new(qx, qy);
+        let exclude = if n == 0 { None } else { Some(exclude % n as u32) };
+        // Scalar reference: the exact per-point arithmetic and canonical
+        // selection the batched path must reproduce.
+        let mut want: Vec<(f64, u32)> = pts
+            .iter()
+            .filter(|&&(_, pl)| Some(pl) != exclude)
+            .map(|&(p, pl)| (p.dist2(q), pl))
+            .collect();
+        want.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        want.truncate(k);
+        let want: Vec<u32> = want.into_iter().map(|(_, pl)| pl).collect();
+        for (name, got) in [
+            ("scan", {
+                let mut out = Vec::new();
+                ScanIndex::build(&pts).k_nearest_into(q, k, exclude, &mut out);
+                out
+            }),
+            ("grid", {
+                let mut out = Vec::new();
+                UniformGrid::build(&pts).k_nearest_into(q, k, exclude, &mut out);
+                out
+            }),
+            ("kd", {
+                let mut out = Vec::new();
+                KdTree::build(&pts).k_nearest_into(q, k, exclude, &mut out);
+                out
+            }),
+        ] {
+            prop_assert_eq!(&got, &want, "{} k-NN diverged from scalar reference", name);
+        }
+    }
+
+    /// Fish forces: the batched force kernel (vectorized distances and
+    /// unit directions, ordered emission) is bit-identical to the scalar
+    /// per-row query over multi-tick runs — random schools salted with a
+    /// coincident pair (distance zero exercises the degenerate-direction
+    /// select), every index kind, serial and sharded-parallel.
+    #[test]
+    fn kernel_fish_forces_batched_equals_scalar(
+        seed in 0u64..10_000,
+        n in 0usize..90,
+        kind in any_index_kind(),
+        ticks in 1u64..5,
+        threads in 1usize..4,
+    ) {
+        let params = FishParams { school_radius: 8.0, ..FishParams::default() };
+        let mut pop = FishBehavior::new(params.clone()).population(n, seed);
+        if n >= 2 {
+            pop[1].pos = pop[0].pos; // coincident pair
+        }
+        let run = |kernel: QueryKernel| {
+            let mut exec =
+                brace_core::TickExecutor::new(FishBehavior::new(params.clone()), pop.clone(), kind, seed);
+            exec.set_parallelism(threads);
+            exec.set_query_kernel(kernel);
+            exec.run(ticks);
+            exec.agents()
+        };
+        worlds_bit_identical(&run(QueryKernel::Batched), &run(QueryKernel::Scalar))?;
+    }
+
+    /// Traffic gap scan: the batched kernel (vectorized offsets/gaps,
+    /// ordered nearest-per-lane fold) is bit-identical to the scalar query
+    /// over multi-tick runs with churn (exit + respawn), for both probe
+    /// modes (range scan and k-NN) and every index kind.
+    #[test]
+    fn kernel_traffic_gap_scan_batched_equals_scalar(
+        seed in 0u64..10_000,
+        lanes in 1usize..5,
+        density in 0.005f64..0.04,
+        kind in any_index_kind(),
+        ticks in 1u64..5,
+        use_knn in any::<bool>(),
+    ) {
+        let params = TrafficParams {
+            segment: 600.0,
+            lanes,
+            density,
+            knn: use_knn.then_some(6),
+            // Engage the gap-scan kernel (off by default as scheduling
+            // policy) so the equivalence under test is actually exercised.
+            batch_gap_scan: true,
+            ..TrafficParams::default()
+        };
+        let pop = TrafficBehavior::new(params.clone()).population(seed);
+        let run = |kernel: QueryKernel| {
+            let mut exec =
+                brace_core::TickExecutor::new(TrafficBehavior::new(params.clone()), pop.clone(), kind, seed);
+            exec.set_query_kernel(kernel);
+            exec.run(ticks);
+            exec.agents()
+        };
+        worlds_bit_identical(&run(QueryKernel::Batched), &run(QueryKernel::Scalar))?;
+    }
+
+    /// The model kernels' scalar tails, property-sized: candidate counts
+    /// straddling the lane width produce per-element results identical to
+    /// the shared scalar helpers (spot-checked against the per-candidate
+    /// definitions; the `brace_spatial::kernels` unit tests pin the exact
+    /// 0 / 1 / LANES±1 / 2·LANES−1 counts).
+    #[test]
+    fn kernel_model_maps_match_scalar_helpers(
+        seed in 0u64..10_000,
+        n in 0usize..11,
+        mx in -5.0f64..5.0,
+        my in -5.0f64..5.0,
+    ) {
+        let pts = edge_points(n, seed);
+        let xs: Vec<f64> = pts.iter().map(|&(p, _)| p.x).collect();
+        let ys: Vec<f64> = pts.iter().map(|&(p, _)| p.y).collect();
+        let (mut d2, mut ux, mut uy) = (Vec::new(), Vec::new(), Vec::new());
+        fish::force_kernel(&xs, &ys, mx, my, &mut d2, &mut ux, &mut uy);
+        let (mut dx, mut lead, mut rear) = (Vec::new(), Vec::new(), Vec::new());
+        traffic::gap_kernel(&xs, mx, 5.0, &mut dx, &mut lead, &mut rear);
+        for i in 0..n {
+            // Fish: the scalar definition, op for op.
+            let (sdx, sdy) = (xs[i] - mx, ys[i] - my);
+            let sd2 = sdx * sdx + sdy * sdy;
+            let sd = sd2.sqrt();
+            let (sux, suy) = if sd > f64::EPSILON { (sdx / sd, sdy / sd) } else { (0.0, 0.0) };
+            prop_assert_eq!(d2[i].to_bits(), sd2.to_bits());
+            prop_assert_eq!(ux[i].to_bits(), sux.to_bits());
+            prop_assert_eq!(uy[i].to_bits(), suy.to_bits());
+            // Traffic: the views_from_scan arithmetic, op for op.
+            let sdxl = xs[i] - mx;
+            prop_assert_eq!(dx[i].to_bits(), sdxl.to_bits());
+            prop_assert_eq!(lead[i].to_bits(), ((sdxl - 5.0).max(0.0)).to_bits());
+            prop_assert_eq!(rear[i].to_bits(), ((-sdxl - 5.0).max(0.0)).to_bits());
+        }
     }
 }

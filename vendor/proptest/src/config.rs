@@ -12,6 +12,16 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// Case count for this run: the configured count, overridden by the
+    /// `PROPTEST_CASES` environment variable when set. Unlike real
+    /// proptest (where an explicit `with_cases` beats the environment),
+    /// the variable wins here — CI raises the case count of selected
+    /// suites (the kernel conformance properties) without editing their
+    /// in-tree configuration.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {

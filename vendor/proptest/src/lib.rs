@@ -115,15 +115,16 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::config::ProptestConfig = $cfg;
+                let __cases = __cfg.resolved_cases();
                 let mut __rng = $crate::runner::TestRng::for_test(::core::stringify!($name));
-                for __case in 0..__cfg.cases {
+                for __case in 0..__cases {
                     $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
                     let __result: ::core::result::Result<(), ::std::string::String> =
                         (|| { $body ::core::result::Result::Ok(()) })();
                     if let ::core::result::Result::Err(__msg) = __result {
                         ::core::panic!(
                             "property `{}` failed on case {}/{}: {}",
-                            ::core::stringify!($name), __case + 1, __cfg.cases, __msg
+                            ::core::stringify!($name), __case + 1, __cases, __msg
                         );
                     }
                 }
