@@ -5,7 +5,7 @@
 //! ```text
 //! paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]
 //! paper tick-throughput [--quick] [--agents N,M] [--ticks T] [--warmup W]
-//!                       [--parallel P] [--out PATH]
+//!                       [--parallel P] [--cluster-agents N] [--cluster-workers A,B] [--out PATH]
 //! ```
 //!
 //! Absolute numbers are machine-dependent; the shapes (growth orders,
@@ -44,7 +44,8 @@ fn main() {
             "-h" | "--help" => {
                 println!(
                     "usage: paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]\n\
-                     \x20      paper tick-throughput [--quick] [--agents N,M] [--ticks T] [--warmup W] [--parallel P] [--out PATH]"
+                     \x20      paper tick-throughput [--quick] [--agents N,M] [--ticks T] [--warmup W] [--parallel P]\n\
+                     \x20            [--cluster-agents N] [--cluster-workers A,B] [--out PATH]"
                 );
                 return;
             }
@@ -112,6 +113,17 @@ fn run_tick_throughput(args: &[String]) {
             "--warmup" => cfg.warmup = take(&mut i).parse().unwrap_or_else(|_| die("--warmup takes a number")),
             "--parallel" => cfg.parallelism = take(&mut i).parse().unwrap_or_else(|_| die("--parallel takes a number")),
             "--scan-cap" => cfg.scan_cap = take(&mut i).parse().unwrap_or_else(|_| die("--scan-cap takes a number")),
+            "--cluster-agents" => {
+                cfg.cluster_agents =
+                    take(&mut i).parse().unwrap_or_else(|_| die("--cluster-agents takes a number (0 skips)"));
+            }
+            "--cluster-workers" => {
+                cfg.cluster_workers = take(&mut i)
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| die("--cluster-workers takes N,M,...")))
+                    .collect();
+            }
             "--out" => out = take(&mut i),
             other => die(&format!("unknown tick-throughput flag `{other}`")),
         }
@@ -124,6 +136,25 @@ fn run_tick_throughput(args: &[String]) {
         report.rows.iter().any(|r| r.mode == "scalar-kernel"),
         "tick-throughput matrix lost the scalar-kernel ablation row"
     );
+    // The cluster section must cover both models at every configured
+    // worker count, and delta distribution must beat full redistribution
+    // on replica bytes in the multi-worker steady state — traffic's
+    // persisting boundary replicas change only a couple of fields per
+    // tick, so the ratio sits well under 1 on any machine. (Skipped when
+    // the section is disabled via --cluster-agents 0 / --cluster-workers.)
+    if cfg.cluster_agents > 0 && !cfg.cluster_workers.is_empty() {
+        for model in ["fish", "traffic"] {
+            for &w in &cfg.cluster_workers {
+                assert!(
+                    report.cluster.iter().any(|c| c.model == model && c.workers == w),
+                    "cluster-throughput section lost the {model} x{w} row"
+                );
+            }
+        }
+        let delta_wins =
+            report.cluster.iter().filter(|c| c.model == "traffic" && c.workers > 1).all(|c| c.delta_over_full < 0.8);
+        assert!(delta_wins, "replica-delta bytes must be well under replica-full bytes: {:?}", report.cluster);
+    }
     print_table(
         &format!("Tick throughput — sharded executor, {} core(s)", report.cores),
         &["model", "agents", "index", "mode", "threads", "query [agents/s]", "tick [agents/s]"],
@@ -160,6 +191,26 @@ fn run_tick_throughput(args: &[String]) {
     for s in &report.skipped {
         println!("skipped: {s}");
     }
+    print_table(
+        "Cluster throughput — delta distribution, per-tick bytes by traffic class",
+        &["model", "workers", "agents", "agents/s", "transfer B/t", "rep-full B/t", "rep-delta B/t", "delta/full"],
+        &report
+            .cluster
+            .iter()
+            .map(|c| {
+                vec![
+                    c.model.to_string(),
+                    c.workers.to_string(),
+                    c.actual_agents.to_string(),
+                    tput(c.agents_per_sec),
+                    format!("{:.0}", c.transfer_bytes_per_tick),
+                    format!("{:.0}", c.replica_full_bytes_per_tick),
+                    format!("{:.0}", c.replica_delta_bytes_per_tick),
+                    format!("{:.3}", c.delta_over_full),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
     let json = throughput::to_json(&report, &cfg);
     std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
     println!("wrote {out}");

@@ -13,8 +13,10 @@
 
 use brace_core::executor::reference_step;
 use brace_core::{Agent, Behavior, IndexMaintenance, QueryKernel, TickExecutor};
+use brace_mapreduce::{ClusterConfig, ClusterSim, DistributionMode};
 use brace_models::{FishBehavior, FishParams, TrafficBehavior, TrafficParams};
 use brace_spatial::IndexKind;
+use std::sync::Arc;
 
 /// One measured configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,11 +79,24 @@ pub struct ThroughputConfig {
     /// recorded in [`ThroughputReport::skipped`] rather than silently
     /// dropped.
     pub scan_cap: usize,
+    /// Population size for the cluster-throughput section (`0` skips the
+    /// section entirely).
+    pub cluster_agents: usize,
+    /// Worker counts for the cluster-throughput section (empty skips it).
+    pub cluster_workers: Vec<usize>,
 }
 
 impl Default for ThroughputConfig {
     fn default() -> Self {
-        ThroughputConfig { agent_counts: vec![10_000, 100_000], ticks: 3, warmup: 1, parallelism: 0, scan_cap: 20_000 }
+        ThroughputConfig {
+            agent_counts: vec![10_000, 100_000],
+            ticks: 3,
+            warmup: 1,
+            parallelism: 0,
+            scan_cap: 20_000,
+            cluster_agents: 20_000,
+            cluster_workers: vec![1, 2, 4],
+        }
     }
 }
 
@@ -89,7 +104,15 @@ impl ThroughputConfig {
     /// The `--quick` CI smoke preset: one small population, two ticks —
     /// enough to drive every mode of the perf path end to end in seconds.
     pub fn quick() -> Self {
-        ThroughputConfig { agent_counts: vec![2_000], ticks: 2, warmup: 1, parallelism: 2, scan_cap: 2_500 }
+        ThroughputConfig {
+            agent_counts: vec![2_000],
+            ticks: 2,
+            warmup: 1,
+            parallelism: 2,
+            scan_cap: 2_500,
+            cluster_agents: 2_000,
+            cluster_workers: vec![1, 2, 4],
+        }
     }
 }
 
@@ -115,11 +138,36 @@ pub struct SpeedupRow {
     pub kernel_speedup: f64,
 }
 
+/// One cluster-throughput configuration: the distributed runtime under
+/// delta distribution, with per-tick network bytes split by traffic class
+/// and the replica-byte ratio against the full-redistribution ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRow {
+    pub model: &'static str,
+    pub workers: usize,
+    pub actual_agents: usize,
+    /// Measured (post-warmup) ticks.
+    pub ticks: u64,
+    /// Agent-ticks per second of wall time across the measured epochs.
+    pub agents_per_sec: f64,
+    /// Per-tick network bytes by traffic class (measured epochs only).
+    pub transfer_bytes_per_tick: f64,
+    pub replica_full_bytes_per_tick: f64,
+    pub replica_delta_bytes_per_tick: f64,
+    pub effects_bytes_per_tick: f64,
+    /// Replica bytes under delta distribution over replica bytes under
+    /// full redistribution, same configuration — the headline saving of
+    /// the pool-resident worker (≪ 1 in any steady state).
+    pub delta_over_full: f64,
+}
+
 /// The full measurement matrix plus derived speedups.
 #[derive(Debug, Clone, Default)]
 pub struct ThroughputReport {
     pub rows: Vec<ThroughputRow>,
     pub speedups: Vec<SpeedupRow>,
+    /// The cluster-throughput section (distributed runtime).
+    pub cluster: Vec<ClusterRow>,
     /// Configurations skipped with the reason (e.g. scan at 100k).
     pub skipped: Vec<String>,
     /// Cores visible to the process when the matrix ran.
@@ -230,6 +278,80 @@ fn measure_aos<B: Behavior>(ctx: &MeasureCtx, behavior: B, mut agents: Vec<Agent
     }
 }
 
+/// Measure one cluster configuration: one warmup epoch, then two measured
+/// epochs with the network ledger reset in between; returns the row plus
+/// the raw replica bytes so the caller can form the delta/full ratio.
+fn measure_cluster(model: &'static str, workers: usize, n: usize, mode: DistributionMode) -> (ClusterRow, u64) {
+    const EPOCH_LEN: u64 = 5;
+    const MEASURED_EPOCHS: u64 = 2;
+    let (behavior, pop, space_x): (Arc<dyn Behavior>, Vec<Agent>, (f64, f64)) = if model == "fish" {
+        let (b, pop) = fish_world(n);
+        let r = b.params().school_radius;
+        (Arc::new(b), pop, (-r, r))
+    } else {
+        let (b, pop) = traffic_world(n);
+        let seg = b.params().segment;
+        (Arc::new(b), pop, (0.0, seg))
+    };
+    let actual = pop.len();
+    let cfg = ClusterConfig {
+        workers,
+        epoch_len: EPOCH_LEN,
+        seed: 42,
+        space_x,
+        load_balance: false,
+        distribution: mode,
+        ..ClusterConfig::default()
+    };
+    let mut sim = ClusterSim::new(behavior, pop, cfg).expect("cluster config is valid");
+    sim.run_epochs(1).expect("warmup epoch");
+    sim.reset_net();
+    let before = sim.stats();
+    sim.run_epochs(MEASURED_EPOCHS).expect("measured epochs");
+    let after = sim.stats();
+    let ticks = MEASURED_EPOCHS * EPOCH_LEN;
+    let wall_ns = after.wall_ns - before.wall_ns;
+    let agent_ticks = after.agent_ticks - before.agent_ticks;
+    let net = after.net; // reset before measurement, so this is measured-only
+    let per_tick = |b: u64| b as f64 / ticks as f64;
+    let row = ClusterRow {
+        model,
+        workers,
+        actual_agents: actual,
+        ticks,
+        agents_per_sec: if wall_ns == 0 { 0.0 } else { agent_ticks as f64 / (wall_ns as f64 / 1e9) },
+        transfer_bytes_per_tick: per_tick(net.transfer.bytes),
+        replica_full_bytes_per_tick: per_tick(net.replica_full.bytes),
+        replica_delta_bytes_per_tick: per_tick(net.replica_delta.bytes),
+        effects_bytes_per_tick: per_tick(net.effects.bytes),
+        delta_over_full: 0.0, // filled by the caller from the paired run
+    };
+    (row, net.replica_bytes())
+}
+
+/// The cluster-throughput section: fish + traffic at the configured
+/// population over 1/2/4 workers, delta distribution measured against the
+/// full-redistribution ablation for the replica-byte ratio.
+pub fn cluster_throughput(cfg: &ThroughputConfig) -> Vec<ClusterRow> {
+    let mut rows = Vec::new();
+    if cfg.cluster_agents == 0 || cfg.cluster_workers.is_empty() {
+        return rows;
+    }
+    for model in ["fish", "traffic"] {
+        for &workers in &cfg.cluster_workers {
+            let (mut row, delta_bytes) = measure_cluster(model, workers, cfg.cluster_agents, DistributionMode::Delta);
+            if workers > 1 {
+                let (_, full_bytes) = measure_cluster(model, workers, cfg.cluster_agents, DistributionMode::Full);
+                row.delta_over_full = if full_bytes == 0 { 1.0 } else { delta_bytes as f64 / full_bytes as f64 };
+            } else {
+                row.delta_over_full = 1.0; // one worker ships nothing either way
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
 /// Run the measurement matrix over fish + traffic, every population size
 /// and every index kind (scan capped per the config): serial, parallel,
 /// and the two ablation modes.
@@ -303,6 +425,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
             }
         }
     }
+    report.cluster = cluster_throughput(cfg);
     report
 }
 
@@ -320,10 +443,12 @@ fn index_name(kind: IndexKind) -> &'static str {
 /// and `aos` ablation rows, the per-row `index_rebuilds` column and the
 /// `incremental_speedup` / `soa_speedup` ablation columns. Version 3 added
 /// the `scalar-kernel` ablation rows and the `kernel_speedup` column
-/// (batched lane kernels over the scalar probe loop).
+/// (batched lane kernels over the scalar probe loop). Version 4 added the
+/// `cluster` section: distributed-runtime throughput with per-tick bytes
+/// split by traffic class and the `delta_over_full` replica-byte ratio.
 pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!("  \"cores\": {},\n", report.cores));
     out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
     out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
@@ -369,6 +494,27 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"cluster\": [\n");
+    for (i, c) in report.cluster.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"workers\": {}, \"actual_agents\": {}, \"ticks\": {}, \
+             \"agents_per_sec\": {:.1}, \"transfer_bytes_per_tick\": {:.1}, \
+             \"replica_full_bytes_per_tick\": {:.1}, \"replica_delta_bytes_per_tick\": {:.1}, \
+             \"effects_bytes_per_tick\": {:.1}, \"delta_over_full\": {:.4}}}{}\n",
+            c.model,
+            c.workers,
+            c.actual_agents,
+            c.ticks,
+            c.agents_per_sec,
+            c.transfer_bytes_per_tick,
+            c.replica_full_bytes_per_tick,
+            c.replica_delta_bytes_per_tick,
+            c.effects_bytes_per_tick,
+            c.delta_over_full,
+            if i + 1 == report.cluster.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"skipped\": [\n");
     for (i, s) in report.skipped.iter().enumerate() {
         out.push_str(&format!("    \"{}\"{}\n", s, if i + 1 == report.skipped.len() { "" } else { "," }));
@@ -383,7 +529,15 @@ mod tests {
 
     #[test]
     fn miniature_matrix_runs_and_serializes() {
-        let cfg = ThroughputConfig { agent_counts: vec![300], ticks: 1, warmup: 0, parallelism: 2, scan_cap: 1_000 };
+        let cfg = ThroughputConfig {
+            agent_counts: vec![300],
+            ticks: 1,
+            warmup: 0,
+            parallelism: 2,
+            scan_cap: 1_000,
+            cluster_agents: 300,
+            cluster_workers: vec![1, 2],
+        };
         let report = tick_throughput(&cfg);
         // 1 size × 3 kinds × 2 models × 5 modes.
         assert_eq!(report.rows.len(), 30);
@@ -392,13 +546,20 @@ mod tests {
         for mode in ["serial", "parallel", "rebuild", "aos", "scalar-kernel"] {
             assert!(report.rows.iter().any(|r| r.mode == mode), "missing mode {mode}");
         }
+        // Cluster section: 2 models × 2 worker counts.
+        assert_eq!(report.cluster.len(), 4);
+        for c in &report.cluster {
+            assert!(c.agents_per_sec > 0.0, "cluster row {c:?} measured nothing");
+        }
         let json = to_json(&report, &cfg);
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"model\": \"traffic\""));
         assert!(json.contains("\"incremental_speedup\""));
         assert!(json.contains("\"kernel_speedup\""));
         assert!(json.contains("\"mode\": \"aos\""));
         assert!(json.contains("\"mode\": \"scalar-kernel\""));
+        assert!(json.contains("\"delta_over_full\""));
+        assert!(json.contains("\"replica_delta_bytes_per_tick\""));
         assert!(json.ends_with("}\n"));
         // Crude balance check so the hand-rolled JSON stays well-formed.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

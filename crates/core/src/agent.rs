@@ -248,6 +248,76 @@ impl AgentPool {
         self.effects.push_identity_row();
     }
 
+    /// Overwrite row `dst` with row `src` (all columns, effects included).
+    ///
+    /// One of the **stable-row mutation primitives** the distributed
+    /// runtime's persistent pool is built on: removal is "copy the last row
+    /// into the hole, then pop", so every surviving row keeps its index and
+    /// only one row moves. Callers maintaining an id ↔ row map (the worker)
+    /// re-point the moved id after the copy.
+    #[inline]
+    pub fn copy_row_within(&mut self, src: u32, dst: u32) {
+        let (s, d) = (src as usize, dst as usize);
+        self.ids[d] = self.ids[s];
+        self.xs[d] = self.xs[s];
+        self.ys[d] = self.ys[s];
+        self.alive[d] = self.alive[s];
+        for col in &mut self.states {
+            col[d] = col[s];
+        }
+        self.effects.copy_row_within(src, dst);
+    }
+
+    /// Append a copy of row `src` at the end (the persistent pool's
+    /// owned-region insertion relocates the first replica-tail row here).
+    pub fn push_row_copy(&mut self, src: u32) {
+        let s = src as usize;
+        self.ids.push(self.ids[s]);
+        self.xs.push(self.xs[s]);
+        self.ys.push(self.ys[s]);
+        self.alive.push(self.alive[s]);
+        for col in &mut self.states {
+            let v = col[s];
+            col.push(v);
+        }
+        self.effects.push_row_copy(src);
+    }
+
+    /// Remove the last row.
+    pub fn pop_row(&mut self) {
+        debug_assert!(!self.is_empty(), "pop from empty pool");
+        self.ids.pop();
+        self.xs.pop();
+        self.ys.pop();
+        self.alive.pop();
+        for col in &mut self.states {
+            col.pop();
+        }
+        self.effects.pop_row();
+    }
+
+    /// Overwrite row `r` in place from a row record (replica refresh,
+    /// owned-region insertion into a relocated slot).
+    pub fn overwrite_row(&mut self, r: u32, a: &Agent) {
+        debug_assert_eq!(a.state.len(), self.states.len(), "state shape mismatch");
+        debug_assert_eq!(a.effects.len(), self.effects.width(), "effect shape mismatch");
+        let i = r as usize;
+        self.ids[i] = a.id;
+        self.xs[i] = a.pos.x;
+        self.ys[i] = a.pos.y;
+        self.alive[i] = a.alive;
+        for (col, &v) in self.states.iter_mut().zip(&a.state) {
+            col[i] = v;
+        }
+        self.effects.set_row(r, &a.effects);
+    }
+
+    /// Number of state fields per row (the schema's state width).
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
     /// Keep only rows `0..n` (drops replica rows after the query phase).
     pub fn truncate(&mut self, n: usize) {
         self.ids.truncate(n);
@@ -390,9 +460,16 @@ impl AgentPool {
 
     /// [`AgentPool::to_agents`] into a reused buffer.
     pub fn write_agents_into(&self, out: &mut Vec<Agent>) {
+        self.write_agents_prefix_into(self.len(), out);
+    }
+
+    /// Materialize rows `0..n` as row records (the distributed worker's
+    /// snapshot boundary: owned rows only, replica tail excluded).
+    pub fn write_agents_prefix_into(&self, n: usize, out: &mut Vec<Agent>) {
+        debug_assert!(n <= self.len());
         out.clear();
-        out.reserve(self.len());
-        for r in 0..self.len() {
+        out.reserve(n);
+        for r in 0..n {
             out.push(Agent {
                 id: self.ids[r],
                 pos: Vec2::new(self.xs[r], self.ys[r]),
@@ -421,6 +498,14 @@ impl AgentPool {
     /// parallel update phase's entry point.
     pub fn update_chunks(&mut self, counts: &[usize]) -> Vec<UpdateChunk<'_>> {
         debug_assert_eq!(counts.iter().sum::<usize>(), self.len(), "chunk plan must cover the pool");
+        self.update_chunks_prefix(counts)
+    }
+
+    /// [`AgentPool::update_chunks`] over a prefix of the pool: `counts` may
+    /// sum to less than `len`, leaving the remaining rows (the distributed
+    /// worker's persistent replica tail) untouched and unborrowed.
+    pub fn update_chunks_prefix(&mut self, counts: &[usize]) -> Vec<UpdateChunk<'_>> {
+        debug_assert!(counts.iter().sum::<usize>() <= self.len(), "chunk plan exceeds the pool");
         let effects = &self.effects;
         let mut ids: &[AgentId] = &self.ids;
         let mut xs: &mut [f64] = &mut self.xs;
@@ -734,6 +819,63 @@ mod tests {
         let agents = pool.to_agents();
         assert_eq!(agents[0].effects, vec![0.0, f64::INFINITY]);
         assert_eq!(agents[0].state, vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn stable_row_ops_compose_into_swap_removal() {
+        let s = schema();
+        let agents: Vec<Agent> = (0..5)
+            .map(|i| {
+                let mut a = Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), &s);
+                a.state[0] = 10.0 + i as f64;
+                a.effects[0] = i as f64;
+                a
+            })
+            .collect();
+        let mut pool = AgentPool::from_agents(&s, &agents);
+        // Swap-removal of row 1: copy last row in, pop.
+        pool.copy_row_within(4, 1);
+        pool.pop_row();
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.id(1), AgentId::new(4));
+        assert_eq!(pool.state(1, FieldId::new(0)), 14.0);
+        assert_eq!(pool.effects().get(1, FieldId::new(0)), 4.0);
+        // Rows 0, 2, 3 kept their indices.
+        assert_eq!(pool.id(0), AgentId::new(0));
+        assert_eq!(pool.id(2), AgentId::new(2));
+        assert_eq!(pool.id(3), AgentId::new(3));
+        // Append a copy of row 0, then overwrite it in place.
+        pool.push_row_copy(0);
+        assert_eq!(pool.id(4), AgentId::new(0));
+        let replacement = Agent::with_state(AgentId::new(9), Vec2::new(-1.0, -2.0), vec![7.0, 8.0], &s);
+        pool.overwrite_row(4, &replacement);
+        assert_eq!(pool.id(4), AgentId::new(9));
+        assert_eq!(pool.pos(4), Vec2::new(-1.0, -2.0));
+        assert_eq!(pool.state(4, FieldId::new(1)), 8.0);
+    }
+
+    #[test]
+    fn write_agents_prefix_excludes_tail() {
+        let s = schema();
+        let agents: Vec<Agent> = (0..4).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), &s)).collect();
+        let pool = AgentPool::from_agents(&s, &agents);
+        let mut out = Vec::new();
+        pool.write_agents_prefix_into(2, &mut out);
+        assert_eq!(out, &agents[..2]);
+    }
+
+    #[test]
+    fn update_chunks_prefix_leaves_tail_unborrowed() {
+        let s = schema();
+        let agents: Vec<Agent> = (0..6).map(|i| Agent::new(AgentId::new(i), Vec2::new(i as f64, 0.0), &s)).collect();
+        let mut pool = AgentPool::from_agents(&s, &agents);
+        let chunks = pool.update_chunks_prefix(&[2, 2]);
+        assert_eq!(chunks.len(), 2);
+        let mut scratch = Agent::new(AgentId::new(0), Vec2::ZERO, &s);
+        chunks[1].load(1, &mut scratch);
+        assert_eq!(scratch.id, AgentId::new(3));
+        drop(chunks);
+        assert_eq!(pool.id(5), AgentId::new(5), "tail untouched");
     }
 
     #[test]

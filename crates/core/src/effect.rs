@@ -82,6 +82,42 @@ impl EffectTable {
         self.rows += 1;
     }
 
+    /// Overwrite row `dst` with row `src` (same table). One of the
+    /// stable-row mutation primitives backing the distributed runtime's
+    /// persistent pool (swap-removal copies the last row into the hole).
+    #[inline]
+    pub fn copy_row_within(&mut self, src: u32, dst: u32) {
+        for col in &mut self.cols {
+            col[dst as usize] = col[src as usize];
+        }
+    }
+
+    /// Append a copy of row `src` at the end.
+    pub fn push_row_copy(&mut self, src: u32) {
+        for col in &mut self.cols {
+            let v = col[src as usize];
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Overwrite row `r` with the given values.
+    pub fn set_row(&mut self, r: u32, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.width(), "effect row shape mismatch");
+        for (col, &v) in self.cols.iter_mut().zip(values) {
+            col[r as usize] = v;
+        }
+    }
+
+    /// Remove the last row.
+    pub fn pop_row(&mut self) {
+        debug_assert!(self.rows > 0, "pop from empty effect table");
+        for col in &mut self.cols {
+            col.pop();
+        }
+        self.rows -= 1;
+    }
+
     /// Drop rows `n..` (replica rows after the query phase).
     pub fn truncate_rows(&mut self, n: usize) {
         if n >= self.rows {

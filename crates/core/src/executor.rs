@@ -153,6 +153,21 @@ fn shard_range(n: usize, k: usize, i: usize) -> Range<usize> {
     (i * n / k)..((i + 1) * n / k)
 }
 
+/// True when the id column is strictly increasing — the case for every
+/// single-node pool (initial populations are id-ordered, spawns append
+/// increasing ids, compaction preserves order). Distributed workers mutate
+/// rows in place (swap-removal, persistent replica tails), so their pools
+/// lose monotonicity; the query phase then canonicalizes candidates by
+/// **agent id** instead of row, making per-agent neighbor iteration order —
+/// and therefore float effect aggregation — a pure function of the agent
+/// set, independent of row placement. When ids are monotone the two orders
+/// coincide, so the fast row-order paths (and the committed golden
+/// checksums) are untouched.
+#[inline]
+fn ids_strictly_increasing(ids: &[AgentId]) -> bool {
+    ids.windows(2).all(|w| w[0] < w[1])
+}
+
 /// Resolve a `parallelism` knob: `0` = one thread per available core.
 pub fn effective_parallelism(parallelism: usize) -> usize {
     if parallelism == 0 {
@@ -432,15 +447,16 @@ pub fn query_phase<B: Behavior>(
     // The reference path is the *scalar* probe loop: `range` + per-row
     // `query`. The batched kernels are proven against it.
     let k = QueryKernel::Scalar;
+    let id_rows = ids_strictly_increasing(view.ids);
     let (visits, nonlocal) = match &index {
         BuiltIndex::Scan(i) => {
-            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k)
+            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k, id_rows)
         }
         BuiltIndex::Kd(i) => {
-            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k)
+            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k, id_rows)
         }
         BuiltIndex::Grid(i) => {
-            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k)
+            query_rows(behavior, schema, i, view, 0..n_owned, 0, table, &mut cands, &mut batch, tick, seed, k, id_rows)
         }
     };
     stats.neighbor_visits = visits;
@@ -470,6 +486,7 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
     tick: u64,
     seed: u64,
     kernel: QueryKernel,
+    rows_in_id_order: bool,
 ) -> (u64, u64) {
     let vis = schema.visibility();
     let probe = behavior.probe();
@@ -496,25 +513,38 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
                         QueryKernel::Batched if I::RANGE_BATCH_NATIVE => index.range_batch(&rect, candidates),
                         _ => index.range(&rect, candidates),
                     }
-                    // Canonical candidate order: per index kind, results
-                    // must be a pure function of the position multiset so
-                    // that maintained indexes and fresh rebuilds aggregate
-                    // float effects in the same order. Grid and scan are
-                    // canonical by construction (`RANGE_CANONICAL`, batched
-                    // or not); the KD-tree's emission order depends on its
-                    // build history, so its candidates are row-sorted here.
-                    if !I::RANGE_CANONICAL {
+                    // Canonical candidate order: **ascending agent id**,
+                    // always. Per-agent neighbor iteration order — and
+                    // therefore float effect aggregation — is a pure
+                    // function of the agent set, independent of index
+                    // state (maintained vs rebuilt) *and* of row placement
+                    // (single-node pool vs a distributed worker's
+                    // swap-mutated pool, which is what makes an N-worker
+                    // cluster bit-identical to one node). When rows are
+                    // already in id order (every single-node pool), row
+                    // order *is* id order: grid and scan are then canonical
+                    // by construction (`RANGE_CANONICAL`) and only the
+                    // KD-tree (build-history emission order) pays a sort.
+                    if !rows_in_id_order {
+                        candidates.sort_unstable_by_key(|&r| (view.ids[r as usize], r));
+                    } else if !I::RANGE_CANONICAL {
                         candidates.sort_unstable();
                     }
                 } else {
                     candidates.extend(0..view.len() as u32);
+                    if !rows_in_id_order {
+                        candidates.sort_unstable_by_key(|&r| (view.ids[r as usize], r));
+                    }
                 }
             }
             NeighborProbe::Nearest(k) => {
                 // Ask for k + 1 so self (always distance 0) doesn't crowd
                 // out a real neighbor; crop to the visible region, which is
                 // all the distributed runtime replicates. k-NN results are
-                // canonical already ((distance, row) order).
+                // canonical already ((distance, row) order); note the row
+                // tie-break makes k-th-neighbor ties placement-dependent,
+                // so Nearest-probe models carry a documented approximate
+                // (not bit-exact) distributed-equivalence contract.
                 index.k_nearest_into(pos, k + 1, None, candidates);
                 if vis.is_finite() {
                     candidates.retain(|&i| view.pos(i).dist_linf(pos) <= vis);
@@ -617,17 +647,52 @@ pub fn query_phase_sharded_with<B: Behavior>(
     }
 
     // One monomorphized dispatch per tick, then the shard loop runs against
-    // the concrete index type.
+    // the concrete index type. The id-order probe (once per tick, early-out
+    // on the first inversion) picks the candidate canonicalization path.
+    let id_rows = ids_strictly_increasing(view.ids);
     match index.built.as_ref().expect("sync built an index") {
-        BuiltIndex::Scan(i) => {
-            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed, kernel)
-        }
-        BuiltIndex::Kd(i) => {
-            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed, kernel)
-        }
-        BuiltIndex::Grid(i) => {
-            run_query_shards(behavior, schema, i, view, n_owned, nonlocal_schema, shards, threads, tick, seed, kernel)
-        }
+        BuiltIndex::Scan(i) => run_query_shards(
+            behavior,
+            schema,
+            i,
+            view,
+            n_owned,
+            nonlocal_schema,
+            shards,
+            threads,
+            tick,
+            seed,
+            kernel,
+            id_rows,
+        ),
+        BuiltIndex::Kd(i) => run_query_shards(
+            behavior,
+            schema,
+            i,
+            view,
+            n_owned,
+            nonlocal_schema,
+            shards,
+            threads,
+            tick,
+            seed,
+            kernel,
+            id_rows,
+        ),
+        BuiltIndex::Grid(i) => run_query_shards(
+            behavior,
+            schema,
+            i,
+            view,
+            n_owned,
+            nonlocal_schema,
+            shards,
+            threads,
+            tick,
+            seed,
+            kernel,
+            id_rows,
+        ),
     }
 
     // Deterministic merge, ascending shard order, directly into the pool's
@@ -667,6 +732,7 @@ fn run_query_shards<B: Behavior, I: SpatialIndex>(
     tick: u64,
     seed: u64,
     kernel: QueryKernel,
+    rows_in_id_order: bool,
 ) {
     let k = shards.len();
     let run_one = |i: usize, shard: &mut ShardScratch| {
@@ -685,6 +751,7 @@ fn run_query_shards<B: Behavior, I: SpatialIndex>(
             tick,
             seed,
             kernel,
+            rows_in_id_order,
         );
         shard.visits = visits;
         shard.nonlocal = nonlocal;
@@ -827,6 +894,66 @@ pub fn update_phase_sharded<B: Behavior>(
     }
     pool.reset_effects();
     UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
+}
+
+/// Sharded update phase over rows `0..n_owned` of a pool whose tail holds
+/// **persistent replica rows that must survive the tick** — the distributed
+/// worker's entry point. Unlike [`update_phase_sharded`] it mutates no pool
+/// membership: killed rows are reported in `killed` (ascending row order)
+/// for the caller to remove with its stable-row ops (keeping its id ↔ row
+/// map in sync), and spawns are materialized as ready row records in
+/// `spawned` — ids allocated in chunk order, exactly the serial reference's
+/// assignment — for the caller to insert. Effect columns are left for the
+/// caller to reset once kills/spawns are applied.
+#[allow(clippy::too_many_arguments)]
+pub fn update_phase_prefix<B: Behavior>(
+    behavior: &B,
+    pool: &mut AgentPool,
+    n_owned: usize,
+    tick: u64,
+    seed: u64,
+    id_gen: &mut AgentIdGen,
+    scratch: &mut TickScratch,
+    parallelism: usize,
+    killed: &mut Vec<u32>,
+    spawned: &mut Vec<Agent>,
+) -> UpdateStats {
+    let schema = behavior.schema();
+    let t0 = Instant::now();
+    killed.clear();
+    spawned.clear();
+    let threads = effective_parallelism(parallelism).min(n_owned).max(1);
+    let shards = scratch.ensure_shards(schema, threads);
+    for shard in shards.iter_mut() {
+        shard.spawns.clear();
+    }
+    {
+        let counts: Vec<usize> = (0..threads).map(|t| shard_range(n_owned, threads, t).len()).collect();
+        let mut chunks = pool.update_chunks_prefix(&counts);
+        if threads <= 1 {
+            update_chunk_rows(behavior, schema, &mut chunks[0], tick, seed, &mut shards[0].spawns);
+        } else {
+            std::thread::scope(|scope| {
+                let mut rest = &mut *shards;
+                for mut chunk in chunks {
+                    let (shard, tail) = rest.split_at_mut(1);
+                    rest = tail;
+                    let spawns = &mut shard[0].spawns;
+                    scope.spawn(move || update_chunk_rows(behavior, schema, &mut chunk, tick, seed, spawns));
+                }
+            });
+        }
+    }
+    killed.extend((0..n_owned as u32).filter(|&r| !pool.alive(r)));
+    let mut n_spawned = 0;
+    for shard in shards.iter_mut() {
+        n_spawned += shard.spawns.len();
+        for (pos, state) in shard.spawns.drain(..) {
+            let id = id_gen.alloc().expect("agent id space exhausted");
+            spawned.push(Agent::with_state(id, pos, state, schema));
+        }
+    }
+    UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned: n_spawned, killed: killed.len() }
 }
 
 /// Update one pool chunk through a reused scratch record.

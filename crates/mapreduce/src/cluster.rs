@@ -10,7 +10,7 @@ use crate::checkpoint::CheckpointStore;
 use crate::master::{ClusterStats, Master};
 use crate::net::NetLedger;
 use crate::runtime::{Command, PeerMsg, Report};
-use crate::worker::{Worker, WorkerConfig, WorkerLinks};
+use crate::worker::{DistributionMode, Worker, WorkerConfig, WorkerLinks};
 use brace_common::{BraceError, Result, WorkerId};
 use brace_core::{Agent, Behavior};
 use brace_spatial::{GridPartitioning, IndexKind, Partitioner};
@@ -60,6 +60,13 @@ pub struct ClusterConfig {
     /// Never affects results — the executor's shard plan is thread-count
     /// independent.
     pub parallelism: usize,
+    /// Replica transport: delta frames (default) or full redistribution
+    /// every tick (the ablation baseline). Never affects results for
+    /// range-probe models, only bytes — proven by the
+    /// `distributed_equivalence` proptests. (k-NN-probe models tie-break
+    /// by pool row, so their distributed equivalence is approximate under
+    /// either mode; see `DistributionMode`.)
+    pub distribution: DistributionMode,
     /// Scheduled failure, if any.
     pub fault: Option<FaultPlan>,
 }
@@ -79,6 +86,7 @@ impl Default for ClusterConfig {
             checkpoint_dir: None,
             collocation: true,
             parallelism: 1,
+            distribution: DistributionMode::default(),
             fault: None,
         }
     }
@@ -108,6 +116,14 @@ impl ClusterSim {
             return Err(BraceError::Config("space_x must be a non-empty interval".into()));
         }
         let schema = behavior.schema();
+        if schema.num_states() > crate::codec::DELTA_MAX_STATES {
+            return Err(BraceError::Config(format!(
+                "schema `{}` has {} state fields; the replica delta mask addresses at most {}",
+                schema.name(),
+                schema.num_states(),
+                crate::codec::DELTA_MAX_STATES
+            )));
+        }
         for a in &agents {
             if a.state.len() != schema.num_states() || a.effects.len() != schema.num_effects() {
                 return Err(BraceError::Schema(format!("agent {} does not match schema `{}`", a.id, schema.name())));
@@ -156,6 +172,7 @@ impl ClusterSim {
                 seed: cfg.seed,
                 collocation: cfg.collocation,
                 parallelism: cfg.parallelism,
+                distribution: cfg.distribution,
             };
             let worker = Worker::new(
                 behavior.clone(),
@@ -485,10 +502,202 @@ mod tests {
     }
 
     #[test]
+    fn over_wide_schema_rejected_as_config_error() {
+        // The replica delta mask addresses ≤ 30 state fields; a wider
+        // schema must fail construction with a config error, not panic in
+        // a worker thread.
+        struct Wide(AgentSchema);
+        impl Behavior for Wide {
+            fn schema(&self) -> &AgentSchema {
+                &self.0
+            }
+            fn query(
+                &self,
+                _m: brace_core::AgentRef<'_>,
+                _n: &Neighbors<'_>,
+                _e: &mut EffectWriter<'_>,
+                _r: &mut DetRng,
+            ) {
+            }
+            fn update(&self, _me: &mut Agent, _ctx: &mut UpdateCtx<'_>) {}
+        }
+        let mut b = AgentSchema::builder("Wide").visibility(1.0);
+        let names: Vec<String> = (0..31).map(|i| format!("s{i}")).collect();
+        for name in &names {
+            b = b.state(name);
+        }
+        let schema = b.build().unwrap();
+        let err = ClusterSim::new(Arc::new(Wide(schema)), vec![], ClusterConfig::default())
+            .err()
+            .expect("31 state fields must be rejected");
+        assert!(err.to_string().contains("delta mask"), "unexpected error: {err}");
+    }
+
+    #[test]
     fn zero_workers_rejected() {
         let cfg = ClusterConfig { workers: 0, ..Default::default() };
         let err = ClusterSim::new(Arc::new(Flock::new()), vec![], cfg).err().expect("must reject");
         assert!(err.to_string().contains("at least one worker"));
+    }
+
+    /// A model whose agents never move nor change state: the acceptance
+    /// bar for delta distribution — its boundary replicas must cost zero
+    /// bytes per steady-state tick.
+    struct Frozen(AgentSchema);
+
+    impl Frozen {
+        fn new() -> Self {
+            Frozen(
+                AgentSchema::builder("Frozen")
+                    .state("s")
+                    .effect("n", Combinator::Sum)
+                    .visibility(5.0)
+                    .reachability(1.0)
+                    .build()
+                    .unwrap(),
+            )
+        }
+    }
+
+    impl Behavior for Frozen {
+        fn schema(&self) -> &AgentSchema {
+            &self.0
+        }
+        fn query(
+            &self,
+            _m: brace_core::AgentRef<'_>,
+            nbrs: &Neighbors<'_>,
+            eff: &mut EffectWriter<'_>,
+            _rng: &mut DetRng,
+        ) {
+            for _ in nbrs.iter() {
+                eff.local(FieldId::new(0), 1.0);
+            }
+        }
+        fn update(&self, _me: &mut Agent, _ctx: &mut UpdateCtx<'_>) {}
+    }
+
+    /// Like [`Frozen`] but agents oscillate slightly in y (staying in
+    /// their partition and visibility band): persisting replicas must ship
+    /// as delta frames only, never as full records. The schema carries
+    /// several constant state fields (as real models do — fish has three
+    /// states and eight effects), so the masked delta ships a fraction of
+    /// the record.
+    struct Wiggle(AgentSchema);
+
+    impl Wiggle {
+        fn new() -> Self {
+            Wiggle(
+                AgentSchema::builder("Wiggle")
+                    .state("phase")
+                    .state("c0")
+                    .state("c1")
+                    .state("c2")
+                    .state("c3")
+                    .state("c4")
+                    .effect("n", Combinator::Sum)
+                    .visibility(5.0)
+                    .reachability(1.0)
+                    .build()
+                    .unwrap(),
+            )
+        }
+    }
+
+    impl Behavior for Wiggle {
+        fn schema(&self) -> &AgentSchema {
+            &self.0
+        }
+        fn query(
+            &self,
+            _m: brace_core::AgentRef<'_>,
+            _n: &Neighbors<'_>,
+            _e: &mut EffectWriter<'_>,
+            _rng: &mut DetRng,
+        ) {
+        }
+        fn update(&self, me: &mut Agent, _ctx: &mut UpdateCtx<'_>) {
+            let phase = me.get(FieldId::new(0));
+            me.pos.y += if phase == 0.0 { 0.25 } else { -0.25 };
+            me.set(FieldId::new(0), 1.0 - phase);
+        }
+    }
+
+    #[test]
+    fn stationary_boundary_population_costs_zero_replica_bytes() {
+        // Agents straddle the x = 50 boundary well inside visibility, so
+        // both workers hold replicas. Epoch 1 ships them as full records;
+        // every steady-state tick after that must ship *nothing*: the pool
+        // is resident, the index is maintained, and empty delta frames are
+        // never sent.
+        let schema = Frozen::new();
+        let agents: Vec<Agent> = (0..40)
+            .map(|i| Agent::new(AgentId::new(i), Vec2::new(48.0 + (i % 5) as f64, i as f64), schema.schema()))
+            .collect();
+        let cfg = ClusterConfig { workers: 2, epoch_len: 4, seed: 3, load_balance: false, ..Default::default() };
+        let mut sim = ClusterSim::new(Arc::new(Frozen::new()), agents, cfg).unwrap();
+        sim.run_epochs(1).unwrap();
+        let warm = sim.stats();
+        assert!(warm.net.replica_full.bytes > 0, "boundary population must replicate at all");
+        assert!(warm.replicas_in > 0, "replicas must arrive");
+        sim.reset_net();
+        sim.run_epochs(2).unwrap();
+        let steady = sim.stats();
+        assert_eq!(steady.net.replica_full.bytes, 0, "steady state must ship no full replicas");
+        assert_eq!(steady.net.replica_delta.bytes, 0, "stationary agents must ship no deltas either");
+        assert_eq!(steady.net.transfer.bytes, 0, "no ownership changes");
+        // The pool-resident counters: live ticks never rebuilt a pool,
+        // never materialized Vec<Agent>, and (after the first tick's
+        // build) never rebuilt an index.
+        assert_eq!(steady.pool_rebuilds, 0, "steady-state ticks must not rebuild pools");
+        assert_eq!(steady.vec_roundtrips, 0, "steady-state ticks must not round-trip Vec<Agent>");
+        assert_eq!(steady.index_rebuilds, 2, "only the post-construction first tick builds (one per worker)");
+    }
+
+    #[test]
+    fn persisting_replicas_ship_delta_frames_only() {
+        let schema = Wiggle::new();
+        let agents: Vec<Agent> = (0..40)
+            .map(|i| Agent::new(AgentId::new(i), Vec2::new(48.0 + (i % 5) as f64, i as f64), schema.schema()))
+            .collect();
+        let cfg = ClusterConfig { workers: 2, epoch_len: 4, seed: 3, load_balance: false, ..Default::default() };
+        let mut sim = ClusterSim::new(Arc::new(Wiggle::new()), agents, cfg).unwrap();
+        sim.run_epochs(1).unwrap();
+        sim.reset_net();
+        sim.run_epochs(2).unwrap();
+        let steady = sim.stats();
+        assert_eq!(steady.net.replica_full.bytes, 0, "persisting replicas must never re-ship full records");
+        assert!(steady.net.replica_delta.bytes > 0, "moving replicas must ship deltas");
+        assert!(steady.replica_deltas_in > 0, "delta updates must arrive");
+        // Deltas (y + phase per agent per tick) are far smaller than the
+        // full records the pre-delta protocol would have shipped.
+        let mut full = ClusterSim::new(
+            Arc::new(Wiggle::new()),
+            (0..40)
+                .map(|i| Agent::new(AgentId::new(i), Vec2::new(48.0 + (i % 5) as f64, i as f64), schema.schema()))
+                .collect(),
+            ClusterConfig {
+                workers: 2,
+                epoch_len: 4,
+                seed: 3,
+                load_balance: false,
+                distribution: DistributionMode::Full,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        full.run_epochs(1).unwrap();
+        full.reset_net();
+        full.run_epochs(2).unwrap();
+        let full_stats = full.stats();
+        assert!(
+            steady.net.replica_bytes() * 2 < full_stats.net.replica_bytes(),
+            "delta traffic ({}) must be well under full redistribution ({})",
+            steady.net.replica_bytes(),
+            full_stats.net.replica_bytes()
+        );
+        // And the transport never changes results.
+        assert_eq!(sim.collect_agents().unwrap(), full.collect_agents().unwrap());
     }
 
     #[test]

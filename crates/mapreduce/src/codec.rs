@@ -10,8 +10,8 @@
 //! The format is a straightforward little-endian layout (no self-description;
 //! both ends share the schema). Checkpoints reuse the same primitives.
 
-use brace_common::{AgentId, DetRng, Vec2};
-use brace_core::Agent;
+use brace_common::{AgentId, DetRng, FieldId, Vec2};
+use brace_core::{Agent, AgentPool};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Append one agent to `buf`.
@@ -75,6 +75,209 @@ pub fn decode_agents(mut bytes: Bytes) -> Vec<Agent> {
         out.push(get_agent(&mut bytes));
     }
     out
+}
+
+/// Append one agent to `buf` straight from a pool row — same wire format
+/// as [`put_agent`], gathered from the columns with no intermediate
+/// [`Agent`] record. This is the pool-resident worker's full-record ship
+/// path (ownership transfers and replica-band entrants).
+pub fn put_pool_row(buf: &mut BytesMut, pool: &AgentPool, row: u32) {
+    buf.put_u64_le(pool.id(row).raw());
+    let pos = pool.pos(row);
+    buf.put_f64_le(pos.x);
+    buf.put_f64_le(pos.y);
+    buf.put_u8(pool.alive(row) as u8);
+    let ns = pool.num_states();
+    buf.put_u16_le(ns as u16);
+    for f in 0..ns {
+        buf.put_f64_le(pool.state(row, FieldId::new(f as u16)));
+    }
+    let ne = pool.effects().width();
+    buf.put_u16_le(ne as u16);
+    for f in 0..ne {
+        buf.put_f64_le(pool.effects().get(row, FieldId::new(f as u16)));
+    }
+}
+
+/// Serialize a batch of pool rows as full agent records (wire-compatible
+/// with [`encode_agents`] / [`decode_agents`]). Returns an empty buffer for
+/// an empty row list so callers can skip charging the ledger.
+pub fn encode_pool_rows(pool: &AgentPool, rows: &[u32]) -> Bytes {
+    if rows.is_empty() {
+        return Bytes::new();
+    }
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(rows.len() as u32);
+    for &r in rows {
+        put_pool_row(&mut buf, pool, r);
+    }
+    buf.freeze()
+}
+
+/// Decode a batch produced by [`encode_pool_rows`] / [`encode_agents`],
+/// tolerating the zero-length empty encoding.
+pub fn decode_agents_opt(bytes: Bytes) -> Vec<Agent> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    decode_agents(bytes)
+}
+
+/// Field bit positions of a replica delta mask: bit 0 = x, bit 1 = y,
+/// bit `2 + s` = state slot `s`. A `u32` mask bounds schemas at 30 state
+/// fields — far above any model here; the worker asserts the bound.
+pub const DELTA_MASK_X: u32 = 1;
+pub const DELTA_MASK_Y: u32 = 1 << 1;
+
+/// Maximum number of state fields a delta mask can address.
+pub const DELTA_MAX_STATES: usize = 30;
+
+/// Builder for one **replica delta frame** — the compact per-peer payload
+/// for replicas that persist in the receiver's visible band across ticks.
+/// Both ends maintain a slot registry per (sender, receiver) pair that
+/// grows in full-record ship order and shrinks by identical swap-removals,
+/// so replicas are addressed by dense `u32` slots instead of ids.
+///
+/// Wire layout (little-endian):
+///
+/// ```text
+/// u8  flags                (bit 0: reset — receiver drops the registry)
+/// u32 n_removals           then n_removals × u32 slot
+/// u32 n_updates            then per update:
+///     u32 slot | u32 mask | popcount(mask) × f64   (field order: x, y, states)
+/// ```
+///
+/// A frame with no flags, removals or updates encodes to **zero bytes** —
+/// a stationary boundary population costs nothing per tick.
+#[derive(Debug, Default)]
+pub struct ReplicaDeltaEnc {
+    reset: bool,
+    removals: Vec<u32>,
+    updates: BytesMut,
+    n_updates: u32,
+}
+
+impl ReplicaDeltaEnc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a fresh frame, reusing the buffers.
+    pub fn clear(&mut self) {
+        self.reset = false;
+        self.removals.clear();
+        self.updates.clear();
+        self.n_updates = 0;
+    }
+
+    /// Mark the frame as a registry reset (the full-redistribution
+    /// ablation, which re-ships every replica as a full record each tick).
+    pub fn mark_reset(&mut self) {
+        self.reset = true;
+    }
+
+    /// Record the removal of `slot`. Order is significant: the receiver
+    /// replays removals in frame order with swap-removal semantics, so the
+    /// sender must emit them in the order it applied them to its own
+    /// session (descending slot).
+    pub fn push_removal(&mut self, slot: u32) {
+        self.removals.push(slot);
+    }
+
+    /// Record a masked field update for `slot`, pulling the new values from
+    /// pool row `row` in field order (x, y, then state slots).
+    pub fn push_update(&mut self, slot: u32, mask: u32, pool: &AgentPool, row: u32) {
+        debug_assert_ne!(mask, 0, "empty update shipped");
+        self.updates.put_u32_le(slot);
+        self.updates.put_u32_le(mask);
+        let pos = pool.pos(row);
+        if mask & DELTA_MASK_X != 0 {
+            self.updates.put_f64_le(pos.x);
+        }
+        if mask & DELTA_MASK_Y != 0 {
+            self.updates.put_f64_le(pos.y);
+        }
+        let mut bits = mask >> 2;
+        let mut s = 0u16;
+        while bits != 0 {
+            if bits & 1 != 0 {
+                self.updates.put_f64_le(pool.state(row, FieldId::new(s)));
+            }
+            bits >>= 1;
+            s += 1;
+        }
+        self.n_updates += 1;
+    }
+
+    /// True if the frame carries no information (and will encode to zero
+    /// bytes).
+    pub fn is_trivial(&self) -> bool {
+        !self.reset && self.removals.is_empty() && self.n_updates == 0
+    }
+
+    /// Assemble the frame.
+    pub fn finish(&self) -> Bytes {
+        if self.is_trivial() {
+            return Bytes::new();
+        }
+        let mut buf = BytesMut::with_capacity(9 + self.removals.len() * 4 + self.updates.len());
+        buf.put_u8(self.reset as u8);
+        buf.put_u32_le(self.removals.len() as u32);
+        for &s in &self.removals {
+            buf.put_u32_le(s);
+        }
+        buf.put_u32_le(self.n_updates);
+        buf.extend_from_slice(&self.updates);
+        buf.freeze()
+    }
+}
+
+/// A decoded replica delta frame. The header (reset flag, removals) is
+/// materialized; the updates stay as an undecoded byte cursor drained
+/// through [`ReplicaDelta::next_update_into`] into a caller-reused value
+/// buffer — the per-peer per-tick receive path allocates nothing per
+/// update.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicaDelta {
+    pub reset: bool,
+    pub removals: Vec<u32>,
+    n_updates: u32,
+    updates: Bytes,
+}
+
+impl ReplicaDelta {
+    /// Masked updates carried by this frame (before any draining).
+    pub fn updates_len(&self) -> u32 {
+        self.n_updates
+    }
+
+    /// Decode the next masked update: returns `(slot, mask)` and fills
+    /// `values` (cleared first) with the changed field values in field
+    /// order (x, y, states). `None` once the frame is drained.
+    pub fn next_update_into(&mut self, values: &mut Vec<f64>) -> Option<(u32, u32)> {
+        if self.n_updates == 0 {
+            return None;
+        }
+        self.n_updates -= 1;
+        let slot = self.updates.get_u32_le();
+        let mask = self.updates.get_u32_le();
+        values.clear();
+        values.extend((0..mask.count_ones()).map(|_| self.updates.get_f64_le()));
+        Some((slot, mask))
+    }
+}
+
+/// Decode a frame produced by [`ReplicaDeltaEnc::finish`]. Zero-length
+/// input is the trivial frame.
+pub fn decode_replica_delta(mut bytes: Bytes) -> ReplicaDelta {
+    if bytes.is_empty() {
+        return ReplicaDelta::default();
+    }
+    let reset = bytes.get_u8() != 0;
+    let nr = bytes.get_u32_le() as usize;
+    let removals = (0..nr).map(|_| bytes.get_u32_le()).collect();
+    let n_updates = bytes.get_u32_le();
+    ReplicaDelta { reset, removals, n_updates, updates: bytes }
 }
 
 /// Serialize partial effect rows straight from a column-major
@@ -217,6 +420,58 @@ mod tests {
     fn empty_batch() {
         let encoded = encode_agents(&[]);
         assert_eq!(decode_agents(encoded), Vec::<Agent>::new());
+    }
+
+    #[test]
+    fn pool_rows_encode_identically_to_agent_records() {
+        let s = schema();
+        let batch: Vec<Agent> = (0..6).map(agent).collect();
+        let pool = AgentPool::from_agents(&s, &batch);
+        let rows: Vec<u32> = [4u32, 0, 2].to_vec();
+        let from_pool = encode_pool_rows(&pool, &rows);
+        let picked: Vec<Agent> = rows.iter().map(|&r| batch[r as usize].clone()).collect();
+        let from_records = encode_agents(&picked);
+        assert_eq!(from_pool, from_records, "pool gather must be wire-identical");
+        assert_eq!(decode_agents_opt(from_pool), picked);
+        // Empty row list → zero bytes, decoded as empty.
+        assert_eq!(encode_pool_rows(&pool, &[]), Bytes::new());
+        assert!(decode_agents_opt(Bytes::new()).is_empty());
+    }
+
+    #[test]
+    fn replica_delta_round_trip() {
+        let s = schema();
+        let batch: Vec<Agent> = (0..3).map(agent).collect();
+        let pool = AgentPool::from_agents(&s, &batch);
+        let mut enc = ReplicaDeltaEnc::new();
+        enc.push_removal(5);
+        enc.push_removal(1);
+        enc.push_update(0, DELTA_MASK_X | (1 << 2), &pool, 2); // x + state 0
+        enc.push_update(3, DELTA_MASK_Y, &pool, 1);
+        let mut frame = decode_replica_delta(enc.finish());
+        assert!(!frame.reset);
+        assert_eq!(frame.removals, vec![5, 1]);
+        assert_eq!(frame.updates_len(), 2);
+        let mut values = Vec::new();
+        assert_eq!(frame.next_update_into(&mut values), Some((0, DELTA_MASK_X | (1 << 2))));
+        assert_eq!(values, vec![2.0, 0.5]);
+        assert_eq!(frame.next_update_into(&mut values), Some((3, DELTA_MASK_Y)));
+        assert_eq!(values, vec![-1.5]);
+        assert_eq!(frame.next_update_into(&mut values), None);
+    }
+
+    #[test]
+    fn trivial_delta_frame_is_zero_bytes() {
+        let mut enc = ReplicaDeltaEnc::new();
+        assert!(enc.is_trivial());
+        assert_eq!(enc.finish(), Bytes::new());
+        assert_eq!(decode_replica_delta(Bytes::new()), ReplicaDelta::default());
+        enc.mark_reset();
+        assert!(!enc.is_trivial());
+        let frame = decode_replica_delta(enc.finish());
+        assert!(frame.reset && frame.removals.is_empty() && frame.updates_len() == 0);
+        enc.clear();
+        assert!(enc.is_trivial());
     }
 
     #[test]

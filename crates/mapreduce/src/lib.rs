@@ -9,6 +9,42 @@
 //! the cut from channels to sockets/MPI is confined to the transport inside
 //! [`worker`]/[`master`].
 //!
+//! # Pool-resident state, delta distribution
+//!
+//! "Main memory" is not just where the bytes live — it is a protocol
+//! property. A disk-era runtime re-materializes and re-distributes its
+//! whole working set every iteration; this runtime keeps each worker's
+//! state **resident across ticks**. A worker's columnar
+//! [`AgentPool`](brace_core::AgentPool) persists: owned rows mutate only
+//! through stable-row ops (swap-removal + insertion, with a persistent
+//! id ↔ row map), replicas live in a persistent tail refreshed in place,
+//! and the spatial index syncs incrementally because the row ↔ agent
+//! mapping survives the tick. On the wire, only *changes* travel: agents
+//! entering a peer's visible band ship once as full records
+//! ([`net::Traffic::ReplicaFull`]), persisting replicas ship masked
+//! columnar delta frames — changed fields only, zero bytes when nothing
+//! changed ([`net::Traffic::ReplicaDelta`]) — and leavers ship slot
+//! removals. A stationary boundary population therefore costs *nothing*
+//! per steady-state tick, and a moving one costs the bytes it actually
+//! changes.
+//!
+//! **The `Vec<Agent>` boundary** now lives exactly at the real
+//! serialization surfaces and nowhere else: coordinated checkpoint /
+//! collect snapshots, restore-time pool rebuilds, the initial population
+//! hand-off, and decoded full-record payloads (transfers, band entrants).
+//! No tick materializes an owned population as row records —
+//! `WorkerEpochStats::{pool_rebuilds, vec_roundtrips}` count the
+//! violations and tests pin them to zero.
+//!
+//! Results are unchanged by any of this: for range-probe models an
+//! N-worker cluster is bit-identical to the single-node executor (the
+//! executor canonicalizes neighbor order by agent id, so row placement is
+//! unobservable), proven by the `distributed_equivalence` proptests and
+//! the golden cluster checksums in `tests/golden_tick.rs`. The one
+//! documented exception is `NeighborProbe::Nearest`: exact distance ties
+//! at the k-th neighbor break by pool row, so k-NN models keep an
+//! approximate (tolerance-checked) distributed contract.
+//!
 //! Layout:
 //!
 //! * [`generic`] — a small, general iterated MapReduce engine (`map`,
@@ -16,15 +52,20 @@
 //!   driver). BRACE's runtime is the spatial specialization of this model;
 //!   the generic engine exists to keep that claim honest (its tests run
 //!   word-count and an iterated computation).
-//! * [`codec`] — the wire format: agents, effect rows and worker snapshots
+//! * [`codec`] — the wire format: agents (from records or straight from
+//!   pool columns), replica delta frames, effect rows and worker snapshots
 //!   encoded to [`bytes::Bytes`].
-//! * [`net`] — the network ledger: every cross-worker message is counted
-//!   (messages, payload bytes) exactly where a real transport would sit.
+//! * [`net`] — the network ledger: every cross-worker payload is counted
+//!   (messages, bytes) per traffic class — transfers, full replicas,
+//!   replica deltas, effects, control — exactly where a real transport
+//!   would sit.
 //! * [`runtime`] — worker protocol types and the per-tick map–reduce–reduce
 //!   schedule of Table 1.
-//! * [`worker`] — the worker node: distribute (map), query/local effects
-//!   (reduce 1), effect aggregation (reduce 2), update — with collocation of
-//!   all tasks for a partition on its node.
+//! * [`worker`] — the pool-resident worker node: distribute as a column
+//!   scan (map), query/local effects (reduce 1), effect aggregation
+//!   (reduce 2), update over the owned prefix — with collocation of all
+//!   tasks for a partition on its node and per-destination replica
+//!   sessions driving the delta protocol.
 //! * [`master`] — epoch-granularity coordination: statistics, load
 //!   balancing decisions, coordinated checkpoints, failure recovery by
 //!   replay.
@@ -48,3 +89,4 @@ pub use checkpoint::{CheckpointStore, ClusterCheckpoint};
 pub use cluster::{ClusterConfig, ClusterSim, FaultPlan};
 pub use master::ClusterStats;
 pub use net::{NetLedger, NetStats};
+pub use worker::DistributionMode;

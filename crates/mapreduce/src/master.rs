@@ -45,10 +45,21 @@ pub struct ClusterStats {
     pub checkpoints: u64,
     pub recoveries: u64,
     pub replayed_epochs: u64,
-    /// Replicas received across workers (replication volume).
+    /// Full replica records received across workers (band entrants).
     pub replicas_in: u64,
+    /// Replica delta updates received across workers (persisting replicas
+    /// refreshed in place — the delta-distribution steady state).
+    pub replica_deltas_in: u64,
     /// Ownership transfers received across workers.
     pub transfers_in: u64,
+    /// Worker pool rebuilds during live epochs (pinned to zero by the
+    /// pool-resident protocol; restores are the only sanctioned path).
+    pub pool_rebuilds: u64,
+    /// Full-population `Vec<Agent>` materializations inside live ticks
+    /// (also pinned to zero — snapshots at epoch boundaries don't count).
+    pub vec_roundtrips: u64,
+    /// Full spatial-index rebuilds across workers during live epochs.
+    pub index_rebuilds: u64,
     /// 1 for local-effects models, 2 for map-reduce-reduce (Table 1).
     pub comm_rounds_per_tick: u32,
     /// Network totals, snapshotted by the facade.
@@ -243,7 +254,11 @@ impl Master {
         self.stats.agent_ticks += reports.iter().map(|r| r.agent_ticks).sum::<u64>();
         self.stats.agents_per_worker.push(reports.iter().map(|r| r.owned_agents).collect());
         self.stats.replicas_in += reports.iter().map(|r| r.replicas_in).sum::<u64>();
+        self.stats.replica_deltas_in += reports.iter().map(|r| r.replica_deltas_in).sum::<u64>();
         self.stats.transfers_in += reports.iter().map(|r| r.transfers_in).sum::<u64>();
+        self.stats.pool_rebuilds += reports.iter().map(|r| r.pool_rebuilds).sum::<u64>();
+        self.stats.vec_roundtrips += reports.iter().map(|r| r.vec_roundtrips).sum::<u64>();
+        self.stats.index_rebuilds += reports.iter().map(|r| r.index_rebuilds).sum::<u64>();
         self.stats.comm_rounds_per_tick = reports.iter().map(|r| r.comm_rounds_per_tick).max().unwrap_or(1);
     }
 

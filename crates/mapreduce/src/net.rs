@@ -16,8 +16,15 @@ use std::sync::Arc;
 pub enum Traffic {
     /// Ownership transfers: agents that moved to another partition.
     Transfer,
-    /// Replicas: boundary agents copied into neighbors' visible regions.
-    Replica,
+    /// Full replica records: boundary agents *entering* a neighbor's
+    /// visible band (or re-shipped wholesale under the full-redistribution
+    /// ablation). Steady-state boundary populations never pay this.
+    ReplicaFull,
+    /// Columnar replica delta frames: membership removals plus masked
+    /// field updates for replicas that *persist* in a neighbor's band. A
+    /// stationary boundary population costs zero bytes here too — empty
+    /// frames are never charged.
+    ReplicaDelta,
     /// Partial effect rows shipped to owners (second reduce pass).
     Effects,
     /// Master ↔ worker coordination (epoch commands, stats, checkpoints).
@@ -35,18 +42,29 @@ pub struct Counter {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetStats {
     pub transfer: Counter,
-    pub replica: Counter,
+    pub replica_full: Counter,
+    pub replica_delta: Counter,
     pub effects: Counter,
     pub control: Counter,
 }
 
 impl NetStats {
     pub fn total_bytes(&self) -> u64 {
-        self.transfer.bytes + self.replica.bytes + self.effects.bytes + self.control.bytes
+        self.transfer.bytes + self.replica_bytes() + self.effects.bytes + self.control.bytes
     }
 
     pub fn total_messages(&self) -> u64 {
-        self.transfer.messages + self.replica.messages + self.effects.messages + self.control.messages
+        self.transfer.messages
+            + self.replica_full.messages
+            + self.replica_delta.messages
+            + self.effects.messages
+            + self.control.messages
+    }
+
+    /// Replica traffic across both encodings (the pre-delta `replica`
+    /// category).
+    pub fn replica_bytes(&self) -> u64 {
+        self.replica_full.bytes + self.replica_delta.bytes
     }
 }
 
@@ -66,7 +84,8 @@ impl NetLedger {
         let mut s = self.inner.lock();
         let c = match kind {
             Traffic::Transfer => &mut s.transfer,
-            Traffic::Replica => &mut s.replica,
+            Traffic::ReplicaFull => &mut s.replica_full,
+            Traffic::ReplicaDelta => &mut s.replica_delta,
             Traffic::Effects => &mut s.effects,
             Traffic::Control => &mut s.control,
         };
@@ -106,8 +125,11 @@ mod tests {
     fn clones_share_counters() {
         let l = NetLedger::new();
         let l2 = l.clone();
-        l2.record(Traffic::Replica, 7);
-        assert_eq!(l.stats().replica.bytes, 7);
+        l2.record(Traffic::ReplicaFull, 7);
+        l2.record(Traffic::ReplicaDelta, 2);
+        assert_eq!(l.stats().replica_full.bytes, 7);
+        assert_eq!(l.stats().replica_delta.bytes, 2);
+        assert_eq!(l.stats().replica_bytes(), 9);
     }
 
     #[test]
@@ -126,12 +148,12 @@ mod tests {
                 let l = l.clone();
                 s.spawn(move || {
                     for _ in 0..1000 {
-                        l.record(Traffic::Replica, 8);
+                        l.record(Traffic::ReplicaFull, 8);
                     }
                 });
             }
         });
-        assert_eq!(l.stats().replica.messages, 4000);
-        assert_eq!(l.stats().replica.bytes, 32000);
+        assert_eq!(l.stats().replica_full.messages, 4000);
+        assert_eq!(l.stats().replica_full.bytes, 32000);
     }
 }

@@ -18,12 +18,17 @@ use brace_common::{Welford, WorkerId};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-/// Worker-to-worker message. Payloads are opaque bytes (agents or effect
-/// rows); `tick` tags the lockstep round the message belongs to.
+/// Worker-to-worker message. Payloads are opaque bytes (agents, delta
+/// frames or effect rows); `tick` tags the lockstep round the message
+/// belongs to.
 #[derive(Debug, Clone)]
 pub enum PeerMsg {
-    /// Round 1 of a tick: ownership transfers + replicas for the receiver.
-    Batch { tick: u64, from: WorkerId, transfers: Bytes, replicas: Bytes },
+    /// Round 1 of a tick: ownership transfers plus the two replica
+    /// payloads of the delta-distribution protocol — full records for
+    /// agents *entering* the receiver's visible band, and a compact
+    /// columnar delta frame (removals + masked field updates) for replicas
+    /// that persist there ([`codec::ReplicaDeltaEnc`](crate::codec::ReplicaDeltaEnc)).
+    Batch { tick: u64, from: WorkerId, transfers: Bytes, replica_full: Bytes, replica_delta: Bytes },
     /// Round 2 of a tick (non-local effects only): partial effect rows for
     /// agents the receiver owns.
     Effects { tick: u64, from: WorkerId, rows: Bytes },
@@ -112,10 +117,26 @@ pub struct WorkerEpochStats {
     pub comm_rounds_per_tick: u32,
     /// Per-tick busy-time distribution.
     pub tick_time: Welford,
-    /// Replicas received this epoch (replication factor diagnostics).
+    /// Full replica records received this epoch (band entrants; under
+    /// delta distribution a stable boundary population stops paying this
+    /// after its first tick).
     pub replicas_in: u64,
+    /// Replica delta updates received this epoch (persisting replicas
+    /// refreshed in place).
+    pub replica_deltas_in: u64,
     /// Agents whose ownership transferred in this epoch.
     pub transfers_in: u64,
+    /// Times this worker rebuilt its agent pool from row records during
+    /// the epoch's ticks. The pool-resident protocol's core claim is that
+    /// this stays **zero** outside restores — asserted in tests.
+    pub pool_rebuilds: u64,
+    /// Full-population `Vec<Agent>` materializations performed inside the
+    /// epoch's ticks (also pinned to zero; snapshots at epoch boundaries
+    /// are the real serialization boundary and are not counted here).
+    pub vec_roundtrips: u64,
+    /// Full spatial-index rebuilds during the epoch (membership changes
+    /// only; a stable pool syncs incrementally).
+    pub index_rebuilds: u64,
 }
 
 /// Worker-to-master reports.
@@ -131,7 +152,13 @@ mod tests {
 
     #[test]
     fn peer_msg_accessors() {
-        let b = PeerMsg::Batch { tick: 3, from: WorkerId::new(1), transfers: Bytes::new(), replicas: Bytes::new() };
+        let b = PeerMsg::Batch {
+            tick: 3,
+            from: WorkerId::new(1),
+            transfers: Bytes::new(),
+            replica_full: Bytes::new(),
+            replica_delta: Bytes::new(),
+        };
         assert_eq!(b.tick(), 3);
         assert_eq!(b.from(), WorkerId::new(1));
         assert_eq!(b.round(), Round::Distribute);

@@ -1,32 +1,66 @@
-//! A worker node of the simulated cluster.
+//! A worker node of the simulated cluster — **pool-resident** state,
+//! delta-based communication.
 //!
 //! Each worker is one OS thread owning one spatial partition (the paper
 //! assigns "each grid cell to a separate slave node"). Per tick it executes
 //! the collocated task chain of Figure 1:
 //!
-//! 1. **map (distribute)** — partition its agents under the current
-//!    partitioning function; ship ownership transfers and boundary replicas
-//!    to peers; keep same-partition agents in memory (collocation: those
-//!    never touch the network).
+//! 1. **map (distribute)** — a column scan over the pool's x/y position
+//!    columns computes each owned row's owner and replica band; ownership
+//!    transfers and band *entrants* ship as full records, replicas that
+//!    *persist* in a peer's band ship as compact columnar delta frames
+//!    (membership removals + masked field updates), and same-partition
+//!    agents never move at all — they simply stay in their pool rows.
 //! 2. **reduce 1 (query / local effects)** — run the query phase for its
-//!    owned agents over the visible set (owned + replicas), aggregating
-//!    effects for every visible row.
+//!    owned rows over the visible set (owned rows + the persistent replica
+//!    tail), aggregating effects for every visible row.
 //! 3. **reduce 2 (global effects)** — only for models with non-local effect
 //!    assignments: ship each replica's non-identity partial effect row to
 //!    the replica's owner and ⊕-merge rows received for its own agents.
-//! 4. **update** — the next tick's map-side update, executed eagerly: write
-//!    new states, crop movement to the reachable region, apply kills and
-//!    spawns.
+//! 4. **update** — the next tick's map-side update, executed eagerly over
+//!    the owned prefix only; kills and spawns apply through the pool's
+//!    stable-row mutation ops.
 //!
-//! All peer communication is serialized bytes over channels, recorded in the
-//! [`NetLedger`]. The worker speaks to the master only between epochs.
+//! # The persistent pool
+//!
+//! This is the paper's main-memory argument made structural: worker state
+//! is **resident across ticks**. The [`AgentPool`] holds the owned rows
+//! first (`0..n_owned`, mutated only by swap-removal and insertion, with a
+//! persistent id ↔ row map) followed by a persistent **replica tail**
+//! updated in place by incoming delta frames. In the steady state a tick
+//! performs *zero* pool rebuilds and *zero* full-population `Vec<Agent>`
+//! round-trips (`WorkerEpochStats::{pool_rebuilds, vec_roundtrips}` pin
+//! this in tests), the spatial index syncs incrementally because the row ↔
+//! agent mapping is unchanged, and a stationary boundary population costs
+//! zero replica bytes per tick (empty delta frames are never sent).
+//!
+//! `Vec<Agent>` materialization survives only at the real serialization
+//! boundaries: checkpoint/collect snapshots, restore, and the initial
+//! population hand-off — never inside a tick.
+//!
+//! # Replica sessions and registries
+//!
+//! For every destination the sender keeps a [`ReplicaSession`]: the set of
+//! agents currently replicated there plus the last-shipped value of every
+//! field, in columnar slots. Each tick it diffs the current band against
+//! the session: entrants ship full, leavers ship removals, persisting
+//! replicas ship a field mask with only the changed values (bit-compared,
+//! so a stationary agent ships nothing). The receiver keeps a **registry**
+//! per sender mapping slots to pool rows; both sides apply identical
+//! swap-removal sequences, so slots stay in lockstep without ever shipping
+//! ids for persisting replicas. A worker is its own destination too: an
+//! agent transferred away that remains inside this worker's visible band
+//! becomes a replica in its own tail through the same session machinery.
+//!
+//! All peer communication is serialized bytes over channels, recorded in
+//! the [`NetLedger`]. The worker speaks to the master only between epochs.
 
-use crate::codec::{self, WorkerSnapshot};
+use crate::codec::{self, ReplicaDelta, ReplicaDeltaEnc, WorkerSnapshot, DELTA_MASK_X, DELTA_MASK_Y};
 use crate::net::{NetLedger, Traffic};
 use crate::runtime::{Command, EpochCommand, PeerMsg, Report, Round, WorkerEpochStats};
 use brace_common::ids::AgentIdGen;
-use brace_common::{AgentId, DetRng, Welford, WorkerId};
-use brace_core::executor::{query_phase_sharded, update_phase_sharded, MaintainedIndex, TickScratch};
+use brace_common::{AgentId, DetRng, FieldId, Welford, WorkerId};
+use brace_core::executor::{query_phase_sharded, update_phase_prefix, MaintainedIndex, TickScratch};
 use brace_core::{Agent, AgentPool, Behavior};
 use brace_spatial::{GridPartitioning, IndexKind, Partitioner};
 use bytes::Bytes;
@@ -37,6 +71,29 @@ use std::time::Instant;
 
 /// Bins in the per-worker x-position histogram reported to the master.
 pub const HIST_BINS: usize = 64;
+
+/// `row_meta` sentinel for owned rows (no replica source/slot).
+const NO_META: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// How replicas travel between workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistributionMode {
+    /// Delta distribution (default): band entrants ship full records,
+    /// persisting replicas ship masked columnar delta frames, leavers ship
+    /// removals. The steady-state cost of a boundary population is the
+    /// bytes its agents actually change per tick.
+    #[default]
+    Delta,
+    /// Full redistribution every tick (the disk-era ablation baseline):
+    /// sessions reset each tick, so every replica re-ships as a full
+    /// record. Bit-identical results for range-probe models — proven by
+    /// the `distributed_equivalence` proptests — at strictly more bytes.
+    /// (`NeighborProbe::Nearest` models carry the executor's documented
+    /// caveat: exact distance ties at the k-th neighbor break by pool row,
+    /// which depends on replica placement, so their distributed contract
+    /// is approximate under either mode.)
+    Full,
+}
 
 /// Static configuration for one worker.
 #[derive(Debug, Clone)]
@@ -56,6 +113,10 @@ pub struct WorkerConfig {
     /// Never affects results (the executor's shard plan is thread-count
     /// independent).
     pub parallelism: usize,
+    /// Replica transport: delta frames (default) or full redistribution.
+    /// Never affects results for range-probe models, only bytes (k-NN
+    /// models tie-break by pool row — see [`DistributionMode`]).
+    pub distribution: DistributionMode,
 }
 
 /// Communication endpoints for one worker.
@@ -69,6 +130,166 @@ pub struct WorkerLinks {
     pub ledger: NetLedger,
 }
 
+/// Sender-side replica state for one destination: which agents are
+/// currently replicated there (dense slots, id-indexed) and the
+/// last-shipped value of every field, stored columnar for the bitwise
+/// delta compare. See the module docs for the slot-lockstep protocol.
+struct ReplicaSession {
+    ids: Vec<AgentId>,
+    id_to_slot: HashMap<AgentId, u32>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// One column per state field, slot-indexed.
+    states: Vec<Vec<f64>>,
+    /// Full-mode bookkeeping: true when the receiver's registry is
+    /// non-empty (entrants were shipped last tick) and the next full-mode
+    /// frame must carry the reset flag. Lets full mode skip populating the
+    /// columnar session it would only throw away.
+    needs_reset: bool,
+    // Per-tick scratch.
+    seen: Vec<bool>,
+    entrants: Vec<u32>,
+    enc: ReplicaDeltaEnc,
+}
+
+impl ReplicaSession {
+    fn new(num_states: usize) -> Self {
+        ReplicaSession {
+            ids: Vec::new(),
+            id_to_slot: HashMap::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            states: vec![Vec::new(); num_states],
+            needs_reset: false,
+            seen: Vec::new(),
+            entrants: Vec::new(),
+            enc: ReplicaDeltaEnc::new(),
+        }
+    }
+
+    /// Forget everything (restore path; receivers drop their registries in
+    /// the same stroke, so no reset needs to cross the network).
+    fn reset(&mut self) {
+        self.ids.clear();
+        self.id_to_slot.clear();
+        self.xs.clear();
+        self.ys.clear();
+        for col in &mut self.states {
+            col.clear();
+        }
+        self.needs_reset = false;
+    }
+
+    fn store(&mut self, slot: usize, pool: &AgentPool, row: u32) {
+        let pos = pool.pos(row);
+        self.xs[slot] = pos.x;
+        self.ys[slot] = pos.y;
+        for (f, col) in self.states.iter_mut().enumerate() {
+            col[slot] = pool.state(row, FieldId::new(f as u16));
+        }
+    }
+
+    fn append(&mut self, pool: &AgentPool, row: u32) {
+        let slot = self.ids.len();
+        self.ids.push(pool.id(row));
+        self.id_to_slot.insert(pool.id(row), slot as u32);
+        let pos = pool.pos(row);
+        self.xs.push(pos.x);
+        self.ys.push(pos.y);
+        for (f, col) in self.states.iter_mut().enumerate() {
+            col.push(pool.state(row, FieldId::new(f as u16)));
+        }
+    }
+
+    /// Swap-remove `slot`, exactly mirroring the receiver's registry op.
+    fn swap_remove_slot(&mut self, slot: usize) {
+        self.id_to_slot.remove(&self.ids[slot]);
+        self.ids.swap_remove(slot);
+        self.xs.swap_remove(slot);
+        self.ys.swap_remove(slot);
+        for col in &mut self.states {
+            col.swap_remove(slot);
+        }
+        self.seen.swap_remove(slot);
+        if slot < self.ids.len() {
+            self.id_to_slot.insert(self.ids[slot], slot as u32);
+        }
+    }
+
+    /// Bit-compare pool row `row` against the last-shipped values in
+    /// `slot`: a set bit means the field changed and must ship.
+    fn delta_mask(&self, pool: &AgentPool, row: u32, slot: usize) -> u32 {
+        let pos = pool.pos(row);
+        let mut mask = 0u32;
+        if pos.x.to_bits() != self.xs[slot].to_bits() {
+            mask |= DELTA_MASK_X;
+        }
+        if pos.y.to_bits() != self.ys[slot].to_bits() {
+            mask |= DELTA_MASK_Y;
+        }
+        for (f, col) in self.states.iter().enumerate() {
+            if pool.state(row, FieldId::new(f as u16)).to_bits() != col[slot].to_bits() {
+                mask |= 1 << (2 + f);
+            }
+        }
+        mask
+    }
+
+    /// Diff the current tick's replica band `rows` against the session and
+    /// encode this tick's payloads: `(full records for entrants, delta
+    /// frame for removals + changed persisting replicas)`. Both are empty
+    /// (`Bytes::new()`) when there is nothing to say.
+    fn encode_tick(&mut self, pool: &AgentPool, rows: &[u32], mode: DistributionMode) -> (Bytes, Bytes) {
+        self.enc.clear();
+        self.entrants.clear();
+        if mode == DistributionMode::Full {
+            // Full redistribution: drop the receiver's registry, ship
+            // everything as entrants. (No reset frame needed when the
+            // registry is already empty.) The columnar session stays
+            // unpopulated — full mode would only discard it next tick.
+            if self.needs_reset {
+                self.enc.mark_reset();
+            }
+            self.needs_reset = !rows.is_empty();
+            return (codec::encode_pool_rows(pool, rows), self.enc.finish());
+        }
+        self.seen.clear();
+        self.seen.resize(self.ids.len(), false);
+        for &r in rows {
+            match self.id_to_slot.get(&pool.id(r)) {
+                Some(&s) => self.seen[s as usize] = true,
+                None => self.entrants.push(r),
+            }
+        }
+        // Leavers, descending slot order: every slot above the current
+        // one is already resolved, so the row swapped in is always a
+        // kept one and the receiver can replay the list verbatim.
+        for slot in (0..self.ids.len()).rev() {
+            if !self.seen[slot] {
+                self.enc.push_removal(slot as u32);
+                self.swap_remove_slot(slot);
+            }
+        }
+        // Persisting replicas: masked updates for changed fields only.
+        for &r in rows {
+            if let Some(&slot) = self.id_to_slot.get(&pool.id(r)) {
+                let mask = self.delta_mask(pool, r, slot as usize);
+                if mask != 0 {
+                    self.enc.push_update(slot, mask, pool, r);
+                    self.store(slot as usize, pool, r);
+                }
+            }
+        }
+        let fulls = codec::encode_pool_rows(pool, &self.entrants);
+        let entrants = std::mem::take(&mut self.entrants);
+        for &r in &entrants {
+            self.append(pool, r);
+        }
+        self.entrants = entrants;
+        (fulls, self.enc.finish())
+    }
+}
+
 /// One worker node. Owns its agents exclusively; everything in and out is
 /// a message.
 pub struct Worker {
@@ -76,16 +297,28 @@ pub struct Worker {
     cfg: WorkerConfig,
     links: WorkerLinks,
     part: GridPartitioning,
-    owned: Vec<Agent>,
-    /// The columnar working pool the query/update phases run on. Rebuilt
-    /// from `owned` + incoming replicas each tick (the `Vec<Agent>` ↔ pool
-    /// conversion lives exactly at this serialization boundary); the
-    /// allocation persists across ticks.
+    /// The persistent columnar world: rows `0..n_owned` are this worker's
+    /// agents, rows `n_owned..` the replica tail. Lives across ticks;
+    /// rebuilt from row records only at restore (counted).
     pool: AgentPool,
-    /// Spatial index maintained across ticks: when this worker's row set
-    /// is stable (no migration, no churn) the index updates in place and
-    /// charges only the moved agents; any row-mapping change triggers a
-    /// rebuild automatically.
+    n_owned: usize,
+    /// Persistent owner-side id ↔ row map, updated by every stable-row
+    /// mutation; the effects round resolves shipped partial rows through
+    /// it with no per-tick rebuild.
+    id_to_row: HashMap<AgentId, u32>,
+    /// Sender-side replica sessions, one per destination (self included:
+    /// agents transferred away that stay visible here).
+    sessions: Vec<ReplicaSession>,
+    /// Receiver-side registries, one per source: slot → pool row.
+    registries: Vec<Vec<u32>>,
+    /// Reverse map, indexed by pool row: `(source, slot)` of the replica
+    /// occupying that row, [`NO_META`] for owned rows. Row-indexed so
+    /// every stable-row mutation updates it in O(1) — only the one row
+    /// that physically moved needs its entry touched.
+    row_meta: Vec<(u32, u32)>,
+    /// Spatial index maintained across ticks: with pool-resident state the
+    /// id column is unchanged in the steady state, so syncs are
+    /// incremental and full rebuilds happen only on membership changes.
     index: MaintainedIndex,
     /// Reusable per-tick buffers (shard tables, spawn queues) for the
     /// sharded executor phases.
@@ -99,8 +332,20 @@ pub struct Worker {
     rng: DetRng,
     /// Out-of-round messages (peers may run one round ahead).
     stash: Vec<PeerMsg>,
-    // Reusable scratch buffers.
+    /// Lifetime counters behind `WorkerEpochStats::{pool_rebuilds,
+    /// vec_roundtrips}` — the tripwires pinning the pool-resident claim.
+    pool_rebuilds: u64,
+    vec_roundtrips: u64,
+    // Reusable per-tick scratch.
+    owners: Vec<u32>,
     targets: Vec<brace_common::PartitionId>,
+    dest_transfers: Vec<Vec<u32>>,
+    dest_replicas: Vec<Vec<u32>>,
+    removals: Vec<u32>,
+    killed: Vec<u32>,
+    spawned: Vec<Agent>,
+    delta_values: Vec<f64>,
+    kept_rows: Vec<u32>,
 }
 
 impl Worker {
@@ -113,16 +358,34 @@ impl Worker {
         owned: Vec<Agent>,
         id_block: (u64, u64),
     ) -> Self {
-        let pool = AgentPool::new(behavior.schema());
+        let schema = behavior.schema();
+        // The facade (`ClusterSim::new`) rejects over-wide schemas with a
+        // proper configuration error before any worker exists. For direct
+        // embedders bypassing the facade this must stay a hard assert: a
+        // 31st state field would wrap the delta mask's shift onto the
+        // x-position bit and corrupt replicas silently.
+        assert!(
+            schema.num_states() <= codec::DELTA_MAX_STATES,
+            "schema `{}` exceeds the delta mask's {} state fields",
+            schema.name(),
+            codec::DELTA_MAX_STATES
+        );
+        let pool = AgentPool::new(schema);
         let index = MaintainedIndex::new(cfg.index);
         let rng = DetRng::seed_from_u64(cfg.seed).stream(0x5EED_0000 + cfg.id.raw() as u64);
-        Worker {
+        let n = cfg.num_workers;
+        let num_states = schema.num_states();
+        let mut worker = Worker {
             behavior,
             cfg,
             links,
             part,
-            owned,
             pool,
+            n_owned: 0,
+            id_to_row: HashMap::new(),
+            sessions: (0..n).map(|_| ReplicaSession::new(num_states)).collect(),
+            registries: (0..n).map(|_| Vec::new()).collect(),
+            row_meta: Vec::new(),
             index,
             scratch: TickScratch::new(),
             tick: 0,
@@ -130,12 +393,45 @@ impl Worker {
             end_id: id_block.1,
             rng,
             stash: Vec::new(),
+            pool_rebuilds: 0,
+            vec_roundtrips: 0,
+            owners: Vec::new(),
             targets: Vec::new(),
-        }
+            dest_transfers: (0..n).map(|_| Vec::new()).collect(),
+            dest_replicas: (0..n).map(|_| Vec::new()).collect(),
+            removals: Vec::new(),
+            killed: Vec::new(),
+            spawned: Vec::new(),
+            delta_values: Vec::new(),
+            kept_rows: Vec::new(),
+        };
+        worker.rebuild_pool(&owned);
+        worker
     }
 
     fn me(&self) -> usize {
         self.cfg.id.index()
+    }
+
+    /// Rebuild the resident pool from row records — the serialization
+    /// boundary in (construction, restore). Drops the replica tail and
+    /// every session/registry; peers do the same in the same stroke
+    /// (coordinated restore), so the next tick re-ships bands as entrants.
+    fn rebuild_pool(&mut self, owned: &[Agent]) {
+        self.pool.clear();
+        self.pool.extend_from_agents(owned);
+        self.n_owned = owned.len();
+        self.id_to_row.clear();
+        self.id_to_row.extend(owned.iter().enumerate().map(|(r, a)| (a.id, r as u32)));
+        for s in &mut self.sessions {
+            s.reset();
+        }
+        for r in &mut self.registries {
+            r.clear();
+        }
+        self.row_meta.clear();
+        self.row_meta.resize(owned.len(), NO_META);
+        self.pool_rebuilds += 1;
     }
 
     /// Thread entry point: serve master commands until `Stop`.
@@ -161,22 +457,23 @@ impl Worker {
         }
     }
 
-    fn snapshot(&self) -> WorkerSnapshot {
-        WorkerSnapshot {
-            tick: self.tick,
-            next_spawn_id: self.next_id,
-            rng: self.rng.clone(),
-            agents: self.owned.clone(),
-        }
+    fn snapshot(&mut self) -> WorkerSnapshot {
+        // The one sanctioned owned-population materialization: checkpoint /
+        // collect, at epoch granularity. Counted so epoch stats can prove
+        // ticks never did this.
+        self.vec_roundtrips += 1;
+        let mut agents = Vec::new();
+        self.pool.write_agents_prefix_into(self.n_owned, &mut agents);
+        WorkerSnapshot { tick: self.tick, next_spawn_id: self.next_id, rng: self.rng.clone(), agents }
     }
 
     fn restore(&mut self, snap: WorkerSnapshot, x_bounds: Vec<f64>) {
         self.tick = snap.tick;
         self.next_id = snap.next_spawn_id;
         self.rng = snap.rng;
-        self.owned = snap.agents;
         self.part.set_x_bounds(x_bounds);
         self.stash.clear();
+        self.rebuild_pool(&snap.agents);
     }
 
     /// Execute one epoch: optional repartition switch, then `cmd.ticks`
@@ -193,21 +490,25 @@ impl Worker {
             tick_time: Welford::new(),
             ..Default::default()
         };
+        let (rebuilds0, roundtrips0, index0) = (self.pool_rebuilds, self.vec_roundtrips, self.index.rebuilds());
         for _ in 0..cmd.ticks {
             let t0 = Instant::now();
-            let owned_at_start = self.owned.len();
+            let owned_at_start = self.n_owned;
             self.run_tick(&mut stats);
             stats.agent_ticks += owned_at_start as u64;
             let ns = t0.elapsed().as_nanos() as u64;
             stats.busy_ns += ns;
             stats.tick_time.push(ns as f64);
         }
+        stats.pool_rebuilds = self.pool_rebuilds - rebuilds0;
+        stats.vec_roundtrips = self.vec_roundtrips - roundtrips0;
+        stats.index_rebuilds = self.index.rebuilds() - index0;
         stats.wall_ns = wall.elapsed().as_nanos() as u64;
-        stats.owned_agents = self.owned.len();
+        stats.owned_agents = self.n_owned;
         stats.x_hist = self.histogram(cmd.hist_range);
-        for a in &self.owned {
-            stats.x_min = stats.x_min.min(a.pos.x);
-            stats.x_max = stats.x_max.max(a.pos.x);
+        for &x in &self.pool.xs()[..self.n_owned] {
+            stats.x_min = stats.x_min.min(x);
+            stats.x_max = stats.x_max.max(x);
         }
         let snapshot = cmd.checkpoint.then(|| codec::encode_snapshot(&self.snapshot()));
         (stats, snapshot)
@@ -217,11 +518,135 @@ impl Worker {
         let (lo, hi) = range;
         let mut hist = vec![0u64; HIST_BINS];
         let w = (hi - lo).max(1e-12) / HIST_BINS as f64;
-        for a in &self.owned {
-            let bin = (((a.pos.x - lo) / w).floor().max(0.0) as usize).min(HIST_BINS - 1);
+        for &x in &self.pool.xs()[..self.n_owned] {
+            let bin = (((x - lo) / w).floor().max(0.0) as usize).min(HIST_BINS - 1);
             hist[bin] += 1;
         }
         hist
+    }
+
+    // ---- stable-row pool mutations (all O(1) in pool size) ------------
+
+    /// Remove owned row `r`: the last owned row swaps into the hole, the
+    /// last tail row swaps down to close the owned/tail seam, and the
+    /// id ↔ row map plus the moved replica's registry entry follow.
+    fn remove_owned_row(&mut self, r: u32) {
+        debug_assert!((r as usize) < self.n_owned);
+        let last_owned = (self.n_owned - 1) as u32;
+        self.id_to_row.remove(&self.pool.id(r));
+        if r != last_owned {
+            self.pool.copy_row_within(last_owned, r);
+            self.id_to_row.insert(self.pool.id(r), r);
+        }
+        let last = (self.pool.len() - 1) as u32;
+        if last > last_owned {
+            // Non-empty tail: its last row relocates to the freed seam slot.
+            self.pool.copy_row_within(last, last_owned);
+            let meta = self.row_meta[last as usize];
+            self.registries[meta.0 as usize][meta.1 as usize] = last_owned;
+            self.row_meta[last_owned as usize] = meta;
+        }
+        self.row_meta.pop();
+        self.pool.pop_row();
+        self.n_owned -= 1;
+    }
+
+    /// Insert a new owned row: the replica occupying the seam slot (if
+    /// any) relocates to the pool end, and the new agent takes the seam.
+    fn insert_owned(&mut self, a: &Agent) {
+        let seam = self.n_owned as u32;
+        if self.pool.len() > self.n_owned {
+            self.pool.push_row_copy(seam);
+            let meta = self.row_meta[seam as usize];
+            self.registries[meta.0 as usize][meta.1 as usize] = (self.pool.len() - 1) as u32;
+            self.row_meta.push(meta);
+            self.row_meta[seam as usize] = NO_META;
+            self.pool.overwrite_row(seam, a);
+        } else {
+            self.pool.push_agent(a);
+            self.row_meta.push(NO_META);
+        }
+        self.id_to_row.insert(a.id, seam);
+        self.n_owned += 1;
+    }
+
+    /// Remove the tail replica at `(src, slot)`, replaying the sender's
+    /// swap-removal on the registry so slots stay in lockstep.
+    fn remove_tail_row(&mut self, src: usize, slot: usize) {
+        let row = self.registries[src][slot];
+        let last = (self.pool.len() - 1) as u32;
+        if row != last {
+            self.pool.copy_row_within(last, row);
+            let moved = self.row_meta[last as usize];
+            self.registries[moved.0 as usize][moved.1 as usize] = row;
+            self.row_meta[row as usize] = moved;
+        }
+        self.row_meta.pop();
+        self.pool.pop_row();
+        self.registries[src].swap_remove(slot);
+        if slot < self.registries[src].len() {
+            let moved_row = self.registries[src][slot];
+            self.row_meta[moved_row as usize] = (src as u32, slot as u32);
+        }
+    }
+
+    /// Append a full replica record from `src` at the tail end.
+    fn push_tail_row(&mut self, src: usize, a: &Agent) {
+        self.pool.push_agent(a);
+        let row = (self.pool.len() - 1) as u32;
+        self.registries[src].push(row);
+        self.row_meta.push((src as u32, (self.registries[src].len() - 1) as u32));
+    }
+
+    /// Apply one masked field update to pool row `row` (field order: x, y,
+    /// then state slots).
+    fn apply_update(&mut self, row: u32, mask: u32, values: &[f64]) {
+        let mut vi = 0;
+        let mut pos = self.pool.pos(row);
+        if mask & DELTA_MASK_X != 0 {
+            pos.x = values[vi];
+            vi += 1;
+        }
+        if mask & DELTA_MASK_Y != 0 {
+            pos.y = values[vi];
+            vi += 1;
+        }
+        self.pool.set_pos(row, pos);
+        let mut bits = mask >> 2;
+        let mut s = 0u16;
+        while bits != 0 {
+            if bits & 1 != 0 {
+                self.pool.set_state(row, FieldId::new(s), values[vi]);
+                vi += 1;
+            }
+            bits >>= 1;
+            s += 1;
+        }
+        debug_assert_eq!(vi, values.len(), "mask/value shape mismatch");
+    }
+
+    /// Apply one sender's replica payloads: registry reset (full mode),
+    /// removals, masked updates, then entrant appends — in exactly the
+    /// order the sender's session performed them. Updates drain the
+    /// frame's byte cursor through one reused value buffer.
+    fn apply_replicas(&mut self, src: usize, fulls: &[Agent], delta: &mut ReplicaDelta) {
+        if delta.reset {
+            for slot in (0..self.registries[src].len()).rev() {
+                self.remove_tail_row(src, slot);
+            }
+        }
+        for &slot in &delta.removals {
+            self.remove_tail_row(src, slot as usize);
+        }
+        let mut values = std::mem::take(&mut self.delta_values);
+        while let Some((slot, mask)) = delta.next_update_into(&mut values) {
+            let row = self.registries[src][slot as usize];
+            self.apply_update(row, mask, &values);
+        }
+        self.delta_values = values;
+        for a in fulls {
+            self.push_tail_row(src, a);
+        }
     }
 
     /// One tick of the map–reduce(–reduce) pipeline. Public within the
@@ -234,71 +659,139 @@ impl Worker {
         let behavior = Arc::clone(&self.behavior);
         let schema = behavior.schema();
         let vis = schema.visibility();
+        let mode = self.cfg.distribution;
 
-        // ---- map: distribute ---------------------------------------------
-        let mut transfers: Vec<Vec<Agent>> = (0..n).map(|_| Vec::new()).collect();
-        let mut replicas: Vec<Vec<Agent>> = (0..n).map(|_| Vec::new()).collect();
-        let mut kept: Vec<Agent> = Vec::with_capacity(self.owned.len());
-        for agent in self.owned.drain(..) {
-            let owner = self.part.partition_of(agent.pos).index();
-            self.targets.clear();
-            self.part.replica_targets(agent.pos, vis, &mut self.targets);
-            for &t in &self.targets {
-                let t = t.index();
-                if t != owner {
-                    replicas[t].push(agent.clone());
+        // ---- map: distribute — a column scan over the position columns ----
+        self.part.owners_into(&self.pool.xs()[..self.n_owned], &self.pool.ys()[..self.n_owned], &mut self.owners);
+        for d in &mut self.dest_transfers {
+            d.clear();
+        }
+        for d in &mut self.dest_replicas {
+            d.clear();
+        }
+        let one_row = self.part.rows() == 1;
+        for r in 0..self.n_owned as u32 {
+            let owner = self.owners[r as usize] as usize;
+            if one_row {
+                // 1-D columns layout: the replica band is a contiguous
+                // column range around the owner.
+                let (c0, c1) = self.part.replica_col_range(self.pool.xs()[r as usize], vis);
+                for t in c0..=c1 {
+                    if t as usize != owner {
+                        self.dest_replicas[t as usize].push(r);
+                    }
+                }
+            } else {
+                self.targets.clear();
+                self.part.replica_targets(self.pool.pos(r), vis, &mut self.targets);
+                for i in 0..self.targets.len() {
+                    let t = self.targets[i].index();
+                    if t != owner {
+                        self.dest_replicas[t].push(r);
+                    }
                 }
             }
-            if owner == me {
-                kept.push(agent);
-            } else {
-                transfers[owner].push(agent);
+            if owner != me {
+                self.dest_transfers[owner].push(r);
             }
         }
+        // Encode and send every peer's payloads before any pool mutation
+        // (the collected rows stay valid). Empty payloads cost no ledger
+        // bytes — a stationary band is literally free.
         for j in 0..n {
             if j == me {
                 continue;
             }
-            let t = codec::encode_agents(&transfers[j]);
-            let r = codec::encode_agents(&replicas[j]);
-            self.links.ledger.record(Traffic::Transfer, t.len());
-            self.links.ledger.record(Traffic::Replica, r.len());
+            let transfers = codec::encode_pool_rows(&self.pool, &self.dest_transfers[j]);
+            let rows = std::mem::take(&mut self.dest_replicas[j]);
+            let (full, delta) = self.sessions[j].encode_tick(&self.pool, &rows, mode);
+            self.dest_replicas[j] = rows;
+            if !transfers.is_empty() {
+                self.links.ledger.record(Traffic::Transfer, transfers.len());
+            }
+            if !full.is_empty() {
+                self.links.ledger.record(Traffic::ReplicaFull, full.len());
+            }
+            if !delta.is_empty() {
+                self.links.ledger.record(Traffic::ReplicaDelta, delta.len());
+            }
             self.links.peers[j]
-                .send(PeerMsg::Batch { tick: self.tick, from: self.cfg.id, transfers: t, replicas: r })
+                .send(PeerMsg::Batch {
+                    tick: self.tick,
+                    from: self.cfg.id,
+                    transfers,
+                    replica_full: full,
+                    replica_delta: delta,
+                })
                 .expect("peer inbox closed");
         }
-        // Collocation: same-partition agents stay in memory. The ablation
-        // charges them through the codec as if they had crossed the network.
-        let mut local_replicas = std::mem::take(&mut replicas[me]);
+        // Self-destined replicas: agents transferring away that remain in
+        // this worker's own visible band go through the same session, so
+        // the tail treats "me" as just another source.
+        let rows = std::mem::take(&mut self.dest_replicas[me]);
+        let (self_full, self_delta) = self.sessions[me].encode_tick(&self.pool, &rows, mode);
+        self.dest_replicas[me] = rows;
+        // Collocation ablation: same-partition agents normally never touch
+        // the codec — charge them (and the self replica frames) as if they
+        // had crossed the network, and round-trip the bytes for honesty.
         if !self.cfg.collocation {
-            let k = codec::encode_agents(&kept);
-            let r = codec::encode_agents(&local_replicas);
-            self.links.ledger.record(Traffic::Transfer, k.len());
-            self.links.ledger.record(Traffic::Replica, r.len());
-            kept = codec::decode_agents(k);
-            local_replicas = codec::decode_agents(r);
+            let mut kept = std::mem::take(&mut self.kept_rows);
+            kept.clear();
+            kept.extend((0..self.n_owned as u32).filter(|&r| self.owners[r as usize] as usize == me));
+            let bytes = codec::encode_pool_rows(&self.pool, &kept);
+            if !bytes.is_empty() {
+                self.links.ledger.record(Traffic::Transfer, bytes.len());
+                for (&r, a) in kept.iter().zip(codec::decode_agents_opt(bytes)) {
+                    self.pool.overwrite_row(r, &a);
+                }
+            }
+            self.kept_rows = kept;
+            if !self_full.is_empty() {
+                self.links.ledger.record(Traffic::ReplicaFull, self_full.len());
+            }
+            if !self_delta.is_empty() {
+                self.links.ledger.record(Traffic::ReplicaDelta, self_delta.len());
+            }
         }
 
-        // ---- receive round 1, in sender order for determinism -------------
-        let mut incoming_replicas: Vec<Agent> = local_replicas;
+        // ---- apply outbound ownership transfers (rows leave the pool) ----
+        self.removals.clear();
+        for j in 0..n {
+            if j != me {
+                self.removals.extend_from_slice(&self.dest_transfers[j]);
+            }
+        }
+        self.removals.sort_unstable_by(|a, b| b.cmp(a));
+        let removals = std::mem::take(&mut self.removals);
+        for &r in &removals {
+            self.remove_owned_row(r);
+        }
+        self.removals = removals;
+
+        // ---- apply self replicas, then each peer's payloads in sender
+        // order (the lockstep barrier of recv_round makes this
+        // deterministic) ----
+        let self_fulls = codec::decode_agents_opt(self_full);
+        let mut self_delta = codec::decode_replica_delta(self_delta);
+        self.apply_replicas(me, &self_fulls, &mut self_delta);
         for msg in self.recv_round(Round::Distribute) {
-            if let PeerMsg::Batch { transfers, replicas, .. } = msg {
-                let t = codec::decode_agents(transfers);
-                stats.transfers_in += t.len() as u64;
-                kept.extend(t);
-                let r = codec::decode_agents(replicas);
-                stats.replicas_in += r.len() as u64;
-                incoming_replicas.extend(r);
+            if let PeerMsg::Batch { from, transfers, replica_full, replica_delta, .. } = msg {
+                let src = from.index();
+                let fulls = codec::decode_agents_opt(replica_full);
+                let mut delta = codec::decode_replica_delta(replica_delta);
+                stats.replicas_in += fulls.len() as u64;
+                stats.replica_deltas_in += delta.updates_len() as u64;
+                self.apply_replicas(src, &fulls, &mut delta);
+                let transfers = codec::decode_agents_opt(transfers);
+                stats.transfers_in += transfers.len() as u64;
+                for a in &transfers {
+                    self.insert_owned(a);
+                }
             } else {
                 unreachable!("recv_round filtered by round");
             }
         }
-        let n_owned = kept.len();
-
-        // ---- columnar boundary: materialize the tick's visible pool -------
-        self.pool.clear();
-        self.pool.extend_from_agents(&kept);
-        self.pool.extend_from_agents(&incoming_replicas);
+        let n_owned = self.n_owned;
 
         // ---- reduce 1: query phase over owned rows ------------------------
         query_phase_sharded(
@@ -335,32 +828,46 @@ impl Worker {
                     .send(PeerMsg::Effects { tick: self.tick, from: self.cfg.id, rows: bytes })
                     .expect("peer inbox closed");
             }
-            let id_to_row: HashMap<AgentId, u32> = (0..n_owned as u32).map(|i| (self.pool.id(i), i)).collect();
+            // The persistent id ↔ row map replaces the per-tick rebuild
+            // the old drain-and-refill worker paid here.
             for msg in self.recv_round(Round::Effects) {
                 if let PeerMsg::Effects { rows, .. } = msg {
                     for (id, vals) in codec::decode_effect_rows(rows) {
-                        let row = *id_to_row.get(&id).expect("partial effects addressed to the wrong owner");
+                        let row = *self.id_to_row.get(&id).expect("partial effects addressed to the wrong owner");
                         self.pool.effects_mut().merge_row(row, &vals);
                     }
                 }
             }
         }
 
-        // ---- drop replica rows, run update (next tick's map side) ---------
-        self.pool.truncate(n_owned);
+        // ---- update (next tick's map side) over the owned prefix only;
+        // the replica tail stays resident for the next distribute ----------
         let mut gen = AgentIdGen::block(self.next_id, self.end_id);
-        update_phase_sharded(
+        update_phase_prefix(
             &behavior,
             &mut self.pool,
+            n_owned,
             self.tick,
             self.cfg.seed,
             &mut gen,
             &mut self.scratch,
             self.cfg.parallelism,
+            &mut self.killed,
+            &mut self.spawned,
         );
         self.next_id = self.end_id - gen.remaining();
-        // ---- columnar boundary out: owned agents back to row records ------
-        self.pool.write_agents_into(&mut self.owned);
+        // Kills, descending so pending rows stay valid; then spawns.
+        let killed = std::mem::take(&mut self.killed);
+        for &r in killed.iter().rev() {
+            self.remove_owned_row(r);
+        }
+        self.killed = killed;
+        let spawned = std::mem::take(&mut self.spawned);
+        for a in &spawned {
+            self.insert_owned(a);
+        }
+        self.spawned = spawned;
+        self.pool.reset_effects();
         self.tick += 1;
     }
 
@@ -422,10 +929,33 @@ impl Worker {
         self.tick
     }
 
-    /// Owned agents (tests).
+    /// Materialized owned agents (tests only — production reads columns).
     #[cfg(test)]
-    pub(crate) fn owned_agents(&self) -> &[Agent] {
-        &self.owned
+    pub(crate) fn owned_agents(&self) -> Vec<Agent> {
+        let mut out = Vec::new();
+        self.pool.write_agents_prefix_into(self.n_owned, &mut out);
+        out
+    }
+
+    /// Structural invariants of the persistent pool (test support): the
+    /// id map covers exactly the owned prefix, registries and row_meta
+    /// describe the same bijection onto the tail rows.
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        assert_eq!(self.id_to_row.len(), self.n_owned, "id map covers the owned prefix");
+        for r in 0..self.n_owned as u32 {
+            assert_eq!(self.id_to_row.get(&self.pool.id(r)), Some(&r), "id map row {r}");
+        }
+        assert_eq!(self.row_meta.len(), self.pool.len(), "row_meta covers the pool");
+        for r in 0..self.n_owned {
+            assert_eq!(self.row_meta[r], NO_META, "owned row {r} must carry no replica meta");
+        }
+        for r in self.n_owned..self.pool.len() {
+            let (src, slot) = self.row_meta[r];
+            assert_eq!(self.registries[src as usize][slot as usize], r as u32, "registry/meta bijection at row {r}");
+        }
+        let registry_total: usize = self.registries.iter().map(|r| r.len()).sum();
+        assert_eq!(registry_total, self.pool.len() - self.n_owned, "registries cover the tail");
     }
 }
 
@@ -474,7 +1004,7 @@ mod tests {
         }
     }
 
-    fn single_worker(agents: Vec<Agent>) -> Worker {
+    fn single_worker_with(agents: Vec<Agent>, index: IndexKind) -> Worker {
         let (_peer_tx, inbox) = unbounded();
         let (_cmd_tx, commands) = unbounded::<Command>();
         let (reports, _report_rx) = unbounded();
@@ -482,13 +1012,18 @@ mod tests {
         let cfg = WorkerConfig {
             id: WorkerId::new(0),
             num_workers: 1,
-            index: IndexKind::KdTree,
+            index,
             seed: 11,
             collocation: true,
             parallelism: 2,
+            distribution: DistributionMode::default(),
         };
         let part = GridPartitioning::columns(0.0, 100.0, 1);
         Worker::new(Arc::new(Drift::new()), cfg, links, part, agents, (1 << 32, 1 << 33))
+    }
+
+    fn single_worker(agents: Vec<Agent>) -> Worker {
+        single_worker_with(agents, IndexKind::KdTree)
     }
 
     fn line(n: usize, gap: f64) -> Vec<Agent> {
@@ -506,12 +1041,33 @@ mod tests {
             worker.run_tick(&mut stats);
             exec.step();
         }
-        let mut a: Vec<_> = worker.owned_agents().to_vec();
+        let mut a: Vec<_> = worker.owned_agents();
         let mut b: Vec<_> = exec.agents().to_vec();
         a.sort_by_key(|x| x.id);
         b.sort_by_key(|x| x.id);
         assert_eq!(a, b, "1-worker cluster must equal the single-node executor");
         assert_eq!(worker.current_tick(), 6);
+        worker.check_invariants();
+    }
+
+    #[test]
+    fn steady_ticks_never_rebuild_the_pool() {
+        // Grid index: sorted-bucket moves handle a fully-moving stable
+        // population without rebuilds (the KD-tree intentionally declines
+        // dense motion batches in favor of a rebuild — separate policy).
+        let mut worker = single_worker_with(line(40, 0.6), IndexKind::Grid);
+        let mut stats = WorkerEpochStats::default();
+        let rebuilds0 = worker.pool_rebuilds;
+        let roundtrips0 = worker.vec_roundtrips;
+        for _ in 0..8 {
+            worker.run_tick(&mut stats);
+        }
+        assert_eq!(worker.pool_rebuilds, rebuilds0, "ticks must not rebuild the pool");
+        assert_eq!(worker.vec_roundtrips, roundtrips0, "ticks must not materialize Vec<Agent>");
+        // The stable population also keeps the index incremental after the
+        // first build.
+        assert_eq!(worker.index.rebuilds(), 1, "steady state syncs incrementally");
+        worker.check_invariants();
     }
 
     #[test]
@@ -527,17 +1083,49 @@ mod tests {
         let mut stats = WorkerEpochStats::default();
         worker.run_tick(&mut stats);
         let snap = worker.snapshot();
-        let before: Vec<_> = worker.owned_agents().to_vec();
+        let before: Vec<_> = worker.owned_agents();
         // Run further, then roll back.
         worker.run_tick(&mut stats);
         worker.run_tick(&mut stats);
         worker.restore(snap, vec![0.0, 100.0]);
-        assert_eq!(worker.owned_agents(), &before[..]);
+        assert_eq!(worker.owned_agents(), before);
         assert_eq!(worker.current_tick(), 1);
         // Replay is deterministic.
         worker.run_tick(&mut stats);
-        let replayed: Vec<_> = worker.owned_agents().to_vec();
-        worker.restore(worker.snapshot(), vec![0.0, 100.0]);
-        assert_eq!(worker.owned_agents(), &replayed[..]);
+        let replayed: Vec<_> = worker.owned_agents();
+        let snap = worker.snapshot();
+        worker.restore(snap, vec![0.0, 100.0]);
+        assert_eq!(worker.owned_agents(), replayed);
+        worker.check_invariants();
+    }
+
+    #[test]
+    fn stable_row_ops_keep_invariants_under_churn() {
+        let b = Drift::new();
+        let mut worker = single_worker(line(6, 1.0));
+        // Fake a two-source tail, then churn the owned region around it.
+        worker.registries.push(Vec::new()); // pretend source 1 exists
+        worker.sessions.push(ReplicaSession::new(0));
+        for i in 0..4u64 {
+            let a = Agent::new(AgentId::new(100 + i), Vec2::new(50.0 + i as f64, 0.0), b.schema());
+            worker.push_tail_row((i % 2) as usize, &a);
+        }
+        worker.check_invariants();
+        // Owned insertion relocates the first tail row.
+        let newcomer = Agent::new(AgentId::new(50), Vec2::new(3.3, 0.0), b.schema());
+        worker.insert_owned(&newcomer);
+        worker.check_invariants();
+        assert_eq!(worker.n_owned, 7);
+        assert_eq!(worker.pool.len(), 11);
+        // Owned removal (middle row) closes the seam from the tail end.
+        worker.remove_owned_row(2);
+        worker.check_invariants();
+        assert_eq!(worker.n_owned, 6);
+        // Tail removals in both registries.
+        worker.remove_tail_row(0, 0);
+        worker.check_invariants();
+        worker.remove_tail_row(1, 1);
+        worker.check_invariants();
+        assert_eq!(worker.pool.len() - worker.n_owned, 2);
     }
 }

@@ -130,6 +130,44 @@ impl GridPartitioning {
         PartitionId::new((ri * self.cols() + ci) as u32)
     }
 
+    /// Columnar ownership scan: `out[i]` = partition index owning
+    /// `(xs[i], ys[i])`. This is the distribute phase of the pool-resident
+    /// worker — one pass over the pool's position columns instead of a
+    /// per-record `partition_of` on materialized agents. The boundary
+    /// arrays are tiny (≤ workers + 1 entries), so the inner comparison
+    /// loop is branch-free and lane-friendly: owner = Σⱼ [x ≥ bⱼ] over the
+    /// interior boundaries, exactly `axis_cell`'s `partition_point`
+    /// arithmetic unrolled into adds.
+    pub fn owners_into(&self, xs: &[f64], ys: &[f64], out: &mut Vec<u32>) {
+        debug_assert_eq!(xs.len(), ys.len());
+        out.clear();
+        out.reserve(xs.len());
+        let xb = &self.x_bounds[1..self.x_bounds.len() - 1]; // interior boundaries
+        if self.rows() == 1 {
+            // 1-D columns layout (the paper's load-balanced partitioning):
+            // pure x scan, no row term.
+            out.extend(xs.iter().map(|&x| xb.iter().map(|&b| (x >= b) as u32).sum::<u32>()));
+        } else {
+            let yb = &self.y_bounds[1..self.y_bounds.len() - 1];
+            let cols = self.cols() as u32;
+            out.extend(xs.iter().zip(ys).map(|(&x, &y)| {
+                let ci = xb.iter().map(|&b| (x >= b) as u32).sum::<u32>();
+                let ri = yb.iter().map(|&b| (y >= b) as u32).sum::<u32>();
+                ri * cols + ci
+            }));
+        }
+    }
+
+    /// Inclusive column range `[c0, c1]` of cells whose visible region
+    /// contains x-position `x` under visibility `vis` — the 1-D fast path
+    /// of [`Partitioner::replica_targets`] for the `rows() == 1` layout
+    /// (every target has row 0, so the cell range *is* the target list).
+    #[inline]
+    pub fn replica_col_range(&self, x: f64, vis: f64) -> (u32, u32) {
+        let (c0, c1) = Self::axis_range(&self.x_bounds, x - vis, x + vis);
+        (c0 as u32, c1 as u32)
+    }
+
     fn cell_of(&self, pid: PartitionId) -> (usize, usize) {
         let cols = self.cols();
         let idx = pid.index();
@@ -300,6 +338,43 @@ mod tests {
     #[should_panic(expected = "must increase")]
     fn from_bounds_rejects_unsorted() {
         GridPartitioning::from_bounds(vec![0.0, 2.0, 1.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn owners_into_matches_partition_of() {
+        let mut rng = DetRng::seed_from_u64(7);
+        for grid in [grid3x2(), GridPartitioning::columns(0.0, 100.0, 4), GridPartitioning::columns(-5.0, 5.0, 1)] {
+            let (xs, ys): (Vec<f64>, Vec<f64>) =
+                (0..500).map(|_| (rng.range(-50.0, 150.0), rng.range(-50.0, 150.0))).unzip();
+            let mut owners = Vec::new();
+            grid.owners_into(&xs, &ys, &mut owners);
+            assert_eq!(owners.len(), xs.len());
+            for i in 0..xs.len() {
+                assert_eq!(
+                    owners[i],
+                    grid.partition_of(Vec2::new(xs[i], ys[i])).index() as u32,
+                    "point ({}, {})",
+                    xs[i],
+                    ys[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replica_col_range_matches_replica_targets_for_columns() {
+        let g = GridPartitioning::columns(0.0, 100.0, 4);
+        let mut rng = DetRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let p = Vec2::new(rng.range(-20.0, 120.0), rng.range(-5.0, 5.0));
+            let vis = rng.range(0.0, 40.0);
+            let (c0, c1) = g.replica_col_range(p.x, vis);
+            let mut targets = Vec::new();
+            g.replica_targets(p, vis, &mut targets);
+            targets.sort_unstable();
+            let expected: Vec<PartitionId> = (c0..=c1).map(PartitionId::new).collect();
+            assert_eq!(targets, expected, "p={p} vis={vis}");
+        }
     }
 
     #[test]

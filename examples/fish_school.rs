@@ -81,6 +81,6 @@ fn main() {
         stats.throughput(),
         stats.net.total_messages(),
         stats.net.total_bytes(),
-        stats.net.replica.bytes,
+        stats.net.replica_bytes(),
     );
 }

@@ -56,7 +56,9 @@ fn main() {
         let stats = sim.stats();
         println!(
             "{label:<10} communication rounds/tick: {}   effect bytes: {:>8}   replica bytes: {:>9}",
-            stats.comm_rounds_per_tick, stats.net.effects.bytes, stats.net.replica.bytes
+            stats.comm_rounds_per_tick,
+            stats.net.effects.bytes,
+            stats.net.replica_bytes()
         );
         sim.collect_agents().expect("collect")
     };

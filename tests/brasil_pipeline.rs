@@ -159,7 +159,7 @@ fn range_tag_drives_replication_volume() {
         };
         let mut sim = ClusterSim::new(Arc::new(behavior), agents, cfg).unwrap();
         sim.run_ticks(5).unwrap();
-        sim.stats().net.replica.bytes
+        sim.stats().net.replica_bytes()
     };
     let small = replicas_for(1.0);
     let large = replicas_for(4.0);

@@ -8,11 +8,14 @@
 //! asserted end-to-end for the paper's real models and compiled BRASIL
 //! scripts.)
 
-use brace_common::{AgentId, DetRng, Vec2};
-use brace_core::{Agent, Behavior, Simulation};
-use brace_mapreduce::{ClusterConfig, ClusterSim, LoadBalancer};
+use brace_common::{AgentId, DetRng, FieldId, Vec2};
+use brace_core::behavior::{Neighbors, UpdateCtx};
+use brace_core::effect::EffectWriter;
+use brace_core::{Agent, AgentSchema, Behavior, Combinator, Simulation};
+use brace_mapreduce::{ClusterConfig, ClusterSim, DistributionMode, LoadBalancer};
 use brace_models::scripts;
 use brace_models::{FishBehavior, FishParams, PredatorBehavior, PredatorParams, TrafficBehavior, TrafficParams};
+use proptest::prelude::*;
 use std::sync::Arc;
 
 fn single_node<B: Behavior>(behavior: B, agents: Vec<Agent>, ticks: u64, seed: u64) -> Vec<Agent> {
@@ -131,6 +134,155 @@ fn load_balancing_does_not_change_results() {
     let without = cluster(Arc::new(make()), pop.clone(), 30, 9, 3, (-12.0, 12.0), false);
     let with = cluster(Arc::new(make()), pop, 30, 9, 3, (-12.0, 12.0), true);
     assert_world_close(&without, &with, 1e-6, "fish LB vs no-LB");
+}
+
+// ---- delta distribution ≡ full redistribution ----------------------------
+//
+// The pool-resident worker ships persisting replicas as masked delta
+// frames against per-peer sessions; the `DistributionMode::Full` ablation
+// resets those sessions every tick and re-ships everything as full
+// records — the old disk-era behavior. The two transports must be
+// **bit-identical** in every observable way, under the nastiest dynamics
+// we can generate: float-valued effect sums (order-sensitive in the last
+// bit, so any replica staleness or ordering slip shows), agents migrating
+// across partition boundaries, spawn/kill churn, and the load balancer
+// repartitioning mid-run. 1–4 workers.
+
+/// Float-effect model with deterministic churn: agents drift (migration),
+/// spawn children on a sparse id×tick schedule and die on another, and
+/// aggregate order-sensitive float sums plus a Min — any divergence in
+/// replica content, membership or ordering flips bits immediately.
+#[derive(Clone)]
+struct ChurnStorm(AgentSchema, /* churn: */ bool);
+
+impl ChurnStorm {
+    fn new(churn: bool) -> Self {
+        ChurnStorm(
+            AgentSchema::builder("ChurnStorm")
+                .state("w")
+                .state("drift")
+                .effect("acc", Combinator::Sum)
+                .effect("near", Combinator::Min)
+                .visibility(4.0)
+                .reachability(1.5)
+                .build()
+                .unwrap(),
+            churn,
+        )
+    }
+
+    fn population(&self, n: usize, seed: u64) -> Vec<Agent> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let mut a =
+                    Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, 60.0), rng.range(0.0, 12.0)), &self.0);
+                a.state[0] = rng.range(0.5, 2.0);
+                a.state[1] = rng.range(-1.0, 1.0);
+                a
+            })
+            .collect()
+    }
+}
+
+impl Behavior for ChurnStorm {
+    fn schema(&self) -> &AgentSchema {
+        &self.0
+    }
+    fn query(&self, me: brace_core::AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
+        let my_pos = me.pos();
+        for nb in nbrs.iter() {
+            let d = my_pos.dist_linf(nb.agent.pos());
+            // Order-sensitive float sum: weights differ per neighbor.
+            eff.local(FieldId::new(0), nb.agent.state(0) / (1.0 + d));
+            eff.local(FieldId::new(1), d);
+        }
+    }
+    fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+        let acc = me.effect(FieldId::new(0));
+        let near = me.effect(FieldId::new(1));
+        // Drift across partitions, modulated by the float aggregates.
+        me.pos.x += me.get(FieldId::new(1)) + 0.1 * acc.tanh();
+        me.pos.y += ctx.rng.range(-0.3, 0.3);
+        if near.is_finite() {
+            me.set(FieldId::new(0), me.get(FieldId::new(0)) + near * 1e-3);
+        }
+        if self.1 {
+            let id = me.id.raw();
+            if (id.wrapping_mul(31).wrapping_add(ctx.tick)).is_multiple_of(23) {
+                ctx.spawn(me.pos + Vec2::new(0.3, -0.2), vec![me.get(FieldId::new(0)) * 0.5, -me.get(FieldId::new(1))]);
+            }
+            if (id.wrapping_mul(17).wrapping_add(ctx.tick * 7)).is_multiple_of(41) {
+                me.alive = false;
+            }
+        }
+    }
+}
+
+fn run_mode(
+    churn: bool,
+    pop: &[Agent],
+    seed: u64,
+    workers: usize,
+    epochs: u64,
+    lb: bool,
+    mode: DistributionMode,
+) -> Vec<Agent> {
+    let cfg = ClusterConfig {
+        workers,
+        epoch_len: 5,
+        seed,
+        space_x: (0.0, 60.0),
+        load_balance: lb,
+        balancer: LoadBalancer { imbalance_threshold: 1.1, migration_cost_ticks: 0.5, epoch_len: 5 },
+        distribution: mode,
+        ..ClusterConfig::default()
+    };
+    let mut sim = ClusterSim::new(Arc::new(ChurnStorm::new(churn)), pop.to_vec(), cfg).unwrap();
+    sim.run_epochs(epochs).unwrap();
+    sim.collect_agents().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Delta distribution ≡ full redistribution, bit for bit: under churn
+    /// (spawn/kill), migration, repartitioning (load balancer on/off) and
+    /// 1–4 workers. `assert_eq!` on the full `Agent` records — positions,
+    /// states and effects must agree to the last bit.
+    #[test]
+    fn delta_equals_full_redistribution_bitwise(
+        seed in 0u64..1_000,
+        workers in 1usize..5,
+        n in 30usize..90,
+        epochs in 2u64..5,
+        lb in any::<bool>(),
+        churn in any::<bool>(),
+    ) {
+        let pop = ChurnStorm::new(churn).population(n, seed ^ 0xA5A5);
+        let delta = run_mode(churn, &pop, seed, workers, epochs, lb, DistributionMode::Delta);
+        let full = run_mode(churn, &pop, seed, workers, epochs, lb, DistributionMode::Full);
+        prop_assert_eq!(delta, full);
+    }
+
+    /// Without id-block spawning, the delta-distributed cluster is also
+    /// bit-identical to the single-node executor — for any worker count
+    /// and with the load balancer moving boundaries mid-run. (This is the
+    /// placement-independence guarantee of id-canonical neighbor order;
+    /// float sums included.)
+    #[test]
+    fn delta_cluster_equals_single_node_bitwise(
+        seed in 0u64..1_000,
+        workers in 1usize..5,
+        n in 30usize..90,
+        epochs in 2u64..4,
+        lb in any::<bool>(),
+    ) {
+        let pop = ChurnStorm::new(false).population(n, seed ^ 0x3C3C);
+        let single = single_node(ChurnStorm::new(false), pop.clone(), epochs * 5, seed);
+        let cluster = run_mode(false, &pop, seed, workers, epochs, lb, DistributionMode::Delta);
+        prop_assert_eq!(single, cluster);
+    }
 }
 
 #[test]

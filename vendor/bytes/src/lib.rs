@@ -204,6 +204,12 @@ impl BytesMut {
         self.data.extend_from_slice(src);
     }
 
+    /// Drop the contents, keeping the allocation (buffer reuse across
+    /// encode passes).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
