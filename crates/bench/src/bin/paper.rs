@@ -125,6 +125,10 @@ fn run_tick_throughput(args: &[String]) {
                     .collect();
             }
             "--out" => out = take(&mut i),
+            "--scenario-agents" => {
+                cfg.scenario_agents =
+                    take(&mut i).parse().unwrap_or_else(|_| die("--scenario-agents takes a number (0 skips)"));
+            }
             other => die(&format!("unknown tick-throughput flag `{other}`")),
         }
         i += 1;
@@ -154,6 +158,17 @@ fn run_tick_throughput(args: &[String]) {
         let delta_wins =
             report.cluster.iter().filter(|c| c.model == "traffic" && c.workers > 1).all(|c| c.delta_over_full < 0.8);
         assert!(delta_wins, "replica-delta bytes must be well under replica-full bytes: {:?}", report.cluster);
+    }
+    // The scenario section must cover the whole registry — one row per
+    // registered name — so a scenario silently dropping out of the
+    // baseline fails the CI smoke run.
+    if cfg.scenario_agents > 0 {
+        for name in brace_scenario::Registry::builtin().names() {
+            assert!(
+                report.scenarios.iter().any(|s| s.scenario == name),
+                "scenario-throughput section lost the `{name}` row"
+            );
+        }
     }
     print_table(
         &format!("Tick throughput — sharded executor, {} core(s)", report.cores),
@@ -207,6 +222,23 @@ fn run_tick_throughput(args: &[String]) {
                     format!("{:.0}", c.replica_full_bytes_per_tick),
                     format!("{:.0}", c.replica_delta_bytes_per_tick),
                     format!("{:.3}", c.delta_over_full),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Scenario registry — one row per registered scenario (serial single node, default index)",
+        &["scenario", "index", "agents", "query [agents/s]", "tick [agents/s]"],
+        &report
+            .scenarios
+            .iter()
+            .map(|s| {
+                vec![
+                    s.scenario.clone(),
+                    format!("{:?}", s.index),
+                    s.actual_agents.to_string(),
+                    tput(s.query_agents_per_sec),
+                    tput(s.tick_agents_per_sec),
                 ]
             })
             .collect::<Vec<_>>(),

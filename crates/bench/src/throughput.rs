@@ -15,6 +15,7 @@ use brace_core::executor::reference_step;
 use brace_core::{Agent, Behavior, IndexMaintenance, QueryKernel, TickExecutor};
 use brace_mapreduce::{ClusterConfig, ClusterSim, DistributionMode};
 use brace_models::{FishBehavior, FishParams, TrafficBehavior, TrafficParams};
+use brace_scenario::{Registry, Runner};
 use brace_spatial::IndexKind;
 use std::sync::Arc;
 
@@ -84,6 +85,11 @@ pub struct ThroughputConfig {
     pub cluster_agents: usize,
     /// Worker counts for the cluster-throughput section (empty skips it).
     pub cluster_workers: Vec<usize>,
+    /// Population size for the per-scenario registry section (`0` skips
+    /// it). Smaller than the main matrix: the section's job is one
+    /// comparable row per registered scenario — including the interpreted
+    /// BRASIL workloads — not a deep sweep.
+    pub scenario_agents: usize,
 }
 
 impl Default for ThroughputConfig {
@@ -96,6 +102,7 @@ impl Default for ThroughputConfig {
             scan_cap: 20_000,
             cluster_agents: 20_000,
             cluster_workers: vec![1, 2, 4],
+            scenario_agents: 5_000,
         }
     }
 }
@@ -112,6 +119,7 @@ impl ThroughputConfig {
             scan_cap: 2_500,
             cluster_agents: 2_000,
             cluster_workers: vec![1, 2, 4],
+            scenario_agents: 500,
         }
     }
 }
@@ -161,6 +169,25 @@ pub struct ClusterRow {
     pub delta_over_full: f64,
 }
 
+/// One registry-scenario configuration: the scenario's default setup
+/// driven through the backend-erased `Runner`, serial single node. Rows are
+/// keyed by registry name, so a scenario lands in the baseline the moment
+/// it is registered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Registry name.
+    pub scenario: String,
+    /// Spatial index the scenario defaults to.
+    pub index: IndexKind,
+    pub actual_agents: usize,
+    /// Measured (post-warmup) ticks.
+    pub ticks: u64,
+    /// Agent-ticks per second of query-phase time.
+    pub query_agents_per_sec: f64,
+    /// Agent-ticks per second of whole-tick time.
+    pub tick_agents_per_sec: f64,
+}
+
 /// The full measurement matrix plus derived speedups.
 #[derive(Debug, Clone, Default)]
 pub struct ThroughputReport {
@@ -168,6 +195,8 @@ pub struct ThroughputReport {
     pub speedups: Vec<SpeedupRow>,
     /// The cluster-throughput section (distributed runtime).
     pub cluster: Vec<ClusterRow>,
+    /// The per-scenario registry section (one row per registered scenario).
+    pub scenarios: Vec<ScenarioRow>,
     /// Configurations skipped with the reason (e.g. scan at 100k).
     pub skipped: Vec<String>,
     /// Cores visible to the process when the matrix ran.
@@ -352,6 +381,46 @@ pub fn cluster_throughput(cfg: &ThroughputConfig) -> Vec<ClusterRow> {
     rows
 }
 
+/// The per-scenario registry section: every registered scenario at the
+/// configured population, built and driven through the backend-erased
+/// `Runner` facade (serial single node, the scenario's default index), one
+/// row per registry name.
+pub fn scenario_throughput(cfg: &ThroughputConfig) -> Vec<ScenarioRow> {
+    let mut rows = Vec::new();
+    if cfg.scenario_agents == 0 {
+        return rows;
+    }
+    let registry = Registry::builtin();
+    for scenario in registry.iter() {
+        // One build serves both the row's metadata (index, actual size)
+        // and the launch — BRASIL scenarios compile their script per
+        // build, so `launch_with` avoids paying that twice. The explicit
+        // seed keeps the inspected setup and the measured run coupled.
+        let setup = scenario
+            .build(Some(cfg.scenario_agents), brace_scenario::runner::DEFAULT_SEED)
+            .unwrap_or_else(|e| panic!("scenario `{}` failed to build: {e}", scenario.name()));
+        let index = setup.index;
+        let actual_agents = setup.population.len();
+        let mut handle = Runner::new(scenario)
+            .launch_with(setup)
+            .unwrap_or_else(|e| panic!("scenario `{}` failed to launch: {e}", scenario.name()));
+        handle.run(cfg.warmup).expect("single-node warmup");
+        handle.reset_metrics();
+        handle.run(cfg.ticks).expect("single-node measurement");
+        let m = handle.metrics().expect("single-node backend has metrics").clone();
+        let per_sec = |ns: u64| if ns == 0 { 0.0 } else { m.agent_ticks as f64 / (ns as f64 / 1e9) };
+        rows.push(ScenarioRow {
+            scenario: scenario.name().to_string(),
+            index,
+            actual_agents,
+            ticks: m.ticks,
+            query_agents_per_sec: per_sec(m.query_ns),
+            tick_agents_per_sec: per_sec(m.total_ns),
+        });
+    }
+    rows
+}
+
 /// Run the measurement matrix over fish + traffic, every population size
 /// and every index kind (scan capped per the config): serial, parallel,
 /// and the two ablation modes.
@@ -426,6 +495,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         }
     }
     report.cluster = cluster_throughput(cfg);
+    report.scenarios = scenario_throughput(cfg);
     report
 }
 
@@ -446,9 +516,12 @@ fn index_name(kind: IndexKind) -> &'static str {
 /// (batched lane kernels over the scalar probe loop). Version 4 added the
 /// `cluster` section: distributed-runtime throughput with per-tick bytes
 /// split by traffic class and the `delta_over_full` replica-byte ratio.
+/// Version 5 added the `scenarios` section: one row per scenario-registry
+/// entry, keyed by registry name (`rows`/`speedups` stay keyed by the same
+/// names for fish and traffic, so v4 comparisons carry over unchanged).
 pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 4,\n");
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str(&format!("  \"cores\": {},\n", report.cores));
     out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
     out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
@@ -515,6 +588,21 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in report.scenarios.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"index\": \"{}\", \"actual_agents\": {}, \"ticks\": {}, \
+             \"query_agents_per_sec\": {:.1}, \"tick_agents_per_sec\": {:.1}}}{}\n",
+            s.scenario,
+            index_name(s.index),
+            s.actual_agents,
+            s.ticks,
+            s.query_agents_per_sec,
+            s.tick_agents_per_sec,
+            if i + 1 == report.scenarios.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"skipped\": [\n");
     for (i, s) in report.skipped.iter().enumerate() {
         out.push_str(&format!("    \"{}\"{}\n", s, if i + 1 == report.skipped.len() { "" } else { "," }));
@@ -537,6 +625,7 @@ mod tests {
             scan_cap: 1_000,
             cluster_agents: 300,
             cluster_workers: vec![1, 2],
+            scenario_agents: 150,
         };
         let report = tick_throughput(&cfg);
         // 1 size × 3 kinds × 2 models × 5 modes.
@@ -551,8 +640,20 @@ mod tests {
         for c in &report.cluster {
             assert!(c.agents_per_sec > 0.0, "cluster row {c:?} measured nothing");
         }
+        // Scenario section: one row per registry entry, keyed by name.
+        let registry = Registry::builtin();
+        assert_eq!(report.scenarios.len(), registry.len());
+        for name in registry.names() {
+            let row = report
+                .scenarios
+                .iter()
+                .find(|s| s.scenario == name)
+                .unwrap_or_else(|| panic!("missing scenario row `{name}`"));
+            assert!(row.tick_agents_per_sec > 0.0, "scenario row {row:?} measured nothing");
+        }
         let json = to_json(&report, &cfg);
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"scenario\": \"flock-obstacles\""));
         assert!(json.contains("\"model\": \"traffic\""));
         assert!(json.contains("\"incremental_speedup\""));
         assert!(json.contains("\"kernel_speedup\""));

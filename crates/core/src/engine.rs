@@ -1,10 +1,14 @@
 //! High-level single-node simulation API.
 //!
-//! [`Simulation`] wraps [`TickExecutor`] with
-//! a builder, validation and the couple of conveniences every experiment
-//! harness wants (warm-up discarding, snapshotting). Distributed runs use
-//! `brace_mapreduce::ClusterSim`, which exposes the same surface over the
-//! multi-worker runtime.
+//! [`Simulation`] wraps [`TickExecutor`] with a builder, validation and
+//! the couple of conveniences every experiment harness wants (warm-up
+//! discarding, snapshotting). It is one of the two engines behind the
+//! backend-erased driver in `brace_scenario` — `Runner`/`SimHandle` drive
+//! either this or `brace_mapreduce::ClusterSim` behind one facade, which
+//! is the surface most callers should use; reach for `Simulation`
+//! directly when embedding a single-node engine with a concrete behavior
+//! type (it stays monomorphized over `B`, so model code inlines into the
+//! probe loop).
 
 use crate::agent::Agent;
 use crate::behavior::Behavior;
@@ -136,6 +140,12 @@ impl<B: Behavior> Simulation<B> {
 
     pub fn metrics(&self) -> &SimMetrics {
         self.exec.metrics()
+    }
+
+    /// Discard accumulated metrics (start-up transient elimination) without
+    /// rewinding the simulation clock.
+    pub fn reset_metrics(&mut self) {
+        self.exec.reset_metrics()
     }
 }
 

@@ -29,6 +29,12 @@
 //!   runtime replicates per partition;
 //! * [`engine`] — a high-level `Simulation` builder for single-node runs;
 //! * [`metrics`] — per-tick timing and throughput accounting.
+//!
+//! This crate is the *engine* layer. User-facing entry points live one
+//! level up in `brace_scenario`: a `Scenario` registry (every workload —
+//! hand-coded or BRASIL-compiled — behind one trait) and a backend-erased
+//! `Runner` that drives a `Simulation` or a `brace_mapreduce` cluster
+//! through one facade, bit-identically.
 
 pub mod agent;
 pub mod behavior;

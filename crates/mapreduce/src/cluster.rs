@@ -253,6 +253,11 @@ impl ClusterSim {
         self.master.epoch()
     }
 
+    /// Ticks per epoch (the master's coordination cadence).
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
     /// Current column boundaries (moves when the load balancer acts).
     pub fn x_bounds(&self) -> &[f64] {
         self.master.x_bounds()

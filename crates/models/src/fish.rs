@@ -102,7 +102,7 @@ pub mod effect {
 /// `hypot` so the root vectorizes. Zone cutoffs compare against squared
 /// radii for the same reason.
 #[inline]
-fn candidate_force(mx: f64, my: f64, cx: f64, cy: f64) -> (f64, f64, f64) {
+pub(crate) fn candidate_force(mx: f64, my: f64, cx: f64, cy: f64) -> (f64, f64, f64) {
     let dx = cx - mx;
     let dy = cy - my;
     let d2 = dx * dx + dy * dy;

@@ -24,15 +24,27 @@
 //! * [`validation`] — the Table 2 machinery: per-lane traffic statistics
 //!   and RMSPE comparison between the BRACE reimplementation and the
 //!   baseline.
+//!
+//! Beyond the paper's suite, two scenario-registry workloads prove the
+//! `Scenario`/`Runner` surface generalizes:
+//!
+//! * [`epidemic`] — an SIR epidemic on a plane with infection as a
+//!   **non-local**, exactly-associative ⊕-effect (integer contact counts);
+//! * [`flock_obstacles`] — zonal flocking through a deterministic field of
+//!   static circular obstacles (environment as model data).
 
+pub mod epidemic;
 pub mod fish;
+pub mod flock_obstacles;
 pub mod mitsim;
 pub mod predator;
 pub mod scripts;
 pub mod traffic;
 pub mod validation;
 
+pub use epidemic::{EpidemicBehavior, EpidemicParams};
 pub use fish::{FishBehavior, FishParams};
+pub use flock_obstacles::{FlockObstaclesBehavior, FlockObstaclesParams};
 pub use mitsim::MitsimBaseline;
 pub use predator::{PredatorBehavior, PredatorParams};
 pub use traffic::{TrafficBehavior, TrafficParams};

@@ -1,0 +1,616 @@
+//! The backend-erased driver: one [`Runner`] facade over the single-node
+//! executor and the distributed cluster, with per-tick [`Observer`] hooks.
+//!
+//! Before this layer, single-node code used `brace_core::Simulation`
+//! (monomorphized, `run_measured`, `agents()`) while distributed code used
+//! `brace_mapreduce::ClusterSim` (dyn-based, epoch-grained, `run_ticks`,
+//! `collect_agents()`), and every experiment hand-wired both. A [`Runner`]
+//! erases the difference: pick a [`Backend`], launch a [`SimHandle`], run
+//! ticks, collect the world. Metric sinks and snapshot policy hang off
+//! [`Observer`]s instead of bespoke `run_measured`/`collect_agents` call
+//! sites.
+//!
+//! Determinism contract: for a fixed scenario, seed and population, every
+//! backend — any `parallelism`, any worker count — produces the same world
+//! up to the documented approximations (spawn ids from per-worker blocks,
+//! non-local float ⊕ re-association). For a scenario's
+//! [`conformance`](crate::Scenario::conformance) configuration the
+//! equivalence is **bit-exact**, which `tests/scenario_conformance.rs`
+//! enforces for every registry entry.
+
+use crate::{Scenario, ScenarioSetup};
+use brace_common::{BraceError, Result};
+use brace_core::metrics::SimMetrics;
+use brace_core::{Agent, Behavior, Simulation};
+use brace_mapreduce::{ClusterConfig, ClusterSim, ClusterStats};
+use brace_spatial::IndexKind;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default master seed for runner-driven runs (the repo's golden seed).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Where a scenario executes. The variants carry only *placement* knobs;
+/// simulation semantics (behavior, population, seed, bounds, index, epoch
+/// length) come from the scenario and the [`Runner`], so switching backend
+/// can never silently switch workloads.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// The in-process sharded executor.
+    SingleNode {
+        /// Thread budget (`1` = serial, `0` = all cores). Never affects
+        /// results.
+        parallelism: usize,
+    },
+    /// The simulated shared-nothing cluster. The embedded
+    /// [`ClusterConfig`]'s placement fields (`workers`, `load_balance`,
+    /// `balancer`, `checkpoint_*`, `collocation`, `parallelism`,
+    /// `distribution`, `fault`) are honored; its `seed`, `index`,
+    /// `space_x` and `epoch_len` are overwritten from the scenario setup
+    /// and the runner at launch.
+    Cluster(ClusterConfig),
+}
+
+impl Backend {
+    /// Serial single-node backend.
+    pub fn single() -> Backend {
+        Backend::SingleNode { parallelism: 1 }
+    }
+
+    /// Default cluster backend with `workers` workers.
+    pub fn cluster(workers: usize) -> Backend {
+        Backend::Cluster(ClusterConfig { workers, ..ClusterConfig::default() })
+    }
+
+    /// Parse a CLI backend spec: `single`, `cluster` (4 workers) or
+    /// `cluster:N`.
+    pub fn parse(s: &str) -> Result<Backend> {
+        match s {
+            "single" => Ok(Backend::single()),
+            "cluster" => Ok(Backend::cluster(4)),
+            _ => match s.strip_prefix("cluster:") {
+                Some(n) => {
+                    let workers: usize =
+                        n.parse().map_err(|e| BraceError::Config(format!("backend `{s}`: bad worker count: {e}")))?;
+                    Ok(Backend::cluster(workers))
+                }
+                None => Err(BraceError::Config(format!(
+                    "unknown backend `{s}` (expected `single`, `cluster` or `cluster:N`)"
+                ))),
+            },
+        }
+    }
+
+    /// Short display form (`single`, `cluster:4`).
+    pub fn label(&self) -> String {
+        match self {
+            Backend::SingleNode { .. } => "single".to_string(),
+            Backend::Cluster(cfg) => format!("cluster:{}", cfg.workers),
+        }
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::single()
+    }
+}
+
+/// Per-tick progress delivered to [`Observer::on_tick`]. Single-node runs
+/// report every tick; cluster runs report at epoch boundaries (the
+/// master's coordination grain), with `tick` the total completed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Ticks completed so far.
+    pub tick: u64,
+    /// Live agents at this point.
+    pub agents: usize,
+}
+
+/// Hooks driven by [`SimHandle::run`]: metric sinks, progress bars,
+/// snapshot/checkpoint policies. All methods default to no-ops.
+pub trait Observer: Send {
+    /// Called after each completed tick (single node) or epoch (cluster).
+    fn on_tick(&mut self, progress: &Progress) {
+        let _ = progress;
+    }
+
+    /// Called with a full world snapshot (sorted by agent id) whenever the
+    /// runner's snapshot cadence fires — the backend-erased replacement for
+    /// hand-rolled `collect_agents` loops. On the cluster backend snapshots
+    /// land on the first epoch boundary at or after each cadence multiple.
+    fn on_snapshot(&mut self, tick: u64, world: &[Agent]) {
+        let _ = (tick, world);
+    }
+}
+
+/// Builder for a backend-erased run of one scenario.
+pub struct Runner<'s> {
+    scenario: &'s dyn Scenario,
+    backend: Backend,
+    seed: u64,
+    size: Option<usize>,
+    index: Option<IndexKind>,
+    epoch_len: Option<u64>,
+    conformance: bool,
+    snapshot_every: Option<u64>,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl<'s> Runner<'s> {
+    pub fn new(scenario: &'s dyn Scenario) -> Runner<'s> {
+        Runner {
+            scenario,
+            backend: Backend::default(),
+            seed: DEFAULT_SEED,
+            size: None,
+            index: None,
+            epoch_len: None,
+            conformance: false,
+            snapshot_every: None,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Where to run (default: serial single node).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Master seed (default [`DEFAULT_SEED`]); drives the population
+    /// generator and every per-agent RNG stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Requested population size (default: the scenario's).
+    pub fn population(mut self, size: usize) -> Self {
+        self.size = Some(size);
+        self
+    }
+
+    /// Override the scenario's default spatial index.
+    pub fn index(mut self, kind: IndexKind) -> Self {
+        self.index = Some(kind);
+        self
+    }
+
+    /// Override the scenario's default epoch length (cluster coordination
+    /// cadence; never affects results).
+    pub fn epoch_len(mut self, ticks: u64) -> Self {
+        self.epoch_len = Some(ticks);
+        self
+    }
+
+    /// Use the scenario's reduced, exactly-distributable
+    /// [`conformance`](Scenario::conformance) configuration instead of
+    /// [`build`](Scenario::build).
+    pub fn conformance(mut self) -> Self {
+        self.conformance = true;
+        self
+    }
+
+    /// Deliver a sorted world snapshot to observers every `ticks` ticks.
+    pub fn snapshot_every(mut self, ticks: u64) -> Self {
+        self.snapshot_every = Some(ticks.max(1));
+        self
+    }
+
+    /// Attach an observer (any number may be attached).
+    pub fn observe(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    fn setup(&self) -> Result<ScenarioSetup> {
+        let mut setup = if self.conformance {
+            // The conformance configuration is a fixed point: population
+            // and index are part of what its bit-exact cluster ≡
+            // single-node contract certifies (see the `builtin` module
+            // docs on the grid's bucket-major emission), so overriding
+            // either would silently void the contract. Reject instead.
+            if self.size.is_some() {
+                return Err(BraceError::Config(
+                    "population override conflicts with the conformance configuration \
+                     (its size is part of the exactly-distributable contract); drop one"
+                        .into(),
+                ));
+            }
+            if self.index.is_some() {
+                return Err(BraceError::Config(
+                    "index override conflicts with the conformance configuration \
+                     (its index choice is part of the exactly-distributable contract); drop one"
+                        .into(),
+                ));
+            }
+            self.scenario.conformance(self.seed)?
+        } else {
+            let mut setup = self.scenario.build(self.size, self.seed)?;
+            if let Some(kind) = self.index {
+                setup.index = kind;
+            }
+            setup
+        };
+        if let Some(e) = self.epoch_len {
+            setup.epoch_len = e.max(1);
+        }
+        Ok(setup)
+    }
+
+    /// Launch the scenario on the configured backend.
+    pub fn launch(self) -> Result<SimHandle> {
+        let setup = self.setup()?;
+        self.launch_with(setup)
+    }
+
+    /// Launch a **prebuilt** setup on the configured backend, skipping the
+    /// scenario's `build`/`conformance` call. For callers that also
+    /// inspect the setup (e.g. the bench harness reads the index and
+    /// population size it is about to measure) and must not pay a second
+    /// build — BRASIL scenarios compile their script per build. The setup
+    /// should come from this runner's scenario and seed, or the eventual
+    /// report's provenance is a lie; `size`/`index`/`conformance` set on
+    /// the runner are ignored.
+    pub fn launch_with(self, setup: ScenarioSetup) -> Result<SimHandle> {
+        let inner = match self.backend {
+            Backend::SingleNode { parallelism } => {
+                let sim = Simulation::builder(setup.behavior)
+                    .agents(setup.population)
+                    .index(setup.index)
+                    .seed(self.seed)
+                    .parallelism(parallelism)
+                    .build()?;
+                Inner::Single(Box::new(sim))
+            }
+            Backend::Cluster(mut cfg) => {
+                cfg.seed = self.seed;
+                cfg.index = setup.index;
+                cfg.space_x = setup.space_x;
+                cfg.epoch_len = setup.epoch_len;
+                Inner::Cluster(Box::new(ClusterSim::new(setup.behavior, setup.population, cfg)?))
+            }
+        };
+        Ok(SimHandle { inner, observers: self.observers, snapshot_every: self.snapshot_every, snapshots_delivered: 0 })
+    }
+
+    /// One-shot convenience: launch, run `ticks`, collect, run the
+    /// scenario's sanity [`check`](Scenario::check), and report. For
+    /// cluster backends the epoch length is first fitted to `ticks` (the
+    /// largest value ≤ the configured epoch length dividing `ticks` — the
+    /// coordination cadence never affects results), so any tick count
+    /// works on any backend.
+    pub fn run(self, ticks: u64) -> Result<RunReport> {
+        let scenario = self.scenario;
+        let backend_label = self.backend.label();
+        let mut setup = self.setup()?;
+        if matches!(self.backend, Backend::Cluster(_)) && ticks > 0 {
+            setup.epoch_len = (1..=setup.epoch_len.max(1)).rev().find(|&e| ticks.is_multiple_of(e)).unwrap_or(1);
+        }
+        let mut handle = self.launch_with(setup)?;
+        let t0 = Instant::now();
+        handle.run(ticks)?;
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let world = handle.world()?;
+        scenario.check(&world)?;
+        let agent_ticks = handle.agent_ticks();
+        Ok(RunReport {
+            scenario: scenario.name().to_string(),
+            backend: backend_label,
+            ticks,
+            agents: world.len(),
+            checksum: crate::world_checksum(&world),
+            wall_secs,
+            agents_per_sec: if wall_secs > 0.0 { agent_ticks as f64 / wall_secs } else { 0.0 },
+            world,
+        })
+    }
+}
+
+/// Outcome of [`Runner::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Registry name of the scenario.
+    pub scenario: String,
+    /// Backend label (`single`, `cluster:4`).
+    pub backend: String,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Final live population.
+    pub agents: usize,
+    /// [`crate::world_checksum`] of the final world (sorted by id).
+    pub checksum: u64,
+    /// Wall time of the run.
+    pub wall_secs: f64,
+    /// Agent-ticks per second of wall time.
+    pub agents_per_sec: f64,
+    /// The final world, sorted by agent id.
+    pub world: Vec<Agent>,
+}
+
+enum Inner {
+    Single(Box<Simulation<Arc<dyn Behavior>>>),
+    Cluster(Box<ClusterSim>),
+}
+
+fn world_of(inner: &mut Inner) -> Result<Vec<Agent>> {
+    match inner {
+        Inner::Single(sim) => {
+            let mut world = sim.agents();
+            world.sort_by_key(|a| a.id);
+            Ok(world)
+        }
+        Inner::Cluster(sim) => sim.collect_agents(),
+    }
+}
+
+/// A launched simulation with the backend erased.
+pub struct SimHandle {
+    inner: Inner,
+    observers: Vec<Box<dyn Observer>>,
+    snapshot_every: Option<u64>,
+    snapshots_delivered: u64,
+}
+
+impl SimHandle {
+    /// Execute `ticks` ticks, driving observers as they complete. On the
+    /// cluster backend `ticks` must be a multiple of the epoch length
+    /// (use [`Runner::run`], which fits the epoch length automatically, or
+    /// [`Runner::epoch_len`]).
+    pub fn run(&mut self, ticks: u64) -> Result<()> {
+        if let Inner::Cluster(sim) = &self.inner {
+            let epoch_len = sim.epoch_len();
+            if !ticks.is_multiple_of(epoch_len) {
+                return Err(BraceError::Config(format!(
+                    "{ticks} ticks is not a multiple of the cluster epoch length {epoch_len}; \
+                     use Runner::run (auto-fits) or Runner::epoch_len"
+                )));
+            }
+        }
+        let mut done = 0u64;
+        while done < ticks {
+            let progress = match &mut self.inner {
+                Inner::Single(sim) => {
+                    sim.step();
+                    done += 1;
+                    Progress { tick: sim.tick(), agents: sim.pool().len() }
+                }
+                Inner::Cluster(sim) => {
+                    sim.run_epochs(1)?;
+                    done += sim.epoch_len();
+                    let stats = sim.stats();
+                    let agents = stats.agents_per_worker.last().map(|w| w.iter().sum()).unwrap_or(0);
+                    Progress { tick: sim.tick(), agents }
+                }
+            };
+            for o in &mut self.observers {
+                o.on_tick(&progress);
+            }
+            Self::maybe_snapshot(
+                &mut self.inner,
+                &mut self.observers,
+                self.snapshot_every,
+                &mut self.snapshots_delivered,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn maybe_snapshot(
+        inner: &mut Inner,
+        observers: &mut [Box<dyn Observer>],
+        every: Option<u64>,
+        delivered: &mut u64,
+    ) -> Result<()> {
+        let Some(every) = every else { return Ok(()) };
+        let tick = match inner {
+            Inner::Single(sim) => sim.tick(),
+            Inner::Cluster(sim) => sim.tick(),
+        };
+        if tick / every > *delivered {
+            *delivered = tick / every;
+            let world = world_of(inner)?;
+            for o in observers.iter_mut() {
+                o.on_snapshot(tick, &world);
+            }
+        }
+        Ok(())
+    }
+
+    /// Completed simulation ticks.
+    pub fn tick(&self) -> u64 {
+        match &self.inner {
+            Inner::Single(sim) => sim.tick(),
+            Inner::Cluster(sim) => sim.tick(),
+        }
+    }
+
+    /// The current world, sorted by agent id (cluster: a master-coordinated
+    /// collection at the current epoch boundary).
+    pub fn world(&mut self) -> Result<Vec<Agent>> {
+        world_of(&mut self.inner)
+    }
+
+    /// [`crate::world_checksum`] of [`SimHandle::world`].
+    pub fn checksum(&mut self) -> Result<u64> {
+        Ok(crate::world_checksum(&self.world()?))
+    }
+
+    /// Agent-ticks executed so far.
+    pub fn agent_ticks(&self) -> u64 {
+        match &self.inner {
+            Inner::Single(sim) => sim.metrics().agent_ticks,
+            Inner::Cluster(sim) => sim.stats().agent_ticks,
+        }
+    }
+
+    /// Single-node phase metrics (`None` on the cluster backend, whose
+    /// accounting lives in [`SimHandle::cluster_stats`]).
+    pub fn metrics(&self) -> Option<&SimMetrics> {
+        match &self.inner {
+            Inner::Single(sim) => Some(sim.metrics()),
+            Inner::Cluster(_) => None,
+        }
+    }
+
+    /// Discard accumulated single-node metrics (warm-up elimination); a
+    /// no-op on the cluster backend.
+    pub fn reset_metrics(&mut self) {
+        if let Inner::Single(sim) = &mut self.inner {
+            sim.reset_metrics();
+        }
+    }
+
+    /// Cluster statistics (`None` on the single-node backend).
+    pub fn cluster_stats(&self) -> Option<ClusterStats> {
+        match &self.inner {
+            Inner::Single(_) => None,
+            Inner::Cluster(sim) => Some(sim.stats()),
+        }
+    }
+
+    /// Current cluster partition boundaries (`None` on single node).
+    pub fn x_bounds(&self) -> Option<&[f64]> {
+        match &self.inner {
+            Inner::Single(_) => None,
+            Inner::Cluster(sim) => Some(sim.x_bounds()),
+        }
+    }
+
+    /// Backend label (`single`, `cluster:N`).
+    pub fn backend_label(&self) -> String {
+        match &self.inner {
+            Inner::Single(_) => "single".to_string(),
+            Inner::Cluster(sim) => format!("cluster:{}", sim.x_bounds().len().saturating_sub(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn backend_parses_cli_specs() {
+        assert!(matches!(Backend::parse("single").unwrap(), Backend::SingleNode { .. }));
+        match Backend::parse("cluster:3").unwrap() {
+            Backend::Cluster(cfg) => assert_eq!(cfg.workers, 3),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(Backend::parse("cluster").unwrap().label(), "cluster:4");
+        assert!(Backend::parse("gpu").is_err());
+        assert!(Backend::parse("cluster:x").is_err());
+    }
+
+    #[test]
+    fn both_backends_run_through_one_facade() {
+        let registry = Registry::builtin();
+        let scenario = registry.get("flock-obstacles").unwrap();
+        let single = Runner::new(scenario).conformance().run(10).unwrap();
+        let cluster = Runner::new(scenario).conformance().backend(Backend::cluster(2)).run(10).unwrap();
+        assert_eq!(single.ticks, 10);
+        assert_eq!(cluster.ticks, 10);
+        assert_eq!(single.checksum, cluster.checksum, "exactly-distributable scenario must bit-match");
+        assert_eq!(single.agents, cluster.agents);
+    }
+
+    #[test]
+    fn epoch_fitting_makes_any_tick_count_run_on_cluster() {
+        let registry = Registry::builtin();
+        let scenario = registry.get("epidemic").unwrap();
+        // 7 is coprime with the default epoch length; Runner::run must fit.
+        let report = Runner::new(scenario).conformance().backend(Backend::cluster(2)).run(7).unwrap();
+        assert_eq!(report.ticks, 7);
+    }
+
+    #[test]
+    fn conformance_rejects_population_and_index_overrides() {
+        // The conformance setup's size and index are part of its bit-exact
+        // contract; silently ignoring an override would let a CLI user
+        // believe they ran something they didn't.
+        let registry = Registry::builtin();
+        let scenario = registry.get("fish").unwrap();
+        let err = Runner::new(scenario).conformance().population(50).run(2).expect_err("must conflict");
+        assert!(err.to_string().contains("population override"), "{err}");
+        let err = Runner::new(scenario).conformance().index(IndexKind::Grid).run(2).expect_err("must conflict");
+        assert!(err.to_string().contains("index override"), "{err}");
+    }
+
+    #[test]
+    fn handle_rejects_unaligned_cluster_ticks() {
+        let registry = Registry::builtin();
+        let scenario = registry.get("epidemic").unwrap();
+        let mut handle = Runner::new(scenario).conformance().backend(Backend::cluster(2)).launch().unwrap();
+        let err = handle.run(7).expect_err("7 ticks over a 5-tick epoch must be rejected");
+        assert!(err.to_string().contains("multiple"), "{err}");
+    }
+
+    struct CountingObserver {
+        ticks: Arc<AtomicUsize>,
+        snapshots: Arc<Mutex<Vec<(u64, usize)>>>,
+    }
+
+    impl Observer for CountingObserver {
+        fn on_tick(&mut self, progress: &Progress) {
+            assert!(progress.agents > 0);
+            self.ticks.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_snapshot(&mut self, tick: u64, world: &[Agent]) {
+            self.snapshots.lock().unwrap().push((tick, world.len()));
+        }
+    }
+
+    #[test]
+    fn observers_fire_per_tick_and_per_snapshot() {
+        let registry = Registry::builtin();
+        let scenario = registry.get("fish").unwrap();
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let snapshots = Arc::new(Mutex::new(Vec::new()));
+        let report = Runner::new(scenario)
+            .population(60)
+            .snapshot_every(4)
+            .observe(Box::new(CountingObserver { ticks: ticks.clone(), snapshots: snapshots.clone() }))
+            .run(10)
+            .unwrap();
+        assert_eq!(ticks.load(Ordering::Relaxed), 10, "single node observes every tick");
+        let snaps = snapshots.lock().unwrap().clone();
+        assert_eq!(snaps.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![4, 8]);
+        assert!(snaps.iter().all(|&(_, n)| n == report.agents));
+    }
+
+    #[test]
+    fn cluster_observers_fire_per_epoch() {
+        let registry = Registry::builtin();
+        let scenario = registry.get("fish").unwrap();
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let snapshots = Arc::new(Mutex::new(Vec::new()));
+        Runner::new(scenario)
+            .population(60)
+            .backend(Backend::cluster(2))
+            .epoch_len(5)
+            .snapshot_every(10)
+            .observe(Box::new(CountingObserver { ticks: ticks.clone(), snapshots: snapshots.clone() }))
+            .run(20)
+            .unwrap();
+        assert_eq!(ticks.load(Ordering::Relaxed), 4, "cluster observes at epoch grain");
+        let snaps = snapshots.lock().unwrap().clone();
+        assert_eq!(snaps.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![10, 20]);
+    }
+
+    #[test]
+    fn index_override_reaches_the_executor() {
+        // Same scenario, two index kinds: results identical (the index is
+        // never semantics), so the override is observable only through the
+        // run succeeding — plus the checksum equality doubling as an
+        // index-equivalence spot check.
+        let registry = Registry::builtin();
+        let scenario = registry.get("epidemic").unwrap();
+        let kd = Runner::new(scenario).population(80).index(IndexKind::KdTree).run(6).unwrap();
+        let grid = Runner::new(scenario).population(80).index(IndexKind::Grid).run(6).unwrap();
+        assert_eq!(kd.checksum, grid.checksum);
+    }
+}

@@ -73,26 +73,17 @@ pub trait SpatialIndex: Send + Sync {
     fn nearest(&self, q: Vec2, exclude: Option<u32>) -> Option<u32>;
 
     /// The `k` nearest points to `q` by Euclidean distance, sorted
-    /// ascending, excluding payload `exclude`. Fewer than `k` results when
-    /// fewer points exist. This is the probe behind the paper's
-    /// nearest-neighbor-indexing extension (its "planned future work"):
-    /// MITSIM-style models look up lead/rear vehicles by proximity rather
-    /// than fixed range. Ties are broken by ascending payload, so the
-    /// result is a pure function of the point *set* — independent of build
-    /// history, which is what lets incrementally maintained indexes answer
-    /// bit-identically to freshly rebuilt ones.
-    #[deprecated(note = "allocates a fresh Vec per probe even when the caller holds a buffer; \
-                use `k_nearest_into` with a reused buffer")]
-    fn k_nearest(&self, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
-        let mut out = Vec::new();
-        self.k_nearest_into(q, k, exclude, &mut out);
-        out
-    }
-
-    /// Buffer-reusing form of [`SpatialIndex::k_nearest`]: clears `out` and
-    /// fills it with the result, so a caller probing once per agent per
-    /// tick performs no per-probe allocation (the `Nearest` probe path of
-    /// the executor).
+    /// ascending into `out` (cleared first), excluding payload `exclude`.
+    /// Fewer than `k` results when fewer points exist. This is the probe
+    /// behind the paper's nearest-neighbor-indexing extension (its
+    /// "planned future work"): MITSIM-style models look up lead/rear
+    /// vehicles by proximity rather than fixed range. Ties are broken by
+    /// ascending payload, so the result is a pure function of the point
+    /// *set* — independent of build history, which is what lets
+    /// incrementally maintained indexes answer bit-identically to freshly
+    /// rebuilt ones. Taking the caller's buffer means a caller probing
+    /// once per agent per tick performs no per-probe allocation (the
+    /// `Nearest` probe path of the executor).
     fn k_nearest_into(&self, q: Vec2, k: usize, exclude: Option<u32>, out: &mut Vec<u32>);
 
     /// Apply a batch of position changes: each `(payload, new_pos)` moves

@@ -580,8 +580,7 @@ mod tests {
         (0..n).map(|i| (Vec2::new(rng.range(-100.0, 100.0), rng.range(-100.0, 100.0)), i as u32)).collect()
     }
 
-    /// Buffer-routed k-NN for assertions (the allocating trait default is
-    /// deprecated; every call site goes through `k_nearest_into`).
+    /// Collecting k-NN helper for assertions over `k_nearest_into`.
     fn knn(t: &KdTree, q: Vec2, k: usize, exclude: Option<u32>) -> Vec<u32> {
         let mut out = Vec::new();
         t.k_nearest_into(q, k, exclude, &mut out);

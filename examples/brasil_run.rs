@@ -1,4 +1,5 @@
-//! `brasil_run` — compile and execute a BRASIL script from a file.
+//! `brasil_run` — compile a BRASIL script from a file and run it as a
+//! scenario on either backend.
 //!
 //! ```sh
 //! cargo run --release --example brasil_run -- scripts/swarm.brasil \
@@ -6,13 +7,15 @@
 //! ```
 //!
 //! Agents start at deterministic random positions in a square sized to the
-//! population; state fields start at 0. With `--workers N` the script runs
-//! on the distributed runtime instead of the single-node engine.
+//! population; state fields start at 0. The script becomes an anonymous
+//! [`Scenario`], so `--workers N` is just a backend switch on the same
+//! [`Runner`] call — no per-backend code.
 
-use brace::common::{AgentId, DetRng, Vec2};
-use brace::core::{Agent, Behavior, Simulation};
-use brace::mapreduce::{ClusterConfig, ClusterSim};
-use brasil::Script;
+use brace::common::{AgentId, DetRng, Result, Vec2};
+use brace::core::{Agent, Behavior};
+use brace::prelude::*;
+use brace::scenario::ScenarioSetup;
+use brasil::{CompiledClass, Script};
 use std::sync::Arc;
 
 struct Opts {
@@ -24,12 +27,13 @@ struct Opts {
     show_plan: bool,
 }
 
-fn parse_args() -> Result<Opts, String> {
+fn parse_args() -> std::result::Result<Opts, String> {
     let mut opts = Opts { path: String::new(), agents: 500, ticks: 100, seed: 7, workers: 1, show_plan: false };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut take =
-            |what: &str| -> Result<String, String> { args.next().ok_or_else(|| format!("{what} needs a value")) };
+        let mut take = |what: &str| -> std::result::Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
         match a.as_str() {
             "--agents" => opts.agents = take("--agents")?.parse().map_err(|e| format!("--agents: {e}"))?,
             "--ticks" => opts.ticks = take("--ticks")?.parse().map_err(|e| format!("--ticks: {e}"))?,
@@ -45,6 +49,41 @@ fn parse_args() -> Result<Opts, String> {
         return Err("missing script path".into());
     }
     Ok(opts)
+}
+
+/// A user script as an anonymous scenario.
+struct ScriptScenario {
+    class: CompiledClass,
+}
+
+impl Scenario for ScriptScenario {
+    fn name(&self) -> &'static str {
+        "brasil-script"
+    }
+    fn description(&self) -> &'static str {
+        "user-supplied BRASIL script"
+    }
+    fn default_population(&self) -> usize {
+        500
+    }
+    fn build(&self, size: Option<usize>, seed: u64) -> Result<ScenarioSetup> {
+        let n = size.unwrap_or(self.default_population());
+        let behavior = brasil::BrasilBehavior::new(self.class.clone());
+        let schema = behavior.schema().clone();
+        // Deterministic population over a density-normalized square.
+        let side = (n as f64 * 2.0).sqrt().max(1.0);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let population: Vec<Agent> = (0..n)
+            .map(|i| Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, side), rng.range(0.0, side)), &schema))
+            .collect();
+        Ok(ScenarioSetup {
+            behavior: Arc::new(behavior),
+            population,
+            index: IndexKind::KdTree,
+            epoch_len: 10,
+            space_x: (0.0, side),
+        })
+    }
 }
 
 fn main() {
@@ -78,54 +117,36 @@ fn main() {
     if opts.show_plan {
         println!("\n{}", brasil::pretty::class(&class));
     }
-    let behavior = brasil::BrasilBehavior::new(class);
-    let schema = behavior.schema().clone();
 
-    // Deterministic population over a density-normalized square.
-    let side = (opts.agents as f64 * 2.0).sqrt().max(1.0);
-    let mut rng = DetRng::seed_from_u64(opts.seed);
-    let agents: Vec<Agent> = (0..opts.agents)
-        .map(|i| Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, side), rng.range(0.0, side)), &schema))
-        .collect();
-
-    let t0 = std::time::Instant::now();
-    let world = if opts.workers > 1 {
-        let epoch_len = 10.min(opts.ticks.max(1));
-        let ticks = opts.ticks / epoch_len * epoch_len;
-        let cfg = ClusterConfig {
-            workers: opts.workers,
-            epoch_len,
-            seed: opts.seed,
-            space_x: (0.0, side),
-            ..ClusterConfig::default()
-        };
-        let mut sim = ClusterSim::new(Arc::new(behavior), agents, cfg).expect("valid cluster");
-        sim.run_ticks(ticks).expect("runs");
-        let stats = sim.stats();
-        println!(
-            "ran {ticks} ticks on {} workers: {} messages, {} bytes over the network",
-            opts.workers,
-            stats.net.total_messages(),
-            stats.net.total_bytes()
+    let scenario = ScriptScenario { class };
+    let backend = if opts.workers > 1 { Backend::cluster(opts.workers) } else { Backend::single() };
+    let report =
+        Runner::new(&scenario).seed(opts.seed).population(opts.agents).backend(backend).run(opts.ticks).unwrap_or_else(
+            |e| {
+                eprintln!("run error: {e}");
+                std::process::exit(1);
+            },
         );
-        sim.collect_agents().expect("collect")
-    } else {
-        let mut sim = Simulation::builder(behavior).agents(agents).seed(opts.seed).build().expect("valid sim");
-        sim.run(opts.ticks);
-        println!("ran {} ticks single-node: {:.0} agent-ticks/s", opts.ticks, sim.metrics().throughput());
-        sim.agents().to_vec()
-    };
-    let elapsed = t0.elapsed();
 
+    println!(
+        "ran {} ticks on {}: {:.0} agent-ticks/s, checksum {:#018X}",
+        report.ticks, report.backend, report.agents_per_sec, report.checksum
+    );
     // World summary.
     let (mut cx, mut cy) = (0.0, 0.0);
-    for a in &world {
+    for a in &report.world {
         cx += a.pos.x;
         cy += a.pos.y;
     }
-    let n = world.len().max(1) as f64;
-    println!("final world: {} agents, centroid ({:.2}, {:.2}), wall {:.2?}", world.len(), cx / n, cy / n, elapsed);
-    for a in world.iter().take(3) {
+    let n = report.world.len().max(1) as f64;
+    println!(
+        "final world: {} agents, centroid ({:.2}, {:.2}), wall {:.2}s",
+        report.world.len(),
+        cx / n,
+        cy / n,
+        report.wall_secs
+    );
+    for a in report.world.iter().take(3) {
         println!("  {}: pos {} state {:?}", a.id, a.pos, a.state);
     }
 }

@@ -5,19 +5,64 @@
 //! ```sh
 //! cargo run --release --example predator_inversion
 //! ```
+//!
+//! Both forms run on a 4-worker cluster through the backend-erased
+//! [`Runner`] — the compiled class is just a [`Scenario`] like any other,
+//! so the comparison reads the communication schedule off
+//! [`SimHandle::cluster_stats`] instead of hand-wiring `ClusterSim`.
 
-use brace::common::{AgentId, DetRng, Vec2};
+use brace::common::{AgentId, DetRng, Result, Vec2};
 use brace::core::{Agent, Behavior};
-use brace::mapreduce::{ClusterConfig, ClusterSim};
-use brace::models::scripts;
-use brasil::{invert_effects, Script};
+use brace::prelude::*;
+use brace::scenario::ScenarioSetup;
+use brasil::{invert_effects, CompiledClass, Script};
 use std::sync::Arc;
 
-fn main() {
-    println!("--- the script (biting pushes `hurt` onto the victim: NON-LOCAL) ---");
-    println!("{}", scripts::PREDATOR.trim());
+/// A compiled BRASIL class as a scenario (sized square, random sizes).
+struct CompiledPredator {
+    name: &'static str,
+    class: CompiledClass,
+}
 
-    let script = Script::compile(scripts::PREDATOR).expect("compiles");
+impl Scenario for CompiledPredator {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn description(&self) -> &'static str {
+        "compiled Figure 5 predator script"
+    }
+    fn default_population(&self) -> usize {
+        1_000
+    }
+    fn build(&self, size: Option<usize>, seed: u64) -> Result<ScenarioSetup> {
+        let n = size.unwrap_or(self.default_population());
+        let behavior = brasil::BrasilBehavior::new(self.class.clone());
+        let schema = behavior.schema().clone();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let population: Vec<Agent> = (0..n)
+            .map(|i| {
+                let mut a =
+                    Agent::new(AgentId::new(i as u64), Vec2::new(rng.range(0.0, 60.0), rng.range(0.0, 60.0)), &schema);
+                a.state[0] = rng.range(0.5, 1.5); // size
+                a
+            })
+            .collect();
+        Ok(ScenarioSetup {
+            behavior: Arc::new(behavior),
+            population,
+            index: IndexKind::KdTree,
+            epoch_len: 5,
+            space_x: (0.0, 60.0),
+        })
+    }
+}
+
+fn main() {
+    let source = brace::models::scripts::PREDATOR;
+    println!("--- the script (biting pushes `hurt` onto the victim: NON-LOCAL) ---");
+    println!("{}", source.trim());
+
+    let script = Script::compile(source).expect("compiles");
     let class = script.classes()[0].clone();
     println!("\nschema says non-local effects: {}", class.schema().has_nonlocal_effects());
 
@@ -29,43 +74,24 @@ fn main() {
         brasil::pretty::class(&inverted)
     );
 
-    // Run both forms on the cluster and compare.
-    let population = |schema: &brace::core::AgentSchema| -> Vec<Agent> {
-        let mut rng = DetRng::seed_from_u64(5);
-        (0..1000)
-            .map(|i| {
-                let mut a = Agent::new(AgentId::new(i), Vec2::new(rng.range(0.0, 60.0), rng.range(0.0, 60.0)), schema);
-                a.state[0] = rng.range(0.5, 1.5);
-                a
-            })
-            .collect()
-    };
-    let run = |class: brasil::CompiledClass, label: &str| -> Vec<Agent> {
-        let behavior = brasil::BrasilBehavior::new(class);
-        let agents = population(behavior.schema());
-        let cfg = ClusterConfig {
-            workers: 4,
-            epoch_len: 5,
-            seed: 5,
-            space_x: (0.0, 60.0),
-            load_balance: false,
-            ..ClusterConfig::default()
-        };
-        let mut sim = ClusterSim::new(Arc::new(behavior), agents, cfg).expect("cluster");
-        sim.run_ticks(20).expect("runs");
-        let stats = sim.stats();
+    // Run both forms on the cluster through the one facade and compare.
+    let run = |scenario: &CompiledPredator| -> Vec<Agent> {
+        let mut sim = Runner::new(scenario).seed(5).backend(Backend::cluster(4)).launch().expect("cluster");
+        sim.run(20).expect("runs");
+        let stats = sim.cluster_stats().expect("cluster backend");
         println!(
-            "{label:<10} communication rounds/tick: {}   effect bytes: {:>8}   replica bytes: {:>9}",
+            "{:<10} communication rounds/tick: {}   effect bytes: {:>8}   replica bytes: {:>9}",
+            scenario.name(),
             stats.comm_rounds_per_tick,
             stats.net.effects.bytes,
             stats.net.replica_bytes()
         );
-        sim.collect_agents().expect("collect")
+        sim.world().expect("collect")
     };
 
     println!("\n--- distributed execution, 4 workers, 20 ticks ---");
-    let world_nl = run(class, "non-local");
-    let world_inv = run(inverted, "inverted");
+    let world_nl = run(&CompiledPredator { name: "non-local", class });
+    let world_inv = run(&CompiledPredator { name: "inverted", class: inverted });
 
     let mut max_rel = 0.0f64;
     for (a, b) in world_nl.iter().zip(&world_inv) {

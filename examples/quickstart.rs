@@ -1,72 +1,52 @@
-//! Quickstart: write an agent in BRASIL, run it on the BRACE engine.
+//! Quickstart: pick a scenario from the registry, run it at any scale.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The script is a one-lane car-following model: each car feels "pressure"
-//! from the cars ahead of it within its visible range and relaxes toward a
-//! free-flow speed otherwise. Thirty cars start bumper to bumper; watch the
-//! platoon stretch out and settle.
+//! The registry knows every workload this repo ships — hand-coded models
+//! and BRASIL scripts alike — and the [`Runner`] erases the backend: the
+//! same scenario, the same seed, the same bits on one core or on a
+//! simulated cluster. This example runs the BRASIL car-following script
+//! single-node, then re-runs it on 4 workers and shows the worlds match.
 
-use brace::common::{AgentId, Vec2};
-use brace::core::{Agent, Behavior, Simulation};
-use brasil::Script;
-
-const SCRIPT: &str = r#"
-class Car {
-    // Position: update rule moves by the current speed; #range declares
-    // both how far a car can see and how far it can move per tick.
-    public state float x : x + vel #range[-40, 40];
-    // Speed: relax toward 28 m/s, held back by pressure from leaders.
-    public state float vel : clamp(vel + 0.25 * (28 - vel) - press / max(ahead, 1), 0, 36);
-    private effect float press : sum;
-    private effect float ahead : sum;
-    public void run() {
-        foreach (Car p : Extent<Car>) {
-            if (p.x > x) {
-                press <- clamp(40 - (p.x - x), 0, 40) * 0.2;
-                ahead <- 1;
-            }
-        }
-    }
-}
-"#;
+use brace::prelude::*;
 
 fn main() {
-    // 1. Compile the script: lexer → parser → state-effect checker →
-    //    dataflow plan → optimizer.
-    let script = Script::compile(SCRIPT).expect("valid BRASIL");
-    let behavior = script.behavior("Car").expect("class Car");
+    // 1. The catalogue.
+    let registry = Registry::builtin();
+    println!("registered scenarios:");
+    for s in registry.iter() {
+        println!("  {:<16} {}", s.name(), s.description());
+    }
+
+    // 2. One scenario, single node. `run` builds the behavior (here:
+    //    compiling the BRASIL script through lexer → parser → state-effect
+    //    checker → planner → optimizer), generates the seeded population,
+    //    runs 60 ticks, applies the scenario's own sanity checks and
+    //    reports.
+    let scenario = registry.get("brasil-car").expect("builtin");
+    let single = Runner::new(scenario).seed(7).run(60).expect("single-node run");
     println!(
-        "compiled class `{}`: visibility {}, reachability {}, non-local effects: {}",
-        behavior.schema().name(),
-        behavior.schema().visibility(),
-        behavior.schema().reachability(),
-        behavior.schema().has_nonlocal_effects(),
+        "\nsingle node : {} cars, {} ticks, checksum {:#018X}, {:.0} agent-ticks/s",
+        single.agents, single.ticks, single.checksum, single.agents_per_sec
     );
 
-    // 2. Build a population: 30 cars packed at 8 m spacing, 20 m/s.
-    let schema = behavior.schema().clone();
-    let agents: Vec<Agent> = (0..30)
-        .map(|i| {
-            let mut a = Agent::new(AgentId::new(i), Vec2::new(i as f64 * 8.0, 0.0), &schema);
-            a.state[0] = 20.0; // vel
-            a
-        })
-        .collect();
+    // 3. The same scenario on a 4-worker cluster — one line of difference.
+    let cluster = Runner::new(scenario).seed(7).backend(Backend::cluster(4)).run(60).expect("cluster run");
+    println!(
+        "cluster:4   : {} cars, {} ticks, checksum {:#018X}, {:.0} agent-ticks/s",
+        cluster.agents, cluster.ticks, cluster.checksum, cluster.agents_per_sec
+    );
 
-    // 3. Run: the engine turns each tick into a spatial self-join (KD-tree
-    //    range probes), runs the query phase, aggregates effects, updates.
-    let mut sim = Simulation::builder(behavior).agents(agents).seed(42).build().expect("valid config");
-    for round in 0..6 {
-        sim.run(10);
-        let xs: Vec<f64> = sim.agents().iter().map(|a| a.pos.x).collect();
-        let vels: Vec<f64> = sim.agents().iter().map(|a| a.state[0]).collect();
-        let span =
-            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let mean_v = vels.iter().sum::<f64>() / vels.len() as f64;
-        println!("tick {:>3}: platoon span {:6.1} m, mean speed {:5.2} m/s", (round + 1) * 10, span, mean_v);
-    }
-    println!("\nthroughput: {:.0} agent-ticks/s", sim.metrics().throughput());
+    // 4. Write once, run anywhere — bit for bit.
+    assert_eq!(single.checksum, cluster.checksum, "backends must agree");
+    println!("\nworlds are bit-identical across backends ✓");
+
+    // 5. A peek at the physics: the platoon stretched out and settled
+    //    near the free-flow speed.
+    let xs: Vec<f64> = single.world.iter().map(|a| a.pos.x).collect();
+    let vels: Vec<f64> = single.world.iter().map(|a| a.state[0]).collect();
+    let span = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("platoon span {:.0} m, mean speed {:.2} m/s", span, vels.iter().sum::<f64>() / vels.len() as f64);
 }

@@ -1,0 +1,181 @@
+//! `brace` — the scenario-registry CLI.
+//!
+//! ```text
+//! brace list
+//! brace run --scenario <name|all> [--backend single|cluster[:N]|both]
+//!           [--ticks T] [--agents N] [--seed S] [--index kdtree|grid|scan]
+//!           [--conformance] [--progress]
+//! ```
+//!
+//! `run` drives every named scenario through the backend-erased
+//! [`Runner`](brace_scenario::Runner): same behavior, same population, same
+//! seed on the single-node executor or an N-worker cluster, with the
+//! scenario's own post-run sanity checks enforced. CI runs
+//! `run --scenario all --ticks 5 --backend both` so a scenario that only
+//! works on one backend can never merge. Checksums printed here are
+//! [`brace_scenario::world_checksum`] values — directly comparable with the
+//! golden-tick and conformance suites.
+
+use brace_scenario::{Backend, Observer, Progress, Registry, Runner};
+use brace_spatial::IndexKind;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: brace list\n\
+         \x20      brace run --scenario <name|all> [--backend single|cluster[:N]|both] [--ticks T]\n\
+         \x20            [--agents N] [--seed S] [--index kdtree|grid|scan] [--conformance] [--progress]"
+    );
+    std::process::exit(2);
+}
+
+struct RunOpts {
+    scenario: String,
+    backends: Vec<Backend>,
+    ticks: u64,
+    agents: Option<usize>,
+    seed: Option<u64>,
+    index: Option<IndexKind>,
+    conformance: bool,
+    progress: bool,
+}
+
+fn parse_index(s: &str) -> Option<IndexKind> {
+    match s {
+        "kd" | "kdtree" => Some(IndexKind::KdTree),
+        "grid" => Some(IndexKind::Grid),
+        "scan" => Some(IndexKind::Scan),
+        _ => None,
+    }
+}
+
+fn parse_run_opts(args: &[String]) -> RunOpts {
+    let mut opts = RunOpts {
+        scenario: String::new(),
+        backends: vec![Backend::single()],
+        ticks: 50,
+        agents: None,
+        seed: None,
+        index: None,
+        conformance: false,
+        progress: false,
+    };
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, what: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => opts.scenario = take(args, &mut i, "--scenario"),
+            "--backend" => {
+                let spec = take(args, &mut i, "--backend");
+                opts.backends = if spec == "both" {
+                    vec![Backend::single(), Backend::cluster(2)]
+                } else {
+                    vec![Backend::parse(&spec).unwrap_or_else(|e| die(&e.to_string()))]
+                };
+            }
+            "--ticks" => {
+                opts.ticks = take(args, &mut i, "--ticks").parse().unwrap_or_else(|e| die(&format!("--ticks: {e}")))
+            }
+            "--agents" => {
+                opts.agents =
+                    Some(take(args, &mut i, "--agents").parse().unwrap_or_else(|e| die(&format!("--agents: {e}"))))
+            }
+            "--seed" => {
+                opts.seed = Some(take(args, &mut i, "--seed").parse().unwrap_or_else(|e| die(&format!("--seed: {e}"))))
+            }
+            "--index" => {
+                let s = take(args, &mut i, "--index");
+                opts.index = Some(parse_index(&s).unwrap_or_else(|| die(&format!("unknown index `{s}`"))));
+            }
+            "--conformance" => opts.conformance = true,
+            "--progress" => opts.progress = true,
+            other => die(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.scenario.is_empty() {
+        die("--scenario is required (or `brace list` to see what exists)");
+    }
+    opts
+}
+
+/// Progress printer attached when `--progress` is given.
+struct ProgressPrinter;
+
+impl Observer for ProgressPrinter {
+    fn on_tick(&mut self, p: &Progress) {
+        eprintln!("  tick {:>6} | {} agents", p.tick, p.agents);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let registry = Registry::builtin();
+            println!("{} registered scenarios:", registry.len());
+            for s in registry.iter() {
+                println!("  {:<16} {:>6} agents  {}", s.name(), s.default_population(), s.description());
+            }
+        }
+        Some("run") => run(&parse_run_opts(&args[1..])),
+        Some("-h") | Some("--help") | None => die("expected a subcommand"),
+        Some(other) => die(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn run(opts: &RunOpts) {
+    let registry = Registry::builtin();
+    let names: Vec<String> = if opts.scenario == "all" {
+        registry.names().iter().map(|s| s.to_string()).collect()
+    } else {
+        vec![opts.scenario.clone()]
+    };
+    let mut failures = 0usize;
+    for name in &names {
+        let scenario = match registry.get_or_err(name) {
+            Ok(s) => s,
+            Err(e) => die(&e.to_string()),
+        };
+        for backend in &opts.backends {
+            let mut runner = Runner::new(scenario).backend(backend.clone());
+            if let Some(n) = opts.agents {
+                runner = runner.population(n);
+            }
+            if let Some(seed) = opts.seed {
+                runner = runner.seed(seed);
+            }
+            if let Some(kind) = opts.index {
+                runner = runner.index(kind);
+            }
+            if opts.conformance {
+                runner = runner.conformance();
+            }
+            if opts.progress {
+                runner = runner.observe(Box::new(ProgressPrinter));
+            }
+            match runner.run(opts.ticks) {
+                Ok(report) => println!(
+                    "{:<16} {:<10} {:>6} ticks  {:>7} agents  checksum {:#018X}  {:>12.0} agent-ticks/s",
+                    report.scenario,
+                    report.backend,
+                    report.ticks,
+                    report.agents,
+                    report.checksum,
+                    report.agents_per_sec
+                ),
+                Err(e) => {
+                    eprintln!("{name:<16} {:<10} FAILED: {e}", backend.label());
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} run(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -26,32 +26,12 @@ use brace_core::{Agent, Behavior, TickExecutor};
 use brace_mapreduce::{ClusterConfig, ClusterSim, FaultPlan, LoadBalancer};
 use brace_models::{FishBehavior, FishParams, PredatorBehavior, PredatorParams, TrafficBehavior, TrafficParams};
 use brace_spatial::IndexKind;
+// The canonical world fingerprint (FNV-1a over every bit: ids, positions,
+// states, effects, liveness — `to_bits`, so even a `-0.0` vs `0.0` flip
+// moves the sum). Shared with the registry conformance suite and the CLI,
+// so all three report directly comparable numbers.
+use brace_scenario::world_checksum;
 use std::sync::Arc;
-
-/// FNV-1a over every bit of the world: ids, positions, states, effects,
-/// liveness, in row order. Position/state bits go in via `to_bits`, so even
-/// a `-0.0` vs `0.0` flip moves the sum.
-fn world_checksum(agents: &[Agent]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    fn mix(h: u64, v: u64) -> u64 {
-        (h ^ v).wrapping_mul(PRIME)
-    }
-    let mut h = OFFSET;
-    for a in agents {
-        h = mix(h, a.id.raw());
-        h = mix(h, a.pos.x.to_bits());
-        h = mix(h, a.pos.y.to_bits());
-        h = mix(h, a.alive as u64);
-        for s in &a.state {
-            h = mix(h, s.to_bits());
-        }
-        for e in &a.effects {
-            h = mix(h, e.to_bits());
-        }
-    }
-    h
-}
 
 const TICKS: u64 = 100;
 const SEED: u64 = 42;

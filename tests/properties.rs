@@ -234,8 +234,7 @@ impl Behavior for ChurnField {
     }
 }
 
-/// Buffer-routed k-NN for assertions (the allocating `k_nearest` default
-/// is deprecated; every call site goes through `k_nearest_into`).
+/// Collecting k-NN helper for assertions over `k_nearest_into`.
 fn knn<I: SpatialIndex>(idx: &I, q: Vec2, k: usize) -> Vec<u32> {
     let mut out = Vec::new();
     idx.k_nearest_into(q, k, None, &mut out);
@@ -789,7 +788,9 @@ proptest! {
 // PROPTEST_CASES=256)
 // ---------------------------------------------------------------------------
 
-use brace_models::{fish, traffic, FishBehavior, FishParams, TrafficBehavior, TrafficParams};
+use brace_models::{
+    fish, traffic, FishBehavior, FishParams, PredatorBehavior, PredatorParams, TrafficBehavior, TrafficParams,
+};
 
 /// Point sets that stress the lane kernels' compare/select paths: ordinary
 /// coordinates salted with signed zeros, subnormals and coincident pairs
@@ -976,6 +977,43 @@ proptest! {
         let run = |kernel: QueryKernel| {
             let mut exec =
                 brace_core::TickExecutor::new(TrafficBehavior::new(params.clone()), pop.clone(), kind, seed);
+            exec.set_query_kernel(kernel);
+            exec.run(ticks);
+            exec.agents()
+        };
+        worlds_bit_identical(&run(QueryKernel::Batched), &run(QueryKernel::Scalar))?;
+    }
+
+    /// Predator bite scan: the batched kernel (vectorized damage columns in
+    /// both role assignments, scalar-gated emission in canonical candidate
+    /// order) is bit-identical to the scalar query over multi-tick runs
+    /// with the full population dynamics (bites, deaths, spawns), in both
+    /// the non-local and the hand-inverted local form, for every index
+    /// kind, serial and sharded-parallel.
+    #[test]
+    fn kernel_predator_bite_scan_batched_equals_scalar(
+        seed in 0u64..10_000,
+        n in 0usize..90,
+        kind in any_index_kind(),
+        ticks in 1u64..5,
+        threads in 1usize..4,
+        nonlocal in any::<bool>(),
+    ) {
+        let params = PredatorParams {
+            nonlocal,
+            // Engage the bite-scan kernel (off by default as scheduling
+            // policy) so the equivalence under test is actually exercised.
+            batch_bite_scan: true,
+            ..PredatorParams::default()
+        };
+        let mut pop = PredatorBehavior::new(params.clone()).population(n, 12.0, seed);
+        if n >= 2 {
+            pop[1].pos = pop[0].pos; // coincident pair still scans cleanly
+        }
+        let run = |kernel: QueryKernel| {
+            let mut exec =
+                brace_core::TickExecutor::new(PredatorBehavior::new(params.clone()), pop.clone(), kind, seed);
+            exec.set_parallelism(threads);
             exec.set_query_kernel(kernel);
             exec.run(ticks);
             exec.agents()

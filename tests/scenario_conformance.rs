@@ -1,0 +1,111 @@
+//! The registry-driven conformance suite: **every** registered scenario
+//! runs through the one `Runner` facade on both backends, and the cluster
+//! must reproduce the single-node world bit for bit.
+//!
+//! This is the test that makes future scenario PRs cheap: register a
+//! scenario and it is automatically driven through the single-node
+//! executor and a 2-worker cluster on its
+//! [`Scenario::conformance`](brace::scenario::Scenario::conformance)
+//! configuration, checksummed, equality-asserted, and run through its own
+//! post-run sanity checks ([`Runner::run`] applies them). Nothing here
+//! names an individual scenario except the committed golden constants for
+//! the two registry-era workloads.
+//!
+//! Golden constants: regenerate with
+//! `cargo test --test scenario_conformance -- --nocapture` after a
+//! deliberate model change (the failing assert prints actuals), and say so
+//! in the PR — the same protocol as `tests/golden_tick.rs`.
+
+use brace::scenario::{Backend, Registry, Runner};
+
+/// Conformance horizon: enough ticks for real boundary traffic (every
+/// builtin's population spans both partitions within visibility of the
+/// split) while keeping registry × backends CI-cheap.
+const TICKS: u64 = 20;
+const SEED: u64 = 42;
+
+fn run(scenario: &dyn brace::scenario::Scenario, backend: Backend) -> brace::scenario::RunReport {
+    Runner::new(scenario)
+        .seed(SEED)
+        .conformance()
+        .backend(backend)
+        .run(TICKS)
+        .unwrap_or_else(|e| panic!("scenario `{}` failed: {e}", scenario.name()))
+}
+
+/// The tentpole invariant: cluster ≡ single node, bitwise, for every
+/// registered scenario's conformance configuration.
+#[test]
+fn every_scenario_cluster_matches_single_node_bitwise() {
+    let registry = Registry::builtin();
+    assert!(registry.len() >= 8, "catalogue shrank: {:?}", registry.names());
+    for scenario in registry.iter() {
+        let single = run(scenario, Backend::single());
+        let cluster = run(scenario, Backend::cluster(2));
+        assert_eq!(
+            single.checksum,
+            cluster.checksum,
+            "scenario `{}`: 2-worker cluster diverged from single node \
+             (single {:#018X}, cluster {:#018X})",
+            scenario.name(),
+            single.checksum,
+            cluster.checksum
+        );
+        assert_eq!(single.agents, cluster.agents, "scenario `{}` population diverged", scenario.name());
+        assert!(single.agents > 0, "scenario `{}` conformance world is empty", scenario.name());
+    }
+}
+
+/// Worker count is unobservable too: 3 workers reproduce the same bits
+/// (spot-checked on the two registry-era scenarios, whose goldens are
+/// pinned below).
+#[test]
+fn worker_count_is_unobservable_for_new_scenarios() {
+    let registry = Registry::builtin();
+    for name in ["epidemic", "flock-obstacles"] {
+        let scenario = registry.get(name).unwrap();
+        let single = run(scenario, Backend::single());
+        let cluster = run(scenario, Backend::cluster(3));
+        assert_eq!(single.checksum, cluster.checksum, "scenario `{name}` diverged at 3 workers");
+    }
+}
+
+// ---- golden conformance checksums for the registry-era scenarios ---------
+//
+// The absolute bits of the two new workloads, pinned across builds at the
+// same strength as tests/golden_tick.rs pins the paper's three: if any
+// future change perturbs a single bit of either trajectory, these move.
+
+const GOLDEN_EPIDEMIC: u64 = 0xEFDF_A3ED_B826_E4CE;
+const GOLDEN_FLOCK_OBSTACLES: u64 = 0x8207_542D_825E_ECCA;
+
+#[test]
+fn golden_epidemic_conformance_20_ticks() {
+    let registry = Registry::builtin();
+    let scenario = registry.get("epidemic").unwrap();
+    for backend in [Backend::single(), Backend::cluster(2)] {
+        let got = run(scenario, backend.clone()).checksum;
+        assert_eq!(
+            got,
+            GOLDEN_EPIDEMIC,
+            "epidemic golden world drifted on {} (got {got:#018X}); see the module docs before touching this constant",
+            backend.label()
+        );
+    }
+}
+
+#[test]
+fn golden_flock_obstacles_conformance_20_ticks() {
+    let registry = Registry::builtin();
+    let scenario = registry.get("flock-obstacles").unwrap();
+    for backend in [Backend::single(), Backend::cluster(2)] {
+        let got = run(scenario, backend.clone()).checksum;
+        assert_eq!(
+            got,
+            GOLDEN_FLOCK_OBSTACLES,
+            "flock-obstacles golden world drifted on {} (got {got:#018X}); \
+             see the module docs before touching this constant",
+            backend.label()
+        );
+    }
+}
