@@ -381,6 +381,10 @@ struct ShardScratch {
     candidates: Vec<u32>,
     batch: BatchScratch,
     spawns: Vec<(Vec2, Vec<f64>)>,
+    /// Parent agent id of each entry in `spawns`, in lockstep. Spawn ids are
+    /// a pure function of `(parent id, ordinal)` so any placement of agents
+    /// across shards or workers assigns the same ids.
+    spawn_parents: Vec<AgentId>,
     visits: u64,
     nonlocal: u64,
 }
@@ -392,6 +396,7 @@ impl ShardScratch {
             candidates: Vec::new(),
             batch: BatchScratch::default(),
             spawns: Vec::new(),
+            spawn_parents: Vec::new(),
             visits: 0,
             nonlocal: 0,
         }
@@ -865,20 +870,24 @@ pub fn update_phase_sharded<B: Behavior>(
     let shards = scratch.ensure_shards(schema, threads);
     for shard in shards.iter_mut() {
         shard.spawns.clear();
+        shard.spawn_parents.clear();
     }
     {
         let counts: Vec<usize> = (0..threads).map(|t| shard_range(n, threads, t).len()).collect();
         let mut chunks = pool.update_chunks(&counts);
         if threads <= 1 {
-            update_chunk_rows(behavior, schema, &mut chunks[0], tick, seed, &mut shards[0].spawns);
+            let ShardScratch { spawns, spawn_parents, .. } = &mut shards[0];
+            update_chunk_rows(behavior, schema, &mut chunks[0], tick, seed, spawns, spawn_parents);
         } else {
             std::thread::scope(|scope| {
                 let mut rest = &mut *shards;
                 for mut chunk in chunks {
                     let (shard, tail) = rest.split_at_mut(1);
                     rest = tail;
-                    let spawns = &mut shard[0].spawns;
-                    scope.spawn(move || update_chunk_rows(behavior, schema, &mut chunk, tick, seed, spawns));
+                    let ShardScratch { spawns, spawn_parents, .. } = &mut shard[0];
+                    scope.spawn(move || {
+                        update_chunk_rows(behavior, schema, &mut chunk, tick, seed, spawns, spawn_parents)
+                    });
                 }
             });
         }
@@ -896,15 +905,35 @@ pub fn update_phase_sharded<B: Behavior>(
     UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned, killed }
 }
 
+/// A spawn requested during the update phase, before any agent id has been
+/// assigned. Emitted by [`update_phase_prefix`] in the canonical order —
+/// chunk-concatenation order, which within any one parent is that parent's
+/// spawn-call order — tagged with the parent that requested it. The
+/// distributed runtime assigns final ids by the **global** ascending
+/// `(parent id, ordinal)` order across all workers, so id assignment is a
+/// pure function of the previous tick's world, independent of partition
+/// placement or worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingSpawn {
+    /// The agent whose update requested this spawn.
+    pub parent: AgentId,
+    /// Spawn position (already clamped by the model's own logic, not by
+    /// the parent's reachability — spawns are placements, not moves).
+    pub pos: Vec2,
+    /// Initial state vector (schema-width).
+    pub state: Vec<f64>,
+}
+
 /// Sharded update phase over rows `0..n_owned` of a pool whose tail holds
 /// **persistent replica rows that must survive the tick** — the distributed
 /// worker's entry point. Unlike [`update_phase_sharded`] it mutates no pool
 /// membership: killed rows are reported in `killed` (ascending row order)
 /// for the caller to remove with its stable-row ops (keeping its id ↔ row
-/// map in sync), and spawns are materialized as ready row records in
-/// `spawned` — ids allocated in chunk order, exactly the serial reference's
-/// assignment — for the caller to insert. Effect columns are left for the
-/// caller to reset once kills/spawns are applied.
+/// map in sync), and spawns are reported id-less as [`PendingSpawn`]s in
+/// chunk order for the caller to sequence globally (the worker exchanges
+/// per-parent spawn counts with its peers and derives each id from the
+/// shared cross-worker counter). Effect columns are left for the caller to
+/// reset once kills/spawns are applied.
 #[allow(clippy::too_many_arguments)]
 pub fn update_phase_prefix<B: Behavior>(
     behavior: &B,
@@ -912,11 +941,10 @@ pub fn update_phase_prefix<B: Behavior>(
     n_owned: usize,
     tick: u64,
     seed: u64,
-    id_gen: &mut AgentIdGen,
     scratch: &mut TickScratch,
     parallelism: usize,
     killed: &mut Vec<u32>,
-    spawned: &mut Vec<Agent>,
+    spawned: &mut Vec<PendingSpawn>,
 ) -> UpdateStats {
     let schema = behavior.schema();
     let t0 = Instant::now();
@@ -926,20 +954,24 @@ pub fn update_phase_prefix<B: Behavior>(
     let shards = scratch.ensure_shards(schema, threads);
     for shard in shards.iter_mut() {
         shard.spawns.clear();
+        shard.spawn_parents.clear();
     }
     {
         let counts: Vec<usize> = (0..threads).map(|t| shard_range(n_owned, threads, t).len()).collect();
         let mut chunks = pool.update_chunks_prefix(&counts);
         if threads <= 1 {
-            update_chunk_rows(behavior, schema, &mut chunks[0], tick, seed, &mut shards[0].spawns);
+            let ShardScratch { spawns, spawn_parents, .. } = &mut shards[0];
+            update_chunk_rows(behavior, schema, &mut chunks[0], tick, seed, spawns, spawn_parents);
         } else {
             std::thread::scope(|scope| {
                 let mut rest = &mut *shards;
                 for mut chunk in chunks {
                     let (shard, tail) = rest.split_at_mut(1);
                     rest = tail;
-                    let spawns = &mut shard[0].spawns;
-                    scope.spawn(move || update_chunk_rows(behavior, schema, &mut chunk, tick, seed, spawns));
+                    let ShardScratch { spawns, spawn_parents, .. } = &mut shard[0];
+                    scope.spawn(move || {
+                        update_chunk_rows(behavior, schema, &mut chunk, tick, seed, spawns, spawn_parents)
+                    });
                 }
             });
         }
@@ -948,15 +980,17 @@ pub fn update_phase_prefix<B: Behavior>(
     let mut n_spawned = 0;
     for shard in shards.iter_mut() {
         n_spawned += shard.spawns.len();
-        for (pos, state) in shard.spawns.drain(..) {
-            let id = id_gen.alloc().expect("agent id space exhausted");
-            spawned.push(Agent::with_state(id, pos, state, schema));
+        for ((pos, state), parent) in shard.spawns.drain(..).zip(shard.spawn_parents.drain(..)) {
+            spawned.push(PendingSpawn { parent, pos, state });
         }
     }
     UpdateStats { update_ns: t0.elapsed().as_nanos() as u64, spawned: n_spawned, killed: killed.len() }
 }
 
-/// Update one pool chunk through a reused scratch record.
+/// Update one pool chunk through a reused scratch record. Every spawn the
+/// chunk queues is tagged with its requesting parent in `parents`
+/// (lockstep with `spawns`).
+#[allow(clippy::too_many_arguments)]
 fn update_chunk_rows<B: Behavior>(
     behavior: &B,
     schema: &AgentSchema,
@@ -964,6 +998,7 @@ fn update_chunk_rows<B: Behavior>(
     tick: u64,
     seed: u64,
     spawns: &mut Vec<(Vec2, Vec<f64>)>,
+    parents: &mut Vec<AgentId>,
 ) {
     let reach = schema.reachability();
     let mut me = Agent {
@@ -977,8 +1012,12 @@ fn update_chunk_rows<B: Behavior>(
         chunk.load(i, &mut me);
         let from = me.pos;
         let rng = agent_rng(seed, tick, me.id, 1);
+        let before = spawns.len();
         let mut ctx = UpdateCtx::new(tick, rng, spawns);
         behavior.update(&mut me, &mut ctx);
+        for _ in before..spawns.len() {
+            parents.push(me.id);
+        }
         me.pos = Agent::clamp_move(from, me.pos, reach);
         debug_assert!(!me.pos.is_nan(), "model produced NaN position for {}", me.id);
         chunk.store(i, &me);

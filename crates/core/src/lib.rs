@@ -51,6 +51,6 @@ pub use behavior::{BatchScratch, Behavior, GatheredBatch, NeighborBatch, Neighbo
 pub use combinator::Combinator;
 pub use effect::{EffectTable, EffectWriter};
 pub use engine::{Simulation, SimulationBuilder};
-pub use executor::{IndexMaintenance, MaintainedIndex, QueryKernel, TickExecutor, TickScratch};
+pub use executor::{IndexMaintenance, MaintainedIndex, PendingSpawn, QueryKernel, TickExecutor, TickScratch};
 pub use metrics::{SimMetrics, TickMetrics};
 pub use schema::{AgentSchema, SchemaBuilder};

@@ -8,11 +8,17 @@
 //! re-execution of all epochs since the last checkpoint — the store keeps
 //! the master's command log for exactly that replay.
 
+use crate::manifest::fnv1a;
 use crate::runtime::EpochCommand;
 use brace_common::{BraceError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::VecDeque;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// Magic tag opening every on-disk checkpoint file ("BRACECP\0").
+const FILE_MAGIC: u64 = 0x4252_4143_4543_5000;
+/// On-disk checkpoint format version.
+const FILE_VERSION: u32 = 1;
 
 /// A complete, consistent cluster state at an epoch boundary.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,11 +110,12 @@ impl CheckpointStore {
     }
 
     /// Record a new checkpoint and trim the log below the oldest kept one.
+    /// On-disk mirrors are durable (fsynced, checksummed, written via a
+    /// temp-file rename) and pruned to the `keep` newest epochs.
     pub fn push(&mut self, cp: ClusterCheckpoint) -> Result<()> {
         if let Some(dir) = &self.dir {
-            std::fs::create_dir_all(dir)
-                .and_then(|_| std::fs::write(dir.join(format!("checkpoint-{}.brace", cp.epoch)), cp.encode()))
-                .map_err(|e| BraceError::Checkpoint(format!("writing checkpoint: {e}")))?;
+            write_checkpoint_file(dir, &cp)?;
+            prune_checkpoint_files(dir, self.keep);
         }
         self.checkpoints.push_back(cp);
         while self.checkpoints.len() > self.keep {
@@ -117,6 +124,14 @@ impl CheckpointStore {
         let floor = self.checkpoints.front().map(|c| c.epoch).unwrap_or(0);
         self.log.retain(|c| c.epoch >= floor);
         Ok(())
+    }
+
+    /// Forget all retained checkpoints and the replay log. Used when the
+    /// cluster membership changes: replay can never span a membership
+    /// boundary, so history before the change is useless.
+    pub fn reset(&mut self) {
+        self.checkpoints.clear();
+        self.log.clear();
     }
 
     /// Append an executed live command to the replay log.
@@ -156,32 +171,104 @@ impl CheckpointStore {
         self.checkpoints.is_empty()
     }
 
-    /// Load the newest on-disk checkpoint from `dir` (for cold restart).
-    pub fn load_latest_from(dir: &std::path::Path) -> Result<Option<ClusterCheckpoint>> {
-        let mut newest: Option<(u64, PathBuf)> = None;
-        let entries = match std::fs::read_dir(dir) {
-            Ok(e) => e,
-            Err(_) => return Ok(None),
-        };
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if let Some(num) = name.strip_prefix("checkpoint-").and_then(|s| s.strip_suffix(".brace")) {
-                if let Ok(epoch) = num.parse::<u64>() {
-                    if newest.as_ref().is_none_or(|(e, _)| epoch > *e) {
-                        newest = Some((epoch, entry.path()));
-                    }
-                }
+    /// Load the newest *valid* on-disk checkpoint from `dir` (for cold
+    /// restart). Files whose checksum does not verify are skipped — a torn
+    /// write falls back to the next-newest intact checkpoint rather than
+    /// being trusted.
+    pub fn load_latest_from(dir: &Path) -> Result<Option<ClusterCheckpoint>> {
+        let mut epochs = list_checkpoint_epochs(dir);
+        epochs.reverse();
+        for epoch in epochs {
+            if let Ok(cp) = load_checkpoint_file(dir, epoch) {
+                return Ok(Some(cp));
             }
         }
-        match newest {
-            None => Ok(None),
-            Some((_, path)) => {
-                let data = std::fs::read(&path)
-                    .map_err(|e| BraceError::Checkpoint(format!("reading {}: {e}", path.display())))?;
-                Ok(Some(ClusterCheckpoint::decode(Bytes::from(data))?))
+        Ok(None)
+    }
+}
+
+/// Epochs of all on-disk checkpoint files in `dir`, ascending. Missing or
+/// unreadable directories yield an empty list.
+pub fn list_checkpoint_epochs(dir: &Path) -> Vec<u64> {
+    let mut epochs = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return epochs };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name.strip_prefix("checkpoint-").and_then(|s| s.strip_suffix(".brace")) {
+            if let Ok(epoch) = num.parse::<u64>() {
+                epochs.push(epoch);
             }
         }
+    }
+    epochs.sort_unstable();
+    epochs
+}
+
+fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{epoch}.brace"))
+}
+
+/// Durably write `cp` to `dir`: checksummed header, temp file, fsync,
+/// atomic rename. A crash mid-write leaves either the old file or a temp
+/// file that no loader will ever pick up — never a half-written checkpoint
+/// under the real name.
+pub fn write_checkpoint_file(dir: &Path, cp: &ClusterCheckpoint) -> Result<()> {
+    let io = |e: std::io::Error| BraceError::Checkpoint(format!("writing checkpoint: {e}"));
+    std::fs::create_dir_all(dir).map_err(io)?;
+    let payload = cp.encode();
+    let mut buf = BytesMut::with_capacity(20 + payload.len());
+    buf.put_u64_le(FILE_MAGIC);
+    buf.put_u32_le(FILE_VERSION);
+    buf.put_u64_le(fnv1a(&payload));
+    buf.extend_from_slice(&payload);
+    let tmp = dir.join(format!(".checkpoint-{}.tmp", cp.epoch));
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp).map_err(io)?;
+        f.write_all(&buf).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
+    std::fs::rename(&tmp, checkpoint_path(dir, cp.epoch)).map_err(io)?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all(); // persist the rename itself
+    }
+    Ok(())
+}
+
+/// Load and *verify* the checkpoint for `epoch` from `dir`. Refuses (with
+/// an error, not a guess) any file whose magic, version, or checksum does
+/// not match.
+pub fn load_checkpoint_file(dir: &Path, epoch: u64) -> Result<ClusterCheckpoint> {
+    let path = checkpoint_path(dir, epoch);
+    let data = std::fs::read(&path).map_err(|e| BraceError::Checkpoint(format!("reading {}: {e}", path.display())))?;
+    let mut bytes = Bytes::from(data);
+    if bytes.remaining() < 20 {
+        return Err(BraceError::Checkpoint(format!("{}: truncated header", path.display())));
+    }
+    if bytes.get_u64_le() != FILE_MAGIC {
+        return Err(BraceError::Checkpoint(format!("{}: not a checkpoint file", path.display())));
+    }
+    let version = bytes.get_u32_le();
+    if version != FILE_VERSION {
+        return Err(BraceError::Checkpoint(format!("{}: unsupported version {version}", path.display())));
+    }
+    let sum = bytes.get_u64_le();
+    if fnv1a(&bytes) != sum {
+        return Err(BraceError::Checkpoint(format!("{}: checksum mismatch (torn write?)", path.display())));
+    }
+    ClusterCheckpoint::decode(bytes)
+}
+
+/// Remove all but the `keep` newest checkpoint files in `dir`. Best-effort:
+/// retention pruning never fails the checkpoint that triggered it.
+pub fn prune_checkpoint_files(dir: &Path, keep: usize) {
+    let epochs = list_checkpoint_epochs(dir);
+    if epochs.len() <= keep {
+        return;
+    }
+    for &epoch in &epochs[..epochs.len() - keep] {
+        let _ = std::fs::remove_file(checkpoint_path(dir, epoch));
     }
 }
 
@@ -279,5 +366,46 @@ mod tests {
     fn load_from_missing_dir_is_none() {
         let got = CheckpointStore::load_latest_from(std::path::Path::new("/definitely/not/here")).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn push_prunes_disk_files_to_keep() {
+        let dir = std::env::temp_dir().join(format!("brace-cp-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = CheckpointStore::new(2).with_dir(dir.clone());
+        for e in 0..5 {
+            s.push(cp(e)).unwrap();
+        }
+        assert_eq!(list_checkpoint_epochs(&dir), vec![3, 4]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_refused_and_latest_falls_back() {
+        let dir = std::env::temp_dir().join(format!("brace-cp-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_checkpoint_file(&dir, &cp(1)).unwrap();
+        write_checkpoint_file(&dir, &cp(2)).unwrap();
+        // Flip a payload byte in the newest file: a torn write must be
+        // detected, not trusted.
+        let path = dir.join("checkpoint-2.brace");
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xff;
+        std::fs::write(&path, data).unwrap();
+        assert!(load_checkpoint_file(&dir, 2).is_err());
+        let latest = CheckpointStore::load_latest_from(&dir).unwrap().unwrap();
+        assert_eq!(latest, cp(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_clears_checkpoints_and_log() {
+        let mut s = CheckpointStore::new(3);
+        s.push(cp(0)).unwrap();
+        s.log_command(cmd(0));
+        s.reset();
+        assert!(s.is_empty());
+        assert!(s.replay_log().is_empty());
     }
 }

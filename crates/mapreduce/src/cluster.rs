@@ -6,25 +6,69 @@
 //! spatial partition per worker, a master coordinating at epoch boundaries.
 
 use crate::balance::LoadBalancer;
-use crate::checkpoint::CheckpointStore;
-use crate::master::{ClusterStats, Master};
+use crate::checkpoint::{self, CheckpointStore, ClusterCheckpoint};
+use crate::codec::{self, WorkerSnapshot};
+use crate::manifest::{self, Manifest, ManifestRecord, ManifestWriter, RunHeader};
+use crate::master::{ClusterStats, Master, RetryPolicy, WorkerFault};
 use crate::net::NetLedger;
 use crate::runtime::{Command, PeerMsg, Report};
 use crate::worker::{DistributionMode, Worker, WorkerConfig, WorkerLinks};
-use brace_common::{BraceError, Result, WorkerId};
+use brace_common::{BraceError, DetRng, Result, WorkerId};
 use brace_core::{Agent, Behavior};
 use brace_spatial::{GridPartitioning, IndexKind, Partitioner};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A scheduled failure: the cluster loses all live worker state "during"
-/// epoch `at_epoch` (its results are discarded) and must recover from the
-/// last coordinated checkpoint by replay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Scheduled whole-cluster failures: at each listed epoch the cluster
+/// loses all live worker state "during" that epoch (its results are
+/// discarded) and must recover from the last coordinated checkpoint by
+/// replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FaultPlan {
+    /// Epochs (0-based) whose execution is lost, ascending and deduped.
+    pub at_epochs: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// Fail exactly once, during `epoch`.
+    pub fn once(epoch: u64) -> Self {
+        FaultPlan { at_epochs: vec![epoch] }
+    }
+
+    /// Fail during each listed epoch.
+    pub fn at(epochs: impl IntoIterator<Item = u64>) -> Self {
+        let mut at_epochs: Vec<u64> = epochs.into_iter().collect();
+        at_epochs.sort_unstable();
+        at_epochs.dedup();
+        FaultPlan { at_epochs }
+    }
+
+    /// Up to `n` faults at seeded-random epochs in `0..max_epoch`
+    /// (deduped, so possibly fewer). Drives the randomized recovery
+    /// proptests.
+    pub fn random(seed: u64, n: usize, max_epoch: u64) -> Self {
+        if max_epoch == 0 {
+            return FaultPlan::default();
+        }
+        let mut rng = DetRng::seed_from_u64(seed).stream(0xFA_17);
+        FaultPlan::at((0..n).map(|_| (rng.range(0.0, max_epoch as f64) as u64).min(max_epoch - 1)))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.at_epochs.is_empty()
+    }
+}
+
+/// A scheduled cluster resize: after `at_epoch` completed epochs the run
+/// continues on `workers` workers (joins and leaves both go through the
+/// repartition path; results are unchanged because partition placement is
+/// unobservable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipChange {
     pub at_epoch: u64,
+    pub workers: usize,
 }
 
 /// Cluster configuration.
@@ -67,8 +111,24 @@ pub struct ClusterConfig {
     /// by pool row, so their distributed equivalence is approximate under
     /// either mode; see `DistributionMode`.)
     pub distribution: DistributionMode,
-    /// Scheduled failure, if any.
+    /// Scheduled whole-cluster failures, if any.
     pub fault: Option<FaultPlan>,
+    /// Injected per-worker failures (retry/dead-letter exercise).
+    pub worker_faults: Vec<WorkerFault>,
+    /// Retry budget for failing epochs.
+    pub retry: RetryPolicy,
+    /// Scheduled cluster resizes (elastic membership).
+    pub membership: Vec<MembershipChange>,
+    /// Durable-run directory: holds the write-ahead manifest and the
+    /// checkpoint files (overrides `checkpoint_dir`). A run with `run_dir`
+    /// set survives a process crash — see [`ClusterSim::resume`].
+    pub run_dir: Option<PathBuf>,
+    /// Opaque scenario-layer job description recorded in the manifest
+    /// header (durable runs only).
+    pub job: String,
+    /// Total ticks the job should run (recorded in the manifest header so
+    /// resume knows the remainder); 0 = unknown/ephemeral.
+    pub total_ticks: u64,
 }
 
 impl Default for ClusterConfig {
@@ -88,24 +148,54 @@ impl Default for ClusterConfig {
             parallelism: 1,
             distribution: DistributionMode::default(),
             fault: None,
+            worker_faults: Vec::new(),
+            retry: RetryPolicy::default(),
+            membership: Vec::new(),
+            run_dir: None,
+            job: String::new(),
+            total_ticks: 0,
         }
+    }
+}
+
+/// Scenario-layer encoding of [`IndexKind`] for the manifest header.
+pub fn index_to_u8(index: IndexKind) -> u8 {
+    match index {
+        IndexKind::KdTree => 0,
+        IndexKind::Grid => 1,
+        IndexKind::Scan => 2,
+    }
+}
+
+/// Inverse of [`index_to_u8`] (unknown values fall back to the default).
+pub fn index_from_u8(v: u8) -> IndexKind {
+    match v {
+        1 => IndexKind::Grid,
+        2 => IndexKind::Scan,
+        _ => IndexKind::KdTree,
     }
 }
 
 /// The distributed BRACE engine.
 pub struct ClusterSim {
     master: Master,
+    behavior: Arc<dyn Behavior>,
+    cfg: ClusterConfig,
     handles: Vec<JoinHandle<()>>,
     ledger: NetLedger,
     epoch_len: u64,
-    fault: Option<FaultPlan>,
-    fault_fired: bool,
+    /// Scheduled whole-cluster fault epochs not yet fired, ascending.
+    fault_epochs: Vec<u64>,
+    /// Scheduled resizes not yet applied, ascending by epoch.
+    membership: Vec<MembershipChange>,
 }
 
+/// One worker fabric: command channels, the shared report channel and the
+/// running threads.
+type Fabric = (Vec<Sender<Command>>, Receiver<Report>, Vec<JoinHandle<()>>);
+
 impl ClusterSim {
-    /// Build the cluster: partition `agents` over `cfg.workers` column
-    /// partitions, spawn the worker threads, take the initial checkpoint.
-    pub fn new(behavior: Arc<dyn Behavior>, agents: Vec<Agent>, cfg: ClusterConfig) -> Result<Self> {
+    fn validate(behavior: &Arc<dyn Behavior>, agents: &[Agent], cfg: &ClusterConfig) -> Result<()> {
         if cfg.workers == 0 {
             return Err(BraceError::Config("need at least one worker".into()));
         }
@@ -124,27 +214,27 @@ impl ClusterSim {
                 crate::codec::DELTA_MAX_STATES
             )));
         }
-        for a in &agents {
+        for a in agents {
             if a.state.len() != schema.num_states() || a.effects.len() != schema.num_effects() {
                 return Err(BraceError::Schema(format!("agent {} does not match schema `{}`", a.id, schema.name())));
             }
         }
+        Ok(())
+    }
 
-        let n = cfg.workers;
-        let part = GridPartitioning::columns(cfg.space_x.0, cfg.space_x.1, n);
-
-        // Distribute the initial population to owners.
-        let mut initial: Vec<Vec<Agent>> = (0..n).map(|_| Vec::new()).collect();
-        let mut max_id = 0u64;
-        for a in agents {
-            max_id = max_id.max(a.id.raw() + 1);
-            initial[part.partition_of(a.pos).index()].push(a);
-        }
-        // Disjoint spawn-id blocks per worker.
-        let block = (u64::MAX - max_id) / n as u64;
-
-        // Channel fabric.
-        let ledger = NetLedger::new();
+    /// Spawn `initial.len()` worker threads over `part`'s columns, wired to
+    /// a fresh channel fabric. `next_spawn_id` seeds the global spawn-id
+    /// cursor (every worker advances it identically through the per-tick
+    /// spawn round).
+    fn spawn_fabric(
+        behavior: &Arc<dyn Behavior>,
+        cfg: &ClusterConfig,
+        part: &GridPartitioning,
+        initial: Vec<Vec<Agent>>,
+        next_spawn_id: u64,
+        ledger: &NetLedger,
+    ) -> Result<Fabric> {
+        let n = initial.len();
         let (report_tx, report_rx) = unbounded::<Report>();
         let mut peer_tx: Vec<Sender<PeerMsg>> = Vec::with_capacity(n);
         let mut peer_rx = Vec::with_capacity(n);
@@ -174,14 +264,7 @@ impl ClusterSim {
                 parallelism: cfg.parallelism,
                 distribution: cfg.distribution,
             };
-            let worker = Worker::new(
-                behavior.clone(),
-                wcfg,
-                links,
-                part.clone(),
-                owned,
-                (max_id + w as u64 * block, max_id + (w as u64 + 1) * block),
-            );
+            let worker = Worker::new(behavior.clone(), wcfg, links, part.clone(), owned, next_spawn_id);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("brace-worker-{w}"))
@@ -189,11 +272,25 @@ impl ClusterSim {
                     .map_err(|e| BraceError::Config(format!("spawning worker thread: {e}")))?,
             );
         }
+        Ok((cmd_tx, report_rx, handles))
+    }
 
+    /// Checkpoint store honoring the durable-run directory (which
+    /// overrides `checkpoint_dir`).
+    fn build_store(cfg: &ClusterConfig) -> CheckpointStore {
         let mut store = CheckpointStore::new(cfg.keep_checkpoints);
-        if let Some(dir) = cfg.checkpoint_dir.clone() {
+        if let Some(dir) = cfg.run_dir.clone().or_else(|| cfg.checkpoint_dir.clone()) {
             store = store.with_dir(dir);
         }
+        store
+    }
+
+    fn build_master(
+        cfg: &ClusterConfig,
+        n: usize,
+        fabric: (Vec<Sender<Command>>, Receiver<Report>),
+        x_bounds: Vec<f64>,
+    ) -> Master {
         let mut balancer = cfg.balancer.clone();
         balancer.epoch_len = cfg.epoch_len;
         let mut master = Master::new(
@@ -202,29 +299,210 @@ impl ClusterSim {
             cfg.load_balance,
             balancer,
             cfg.checkpoint_every,
-            store,
-            cmd_tx,
-            report_rx,
-            part.x_bounds().to_vec(),
+            Self::build_store(cfg),
+            fabric.0,
+            fabric.1,
+            x_bounds,
         );
-        master.initial_checkpoint()?;
-        Ok(ClusterSim { master, handles, ledger, epoch_len: cfg.epoch_len, fault: cfg.fault, fault_fired: false })
+        master.set_retry_policy(cfg.retry);
+        master.set_worker_faults(cfg.worker_faults.clone());
+        master
     }
 
-    /// Run `n` epochs, firing the scheduled fault (if any) when its epoch
-    /// completes, followed by recovery and replay.
+    /// Manifest header describing the job, for durable runs.
+    fn run_header(cfg: &ClusterConfig, run_id: String) -> RunHeader {
+        RunHeader {
+            run_id,
+            job: cfg.job.clone(),
+            workers: cfg.workers as u32,
+            epoch_len: cfg.epoch_len,
+            seed: cfg.seed,
+            index: index_to_u8(cfg.index),
+            space_x: cfg.space_x,
+            load_balance: cfg.load_balance,
+            checkpoint_every: cfg.checkpoint_every.unwrap_or(0),
+            keep_checkpoints: cfg.keep_checkpoints as u32,
+            total_ticks: cfg.total_ticks,
+        }
+    }
+
+    fn sorted_plan(cfg: &ClusterConfig) -> (Vec<u64>, Vec<MembershipChange>) {
+        let mut fault_epochs = cfg.fault.clone().map(|p| p.at_epochs).unwrap_or_default();
+        fault_epochs.sort_unstable();
+        fault_epochs.dedup();
+        let mut membership = cfg.membership.clone();
+        membership.sort_by_key(|m| m.at_epoch);
+        (fault_epochs, membership)
+    }
+
+    /// Build the cluster: partition `agents` over `cfg.workers` column
+    /// partitions, spawn the worker threads, take the initial checkpoint.
+    /// With `run_dir` set this *creates* a durable run (write-ahead
+    /// manifest + on-disk checkpoints); a directory that already holds a
+    /// manifest is refused — resume it with [`ClusterSim::resume`] instead.
+    pub fn new(behavior: Arc<dyn Behavior>, agents: Vec<Agent>, cfg: ClusterConfig) -> Result<Self> {
+        Self::validate(&behavior, &agents, &cfg)?;
+        let n = cfg.workers;
+        let part = GridPartitioning::columns(cfg.space_x.0, cfg.space_x.1, n);
+
+        // Distribute the initial population to owners; spawn ids start past
+        // the densest initial id (one global cursor, all workers in
+        // lockstep — see the worker's spawn-sequencing round).
+        let mut initial: Vec<Vec<Agent>> = (0..n).map(|_| Vec::new()).collect();
+        let mut max_id = 0u64;
+        for a in agents {
+            max_id = max_id.max(a.id.raw() + 1);
+            initial[part.partition_of(a.pos).index()].push(a);
+        }
+
+        let ledger = NetLedger::new();
+        let (cmd_tx, report_rx, handles) = Self::spawn_fabric(&behavior, &cfg, &part, initial, max_id, &ledger)?;
+        let mut master = Self::build_master(&cfg, n, (cmd_tx, report_rx), part.x_bounds().to_vec());
+        if let Some(dir) = cfg.run_dir.clone() {
+            let run_id = dir.file_name().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+            master.set_manifest(ManifestWriter::create(&dir, &Self::run_header(&cfg, run_id))?);
+        }
+        master.initial_checkpoint()?;
+        let (fault_epochs, membership) = Self::sorted_plan(&cfg);
+        Ok(ClusterSim { master, behavior, epoch_len: cfg.epoch_len, cfg, handles, ledger, fault_epochs, membership })
+    }
+
+    /// Reconstruct a durable run from `cfg.run_dir` **in a fresh process**:
+    /// read the manifest, pick the newest checkpoint that verifies (torn
+    /// or corrupt files fall back to older ones), replay the completed
+    /// epochs past it, and land exactly where the interrupted run was.
+    /// Returns the parsed manifest alongside the cluster so the caller can
+    /// see total ticks, dead letters, and completion state.
+    pub fn resume(behavior: Arc<dyn Behavior>, mut cfg: ClusterConfig) -> Result<(Self, Manifest)> {
+        let dir = cfg.run_dir.clone().ok_or_else(|| BraceError::Config("resume requires run_dir".into()))?;
+        let m = manifest::read_manifest(&dir)?;
+        if m.complete().is_some() {
+            return Err(BraceError::Config(format!("run `{}` already completed", m.header.run_id)));
+        }
+        let completed = m.completed_epochs();
+        let floor = m.membership_floor();
+        // Newest on-disk checkpoint that verifies, covers only completed
+        // epochs, and does not precede the last membership change.
+        let mut chosen: Option<ClusterCheckpoint> = None;
+        for epoch in checkpoint::list_checkpoint_epochs(&dir).into_iter().rev() {
+            if epoch > completed || epoch < floor {
+                continue;
+            }
+            if let Ok(cp) = checkpoint::load_checkpoint_file(&dir, epoch) {
+                chosen = Some(cp);
+                break;
+            }
+        }
+        let cp = chosen
+            .ok_or_else(|| BraceError::Unrecoverable(format!("run `{}`: no valid checkpoint", m.header.run_id)))?;
+        let n = cp.workers.len();
+        cfg.workers = n;
+        Self::validate(&behavior, &[], &cfg)?;
+
+        let part = GridPartitioning::columns(cfg.space_x.0, cfg.space_x.1, n);
+        let ledger = NetLedger::new();
+        // Workers start empty; Restore from the checkpoint fills them.
+        let (cmd_tx, report_rx, handles) =
+            Self::spawn_fabric(&behavior, &cfg, &part, (0..n).map(|_| Vec::new()).collect(), 0, &ledger)?;
+        let mut master = Self::build_master(&cfg, n, (cmd_tx, report_rx), cp.x_bounds.clone());
+        master.set_manifest(ManifestWriter::open_append(&dir)?);
+        let commands = m.commands_in(cp.epoch, completed);
+        let (hist_range, pending_bounds) = match m.last_epoch_done() {
+            Some(d) => (d.hist_range, d.pending_bounds.clone()),
+            None => (cp.hist_range, None),
+        };
+        master.resume_from(&cp, &commands, hist_range, pending_bounds)?;
+        let (fault_epochs, membership) = Self::sorted_plan(&cfg);
+        let sim =
+            ClusterSim { master, behavior, epoch_len: cfg.epoch_len, cfg, handles, ledger, fault_epochs, membership };
+        Ok((sim, m))
+    }
+
+    /// Run `n` epochs, firing scheduled faults (recovery + replay) and
+    /// membership changes as their epochs complete.
     pub fn run_epochs(&mut self, n: u64) -> Result<()> {
         for _ in 0..n {
             self.master.run_epoch()?;
-            if let Some(plan) = self.fault {
-                if !self.fault_fired && self.master.epoch() == plan.at_epoch + 1 {
-                    self.fault_fired = true;
-                    // Epoch `at_epoch` just ran but its results are lost.
-                    self.master.recover(plan.at_epoch)?;
-                }
+            while self.fault_epochs.first().is_some_and(|&e| self.master.epoch() == e + 1) {
+                // That epoch just ran but its results are lost.
+                let failed = self.fault_epochs.remove(0);
+                self.master.recover(failed)?;
+            }
+            while self.membership.first().is_some_and(|m| self.master.epoch() >= m.at_epoch) {
+                let change = self.membership.remove(0);
+                self.resize_workers(change.workers)?;
             }
         }
         Ok(())
+    }
+
+    /// Resize the cluster to `n_new` workers at the current epoch boundary
+    /// (elastic membership). All state funnels through the repartition
+    /// path: snapshot everyone, retire the old fabric, spawn the new one,
+    /// repartition the agents over uniform columns, and take a fresh
+    /// coordinated checkpoint (replay never spans a membership change).
+    /// Results are bit-identical because partition placement is
+    /// unobservable and the global spawn-id cursor travels in the
+    /// snapshots.
+    pub fn resize_workers(&mut self, n_new: usize) -> Result<()> {
+        if n_new == 0 {
+            return Err(BraceError::Config("need at least one worker".into()));
+        }
+        let snaps = self.master.collect_snapshots()?;
+        if snaps.len() == n_new {
+            return Ok(());
+        }
+        let decoded: Vec<WorkerSnapshot> = snaps.into_iter().map(codec::decode_snapshot).collect();
+        let tick = decoded[0].tick;
+        let next_spawn_id = decoded[0].next_spawn_id;
+        let mut agents: Vec<Agent> = decoded.into_iter().flat_map(|s| s.agents).collect();
+        agents.sort_by_key(|a| a.id);
+
+        // Retire the old fabric.
+        self.master.stop();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+
+        // Uniform columns over the current occupied extent.
+        let bounds = self.master.x_bounds();
+        let (lo, hi) = (bounds[0], *bounds.last().unwrap());
+        let part = GridPartitioning::columns(lo, hi, n_new);
+        let (cmd_tx, report_rx, handles) = Self::spawn_fabric(
+            &self.behavior,
+            &self.cfg,
+            &part,
+            (0..n_new).map(|_| Vec::new()).collect(),
+            0,
+            &self.ledger,
+        )?;
+        self.handles = handles;
+        self.master.replace_fabric(n_new, cmd_tx, report_rx, part.x_bounds().to_vec());
+
+        let mut owned: Vec<Vec<Agent>> = (0..n_new).map(|_| Vec::new()).collect();
+        for a in agents {
+            owned[part.partition_of(a.pos).index()].push(a);
+        }
+        for (w, agents_w) in owned.into_iter().enumerate() {
+            let snap = WorkerSnapshot {
+                tick,
+                next_spawn_id,
+                rng: DetRng::seed_from_u64(self.cfg.seed).stream(0x5EED_0000 + w as u64),
+                agents: agents_w,
+            };
+            self.master.restore_worker(w, codec::encode_snapshot(&snap))?;
+        }
+        // Fresh durable point under the new membership, then the record.
+        self.master.force_checkpoint()?;
+        self.master
+            .append_manifest(&ManifestRecord::Membership { epoch: self.master.epoch(), workers: n_new as u32 })?;
+        Ok(())
+    }
+
+    /// Record run completion (final tick count + world checksum) in the
+    /// manifest. No-op for ephemeral runs.
+    pub fn record_complete(&mut self, ticks: u64, checksum: u64) -> Result<()> {
+        self.master.append_manifest(&ManifestRecord::Complete { ticks, checksum })
     }
 
     /// Run `ticks` ticks; must be a multiple of the epoch length.
@@ -458,7 +736,7 @@ mod tests {
             ..Default::default()
         };
         let clean = run_cluster(Arc::new(Flock::new()), agents.clone(), 40, base.clone());
-        let faulty_cfg = ClusterConfig { fault: Some(FaultPlan { at_epoch: 5 }), ..base };
+        let faulty_cfg = ClusterConfig { fault: Some(FaultPlan::once(5)), ..base };
         let mut sim = ClusterSim::new(Arc::new(Flock::new()), agents, faulty_cfg).unwrap();
         sim.run_ticks(40).unwrap();
         let stats = sim.stats();
@@ -466,6 +744,193 @@ mod tests {
         assert!(stats.replayed_epochs > 0);
         let recovered = sim.collect_agents().unwrap();
         assert_eq!(clean, recovered, "recovery must reproduce the failure-free run");
+    }
+
+    #[test]
+    fn multi_fault_plan_reproduces_failure_free_run() {
+        let agents = population(Flock::new().schema(), 90, 11);
+        let base = ClusterConfig {
+            workers: 3,
+            epoch_len: 5,
+            seed: 17,
+            load_balance: false,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let clean = run_cluster(Arc::new(Flock::new()), agents.clone(), 40, base.clone());
+        let faulty_cfg = ClusterConfig { fault: Some(FaultPlan::at([2, 5, 6])), ..base };
+        let mut sim = ClusterSim::new(Arc::new(Flock::new()), agents, faulty_cfg).unwrap();
+        sim.run_ticks(40).unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.recoveries, 3, "every scheduled fault must recover");
+        let recovered = sim.collect_agents().unwrap();
+        assert_eq!(clean, recovered, "multi-fault recovery must reproduce the failure-free run");
+    }
+
+    #[test]
+    fn worker_retry_within_budget_reproduces_clean_run() {
+        let agents = population(Flock::new().schema(), 90, 23);
+        let base = ClusterConfig {
+            workers: 3,
+            epoch_len: 5,
+            seed: 19,
+            load_balance: false,
+            checkpoint_every: Some(2),
+            retry: RetryPolicy { max_attempts: 3, backoff_base_ms: 1, backoff_cap_ms: 4 },
+            ..Default::default()
+        };
+        let clean = run_cluster(Arc::new(Flock::new()), agents.clone(), 30, base.clone());
+        // Worker 1 fails twice during epoch 3 — inside the 3-attempt budget.
+        let cfg = ClusterConfig { worker_faults: vec![WorkerFault { worker: 1, epoch: 3, failures: 2 }], ..base };
+        let mut sim = ClusterSim::new(Arc::new(Flock::new()), agents, cfg).unwrap();
+        sim.run_ticks(30).unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.retries, 2, "two failed attempts, two retries");
+        assert_eq!(stats.dead_letters, 0, "budget was enough — no dead letter");
+        assert!(stats.recoveries >= 2, "each retry restores from checkpoint");
+        let recovered = sim.collect_agents().unwrap();
+        assert_eq!(clean, recovered, "retried run must match the clean run bit for bit");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_dead_letters_and_degrades() {
+        let agents = population(Flock::new().schema(), 90, 29);
+        let base = ClusterConfig {
+            workers: 3,
+            epoch_len: 5,
+            seed: 31,
+            load_balance: false,
+            checkpoint_every: Some(2),
+            retry: RetryPolicy { max_attempts: 3, backoff_base_ms: 1, backoff_cap_ms: 4 },
+            ..Default::default()
+        };
+        let clean = run_cluster(Arc::new(Flock::new()), agents.clone(), 30, base.clone());
+        // Worker 1 fails more times than the budget allows: its partition
+        // must be dead-lettered and the run must *complete*, degraded.
+        let cfg = ClusterConfig { worker_faults: vec![WorkerFault { worker: 1, epoch: 3, failures: 10 }], ..base };
+        let mut sim = ClusterSim::new(Arc::new(Flock::new()), agents, cfg).unwrap();
+        sim.run_ticks(30).unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.dead_letters, 1, "the failing partition must be dead-lettered");
+        assert!(stats.agents_lost > 0, "the dead partition's agents are reported lost");
+        let degraded = sim.collect_agents().unwrap();
+        assert!(
+            degraded.len() < clean.len(),
+            "degraded run must have dropped the dead partition ({} vs {})",
+            degraded.len(),
+            clean.len()
+        );
+        assert_eq!(sim.tick(), 30, "the run must complete despite the dead partition");
+    }
+
+    #[test]
+    fn mid_run_membership_change_preserves_results() {
+        let agents = population(Flock::new().schema(), 120, 37);
+        let base = ClusterConfig {
+            workers: 3,
+            epoch_len: 5,
+            seed: 41,
+            load_balance: false,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let clean = run_cluster(Arc::new(Flock::new()), agents.clone(), 40, base.clone());
+        // Grow to 5 workers after epoch 3, shrink to 2 after epoch 6.
+        let cfg = ClusterConfig {
+            membership: vec![
+                MembershipChange { at_epoch: 3, workers: 5 },
+                MembershipChange { at_epoch: 6, workers: 2 },
+            ],
+            ..base
+        };
+        let mut sim = ClusterSim::new(Arc::new(Flock::new()), agents, cfg).unwrap();
+        sim.run_ticks(40).unwrap();
+        let elastic = sim.collect_agents().unwrap();
+        assert_eq!(clean, elastic, "joins/leaves must not change results");
+        assert!(sim.stats().checkpoints >= 2, "each membership change forces a checkpoint");
+    }
+
+    /// Spawning model with deterministic per-agent reproduction: children
+    /// get ids from the global `(parent id, ordinal)` sequence, so an
+    /// N-worker cluster must be bit-identical to the single-node executor
+    /// *including* the spawned agents' identities and rng streams.
+    struct Breeder(AgentSchema);
+
+    impl Breeder {
+        fn new() -> Self {
+            Breeder(
+                AgentSchema::builder("Breeder")
+                    .state("generation")
+                    .effect("n", Combinator::Sum)
+                    .visibility(3.0)
+                    .reachability(1.0)
+                    .build()
+                    .unwrap(),
+            )
+        }
+    }
+
+    impl Behavior for Breeder {
+        fn schema(&self) -> &AgentSchema {
+            &self.0
+        }
+        fn query(
+            &self,
+            _me: brace_core::AgentRef<'_>,
+            nbrs: &Neighbors<'_>,
+            eff: &mut EffectWriter<'_>,
+            _rng: &mut DetRng,
+        ) {
+            for _ in nbrs.iter() {
+                eff.local(FieldId::new(0), 1.0);
+            }
+        }
+        fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {
+            let gen = me.get(FieldId::new(0));
+            me.pos.x += ctx.rng.range(-0.3, 0.5);
+            me.pos.y += ctx.rng.range(-0.3, 0.3);
+            // Reproduce occasionally; children inherit generation + 1 and
+            // later act (and spawn) themselves.
+            if gen < 3.0 && ctx.rng.chance(0.08) {
+                let pos = me.pos;
+                ctx.spawn(pos, vec![gen + 1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn spawning_cluster_equals_single_node() {
+        let agents = population(Breeder::new().schema(), 100, 6);
+        let single = run_single_node(Breeder::new(), agents.clone(), 20, 33);
+        assert!(single.len() > 100, "the model must actually spawn");
+        for workers in [1, 2, 4] {
+            let cfg =
+                ClusterConfig { workers, epoch_len: 5, seed: 33, load_balance: false, ..ClusterConfig::default() };
+            let distributed = run_cluster(Arc::new(Breeder::new()), agents.clone(), 20, cfg);
+            assert_eq!(single, distributed, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn spawning_survives_fault_recovery_and_membership() {
+        let agents = population(Breeder::new().schema(), 100, 6);
+        let base = ClusterConfig {
+            workers: 3,
+            epoch_len: 5,
+            seed: 33,
+            load_balance: false,
+            checkpoint_every: Some(2),
+            ..ClusterConfig::default()
+        };
+        let clean = run_cluster(Arc::new(Breeder::new()), agents.clone(), 30, base.clone());
+        let cfg = ClusterConfig {
+            fault: Some(FaultPlan::once(3)),
+            membership: vec![MembershipChange { at_epoch: 4, workers: 4 }],
+            ..base
+        };
+        let mut sim = ClusterSim::new(Arc::new(Breeder::new()), agents, cfg).unwrap();
+        sim.run_ticks(30).unwrap();
+        assert_eq!(clean, sim.collect_agents().unwrap(), "spawn ids must survive recovery and resize");
     }
 
     #[test]

@@ -338,6 +338,39 @@ pub fn decode_effect_rows(mut bytes: Bytes) -> Vec<(AgentId, Vec<f64>)> {
     out
 }
 
+/// Serialize per-parent spawn-count runs — the payload of the spawn
+/// sequencing round. `runs` must be ascending by parent id (the worker's
+/// pending spawns sorted by parent; parents are globally unique, so the
+/// receiver merges every peer's runs into one total order). An empty run
+/// list encodes to **zero bytes** — non-spawning ticks cost nothing.
+pub fn encode_spawn_runs(runs: &[(AgentId, u32)]) -> Bytes {
+    if runs.is_empty() {
+        return Bytes::new();
+    }
+    let mut buf = BytesMut::with_capacity(4 + runs.len() * 12);
+    buf.put_u32_le(runs.len() as u32);
+    for &(parent, count) in runs {
+        buf.put_u64_le(parent.raw());
+        buf.put_u32_le(count);
+    }
+    buf.freeze()
+}
+
+/// Decode a payload produced by [`encode_spawn_runs`]. Zero-length input
+/// is the empty run list.
+pub fn decode_spawn_runs(mut bytes: Bytes) -> Vec<(AgentId, u32)> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let count = bytes.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let parent = AgentId::new(bytes.get_u64_le());
+        out.push((parent, bytes.get_u32_le()));
+    }
+    out
+}
+
 /// A worker's checkpointable state: its simulation clock, its RNG (models
 /// never consume it outside agent streams, but serialize it for
 /// completeness) and its owned agents.
@@ -480,6 +513,16 @@ mod tests {
         let encoded = encode_effect_rows(rows.iter().map(|(id, v)| (*id, v.as_slice())));
         let decoded = decode_effect_rows(encoded);
         assert_eq!(rows, decoded);
+    }
+
+    #[test]
+    fn spawn_runs_round_trip() {
+        let runs = vec![(AgentId::new(3), 2u32), (AgentId::new(17), 1), (AgentId::new(40), 3)];
+        let encoded = encode_spawn_runs(&runs);
+        assert_eq!(decode_spawn_runs(encoded), runs);
+        // Empty run list → zero bytes, decoded as empty.
+        assert_eq!(encode_spawn_runs(&[]), Bytes::new());
+        assert!(decode_spawn_runs(Bytes::new()).is_empty());
     }
 
     #[test]

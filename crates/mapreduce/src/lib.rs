@@ -70,7 +70,10 @@
 //!   balancing decisions, coordinated checkpoints, failure recovery by
 //!   replay.
 //! * [`balance`] — the one-dimensional load balancer.
-//! * [`checkpoint`] — coordinated checkpoint store.
+//! * [`checkpoint`] — coordinated checkpoint store (checksummed, fsynced
+//!   on-disk mirrors with retention pruning).
+//! * [`manifest`] — crash-safe run manifests: the append-only write-ahead
+//!   job log that makes `--resume` across a process restart possible.
 //! * [`cluster`] — [`ClusterSim`], the user-facing
 //!   facade mirroring `brace_core::Simulation` over many workers.
 
@@ -79,6 +82,7 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod codec;
 pub mod generic;
+pub mod manifest;
 pub mod master;
 pub mod net;
 pub mod runtime;
@@ -86,7 +90,8 @@ pub mod worker;
 
 pub use balance::{BalanceDecision, LoadBalancer};
 pub use checkpoint::{CheckpointStore, ClusterCheckpoint};
-pub use cluster::{ClusterConfig, ClusterSim, FaultPlan};
-pub use master::ClusterStats;
+pub use cluster::{ClusterConfig, ClusterSim, FaultPlan, MembershipChange};
+pub use manifest::{Manifest, ManifestRecord, ManifestWriter, RunHeader};
+pub use master::{ClusterStats, RetryPolicy, WorkerFault};
 pub use net::{NetLedger, NetStats};
 pub use worker::DistributionMode;

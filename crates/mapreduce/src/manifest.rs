@@ -1,0 +1,683 @@
+//! Crash-safe run manifests — the write-ahead log that makes a run a
+//! durable *job*.
+//!
+//! A durable run directory holds `manifest.brace` (this module) next to the
+//! `checkpoint-<epoch>.brace` files of [`checkpoint`](crate::checkpoint).
+//! The manifest is append-only: a header describing the job (scenario key,
+//! seed, cluster shape, cadence) followed by one [`ManifestRecord`] per
+//! durable event. Every epoch writes two records around its execution:
+//!
+//! * [`ManifestRecord::Command`] **before** the epoch command is broadcast
+//!   (write-ahead — the intent survives a crash mid-epoch), and
+//! * [`ManifestRecord::EpochDone`] **after** the epoch — and its
+//!   coordinated checkpoint, if any — are durable. It carries the master's
+//!   post-decide state (histogram range, pending repartition bounds) so a
+//!   resume lands in *exactly* the state an uninterrupted run would be in,
+//!   even when the replay window is empty.
+//!
+//! Each record is framed as `u32 length + u64 FNV-1a checksum + body` and
+//! fsynced on append. The reader stops at the first record that fails its
+//! checksum or is short — a torn tail from a crash mid-append is *detected
+//! and dropped*, never trusted; everything before it is intact by
+//! construction. Resume therefore only believes epochs with a matching
+//! `EpochDone`, and re-runs the rest from the last verified checkpoint.
+
+use crate::runtime::EpochCommand;
+use brace_common::{BraceError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the manifest inside a run directory.
+pub const MANIFEST_FILE: &str = "manifest.brace";
+
+/// Magic tag opening every manifest file ("BRACERUN").
+const FILE_MAGIC: u64 = 0x4252_4143_4552_554e;
+/// Manifest format version.
+const FILE_VERSION: u32 = 1;
+
+/// FNV-1a over a byte slice — the house hash (same constants as the
+/// scenario layer's `world_checksum`).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Immutable description of the job, written once at run creation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHeader {
+    /// Identifier of this run (the run directory's name).
+    pub run_id: String,
+    /// Opaque scenario-layer job description (scenario key and overrides);
+    /// the runtime never interprets it.
+    pub job: String,
+    /// Workers at run creation (membership changes append
+    /// [`ManifestRecord::Membership`]).
+    pub workers: u32,
+    pub epoch_len: u64,
+    pub seed: u64,
+    /// Spatial index selector, scenario-layer encoding.
+    pub index: u8,
+    pub space_x: (f64, f64),
+    pub load_balance: bool,
+    /// Coordinated checkpoint cadence in epochs; 0 = initial only.
+    pub checkpoint_every: u64,
+    pub keep_checkpoints: u32,
+    /// Total ticks the job should run — resume picks up the remainder.
+    pub total_ticks: u64,
+}
+
+/// Post-epoch durable state. `epoch` counts *completed* epochs after this
+/// one (i.e. `cmd.epoch + 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochDoneRecord {
+    pub epoch: u64,
+    /// Whether this epoch wrote a coordinated checkpoint.
+    pub checkpoint: bool,
+    /// Master histogram range after `decide` — needed to rebuild the next
+    /// command identically on resume.
+    pub hist_range: (f64, f64),
+    /// Repartition bounds pending for the next epoch, if `decide` chose to
+    /// rebalance.
+    pub pending_bounds: Option<Vec<f64>>,
+}
+
+/// A partition abandoned after exhausting its retry budget. The run
+/// continues degraded; the manifest is the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetterRecord {
+    pub worker: u32,
+    /// Epoch during which the worker kept failing.
+    pub epoch: u64,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// Agents lost with the partition (from the checkpoint it was restored
+    /// against).
+    pub agents_lost: u64,
+    pub reason: String,
+}
+
+/// One durable event in a run's life.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestRecord {
+    Header(RunHeader),
+    /// Write-ahead intent: this epoch command is about to run.
+    Command(EpochCommand),
+    /// The epoch (and its checkpoint, if any) is durable.
+    EpochDone(EpochDoneRecord),
+    /// A partition was dead-lettered; the run continues without it.
+    DeadLetter(DeadLetterRecord),
+    /// Cluster membership changed to `workers` after `epoch` completed
+    /// epochs (a fresh coordinated checkpoint precedes this record).
+    Membership {
+        epoch: u64,
+        workers: u32,
+    },
+    /// The run finished and produced `checksum` over the final world.
+    Complete {
+        ticks: u64,
+        checksum: u64,
+    },
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(bytes: &mut Bytes) -> Result<String> {
+    need(bytes, 4)?;
+    let len = bytes.get_u32_le() as usize;
+    need(bytes, len)?;
+    let raw = bytes.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| BraceError::Checkpoint("manifest: invalid utf-8".into()))
+}
+
+fn put_opt_bounds(buf: &mut BytesMut, bounds: &Option<Vec<f64>>) {
+    match bounds {
+        None => buf.put_u8(0),
+        Some(b) => {
+            buf.put_u8(1);
+            buf.put_u32_le(b.len() as u32);
+            for &x in b {
+                buf.put_f64_le(x);
+            }
+        }
+    }
+}
+
+fn get_opt_bounds(bytes: &mut Bytes) -> Result<Option<Vec<f64>>> {
+    need(bytes, 1)?;
+    if bytes.get_u8() == 0 {
+        return Ok(None);
+    }
+    need(bytes, 4)?;
+    let n = bytes.get_u32_le() as usize;
+    need(bytes, n * 8)?;
+    Ok(Some((0..n).map(|_| bytes.get_f64_le()).collect()))
+}
+
+fn need(bytes: &Bytes, n: usize) -> Result<()> {
+    if bytes.remaining() < n {
+        Err(BraceError::Checkpoint("manifest: truncated record".into()))
+    } else {
+        Ok(())
+    }
+}
+
+impl ManifestRecord {
+    /// Serialize the record body (tag + payload), excluding the frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            ManifestRecord::Header(h) => {
+                buf.put_u8(1);
+                put_str(&mut buf, &h.run_id);
+                put_str(&mut buf, &h.job);
+                buf.put_u32_le(h.workers);
+                buf.put_u64_le(h.epoch_len);
+                buf.put_u64_le(h.seed);
+                buf.put_u8(h.index);
+                buf.put_f64_le(h.space_x.0);
+                buf.put_f64_le(h.space_x.1);
+                buf.put_u8(h.load_balance as u8);
+                buf.put_u64_le(h.checkpoint_every);
+                buf.put_u32_le(h.keep_checkpoints);
+                buf.put_u64_le(h.total_ticks);
+            }
+            ManifestRecord::Command(c) => {
+                buf.put_u8(2);
+                buf.put_u64_le(c.epoch);
+                buf.put_u64_le(c.ticks);
+                put_opt_bounds(&mut buf, &c.new_x_bounds);
+                buf.put_u8(c.checkpoint as u8);
+                buf.put_f64_le(c.hist_range.0);
+                buf.put_f64_le(c.hist_range.1);
+            }
+            ManifestRecord::EpochDone(d) => {
+                buf.put_u8(3);
+                buf.put_u64_le(d.epoch);
+                buf.put_u8(d.checkpoint as u8);
+                buf.put_f64_le(d.hist_range.0);
+                buf.put_f64_le(d.hist_range.1);
+                put_opt_bounds(&mut buf, &d.pending_bounds);
+            }
+            ManifestRecord::DeadLetter(d) => {
+                buf.put_u8(4);
+                buf.put_u32_le(d.worker);
+                buf.put_u64_le(d.epoch);
+                buf.put_u32_le(d.attempts);
+                buf.put_u64_le(d.agents_lost);
+                put_str(&mut buf, &d.reason);
+            }
+            ManifestRecord::Membership { epoch, workers } => {
+                buf.put_u8(5);
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(*workers);
+            }
+            ManifestRecord::Complete { ticks, checksum } => {
+                buf.put_u8(6);
+                buf.put_u64_le(*ticks);
+                buf.put_u64_le(*checksum);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Inverse of [`ManifestRecord::encode`].
+    pub fn decode(mut bytes: Bytes) -> Result<Self> {
+        need(&bytes, 1)?;
+        let tag = bytes.get_u8();
+        match tag {
+            1 => {
+                let run_id = get_str(&mut bytes)?;
+                let job = get_str(&mut bytes)?;
+                need(&bytes, 4 + 8 + 8 + 1 + 16 + 1 + 8 + 4 + 8)?;
+                Ok(ManifestRecord::Header(RunHeader {
+                    run_id,
+                    job,
+                    workers: bytes.get_u32_le(),
+                    epoch_len: bytes.get_u64_le(),
+                    seed: bytes.get_u64_le(),
+                    index: bytes.get_u8(),
+                    space_x: (bytes.get_f64_le(), bytes.get_f64_le()),
+                    load_balance: bytes.get_u8() != 0,
+                    checkpoint_every: bytes.get_u64_le(),
+                    keep_checkpoints: bytes.get_u32_le(),
+                    total_ticks: bytes.get_u64_le(),
+                }))
+            }
+            2 => {
+                need(&bytes, 16)?;
+                let epoch = bytes.get_u64_le();
+                let ticks = bytes.get_u64_le();
+                let new_x_bounds = get_opt_bounds(&mut bytes)?;
+                need(&bytes, 1 + 16)?;
+                let checkpoint = bytes.get_u8() != 0;
+                let hist_range = (bytes.get_f64_le(), bytes.get_f64_le());
+                Ok(ManifestRecord::Command(EpochCommand { epoch, ticks, new_x_bounds, checkpoint, hist_range }))
+            }
+            3 => {
+                need(&bytes, 8 + 1 + 16)?;
+                let epoch = bytes.get_u64_le();
+                let checkpoint = bytes.get_u8() != 0;
+                let hist_range = (bytes.get_f64_le(), bytes.get_f64_le());
+                let pending_bounds = get_opt_bounds(&mut bytes)?;
+                Ok(ManifestRecord::EpochDone(EpochDoneRecord { epoch, checkpoint, hist_range, pending_bounds }))
+            }
+            4 => {
+                need(&bytes, 4 + 8 + 4 + 8)?;
+                let worker = bytes.get_u32_le();
+                let epoch = bytes.get_u64_le();
+                let attempts = bytes.get_u32_le();
+                let agents_lost = bytes.get_u64_le();
+                let reason = get_str(&mut bytes)?;
+                Ok(ManifestRecord::DeadLetter(DeadLetterRecord { worker, epoch, attempts, agents_lost, reason }))
+            }
+            5 => {
+                need(&bytes, 12)?;
+                Ok(ManifestRecord::Membership { epoch: bytes.get_u64_le(), workers: bytes.get_u32_le() })
+            }
+            6 => {
+                need(&bytes, 16)?;
+                Ok(ManifestRecord::Complete { ticks: bytes.get_u64_le(), checksum: bytes.get_u64_le() })
+            }
+            t => Err(BraceError::Checkpoint(format!("manifest: unknown record tag {t}"))),
+        }
+    }
+}
+
+/// Append handle on a run's manifest. Every append is framed, checksummed
+/// and fsynced before returning — when a record is on disk, it is durable.
+#[derive(Debug)]
+pub struct ManifestWriter {
+    file: File,
+}
+
+impl ManifestWriter {
+    /// Create `dir/manifest.brace`, writing the file header and the
+    /// [`RunHeader`] record. Fails if a manifest already exists (a run id
+    /// is never reused).
+    pub fn create(dir: &Path, header: &RunHeader) -> Result<Self> {
+        let io = |e: std::io::Error| BraceError::Checkpoint(format!("creating manifest: {e}"));
+        std::fs::create_dir_all(dir).map_err(io)?;
+        let path = dir.join(MANIFEST_FILE);
+        let file = OpenOptions::new().write(true).create_new(true).open(&path).map_err(io)?;
+        let mut w = ManifestWriter { file };
+        let mut preamble = BytesMut::with_capacity(12);
+        preamble.put_u64_le(FILE_MAGIC);
+        preamble.put_u32_le(FILE_VERSION);
+        w.file.write_all(&preamble).map_err(io)?;
+        w.append(&ManifestRecord::Header(header.clone()))?;
+        Ok(w)
+    }
+
+    /// Open an existing manifest for append (resume).
+    pub fn open_append(dir: &Path) -> Result<Self> {
+        let path = dir.join(MANIFEST_FILE);
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| BraceError::Checkpoint(format!("opening manifest {}: {e}", path.display())))?;
+        Ok(ManifestWriter { file })
+    }
+
+    /// Append one record: `u32 len + u64 fnv1a(body) + body`, then fsync.
+    pub fn append(&mut self, rec: &ManifestRecord) -> Result<()> {
+        let io = |e: std::io::Error| BraceError::Checkpoint(format!("appending to manifest: {e}"));
+        let body = rec.encode();
+        let mut frame = BytesMut::with_capacity(12 + body.len());
+        frame.put_u32_le(body.len() as u32);
+        frame.put_u64_le(fnv1a(&body));
+        frame.extend_from_slice(&body);
+        self.file.write_all(&frame).map_err(io)?;
+        self.file.sync_data().map_err(io)?;
+        Ok(())
+    }
+}
+
+/// A fully parsed manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    pub header: RunHeader,
+    /// All records after the header, in append order, up to the first
+    /// corrupt/short frame.
+    pub records: Vec<ManifestRecord>,
+    /// True when a torn tail was detected and dropped.
+    pub truncated: bool,
+}
+
+impl Manifest {
+    /// Completed epochs: the highest `EpochDone.epoch` on record.
+    pub fn completed_epochs(&self) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                ManifestRecord::EpochDone(d) => Some(d.epoch),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The most recent [`EpochDoneRecord`], if any epoch completed.
+    pub fn last_epoch_done(&self) -> Option<&EpochDoneRecord> {
+        self.records.iter().rev().find_map(|r| match r {
+            ManifestRecord::EpochDone(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    /// Commands for epochs `[from, to)` in epoch order, keeping the *last*
+    /// write for an epoch (a crash re-appends the interrupted epoch's
+    /// command on resume; write-ahead duplicates are expected and benign —
+    /// resume state is deterministic, so duplicates are identical).
+    pub fn commands_in(&self, from: u64, to: u64) -> Vec<EpochCommand> {
+        let mut by_epoch: Vec<EpochCommand> = Vec::new();
+        for r in &self.records {
+            if let ManifestRecord::Command(c) = r {
+                if c.epoch >= from && c.epoch < to {
+                    if let Some(slot) = by_epoch.iter_mut().find(|e| e.epoch == c.epoch) {
+                        *slot = c.clone();
+                    } else {
+                        by_epoch.push(c.clone());
+                    }
+                }
+            }
+        }
+        by_epoch.sort_by_key(|c| c.epoch);
+        by_epoch
+    }
+
+    /// Worker count currently in force (last membership change, else the
+    /// header's).
+    pub fn current_workers(&self) -> u32 {
+        self.records
+            .iter()
+            .rev()
+            .find_map(|r| match r {
+                ManifestRecord::Membership { workers, .. } => Some(*workers),
+                _ => None,
+            })
+            .unwrap_or(self.header.workers)
+    }
+
+    /// Epoch floor for resumable checkpoints: replay can never span a
+    /// membership change, so only checkpoints at or after the last one
+    /// count.
+    pub fn membership_floor(&self) -> u64 {
+        self.records
+            .iter()
+            .rev()
+            .find_map(|r| match r {
+                ManifestRecord::Membership { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// The final [`ManifestRecord::Complete`] record, if the run finished.
+    pub fn complete(&self) -> Option<(u64, u64)> {
+        self.records.iter().rev().find_map(|r| match r {
+            ManifestRecord::Complete { ticks, checksum } => Some((*ticks, *checksum)),
+            _ => None,
+        })
+    }
+
+    /// Dead-letter records, in order.
+    pub fn dead_letters(&self) -> Vec<&DeadLetterRecord> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                ManifestRecord::DeadLetter(d) => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Read and verify `dir/manifest.brace`. Stops (setting `truncated`) at the
+/// first frame that is short or fails its checksum — the crash-torn tail is
+/// dropped, never trusted.
+pub fn read_manifest(dir: &Path) -> Result<Manifest> {
+    let path = dir.join(MANIFEST_FILE);
+    let data = std::fs::read(&path).map_err(|e| BraceError::Checkpoint(format!("reading {}: {e}", path.display())))?;
+    let mut bytes = Bytes::from(data);
+    if bytes.remaining() < 12 {
+        return Err(BraceError::Checkpoint(format!("{}: truncated preamble", path.display())));
+    }
+    if bytes.get_u64_le() != FILE_MAGIC {
+        return Err(BraceError::Checkpoint(format!("{}: not a manifest", path.display())));
+    }
+    let version = bytes.get_u32_le();
+    if version != FILE_VERSION {
+        return Err(BraceError::Checkpoint(format!("{}: unsupported version {version}", path.display())));
+    }
+    let mut records = Vec::new();
+    let mut truncated = false;
+    while bytes.has_remaining() {
+        if bytes.remaining() < 12 {
+            truncated = true;
+            break;
+        }
+        let len = bytes.get_u32_le() as usize;
+        let sum = bytes.get_u64_le();
+        if bytes.remaining() < len {
+            truncated = true;
+            break;
+        }
+        let body = bytes.copy_to_bytes(len);
+        if fnv1a(&body) != sum {
+            truncated = true;
+            break;
+        }
+        match ManifestRecord::decode(body) {
+            Ok(r) => records.push(r),
+            Err(_) => {
+                truncated = true;
+                break;
+            }
+        }
+    }
+    let Some(ManifestRecord::Header(header)) = records.first().cloned() else {
+        return Err(BraceError::Checkpoint(format!("{}: missing run header", path.display())));
+    };
+    records.remove(0);
+    Ok(Manifest { header, records, truncated })
+}
+
+/// Run ids of all durable runs under `root` (directories containing a
+/// manifest), sorted by name.
+pub fn list_runs(root: &Path) -> Vec<String> {
+    let mut runs = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root) else { return runs };
+    for entry in entries.flatten() {
+        if entry.path().join(MANIFEST_FILE).is_file() {
+            runs.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    runs.sort();
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> RunHeader {
+        RunHeader {
+            run_id: "run-42".into(),
+            job: "scenario=fish agents=300".into(),
+            workers: 4,
+            epoch_len: 5,
+            seed: 42,
+            index: 0,
+            space_x: (0.0, 100.0),
+            load_balance: true,
+            checkpoint_every: 4,
+            keep_checkpoints: 2,
+            total_ticks: 50,
+        }
+    }
+
+    fn cmd(epoch: u64) -> EpochCommand {
+        EpochCommand {
+            epoch,
+            ticks: 5,
+            new_x_bounds: if epoch == 2 { Some(vec![0.0, 40.0, 100.0]) } else { None },
+            checkpoint: epoch % 2 == 1,
+            hist_range: (0.0, 100.0),
+        }
+    }
+
+    fn done(epoch: u64) -> EpochDoneRecord {
+        EpochDoneRecord {
+            epoch,
+            checkpoint: (epoch + 1).is_multiple_of(2),
+            hist_range: (-1.0, 101.0),
+            pending_bounds: if epoch == 3 { Some(vec![0.0, 60.0, 100.0]) } else { None },
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("brace-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = vec![
+            ManifestRecord::Header(header()),
+            ManifestRecord::Command(cmd(2)),
+            ManifestRecord::EpochDone(done(3)),
+            ManifestRecord::DeadLetter(DeadLetterRecord {
+                worker: 1,
+                epoch: 7,
+                attempts: 3,
+                agents_lost: 120,
+                reason: "injected fault".into(),
+            }),
+            ManifestRecord::Membership { epoch: 4, workers: 6 },
+            ManifestRecord::Complete { ticks: 50, checksum: 0xdead_beef },
+        ];
+        for r in records {
+            assert_eq!(ManifestRecord::decode(r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = tmp_dir("rw");
+        let mut w = ManifestWriter::create(&dir, &header()).unwrap();
+        w.append(&ManifestRecord::Command(cmd(0))).unwrap();
+        w.append(&ManifestRecord::EpochDone(done(1))).unwrap();
+        drop(w);
+        let mut w = ManifestWriter::open_append(&dir).unwrap();
+        w.append(&ManifestRecord::Command(cmd(1))).unwrap();
+        drop(w);
+        let m = read_manifest(&dir).unwrap();
+        assert_eq!(m.header, header());
+        assert_eq!(m.records.len(), 3);
+        assert!(!m.truncated);
+        assert_eq!(m.completed_epochs(), 1);
+        assert_eq!(m.last_epoch_done().unwrap(), &done(1));
+        assert_eq!(m.commands_in(0, 10).iter().map(|c| c.epoch).collect::<Vec<_>>(), vec![0, 1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_trusted() {
+        let dir = tmp_dir("torn");
+        let mut w = ManifestWriter::create(&dir, &header()).unwrap();
+        w.append(&ManifestRecord::Command(cmd(0))).unwrap();
+        w.append(&ManifestRecord::EpochDone(done(1))).unwrap();
+        drop(w);
+        // Simulate a crash mid-append: chop bytes off the tail.
+        let path = dir.join(MANIFEST_FILE);
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+        let m = read_manifest(&dir).unwrap();
+        assert!(m.truncated);
+        assert_eq!(m.records.len(), 1); // EpochDone frame was torn
+        assert_eq!(m.completed_epochs(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_reader() {
+        let dir = tmp_dir("corrupt");
+        let mut w = ManifestWriter::create(&dir, &header()).unwrap();
+        w.append(&ManifestRecord::Command(cmd(0))).unwrap();
+        drop(w);
+        let path = dir.join(MANIFEST_FILE);
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xff;
+        std::fs::write(&path, data).unwrap();
+        let m = read_manifest(&dir).unwrap();
+        assert!(m.truncated);
+        assert!(m.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_commands_keep_last_write() {
+        let dir = tmp_dir("dup");
+        let mut w = ManifestWriter::create(&dir, &header()).unwrap();
+        w.append(&ManifestRecord::Command(cmd(0))).unwrap();
+        w.append(&ManifestRecord::EpochDone(done(1))).unwrap();
+        // Crash + resume re-appends epoch 1's command.
+        w.append(&ManifestRecord::Command(cmd(1))).unwrap();
+        w.append(&ManifestRecord::Command(cmd(1))).unwrap();
+        drop(w);
+        let m = read_manifest(&dir).unwrap();
+        assert_eq!(m.commands_in(0, 10).iter().map(|c| c.epoch).collect::<Vec<_>>(), vec![0, 1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn membership_and_dead_letters_are_surfaced() {
+        let dir = tmp_dir("members");
+        let mut w = ManifestWriter::create(&dir, &header()).unwrap();
+        w.append(&ManifestRecord::Membership { epoch: 2, workers: 6 }).unwrap();
+        w.append(&ManifestRecord::DeadLetter(DeadLetterRecord {
+            worker: 3,
+            epoch: 5,
+            attempts: 3,
+            agents_lost: 9,
+            reason: "test".into(),
+        }))
+        .unwrap();
+        drop(w);
+        let m = read_manifest(&dir).unwrap();
+        assert_eq!(m.current_workers(), 6);
+        assert_eq!(m.membership_floor(), 2);
+        assert_eq!(m.dead_letters().len(), 1);
+        assert!(m.complete().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_manifest() {
+        let dir = tmp_dir("exists");
+        let _w = ManifestWriter::create(&dir, &header()).unwrap();
+        assert!(ManifestWriter::create(&dir, &header()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn list_runs_finds_manifest_dirs() {
+        let root = tmp_dir("list");
+        let _a = ManifestWriter::create(&root.join("run-a"), &header()).unwrap();
+        let _b = ManifestWriter::create(&root.join("run-b"), &header()).unwrap();
+        std::fs::create_dir_all(root.join("not-a-run")).unwrap();
+        assert_eq!(list_runs(&root), vec!["run-a".to_string(), "run-b".to_string()]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -27,6 +27,10 @@ pub enum Traffic {
     ReplicaDelta,
     /// Partial effect rows shipped to owners (second reduce pass).
     Effects,
+    /// Per-parent spawn-count runs exchanged so every worker sequences the
+    /// tick's spawns globally by `(parent id, ordinal)`. Non-spawning ticks
+    /// never pay this — empty runs are not charged.
+    Spawns,
     /// Master ↔ worker coordination (epoch commands, stats, checkpoints).
     Control,
 }
@@ -45,12 +49,13 @@ pub struct NetStats {
     pub replica_full: Counter,
     pub replica_delta: Counter,
     pub effects: Counter,
+    pub spawns: Counter,
     pub control: Counter,
 }
 
 impl NetStats {
     pub fn total_bytes(&self) -> u64 {
-        self.transfer.bytes + self.replica_bytes() + self.effects.bytes + self.control.bytes
+        self.transfer.bytes + self.replica_bytes() + self.effects.bytes + self.spawns.bytes + self.control.bytes
     }
 
     pub fn total_messages(&self) -> u64 {
@@ -58,6 +63,7 @@ impl NetStats {
             + self.replica_full.messages
             + self.replica_delta.messages
             + self.effects.messages
+            + self.spawns.messages
             + self.control.messages
     }
 
@@ -87,6 +93,7 @@ impl NetLedger {
             Traffic::ReplicaFull => &mut s.replica_full,
             Traffic::ReplicaDelta => &mut s.replica_delta,
             Traffic::Effects => &mut s.effects,
+            Traffic::Spawns => &mut s.spawns,
             Traffic::Control => &mut s.control,
         };
         c.messages += 1;

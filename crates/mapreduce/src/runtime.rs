@@ -32,18 +32,25 @@ pub enum PeerMsg {
     /// Round 2 of a tick (non-local effects only): partial effect rows for
     /// agents the receiver owns.
     Effects { tick: u64, from: WorkerId, rows: Bytes },
+    /// Final round of a tick (spawning runs only): the sender's per-parent
+    /// spawn counts as ascending `(parent id, count)` runs
+    /// ([`codec::encode_spawn_runs`](crate::codec::encode_spawn_runs)).
+    /// Merging every worker's runs in parent-id order yields the global
+    /// spawn sequence, from which each worker derives final spawn ids —
+    /// `(parent id, ordinal)` ordering, placement-independent.
+    Spawns { tick: u64, from: WorkerId, runs: Bytes },
 }
 
 impl PeerMsg {
     pub fn tick(&self) -> u64 {
         match self {
-            PeerMsg::Batch { tick, .. } | PeerMsg::Effects { tick, .. } => *tick,
+            PeerMsg::Batch { tick, .. } | PeerMsg::Effects { tick, .. } | PeerMsg::Spawns { tick, .. } => *tick,
         }
     }
 
     pub fn from(&self) -> WorkerId {
         match self {
-            PeerMsg::Batch { from, .. } | PeerMsg::Effects { from, .. } => *from,
+            PeerMsg::Batch { from, .. } | PeerMsg::Effects { from, .. } | PeerMsg::Spawns { from, .. } => *from,
         }
     }
 
@@ -51,15 +58,17 @@ impl PeerMsg {
         match self {
             PeerMsg::Batch { .. } => Round::Distribute,
             PeerMsg::Effects { .. } => Round::Effects,
+            PeerMsg::Spawns { .. } => Round::Spawns,
         }
     }
 }
 
-/// The two communication rounds of a tick.
+/// The communication rounds of a tick, in per-tick order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Round {
     Distribute,
     Effects,
+    Spawns,
 }
 
 /// One epoch's marching orders from the master.

@@ -58,9 +58,8 @@
 use crate::codec::{self, ReplicaDelta, ReplicaDeltaEnc, WorkerSnapshot, DELTA_MASK_X, DELTA_MASK_Y};
 use crate::net::{NetLedger, Traffic};
 use crate::runtime::{Command, EpochCommand, PeerMsg, Report, Round, WorkerEpochStats};
-use brace_common::ids::AgentIdGen;
 use brace_common::{AgentId, DetRng, FieldId, Welford, WorkerId};
-use brace_core::executor::{query_phase_sharded, update_phase_prefix, MaintainedIndex, TickScratch};
+use brace_core::executor::{query_phase_sharded, update_phase_prefix, MaintainedIndex, PendingSpawn, TickScratch};
 use brace_core::{Agent, AgentPool, Behavior};
 use brace_spatial::{GridPartitioning, IndexKind, Partitioner};
 use bytes::Bytes;
@@ -324,9 +323,12 @@ pub struct Worker {
     /// sharded executor phases.
     scratch: TickScratch,
     tick: u64,
-    /// Next / end of this worker's private agent-id block (for spawns).
+    /// Next spawn id of the **global** cross-worker counter. Every worker
+    /// advances it identically each tick (the spawn sequencing round ships
+    /// per-parent counts), so spawn ids are a pure function of the world —
+    /// `(parent id, ordinal)` order — and any worker's snapshot carries the
+    /// authoritative cursor.
     next_id: u64,
-    end_id: u64,
     /// Worker-level RNG (reserved for runtime-level randomness; agent
     /// streams come from the seed directly). Checkpointed for completeness.
     rng: DetRng,
@@ -343,7 +345,9 @@ pub struct Worker {
     dest_replicas: Vec<Vec<u32>>,
     removals: Vec<u32>,
     killed: Vec<u32>,
-    spawned: Vec<Agent>,
+    spawned: Vec<PendingSpawn>,
+    spawn_runs: Vec<(AgentId, u32)>,
+    merged_runs: Vec<(AgentId, u32, bool)>,
     delta_values: Vec<f64>,
     kept_rows: Vec<u32>,
 }
@@ -356,7 +360,7 @@ impl Worker {
         links: WorkerLinks,
         part: GridPartitioning,
         owned: Vec<Agent>,
-        id_block: (u64, u64),
+        next_spawn_id: u64,
     ) -> Self {
         let schema = behavior.schema();
         // The facade (`ClusterSim::new`) rejects over-wide schemas with a
@@ -389,8 +393,7 @@ impl Worker {
             index,
             scratch: TickScratch::new(),
             tick: 0,
-            next_id: id_block.0,
-            end_id: id_block.1,
+            next_id: next_spawn_id,
             rng,
             stash: Vec::new(),
             pool_rebuilds: 0,
@@ -402,6 +405,8 @@ impl Worker {
             removals: Vec::new(),
             killed: Vec::new(),
             spawned: Vec::new(),
+            spawn_runs: Vec::new(),
+            merged_runs: Vec::new(),
             delta_values: Vec::new(),
             kept_rows: Vec::new(),
         };
@@ -842,31 +847,92 @@ impl Worker {
 
         // ---- update (next tick's map side) over the owned prefix only;
         // the replica tail stays resident for the next distribute ----------
-        let mut gen = AgentIdGen::block(self.next_id, self.end_id);
         update_phase_prefix(
             &behavior,
             &mut self.pool,
             n_owned,
             self.tick,
             self.cfg.seed,
-            &mut gen,
             &mut self.scratch,
             self.cfg.parallelism,
             &mut self.killed,
             &mut self.spawned,
         );
-        self.next_id = self.end_id - gen.remaining();
-        // Kills, descending so pending rows stay valid; then spawns.
+
+        // ---- spawn sequencing round: global (parent id, ordinal) ids ------
+        // Pending spawns sort by parent (stable, so each parent's spawn-call
+        // order survives; worker pool rows are swap-churned, unlike the
+        // id-ordered single-node pool). Parents are globally unique, so
+        // merging every worker's ascending per-parent count runs yields one
+        // total order — the same order a single node produces — and each
+        // worker ranks its own spawns inside it. All workers advance the
+        // shared `next_id` cursor by the tick's global spawn total.
+        self.spawned.sort_by_key(|s| s.parent);
+        self.spawn_runs.clear();
+        for s in &self.spawned {
+            match self.spawn_runs.last_mut() {
+                Some((p, c)) if *p == s.parent => *c += 1,
+                _ => self.spawn_runs.push((s.parent, 1)),
+            }
+        }
+        if n > 1 {
+            let runs = codec::encode_spawn_runs(&self.spawn_runs);
+            for j in 0..n {
+                if j == me {
+                    continue;
+                }
+                if !runs.is_empty() {
+                    self.links.ledger.record(Traffic::Spawns, runs.len());
+                }
+                self.links.peers[j]
+                    .send(PeerMsg::Spawns { tick: self.tick, from: self.cfg.id, runs: runs.clone() })
+                    .expect("peer inbox closed");
+            }
+        }
+
+        // Kills, descending so pending rows stay valid (before inserts, as
+        // on a single node: retain_alive precedes spawn appends).
         let killed = std::mem::take(&mut self.killed);
         for &r in killed.iter().rev() {
             self.remove_owned_row(r);
         }
         self.killed = killed;
-        let spawned = std::mem::take(&mut self.spawned);
-        for a in &spawned {
-            self.insert_owned(a);
+
+        // Merge the peers' runs with ours and insert our spawns at their
+        // global ranks.
+        let mut merged = std::mem::take(&mut self.merged_runs);
+        merged.clear();
+        merged.extend(self.spawn_runs.iter().map(|&(p, c)| (p, c, true)));
+        if n > 1 {
+            for msg in self.recv_round(Round::Spawns) {
+                if let PeerMsg::Spawns { runs, .. } = msg {
+                    merged.extend(codec::decode_spawn_runs(runs).into_iter().map(|(p, c)| (p, c, false)));
+                } else {
+                    unreachable!("recv_round filtered by round");
+                }
+            }
+            merged.sort_unstable_by_key(|&(p, _, _)| p);
+        }
+        let mut spawned = std::mem::take(&mut self.spawned);
+        {
+            let mut mine = spawned.drain(..);
+            for &(parent, count, is_mine) in &merged {
+                if is_mine {
+                    for _ in 0..count {
+                        let s = mine.next().expect("run/pending shape mismatch");
+                        debug_assert_eq!(s.parent, parent);
+                        let a = Agent::with_state(AgentId::new(self.next_id), s.pos, s.state, schema);
+                        self.insert_owned(&a);
+                        self.next_id += 1;
+                    }
+                } else {
+                    self.next_id += count as u64;
+                }
+            }
+            debug_assert!(mine.next().is_none(), "pending spawns left unsequenced");
         }
         self.spawned = spawned;
+        self.merged_runs = merged;
         self.pool.reset_effects();
         self.tick += 1;
     }
@@ -1019,7 +1085,7 @@ mod tests {
             distribution: DistributionMode::default(),
         };
         let part = GridPartitioning::columns(0.0, 100.0, 1);
-        Worker::new(Arc::new(Drift::new()), cfg, links, part, agents, (1 << 32, 1 << 33))
+        Worker::new(Arc::new(Drift::new()), cfg, links, part, agents, 1 << 32)
     }
 
     fn single_worker(agents: Vec<Agent>) -> Worker {

@@ -9,16 +9,15 @@
 //!
 //! Conformance configurations: the registry suite requires every
 //! scenario's [`Scenario::conformance`] setup to be **exactly
-//! distributable** (cluster ≡ single-node, bitwise). Local-effect and
-//! integer-⊕ scenarios just shrink; the two that use approximate paths by
-//! default substitute the equivalent exact form and say so:
+//! distributable** (cluster ≡ single-node, bitwise). Spawning is exactly
+//! distributable since the runtime started assigning spawn ids in global
+//! `(parent id, ordinal)` order, so scenarios that create agents mid-run
+//! (traffic's wrapping respawns, the predator's births) just shrink like
+//! everyone else. The one remaining substitution:
 //!
-//! * `traffic` — a wrap-free configuration (no vehicle reaches the segment
-//!   end within the horizon), because respawned vehicles draw ids from
-//!   per-worker blocks;
-//! * `predator` — the hand-inverted local form with spawning disabled,
+//! * `predator` — the hand-inverted local form (`nonlocal: false`),
 //!   because bite damages are float sums whose cross-partition ⊕ order is
-//!   not associative, and spawn ids are per-worker again.
+//!   not associative. Spawning stays **on** at its default rate.
 //!
 //! Index choice interacts with exact distributability: the executor skips
 //! its candidate sort for canonical indexes on id-ordered pools, and the
@@ -166,20 +165,11 @@ impl Scenario for Traffic {
         })
     }
     fn conformance(&self, seed: u64) -> Result<ScenarioSetup> {
-        // Wrap-free: no vehicle can reach the downstream end within the
-        // conformance horizon, so no respawn draws from per-worker id
-        // blocks (the documented intentional divergence) and cluster ≡
-        // single-node holds bit-exactly.
-        let params = TrafficParams { segment: 10_000.0, lanes: 3, density: 0.01, ..TrafficParams::default() };
-        let behavior = TrafficBehavior::new(params);
-        let population: Vec<Agent> = behavior.population(seed).into_iter().filter(|a| a.pos.x < 6_000.0).collect();
-        Ok(ScenarioSetup {
-            behavior: Arc::new(behavior),
-            population,
-            index: IndexKind::Grid,
-            epoch_len: EPOCH_LEN,
-            space_x: (0.0, 10_000.0),
-        })
+        // The full default form, shrunk. Vehicles that wrap past the
+        // segment end respawn via `ctx.spawn`, and spawn ids now come from
+        // the global `(parent id, ordinal)` order — identical on every
+        // backend — so the wrapping path is part of what conformance pins.
+        self.build(Some(CONFORMANCE_POPULATION), seed)
     }
     fn check(&self, world: &[Agent]) -> Result<()> {
         no_nan(world)?;
@@ -230,16 +220,13 @@ impl Scenario for Predator {
     fn conformance(&self, seed: u64) -> Result<ScenarioSetup> {
         // Exactly distributable form: victims *pull* hurt (the
         // hand-inverted local assignment, so no cross-partition float ⊕
-        // re-association) and spawning is off (spawn ids come from
-        // per-worker blocks). Deaths, movement and the whole query/update
-        // machinery still run.
+        // re-association). Spawning runs at its default rate — spawn ids
+        // are globally ordered by `(parent id, ordinal)`, so births,
+        // deaths, movement and the whole query/update machinery are all
+        // under the bit-identity contract.
         let n = CONFORMANCE_POPULATION;
         let side = Self::side(n);
-        let behavior = PredatorBehavior::new(PredatorParams {
-            nonlocal: false,
-            spawn_probability: 0.0,
-            ..PredatorParams::default()
-        });
+        let behavior = PredatorBehavior::new(PredatorParams { nonlocal: false, ..PredatorParams::default() });
         let population = behavior.population(n, side, seed);
         Ok(ScenarioSetup {
             behavior: Arc::new(behavior),

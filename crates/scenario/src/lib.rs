@@ -20,6 +20,10 @@
 //!   progress through [`Observer`] hooks, collect the world and its
 //!   [`world_checksum`]. One facade, both engines, no per-backend call
 //!   sites.
+//! * [`DurableRunner`] — the same registry surface promoted to crash-safe
+//!   *jobs*: start a run under a run directory (write-ahead manifest +
+//!   fsynced checkpoints), resume it bit-identically after a process
+//!   restart (`brace run --resume <run-id>`), and list what is on disk.
 //!
 //! The load-bearing invariant — enforced by the registry-driven conformance
 //! suite in `tests/scenario_conformance.rs` — is that every registered
@@ -30,9 +34,11 @@
 //! proof, all without touching any of those call sites.
 
 pub mod builtin;
+pub mod durable;
 pub mod runner;
 
 pub use builtin::CONFORMANCE_POPULATION;
+pub use durable::{DurableOpts, DurableReport, DurableRunner, RunSummary};
 pub use runner::{Backend, Observer, Progress, RunReport, Runner, SimHandle};
 
 use brace_common::{BraceError, Result};
@@ -80,13 +86,14 @@ pub trait Scenario: Send + Sync {
 
     /// A reduced configuration for the registry conformance suite, sized
     /// for CI and **exactly distributable**: a cluster run of this setup
-    /// must be bit-identical to a single-node run. Scenarios whose default
-    /// form is only approximately distributable (spawns draw ids from
-    /// per-worker blocks; non-local float ⊕-aggregates re-associate across
-    /// partitions) override this with a variant that avoids those paths —
-    /// e.g. the predator's hand-inverted, spawn-free form — so the
-    /// conformance suite still pins the runtime contract for their whole
-    /// query/update machinery.
+    /// must be bit-identical to a single-node run. Spawning is covered by
+    /// that contract (spawn ids are assigned in global `(parent id,
+    /// ordinal)` order on every backend); the one path that still is not
+    /// is non-local float ⊕-aggregation, whose cross-partition summation
+    /// order re-associates. Scenarios that use it by default override this
+    /// with the equivalent exact form — e.g. the predator's hand-inverted
+    /// local assignment — so the conformance suite still pins the runtime
+    /// contract for their whole query/update/spawn machinery.
     fn conformance(&self, seed: u64) -> Result<ScenarioSetup> {
         self.build(Some(CONFORMANCE_POPULATION), seed)
     }

@@ -12,8 +12,9 @@
 //!
 //! Determinism contract: for a fixed scenario, seed and population, every
 //! backend — any `parallelism`, any worker count — produces the same world
-//! up to the documented approximations (spawn ids from per-worker blocks,
-//! non-local float ⊕ re-association). For a scenario's
+//! up to the one documented approximation (non-local float ⊕
+//! re-association; spawn ids are globally ordered and exact). For a
+//! scenario's
 //! [`conformance`](crate::Scenario::conformance) configuration the
 //! equivalence is **bit-exact**, which `tests/scenario_conformance.rs`
 //! enforces for every registry entry.
@@ -35,6 +36,9 @@ pub const DEFAULT_SEED: u64 = 42;
 /// length) come from the scenario and the [`Runner`], so switching backend
 /// can never silently switch workloads.
 #[derive(Debug, Clone)]
+// A handful of these exist per process (they are launch configuration, not
+// bulk data), so the size gap between the variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
 pub enum Backend {
     /// The in-process sharded executor.
     SingleNode {

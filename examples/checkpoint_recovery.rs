@@ -38,7 +38,7 @@ fn main() {
     println!("  done: {} fish, {} checkpoints taken", clean_world.len(), clean.stats().checkpoints);
 
     println!("\nfaulty run: identical, but all live worker state is lost during epoch 5…");
-    let cfg = ClusterConfig { fault: Some(FaultPlan { at_epoch: 5 }), ..base };
+    let cfg = ClusterConfig { fault: Some(FaultPlan::once(5)), ..base };
     let mut faulty = ClusterSim::new(Arc::new(make()), pop, cfg).expect("cluster");
     faulty.run_epochs(10).expect("runs (with recovery)");
     let stats = faulty.stats();

@@ -5,6 +5,10 @@
 //! brace run --scenario <name|all> [--backend single|cluster[:N]|both]
 //!           [--ticks T] [--agents N] [--seed S] [--index kdtree|grid|scan]
 //!           [--conformance] [--progress]
+//! brace run --scenario <name> --run-dir DIR [--run-id ID] [--backend cluster[:N]]
+//!           [--checkpoint-every E] [--keep-checkpoints K] [--epoch-sleep-ms MS] ...
+//! brace run --run-dir DIR --resume <run-id> [--epoch-sleep-ms MS]
+//! brace list-runs --run-dir DIR
 //! ```
 //!
 //! `run` drives every named scenario through the backend-erased
@@ -15,16 +19,29 @@
 //! works on one backend can never merge. Checksums printed here are
 //! [`brace_scenario::world_checksum`] values — directly comparable with the
 //! golden-tick and conformance suites.
+//!
+//! With `--run-dir`, `run` becomes a **durable job** through
+//! [`DurableRunner`](brace_scenario::DurableRunner): the run lives in
+//! `DIR/<run-id>/` behind a crash-safe write-ahead manifest and fsynced
+//! checkpoints, and `--resume <run-id>` finishes an interrupted run in a
+//! fresh process, bit-identically to never having crashed. `list-runs`
+//! summarizes what a run directory holds.
 
-use brace_scenario::{Backend, Observer, Progress, Registry, Runner};
+use brace_scenario::runner::DEFAULT_SEED;
+use brace_scenario::{Backend, DurableOpts, DurableRunner, Observer, Progress, Registry, Runner};
 use brace_spatial::IndexKind;
+use std::path::PathBuf;
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: brace list\n\
          \x20      brace run --scenario <name|all> [--backend single|cluster[:N]|both] [--ticks T]\n\
-         \x20            [--agents N] [--seed S] [--index kdtree|grid|scan] [--conformance] [--progress]"
+         \x20            [--agents N] [--seed S] [--index kdtree|grid|scan] [--conformance] [--progress]\n\
+         \x20            [--run-dir DIR [--run-id ID] [--checkpoint-every E] [--keep-checkpoints K]\n\
+         \x20            [--epoch-sleep-ms MS]]\n\
+         \x20      brace run --run-dir DIR --resume <run-id> [--epoch-sleep-ms MS]\n\
+         \x20      brace list-runs --run-dir DIR"
     );
     std::process::exit(2);
 }
@@ -38,6 +55,12 @@ struct RunOpts {
     index: Option<IndexKind>,
     conformance: bool,
     progress: bool,
+    run_dir: Option<PathBuf>,
+    run_id: Option<String>,
+    resume: Option<String>,
+    checkpoint_every: u64,
+    keep_checkpoints: usize,
+    epoch_sleep_ms: u64,
 }
 
 fn parse_index(s: &str) -> Option<IndexKind> {
@@ -59,6 +82,12 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         index: None,
         conformance: false,
         progress: false,
+        run_dir: None,
+        run_id: None,
+        resume: None,
+        checkpoint_every: 1,
+        keep_checkpoints: 4,
+        epoch_sleep_ms: 0,
     };
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, what: &str| -> String {
@@ -92,11 +121,33 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
             }
             "--conformance" => opts.conformance = true,
             "--progress" => opts.progress = true,
+            "--run-dir" => opts.run_dir = Some(PathBuf::from(take(args, &mut i, "--run-dir"))),
+            "--run-id" => opts.run_id = Some(take(args, &mut i, "--run-id")),
+            "--resume" => opts.resume = Some(take(args, &mut i, "--resume")),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = take(args, &mut i, "--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--checkpoint-every: {e}")))
+            }
+            "--keep-checkpoints" => {
+                opts.keep_checkpoints = take(args, &mut i, "--keep-checkpoints")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--keep-checkpoints: {e}")))
+            }
+            "--epoch-sleep-ms" => {
+                opts.epoch_sleep_ms = take(args, &mut i, "--epoch-sleep-ms")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--epoch-sleep-ms: {e}")))
+            }
             other => die(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
-    if opts.scenario.is_empty() {
+    if opts.resume.is_some() {
+        if opts.run_dir.is_none() {
+            die("--resume needs --run-dir (the root the run lives under)");
+        }
+    } else if opts.scenario.is_empty() {
         die("--scenario is required (or `brace list` to see what exists)");
     }
     opts
@@ -121,7 +172,15 @@ fn main() {
                 println!("  {:<16} {:>6} agents  {}", s.name(), s.default_population(), s.description());
             }
         }
-        Some("run") => run(&parse_run_opts(&args[1..])),
+        Some("run") => {
+            let opts = parse_run_opts(&args[1..]);
+            if opts.run_dir.is_some() {
+                run_durable(&opts);
+            } else {
+                run(&opts);
+            }
+        }
+        Some("list-runs") => list_runs(&args[1..]),
         Some("-h") | Some("--help") | None => die("expected a subcommand"),
         Some(other) => die(&format!("unknown subcommand `{other}`")),
     }
@@ -177,5 +236,94 @@ fn run(opts: &RunOpts) {
     if failures > 0 {
         eprintln!("{failures} run(s) failed");
         std::process::exit(1);
+    }
+}
+
+/// The durable path: `--run-dir` starts a crash-safe job, `--resume`
+/// finishes one.
+fn run_durable(opts: &RunOpts) {
+    let registry = Registry::builtin();
+    let root = opts.run_dir.clone().expect("caller checked --run-dir");
+    let runner = DurableRunner::new(&registry, &root);
+    let result = if let Some(run_id) = &opts.resume {
+        runner.resume(run_id, opts.epoch_sleep_ms)
+    } else {
+        let workers = match opts.backends.as_slice() {
+            [Backend::Cluster(cfg)] => cfg.workers,
+            _ => die("durable runs execute on the cluster backend; pass --backend cluster[:N]"),
+        };
+        if opts.scenario == "all" {
+            die("durable runs take one scenario per run id, not `all`");
+        }
+        runner.start(&DurableOpts {
+            scenario: opts.scenario.clone(),
+            run_id: opts.run_id.clone(),
+            size: opts.agents,
+            conformance: opts.conformance,
+            seed: opts.seed.unwrap_or(DEFAULT_SEED),
+            workers,
+            ticks: opts.ticks,
+            checkpoint_every: opts.checkpoint_every,
+            keep_checkpoints: opts.keep_checkpoints,
+            epoch_sleep_ms: opts.epoch_sleep_ms,
+        })
+    };
+    match result {
+        Ok(report) => {
+            let how = if report.resumed_from > 0 { format!("resumed@{}", report.resumed_from) } else { "run".into() };
+            println!(
+                "{:<16} {:<12} {:>6} ticks  {:>7} agents  checksum {:#018X}  run-id {}",
+                report.scenario, how, report.ticks, report.agents, report.checksum, report.run_id
+            );
+            if report.stats.dead_letters > 0 {
+                eprintln!(
+                    "  degraded: {} partition(s) dead-lettered, {} agents lost",
+                    report.stats.dead_letters, report.stats.agents_lost
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("durable run FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn list_runs(args: &[String]) {
+    let mut root = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--run-dir" => {
+                i += 1;
+                root = args.get(i).map(PathBuf::from);
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let root = root.unwrap_or_else(|| die("list-runs needs --run-dir DIR"));
+    let registry = Registry::builtin();
+    let runs = DurableRunner::new(&registry, &root).list();
+    if runs.is_empty() {
+        println!("no runs under {}", root.display());
+        return;
+    }
+    println!("{} run(s) under {}:", runs.len(), root.display());
+    for r in runs {
+        let status = match r.complete {
+            Some((ticks, checksum)) => format!("complete @ {ticks} ticks, checksum {checksum:#018X}"),
+            None => format!("in progress ({}/{} ticks durable)", r.completed_ticks, r.total_ticks),
+        };
+        let marks = match (r.dead_letters, r.truncated) {
+            (0, false) => String::new(),
+            (d, t) => format!(
+                "  [{}{}{}]",
+                if d > 0 { format!("{d} dead-lettered") } else { String::new() },
+                if d > 0 && t { ", " } else { "" },
+                if t { "torn tail" } else { "" }
+            ),
+        };
+        println!("  {:<24} {:>2} workers  {}{}  ({})", r.run_id, r.workers, status, marks, r.job);
     }
 }

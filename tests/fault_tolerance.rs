@@ -1,5 +1,8 @@
-//! Fault tolerance end-to-end: coordinated checkpoints, failure injection,
-//! recovery by replay — on the paper's real models.
+//! Fault tolerance end-to-end: coordinated checkpoints, failure injection
+//! (single, scheduled, and seeded-random schedules), recovery by replay —
+//! on the paper's real models. Worker-level retry/backoff, dead-letter
+//! degradation and elastic membership are covered by the cluster unit
+//! suite; process-restart resume by `tests/durable_resume.rs`.
 
 use brace_mapreduce::{CheckpointStore, ClusterConfig, ClusterSim, FaultPlan};
 use brace_models::{FishBehavior, FishParams, PredatorBehavior, PredatorParams};
@@ -27,7 +30,7 @@ fn recovery_reproduces_failure_free_fish_run() {
 
     // Fault in an epoch that did NOT write a checkpoint (epoch 4 writes at
     // (4+1)%2!=0 → no; epochs 1,3,5,7 write). Epoch 4 loses one epoch.
-    let cfg = ClusterConfig { fault: Some(FaultPlan { at_epoch: 4 }), ..base.clone() };
+    let cfg = ClusterConfig { fault: Some(FaultPlan::once(4)), ..base.clone() };
     let mut faulty = ClusterSim::new(Arc::new(fish()), pop.clone(), cfg).unwrap();
     faulty.run_epochs(8).unwrap();
     assert_eq!(faulty.stats().recoveries, 1);
@@ -35,7 +38,7 @@ fn recovery_reproduces_failure_free_fish_run() {
 
     // Fault in an epoch that DID write a checkpoint: that snapshot is lost
     // too, recovery rolls back further and replays more.
-    let cfg = ClusterConfig { fault: Some(FaultPlan { at_epoch: 5 }), ..base };
+    let cfg = ClusterConfig { fault: Some(FaultPlan::once(5)), ..base };
     let mut faulty2 = ClusterSim::new(Arc::new(fish()), pop, cfg).unwrap();
     faulty2.run_epochs(8).unwrap();
     assert_eq!(faulty2.stats().recoveries, 1);
@@ -45,8 +48,9 @@ fn recovery_reproduces_failure_free_fish_run() {
 
 #[test]
 fn recovery_with_spawning_model_is_exact() {
-    // Spawns allocate from per-worker id blocks; the snapshot carries the
-    // next-id cursor, so replayed spawns get identical ids.
+    // Spawn ids are assigned in global `(parent id, ordinal)` order; the
+    // snapshot carries the global next-id cursor, so replayed spawns get
+    // identical ids.
     let params = PredatorParams { nonlocal: true, ..Default::default() };
     let make = || PredatorBehavior::new(params.clone());
     let pop = make().population(120, 16.0, 23);
@@ -63,7 +67,7 @@ fn recovery_with_spawning_model_is_exact() {
     clean.run_epochs(6).unwrap();
     let clean_world = clean.collect_agents().unwrap();
 
-    let cfg = ClusterConfig { fault: Some(FaultPlan { at_epoch: 4 }), ..base };
+    let cfg = ClusterConfig { fault: Some(FaultPlan::once(4)), ..base };
     let mut faulty = ClusterSim::new(Arc::new(make()), pop, cfg).unwrap();
     faulty.run_epochs(6).unwrap();
     assert_eq!(faulty.collect_agents().unwrap(), clean_world);
@@ -81,7 +85,7 @@ fn fault_before_any_periodic_checkpoint_uses_initial_snapshot() {
         space_x: (-12.0, 12.0),
         load_balance: false,
         checkpoint_every: None, // only the initial checkpoint exists
-        fault: Some(FaultPlan { at_epoch: 1 }),
+        fault: Some(FaultPlan::once(1)),
         ..ClusterConfig::default()
     };
     let mut sim = ClusterSim::new(Arc::new(fish()), pop.clone(), cfg).unwrap();
@@ -127,6 +131,45 @@ fn checkpoints_persist_to_disk_and_reload() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+mod random_fault_schedules {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Seeded random fault schedules: any number of whole-cluster
+        /// failures at arbitrary (seeded) epochs — before, on, or after
+        /// checkpoint boundaries, including back-to-back — recover to the
+        /// bits of the failure-free run, with one recovery per fault.
+        #[test]
+        fn seeded_random_fault_schedule_recovers_exactly(fault_seed in 0u64..1_000, n_faults in 1usize..4) {
+            let pop = fish().population(90, 41);
+            let base = ClusterConfig {
+                workers: 3,
+                epoch_len: 5,
+                seed: 41,
+                space_x: (-12.0, 12.0),
+                load_balance: false,
+                checkpoint_every: Some(2),
+                ..ClusterConfig::default()
+            };
+            let mut clean = ClusterSim::new(Arc::new(fish()), pop.clone(), base.clone()).unwrap();
+            clean.run_epochs(8).unwrap();
+            let clean_world = clean.collect_agents().unwrap();
+
+            let plan = FaultPlan::random(fault_seed, n_faults, 8);
+            let scheduled = plan.at_epochs.len() as u64; // deduped, so ≤ n_faults
+            prop_assert!(scheduled >= 1);
+            let cfg = ClusterConfig { fault: Some(plan), ..base };
+            let mut faulty = ClusterSim::new(Arc::new(fish()), pop, cfg).unwrap();
+            faulty.run_epochs(8).unwrap();
+            prop_assert_eq!(faulty.stats().recoveries, scheduled);
+            prop_assert_eq!(faulty.collect_agents().unwrap(), clean_world);
+        }
+    }
+}
+
 #[test]
 fn recovery_cost_is_bounded_by_checkpoint_cadence() {
     // With checkpoints every k epochs, a replay never exceeds k epochs.
@@ -139,7 +182,7 @@ fn recovery_cost_is_bounded_by_checkpoint_cadence() {
             space_x: (-12.0, 12.0),
             load_balance: false,
             checkpoint_every: Some(every),
-            fault: Some(FaultPlan { at_epoch }),
+            fault: Some(FaultPlan::once(at_epoch)),
             ..ClusterConfig::default()
         };
         let mut sim = ClusterSim::new(Arc::new(fish()), pop, cfg).unwrap();

@@ -83,10 +83,11 @@ fn golden_predator_100_ticks() {
 // mid-run, delta distribution shipping replicas as masked frames — produces
 // **the same bits** as the single-node executor. The fish test reuses the
 // single-node constant above verbatim; traffic pins a fresh constant for a
-// wrap-free configuration (respawns draw ids from per-worker blocks, which
-// is a documented, intentional divergence — so the golden config avoids
-// them). The fault-recovery test replays through a checkpoint restore and
-// must land on the identical checksum.
+// wrap-free configuration (it predates globally-ordered spawn ids and
+// stays pinned as a second trajectory; the *wrapping* respawn path is now
+// exactly distributable too, which `tests/scenario_conformance.rs` proves
+// on traffic's default form). The fault-recovery test replays through a
+// checkpoint restore and must land on the identical checksum.
 
 /// Run a 4-worker, load-balanced, delta-distributed cluster and checksum
 /// the collected world (sorted by id — which is also the single-node
@@ -131,7 +132,7 @@ fn golden_fish_cluster_fault_recovery_matches_single_node_constant() {
     // still land on the single-node constant.
     let b = FishBehavior::new(FishParams::default());
     let pop = b.population(300, SEED);
-    let got = cluster_checksum(b, pop, (-20.0, 20.0), Some(FaultPlan { at_epoch: 10 }));
+    let got = cluster_checksum(b, pop, (-20.0, 20.0), Some(FaultPlan::once(10)));
     assert_eq!(
         got, 0x7FCC_939F_AE16_A057,
         "fault-recovery fish cluster drifted from the single-node golden world (got {got:#06X})"
@@ -139,8 +140,8 @@ fn golden_fish_cluster_fault_recovery_matches_single_node_constant() {
 }
 
 /// Traffic config whose vehicles cannot reach the segment end within the
-/// horizon (max_speed × dt × TICKS = 3600 < 10000 − 6000), so no respawns
-/// draw from worker id blocks and cluster ≡ single-node holds bit-exactly.
+/// horizon (max_speed × dt × TICKS = 3600 < 10000 − 6000) — a spawn-free
+/// trajectory, kept pinned alongside the spawning conformance coverage.
 fn wrap_free_traffic() -> (TrafficBehavior, Vec<Agent>) {
     let b =
         TrafficBehavior::new(TrafficParams { segment: 10_000.0, lanes: 3, density: 0.01, ..TrafficParams::default() });

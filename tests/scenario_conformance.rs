@@ -70,6 +70,33 @@ fn worker_count_is_unobservable_for_new_scenarios() {
     }
 }
 
+/// The spawn machinery is under the bit-identity contract too: the two
+/// scenarios that create agents mid-run — traffic's wrapping respawns and
+/// the predator's births — run their **default forms** in conformance
+/// (spawn ids are assigned in global `(parent id, ordinal)` order on every
+/// backend), and the runs must genuinely exercise mid-run spawning: a
+/// world with no id above the initial population would be vacuous proof.
+#[test]
+fn spawning_scenarios_conform_with_their_default_forms() {
+    let registry = Registry::builtin();
+    for name in ["traffic", "predator"] {
+        let scenario = registry.get(name).unwrap();
+        let initial_max = scenario.conformance(SEED).unwrap().population.iter().map(|a| a.id.raw()).max().unwrap();
+        let single = run(scenario, Backend::single());
+        assert!(
+            single.world.iter().any(|a| a.id.raw() > initial_max),
+            "scenario `{name}` conformance run spawned nothing — the spawn path is untested"
+        );
+        for workers in [2, 3] {
+            let cluster = run(scenario, Backend::cluster(workers));
+            assert_eq!(
+                single.checksum, cluster.checksum,
+                "scenario `{name}`: {workers}-worker cluster diverged from single node on the spawning default form"
+            );
+        }
+    }
+}
+
 // ---- golden conformance checksums for the registry-era scenarios ---------
 //
 // The absolute bits of the two new workloads, pinned across builds at the
