@@ -129,6 +129,9 @@ fn run_tick_throughput(args: &[String]) {
                 cfg.scenario_agents =
                     take(&mut i).parse().unwrap_or_else(|_| die("--scenario-agents takes a number (0 skips)"));
             }
+            "--opt-agents" => {
+                cfg.opt_agents = take(&mut i).parse().unwrap_or_else(|_| die("--opt-agents takes a number (0 skips)"));
+            }
             other => die(&format!("unknown tick-throughput flag `{other}`")),
         }
         i += 1;
@@ -167,6 +170,22 @@ fn run_tick_throughput(args: &[String]) {
             assert!(
                 report.scenarios.iter().any(|s| s.scenario == name),
                 "scenario-throughput section lost the `{name}` row"
+            );
+        }
+    }
+    // The optimizer A/B section must cover every brasil-* scenario, and
+    // the twins must have actually run (zero visits would mean a vacuous
+    // comparison) — the CI smoke run (`--quick`) pins both.
+    if cfg.opt_agents > 0 {
+        for name in brace_scenario::Registry::builtin().names().iter().filter(|n| n.starts_with("brasil-")) {
+            let row = report
+                .opt
+                .iter()
+                .find(|o| o.scenario == **name)
+                .unwrap_or_else(|| panic!("optimizer A/B section lost the `{name}` row"));
+            assert!(
+                row.opt_neighbor_visits > 0 && row.unopt_neighbor_visits > 0,
+                "optimizer A/B row `{name}` measured no neighbor visits: {row:?}"
             );
         }
     }
@@ -239,6 +258,33 @@ fn run_tick_throughput(args: &[String]) {
                     s.actual_agents.to_string(),
                     tput(s.query_agents_per_sec),
                     tput(s.tick_agents_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "BRASIL optimizer A/B — registered (optimized) scenario vs unoptimized twin",
+        &[
+            "scenario",
+            "agents",
+            "opt query [a/s]",
+            "unopt query [a/s]",
+            "opt speedup",
+            "tick speedup",
+            "cand. reduction",
+        ],
+        &report
+            .opt
+            .iter()
+            .map(|o| {
+                vec![
+                    o.scenario.clone(),
+                    o.actual_agents.to_string(),
+                    tput(o.opt_query_agents_per_sec),
+                    tput(o.unopt_query_agents_per_sec),
+                    format!("{:.2}x", o.opt_speedup),
+                    format!("{:.2}x", o.opt_tick_speedup),
+                    format!("{:.2}x", o.candidate_reduction),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -15,7 +15,7 @@ use brace_core::executor::reference_step;
 use brace_core::{Agent, Behavior, IndexMaintenance, QueryKernel, TickExecutor};
 use brace_mapreduce::{ClusterConfig, ClusterSim, DistributionMode};
 use brace_models::{FishBehavior, FishParams, TrafficBehavior, TrafficParams};
-use brace_scenario::{Registry, Runner};
+use brace_scenario::{brasil_unoptimized, Registry, Runner};
 use brace_spatial::IndexKind;
 use std::sync::Arc;
 
@@ -90,6 +90,10 @@ pub struct ThroughputConfig {
     /// comparable row per registered scenario — including the interpreted
     /// BRASIL workloads — not a deep sweep.
     pub scenario_agents: usize,
+    /// Population size for the BRASIL optimizer A/B section (`0` skips
+    /// it): every `brasil-*` scenario, optimized pipeline vs its
+    /// unoptimized twin, same population and seed.
+    pub opt_agents: usize,
 }
 
 impl Default for ThroughputConfig {
@@ -103,6 +107,7 @@ impl Default for ThroughputConfig {
             cluster_agents: 20_000,
             cluster_workers: vec![1, 2, 4],
             scenario_agents: 5_000,
+            opt_agents: 100_000,
         }
     }
 }
@@ -120,6 +125,7 @@ impl ThroughputConfig {
             cluster_agents: 2_000,
             cluster_workers: vec![1, 2, 4],
             scenario_agents: 500,
+            opt_agents: 500,
         }
     }
 }
@@ -188,6 +194,39 @@ pub struct ScenarioRow {
     pub tick_agents_per_sec: f64,
 }
 
+/// One BRASIL optimizer A/B configuration: the registered (optimized)
+/// scenario against its [`brasil_unoptimized`] twin — same population,
+/// seed, index and horizon, serial single node, batched kernel. The two
+/// runs are bit-identical by contract (`tests/opt_equivalence.rs`), so
+/// every delta here is pure optimizer effect: the probe-rect pushdown
+/// shows up as `candidate_reduction`, CSE + lane emission as
+/// `opt_speedup`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptRow {
+    /// Registry name (`brasil-*`).
+    pub scenario: String,
+    pub index: IndexKind,
+    pub actual_agents: usize,
+    /// Measured (post-warmup) ticks.
+    pub ticks: u64,
+    pub opt_query_agents_per_sec: f64,
+    pub opt_tick_agents_per_sec: f64,
+    pub unopt_query_agents_per_sec: f64,
+    pub unopt_tick_agents_per_sec: f64,
+    /// Candidates the query phase visited over the measured ticks.
+    pub opt_neighbor_visits: u64,
+    pub unopt_neighbor_visits: u64,
+    /// Optimized over unoptimized, query-phase throughput (the phase the
+    /// optimizer changes — same basis as `kernel_speedup`).
+    pub opt_speedup: f64,
+    /// Optimized over unoptimized, whole-tick throughput.
+    pub opt_tick_speedup: f64,
+    /// Unoptimized over optimized neighbor visits: > 1 when
+    /// visibility-predicate pushdown shrinks the probe rect, 1.0 when the
+    /// scenario has no pushable predicate.
+    pub candidate_reduction: f64,
+}
+
 /// The full measurement matrix plus derived speedups.
 #[derive(Debug, Clone, Default)]
 pub struct ThroughputReport {
@@ -197,6 +236,8 @@ pub struct ThroughputReport {
     pub cluster: Vec<ClusterRow>,
     /// The per-scenario registry section (one row per registered scenario).
     pub scenarios: Vec<ScenarioRow>,
+    /// The BRASIL optimizer A/B section (one row per `brasil-*` scenario).
+    pub opt: Vec<OptRow>,
     /// Configurations skipped with the reason (e.g. scan at 100k).
     pub skipped: Vec<String>,
     /// Cores visible to the process when the matrix ran.
@@ -421,6 +462,53 @@ pub fn scenario_throughput(cfg: &ThroughputConfig) -> Vec<ScenarioRow> {
     rows
 }
 
+/// The BRASIL optimizer A/B section: every registered `brasil-*` scenario
+/// at the configured population, optimized vs its unoptimized twin, on the
+/// scenario's default index — serial, batched kernel, same seed, so the
+/// only difference between the paired runs is the pass pipeline.
+pub fn opt_throughput(cfg: &ThroughputConfig) -> Vec<OptRow> {
+    let mut rows = Vec::new();
+    if cfg.opt_agents == 0 {
+        return rows;
+    }
+    let registry = Registry::builtin();
+    for name in registry.names().into_iter().filter(|n| n.starts_with("brasil-")) {
+        let measure = |scenario: &dyn brace_scenario::Scenario| -> (f64, f64, u64) {
+            let setup = scenario
+                .build(Some(cfg.opt_agents), 42)
+                .unwrap_or_else(|e| panic!("scenario `{name}` failed to build: {e}"));
+            let mut exec = TickExecutor::new(setup.behavior, setup.population, setup.index, 42);
+            exec.run(cfg.warmup);
+            exec.reset_metrics();
+            exec.run(cfg.ticks);
+            let m = exec.metrics();
+            let per_sec = |ns: u64| if ns == 0 { 0.0 } else { m.agent_ticks as f64 / (ns as f64 / 1e9) };
+            (per_sec(m.query_ns), per_sec(m.total_ns), m.neighbor_visits)
+        };
+        let optimized = registry.get(name).expect("registered scenario");
+        let twin = brasil_unoptimized(name).expect("every brasil-* scenario has an unoptimized twin");
+        let setup = optimized.build(Some(cfg.opt_agents), 42).expect("setup for row metadata");
+        let (opt_q, opt_t, opt_visits) = measure(optimized);
+        let (unopt_q, unopt_t, unopt_visits) = measure(twin.as_ref());
+        rows.push(OptRow {
+            scenario: name.to_string(),
+            index: setup.index,
+            actual_agents: setup.population.len(),
+            ticks: cfg.ticks,
+            opt_query_agents_per_sec: opt_q,
+            opt_tick_agents_per_sec: opt_t,
+            unopt_query_agents_per_sec: unopt_q,
+            unopt_tick_agents_per_sec: unopt_t,
+            opt_neighbor_visits: opt_visits,
+            unopt_neighbor_visits: unopt_visits,
+            opt_speedup: opt_q / unopt_q.max(1e-9),
+            opt_tick_speedup: opt_t / unopt_t.max(1e-9),
+            candidate_reduction: unopt_visits as f64 / (opt_visits as f64).max(1.0),
+        });
+    }
+    rows
+}
+
 /// Run the measurement matrix over fish + traffic, every population size
 /// and every index kind (scan capped per the config): serial, parallel,
 /// and the two ablation modes.
@@ -496,6 +584,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     }
     report.cluster = cluster_throughput(cfg);
     report.scenarios = scenario_throughput(cfg);
+    report.opt = opt_throughput(cfg);
     report
 }
 
@@ -519,9 +608,13 @@ fn index_name(kind: IndexKind) -> &'static str {
 /// Version 5 added the `scenarios` section: one row per scenario-registry
 /// entry, keyed by registry name (`rows`/`speedups` stay keyed by the same
 /// names for fish and traffic, so v4 comparisons carry over unchanged).
+/// Version 6 added the `opt` section: the BRASIL optimizer A/B — every
+/// `brasil-*` scenario, optimized pipeline vs its unoptimized twin, with
+/// the `opt_speedup` / `opt_tick_speedup` ratios and the
+/// `candidate_reduction` from visibility-predicate pushdown.
 pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 5,\n");
+    out.push_str("  \"schema_version\": 6,\n");
     out.push_str(&format!("  \"cores\": {},\n", report.cores));
     out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
     out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
@@ -603,6 +696,31 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"opt\": [\n");
+    for (i, o) in report.opt.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"index\": \"{}\", \"actual_agents\": {}, \"ticks\": {}, \
+             \"opt_query_agents_per_sec\": {:.1}, \"opt_tick_agents_per_sec\": {:.1}, \
+             \"unopt_query_agents_per_sec\": {:.1}, \"unopt_tick_agents_per_sec\": {:.1}, \
+             \"opt_neighbor_visits\": {}, \"unopt_neighbor_visits\": {}, \
+             \"opt_speedup\": {:.3}, \"opt_tick_speedup\": {:.3}, \"candidate_reduction\": {:.3}}}{}\n",
+            o.scenario,
+            index_name(o.index),
+            o.actual_agents,
+            o.ticks,
+            o.opt_query_agents_per_sec,
+            o.opt_tick_agents_per_sec,
+            o.unopt_query_agents_per_sec,
+            o.unopt_tick_agents_per_sec,
+            o.opt_neighbor_visits,
+            o.unopt_neighbor_visits,
+            o.opt_speedup,
+            o.opt_tick_speedup,
+            o.candidate_reduction,
+            if i + 1 == report.opt.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"skipped\": [\n");
     for (i, s) in report.skipped.iter().enumerate() {
         out.push_str(&format!("    \"{}\"{}\n", s, if i + 1 == report.skipped.len() { "" } else { "," }));
@@ -626,6 +744,7 @@ mod tests {
             cluster_agents: 300,
             cluster_workers: vec![1, 2],
             scenario_agents: 150,
+            opt_agents: 150,
         };
         let report = tick_throughput(&cfg);
         // 1 size × 3 kinds × 2 models × 5 modes.
@@ -651,8 +770,22 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing scenario row `{name}`"));
             assert!(row.tick_agents_per_sec > 0.0, "scenario row {row:?} measured nothing");
         }
+        // Optimizer A/B section: one row per brasil-* scenario, with the
+        // pushdown visible as a real candidate reduction on the car script
+        // (its guard bounds the probe rect to leaders only).
+        assert_eq!(report.opt.len(), 3, "one opt row per brasil-* scenario: {:?}", report.opt);
+        for o in &report.opt {
+            assert!(o.scenario.starts_with("brasil-"), "{o:?}");
+            assert!(o.opt_tick_agents_per_sec > 0.0 && o.unopt_tick_agents_per_sec > 0.0, "{o:?}");
+            assert!(o.opt_neighbor_visits > 0 && o.unopt_neighbor_visits > 0, "{o:?}");
+        }
+        let car = report.opt.iter().find(|o| o.scenario == "brasil-car").expect("car opt row");
+        assert!(car.candidate_reduction > 1.2, "pushdown must shrink the car probe rect: {car:?}");
         let json = to_json(&report, &cfg);
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"opt_speedup\""));
+        assert!(json.contains("\"candidate_reduction\""));
+        assert!(json.contains("\"scenario\": \"brasil-car\""));
         assert!(json.contains("\"scenario\": \"flock-obstacles\""));
         assert!(json.contains("\"model\": \"traffic\""));
         assert!(json.contains("\"incremental_speedup\""));

@@ -22,9 +22,67 @@
 //! 0/1), and agent references (only comparable and only dereferenceable).
 
 use crate::ast::*;
+use crate::plan::{Builtin, PExpr, PStmt};
 use brace_common::{BraceError, Result};
 use brace_core::Combinator;
 use std::collections::{HashMap, HashSet};
+
+// ---------------------------------------------------------------------------
+// Cost estimation (drives batch engagement for compiled classes)
+// ---------------------------------------------------------------------------
+
+/// Minimum per-candidate cost at which lane execution pays for its gather.
+/// Calibrated against the hand-coded models: fish's force math (two
+/// divides plus distance terms) engages, traffic's three-compare gap scan
+/// does not — mirroring the measured engagement choices of PR 3.
+pub const BATCH_COST_THRESHOLD: u32 = 10;
+
+/// Rough per-evaluation scalar cost of an expression, in ALU-op units.
+/// Cheap arithmetic and compares count 1, divides 8, transcendentals 16 —
+/// the point is ordering workloads, not cycle accuracy.
+pub fn expr_cost(e: &PExpr) -> u32 {
+    let mut cost = 0u32;
+    e.any(&mut |n| {
+        cost += match n {
+            PExpr::Unary(..) | PExpr::Binary(..) | PExpr::AgentEq { .. } => 1,
+            PExpr::Call(b, _) => match b {
+                Builtin::Abs | Builtin::Floor | Builtin::Ceil | Builtin::Sign | Builtin::Min | Builtin::Max => 1,
+                Builtin::Clamp => 2,
+                Builtin::Sqrt => 8,
+                Builtin::Sin | Builtin::Cos | Builtin::Exp | Builtin::Ln | Builtin::Pow | Builtin::Atan2 => 16,
+            },
+            _ => 0,
+        };
+        false
+    });
+    // Binary/Call nodes cost their op on top of operand costs, which `any`
+    // already visits; division is upgraded separately below.
+    let mut div_extra = 0u32;
+    e.any(&mut |n| {
+        if let PExpr::Binary(op, _, _) = n {
+            if matches!(op, crate::ast::BinOp::Div | crate::ast::BinOp::Rem) {
+                div_extra += 7; // 8 total with the base op
+            }
+        }
+        false
+    });
+    cost + div_extra
+}
+
+/// Per-candidate cost estimate of a statement list (a `foreach` body).
+pub fn stmts_cost(stmts: &[PStmt]) -> u32 {
+    let mut cost = 0u32;
+    for s in stmts {
+        s.visit(&mut |st| match st {
+            PStmt::Let { value, .. } | PStmt::LocalEffect { value, .. } | PStmt::RemoteEffect { value, .. } => {
+                cost += expr_cost(value)
+            }
+            PStmt::If { cond, .. } => cost += expr_cost(cond),
+            PStmt::Foreach { .. } => {}
+        });
+    }
+    cost
+}
 
 /// Built-in functions: name → arity.
 pub fn builtin_arity(name: &str) -> Option<usize> {

@@ -18,12 +18,16 @@
 //! Theorem 1), so NIL is only reachable through undefined arithmetic,
 //! which maps NaN → NIL at assignment boundaries.
 
-use crate::analyze::AnalyzedClass;
+use crate::analyze::{AnalyzedClass, BATCH_COST_THRESHOLD};
 use crate::ast::{self, BinOp, Expr, Stmt, UnOp};
-use crate::plan::{AgentRef, Axis, Builtin, PExpr, PStmt, QueryPlan, UpdateRule, UpdateTarget};
-use brace_common::{BraceError, DetRng, FieldId, Result};
-use brace_core::behavior::{Behavior, Neighbors, UpdateCtx};
+use crate::plan::{
+    AgentRef, Axis, Builtin, ColSrc, EmitStep, LaneInstr, LaneProgram, PExpr, PStmt, ProbeBounds, QueryPlan, SplatSrc,
+    UpdateRule, UpdateTarget,
+};
+use brace_common::{BraceError, DetRng, FieldId, Rect, Result, Vec2};
+use brace_core::behavior::{Behavior, GatheredBatch, NeighborBatch, Neighbors, UpdateCtx};
 use brace_core::effect::EffectWriter;
+use brace_core::kernels::with_lane_scratch;
 use brace_core::{Agent, AgentRead, AgentRef as RowRef, AgentSchema};
 use std::collections::HashMap;
 
@@ -33,6 +37,13 @@ pub struct CompiledClass {
     schema: AgentSchema,
     pub query: QueryPlan,
     pub updates: Vec<UpdateRule>,
+    /// Probe-rect bounds proven by the optimizer's pushdown pass; `None`
+    /// until (and unless) the pass derives any.
+    pub probe_bounds: Option<ProbeBounds>,
+    /// Lane program emitted by the optimizer for a query-phase-pure loop
+    /// body; `None` until the emission pass runs (the unoptimized baseline
+    /// always interprets).
+    pub lane: Option<LaneProgram>,
 }
 
 impl CompiledClass {
@@ -41,7 +52,9 @@ impl CompiledClass {
     }
 
     /// Rebuild with a different query plan (used by the optimizer). The
-    /// schema's non-local flag is re-derived from the plan.
+    /// schema's non-local flag is re-derived from the plan; derived
+    /// artifacts (probe bounds, lane program) are dropped — they describe
+    /// the *old* plan, and the pipeline re-derives them after every change.
     pub fn with_query(&self, query: QueryPlan) -> CompiledClass {
         let has_remote = query.has_remote_effects();
         let mut b = AgentSchema::builder(self.schema.name());
@@ -57,7 +70,7 @@ impl CompiledClass {
             .nonlocal_effects(has_remote)
             .build()
             .expect("schema rebuilt from a valid schema");
-        CompiledClass { schema, query, updates: self.updates.clone() }
+        CompiledClass { schema, query, updates: self.updates.clone(), probe_bounds: None, lane: None }
     }
 }
 
@@ -206,7 +219,7 @@ pub fn compile(a: &AnalyzedClass) -> Result<CompiledClass> {
         next_local: 0,
     };
     let stmts = c.block(&a.decl.run)?;
-    let query = QueryPlan { stmts, n_locals: c.next_local };
+    let query = QueryPlan { stmts, n_locals: c.next_local, raw_slots: Vec::new() };
 
     // Update rules, in field declaration order.
     let mut updates = Vec::new();
@@ -221,7 +234,7 @@ pub fn compile(a: &AnalyzedClass) -> Result<CompiledClass> {
             updates.push(UpdateRule { target, expr });
         }
     }
-    Ok(CompiledClass { schema, query, updates })
+    Ok(CompiledClass { schema, query, updates, probe_bounds: None, lane: None })
 }
 
 // ---------------------------------------------------------------------------
@@ -326,15 +339,35 @@ fn eval<R: AgentRead + Copy>(e: &PExpr, ctx: &mut EvalCtx<'_, R>) -> Option<f64>
 #[derive(Debug, Clone)]
 pub struct BrasilBehavior {
     class: CompiledClass,
+    /// Per-slot NaN-transparency mask, from `QueryPlan::raw_slots`.
+    raw: Vec<bool>,
+    /// Test/bench override of the analyzer's batch-engagement decision.
+    batch_override: Option<bool>,
 }
 
 impl BrasilBehavior {
     pub fn new(class: CompiledClass) -> Self {
-        BrasilBehavior { class }
+        let mut raw = vec![false; class.query.n_locals as usize];
+        for &s in &class.query.raw_slots {
+            if let Some(f) = raw.get_mut(s as usize) {
+                *f = true;
+            }
+        }
+        BrasilBehavior { class, raw, batch_override: None }
     }
 
     pub fn class(&self) -> &CompiledClass {
         &self.class
+    }
+
+    /// Force batch engagement on (`true`) or off (`false`) regardless of
+    /// the analyzer's cost estimate. Pure scheduling policy — the lane and
+    /// interpreted paths are bit-identical by construction — used by the
+    /// conformance tests and bench ablations to exercise lane programs
+    /// whose estimated cost falls below the engagement threshold.
+    pub fn with_batch_engagement(mut self, engaged: bool) -> Self {
+        self.batch_override = Some(engaged);
+        self
     }
 
     #[allow(clippy::too_many_arguments)] // interpreter context, flattened for the hot path
@@ -357,7 +390,10 @@ impl BrasilBehavior {
                         let mut ctx = EvalCtx { me, other: other.map(|o| o.0), locals, effects: shadow, rng };
                         eval(value, &mut ctx)
                     };
-                    locals[*slot as usize] = v.filter(|v| !v.is_nan());
+                    // Source-level bindings coerce NaN → NIL; optimizer
+                    // temporaries (raw slots) bind verbatim, so reading one
+                    // back is exactly inlining the hoisted expression.
+                    locals[*slot as usize] = if self.raw[*slot as usize] { v } else { v.filter(|v| !v.is_nan()) };
                 }
                 PStmt::LocalEffect { field, value } => {
                     let v = {
@@ -403,6 +439,168 @@ impl BrasilBehavior {
             }
         }
     }
+
+    /// Execute a lane program over one gathered candidate batch: run the
+    /// instruction columns (the vectorizable map), then fold the emit steps
+    /// per candidate in canonical probe order — the same order, same
+    /// self-exclusion, and same NaN/NIL rules as the interpreter, which is
+    /// what makes the two paths bit-identical.
+    fn run_lane(
+        &self,
+        lane: &LaneProgram,
+        me: RowRef<'_>,
+        g: &GatheredBatch<'_>,
+        prelude: &[f64],
+        eff: &mut EffectWriter<'_>,
+        shadow: &mut [f64],
+    ) {
+        let n = g.len();
+        with_lane_scratch(|s| {
+            let cols = s.ensure_cols(lane.instrs.len());
+            for (i, instr) in lane.instrs.iter().enumerate() {
+                // SSA: instruction i writes column i from strictly earlier
+                // columns, so the split borrow is always disjoint.
+                let (prev, rest) = cols.split_at_mut(i);
+                let out = &mut rest[0];
+                match instr {
+                    LaneInstr::Splat(src) => {
+                        let v = match src {
+                            SplatSrc::Const(c) => *c,
+                            SplatSrc::SelfX => me.pos().x,
+                            SplatSrc::SelfY => me.pos().y,
+                            SplatSrc::SelfState(k) => me.state(*k),
+                            SplatSrc::Prelude(k) => prelude[*k as usize],
+                        };
+                        out.clear();
+                        out.resize(n, v);
+                    }
+                    LaneInstr::Column(src) => {
+                        let col = match src {
+                            ColSrc::OtherX => g.xs,
+                            ColSrc::OtherY => g.ys,
+                            ColSrc::OtherState(k) => g.state(*k as usize),
+                        };
+                        out.clear();
+                        out.extend_from_slice(col);
+                    }
+                    LaneInstr::Unary(op, a) => lane_unary(*op, &prev[*a as usize], out),
+                    LaneInstr::Binary(op, a, b) => lane_binary(*op, &prev[*a as usize], &prev[*b as usize], out),
+                    LaneInstr::Call(b, args) => lane_call(*b, args, prev, out),
+                }
+            }
+            let cols = &*cols;
+            let schema = self.class.schema();
+            for i in 0..n {
+                if g.rows[i] == g.me {
+                    continue;
+                }
+                emit_steps(&lane.emit, i, cols, eff, shadow, schema);
+            }
+        });
+    }
+}
+
+fn lane_unary(op: UnOp, a: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    match op {
+        UnOp::Neg => out.extend(a.iter().map(|&x| -x)),
+        UnOp::Not => out.extend(a.iter().map(|&x| ((x == 0.0) as i32) as f64)),
+    }
+}
+
+fn lane_binary(op: BinOp, a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(a.len());
+    let b = &b[..a.len()];
+    macro_rules! zip {
+        ($f:expr) => {
+            out.extend(a.iter().zip(b).map(|(&x, &y)| $f(x, y)))
+        };
+    }
+    match op {
+        BinOp::Add => zip!(|x, y| x + y),
+        BinOp::Sub => zip!(|x, y| x - y),
+        BinOp::Mul => zip!(|x, y| x * y),
+        BinOp::Div => zip!(|x, y| x / y),
+        BinOp::Rem => zip!(|x: f64, y: f64| x % y),
+        BinOp::Lt => zip!(|x, y| ((x < y) as i32) as f64),
+        BinOp::Le => zip!(|x, y| ((x <= y) as i32) as f64),
+        BinOp::Gt => zip!(|x, y| ((x > y) as i32) as f64),
+        BinOp::Ge => zip!(|x, y| ((x >= y) as i32) as f64),
+        BinOp::Eq => zip!(|x, y| ((x == y) as i32) as f64),
+        BinOp::Ne => zip!(|x, y| ((x != y) as i32) as f64),
+        // Mirrors the interpreter's short-circuit results exactly (lane
+        // operands are pure, so evaluating the right side unconditionally
+        // is unobservable): a NaN left side takes the non-zero path.
+        BinOp::And => zip!(|x: f64, y: f64| if x == 0.0 { 0.0 } else { ((y != 0.0) as i32) as f64 }),
+        BinOp::Or => zip!(|x: f64, y: f64| if x != 0.0 { 1.0 } else { ((y != 0.0) as i32) as f64 }),
+    }
+}
+
+fn lane_call(b: Builtin, args: &[u16], regs: &[Vec<f64>], out: &mut Vec<f64>) {
+    out.clear();
+    match args {
+        [a] => {
+            let a = &regs[*a as usize];
+            match b {
+                Builtin::Abs => out.extend(a.iter().map(|&x| x.abs())),
+                Builtin::Sqrt => out.extend(a.iter().map(|&x| x.sqrt())),
+                _ => out.extend(a.iter().map(|&x| b.apply(&[x]))),
+            }
+        }
+        [a, c] => {
+            let (a, c) = (&regs[*a as usize], &regs[*c as usize]);
+            let c = &c[..a.len()];
+            match b {
+                Builtin::Min => out.extend(a.iter().zip(c).map(|(&x, &y)| x.min(y))),
+                Builtin::Max => out.extend(a.iter().zip(c).map(|(&x, &y)| x.max(y))),
+                _ => out.extend(a.iter().zip(c).map(|(&x, &y)| b.apply(&[x, y]))),
+            }
+        }
+        [a, c, d] => {
+            let (a, c, d) = (&regs[*a as usize], &regs[*c as usize], &regs[*d as usize]);
+            let c = &c[..a.len()];
+            let d = &d[..a.len()];
+            out.extend(a.iter().zip(c).zip(d).map(|((&x, &y), &z)| b.apply(&[x, y, z])));
+        }
+        _ => unreachable!("builtins take 1..=3 arguments"),
+    }
+}
+
+/// Per-candidate ordered fold over the computed columns: the only part of
+/// lane execution with observable order, and it runs in exactly the
+/// interpreter's candidate order.
+fn emit_steps(
+    steps: &[EmitStep],
+    i: usize,
+    cols: &[Vec<f64>],
+    eff: &mut EffectWriter<'_>,
+    shadow: &mut [f64],
+    schema: &AgentSchema,
+) {
+    for step in steps {
+        match step {
+            EmitStep::Effect { field, value } => {
+                let v = cols[*value as usize][i];
+                if !v.is_nan() {
+                    let fid = FieldId::new(*field);
+                    eff.local(fid, v);
+                    let comb = schema.combinator(fid);
+                    shadow[*field as usize] = comb.combine(shadow[*field as usize], v);
+                }
+            }
+            EmitStep::If { cond, then_, else_ } => {
+                // Lane bodies never evaluate to NIL (every source is
+                // defined); NaN ≠ 0.0 takes the then branch — exactly the
+                // interpreter's `Some(v) if v != 0.0` rule.
+                if cols[*cond as usize][i] != 0.0 {
+                    emit_steps(then_, i, cols, eff, shadow, schema);
+                } else {
+                    emit_steps(else_, i, cols, eff, shadow, schema);
+                }
+            }
+        }
+    }
 }
 
 impl Behavior for BrasilBehavior {
@@ -415,6 +613,62 @@ impl Behavior for BrasilBehavior {
         let mut shadow = schema.effect_identities();
         let mut locals = vec![None; self.class.query.n_locals as usize];
         self.exec_stmts(&self.class.query.stmts, me, neighbors, eff, &mut shadow, &mut locals, None, rng);
+    }
+
+    fn probe_rect(&self, pos: Vec2, vis: f64) -> Rect {
+        let rect = Rect::centered(pos, vis);
+        match &self.class.probe_bounds {
+            Some(b) => b.tighten(pos, rect),
+            None => rect,
+        }
+    }
+
+    fn batch_profitable(&self) -> bool {
+        match self.batch_override {
+            Some(v) => v,
+            None => self.class.lane.as_ref().is_some_and(|l| l.cost >= BATCH_COST_THRESHOLD),
+        }
+    }
+
+    fn query_batch(&self, me: RowRef<'_>, batch: &mut NeighborBatch<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
+        let Some(lane) = &self.class.lane else {
+            return self.query(me, &batch.neighbors(), eff, rng);
+        };
+        let schema = self.class.schema();
+        let mut shadow = schema.effect_identities();
+        let mut locals = vec![None; self.class.query.n_locals as usize];
+        let neighbors = batch.neighbors();
+        for stmt in &self.class.query.stmts {
+            if let PStmt::Foreach { body } = stmt {
+                // Resolve the loop-invariant prelude slots the lane program
+                // splats. A NIL prelude value means the body can observe
+                // NIL — the lane columns can't represent that, so fall back
+                // to the interpreter for this (rare) probe.
+                let prelude: Option<Vec<f64>> = lane.prelude_slots.iter().map(|&s| locals[s as usize]).collect();
+                match prelude {
+                    Some(prelude) => {
+                        let g = batch.gather(&lane.gather_slots);
+                        self.run_lane(lane, me, &g, &prelude, eff, &mut shadow);
+                    }
+                    None => {
+                        for nb in neighbors.iter() {
+                            self.exec_stmts(
+                                body,
+                                me,
+                                &neighbors,
+                                eff,
+                                &mut shadow,
+                                &mut locals,
+                                Some((nb.agent, nb.row)),
+                                rng,
+                            );
+                        }
+                    }
+                }
+            } else {
+                self.exec_stmts(std::slice::from_ref(stmt), me, &neighbors, eff, &mut shadow, &mut locals, None, rng);
+            }
+        }
     }
 
     fn update(&self, me: &mut Agent, ctx: &mut UpdateCtx<'_>) {

@@ -13,7 +13,9 @@
 //! ```text
 //!   source ──lexer──► tokens ──parser──► AST ──analyze──► typed AST
 //!          ──compile──► dataflow plan (plan.rs, the "monad-algebra-lite")
-//!          ──optimize──► plan (const folding, dead code, effect inversion)
+//!          ──optimize──► plan (a fixpoint pass pipeline: const folding,
+//!                        CSE, dead code, effect inversion, visibility-
+//!                        predicate pushdown, lane-kernel emission)
 //!          ──exec──► a `brace_core::Behavior` the engine runs anywhere
 //! ```
 //!
@@ -65,7 +67,7 @@ pub mod token;
 
 pub use analyze::analyze;
 pub use exec::{BrasilBehavior, CompiledClass};
-pub use optimize::{constant_fold, dead_code, invert_effects, optimize};
+pub use optimize::{constant_fold, dead_code, invert_effects, optimize, Pass, PassReport, Pipeline, PipelineReport};
 pub use parser::parse;
 
 use brace_common::Result;

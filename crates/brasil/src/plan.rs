@@ -9,6 +9,7 @@
 //! algebraic rewrites in [`optimize`](mod@crate::optimize) plain tree surgery.
 
 use crate::ast::{BinOp, UnOp};
+use brace_common::{Rect, Vec2};
 use serde::{Deserialize, Serialize};
 
 /// Spatial axis selector.
@@ -202,6 +203,12 @@ impl PStmt {
 pub struct QueryPlan {
     pub stmts: Vec<PStmt>,
     pub n_locals: u16,
+    /// Slots whose `Let` binds the computed value *verbatim* — no NaN→NIL
+    /// coercion. Source-level `const` bindings coerce (NIL propagation is
+    /// observable at `if` conditions), but optimizer-introduced temporaries
+    /// must be transparent: hoisting `E` into a raw slot and reading it back
+    /// is exactly inlining `E`.
+    pub raw_slots: Vec<u16>,
 }
 
 impl QueryPlan {
@@ -238,6 +245,133 @@ pub enum UpdateTarget {
 pub struct UpdateRule {
     pub target: UpdateTarget,
     pub expr: PExpr,
+}
+
+// ---------------------------------------------------------------------------
+// Visibility-predicate pushdown
+// ---------------------------------------------------------------------------
+
+/// One proven axis bound on a candidate's position, either relative to the
+/// querying agent's own coordinate on the same axis or absolute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bound {
+    /// `self coordinate + offset`.
+    Rel(f64),
+    /// A world-space constant.
+    Abs(f64),
+}
+
+impl Bound {
+    pub fn resolve(self, base: f64) -> f64 {
+        match self {
+            Bound::Rel(offset) => base + offset,
+            Bound::Abs(v) => v,
+        }
+    }
+}
+
+/// Axis bounds proven by the pushdown pass: every candidate that can take
+/// the loop's guarded branch satisfies all of them, so the probe rect may
+/// be intersected with them before the spatial index runs. Bounds are
+/// inclusive — boundary candidates still pass through the interpreted
+/// guard, which is what decides semantics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProbeBounds {
+    pub x_lo: Vec<Bound>,
+    pub x_hi: Vec<Bound>,
+    pub y_lo: Vec<Bound>,
+    pub y_hi: Vec<Bound>,
+}
+
+impl ProbeBounds {
+    pub fn is_empty(&self) -> bool {
+        self.x_lo.is_empty() && self.x_hi.is_empty() && self.y_lo.is_empty() && self.y_hi.is_empty()
+    }
+
+    /// Intersect a visibility rect with the proven bounds, resolved against
+    /// the querying agent's position. May produce an inverted (empty) rect
+    /// when the guard is unsatisfiable — the probe then yields nothing,
+    /// which matches a guard no candidate passes.
+    pub fn tighten(&self, pos: Vec2, mut rect: Rect) -> Rect {
+        for b in &self.x_lo {
+            rect.lo.x = rect.lo.x.max(b.resolve(pos.x));
+        }
+        for b in &self.x_hi {
+            rect.hi.x = rect.hi.x.min(b.resolve(pos.x));
+        }
+        for b in &self.y_lo {
+            rect.lo.y = rect.lo.y.max(b.resolve(pos.y));
+        }
+        for b in &self.y_hi {
+            rect.hi.y = rect.hi.y.min(b.resolve(pos.y));
+        }
+        rect
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane programs (mechanical kernel emission)
+// ---------------------------------------------------------------------------
+
+/// Source of a loop-invariant value broadcast across all lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplatSrc {
+    Const(f64),
+    SelfX,
+    SelfY,
+    SelfState(u16),
+    /// A local bound before the loop; the value is an index into
+    /// [`LaneProgram::prelude_slots`].
+    Prelude(u16),
+}
+
+/// Source of a per-candidate column.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ColSrc {
+    OtherX,
+    OtherY,
+    /// Index into [`LaneProgram::gather_slots`].
+    OtherState(u16),
+}
+
+/// One SSA lane instruction: instruction `i` writes register column `i`,
+/// and operands always reference strictly earlier registers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LaneInstr {
+    Splat(SplatSrc),
+    Column(ColSrc),
+    Unary(UnOp, u16),
+    Binary(BinOp, u16, u16),
+    Call(Builtin, Vec<u16>),
+}
+
+/// What to do with the computed columns, per candidate, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EmitStep {
+    /// Aggregate register `value` into effect `field` (NaN skipped, exactly
+    /// like the interpreter's NIL rule).
+    Effect { field: u16, value: u16 },
+    /// Branch on register `cond` ≠ 0 (NaN takes the then-branch, matching
+    /// the interpreter).
+    If { cond: u16, then_: Vec<EmitStep>, else_: Vec<EmitStep> },
+}
+
+/// A compiled lane program for a query-phase-pure `foreach` body: gather
+/// the needed SoA columns, run the instruction list over all candidates at
+/// once, then fold the emit steps per candidate in canonical order. Built
+/// by the optimizer's emission pass; executed by
+/// [`BrasilBehavior`](crate::exec::BrasilBehavior)'s `query_batch`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneProgram {
+    /// State slots gathered into candidate columns, in gather order.
+    pub gather_slots: Vec<u16>,
+    /// Locals read by the body but bound before the loop (splat at entry).
+    pub prelude_slots: Vec<u16>,
+    pub instrs: Vec<LaneInstr>,
+    pub emit: Vec<EmitStep>,
+    /// Analyzer estimate of per-candidate scalar cost (drives
+    /// `batch_profitable`).
+    pub cost: u32,
 }
 
 #[cfg(test)]
@@ -287,6 +421,7 @@ mod tests {
                 ],
             }],
             n_locals: 0,
+            raw_slots: Vec::new(),
         };
         assert!(plan.has_remote_effects());
         assert_eq!(plan.count(&mut |s| matches!(s, PStmt::LocalEffect { .. })), 1);

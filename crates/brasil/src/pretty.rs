@@ -13,7 +13,7 @@
 
 use crate::ast::{BinOp, UnOp};
 use crate::exec::CompiledClass;
-use crate::plan::{AgentRef, Axis, PExpr, PStmt, UpdateTarget};
+use crate::plan::{AgentRef, Axis, Bound, PExpr, PStmt, UpdateTarget};
 use brace_core::AgentSchema;
 use std::fmt::Write;
 
@@ -135,6 +135,47 @@ pub fn class(c: &CompiledClass) -> String {
             UpdateTarget::State(i) => state_name(schema, i),
         };
         let _ = writeln!(out, "update {target} := {}", expr(schema, &rule.expr));
+    }
+    if let Some(b) = &c.probe_bounds {
+        let side = |bounds: &[Bound]| -> String {
+            bounds
+                .iter()
+                .map(|b| match b {
+                    Bound::Rel(d) if *d == 0.0 => "self".to_string(),
+                    Bound::Rel(d) if *d > 0.0 => format!("self+{d}"),
+                    Bound::Rel(d) => format!("self{d}"),
+                    Bound::Abs(v) => format!("{v}"),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut parts = Vec::new();
+        for (name, bounds) in [("x ≥", &b.x_lo), ("x ≤", &b.x_hi), ("y ≥", &b.y_lo), ("y ≤", &b.y_hi)] {
+            if !bounds.is_empty() {
+                parts.push(format!("{name} {}", side(bounds)));
+            }
+        }
+        let _ = writeln!(out, "probe-bounds: {}", parts.join("; "));
+    }
+    if let Some(lane) = &c.lane {
+        let _ = writeln!(
+            out,
+            "lane-kernel: {} instrs, {} gathered column(s), {} prelude splat(s), cost {}",
+            lane.instrs.len(),
+            lane.gather_slots.len(),
+            lane.prelude_slots.len(),
+            lane.cost
+        );
+    }
+    out
+}
+
+/// Render a pipeline report: rounds and per-pass rewrite counts.
+pub fn report(r: &crate::optimize::PipelineReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "pipeline: {} round(s) to fixpoint", r.rounds);
+    for p in &r.passes {
+        let _ = writeln!(out, "  {:<12} {} rewrite(s)", p.name, p.rewrites);
     }
     out
 }

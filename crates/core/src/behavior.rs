@@ -22,7 +22,7 @@
 use crate::agent::{Agent, AgentRef, PoolView};
 use crate::effect::EffectWriter;
 use crate::schema::AgentSchema;
-use brace_common::{DetRng, Vec2};
+use brace_common::{DetRng, Rect, Vec2};
 
 /// A reference to a visible neighbor: the row view (previous-tick state)
 /// plus its row index in the visible set, which is how non-local effect
@@ -249,6 +249,19 @@ pub trait Behavior: Send + Sync {
         NeighborProbe::Range
     }
 
+    /// The rect handed to the spatial index for a [`NeighborProbe::Range`]
+    /// probe centered on `pos` with visibility bound `vis`. The default is
+    /// the full visibility square; a behavior that can *prove* its query
+    /// ignores part of that square (BRASIL's visibility-predicate pushdown)
+    /// may return a tighter rect so the index does the filtering. Contract:
+    /// the returned rect must contain every candidate whose inclusion can
+    /// change any observable result — shrinking it is an optimization,
+    /// never a semantic change, and replica shipping still covers the full
+    /// visibility region on every backend.
+    fn probe_rect(&self, pos: Vec2, vis: f64) -> Rect {
+        Rect::centered(pos, vis)
+    }
+
     /// Query phase for one agent. `me` is the querying agent's row view
     /// (`me.row` addresses it in the effect table); `rng` is a
     /// deterministic stream derived from `(seed, agent id, tick)`.
@@ -300,6 +313,9 @@ impl<B: Behavior + ?Sized> Behavior for &B {
     fn probe(&self) -> NeighborProbe {
         (**self).probe()
     }
+    fn probe_rect(&self, pos: Vec2, vis: f64) -> Rect {
+        (**self).probe_rect(pos, vis)
+    }
     fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
         (**self).query(me, neighbors, eff, rng)
     }
@@ -327,6 +343,9 @@ impl<B: Behavior + ?Sized> Behavior for std::sync::Arc<B> {
     fn probe(&self) -> NeighborProbe {
         (**self).probe()
     }
+    fn probe_rect(&self, pos: Vec2, vis: f64) -> Rect {
+        (**self).probe_rect(pos, vis)
+    }
     fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
         (**self).query(me, neighbors, eff, rng)
     }
@@ -353,6 +372,9 @@ impl<B: Behavior + ?Sized> Behavior for Box<B> {
     }
     fn probe(&self) -> NeighborProbe {
         (**self).probe()
+    }
+    fn probe_rect(&self, pos: Vec2, vis: f64) -> Rect {
+        (**self).probe_rect(pos, vis)
     }
     fn query(&self, me: AgentRef<'_>, neighbors: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
         (**self).query(me, neighbors, eff, rng)

@@ -106,7 +106,7 @@ use crate::effect::{EffectTable, EffectWriter};
 use crate::metrics::{SimMetrics, TickMetrics};
 use crate::schema::AgentSchema;
 use brace_common::ids::AgentIdGen;
-use brace_common::{AgentId, DetRng, Rect, Vec2};
+use brace_common::{AgentId, DetRng, Vec2};
 use brace_spatial::{IndexKind, KdTree, ScanIndex, SpatialIndex, UniformGrid};
 use std::ops::Range;
 use std::time::Instant;
@@ -510,7 +510,11 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
         match probe {
             NeighborProbe::Range => {
                 if vis.is_finite() {
-                    let rect = Rect::centered(pos, vis);
+                    // Behaviors with a derived visibility predicate shrink
+                    // the probe rect (pushdown); the default is the full
+                    // visibility square. Semantically invisible candidates
+                    // are excluded earlier, never added.
+                    let rect = behavior.probe_rect(pos, vis);
                     // The lane-kernel filter is the default probe only
                     // where it is gather-free (`RANGE_BATCH_NATIVE`); see
                     // the trait docs for the measured tradeoff.

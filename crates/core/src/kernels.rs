@@ -12,12 +12,26 @@
 
 /// Three reusable derived-value columns — enough for the widest current
 /// model kernel (fish: distance², unit-x, unit-y; traffic: offset, lead
-/// gap, rear gap). Grow it if a future kernel maps more quantities.
+/// gap, rear gap) — plus a dynamically-sized register pool for compiled
+/// lane programs (BRASIL's mechanical kernel emission), whose register
+/// count is decided at script-compile time, not here.
 #[derive(Debug, Default)]
 pub struct LaneScratch {
     pub a: Vec<f64>,
     pub b: Vec<f64>,
     pub c: Vec<f64>,
+    pub cols: Vec<Vec<f64>>,
+}
+
+impl LaneScratch {
+    /// Ensure at least `n` register columns exist and return them. Contents
+    /// are stale; callers overwrite before reading, like `a`/`b`/`c`.
+    pub fn ensure_cols(&mut self, n: usize) -> &mut [Vec<f64>] {
+        while self.cols.len() < n {
+            self.cols.push(Vec::new());
+        }
+        &mut self.cols[..n]
+    }
 }
 
 brace_common::tls_scratch!(

@@ -11,7 +11,7 @@
 //! automatically — the optimization whose payoff Figure 5 measures.
 
 use brace_common::Result;
-use brasil::{invert_effects, BrasilBehavior, Script};
+use brasil::{invert_effects, BrasilBehavior, Pipeline, Script};
 
 /// The paper's Figure 2, normalized to this implementation's surface
 /// syntax (update rule and `#range` tag in one declaration; explicit
@@ -106,25 +106,56 @@ class Car {
 
 /// Compile the runnable fish-school behavior.
 pub fn fish_school() -> Result<BrasilBehavior> {
-    let script = Script::compile(FISH_SCHOOL)?;
+    fish_school_opt(true)
+}
+
+/// Fish school with the optimizer pipeline on or off (A/B measurement).
+pub fn fish_school_opt(optimize: bool) -> Result<BrasilBehavior> {
+    let script = if optimize { Script::compile(FISH_SCHOOL)? } else { Script::compile_unoptimized(FISH_SCHOOL)? };
     Ok(script.behavior("Fish").expect("class Fish exists"))
 }
 
 /// Compile the predator behavior; `inverted` applies effect inversion
-/// (Theorem 2/3), turning the non-local script into a local one. The
-/// safe optimizer passes re-run after inversion to prune the empty
-/// conditional shells the rewrite leaves behind.
+/// (Theorem 2/3), turning the non-local script into a local one.
 pub fn predator(inverted: bool) -> Result<BrasilBehavior> {
-    let script = Script::compile(PREDATOR)?;
+    predator_opt(inverted, true)
+}
+
+/// Predator with both knobs exposed. Inversion is only numerically (not
+/// bit-) equivalent, so A/B baselines must share the `inverted` setting
+/// and differ only in `optimize`.
+pub fn predator_opt(inverted: bool, optimize: bool) -> Result<BrasilBehavior> {
+    let script = Script::compile_unoptimized(PREDATOR)?;
     let class = script.classes()[0].clone();
-    let class = if inverted { brasil::optimize(invert_effects(class)?) } else { class };
+    let class = match (inverted, optimize) {
+        (true, true) => Pipeline::with_inversion().run(class).0,
+        (true, false) => invert_effects(class)?,
+        (false, true) => brasil::optimize(class),
+        (false, false) => class,
+    };
     Ok(BrasilBehavior::new(class))
 }
 
 /// Compile the car-following example.
 pub fn car_following() -> Result<BrasilBehavior> {
-    let script = Script::compile(CAR_FOLLOWING)?;
+    car_following_opt(true)
+}
+
+/// Car following with the optimizer pipeline on or off (A/B measurement).
+pub fn car_following_opt(optimize: bool) -> Result<BrasilBehavior> {
+    let script = if optimize { Script::compile(CAR_FOLLOWING)? } else { Script::compile_unoptimized(CAR_FOLLOWING)? };
     Ok(script.behavior("Car").expect("class Car exists"))
+}
+
+/// Source and inversion setting for a registry scenario name — the lookup
+/// `brace compile` uses to pretty-print a scenario's plan.
+pub fn scenario_script(name: &str) -> Option<(&'static str, bool)> {
+    match name {
+        "brasil-fish" => Some((FISH_SCHOOL, false)),
+        "brasil-predator" => Some((PREDATOR, true)),
+        "brasil-car" => Some((CAR_FOLLOWING, false)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]

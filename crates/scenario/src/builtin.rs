@@ -55,12 +55,27 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
         Box::new(Fish),
         Box::new(Traffic),
         Box::new(Predator),
-        Box::new(BrasilFish),
-        Box::new(BrasilPredator),
-        Box::new(BrasilCar),
+        Box::new(BrasilFish { optimize: true }),
+        Box::new(BrasilPredator { optimize: true }),
+        Box::new(BrasilCar { optimize: true }),
         Box::new(Epidemic),
         Box::new(FlockObstacles),
     ]
+}
+
+/// An *unregistered* twin of a registered BRASIL scenario with the
+/// optimizer pipeline disabled — same name, same population, same index —
+/// for A/B conformance (optimized ≡ unoptimized must be bit-identical) and
+/// bench speedup rows. The predator twin still inverts (inversion changes
+/// float ⊕ order, so both sides of any comparison must share it); only the
+/// always-safe passes differ.
+pub fn brasil_unoptimized(name: &str) -> Option<Box<dyn Scenario>> {
+    match name {
+        "brasil-fish" => Some(Box::new(BrasilFish { optimize: false })),
+        "brasil-predator" => Some(Box::new(BrasilPredator { optimize: false })),
+        "brasil-car" => Some(Box::new(BrasilCar { optimize: false })),
+        _ => None,
+    }
 }
 
 fn no_nan(world: &[Agent]) -> Result<()> {
@@ -260,7 +275,9 @@ fn brasil_population(schema: &AgentSchema, n: usize, seed: u64, side: f64) -> Ve
 }
 
 /// The runnable BRASIL fish school, compiled end to end.
-struct BrasilFish;
+struct BrasilFish {
+    optimize: bool,
+}
 
 impl Scenario for BrasilFish {
     fn name(&self) -> &'static str {
@@ -274,7 +291,7 @@ impl Scenario for BrasilFish {
     }
     fn build(&self, size: Option<usize>, seed: u64) -> Result<ScenarioSetup> {
         let n = size.unwrap_or(self.default_population());
-        let behavior = scripts::fish_school()?;
+        let behavior = scripts::fish_school_opt(self.optimize)?;
         let side = (n as f64 * 2.0).sqrt().max(1.0);
         let population = brasil_population(behavior.schema(), n, seed, side);
         Ok(ScenarioSetup {
@@ -298,7 +315,9 @@ impl Scenario for BrasilFish {
 }
 
 /// The Figure 5 predator script, automatically inverted to local form.
-struct BrasilPredator;
+struct BrasilPredator {
+    optimize: bool,
+}
 
 impl Scenario for BrasilPredator {
     fn name(&self) -> &'static str {
@@ -315,7 +334,7 @@ impl Scenario for BrasilPredator {
         // The inverted (local) form: the pipeline's Theorem 2/3 rewrite —
         // and, downstream, exactly distributable float aggregation (each
         // victim sums its own damages in canonical candidate order).
-        let behavior = scripts::predator(true)?;
+        let behavior = scripts::predator_opt(true, self.optimize)?;
         let side = (n as f64 * 2.0).sqrt().max(1.0);
         let mut population = brasil_population(behavior.schema(), n, seed, side);
         let mut rng = DetRng::seed_from_u64(seed).stream(0x512E);
@@ -336,7 +355,9 @@ impl Scenario for BrasilPredator {
 }
 
 /// The quickstart car-following script.
-struct BrasilCar;
+struct BrasilCar {
+    optimize: bool,
+}
 
 impl Scenario for BrasilCar {
     fn name(&self) -> &'static str {
@@ -350,7 +371,7 @@ impl Scenario for BrasilCar {
     }
     fn build(&self, size: Option<usize>, seed: u64) -> Result<ScenarioSetup> {
         let n = size.unwrap_or(self.default_population());
-        let behavior = scripts::car_following()?;
+        let behavior = scripts::car_following_opt(self.optimize)?;
         let schema = behavior.schema().clone();
         let mut rng = DetRng::seed_from_u64(seed).stream(0xCA12);
         let population: Vec<Agent> = (0..n)

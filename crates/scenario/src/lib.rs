@@ -37,7 +37,7 @@ pub mod builtin;
 pub mod durable;
 pub mod runner;
 
-pub use builtin::CONFORMANCE_POPULATION;
+pub use builtin::{brasil_unoptimized, CONFORMANCE_POPULATION};
 pub use durable::{DurableOpts, DurableReport, DurableRunner, RunSummary};
 pub use runner::{Backend, Observer, Progress, RunReport, Runner, SimHandle};
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! brace list
+//! brace compile <scenario|all> [--no-opt]
 //! brace run --scenario <name|all> [--backend single|cluster[:N]|both]
 //!           [--ticks T] [--agents N] [--seed S] [--index kdtree|grid|scan]
 //!           [--conformance] [--progress]
@@ -10,6 +11,12 @@
 //! brace run --run-dir DIR --resume <run-id> [--epoch-sleep-ms MS]
 //! brace list-runs --run-dir DIR
 //! ```
+//!
+//! `compile` is the optimizer inspector for the BRASIL-scripted scenarios:
+//! it prints the compiled plan before and after the
+//! [`brasil::Pipeline`] runs, with per-pass rewrite counts, derived probe
+//! bounds, and the emitted lane kernel. `--no-opt` stops after the
+//! unoptimized plan.
 //!
 //! `run` drives every named scenario through the backend-erased
 //! [`Runner`](brace_scenario::Runner): same behavior, same population, same
@@ -36,6 +43,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: brace list\n\
+         \x20      brace compile <scenario|all> [--no-opt]\n\
          \x20      brace run --scenario <name|all> [--backend single|cluster[:N]|both] [--ticks T]\n\
          \x20            [--agents N] [--seed S] [--index kdtree|grid|scan] [--conformance] [--progress]\n\
          \x20            [--run-dir DIR [--run-id ID] [--checkpoint-every E] [--keep-checkpoints K]\n\
@@ -172,6 +180,7 @@ fn main() {
                 println!("  {:<16} {:>6} agents  {}", s.name(), s.default_population(), s.description());
             }
         }
+        Some("compile") => compile_cmd(&args[1..]),
         Some("run") => {
             let opts = parse_run_opts(&args[1..]);
             if opts.run_dir.is_some() {
@@ -183,6 +192,43 @@ fn main() {
         Some("list-runs") => list_runs(&args[1..]),
         Some("-h") | Some("--help") | None => die("expected a subcommand"),
         Some(other) => die(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// `brace compile <scenario|all> [--no-opt]` — pretty-print a BRASIL
+/// scenario's plan before and after the optimizer pipeline.
+fn compile_cmd(args: &[String]) {
+    let mut target: Option<String> = None;
+    let mut no_opt = false;
+    for a in args {
+        match a.as_str() {
+            "--no-opt" => no_opt = true,
+            other if target.is_none() && !other.starts_with('-') => target = Some(other.to_string()),
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let target = target.unwrap_or_else(|| die("compile needs a scenario name (or `all`)"));
+    let names: Vec<&str> =
+        if target == "all" { vec!["brasil-fish", "brasil-predator", "brasil-car"] } else { vec![target.as_str()] };
+    for name in names {
+        let Some((source, invert)) = brace_models::scripts::scenario_script(name) else {
+            die(&format!("`{name}` is not a BRASIL-scripted scenario (try brasil-fish, brasil-predator, brasil-car)"))
+        };
+        let script = brasil::Script::compile_unoptimized(source)
+            .unwrap_or_else(|e| die(&format!("`{name}` failed to compile: {e}")));
+        let class = script.classes()[0].clone();
+        println!("==== {name} — unoptimized plan ====");
+        print!("{}", brasil::pretty::class(&class));
+        if no_opt {
+            continue;
+        }
+        let pipeline = if invert { brasil::Pipeline::with_inversion() } else { brasil::Pipeline::standard() };
+        let (optimized, report) = pipeline.run(class);
+        println!("---- {name} — pass pipeline ----");
+        print!("{}", brasil::pretty::report(&report));
+        println!("---- {name} — optimized plan ----");
+        print!("{}", brasil::pretty::class(&optimized));
+        println!();
     }
 }
 
