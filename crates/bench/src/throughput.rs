@@ -150,6 +150,13 @@ pub struct SpeedupRow {
     /// Batched lane kernels over the scalar per-row probe loop, on
     /// query-phase throughput (the phase the kernels change).
     pub kernel_speedup: f64,
+    /// True when the matrix ran on a single visible core: the
+    /// parallel-over-serial columns (`query_speedup`, `tick_speedup`) are
+    /// then pure timing noise — threads time-slice one core — and must not
+    /// be compared or regressed against. The serial-vs-serial columns
+    /// (`incremental_speedup`, `soa_speedup`, `kernel_speedup`) stay
+    /// meaningful.
+    pub unreliable: bool,
 }
 
 /// One cluster-throughput configuration: the distributed runtime under
@@ -173,6 +180,11 @@ pub struct ClusterRow {
     /// full redistribution, same configuration — the headline saving of
     /// the pool-resident worker (≪ 1 in any steady state).
     pub delta_over_full: f64,
+    /// True when the matrix ran on a single visible core: worker threads
+    /// then time-slice one core, so `agents_per_sec` scaling across worker
+    /// counts is timing noise. The byte columns (and `delta_over_full`)
+    /// are counted, not timed, and stay exact.
+    pub unreliable: bool,
 }
 
 /// One registry-scenario configuration: the scenario's default setup
@@ -395,6 +407,7 @@ fn measure_cluster(model: &'static str, workers: usize, n: usize, mode: Distribu
         replica_delta_bytes_per_tick: per_tick(net.replica_delta.bytes),
         effects_bytes_per_tick: per_tick(net.effects.bytes),
         delta_over_full: 0.0, // filled by the caller from the paired run
+        unreliable: false,    // marked by `tick_throughput` when cores == 1
     };
     (row, net.replica_bytes())
 }
@@ -573,6 +586,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                     // this isolates SoA layout from the kernel effect.
                     soa_speedup: scalar_kernel.tick_agents_per_sec / aos.tick_agents_per_sec.max(1e-9),
                     kernel_speedup: serial.query_agents_per_sec / scalar_kernel.query_agents_per_sec.max(1e-9),
+                    unreliable: false, // marked below when cores == 1
                 });
                 report.rows.push(serial);
                 report.rows.push(parallel);
@@ -583,6 +597,19 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         }
     }
     report.cluster = cluster_throughput(cfg);
+    // Bench honesty: with one visible core there is no parallelism to
+    // measure — every thread-parallel comparison is scheduler noise.
+    // Mark those rows so the quick smoke and regression tooling skip
+    // them instead of chasing phantom speedups (ROADMAP: "speedup rows
+    // are noise" on 1-core containers).
+    if cores == 1 {
+        for s in &mut report.speedups {
+            s.unreliable = true;
+        }
+        for c in &mut report.cluster {
+            c.unreliable = true;
+        }
+    }
     report.scenarios = scenario_throughput(cfg);
     report.opt = opt_throughput(cfg);
     report
@@ -611,10 +638,14 @@ fn index_name(kind: IndexKind) -> &'static str {
 /// Version 6 added the `opt` section: the BRASIL optimizer A/B — every
 /// `brasil-*` scenario, optimized pipeline vs its unoptimized twin, with
 /// the `opt_speedup` / `opt_tick_speedup` ratios and the
-/// `candidate_reduction` from visibility-predicate pushdown.
+/// `candidate_reduction` from visibility-predicate pushdown. Version 7
+/// added the `unreliable` flag on `speedups` and `cluster` rows: `true`
+/// when the matrix ran on one visible core, where thread-parallel
+/// comparisons are timing noise — regression tooling must skip comparing
+/// flagged rows.
 pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 6,\n");
+    out.push_str("  \"schema_version\": 7,\n");
     out.push_str(&format!("  \"cores\": {},\n", report.cores));
     out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
     out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
@@ -647,7 +678,8 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"agents\": {}, \"index\": \"{}\", \
              \"query_speedup\": {:.3}, \"tick_speedup\": {:.3}, \
-             \"incremental_speedup\": {:.3}, \"soa_speedup\": {:.3}, \"kernel_speedup\": {:.3}}}{}\n",
+             \"incremental_speedup\": {:.3}, \"soa_speedup\": {:.3}, \"kernel_speedup\": {:.3}, \
+             \"unreliable\": {}}}{}\n",
             s.model,
             s.agents,
             index_name(s.index),
@@ -656,6 +688,7 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
             s.incremental_speedup,
             s.soa_speedup,
             s.kernel_speedup,
+            s.unreliable,
             if i + 1 == report.speedups.len() { "" } else { "," }
         ));
     }
@@ -666,7 +699,7 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
             "    {{\"model\": \"{}\", \"workers\": {}, \"actual_agents\": {}, \"ticks\": {}, \
              \"agents_per_sec\": {:.1}, \"transfer_bytes_per_tick\": {:.1}, \
              \"replica_full_bytes_per_tick\": {:.1}, \"replica_delta_bytes_per_tick\": {:.1}, \
-             \"effects_bytes_per_tick\": {:.1}, \"delta_over_full\": {:.4}}}{}\n",
+             \"effects_bytes_per_tick\": {:.1}, \"delta_over_full\": {:.4}, \"unreliable\": {}}}{}\n",
             c.model,
             c.workers,
             c.actual_agents,
@@ -677,6 +710,7 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
             c.replica_delta_bytes_per_tick,
             c.effects_bytes_per_tick,
             c.delta_over_full,
+            c.unreliable,
             if i + 1 == report.cluster.len() { "" } else { "," }
         ));
     }
@@ -782,7 +816,13 @@ mod tests {
         let car = report.opt.iter().find(|o| o.scenario == "brasil-car").expect("car opt row");
         assert!(car.candidate_reduction > 1.2, "pushdown must shrink the car probe rect: {car:?}");
         let json = to_json(&report, &cfg);
-        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"schema_version\": 7"));
+        // The 1-core honesty marking: flags must be present, and set (on
+        // every speedups/cluster row) exactly when one core was visible.
+        let single_core = report.cores == 1;
+        assert!(json.contains("\"unreliable\":"));
+        assert!(report.speedups.iter().all(|s| s.unreliable == single_core), "{:?}", report.speedups);
+        assert!(report.cluster.iter().all(|c| c.unreliable == single_core), "{:?}", report.cluster);
         assert!(json.contains("\"opt_speedup\""));
         assert!(json.contains("\"candidate_reduction\""));
         assert!(json.contains("\"scenario\": \"brasil-car\""));

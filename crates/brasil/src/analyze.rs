@@ -32,10 +32,12 @@ use std::collections::{HashMap, HashSet};
 // ---------------------------------------------------------------------------
 
 /// Minimum per-candidate cost at which lane execution pays for its gather.
-/// Calibrated against the hand-coded models: fish's force math (two
-/// divides plus distance terms) engages, traffic's three-compare gap scan
-/// does not — mirroring the measured engagement choices of PR 3.
-pub const BATCH_COST_THRESHOLD: u32 = 10;
+/// The engine-wide threshold (`brace_core::behavior::BATCH_COST_THRESHOLD`),
+/// re-exported here because the planner's lane costs are measured in
+/// exactly these analyzer units — the hand-coded models score their
+/// kernels on the same scale, so one rule governs compiled and hand-coded
+/// engagement alike.
+pub use brace_core::behavior::BATCH_COST_THRESHOLD;
 
 /// Rough per-evaluation scalar cost of an expression, in ALU-op units.
 /// Cheap arithmetic and compares count 1, divides 8, transcendentals 16 —

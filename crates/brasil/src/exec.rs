@@ -18,13 +18,14 @@
 //! Theorem 1), so NIL is only reachable through undefined arithmetic,
 //! which maps NaN → NIL at assignment boundaries.
 
-use crate::analyze::{AnalyzedClass, BATCH_COST_THRESHOLD};
+use crate::analyze::AnalyzedClass;
 use crate::ast::{self, BinOp, Expr, Stmt, UnOp};
 use crate::plan::{
     AgentRef, Axis, Builtin, ColSrc, EmitStep, LaneInstr, LaneProgram, PExpr, PStmt, ProbeBounds, QueryPlan, SplatSrc,
     UpdateRule, UpdateTarget,
 };
 use brace_common::{BraceError, DetRng, FieldId, Rect, Result, Vec2};
+use brace_core::behavior::batch_engaged;
 use brace_core::behavior::{Behavior, GatheredBatch, NeighborBatch, Neighbors, UpdateCtx};
 use brace_core::effect::EffectWriter;
 use brace_core::kernels::with_lane_scratch;
@@ -624,10 +625,10 @@ impl Behavior for BrasilBehavior {
     }
 
     fn batch_profitable(&self) -> bool {
-        match self.batch_override {
-            Some(v) => v,
-            None => self.class.lane.as_ref().is_some_and(|l| l.cost >= BATCH_COST_THRESHOLD),
-        }
+        // Classes with no lane program cost 0: never engaged unless pinned
+        // (engaging would pay the gather just to fall back to the
+        // interpreter).
+        batch_engaged(self.class.lane.as_ref().map_or(0, |l| l.cost), self.batch_override)
     }
 
     fn query_batch(&self, me: RowRef<'_>, batch: &mut NeighborBatch<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {

@@ -238,6 +238,27 @@ pub enum NeighborProbe {
 }
 
 /// A simulation model: the query and update phases over a fixed schema.
+/// Minimum per-candidate kernel cost — in analyzer ALU-op units (cheap
+/// arithmetic and compares 1, divides and square roots 8, transcendentals
+/// 16; the BRASIL analyzer's `expr_cost` scale) — at which a batched lane
+/// kernel pays for its candidate gather. One threshold governs every
+/// behavior: the BRASIL compiler scores its generated lane programs
+/// against it, and the hand-coded models score their hand-written kernels
+/// on the same scale through [`batch_engaged`]. Calibrated on the
+/// reference container: fish's force math (sqrt, divide, distance terms)
+/// engages; traffic's three-subtraction gap scan (measured ≈0.75× batched)
+/// and the predator's subtract-multiply bite scan do not.
+pub const BATCH_COST_THRESHOLD: u32 = 10;
+
+/// The one batch-engagement rule: run the lane kernel when the estimated
+/// per-candidate cost reaches [`BATCH_COST_THRESHOLD`], unless the caller
+/// pins the decision. Pure scheduling policy — the scalar and batched
+/// query paths are bit-identical by contract — so overrides exist for
+/// conformance tests and bench ablations, never for correctness.
+pub fn batch_engaged(per_candidate_cost: u32, engagement_override: Option<bool>) -> bool {
+    engagement_override.unwrap_or(per_candidate_cost >= BATCH_COST_THRESHOLD)
+}
+
 pub trait Behavior: Send + Sync {
     /// The agent schema this behavior operates on. The executor shapes
     /// agents, effect tables and replication from it; it must not change
@@ -273,9 +294,10 @@ pub trait Behavior: Send + Sync {
     /// semantics — the two paths are bit-identical by contract — mirroring
     /// `SpatialIndex::RANGE_BATCH_NATIVE` on the index side: a batched
     /// kernel pays a gather pass over every candidate, which only
-    /// amortizes when the per-candidate map is expensive enough (fish's
-    /// sqrt + divides: yes; traffic's three subtractions: measured ~0.75×
-    /// on the reference container, so it opts out by default).
+    /// amortizes when the per-candidate map is expensive enough. Behaviors
+    /// with a cost estimate for their per-candidate kernel should decide
+    /// through [`batch_engaged`], the one engagement rule shared by the
+    /// BRASIL compiler's lane programs and the hand-coded models.
     fn batch_profitable(&self) -> bool {
         true
     }

@@ -531,9 +531,11 @@ fn query_rows<B: Behavior, I: SpatialIndex>(
                     // swap-mutated pool, which is what makes an N-worker
                     // cluster bit-identical to one node). When rows are
                     // already in id order (every single-node pool), row
-                    // order *is* id order: grid and scan are then canonical
-                    // by construction (`RANGE_CANONICAL`) and only the
-                    // KD-tree (build-history emission order) pays a sort.
+                    // order *is* id order: scan (row-order columns) and
+                    // grid (ascending-payload bucket merge) are then
+                    // canonical by construction (`RANGE_CANONICAL`) and
+                    // only the KD-tree (build-history emission order) pays
+                    // a sort.
                     if !rows_in_id_order {
                         candidates.sort_unstable_by_key(|&r| (view.ids[r as usize], r));
                     } else if !I::RANGE_CANONICAL {

@@ -50,6 +50,12 @@ pub struct FishParams {
     pub informed_b: f64,
     /// Initial school radius.
     pub school_radius: f64,
+    /// Batch-engagement override. `None` (default) applies the engine-wide
+    /// cost rule (`brace_core::behavior::batch_engaged`) to
+    /// [`FORCE_KERNEL_COST`] — which engages [`force_kernel`], matching
+    /// the measured 2–8× batched gains that made fish the motivating case
+    /// for lane kernels. Pure scheduling policy, bit-identical either way.
+    pub batch_engagement: Option<bool>,
 }
 
 impl Default for FishParams {
@@ -63,6 +69,7 @@ impl Default for FishParams {
             informed_a: 0.05,
             informed_b: 0.05,
             school_radius: 20.0,
+            batch_engagement: None,
         }
     }
 }
@@ -93,6 +100,14 @@ pub mod effect {
     /// Visible neighbor count.
     pub const N_VIS: u16 = 7;
 }
+
+/// Per-candidate cost of [`candidate_force`] plus the zone fold, in the
+/// analyzer's ALU-op units (the same scale the BRASIL compiler scores its
+/// lane programs on): squared distance 3, square root 8, two divides for
+/// the unit direction 16, zone compares and force accumulation ≈6 — well
+/// above `brace_core::behavior::BATCH_COST_THRESHOLD`, so the force kernel
+/// engages by default.
+pub const FORCE_KERNEL_COST: u32 = 33;
 
 /// Per-candidate force geometry, shared verbatim by the scalar query path
 /// and (op for op) the lane kernel [`force_kernel`], so the two are
@@ -216,6 +231,10 @@ impl Behavior for FishBehavior {
         &self.schema
     }
 
+    fn batch_profitable(&self) -> bool {
+        brace_core::behavior::batch_engaged(FORCE_KERNEL_COST, self.params.batch_engagement)
+    }
+
     fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, _rng: &mut DetRng) {
         let p = &self.params;
         let (alpha2, rho2) = (p.alpha * p.alpha, p.rho * p.rho);
@@ -315,6 +334,19 @@ impl Behavior for FishBehavior {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One engagement rule governs hand-coded and compiled behaviors: the
+    /// force kernel's cost clears the shared threshold (engaged by
+    /// default), and the override pins the decision either way.
+    #[test]
+    fn batch_engagement_follows_the_shared_cost_rule() {
+        use brace_core::behavior::{batch_engaged, Behavior};
+        assert!(batch_engaged(FORCE_KERNEL_COST, None));
+        assert!(FishBehavior::new(FishParams::default()).batch_profitable());
+        let off = FishParams { batch_engagement: Some(false), ..FishParams::default() };
+        assert!(!FishBehavior::new(off).batch_profitable());
+    }
+
     use brace_core::Simulation;
 
     fn behavior() -> FishBehavior {

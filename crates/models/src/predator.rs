@@ -45,13 +45,15 @@ pub struct PredatorParams {
     /// Use non-local effect assignments (biters push hurt). `false` = the
     /// hand-inverted local form (victims pull hurt).
     pub nonlocal: bool,
-    /// Run the batched bite-scan kernel ([`bite_kernel`]) as the executor's
-    /// default query path. Off by default for the same reason as traffic's
-    /// gap scan: the per-candidate map is one subtract and one multiply —
+    /// Batch-engagement override for the bite-scan kernel
+    /// ([`bite_kernel`]). `None` (default) applies the engine-wide cost
+    /// rule (`brace_core::behavior::batch_engaged`) to
+    /// [`BITE_KERNEL_COST`] — which stays scalar for the same reason as
+    /// traffic's gap scan: one subtract and one multiply per candidate is
     /// too cheap to amortize the candidate gather on the reference
     /// container. Results are bit-identical either way (the kernel
     /// conformance contract), so this is pure scheduling policy.
-    pub batch_bite_scan: bool,
+    pub batch_engagement: Option<bool>,
 }
 
 impl Default for PredatorParams {
@@ -66,7 +68,7 @@ impl Default for PredatorParams {
             crowd_limit: 8.0,
             growth: 0.01,
             nonlocal: true,
-            batch_bite_scan: false,
+            batch_engagement: None,
         }
     }
 }
@@ -99,6 +101,13 @@ fn bites(p: &PredatorParams, attacker_size: f64, victim_size: f64) -> bool {
 fn bite_damage(p: &PredatorParams, attacker_size: f64, victim_size: f64) -> f64 {
     p.bite_strength * (attacker_size - victim_size)
 }
+
+/// Per-candidate cost of the bite scan, in the analyzer's ALU-op units
+/// (the scale the BRASIL compiler scores its lane programs on): one
+/// subtract and one multiply per role — below
+/// `brace_core::behavior::BATCH_COST_THRESHOLD`, so [`bite_kernel`] stays
+/// off the default path, like traffic's gap scan.
+pub const BITE_KERNEL_COST: u32 = 4;
 
 /// Lane kernel behind [`PredatorBehavior`]'s batched query — the bite
 /// scan's vectorizable half: per candidate, the damage the querying fish
@@ -189,7 +198,7 @@ impl Behavior for PredatorBehavior {
     }
 
     fn batch_profitable(&self) -> bool {
-        self.params.batch_bite_scan
+        brace_core::behavior::batch_engaged(BITE_KERNEL_COST, self.params.batch_engagement)
     }
 
     /// Batched query: gather sizes, run [`bite_kernel`] over the candidate
@@ -252,6 +261,18 @@ impl Behavior for PredatorBehavior {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The bite scan's cost sits below the shared engagement threshold, so
+    /// the scalar path stays the default; `Some(true)` pins the kernel on.
+    #[test]
+    fn batch_engagement_follows_the_shared_cost_rule() {
+        use brace_core::behavior::{batch_engaged, Behavior};
+        assert!(!batch_engaged(BITE_KERNEL_COST, None));
+        assert!(!PredatorBehavior::new(PredatorParams::default()).batch_profitable());
+        let on = PredatorParams { batch_engagement: Some(true), ..PredatorParams::default() };
+        assert!(PredatorBehavior::new(on).batch_profitable());
+    }
+
     use brace_core::Simulation;
 
     fn behavior(nonlocal: bool) -> PredatorBehavior {

@@ -86,14 +86,16 @@ pub struct TrafficParams {
     /// expect to achieve performance parity with MITSIM"). `None` (default)
     /// is the fixed-lookahead scan the paper used for validation.
     pub knn: Option<usize>,
-    /// Run the batched gap-scan kernel ([`gap_kernel`]) as the executor's
-    /// default query path. Off by default: the scan's per-candidate map is
-    /// three subtractions — too cheap to amortize the candidate gather on
-    /// the reference container (≈0.75× query throughput measured there).
-    /// Results are bit-identical either way (the kernel conformance
-    /// contract), so this is pure scheduling policy; flip it on where the
+    /// Batch-engagement override for the gap-scan kernel ([`gap_kernel`]).
+    /// `None` (default) applies the engine-wide cost rule
+    /// (`brace_core::behavior::batch_engaged`) to [`GAP_KERNEL_COST`] —
+    /// which stays scalar: the per-candidate map is three subtractions,
+    /// too cheap to amortize the candidate gather on the reference
+    /// container (≈0.75× query throughput measured there). Results are
+    /// bit-identical either way (the kernel conformance contract), so this
+    /// is pure scheduling policy; pin `Some(true)` where the
     /// `kernel_speedup` ablation row says it pays.
-    pub batch_gap_scan: bool,
+    pub batch_engagement: Option<bool>,
 }
 
 impl Default for TrafficParams {
@@ -118,7 +120,7 @@ impl Default for TrafficParams {
             vehicle_length: 5.0,
             density: 0.02,
             knn: None,
-            batch_gap_scan: false,
+            batch_engagement: None,
         }
     }
 }
@@ -278,6 +280,14 @@ pub fn views_from_scan(
     views
 }
 
+/// Per-candidate cost of the gap scan, in the analyzer's ALU-op units
+/// (the scale the BRASIL compiler scores its lane programs on): three
+/// subtractions per candidate — below
+/// `brace_core::behavior::BATCH_COST_THRESHOLD`, so [`gap_kernel`] stays
+/// off the default path (measured ≈0.75× batched on the reference
+/// container).
+pub const GAP_KERNEL_COST: u32 = 3;
+
 /// Lane kernel behind [`TrafficBehavior`]'s batched query — the gap scan's
 /// vectorizable half: per candidate, the signed longitudinal offset from
 /// the querying vehicle plus the lead gap (`(dx − L).max(0)`) and rear gap
@@ -377,7 +387,7 @@ impl Behavior for TrafficBehavior {
     }
 
     fn batch_profitable(&self) -> bool {
-        self.params.batch_gap_scan
+        brace_core::behavior::batch_engaged(GAP_KERNEL_COST, self.params.batch_engagement)
     }
 
     fn query(&self, me: AgentRef<'_>, nbrs: &Neighbors<'_>, eff: &mut EffectWriter<'_>, rng: &mut DetRng) {
@@ -469,6 +479,18 @@ impl Behavior for TrafficBehavior {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The gap scan's cost sits below the shared engagement threshold, so
+    /// the scalar path stays the default; `Some(true)` pins the kernel on.
+    #[test]
+    fn batch_engagement_follows_the_shared_cost_rule() {
+        use brace_core::behavior::{batch_engaged, Behavior};
+        assert!(!batch_engaged(GAP_KERNEL_COST, None));
+        assert!(!TrafficBehavior::new(TrafficParams::default()).batch_profitable());
+        let on = TrafficParams { batch_engagement: Some(true), ..TrafficParams::default() };
+        assert!(TrafficBehavior::new(on).batch_profitable());
+    }
+
     use brace_core::Simulation;
     use brace_spatial::IndexKind;
 

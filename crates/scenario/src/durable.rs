@@ -22,6 +22,7 @@
 //! [`resume`]: DurableRunner::resume
 //! [`list`]: DurableRunner::list
 
+use crate::jobline::JobSpec;
 use crate::runner::DEFAULT_SEED;
 use crate::{world_checksum, Registry, Scenario};
 use brace_common::{BraceError, Result};
@@ -123,48 +124,9 @@ pub struct RunSummary {
     pub truncated: bool,
 }
 
-/// The scenario/job line recorded in the manifest header. Everything needed
-/// to rebuild the behavior in a fresh process, given the header's seed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Job {
-    scenario: String,
-    size: Option<usize>,
-    conformance: bool,
-}
-
-fn encode_job(scenario: &str, size: Option<usize>, conformance: bool) -> String {
-    let size = size.map(|n| n.to_string()).unwrap_or_else(|| "default".into());
-    format!("scenario={scenario} size={size} conformance={conformance}")
-}
-
-fn parse_job(job: &str) -> Result<Job> {
-    let mut scenario = None;
-    let mut size = None;
-    let mut conformance = false;
-    for field in job.split_whitespace() {
-        let (key, value) = field
-            .split_once('=')
-            .ok_or_else(|| BraceError::Config(format!("malformed job field `{field}` in `{job}`")))?;
-        match key {
-            "scenario" => scenario = Some(value.to_string()),
-            "size" if value == "default" => size = None,
-            "size" => {
-                size = Some(
-                    value
-                        .parse::<usize>()
-                        .map_err(|_| BraceError::Config(format!("bad size `{value}` in job `{job}`")))?,
-                )
-            }
-            "conformance" => conformance = value == "true",
-            // Unknown keys are skipped, not rejected: an older binary can
-            // still resume a manifest written by a newer one that appended
-            // fields.
-            _ => {}
-        }
-    }
-    let scenario = scenario.ok_or_else(|| BraceError::Config(format!("job `{job}` names no scenario")))?;
-    Ok(Job { scenario, size, conformance })
-}
+// The job line written to / parsed from the manifest header lives in
+// [`crate::jobline`] now, shared with the serve layer's result-cache
+// keys. The byte format is unchanged — old manifests stay resumable.
 
 /// Largest epoch length ≤ `preferred` dividing `ticks` (the coordination
 /// cadence never affects results, so fitting is free).
@@ -214,7 +176,7 @@ impl<'r> DurableRunner<'r> {
             checkpoint_every: Some(opts.checkpoint_every.max(1)),
             keep_checkpoints: opts.keep_checkpoints.max(1),
             run_dir: Some(self.root.join(&run_id)),
-            job: encode_job(&opts.scenario, opts.size, opts.conformance),
+            job: JobSpec { scenario: opts.scenario.clone(), size: opts.size, conformance: opts.conformance }.encode(),
             total_ticks: opts.ticks,
             ..ClusterConfig::default()
         };
@@ -234,7 +196,7 @@ impl<'r> DurableRunner<'r> {
                 "run `{run_id}` already completed {ticks} ticks (checksum {checksum:#018x}); nothing to resume"
             )));
         }
-        let job = parse_job(&m.header.job)?;
+        let job = JobSpec::parse(&m.header.job)?;
         let scenario = self.registry.get_or_err(&job.scenario)?;
         let seed = m.header.seed;
         let setup = if job.conformance { scenario.conformance(seed)? } else { scenario.build(job.size, seed)? };
@@ -341,14 +303,16 @@ mod tests {
 
     #[test]
     fn job_line_round_trips() {
+        // The shared jobline module owns the format; this pins that durable
+        // manifests keep round-tripping through it.
         for (size, conformance) in [(None, true), (Some(123), false), (None, false)] {
-            let line = encode_job("fish", size, conformance);
-            assert_eq!(parse_job(&line).unwrap(), Job { scenario: "fish".into(), size, conformance });
+            let job = JobSpec { scenario: "fish".into(), size, conformance };
+            assert_eq!(JobSpec::parse(&job.encode()).unwrap(), job);
         }
-        assert!(parse_job("size=3").is_err(), "a job line without a scenario must be rejected");
-        assert!(parse_job("scenario=fish size=many").is_err());
+        assert!(JobSpec::parse("size=3").is_err(), "a job line without a scenario must be rejected");
+        assert!(JobSpec::parse("scenario=fish size=many").is_err());
         // Unknown keys from a newer writer are skipped, not fatal.
-        assert!(parse_job("scenario=fish shiny=new").is_ok());
+        assert!(JobSpec::parse("scenario=fish shiny=new").is_ok());
     }
 
     #[test]

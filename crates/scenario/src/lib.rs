@@ -35,10 +35,12 @@
 
 pub mod builtin;
 pub mod durable;
+pub mod jobline;
 pub mod runner;
 
 pub use builtin::{brasil_unoptimized, CONFORMANCE_POPULATION};
 pub use durable::{DurableOpts, DurableReport, DurableRunner, RunSummary};
+pub use jobline::{JobSpec, RunKey};
 pub use runner::{Backend, Observer, Progress, RunReport, Runner, SimHandle};
 
 use brace_common::{BraceError, Result};

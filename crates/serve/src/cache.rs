@@ -1,0 +1,133 @@
+//! Content-addressed result cache: canonical job line in, finished run out.
+//!
+//! Keys are [`RunKey::cache_key`](brace_scenario::RunKey::cache_key)
+//! hashes of the canonical job line, which *fully determines the result
+//! bits* (scenario builds are pure functions of `(size, seed)`, the
+//! engine is deterministic given world + index + backend, and the backend
+//! label is part of the key). That is the whole soundness argument: a hit
+//! can be served without re-simulating because an equal key provably
+//! yields a bit-identical checksum — `tests/serve_api.rs` pins this by
+//! comparing a cached response against a fresh
+//! [`Runner`](brace_scenario::Runner) run.
+//!
+//! Eviction is LRU over a bounded entry count. Per-tick frames are stored
+//! for stream replay only up to [`MAX_CACHED_FRAMES`]; longer runs cache
+//! the result summary alone and a replayed stream degrades to just the
+//! final line — results stay exact, only observation granularity is shed.
+
+use std::collections::HashMap;
+
+/// Stored per-tick frames are capped so one long run cannot occupy the
+/// whole cache's memory budget; see the module docs for the degradation.
+pub const MAX_CACHED_FRAMES: usize = 4096;
+
+/// A finished run, reduced to what replaying it requires.
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    /// `world_checksum` of the final world.
+    pub checksum: u64,
+    /// Final live population.
+    pub agents: usize,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Wall time of the *original* execution (kept for honesty: a cached
+    /// response reports the cost of the run it replays, not ~0).
+    pub wall_secs: f64,
+    /// Agent-ticks per second of the original execution.
+    pub agents_per_sec: f64,
+    /// Per-tick `(tick, agents)` observation frames for stream replay;
+    /// empty when the original run exceeded [`MAX_CACHED_FRAMES`].
+    pub frames: Vec<(u64, usize)>,
+}
+
+/// Bounded LRU map from canonical-job-line hash to [`CachedRun`].
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<u64, CachedRun>,
+    /// Recency order, least recent first. Linear maintenance is fine: the
+    /// cache is consulted once per `POST /runs`, not per tick.
+    order: Vec<u64>,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache { capacity: capacity.max(1), entries: HashMap::new(), order: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look a key up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<CachedRun> {
+        let hit = self.entries.get(&key).cloned()?;
+        self.touch(key);
+        Some(hit)
+    }
+
+    /// Insert (or refresh) an entry. Returns how many entries were evicted
+    /// to make room (0 or 1 — counted, because `GET /stats` reports it).
+    pub fn insert(&mut self, key: u64, run: CachedRun) -> usize {
+        if self.entries.insert(key, run).is_some() {
+            // Same canonical line finished twice (two identical POSTs were
+            // in flight together): identical bits, refresh recency only.
+            self.touch(key);
+            return 0;
+        }
+        self.order.push(key);
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            let oldest = self.order.remove(0);
+            self.entries.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(checksum: u64) -> CachedRun {
+        CachedRun { checksum, agents: 10, ticks: 5, wall_secs: 0.1, agents_per_sec: 500.0, frames: vec![(1, 10)] }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.insert(1, run(0xa)), 0);
+        assert_eq!(c.insert(2, run(0xb)), 0);
+        // Touch 1 so 2 becomes the eviction candidate.
+        assert_eq!(c.get(1).unwrap().checksum, 0xa);
+        assert_eq!(c.insert(3, run(0xc)), 1);
+        assert!(c.get(2).is_none(), "least-recent entry should have been evicted");
+        assert_eq!(c.get(1).unwrap().checksum, 0xa);
+        assert_eq!(c.get(3).unwrap().checksum, 0xc);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn double_insert_refreshes_without_evicting() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, run(0xa));
+        c.insert(2, run(0xb));
+        assert_eq!(c.insert(1, run(0xa)), 0);
+        assert_eq!(c.len(), 2);
+        // 2 is now least recent despite being inserted later.
+        c.insert(3, run(0xc));
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+    }
+}

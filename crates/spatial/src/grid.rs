@@ -18,6 +18,13 @@
 //! adjacent bucket (one sorted remove + one sorted insert). Query
 //! efficiency never degrades under updates, so [`SpatialIndex::maintain`]
 //! is a no-op.
+//!
+//! Range emission is globally **ascending by payload**: each bucket is
+//! kept payload-sorted and probes merge the overlapping buckets by
+//! payload, so candidates stream out in id order on any id-ordered pool.
+//! That makes the grid's canonical order identical to the cluster
+//! collector's, i.e. order-sensitive float-sum models are exactly
+//! distributable on the grid (see `brace_scenario::builtin`).
 
 use crate::index::{dense_slots, finish_knn, with_knn_scratch, SpatialIndex};
 use crate::kernels::{filter_rect, with_gather_scratch};
@@ -85,13 +92,23 @@ impl UniformGrid {
         self.cells.len()
     }
 
-    /// Visit the buckets overlapping `rect` in canonical order (coordinate
-    /// order of the cell loop, or sorted key order in the sparse-occupancy
-    /// fallback). Shared by the scalar [`SpatialIndex::range`] (inline
-    /// containment test) and the batched [`SpatialIndex::range_batch`]
-    /// (gather, then one lane-kernel filter pass) so both emit candidates
-    /// from exactly the same bucket sequence.
-    fn for_overlapping_buckets(&self, rect: &Rect, mut f: impl FnMut(&[(Vec2, u32)])) {
+    /// Visit every point of the buckets overlapping `rect` in globally
+    /// ascending payload order. Buckets stay payload-sorted through
+    /// `update`s, so the typical ≤3×3 overlap is an allocation-free k-way
+    /// merge of sorted runs; wider rectangles (and the sparse-occupancy
+    /// fallback, which scans every occupied cell) gather into a per-thread
+    /// scratch and sort by payload once. Shared by the scalar
+    /// [`SpatialIndex::range`] (inline containment test) and the batched
+    /// [`SpatialIndex::range_batch`] (gather, then one lane-kernel filter
+    /// pass) so both emit candidates from exactly the same sequence.
+    ///
+    /// Payloads are pool row indices, and every single-node pool stores
+    /// rows in id order — so ascending-payload emission *is* id-sorted
+    /// emission, the cluster collector's canonical order. That makes
+    /// order-sensitive float-sum models exactly distributable on the grid
+    /// (see `brace_scenario::builtin`); before this merge the emission was
+    /// bucket-major, an order no distributed reduction can reproduce.
+    fn for_merged_points(&self, rect: &Rect, mut f: impl FnMut(Vec2, u32)) {
         if rect.is_empty() || self.len == 0 {
             return;
         }
@@ -99,42 +116,87 @@ impl UniformGrid {
         let (x1, y1) = Self::key(rect.hi, self.cell);
         // Guard against absurd query rectangles producing gigantic loops:
         // iterate cells only when the cell count is smaller than the point
-        // count; otherwise scan the occupied cells directly — in sorted
-        // key order, so even this fallback emits canonically (hash-map
-        // iteration order must never leak into results).
+        // count; otherwise scan the occupied cells directly (hash-map
+        // iteration order must never leak into results — the payload sort
+        // below canonicalizes it away).
         let cell_count = (x1 - x0 + 1).saturating_mul(y1 - y0 + 1);
-        if cell_count as usize > self.cells.len() {
-            with_key_scratch(|keys| {
-                keys.clear();
-                keys.extend(self.cells.keys().copied());
-                keys.sort_unstable();
-                for key in keys {
-                    f(&self.cells[key]);
+        let sparse = cell_count as usize > self.cells.len();
+        const MERGE_WIDTH: usize = 16;
+        let mut runs: [&[(Vec2, u32)]; MERGE_WIDTH] = [&[]; MERGE_WIDTH];
+        let mut n_runs = 0;
+        let mut overflow = sparse;
+        if !sparse {
+            'collect: for cx in x0..=x1 {
+                for cy in y0..=y1 {
+                    if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                        if n_runs == MERGE_WIDTH {
+                            overflow = true;
+                            break 'collect;
+                        }
+                        runs[n_runs] = bucket;
+                        n_runs += 1;
+                    }
+                }
+            }
+        }
+        if overflow {
+            // Wide rectangle or degenerate occupancy: one gather + one
+            // payload sort beats an O(points × buckets) min-scan here.
+            with_merge_scratch(|pairs| {
+                pairs.clear();
+                if sparse {
+                    pairs.extend(self.cells.values().flatten().copied());
+                } else {
+                    for cx in x0..=x1 {
+                        for cy in y0..=y1 {
+                            if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                                pairs.extend(bucket.iter().copied());
+                            }
+                        }
+                    }
+                }
+                pairs.sort_unstable_by_key(|&(_, payload)| payload);
+                for &(p, payload) in pairs.iter() {
+                    f(p, payload);
                 }
             });
             return;
         }
-        for cx in x0..=x1 {
-            for cy in y0..=y1 {
-                if let Some(bucket) = self.cells.get(&(cx, cy)) {
-                    f(bucket);
+        // Common case: merge the payload-sorted runs with a linear
+        // min-scan over ≤16 cursors — no allocation, no per-probe sort.
+        let mut cursors = [0usize; MERGE_WIDTH];
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (i, run) in runs[..n_runs].iter().enumerate() {
+                if let Some(&(_, payload)) = run.get(cursors[i]) {
+                    if best.is_none_or(|(b, _)| payload < b) {
+                        best = Some((payload, i));
+                    }
                 }
             }
+            let Some((_, i)) = best else { return };
+            let (p, payload) = runs[i][cursors[i]];
+            cursors[i] += 1;
+            f(p, payload);
         }
     }
 }
 
 brace_common::tls_scratch!(
-    /// Reusable per-thread cell-key buffer for the sparse-occupancy range
-    /// fallback, which must emit in sorted key order (canonical) without a
-    /// per-probe allocation.
-    fn with_key_scratch -> Vec<(i64, i64)>
+    /// Reusable per-thread point buffer for range probes too wide for the
+    /// fixed-width bucket merge, which must still emit in ascending
+    /// payload order without a per-probe allocation.
+    fn with_merge_scratch -> Vec<(Vec2, u32)>
 );
 
 impl SpatialIndex for UniformGrid {
-    /// Cell iteration is coordinate-ordered and buckets stay payload-sorted
-    /// through `update`s, so emission order is a pure function of the
-    /// point set and the cell size.
+    /// Emission is globally **ascending by payload** (buckets stay
+    /// payload-sorted through `update`s and range probes merge them by
+    /// payload), so the order is a pure function of the matching point set
+    /// alone — not even the cell size can perturb it. Since payloads are
+    /// id-ordered pool rows on every single-node pool, this is exactly the
+    /// id-sorted order the cluster collector canonicalizes to, making the
+    /// grid exactly distributable for order-sensitive float reductions.
     const RANGE_CANONICAL: bool = true;
 
     fn build(points: &[(Vec2, u32)]) -> Self {
@@ -142,27 +204,23 @@ impl SpatialIndex for UniformGrid {
     }
 
     fn range(&self, rect: &Rect, out: &mut Vec<u32>) {
-        self.for_overlapping_buckets(rect, |bucket| {
-            for &(p, payload) in bucket {
-                if rect.contains(p) {
-                    out.push(payload);
-                }
+        self.for_merged_points(rect, |p, payload| {
+            if rect.contains(p) {
+                out.push(payload);
             }
         });
     }
 
-    /// Batched range: gather the overlapping buckets into the thread's SoA
-    /// columns (sequential copies of contiguous bucket storage), then run
-    /// the containment test as one lane-kernel pass. Bucket order and
-    /// order-preserving filtering make the emitted sequence exactly equal
-    /// to [`SpatialIndex::range`]'s (the canonical-order contract).
+    /// Batched range: gather the merged (payload-ascending) candidate
+    /// stream into the thread's SoA columns, then run the containment test
+    /// as one lane-kernel pass. The shared merge order and the
+    /// order-preserving filter make the emitted sequence exactly equal to
+    /// [`SpatialIndex::range`]'s (the canonical-order contract).
     fn range_batch(&self, rect: &Rect, out: &mut Vec<u32>) {
         with_gather_scratch(|s| {
             s.clear();
-            self.for_overlapping_buckets(rect, |bucket| {
-                for &(p, payload) in bucket {
-                    s.push(p.x, p.y, payload);
-                }
+            self.for_merged_points(rect, |p, payload| {
+                s.push(p.x, p.y, payload);
             });
             filter_rect(&s.xs, &s.ys, &s.payloads, rect, out);
         });
@@ -376,5 +434,53 @@ mod tests {
         let pts = vec![(Vec2::new(1000.0, 1000.0), 7)];
         let grid = UniformGrid::with_cell(&pts, 1.0);
         assert_eq!(grid.nearest(Vec2::ZERO, None), Some(7));
+    }
+
+    /// The canonical-order guarantee itself: every probe — narrow (k-way
+    /// merge), wide (gather + sort) and sparse-occupancy fallback — emits
+    /// payloads in globally ascending order, and `range_batch` emits the
+    /// exact same sequence.
+    #[test]
+    fn grid_range_emits_ascending_payloads_on_every_path() {
+        let pts = random_points(400, 21);
+        let grid = UniformGrid::with_cell(&pts, 7.0);
+        let mut rng = DetRng::seed_from_u64(22);
+        let mut probes: Vec<Rect> = (0..40)
+            .map(|_| {
+                let c = Vec2::new(rng.range(-60.0, 60.0), rng.range(-60.0, 60.0));
+                Rect::centered(c, rng.range(0.0, 8.0)) // ≤ 3×3 buckets: merge path
+            })
+            .collect();
+        probes.push(Rect::centered(Vec2::ZERO, 40.0)); // > 16 buckets: gather + sort
+        probes.push(Rect::from_bounds(-1e9, 1e9, -1e9, 1e9)); // sparse fallback
+        for rect in probes {
+            let (mut scalar, mut batched) = (Vec::new(), Vec::new());
+            grid.range(&rect, &mut scalar);
+            grid.range_batch(&rect, &mut batched);
+            assert!(scalar.windows(2).all(|w| w[0] < w[1]), "non-ascending emission for {rect:?}: {scalar:?}");
+            assert_eq!(scalar, batched, "range_batch sequence diverged for {rect:?}");
+        }
+    }
+
+    /// Ascending emission survives incremental updates that shuffle points
+    /// across buckets (remove + sorted insert keeps every bucket sorted).
+    #[test]
+    fn grid_emission_stays_ascending_after_updates() {
+        let pts = random_points(120, 23);
+        let mut grid = UniformGrid::with_cell(&pts, 5.0);
+        let mut rng = DetRng::seed_from_u64(24);
+        for round in 0..10 {
+            let moved: Vec<(u32, Vec2)> = (0..40)
+                .map(|_| {
+                    let payload = rng.range(0.0, 120.0) as u32 % 120;
+                    (payload, Vec2::new(rng.range(-50.0, 50.0), rng.range(-50.0, 50.0)))
+                })
+                .collect();
+            assert!(grid.update(&moved));
+            let rect = Rect::centered(Vec2::new(rng.range(-40.0, 40.0), rng.range(-40.0, 40.0)), 9.0);
+            let mut out = Vec::new();
+            grid.range(&rect, &mut out);
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "round {round}: non-ascending {out:?}");
+        }
     }
 }

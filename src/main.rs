@@ -10,6 +10,7 @@
 //!           [--checkpoint-every E] [--keep-checkpoints K] [--epoch-sleep-ms MS] ...
 //! brace run --run-dir DIR --resume <run-id> [--epoch-sleep-ms MS]
 //! brace list-runs --run-dir DIR
+//! brace serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //! ```
 //!
 //! `compile` is the optimizer inspector for the BRASIL-scripted scenarios:
@@ -33,6 +34,11 @@
 //! checkpoints, and `--resume <run-id>` finishes an interrupted run in a
 //! fresh process, bit-identically to never having crashed. `list-runs`
 //! summarizes what a run directory holds.
+//!
+//! `serve` puts the registry on a socket: a [`brace_serve::Server`] with a
+//! bounded simulation worker pool, explicit admission backpressure, and a
+//! content-addressed result cache keyed on the canonical job line — see
+//! the `brace-serve` crate docs and README for the endpoint reference.
 
 use brace_scenario::runner::DEFAULT_SEED;
 use brace_scenario::{Backend, DurableOpts, DurableRunner, Observer, Progress, Registry, Runner};
@@ -49,7 +55,8 @@ fn die(msg: &str) -> ! {
          \x20            [--run-dir DIR [--run-id ID] [--checkpoint-every E] [--keep-checkpoints K]\n\
          \x20            [--epoch-sleep-ms MS]]\n\
          \x20      brace run --run-dir DIR --resume <run-id> [--epoch-sleep-ms MS]\n\
-         \x20      brace list-runs --run-dir DIR"
+         \x20      brace list-runs --run-dir DIR\n\
+         \x20      brace serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]"
     );
     std::process::exit(2);
 }
@@ -190,6 +197,7 @@ fn main() {
             }
         }
         Some("list-runs") => list_runs(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("-h") | Some("--help") | None => die("expected a subcommand"),
         Some(other) => die(&format!("unknown subcommand `{other}`")),
     }
@@ -332,6 +340,44 @@ fn run_durable(opts: &RunOpts) {
             eprintln!("durable run FAILED: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `brace serve` — the simulation-as-a-service control plane. Binds,
+/// prints the resolved address, and serves until killed.
+fn serve(args: &[String]) {
+    let mut cfg = brace_serve::ServeConfig { addr: "127.0.0.1:8747".into(), ..Default::default() };
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, what: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => cfg.addr = take(args, &mut i, "--addr"),
+            "--workers" => {
+                cfg.workers =
+                    take(args, &mut i, "--workers").parse().unwrap_or_else(|e| die(&format!("--workers: {e}")))
+            }
+            "--queue" => {
+                cfg.queue_cap = take(args, &mut i, "--queue").parse().unwrap_or_else(|e| die(&format!("--queue: {e}")))
+            }
+            "--cache" => {
+                cfg.cache_cap = take(args, &mut i, "--cache").parse().unwrap_or_else(|e| die(&format!("--cache: {e}")))
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let workers = cfg.workers;
+    let server = match brace_serve::Server::start(Registry::builtin(), cfg) {
+        Ok(s) => s,
+        Err(e) => die(&e.to_string()),
+    };
+    println!("brace-serve listening on http://{} ({} workers)", server.addr(), workers);
+    // Serve until the process is killed; the Server's threads do the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
     }
 }
 

@@ -968,9 +968,9 @@ proptest! {
             lanes,
             density,
             knn: use_knn.then_some(6),
-            // Engage the gap-scan kernel (off by default as scheduling
-            // policy) so the equivalence under test is actually exercised.
-            batch_gap_scan: true,
+            // Engage the gap-scan kernel (below the cost threshold by
+            // default) so the equivalence under test is actually exercised.
+            batch_engagement: Some(true),
             ..TrafficParams::default()
         };
         let pop = TrafficBehavior::new(params.clone()).population(seed);
@@ -1001,9 +1001,9 @@ proptest! {
     ) {
         let params = PredatorParams {
             nonlocal,
-            // Engage the bite-scan kernel (off by default as scheduling
-            // policy) so the equivalence under test is actually exercised.
-            batch_bite_scan: true,
+            // Engage the bite-scan kernel (below the cost threshold by
+            // default) so the equivalence under test is actually exercised.
+            batch_engagement: Some(true),
             ..PredatorParams::default()
         };
         let mut pop = PredatorBehavior::new(params.clone()).population(n, 12.0, seed);

@@ -1,0 +1,319 @@
+//! End-to-end tests of the `brace-serve` control plane over real sockets.
+//!
+//! Each test boots its own [`Server`] on an ephemeral port (so counters
+//! are isolated and tests parallelize), then speaks plain HTTP/1.1 over
+//! [`TcpStream`] — the same wire a curl-driven CI smoke test uses. The
+//! load-bearing assertions:
+//!
+//! * a run served through the API is **bit-identical** to the same run
+//!   driven directly through [`Runner`] (the control plane adds transport,
+//!   not nondeterminism);
+//! * a repeat `POST /runs` is answered from the result cache with the
+//!   identical checksum and **without re-simulating** (`runs_completed`
+//!   does not move, `cache.hits` does);
+//! * past the bounded admission queue, `POST /runs` gets `503` with a
+//!   `Retry-After` header instead of unbounded buffering;
+//! * malformed input produces clean 4xx responses and the server keeps
+//!   serving afterwards.
+
+use brace_scenario::{Registry, Runner};
+use brace_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One request, one response, connection closed (the server's model).
+/// Returns `(status, raw head, body)` with chunked bodies decoded.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in `{head}`"));
+    let body = if head.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    (status, head.to_string(), body)
+}
+
+fn dechunk(payload: &str) -> String {
+    let mut out = String::new();
+    let mut rest = payload;
+    while let Some((size_line, after)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("chunk size");
+        if size == 0 {
+            break;
+        }
+        out.push_str(&after[..size]);
+        rest = &after[size + 2..]; // skip chunk body + CRLF
+    }
+    out
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    request(addr, "GET", path, None)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Pull a JSON field's raw value out of a flat body by text; plenty for
+/// asserting on responses this small.
+fn field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat)? + pat.len();
+    let rest = &body[start..];
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            match c {
+                '"' => *in_str = !*in_str,
+                ',' | '}' if !*in_str => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim_matches('"'))
+}
+
+fn run_id(body: &str) -> String {
+    field(body, "run_id").expect("response names a run_id").to_string()
+}
+
+/// Poll `GET /runs/:id` until the run is terminal; panics after 60 s.
+fn wait_done(addr: SocketAddr, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, _, body) = get(addr, &format!("/runs/{id}"));
+        assert_eq!(status, 200, "status poll failed: {body}");
+        match field(&body, "status") {
+            Some("done") => return body,
+            Some("failed") => panic!("run failed: {body}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "run {id} did not finish: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn server() -> Server {
+    Server::start(Registry::builtin(), ServeConfig::default()).expect("bind ephemeral port")
+}
+
+const EPIDEMIC_RUN: &str = r#"{"scenario":"epidemic","conformance":true,"ticks":20,"seed":42}"#;
+
+#[test]
+fn catalogue_lists_the_builtin_registry() {
+    let server = server();
+    let (status, _, body) = get(server.addr(), "/scenarios");
+    assert_eq!(status, 200);
+    let registry = Registry::builtin();
+    for name in registry.names() {
+        assert!(body.contains(&format!("\"name\":\"{name}\"")), "catalogue is missing `{name}`: {body}");
+    }
+    let (status, _, body) = get(server.addr(), "/");
+    assert_eq!(status, 200);
+    assert!(body.contains("POST /runs"));
+}
+
+#[test]
+fn served_run_is_bit_identical_to_a_direct_runner_run() {
+    let server = server();
+    let (status, _, body) = post(server.addr(), "/runs", EPIDEMIC_RUN);
+    assert_eq!(status, 202, "fresh run should be accepted into the queue: {body}");
+    assert_eq!(field(&body, "cached"), Some("false"));
+    let id = run_id(&body);
+    let done = wait_done(server.addr(), &id);
+
+    let registry = Registry::builtin();
+    let direct = Runner::new(registry.get("epidemic").unwrap()).conformance().seed(42).run(20).expect("direct run");
+    let expect = format!("{:#018X}", direct.checksum);
+    assert_eq!(field(&done, "checksum"), Some(expect.as_str()), "API and direct runs must agree bit-for-bit");
+    assert_eq!(field(&done, "agents"), Some(direct.agents.to_string().as_str()));
+    // Single-node conformance runs observe every tick.
+    assert_eq!(field(&done, "frames"), Some("20"));
+}
+
+#[test]
+fn stream_delivers_frames_then_the_final_checksum() {
+    let server = server();
+    let (_, _, body) = post(server.addr(), "/runs", EPIDEMIC_RUN);
+    let id = run_id(&body);
+    // The stream blocks until the run completes, then closes — one request
+    // observes the whole run.
+    let (status, head, stream) = get(server.addr(), &format!("/runs/{id}/stream"));
+    assert_eq!(status, 200);
+    assert!(head.to_ascii_lowercase().contains("transfer-encoding: chunked"));
+    let lines: Vec<&str> = stream.lines().collect();
+    assert_eq!(lines.len(), 21, "20 tick frames plus the terminal line: {stream}");
+    assert!(lines[0].contains("\"tick\":1"));
+    assert!(lines[19].contains("\"tick\":20"));
+    let last = lines[20];
+    assert!(last.contains("\"done\":true") && last.contains("\"status\":\"done\""), "terminal line: {last}");
+
+    let direct =
+        Runner::new(Registry::builtin().get("epidemic").unwrap()).conformance().seed(42).run(20).expect("direct run");
+    assert!(last.contains(&format!("{:#018X}", direct.checksum)), "streamed checksum must match: {last}");
+}
+
+#[test]
+fn second_identical_post_is_served_from_the_cache_without_resimulating() {
+    let server = server();
+    let (status, _, first) = post(server.addr(), "/runs", EPIDEMIC_RUN);
+    assert_eq!(status, 202);
+    let first_done = wait_done(server.addr(), &run_id(&first));
+    let first_checksum = field(&first_done, "checksum").unwrap().to_string();
+
+    let (status, _, second) = post(server.addr(), "/runs", EPIDEMIC_RUN);
+    assert_eq!(status, 200, "cache hit answers immediately: {second}");
+    assert_eq!(field(&second, "cached"), Some("true"));
+    assert_eq!(field(&second, "status"), Some("done"));
+    assert_eq!(field(&second, "checksum"), Some(first_checksum.as_str()), "cached result must be bit-identical");
+
+    // The cached record replays its stream instantly, terminal line included.
+    let (_, _, stream) = get(server.addr(), &format!("/runs/{}/stream", run_id(&second)));
+    assert!(stream.lines().count() == 21 && stream.contains(&first_checksum), "replayed stream: {stream}");
+
+    // The proof it did not re-simulate: one completed execution, one hit.
+    let (_, _, stats) = get(server.addr(), "/stats");
+    assert_eq!(field(&stats, "runs_completed"), Some("1"), "{stats}");
+    assert_eq!(field(&stats, "hits"), Some("1"), "{stats}");
+    assert_eq!(field(&stats, "misses"), Some("1"), "{stats}");
+
+    // A different seed is a different canonical line: miss, not hit.
+    let (status, _, other) =
+        post(server.addr(), "/runs", r#"{"scenario":"epidemic","conformance":true,"ticks":20,"seed":43}"#);
+    assert_eq!(status, 202, "{other}");
+    let other_done = wait_done(server.addr(), &run_id(&other));
+    assert_ne!(field(&other_done, "checksum").unwrap(), first_checksum);
+}
+
+#[test]
+fn cluster_backend_runs_are_exact_and_cached_separately() {
+    let server = server();
+    let cluster_body = r#"{"scenario":"epidemic","conformance":true,"ticks":20,"seed":42,"backend":"cluster:2"}"#;
+    let (status, _, body) = post(server.addr(), "/runs", cluster_body);
+    assert_eq!(status, 202, "{body}");
+    let done = wait_done(server.addr(), &run_id(&body));
+
+    // Conformance scenarios are exactly distributable: the cluster result
+    // must equal the single-node result bit-for-bit...
+    let (_, _, single) = post(server.addr(), "/runs", EPIDEMIC_RUN);
+    let single_done = wait_done(server.addr(), &run_id(&single));
+    assert_eq!(field(&done, "checksum"), field(&single_done, "checksum"));
+
+    // ...but the backend label is still part of the cache key, so the two
+    // populated separate entries (2 misses, 0 hits so far).
+    let (_, _, stats) = get(server.addr(), "/stats");
+    assert_eq!(field(&stats, "misses"), Some("2"), "{stats}");
+    let (status, _, repeat) = post(server.addr(), "/runs", cluster_body);
+    assert_eq!(status, 200);
+    assert_eq!(field(&repeat, "cached"), Some("true"), "{repeat}");
+}
+
+#[test]
+fn concurrent_posts_all_complete_through_the_bounded_pool() {
+    let server = server();
+    let addr = server.addr();
+    let ids: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                scope.spawn(move || {
+                    let body = format!(r#"{{"scenario":"epidemic","conformance":true,"ticks":10,"seed":{}}}"#, 100 + i);
+                    let (status, _, resp) = post(addr, "/runs", &body);
+                    assert_eq!(status, 202, "pool admission should absorb 6 jobs: {resp}");
+                    run_id(&resp)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for id in &ids {
+        wait_done(addr, id);
+    }
+    let (_, _, stats) = get(addr, "/stats");
+    assert_eq!(field(&stats, "runs_completed"), Some("6"), "{stats}");
+    assert_eq!(field(&stats, "runs_failed"), Some("0"), "{stats}");
+}
+
+#[test]
+fn saturation_rejects_with_503_and_retry_after() {
+    // One worker, one queue slot: a burst of long runs must overflow
+    // admission while the first run still occupies the worker.
+    let cfg = ServeConfig { workers: 1, queue_cap: 1, ..ServeConfig::default() };
+    let server = Server::start(Registry::builtin(), cfg).unwrap();
+    let mut rejected = 0;
+    for seed in 0..6 {
+        // Distinct seeds defeat the cache; 20k ticks pin the worker for
+        // seconds while the burst of POSTs lands in milliseconds.
+        let body = format!(r#"{{"scenario":"epidemic","conformance":true,"ticks":20000,"seed":{seed}}}"#);
+        let (status, head, resp) = post(server.addr(), "/runs", &body);
+        match status {
+            202 => {}
+            503 => {
+                rejected += 1;
+                assert!(head.contains("Retry-After:"), "503 must carry Retry-After: {head}");
+                assert!(resp.contains("error"), "{resp}");
+            }
+            other => panic!("unexpected status {other}: {resp}"),
+        }
+    }
+    assert!(rejected >= 3, "with 1 worker + 1 queue slot, most of a 6-POST burst must bounce (got {rejected})");
+    let (_, _, stats) = get(server.addr(), "/stats");
+    assert_eq!(field(&stats, "rejected_saturated"), Some(rejected.to_string().as_str()), "{stats}");
+}
+
+#[test]
+fn malformed_requests_get_clean_errors_and_the_server_survives() {
+    let server = server();
+    let addr = server.addr();
+    let cases: &[(&str, u16)] = &[
+        ("this is not json", 400),
+        ("{\"ticks\": 5}", 400),     // no scenario
+        ("{\"scenario\": 42}", 400), // wrong type
+        ("{\"scenario\": \"no-such-model\"}", 404),
+        ("{\"scenario\": \"fish\", \"ticks\": 0}", 400),
+        ("{\"scenario\": \"fish\", \"backend\": \"gpu\"}", 400),
+        ("{\"scenario\": \"fish\", \"index\": \"octree\"}", 400),
+        ("{\"scenario\": \"fish\", \"conformance\": true, \"agents\": 7}", 400),
+        ("[1,2,3]", 400),                                // not an object
+        ("{\"scenario\":\"fish\",\"ticks\":1e99}", 400), // absurd horizon
+    ];
+    for (body, want) in cases {
+        let (status, _, resp) = post(addr, "/runs", body);
+        assert_eq!(status, *want, "body `{body}` → {resp}");
+        assert!(resp.contains("\"error\""), "error responses carry a message: {resp}");
+    }
+    let (status, _, _) = get(addr, "/runs/r999");
+    assert_eq!(status, 404);
+    let (status, _, _) = get(addr, "/runs/r999/stream");
+    assert_eq!(status, 404);
+    let (status, _, _) = get(addr, "/no-such-endpoint");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(addr, "DELETE", "/runs", None);
+    assert_eq!(status, 404);
+
+    // After all that abuse, a well-formed run still goes through.
+    let (status, _, body) = post(addr, "/runs", r#"{"scenario":"epidemic","conformance":true,"ticks":5}"#);
+    assert_eq!(status, 202, "{body}");
+    wait_done(addr, &run_id(&body));
+}
