@@ -5,7 +5,8 @@
 //! ```text
 //! paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]
 //! paper tick-throughput [--quick] [--agents N,M] [--ticks T] [--warmup W]
-//!                       [--parallel P] [--cluster-agents N] [--cluster-workers A,B] [--out PATH]
+//!                       [--parallel P] [--cluster-agents N] [--cluster-workers A,B]
+//!                       [--hotspot-agents N] [--out PATH]
 //! ```
 //!
 //! Absolute numbers are machine-dependent; the shapes (growth orders,
@@ -45,7 +46,7 @@ fn main() {
                 println!(
                     "usage: paper [fig3|fig4|fig5|fig6|fig7|fig8|table2|all] [--scale small|paper]\n\
                      \x20      paper tick-throughput [--quick] [--agents N,M] [--ticks T] [--warmup W] [--parallel P]\n\
-                     \x20            [--cluster-agents N] [--cluster-workers A,B] [--out PATH]"
+                     \x20            [--cluster-agents N] [--cluster-workers A,B] [--hotspot-agents N] [--out PATH]"
                 );
                 return;
             }
@@ -132,6 +133,10 @@ fn run_tick_throughput(args: &[String]) {
             "--opt-agents" => {
                 cfg.opt_agents = take(&mut i).parse().unwrap_or_else(|_| die("--opt-agents takes a number (0 skips)"));
             }
+            "--hotspot-agents" => {
+                cfg.hotspot_agents =
+                    take(&mut i).parse().unwrap_or_else(|_| die("--hotspot-agents takes a number (0 skips)"));
+            }
             other => die(&format!("unknown tick-throughput flag `{other}`")),
         }
         i += 1;
@@ -143,6 +148,40 @@ fn run_tick_throughput(args: &[String]) {
         report.rows.iter().any(|r| r.mode == "scalar-kernel"),
         "tick-throughput matrix lost the scalar-kernel ablation row"
     );
+    // The grid runs its batched range filter natively over the SoA bucket
+    // arena (`RANGE_BATCH_NATIVE`), so every measured population must have
+    // a grid serial (batched) row paired with its scalar-kernel ablation —
+    // the rows behind the grid's `kernel_speedup` — for both models.
+    for &n in &cfg.agent_counts {
+        for model in ["fish", "traffic"] {
+            for mode in ["serial", "scalar-kernel"] {
+                assert!(
+                    report.rows.iter().any(|r| {
+                        r.model == model && r.agents == n && r.index == brace_spatial::IndexKind::Grid && r.mode == mode
+                    }),
+                    "matrix lost the grid-native kernel row {model}/{n}/{mode}"
+                );
+            }
+        }
+    }
+    // The hotspot section must cover both models on both tree and grid —
+    // the heavy-tailed rows exist precisely to watch the dense-bucket
+    // kernels, so losing them silently would blind the baseline. (Skipped
+    // when disabled via --hotspot-agents 0.)
+    if cfg.hotspot_agents > 0 {
+        for model in ["fish", "traffic"] {
+            for kind in [brace_spatial::IndexKind::KdTree, brace_spatial::IndexKind::Grid] {
+                assert!(
+                    report.rows.iter().any(|r| r.hotspot && r.model == model && r.index == kind),
+                    "hotspot section lost the {model}/{kind:?} rows"
+                );
+            }
+        }
+        assert!(
+            report.speedups.iter().any(|s| s.hotspot && s.kernel_speedup > 0.0),
+            "hotspot section produced no kernel-speedup rows"
+        );
+    }
     // The cluster section must cover both models at every configured
     // worker count, and delta distribution must beat full redistribution
     // on replica bytes in the multi-worker steady state — traffic's
@@ -207,7 +246,7 @@ fn run_tick_throughput(args: &[String]) {
     }
     print_table(
         &format!("Tick throughput — sharded executor, {} core(s)", report.cores),
-        &["model", "agents", "index", "mode", "threads", "query [agents/s]", "tick [agents/s]"],
+        &["model", "agents", "index", "mode", "pop", "threads", "query [agents/s]", "tick [agents/s]"],
         &report
             .rows
             .iter()
@@ -217,6 +256,7 @@ fn run_tick_throughput(args: &[String]) {
                     r.actual_agents.to_string(),
                     format!("{:?}", r.index),
                     r.mode.to_string(),
+                    if r.hotspot { "hotspot" } else { "uniform" }.to_string(),
                     r.parallelism.to_string(),
                     tput(r.query_agents_per_sec),
                     tput(r.tick_agents_per_sec),
@@ -225,6 +265,10 @@ fn run_tick_throughput(args: &[String]) {
             .collect::<Vec<_>>(),
     );
     for s in &report.speedups {
+        if s.hotspot {
+            println!("speedup {}/{}/{:?} (hotspot): kernel {:.2}x", s.model, s.agents, s.index, s.kernel_speedup);
+            continue;
+        }
         println!(
             "speedup {}/{}/{:?}: query {:.2}x, tick {:.2}x, incremental-index {:.2}x, soa-vs-aos {:.2}x, \
              kernel {:.2}x",

@@ -37,6 +37,11 @@ pub struct ThroughputRow {
     pub mode: &'static str,
     /// Thread budget the executor ran with (serial/ablation rows report 1).
     pub parallelism: usize,
+    /// `true` for heavy-tailed hotspot populations (Zipf-weighted cluster
+    /// seeding packs most agents into a few dense index buckets — the
+    /// adversarial case for the bucket filter kernels and the merge);
+    /// `false` for the uniform-ish model-default populations.
+    pub hotspot: bool,
     pub ticks: u64,
     pub index_build_ns: u64,
     pub query_ns: u64,
@@ -94,6 +99,11 @@ pub struct ThroughputConfig {
     /// it): every `brasil-*` scenario, optimized pipeline vs its
     /// unoptimized twin, same population and seed.
     pub opt_agents: usize,
+    /// Population size for the hotspot section (`0` skips it): fish +
+    /// traffic reseeded into Zipf-weighted clusters, KD-tree + grid,
+    /// serial and scalar-kernel modes — the heavy-tailed density case the
+    /// uniform matrix never exercises.
+    pub hotspot_agents: usize,
 }
 
 impl Default for ThroughputConfig {
@@ -108,6 +118,7 @@ impl Default for ThroughputConfig {
             cluster_workers: vec![1, 2, 4],
             scenario_agents: 5_000,
             opt_agents: 100_000,
+            hotspot_agents: 100_000,
         }
     }
 }
@@ -126,6 +137,7 @@ impl ThroughputConfig {
             cluster_workers: vec![1, 2, 4],
             scenario_agents: 500,
             opt_agents: 500,
+            hotspot_agents: 2_000,
         }
     }
 }
@@ -136,6 +148,11 @@ pub struct SpeedupRow {
     pub model: String,
     pub agents: usize,
     pub index: IndexKind,
+    /// `true` when the underlying rows ran the heavy-tailed hotspot
+    /// population. Hotspot comparisons measure only `kernel_speedup` (the
+    /// phase dense buckets stress); the parallel/ablation columns are 0.0
+    /// (not measured), never a real ratio.
+    pub hotspot: bool,
     /// Parallel over serial, query-phase throughput.
     pub query_speedup: f64,
     /// Parallel over serial, whole-tick throughput.
@@ -275,12 +292,74 @@ fn traffic_world(n: usize) -> (TrafficBehavior, Vec<Agent>) {
     (behavior, pop)
 }
 
+/// Reseed a population's positions into a heavy-tailed hotspot layout:
+/// `HOTSPOT_CLUSTERS` cluster centers spread over the original bounding
+/// box, each agent assigned by Zipf weight (cluster `k` draws ∝ 1/(k+1),
+/// so the top cluster holds ~27% of the population) and offset from its
+/// center by a normal perturbation of ~1/64 of the box extent. The result
+/// packs most agents into a few dense index buckets — the adversarial case
+/// for the bucket filter kernels and the k-way merge. Everything is a pure
+/// function of `(seed, agent index)`, so rows are reproducible.
+///
+/// `cluster_y` keeps the y coordinate untouched when `false`: traffic
+/// agents must stay on their lane line, so its hotspots are congestion
+/// bands along the road, not 2-D blobs.
+fn hotspotize(pop: &mut [Agent], seed: u64, cluster_y: bool) {
+    const HOTSPOT_CLUSTERS: usize = 12;
+    if pop.is_empty() {
+        return;
+    }
+    let (mut lox, mut hix, mut loy, mut hiy) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for a in pop.iter() {
+        lox = lox.min(a.pos.x);
+        hix = hix.max(a.pos.x);
+        loy = loy.min(a.pos.y);
+        hiy = hiy.max(a.pos.y);
+    }
+    let (ex, ey) = ((hix - lox).max(f64::MIN_POSITIVE), (hiy - loy).max(f64::MIN_POSITIVE));
+    let root = brace_common::DetRng::seed_from_u64(seed);
+    let mut centers = root.stream(0xC3);
+    let centers: Vec<(f64, f64)> =
+        (0..HOTSPOT_CLUSTERS).map(|_| (centers.range(lox, hix), centers.range(loy, hiy))).collect();
+    // Zipf CDF over cluster ranks: weight(k) ∝ 1/(k+1).
+    let total: f64 = (0..HOTSPOT_CLUSTERS).map(|k| 1.0 / (k + 1) as f64).sum();
+    let mut cdf = Vec::with_capacity(HOTSPOT_CLUSTERS);
+    let mut acc = 0.0;
+    for k in 0..HOTSPOT_CLUSTERS {
+        acc += 1.0 / (k + 1) as f64 / total;
+        cdf.push(acc);
+    }
+    for (i, a) in pop.iter_mut().enumerate() {
+        let mut r = root.stream(i as u64 + 1);
+        let u = r.unit();
+        let k = cdf.iter().position(|&c| u < c).unwrap_or(HOTSPOT_CLUSTERS - 1);
+        let (cx, cy) = centers[k];
+        a.pos.x = (cx + r.normal() * ex / 64.0).clamp(lox, hix);
+        if cluster_y {
+            a.pos.y = (cy + r.normal() * ey / 64.0).clamp(loy, hiy);
+        }
+    }
+}
+
+fn fish_hotspot_world(n: usize) -> (FishBehavior, Vec<Agent>) {
+    let (behavior, mut pop) = fish_world(n);
+    hotspotize(&mut pop, 0xB07, true);
+    (behavior, pop)
+}
+
+fn traffic_hotspot_world(n: usize) -> (TrafficBehavior, Vec<Agent>) {
+    let (behavior, mut pop) = traffic_world(n);
+    hotspotize(&mut pop, 0xB07, false);
+    (behavior, pop)
+}
+
 struct MeasureCtx {
     model: &'static str,
     agents: usize,
     kind: IndexKind,
     mode: &'static str,
     parallelism: usize,
+    hotspot: bool,
     warmup: u64,
     ticks: u64,
 }
@@ -310,6 +389,7 @@ fn measure_exec<B: Behavior>(
         index: ctx.kind,
         mode: ctx.mode,
         parallelism: ctx.parallelism,
+        hotspot: ctx.hotspot,
         ticks: m.ticks,
         index_build_ns: m.index_build_ns,
         query_ns: m.query_ns,
@@ -350,6 +430,7 @@ fn measure_aos<B: Behavior>(ctx: &MeasureCtx, behavior: B, mut agents: Vec<Agent
         index: ctx.kind,
         mode: ctx.mode,
         parallelism: 1,
+        hotspot: ctx.hotspot,
         ticks: ctx.ticks,
         index_build_ns: build_ns,
         query_ns,
@@ -544,6 +625,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                         kind,
                         mode,
                         parallelism: threads,
+                        hotspot: false,
                         warmup: cfg.warmup,
                         ticks: cfg.ticks,
                     };
@@ -578,6 +660,7 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                     model: model.to_string(),
                     agents: n,
                     index: kind,
+                    hotspot: false,
                     query_speedup: parallel.query_agents_per_sec / serial.query_agents_per_sec.max(1e-9),
                     tick_speedup: parallel.tick_agents_per_sec / serial.tick_agents_per_sec.max(1e-9),
                     incremental_speedup: serial.index_query_agents_per_sec()
@@ -592,6 +675,55 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
                 report.rows.push(parallel);
                 report.rows.push(rebuild);
                 report.rows.push(aos);
+                report.rows.push(scalar_kernel);
+            }
+        }
+    }
+    // The hotspot section: fish + traffic reseeded into Zipf-weighted
+    // clusters ([`hotspotize`]), KD-tree + grid, serial and scalar-kernel
+    // modes. Dense buckets are the adversarial case for the bucket filter
+    // kernels and the grid's k-way merge, so each pair also derives a
+    // `kernel_speedup` row (`hotspot: true`; the parallel/ablation columns
+    // stay 0.0 — not measured for this section).
+    if cfg.hotspot_agents > 0 {
+        let n = cfg.hotspot_agents;
+        for kind in [IndexKind::KdTree, IndexKind::Grid] {
+            for model in ["fish", "traffic"] {
+                let run = |mode: &'static str| -> ThroughputRow {
+                    let ctx = MeasureCtx {
+                        model,
+                        agents: n,
+                        kind,
+                        mode,
+                        parallelism: 1,
+                        hotspot: true,
+                        warmup: cfg.warmup,
+                        ticks: cfg.ticks,
+                    };
+                    let kernel = if mode == "scalar-kernel" { QueryKernel::Scalar } else { QueryKernel::Batched };
+                    if model == "fish" {
+                        let (b, pop) = fish_hotspot_world(n);
+                        measure_exec(&ctx, b, pop, IndexMaintenance::Incremental, kernel)
+                    } else {
+                        let (b, pop) = traffic_hotspot_world(n);
+                        measure_exec(&ctx, b, pop, IndexMaintenance::Incremental, kernel)
+                    }
+                };
+                let serial = run("serial");
+                let scalar_kernel = run("scalar-kernel");
+                report.speedups.push(SpeedupRow {
+                    model: model.to_string(),
+                    agents: n,
+                    index: kind,
+                    hotspot: true,
+                    query_speedup: 0.0,
+                    tick_speedup: 0.0,
+                    incremental_speedup: 0.0,
+                    soa_speedup: 0.0,
+                    kernel_speedup: serial.query_agents_per_sec / scalar_kernel.query_agents_per_sec.max(1e-9),
+                    unreliable: false, // marked below when cores == 1
+                });
+                report.rows.push(serial);
                 report.rows.push(scalar_kernel);
             }
         }
@@ -642,10 +774,15 @@ fn index_name(kind: IndexKind) -> &'static str {
 /// added the `unreliable` flag on `speedups` and `cluster` rows: `true`
 /// when the matrix ran on one visible core, where thread-parallel
 /// comparisons are timing noise — regression tooling must skip comparing
-/// flagged rows.
+/// flagged rows. Version 8 added the `hotspot` population field on `rows`
+/// and `speedups`: `true` for the heavy-tailed Zipf-clustered populations
+/// (serial + scalar-kernel modes only; hotspot speedup rows measure only
+/// `kernel_speedup`, with the parallel/ablation columns written as 0.0 —
+/// not measured). Tooling must compare uniform rows against uniform and
+/// hotspot against hotspot.
 pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 7,\n");
+    out.push_str("  \"schema_version\": 8,\n");
     out.push_str(&format!("  \"cores\": {},\n", report.cores));
     out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
     out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
@@ -653,7 +790,7 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     for (i, r) in report.rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"agents\": {}, \"actual_agents\": {}, \"index\": \"{}\", \
-             \"mode\": \"{}\", \"parallelism\": {}, \"ticks\": {}, \"index_build_ns\": {}, \
+             \"mode\": \"{}\", \"parallelism\": {}, \"hotspot\": {}, \"ticks\": {}, \"index_build_ns\": {}, \
              \"query_ns\": {}, \"update_ns\": {}, \"index_rebuilds\": {}, \
              \"query_agents_per_sec\": {:.1}, \"tick_agents_per_sec\": {:.1}}}{}\n",
             r.model,
@@ -662,6 +799,7 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
             index_name(r.index),
             r.mode,
             r.parallelism,
+            r.hotspot,
             r.ticks,
             r.index_build_ns,
             r.query_ns,
@@ -676,13 +814,14 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     out.push_str("  \"speedups\": [\n");
     for (i, s) in report.speedups.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"model\": \"{}\", \"agents\": {}, \"index\": \"{}\", \
+            "    {{\"model\": \"{}\", \"agents\": {}, \"index\": \"{}\", \"hotspot\": {}, \
              \"query_speedup\": {:.3}, \"tick_speedup\": {:.3}, \
              \"incremental_speedup\": {:.3}, \"soa_speedup\": {:.3}, \"kernel_speedup\": {:.3}, \
              \"unreliable\": {}}}{}\n",
             s.model,
             s.agents,
             index_name(s.index),
+            s.hotspot,
             s.query_speedup,
             s.tick_speedup,
             s.incremental_speedup,
@@ -779,15 +918,40 @@ mod tests {
             cluster_workers: vec![1, 2],
             scenario_agents: 150,
             opt_agents: 150,
+            hotspot_agents: 300,
         };
         let report = tick_throughput(&cfg);
-        // 1 size × 3 kinds × 2 models × 5 modes.
-        assert_eq!(report.rows.len(), 30);
-        assert_eq!(report.speedups.len(), 6);
+        // 1 size × 3 kinds × 2 models × 5 modes (uniform matrix), plus the
+        // hotspot section: 2 kinds × 2 models × 2 modes.
+        assert_eq!(report.rows.len(), 38);
+        assert_eq!(report.speedups.len(), 10);
         assert!(report.skipped.is_empty());
         for mode in ["serial", "parallel", "rebuild", "aos", "scalar-kernel"] {
             assert!(report.rows.iter().any(|r| r.mode == mode), "missing mode {mode}");
         }
+        // Hotspot section: serial + scalar-kernel rows per model × {kdtree,
+        // grid}, and a kernel-only speedup row for each pair (the other
+        // speedup columns are written as 0.0 — not measured).
+        for model in ["fish", "traffic"] {
+            for kind in [IndexKind::KdTree, IndexKind::Grid] {
+                for mode in ["serial", "scalar-kernel"] {
+                    let row = report
+                        .rows
+                        .iter()
+                        .find(|r| r.hotspot && r.model == model && r.index == kind && r.mode == mode)
+                        .unwrap_or_else(|| panic!("missing hotspot row {model}/{kind:?}/{mode}"));
+                    assert!(row.tick_agents_per_sec > 0.0, "hotspot row {row:?} measured nothing");
+                }
+                let s = report
+                    .speedups
+                    .iter()
+                    .find(|s| s.hotspot && s.model == model && s.index == kind)
+                    .unwrap_or_else(|| panic!("missing hotspot speedup row {model}/{kind:?}"));
+                assert!(s.kernel_speedup > 0.0, "{s:?}");
+                assert_eq!((s.query_speedup, s.incremental_speedup, s.soa_speedup), (0.0, 0.0, 0.0), "{s:?}");
+            }
+        }
+        assert!(report.rows.iter().filter(|r| !r.hotspot).count() == 30, "uniform matrix shrank");
         // Cluster section: 2 models × 2 worker counts.
         assert_eq!(report.cluster.len(), 4);
         for c in &report.cluster {
@@ -816,7 +980,8 @@ mod tests {
         let car = report.opt.iter().find(|o| o.scenario == "brasil-car").expect("car opt row");
         assert!(car.candidate_reduction > 1.2, "pushdown must shrink the car probe rect: {car:?}");
         let json = to_json(&report, &cfg);
-        assert!(json.contains("\"schema_version\": 7"));
+        assert!(json.contains("\"schema_version\": 8"));
+        assert!(json.contains("\"hotspot\": true") && json.contains("\"hotspot\": false"));
         // The 1-core honesty marking: flags must be present, and set (on
         // every speedups/cluster row) exactly when one core was visible.
         let single_core = report.cores == 1;
@@ -838,6 +1003,42 @@ mod tests {
         // Crude balance check so the hand-rolled JSON stays well-formed.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn hotspot_seeding_is_heavy_tailed_deterministic_and_lane_preserving() {
+        let (_, a) = fish_hotspot_world(2_000);
+        let (_, b) = fish_hotspot_world(2_000);
+        assert_eq!(a, b, "hotspot seeding must be a pure function of (seed, index)");
+        // Heavy tail: bucket positions into a coarse 16×16 histogram over
+        // the bounding box; the densest cell must hold far more than the
+        // uniform share (1/256 ≈ 8 agents here — Zipf clustering puts
+        // hundreds into the top cluster's cell).
+        let (mut lox, mut hix, mut loy, mut hiy) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for ag in &a {
+            lox = lox.min(ag.pos.x);
+            hix = hix.max(ag.pos.x);
+            loy = loy.min(ag.pos.y);
+            hiy = hiy.max(ag.pos.y);
+        }
+        let mut hist = std::collections::HashMap::new();
+        for ag in &a {
+            let cx = (((ag.pos.x - lox) / (hix - lox) * 16.0) as i64).min(15);
+            let cy = (((ag.pos.y - loy) / (hiy - loy) * 16.0) as i64).min(15);
+            *hist.entry((cx, cy)).or_insert(0usize) += 1;
+        }
+        let top = hist.values().copied().max().unwrap();
+        assert!(top > 10 * a.len() / 256, "densest cell holds {top}/{} — not heavy-tailed", a.len());
+        // Traffic hotspots are congestion bands along the road: every
+        // vehicle keeps its exact lane line (y untouched).
+        let n = 1_000;
+        let (_, uniform) = traffic_world(n);
+        let (_, hot) = traffic_hotspot_world(n);
+        assert_eq!(uniform.len(), hot.len());
+        for (u, h) in uniform.iter().zip(&hot) {
+            assert_eq!(u.id, h.id);
+            assert_eq!(u.pos.y.to_bits(), h.pos.y.to_bits(), "lane line moved for {:?}", u.id);
+        }
     }
 
     #[test]

@@ -230,9 +230,10 @@ pub enum QueryKernel {
     /// Batched lane kernels (default): behaviors run through
     /// [`Behavior::query_batch`] (vectorized per-candidate math, ordered
     /// emission), and indexes whose batched filter is gather-free
-    /// (`SpatialIndex::RANGE_BATCH_NATIVE` — the scan's native columns)
-    /// answer range probes through `range_batch` (containment as a lane
-    /// kernel) instead of the per-point test.
+    /// (`SpatialIndex::RANGE_BATCH_NATIVE` — the scan's native columns,
+    /// the grid's bucket-major SoA arena) answer range probes through
+    /// `range_batch` (containment as a lane kernel) instead of the
+    /// per-point test.
     #[default]
     Batched,
     /// The per-row scalar path (`range` + [`Behavior::query`]) — the

@@ -55,6 +55,11 @@ pub struct FishParams {
     /// [`FORCE_KERNEL_COST`] — which engages [`force_kernel`], matching
     /// the measured 2–8× batched gains that made fish the motivating case
     /// for lane kernels. Pure scheduling policy, bit-identical either way.
+    /// Re-measured after the grid's bucket arena made the index-side
+    /// filter kernel-native: most of the grid's batched gain now comes
+    /// from that filter, and the force kernel's own margin there is near
+    /// parity (within run noise at 100k) — engagement stays on, carried by
+    /// the KD-tree and scan cases the shared cost rule also governs.
     pub batch_engagement: Option<bool>,
 }
 

@@ -26,6 +26,16 @@
 //! `POST /runs` is answered from the stored checksum and observation
 //! frames without re-simulating — bit-identical to the original, counted
 //! on `GET /stats`, and pinned end-to-end by `tests/serve_api.rs`.
+//!
+//! **Run records are bounded.** A finished (Done/Failed) record stays
+//! addressable at `GET /runs/:id` only until it ages past
+//! [`ServeConfig::run_ttl_secs`] or more than [`ServeConfig::max_runs`]
+//! newer runs have completed — then it is evicted (oldest-completed first,
+//! counted as `evicted_runs` on `GET /stats`) and the id answers `404`.
+//! Queued and running records are never evicted, so a long-lived service
+//! cannot leak memory per submitted run while an in-flight run can never
+//! lose its record. The canonical *result* usually outlives the record in
+//! the result cache: re-`POST`ing the same job is still a hit.
 
 mod cache;
 mod http;
@@ -65,6 +75,14 @@ pub struct ServeConfig {
     pub max_ticks: u64,
     /// Largest accepted population override.
     pub max_agents: usize,
+    /// Bound on *terminal* run records kept for `GET /runs/:id`: once more
+    /// than this many runs have finished, the oldest-completed are evicted
+    /// (counted in `evicted_runs` on `GET /stats`). Queued/running records
+    /// are never evicted — only completion starts the clock.
+    pub max_runs: usize,
+    /// Time-to-live of a terminal run record; records older than this are
+    /// evicted on the next sweep even when the map is under `max_runs`.
+    pub run_ttl_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +95,8 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             max_ticks: 1_000_000,
             max_agents: 10_000_000,
+            max_runs: 256,
+            run_ttl_secs: 3600,
         }
     }
 }
@@ -93,6 +113,7 @@ struct Stats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    evicted_runs: AtomicU64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +195,13 @@ struct App {
     registry: Registry,
     cfg: ServeConfig,
     runs: Mutex<HashMap<String, Arc<RunRecord>>>,
+    /// Terminal run ids in completion order, stamped with their completion
+    /// instant — the eviction queue behind the bounded `runs` map (TTL +
+    /// LRU-by-completion cap; see [`ServeConfig::max_runs`]). Only ids of
+    /// Done/Failed records ever enter, so a sweep can never evict a run
+    /// that is still queued or executing. Lock order: `completed` before
+    /// `runs` (only [`sweep_runs`] takes both).
+    completed: Mutex<VecDeque<(String, std::time::Instant)>>,
     next_id: AtomicU64,
     queue: Mutex<VecDeque<Arc<RunRecord>>>,
     queue_ready: Condvar,
@@ -201,6 +229,7 @@ impl Server {
             registry,
             cfg,
             runs: Mutex::new(HashMap::new()),
+            completed: Mutex::new(VecDeque::new()),
             next_id: AtomicU64::new(1),
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
@@ -340,6 +369,40 @@ fn execute(app: &Arc<App>, record: &Arc<RunRecord>) {
         }
     }
     record.progressed.notify_all();
+    note_terminal(app, &record.id);
+}
+
+/// Record that `id` reached a terminal state (Done/Failed), then sweep.
+/// Entering the completion queue is what makes a record evictable.
+fn note_terminal(app: &Arc<App>, id: &str) {
+    app.completed.lock().unwrap().push_back((id.to_string(), std::time::Instant::now()));
+    sweep_runs(app);
+}
+
+/// Evict terminal run records that are past their TTL or beyond the
+/// `max_runs` cap (oldest-completed first). Live records are untouched by
+/// construction: only terminal ids are in the completion queue. Evicted
+/// ids answer `404` afterwards — the canonical job result itself usually
+/// survives longer in the result cache, which has its own LRU.
+fn sweep_runs(app: &Arc<App>) {
+    let now = std::time::Instant::now();
+    let ttl = Duration::from_secs(app.cfg.run_ttl_secs);
+    let mut completed = app.completed.lock().unwrap();
+    let mut runs = app.runs.lock().unwrap();
+    let mut evicted = 0u64;
+    while let Some((id, at)) = completed.front() {
+        let over_cap = completed.len() > app.cfg.max_runs.max(1);
+        let expired = now.duration_since(*at) >= ttl;
+        if !over_cap && !expired {
+            break;
+        }
+        runs.remove(id);
+        completed.pop_front();
+        evicted += 1;
+    }
+    if evicted > 0 {
+        app.stats.evicted_runs.fetch_add(evicted, Ordering::Relaxed);
+    }
 }
 
 fn handle_connection(app: &Arc<App>, mut stream: TcpStream) {
@@ -413,11 +476,14 @@ fn stats_body(app: &Arc<App>) -> String {
     let runs = app.runs.lock().unwrap().len();
     format!(
         "{{\"workers\":{},\"queue_cap\":{},\"queue_depth\":{queue_depth},\"runs\":{runs},\
+         \"max_runs\":{},\"evicted_runs\":{},\
          \"requests\":{},\"bad_requests\":{},\"rejected_saturated\":{},\
          \"runs_accepted\":{},\"runs_completed\":{},\"runs_failed\":{},\
          \"cache\":{{\"capacity\":{cache_cap},\"entries\":{cache_entries},\"hits\":{},\"misses\":{},\"evictions\":{}}}}}",
         app.cfg.workers,
         app.cfg.queue_cap,
+        app.cfg.max_runs,
+        s.evicted_runs.load(Ordering::Relaxed),
         s.requests.load(Ordering::Relaxed),
         s.bad_requests.load(Ordering::Relaxed),
         s.rejected_saturated.load(Ordering::Relaxed),
@@ -538,6 +604,8 @@ fn post_run(app: &Arc<App>, stream: &mut TcpStream, body: &str) -> std::io::Resu
         );
         app.runs.lock().unwrap().insert(id.clone(), record);
         app.stats.runs_accepted.fetch_add(1, Ordering::Relaxed);
+        // A cache-hit record is born terminal: evictable immediately.
+        note_terminal(app, &id);
         let body = format!(
             "{{\"run_id\":\"{id}\",\"status\":\"done\",\"cached\":true,\"checksum\":\"{:#018X}\"}}",
             hit.checksum
@@ -545,6 +613,8 @@ fn post_run(app: &Arc<App>, stream: &mut TcpStream, body: &str) -> std::io::Resu
         return http::write_response(stream, 200, "OK", &[], "application/json", &body);
     }
     app.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    // TTL-expire old terminal records even when nothing is completing.
+    sweep_runs(app);
 
     // Admission: bounded queue, explicit backpressure past the bound.
     let id = format!("r{}", app.next_id.fetch_add(1, Ordering::Relaxed));

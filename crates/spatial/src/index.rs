@@ -42,15 +42,17 @@ pub trait SpatialIndex: Send + Sync {
     fn range(&self, rect: &Rect, out: &mut Vec<u32>);
 
     /// True when [`SpatialIndex::range_batch`] filters the index's **own**
-    /// SoA columns with no per-probe gather (the scan). The executor's
-    /// batched mode uses `range_batch` as its default probe only for such
-    /// indexes: a gather-based batched filter (grid buckets, KD boundary
-    /// leaves) adds a second memory pass over every candidate, which on
-    /// memory-bound cores costs more than the lane compares save for the
-    /// small per-probe candidate sets indexes exist to produce — measured
-    /// at 0.7–0.9× query throughput on the reference container, versus
-    /// 2–8× *gains* for the native scan path. Gather-based paths remain
-    /// correct and stay exercised by the conformance suite.
+    /// SoA columns with no per-probe gather (the scan; the grid since its
+    /// buckets became bucket-major column runs in one arena). The
+    /// executor's batched mode uses `range_batch` as its default probe only
+    /// for such indexes: a gather-based batched filter (KD boundary
+    /// leaves; the grid before the arena) adds a second memory pass over
+    /// every candidate, which on memory-bound cores costs more than the
+    /// lane compares save for the small per-probe candidate sets indexes
+    /// exist to produce — the gather-era grid measured 0.7–0.9× query
+    /// throughput on the reference container, where the arena-native grid
+    /// measures 1.15–1.3× and the native scan path 2–8×. Gather-based
+    /// paths remain correct and stay exercised by the conformance suite.
     const RANGE_BATCH_NATIVE: bool = false;
 
     /// Batched form of [`SpatialIndex::range`]: emit coarse candidates

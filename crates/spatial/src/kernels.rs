@@ -46,9 +46,11 @@ use brace_common::Rect;
 pub const LANES: usize = 4;
 
 /// Reusable per-thread gather columns for batched range filtering: indexes
-/// gather candidate points (bucket contents, boundary-leaf slices) into
-/// these SoA columns, then run [`filter_rect`] over them. One scratch per
-/// thread keeps `SpatialIndex::range_batch` allocation-free after warm-up.
+/// without native SoA storage gather candidate points (the KD-tree's
+/// boundary-leaf slices) into these columns, then run [`filter_rect`] over
+/// them. One scratch per thread keeps `SpatialIndex::range_batch`
+/// allocation-free after warm-up. The scan and the grid never gather —
+/// they filter their own columns in place (`RANGE_BATCH_NATIVE`).
 #[derive(Debug, Default)]
 pub struct GatherScratch {
     pub xs: Vec<f64>,

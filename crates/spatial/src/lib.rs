@@ -8,8 +8,10 @@
 //! * [`index`] — the [`SpatialIndex`] abstraction with
 //!   three implementations: a brute-force scan (the paper's "no indexing"
 //!   baseline), a [`KdTree`] (the paper's prototype used a
-//!   KD-tree, citing Bentley), and a [`UniformGrid`]
-//!   bucket index (an ablation alternative).
+//!   KD-tree, citing Bentley), and a [`UniformGrid`] bucket index whose
+//!   buckets are bucket-major SoA column runs in one contiguous arena —
+//!   kernel-native (`RANGE_BATCH_NATIVE`) and canonical
+//!   (`RANGE_CANONICAL`), maintained incrementally under motion.
 //! * [`partition`] — the spatial partitioning function `P : L → P` of the
 //!   paper's Appendix A: a rectilinear grid whose column boundaries can be
 //!   moved by the load balancer, owned regions, partition visible regions

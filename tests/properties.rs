@@ -874,6 +874,75 @@ proptest! {
         }
     }
 
+    /// Grid bucket arena under churn: across rounds of migration (bounded
+    /// moves, applied through `update`), spawns and kills (row-mapping
+    /// changes, applied through a rebuild — exactly the executor's
+    /// contract), the incrementally maintained grid's native-batched
+    /// emission, its scalar emission, and a fresh build over the same
+    /// point set are all bit-identical — and globally ascending by
+    /// payload, the canonical order the pre-arena grid emitted. This pins
+    /// the SoA arena (run relocation, slack slots, dead-slot compaction)
+    /// as invisible to every query path.
+    #[test]
+    fn grid_arena_churn_preserves_canonical_emission(
+        seed in 0u64..10_000,
+        n in 1usize..120,
+        cell in 0.5f64..12.0,
+        rounds in 1usize..6,
+        move_frac in 0.0f64..1.0,
+        step in 0.0f64..15.0,
+        churn in 0.0f64..0.4,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut pts: Vec<(Vec2, u32)> =
+            (0..n).map(|i| (Vec2::new(rng.range(0.0, 60.0), rng.range(0.0, 60.0)), i as u32)).collect();
+        let mut grid = UniformGrid::with_cell(&pts, cell);
+        for _ in 0..rounds {
+            // Migration: bounded moves through the incremental path (large
+            // steps cross buckets, forcing run relocation in the arena).
+            let mut moved: Vec<(u32, Vec2)> = Vec::new();
+            for &(p, payload) in &pts {
+                if rng.chance(move_frac) {
+                    moved.push((payload, p + Vec2::new(rng.range(-step, step), rng.range(-step, step))));
+                }
+            }
+            for &(payload, new) in &moved {
+                pts[payload as usize].0 = new;
+            }
+            prop_assert!(grid.update(&moved), "grid update must apply for dense payloads");
+            // Spawns and kills change the row mapping; the executor
+            // rebuilds (`MaintainedIndex` falls back on mapping changes) —
+            // with compacted payloads, as the pool compacts rows.
+            if rng.chance(churn) {
+                let kills = (rng.below(1 + pts.len() as u64 / 4)) as usize;
+                for _ in 0..kills.min(pts.len().saturating_sub(1)) {
+                    let victim = rng.below(pts.len() as u64) as usize;
+                    pts.swap_remove(victim);
+                }
+                let spawns = rng.below(12);
+                for _ in 0..spawns {
+                    pts.push((Vec2::new(rng.range(0.0, 60.0), rng.range(0.0, 60.0)), 0));
+                }
+                for (i, p) in pts.iter_mut().enumerate() {
+                    p.1 = i as u32;
+                }
+                grid = UniformGrid::with_cell(&pts, cell);
+            }
+            let fresh = UniformGrid::with_cell(&pts, cell);
+            for _ in 0..6 {
+                let q = Vec2::new(rng.range(-10.0, 70.0), rng.range(-10.0, 70.0));
+                let rect = Rect::centered(q, rng.range(0.0, 20.0));
+                let (mut batched, mut scalar, mut rebuilt) = (Vec::new(), Vec::new(), Vec::new());
+                grid.range_batch(&rect, &mut batched);
+                grid.range(&rect, &mut scalar);
+                fresh.range_batch(&rect, &mut rebuilt);
+                prop_assert_eq!(&batched, &scalar, "maintained grid: batched vs scalar diverged");
+                prop_assert_eq!(&batched, &rebuilt, "maintained vs fresh-build emission diverged");
+                prop_assert!(batched.windows(2).all(|w| w[0] < w[1]), "emission not ascending: {:?}", batched);
+            }
+        }
+    }
+
     /// k-NN: the batched gather (squared distances as one lane kernel over
     /// the columns) selects exactly the scalar brute-force sequence —
     /// canonical (distance, payload) order, exclusion respected — for

@@ -283,6 +283,79 @@ fn saturation_rejects_with_503_and_retry_after() {
 }
 
 #[test]
+fn completed_run_records_are_evicted_by_cap_but_live_runs_never_are() {
+    // Cap of one terminal record: completing a second run must evict the
+    // first record (oldest-completed first) while anything still queued or
+    // running keeps its record.
+    let cfg = ServeConfig { max_runs: 1, ..ServeConfig::default() };
+    let server = Server::start(Registry::builtin(), cfg).unwrap();
+    let addr = server.addr();
+
+    let (status, _, first) = post(addr, "/runs", EPIDEMIC_RUN);
+    assert_eq!(status, 202, "{first}");
+    let first_id = run_id(&first);
+    let first_done = wait_done(addr, &first_id);
+    let first_checksum = field(&first_done, "checksum").unwrap().to_string();
+
+    // Second completion pushes the terminal count past the cap of 1.
+    let (status, _, second) = post(addr, "/runs", r#"{"scenario":"epidemic","conformance":true,"ticks":20,"seed":7}"#);
+    assert_eq!(status, 202, "{second}");
+    let second_id = run_id(&second);
+    wait_done(addr, &second_id);
+
+    // Eviction is sweep-driven (terminal transitions and POSTs), so after
+    // the second run finished the first record must be gone...
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, body) = get(addr, &format!("/runs/{first_id}"));
+        if status == 404 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "first record was never evicted: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // ...while the newest terminal record is still addressable.
+    let (status, _, _) = get(addr, &format!("/runs/{second_id}"));
+    assert_eq!(status, 200);
+    let (_, _, stats) = get(addr, "/stats");
+    assert_eq!(field(&stats, "evicted_runs"), Some("1"), "{stats}");
+    assert_eq!(field(&stats, "runs_completed"), Some("2"), "{stats}");
+
+    // Eviction dropped the record, not the result: the canonical job is
+    // still answered bit-identically from the result cache.
+    let (status, _, repeat) = post(addr, "/runs", EPIDEMIC_RUN);
+    assert_eq!(status, 200, "{repeat}");
+    assert_eq!(field(&repeat, "cached"), Some("true"));
+    assert_eq!(field(&repeat, "checksum"), Some(first_checksum.as_str()));
+}
+
+#[test]
+fn zero_ttl_expires_records_the_moment_they_complete() {
+    let cfg = ServeConfig { run_ttl_secs: 0, ..ServeConfig::default() };
+    let server = Server::start(Registry::builtin(), cfg).unwrap();
+    let addr = server.addr();
+    let (status, _, body) = post(addr, "/runs", EPIDEMIC_RUN);
+    assert_eq!(status, 202, "{body}");
+    let id = run_id(&body);
+    // The record exists while queued/running (a live run is never swept),
+    // then vanishes at completion — poll straight to 404.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, _, poll) = get(addr, &format!("/runs/{id}"));
+        if status == 404 {
+            break;
+        }
+        assert_eq!(status, 200, "{poll}");
+        assert_ne!(field(&poll, "status"), Some("failed"), "{poll}");
+        assert!(Instant::now() < deadline, "record never expired: {poll}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (_, _, stats) = get(addr, "/stats");
+    assert_eq!(field(&stats, "runs_completed"), Some("1"), "the run itself completed: {stats}");
+    assert_eq!(field(&stats, "evicted_runs"), Some("1"), "{stats}");
+}
+
+#[test]
 fn malformed_requests_get_clean_errors_and_the_server_survives() {
     let server = server();
     let addr = server.addr();
