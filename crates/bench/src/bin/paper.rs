@@ -217,6 +217,28 @@ fn run_tick_throughput(args: &[String]) {
     if single_core {
         println!("note: 1 core visible — parallel/cluster throughput rows are marked \"unreliable\": true");
     }
+    // The telemetry-overhead ablation must always be present, and enabled
+    // recording must stay cheap: ≤ 2% of whole-tick throughput on the
+    // headline fish row. The threshold is only enforced where timing is
+    // trustworthy — 1-core runs mark the row `unreliable` (the noise floor
+    // of a time-sliced core can exceed the effect), so they report the
+    // number without failing on it.
+    let t = report
+        .telemetry
+        .first()
+        .unwrap_or_else(|| panic!("tick-throughput matrix lost the telemetry-overhead ablation row"));
+    println!(
+        "telemetry overhead: fish @{} agents — off {} a/s, on {} a/s, {:+.2}%{}",
+        t.actual_agents,
+        tput(t.off_tick_agents_per_sec),
+        tput(t.on_tick_agents_per_sec),
+        t.overhead_pct,
+        if t.unreliable { " (unreliable: 1 core)" } else { "" }
+    );
+    assert_eq!(t.unreliable, single_core, "telemetry unreliable mark must track cores == 1");
+    if !t.unreliable {
+        assert!(t.overhead_pct <= 2.0, "telemetry recording overhead exceeded 2% of tick throughput: {t:?}");
+    }
     // The scenario section must cover the whole registry — one row per
     // registered name — so a scenario silently dropping out of the
     // baseline fails the CI smoke run.

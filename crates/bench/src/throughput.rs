@@ -256,6 +256,33 @@ pub struct OptRow {
     pub candidate_reduction: f64,
 }
 
+/// The telemetry-overhead ablation: the headline row (fish at the largest
+/// configured population, serial, KD-tree, batched kernel) timed twice —
+/// once with the process-global telemetry flag off, once with it on. The
+/// paired runs are bit-identical by contract
+/// (`tests/telemetry_equivalence.rs`), so the delta is the full cost of
+/// recording: four phase-timer clock reads plus a handful of relaxed
+/// atomic adds per tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRow {
+    pub model: &'static str,
+    pub agents: usize,
+    pub actual_agents: usize,
+    pub index: IndexKind,
+    /// Measured (post-warmup) ticks per side.
+    pub ticks: u64,
+    pub off_tick_agents_per_sec: f64,
+    pub on_tick_agents_per_sec: f64,
+    /// `(off − on) / off` as a percentage of whole-tick throughput.
+    /// Negative values are timing noise in the enabled run's favor.
+    pub overhead_pct: f64,
+    /// True when the matrix ran on a single visible core. The comparison
+    /// is serial-vs-serial so it stays directionally meaningful, but the
+    /// noise floor on a time-sliced core can exceed the effect being
+    /// measured — regression tooling must not hard-fail flagged rows.
+    pub unreliable: bool,
+}
+
 /// The full measurement matrix plus derived speedups.
 #[derive(Debug, Clone, Default)]
 pub struct ThroughputReport {
@@ -267,6 +294,8 @@ pub struct ThroughputReport {
     pub scenarios: Vec<ScenarioRow>,
     /// The BRASIL optimizer A/B section (one row per `brasil-*` scenario).
     pub opt: Vec<OptRow>,
+    /// The telemetry-overhead ablation (one headline row, off vs on).
+    pub telemetry: Vec<TelemetryRow>,
     /// Configurations skipped with the reason (e.g. scan at 100k).
     pub skipped: Vec<String>,
     /// Cores visible to the process when the matrix ran.
@@ -603,6 +632,49 @@ pub fn opt_throughput(cfg: &ThroughputConfig) -> Vec<OptRow> {
     rows
 }
 
+/// The telemetry-overhead ablation: time the headline fish configuration
+/// (largest configured population, serial, KD-tree, batched kernel) with
+/// the global telemetry flag off, then on. The executor captures the flag
+/// at construction, so each side builds its own executor; the prior flag
+/// state is restored afterwards. A few extra measured ticks push the
+/// per-tick cost above the clock's noise floor on quick runs.
+pub fn telemetry_overhead(cfg: &ThroughputConfig) -> Vec<TelemetryRow> {
+    let Some(&n) = cfg.agent_counts.iter().max() else {
+        return Vec::new();
+    };
+    let ticks = cfg.ticks.max(8);
+    let was = brace_telemetry::enabled();
+    let measure = |enabled: bool| -> ThroughputRow {
+        brace_telemetry::set_enabled(enabled);
+        let ctx = MeasureCtx {
+            model: "fish",
+            agents: n,
+            kind: IndexKind::KdTree,
+            mode: if enabled { "telemetry-on" } else { "telemetry-off" },
+            parallelism: 1,
+            hotspot: false,
+            warmup: cfg.warmup,
+            ticks,
+        };
+        let (behavior, pop) = fish_world(n);
+        measure_exec(&ctx, behavior, pop, IndexMaintenance::Incremental, QueryKernel::Batched)
+    };
+    let off = measure(false);
+    let on = measure(true);
+    brace_telemetry::set_enabled(was);
+    vec![TelemetryRow {
+        model: "fish",
+        agents: n,
+        actual_agents: off.actual_agents,
+        index: IndexKind::KdTree,
+        ticks,
+        off_tick_agents_per_sec: off.tick_agents_per_sec,
+        on_tick_agents_per_sec: on.tick_agents_per_sec,
+        overhead_pct: (1.0 - on.tick_agents_per_sec / off.tick_agents_per_sec.max(1e-9)) * 100.0,
+        unreliable: false, // marked by `tick_throughput` when cores == 1
+    }]
+}
+
 /// Run the measurement matrix over fish + traffic, every population size
 /// and every index kind (scan capped per the config): serial, parallel,
 /// and the two ablation modes.
@@ -734,6 +806,9 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     // Mark those rows so the quick smoke and regression tooling skip
     // them instead of chasing phantom speedups (ROADMAP: "speedup rows
     // are noise" on 1-core containers).
+    report.scenarios = scenario_throughput(cfg);
+    report.opt = opt_throughput(cfg);
+    report.telemetry = telemetry_overhead(cfg);
     if cores == 1 {
         for s in &mut report.speedups {
             s.unreliable = true;
@@ -741,9 +816,10 @@ pub fn tick_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         for c in &mut report.cluster {
             c.unreliable = true;
         }
+        for t in &mut report.telemetry {
+            t.unreliable = true;
+        }
     }
-    report.scenarios = scenario_throughput(cfg);
-    report.opt = opt_throughput(cfg);
     report
 }
 
@@ -779,10 +855,14 @@ fn index_name(kind: IndexKind) -> &'static str {
 /// (serial + scalar-kernel modes only; hotspot speedup rows measure only
 /// `kernel_speedup`, with the parallel/ablation columns written as 0.0 —
 /// not measured). Tooling must compare uniform rows against uniform and
-/// hotspot against hotspot.
+/// hotspot against hotspot. Version 9 added the `telemetry` section: the
+/// telemetry-overhead ablation — the headline fish row timed with the
+/// global recording flag off vs on, with `overhead_pct` and the 1-core
+/// `unreliable` marking (the paired runs are bit-identical by contract, so
+/// the delta is pure recording cost).
 pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 8,\n");
+    out.push_str("  \"schema_version\": 9,\n");
     out.push_str(&format!("  \"cores\": {},\n", report.cores));
     out.push_str(&format!("  \"measured_ticks\": {},\n", cfg.ticks));
     out.push_str(&format!("  \"warmup_ticks\": {},\n", cfg.warmup));
@@ -894,6 +974,25 @@ pub fn to_json(report: &ThroughputReport, cfg: &ThroughputConfig) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"telemetry\": [\n");
+    for (i, t) in report.telemetry.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"agents\": {}, \"actual_agents\": {}, \"index\": \"{}\", \
+             \"ticks\": {}, \"off_tick_agents_per_sec\": {:.1}, \"on_tick_agents_per_sec\": {:.1}, \
+             \"overhead_pct\": {:.3}, \"unreliable\": {}}}{}\n",
+            t.model,
+            t.agents,
+            t.actual_agents,
+            index_name(t.index),
+            t.ticks,
+            t.off_tick_agents_per_sec,
+            t.on_tick_agents_per_sec,
+            t.overhead_pct,
+            t.unreliable,
+            if i + 1 == report.telemetry.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"skipped\": [\n");
     for (i, s) in report.skipped.iter().enumerate() {
         out.push_str(&format!("    \"{}\"{}\n", s, if i + 1 == report.skipped.len() { "" } else { "," }));
@@ -979,8 +1078,20 @@ mod tests {
         }
         let car = report.opt.iter().find(|o| o.scenario == "brasil-car").expect("car opt row");
         assert!(car.candidate_reduction > 1.2, "pushdown must shrink the car probe rect: {car:?}");
+        // Telemetry-overhead ablation: one headline row, both sides timed,
+        // flag restored. The overhead magnitude is asserted by the quick
+        // smoke (where populations are big enough to time), not here.
+        assert_eq!(report.telemetry.len(), 1, "{:?}", report.telemetry);
+        let t = &report.telemetry[0];
+        assert_eq!((t.model, t.agents), ("fish", 300));
+        assert!(t.off_tick_agents_per_sec > 0.0 && t.on_tick_agents_per_sec > 0.0, "{t:?}");
+        assert!(t.overhead_pct.is_finite(), "{t:?}");
+        assert_eq!(t.unreliable, report.cores == 1);
+        assert!(!brace_telemetry::enabled(), "ablation must restore the global flag");
         let json = to_json(&report, &cfg);
-        assert!(json.contains("\"schema_version\": 8"));
+        assert!(json.contains("\"schema_version\": 9"));
+        assert!(json.contains("\"overhead_pct\""));
+        assert!(json.contains("\"off_tick_agents_per_sec\""));
         assert!(json.contains("\"hotspot\": true") && json.contains("\"hotspot\": false"));
         // The 1-core honesty marking: flags must be present, and set (on
         // every speedups/cluster row) exactly when one core was visible.

@@ -108,6 +108,7 @@ use crate::schema::AgentSchema;
 use brace_common::ids::AgentIdGen;
 use brace_common::{AgentId, DetRng, Vec2};
 use brace_spatial::{IndexKind, KdTree, ScanIndex, SpatialIndex, UniformGrid};
+use brace_telemetry::{Counter, HistId, Telemetry};
 use std::ops::Range;
 use std::time::Instant;
 
@@ -362,6 +363,10 @@ impl MaintainedIndex {
 pub struct QueryStats {
     pub index_build_ns: u64,
     pub query_ns: u64,
+    /// Time spent merging shard effect tables into the pool's effect
+    /// columns — a subset of `query_ns`, broken out so the effect-merge
+    /// phase is visible on its own (telemetry and the `--trace` output).
+    pub merge_ns: u64,
     pub neighbor_visits: u64,
     pub nonlocal_writes: u64,
 }
@@ -711,6 +716,7 @@ pub fn query_phase_sharded_with<B: Behavior>(
     // effect columns. Local-effect shards own disjoint row ranges: a
     // bitwise column-segment copy. Non-local shards span the whole visible
     // set: copy the first, ⊕-merge the rest.
+    let t2 = Instant::now();
     for (i, shard) in shards.iter().enumerate() {
         if nonlocal_schema {
             if i == 0 {
@@ -724,6 +730,7 @@ pub fn query_phase_sharded_with<B: Behavior>(
         stats.neighbor_visits += shard.visits;
         stats.nonlocal_writes += shard.nonlocal;
     }
+    stats.merge_ns = t2.elapsed().as_nanos() as u64;
     stats.query_ns = t1.elapsed().as_nanos() as u64;
     stats
 }
@@ -1070,6 +1077,10 @@ pub struct TickExecutor<B: Behavior> {
     seed: u64,
     tick: u64,
     metrics: SimMetrics,
+    /// Captured once at construction: recording when telemetry was enabled
+    /// then, a branch-only no-op otherwise (the off path touches no
+    /// atomics — see `brace_telemetry`).
+    tel: Telemetry,
 }
 
 impl<B: Behavior> TickExecutor<B> {
@@ -1089,6 +1100,7 @@ impl<B: Behavior> TickExecutor<B> {
             seed,
             tick: 0,
             metrics: SimMetrics::default(),
+            tel: Telemetry::current(),
         }
     }
 
@@ -1158,12 +1170,24 @@ impl<B: Behavior> TickExecutor<B> {
             n_agents: n,
             index_build_ns: qs.index_build_ns,
             query_ns: qs.query_ns,
+            merge_ns: qs.merge_ns,
             update_ns: us.update_ns,
             neighbor_visits: qs.neighbor_visits,
             nonlocal_writes: qs.nonlocal_writes,
             spawned: us.spawned,
             killed: us.killed,
         };
+        // Phase timings re-use the stats the executor already measured:
+        // telemetry adds no clock reads to the tick, only these records.
+        self.tel.observe(HistId::PhaseIndexMaintain, tm.index_build_ns);
+        self.tel.observe(HistId::PhaseQuery, tm.query_ns);
+        self.tel.observe(HistId::PhaseEffectMerge, tm.merge_ns);
+        self.tel.observe(HistId::PhaseUpdate, tm.update_ns);
+        self.tel.incr(Counter::ExecutorTicks);
+        self.tel.add(Counter::ExecutorNeighborVisits, tm.neighbor_visits);
+        self.tel.add(Counter::ExecutorNonlocalWrites, tm.nonlocal_writes);
+        self.tel.add(Counter::ExecutorSpawned, tm.spawned as u64);
+        self.tel.add(Counter::ExecutorKilled, tm.killed as u64);
         self.metrics.record(tm.clone());
         self.tick += 1;
         tm

@@ -17,8 +17,13 @@ pub struct TickMetrics {
     pub n_agents: usize,
     /// Nanoseconds spent building the spatial index.
     pub index_build_ns: u64,
-    /// Nanoseconds spent in the query phase (probes + behavior queries).
+    /// Nanoseconds spent in the query phase (probes + behavior queries +
+    /// the shard effect-table merge).
     pub query_ns: u64,
+    /// Nanoseconds of `query_ns` spent ⊕-merging shard effect tables into
+    /// the pool's effect columns (a subset, not an additional phase —
+    /// `total_ns` must not count it twice).
+    pub merge_ns: u64,
     /// Nanoseconds spent in the update phase.
     pub update_ns: u64,
     /// Total neighbor candidates visited across all probes (the join's
@@ -44,6 +49,8 @@ pub struct SimMetrics {
     pub total_ns: u64,
     pub index_build_ns: u64,
     pub query_ns: u64,
+    /// Shard effect-table merge time (a subset of `query_ns`).
+    pub merge_ns: u64,
     pub update_ns: u64,
     pub neighbor_visits: u64,
     pub nonlocal_writes: u64,
@@ -62,6 +69,7 @@ impl SimMetrics {
         self.total_ns += tm.total_ns();
         self.index_build_ns += tm.index_build_ns;
         self.query_ns += tm.query_ns;
+        self.merge_ns += tm.merge_ns;
         self.update_ns += tm.update_ns;
         self.neighbor_visits += tm.neighbor_visits;
         self.nonlocal_writes += tm.nonlocal_writes;
@@ -78,6 +86,7 @@ impl SimMetrics {
         self.total_ns += other.total_ns;
         self.index_build_ns += other.index_build_ns;
         self.query_ns += other.query_ns;
+        self.merge_ns += other.merge_ns;
         self.update_ns += other.update_ns;
         self.neighbor_visits += other.neighbor_visits;
         self.nonlocal_writes += other.nonlocal_writes;

@@ -32,6 +32,7 @@ use crate::net::NetStats;
 use crate::runtime::{Command, EpochCommand, Report, WorkerEpochStats};
 use brace_common::{BraceError, Result, WorkerId};
 use brace_core::Agent;
+use brace_telemetry::{Counter as TelCounter, HistId, Telemetry};
 use crossbeam::channel::{Receiver, Sender};
 use std::time::{Duration, Instant};
 
@@ -169,6 +170,8 @@ pub struct Master {
     manifest: Option<ManifestWriter>,
     retry: RetryPolicy,
     worker_faults: Vec<FaultState>,
+    /// Telemetry handle captured at construction (no-op when disabled).
+    tel: Telemetry,
 }
 
 impl Master {
@@ -203,6 +206,7 @@ impl Master {
             manifest: None,
             retry: RetryPolicy::default(),
             worker_faults: Vec::new(),
+            tel: Telemetry::current(),
         }
     }
 
@@ -290,6 +294,7 @@ impl Master {
                 continue;
             }
             if cmd.checkpoint {
+                let timer = self.tel.timer(HistId::CheckpointWrite);
                 self.store.push(ClusterCheckpoint {
                     epoch: cmd.epoch + 1,
                     tick: (cmd.epoch + 1) * self.epoch_len,
@@ -297,7 +302,9 @@ impl Master {
                     hist_range: cmd.hist_range,
                     workers: snapshots,
                 })?;
+                timer.stop();
                 self.stats.checkpoints += 1;
+                self.tel.incr(TelCounter::ClusterCheckpoints);
             }
             break reports;
         };
@@ -437,6 +444,12 @@ impl Master {
     fn account(&mut self, reports: &[WorkerEpochStats]) {
         self.stats.epochs += 1;
         let wall = reports.iter().map(|r| r.wall_ns).max().unwrap_or(0);
+        // Barrier wait per worker: how long each worker idled at the epoch
+        // barrier while the straggler (max wall) finished.
+        self.tel.incr(TelCounter::ClusterEpochs);
+        for r in reports {
+            self.tel.observe(HistId::EpochBarrierWait, wall.saturating_sub(r.wall_ns));
+        }
         self.stats.wall_ns += wall;
         self.stats.epoch_wall_ns.push(wall);
         self.stats.agent_ticks += reports.iter().map(|r| r.agent_ticks).sum::<u64>();
@@ -605,6 +618,7 @@ impl Master {
             workers,
         })?;
         self.stats.checkpoints += 1;
+        self.tel.incr(TelCounter::ClusterCheckpoints);
         Ok(())
     }
 

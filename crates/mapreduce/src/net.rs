@@ -7,6 +7,7 @@
 //! design buys; the ablation benchmark flips collocation off by forcing
 //! those hand-offs through the ledger and the codec.
 
+use brace_telemetry::{Counter as TelCounter, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -78,6 +79,9 @@ impl NetStats {
 #[derive(Debug, Clone, Default)]
 pub struct NetLedger {
     inner: Arc<Mutex<NetStats>>,
+    /// Telemetry handle captured at construction; mirrors per-class byte
+    /// totals into the process-wide registry (no-op when telemetry is off).
+    tel: Telemetry,
 }
 
 impl NetLedger {
@@ -98,6 +102,16 @@ impl NetLedger {
         };
         c.messages += 1;
         c.bytes += bytes as u64;
+        drop(s);
+        let counter = match kind {
+            Traffic::Transfer => TelCounter::NetTransferBytes,
+            Traffic::ReplicaFull => TelCounter::NetReplicaFullBytes,
+            Traffic::ReplicaDelta => TelCounter::NetReplicaDeltaBytes,
+            Traffic::Effects => TelCounter::NetEffectsBytes,
+            Traffic::Spawns => TelCounter::NetSpawnsBytes,
+            Traffic::Control => TelCounter::NetControlBytes,
+        };
+        self.tel.add(counter, bytes as u64);
     }
 
     /// Snapshot the totals.

@@ -21,7 +21,7 @@
 
 use crate::{Scenario, ScenarioSetup};
 use brace_common::{BraceError, Result};
-use brace_core::metrics::SimMetrics;
+use brace_core::metrics::{SimMetrics, TickMetrics};
 use brace_core::{Agent, Behavior, Simulation};
 use brace_mapreduce::{ClusterConfig, ClusterSim, ClusterStats};
 use brace_spatial::IndexKind;
@@ -117,6 +117,14 @@ pub trait Observer: Send {
     /// Called after each completed tick (single node) or epoch (cluster).
     fn on_tick(&mut self, progress: &Progress) {
         let _ = progress;
+    }
+
+    /// Called with the executor's per-tick phase metrics, right before the
+    /// matching [`Observer::on_tick`]. Single-node backend only: the
+    /// cluster's per-worker phase accounting is aggregated in
+    /// [`SimHandle::cluster_stats`], so cluster runs never call this.
+    fn on_tick_metrics(&mut self, tm: &TickMetrics) {
+        let _ = tm;
     }
 
     /// Called with a full world snapshot (sorted by agent id) whenever the
@@ -376,8 +384,11 @@ impl SimHandle {
         while done < ticks {
             let progress = match &mut self.inner {
                 Inner::Single(sim) => {
-                    sim.step();
+                    let tm = sim.step();
                     done += 1;
+                    for o in &mut self.observers {
+                        o.on_tick_metrics(&tm);
+                    }
                     Progress { tick: sim.tick(), agents: sim.pool().len() }
                 }
                 Inner::Cluster(sim) => {

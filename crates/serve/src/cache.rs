@@ -11,9 +11,11 @@
 //! [`Runner`](brace_scenario::Runner) run.
 //!
 //! Eviction is LRU over a bounded entry count. Per-tick frames are stored
-//! for stream replay only up to [`MAX_CACHED_FRAMES`]; longer runs cache
-//! the result summary alone and a replayed stream degrades to just the
-//! final line — results stay exact, only observation granularity is shed.
+//! for stream replay only up to [`MAX_CACHED_FRAMES`]; longer runs keep
+//! the first `MAX_CACHED_FRAMES` frames and record how many were shed in
+//! [`CachedRun::frames_dropped`], which a replayed stream reports on its
+//! terminal line — results stay exact, only observation granularity is
+//! shed, and the truncation is visible instead of silent.
 
 use std::collections::HashMap;
 
@@ -36,8 +38,12 @@ pub struct CachedRun {
     /// Agent-ticks per second of the original execution.
     pub agents_per_sec: f64,
     /// Per-tick `(tick, agents)` observation frames for stream replay;
-    /// empty when the original run exceeded [`MAX_CACHED_FRAMES`].
+    /// truncated to the first [`MAX_CACHED_FRAMES`] of a longer run.
     pub frames: Vec<(u64, usize)>,
+    /// Frames shed by that truncation (0 when everything fit). A replayed
+    /// stream's terminal line reports this so the gap is not mistaken for
+    /// a short run.
+    pub frames_dropped: usize,
 }
 
 /// Bounded LRU map from canonical-job-line hash to [`CachedRun`].
@@ -101,7 +107,15 @@ mod tests {
     use super::*;
 
     fn run(checksum: u64) -> CachedRun {
-        CachedRun { checksum, agents: 10, ticks: 5, wall_secs: 0.1, agents_per_sec: 500.0, frames: vec![(1, 10)] }
+        CachedRun {
+            checksum,
+            agents: 10,
+            ticks: 5,
+            wall_secs: 0.1,
+            agents_per_sec: 500.0,
+            frames: vec![(1, 10)],
+            frames_dropped: 0,
+        }
     }
 
     #[test]

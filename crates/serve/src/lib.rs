@@ -14,6 +14,7 @@
 //! | `GET /runs/:id` | status and result metrics |
 //! | `GET /runs/:id/stream` | chunked per-tick observations, then the result |
 //! | `GET /stats` | pool, admission and cache counters |
+//! | `GET /metrics` | Prometheus text exposition of the telemetry registry |
 //!
 //! **Admission control** is explicit: jobs wait in a bounded queue and a
 //! `POST` that finds the queue full is rejected with `503` plus a
@@ -48,6 +49,7 @@ use brace_common::Result;
 use brace_scenario::runner::DEFAULT_SEED;
 use brace_scenario::{Backend, JobSpec, Observer, Progress, Registry, RunKey, Runner};
 use brace_spatial::IndexKind;
+use brace_telemetry::{Counter as TelCounter, Gauge, HistId, Telemetry};
 use http::{ChunkedWriter, HttpError, Request};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -153,6 +155,9 @@ struct RunState {
     error: Option<String>,
     /// Served from the result cache without re-simulating.
     cached: bool,
+    /// Frames the cached replay shed to the [`MAX_CACHED_FRAMES`] cap
+    /// (always 0 for a live run, which streams every frame).
+    frames_dropped: usize,
 }
 
 impl RunState {
@@ -208,6 +213,9 @@ struct App {
     cache: Mutex<ResultCache>,
     stats: Stats,
     shutdown: AtomicBool,
+    /// Telemetry handle captured after [`Server::start`] enables the
+    /// registry, so every serve metric records.
+    tel: Telemetry,
 }
 
 /// A running control plane. Bind with [`Server::start`]; the accept loop
@@ -221,6 +229,9 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the worker pool and the accept loop, return immediately.
     pub fn start(registry: Registry, cfg: ServeConfig) -> Result<Server> {
+        // The control plane is the natural owner of the observability
+        // surface: serving turns telemetry on so `GET /metrics` has data.
+        brace_telemetry::set_enabled(true);
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| brace_common::BraceError::Config(format!("bind {}: {e}", cfg.addr)))?;
         let addr = listener.local_addr().expect("bound listener has a local addr");
@@ -235,6 +246,7 @@ impl Server {
             queue_ready: Condvar::new(),
             stats: Stats::default(),
             shutdown: AtomicBool::new(false),
+            tel: Telemetry::current(),
         });
         for _ in 0..app.cfg.workers.max(1) {
             let app = Arc::clone(&app);
@@ -336,6 +348,7 @@ fn execute(app: &Arc<App>, record: &Arc<RunRecord>) {
 
     match outcome {
         Ok(report) => {
+            app.tel.observe(HistId::ServeRunLatency, (report.wall_secs * 1e9) as u64);
             let finished = Finished {
                 checksum: report.checksum,
                 agents: report.agents,
@@ -348,13 +361,17 @@ fn execute(app: &Arc<App>, record: &Arc<RunRecord>) {
                 st.result = Some(finished);
                 st.frames.clone()
             };
+            let frames_dropped = frames.len().saturating_sub(MAX_CACHED_FRAMES);
+            let mut frames = frames;
+            frames.truncate(MAX_CACHED_FRAMES);
             let entry = CachedRun {
                 checksum: finished.checksum,
                 agents: finished.agents,
                 ticks: record.key.ticks,
                 wall_secs: finished.wall_secs,
                 agents_per_sec: finished.agents_per_sec,
-                frames: if frames.len() <= MAX_CACHED_FRAMES { frames } else { Vec::new() },
+                frames,
+                frames_dropped,
             };
             let evicted = app.cache.lock().unwrap().insert(record.key.cache_key(), entry);
             app.stats.cache_evictions.fetch_add(evicted as u64, Ordering::Relaxed);
@@ -425,6 +442,7 @@ fn route(app: &Arc<App>, stream: &mut TcpStream, req: &Request) -> std::io::Resu
         ("GET", "/") => ok_json(stream, &index_body()),
         ("GET", "/scenarios") => ok_json(stream, &scenarios_body(app)),
         ("GET", "/stats") => ok_json(stream, &stats_body(app)),
+        ("GET", "/metrics") => metrics(app, stream),
         ("POST", "/runs") => post_run(app, stream, &req.body),
         ("GET", _) if path.starts_with("/runs/") => {
             let rest = &path["/runs/".len()..];
@@ -446,8 +464,16 @@ fn route(app: &Arc<App>, stream: &mut TcpStream, req: &Request) -> std::io::Resu
 
 fn index_body() -> String {
     "{\"service\":\"brace-serve\",\"endpoints\":[\"GET /scenarios\",\"POST /runs\",\"GET /runs/:id\",\
-     \"GET /runs/:id/stream\",\"GET /stats\"]}"
+     \"GET /runs/:id/stream\",\"GET /stats\",\"GET /metrics\"]}"
         .to_string()
+}
+
+/// Prometheus text exposition (v0.0.4) of the process-wide telemetry
+/// registry. Point-in-time gauges (queue depth) are sampled at scrape.
+fn metrics(app: &Arc<App>, stream: &mut TcpStream) -> std::io::Result<()> {
+    app.tel.gauge_set(Gauge::ServeQueueDepth, app.queue.lock().unwrap().len() as u64);
+    let body = brace_telemetry::render_prometheus();
+    http::write_response(stream, 200, "OK", &[], "text/plain; version=0.0.4", &body)
 }
 
 fn scenarios_body(app: &Arc<App>) -> String {
@@ -585,6 +611,7 @@ fn post_run(app: &Arc<App>, stream: &mut TcpStream, body: &str) -> std::io::Resu
     let cached = app.cache.lock().unwrap().get(key.cache_key());
     if let Some(hit) = cached {
         app.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        app.tel.incr(TelCounter::ServeCacheHits);
         let id = format!("r{}", app.next_id.fetch_add(1, Ordering::Relaxed));
         let record = RunRecord::new(
             id.clone(),
@@ -600,10 +627,12 @@ fn post_run(app: &Arc<App>, stream: &mut TcpStream, body: &str) -> std::io::Resu
                 }),
                 error: None,
                 cached: true,
+                frames_dropped: hit.frames_dropped,
             },
         );
         app.runs.lock().unwrap().insert(id.clone(), record);
         app.stats.runs_accepted.fetch_add(1, Ordering::Relaxed);
+        app.tel.incr(TelCounter::ServeRuns);
         // A cache-hit record is born terminal: evictable immediately.
         note_terminal(app, &id);
         let body = format!(
@@ -613,6 +642,7 @@ fn post_run(app: &Arc<App>, stream: &mut TcpStream, body: &str) -> std::io::Resu
         return http::write_response(stream, 200, "OK", &[], "application/json", &body);
     }
     app.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    app.tel.incr(TelCounter::ServeCacheMisses);
     // TTL-expire old terminal records even when nothing is completing.
     sweep_runs(app);
 
@@ -621,7 +651,14 @@ fn post_run(app: &Arc<App>, stream: &mut TcpStream, body: &str) -> std::io::Resu
     let record = RunRecord::new(
         id.clone(),
         key,
-        RunState { status: Status::Queued, frames: Vec::new(), result: None, error: None, cached: false },
+        RunState {
+            status: Status::Queued,
+            frames: Vec::new(),
+            result: None,
+            error: None,
+            cached: false,
+            frames_dropped: 0,
+        },
     );
     {
         let mut queue = app.queue.lock().unwrap();
@@ -644,6 +681,7 @@ fn post_run(app: &Arc<App>, stream: &mut TcpStream, body: &str) -> std::io::Resu
     app.queue_ready.notify_one();
     app.runs.lock().unwrap().insert(id.clone(), record);
     app.stats.runs_accepted.fetch_add(1, Ordering::Relaxed);
+    app.tel.incr(TelCounter::ServeRuns);
     let body = format!("{{\"run_id\":\"{id}\",\"status\":\"queued\",\"cached\":false}}");
     http::write_response(stream, 202, "Accepted", &[], "application/json", &body)
 }
@@ -717,10 +755,19 @@ fn run_stream(app: &Arc<App>, stream: &mut TcpStream, id: &str) -> std::io::Resu
 
 fn terminal_line(record: &RunRecord, st: &RunState) -> String {
     match (&st.result, &st.error) {
-        (Some(r), _) => format!(
-            "{{\"done\":true,\"status\":\"done\",\"cached\":{},\"checksum\":\"{:#018X}\",\"agents\":{},\"ticks\":{}}}\n",
-            st.cached, r.checksum, r.agents, record.key.ticks
-        ),
+        (Some(r), _) => {
+            // A cached replay that shed frames to the cache cap says so, so
+            // the short stream is not mistaken for a short run.
+            let dropped = if st.frames_dropped > 0 {
+                format!(",\"frames_dropped\":{}", st.frames_dropped)
+            } else {
+                String::new()
+            };
+            format!(
+                "{{\"done\":true,\"status\":\"done\",\"cached\":{},\"checksum\":\"{:#018X}\",\"agents\":{},\"ticks\":{}{dropped}}}\n",
+                st.cached, r.checksum, r.agents, record.key.ticks
+            )
+        }
         (None, Some(e)) => {
             format!("{{\"done\":true,\"status\":\"failed\",\"error\":\"{}\"}}\n", json::escape(e))
         }

@@ -5,7 +5,7 @@
 //! brace compile <scenario|all> [--no-opt]
 //! brace run --scenario <name|all> [--backend single|cluster[:N]|both]
 //!           [--ticks T] [--agents N] [--seed S] [--index kdtree|grid|scan]
-//!           [--conformance] [--progress]
+//!           [--conformance] [--progress] [--trace PATH]
 //! brace run --scenario <name> --run-dir DIR [--run-id ID] [--backend cluster[:N]]
 //!           [--checkpoint-every E] [--keep-checkpoints K] [--epoch-sleep-ms MS] ...
 //! brace run --run-dir DIR --resume <run-id> [--epoch-sleep-ms MS]
@@ -28,6 +28,13 @@
 //! [`brace_scenario::world_checksum`] values — directly comparable with the
 //! golden-tick and conformance suites.
 //!
+//! `--trace PATH` writes an NDJSON per-tick phase trace: one line per
+//! completed tick with the executor's phase timings (`index_maintain_ns`,
+//! `query_ns`, `effect_merge_ns`, `update_ns`) plus work counters. Cluster
+//! runs trace at epoch grain with `tick`/`agents` only (per-worker phase
+//! accounting is aggregated, not per tick). Tracing observes the same
+//! metrics the executor already measures — it never changes results.
+//!
 //! With `--run-dir`, `run` becomes a **durable job** through
 //! [`DurableRunner`](brace_scenario::DurableRunner): the run lives in
 //! `DIR/<run-id>/` behind a crash-safe write-ahead manifest and fsynced
@@ -40,6 +47,7 @@
 //! content-addressed result cache keyed on the canonical job line — see
 //! the `brace-serve` crate docs and README for the endpoint reference.
 
+use brace_core::metrics::TickMetrics;
 use brace_scenario::runner::DEFAULT_SEED;
 use brace_scenario::{Backend, DurableOpts, DurableRunner, Observer, Progress, Registry, Runner};
 use brace_spatial::IndexKind;
@@ -52,6 +60,7 @@ fn die(msg: &str) -> ! {
          \x20      brace compile <scenario|all> [--no-opt]\n\
          \x20      brace run --scenario <name|all> [--backend single|cluster[:N]|both] [--ticks T]\n\
          \x20            [--agents N] [--seed S] [--index kdtree|grid|scan] [--conformance] [--progress]\n\
+         \x20            [--trace PATH]\n\
          \x20            [--run-dir DIR [--run-id ID] [--checkpoint-every E] [--keep-checkpoints K]\n\
          \x20            [--epoch-sleep-ms MS]]\n\
          \x20      brace run --run-dir DIR --resume <run-id> [--epoch-sleep-ms MS]\n\
@@ -70,6 +79,7 @@ struct RunOpts {
     index: Option<IndexKind>,
     conformance: bool,
     progress: bool,
+    trace: Option<PathBuf>,
     run_dir: Option<PathBuf>,
     run_id: Option<String>,
     resume: Option<String>,
@@ -97,6 +107,7 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         index: None,
         conformance: false,
         progress: false,
+        trace: None,
         run_dir: None,
         run_id: None,
         resume: None,
@@ -136,6 +147,7 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
             }
             "--conformance" => opts.conformance = true,
             "--progress" => opts.progress = true,
+            "--trace" => opts.trace = Some(PathBuf::from(take(args, &mut i, "--trace"))),
             "--run-dir" => opts.run_dir = Some(PathBuf::from(take(args, &mut i, "--run-dir"))),
             "--run-id" => opts.run_id = Some(take(args, &mut i, "--run-id")),
             "--resume" => opts.resume = Some(take(args, &mut i, "--resume")),
@@ -174,6 +186,55 @@ struct ProgressPrinter;
 impl Observer for ProgressPrinter {
     fn on_tick(&mut self, p: &Progress) {
         eprintln!("  tick {:>6} | {} agents", p.tick, p.agents);
+    }
+}
+
+/// NDJSON phase-trace sink attached when `--trace PATH` is given. All runs
+/// of one invocation (`--scenario all`, `--backend both`) append to the
+/// same file; each line carries its scenario and backend so the stream
+/// stays self-describing. Single-node lines add the executor's per-phase
+/// timings (delivered via [`Observer::on_tick_metrics`] just before the
+/// matching `on_tick`); cluster lines are epoch-grain `tick`/`agents`.
+struct TraceWriter {
+    out: std::sync::Arc<std::sync::Mutex<std::io::BufWriter<std::fs::File>>>,
+    scenario: String,
+    backend: String,
+    pending: Option<TickMetrics>,
+}
+
+impl Observer for TraceWriter {
+    fn on_tick_metrics(&mut self, tm: &TickMetrics) {
+        self.pending = Some(tm.clone());
+    }
+
+    fn on_tick(&mut self, p: &Progress) {
+        use std::io::Write;
+        let line = match self.pending.take() {
+            Some(tm) => format!(
+                "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"tick\":{},\"agents\":{},\
+                 \"index_maintain_ns\":{},\"query_ns\":{},\"effect_merge_ns\":{},\"update_ns\":{},\
+                 \"neighbor_visits\":{},\"nonlocal_writes\":{},\"spawned\":{},\"killed\":{}}}\n",
+                self.scenario,
+                self.backend,
+                p.tick,
+                p.agents,
+                tm.index_build_ns,
+                tm.query_ns,
+                tm.merge_ns,
+                tm.update_ns,
+                tm.neighbor_visits,
+                tm.nonlocal_writes,
+                tm.spawned,
+                tm.killed
+            ),
+            None => format!(
+                "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"tick\":{},\"agents\":{}}}\n",
+                self.scenario, self.backend, p.tick, p.agents
+            ),
+        };
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
     }
 }
 
@@ -247,6 +308,11 @@ fn run(opts: &RunOpts) {
     } else {
         vec![opts.scenario.clone()]
     };
+    let trace_out = opts.trace.as_ref().map(|path| {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| die(&format!("--trace: cannot create {}: {e}", path.display())));
+        std::sync::Arc::new(std::sync::Mutex::new(std::io::BufWriter::new(file)))
+    });
     let mut failures = 0usize;
     for name in &names {
         let scenario = match registry.get_or_err(name) {
@@ -269,6 +335,14 @@ fn run(opts: &RunOpts) {
             }
             if opts.progress {
                 runner = runner.observe(Box::new(ProgressPrinter));
+            }
+            if let Some(out) = &trace_out {
+                runner = runner.observe(Box::new(TraceWriter {
+                    out: std::sync::Arc::clone(out),
+                    scenario: name.clone(),
+                    backend: backend.label(),
+                    pending: None,
+                }));
             }
             match runner.run(opts.ticks) {
                 Ok(report) => println!(

@@ -390,3 +390,51 @@ fn malformed_requests_get_clean_errors_and_the_server_survives() {
     assert_eq!(status, 202, "{body}");
     wait_done(addr, &run_id(&body));
 }
+
+/// `GET /metrics` speaks Prometheus text exposition v0.0.4 and covers the
+/// whole registry: executor phase histograms, traffic-class byte counters,
+/// and the serve-plane counters, every family rendered with HELP/TYPE even
+/// at zero. The telemetry registry is process-global (servers in parallel
+/// tests share it), so values are asserted as lower bounds, not equalities.
+#[test]
+fn metrics_scrape_exposes_prometheus_families() {
+    let server = server();
+    let addr = server.addr();
+    let (_, _, body) = post(addr, "/runs", EPIDEMIC_RUN);
+    wait_done(addr, &run_id(&body));
+
+    let (status, head, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.to_ascii_lowercase().contains("text/plain; version=0.0.4"), "wrong content type:\n{head}");
+    for family in [
+        "brace_serve_runs_total",
+        "brace_serve_cache_misses_total",
+        "brace_serve_cache_hits_total",
+        "brace_serve_queue_depth",
+        "brace_serve_run_latency_ns",
+        "brace_phase_index_maintain_ns",
+        "brace_phase_query_ns",
+        "brace_phase_effect_merge_ns",
+        "brace_phase_update_ns",
+        "brace_executor_ticks_total",
+        "brace_net_control_bytes_total",
+        "brace_epoch_barrier_wait_ns",
+    ] {
+        assert!(metrics.contains(&format!("# TYPE {family} ")), "family `{family}` missing from scrape:\n{metrics}");
+    }
+    // The run driven above moved the serve counter and the executor phase
+    // histograms; cumulative buckets end at +Inf and match _count.
+    let value = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap_or_else(|| panic!("`{name}` not found in scrape"))
+            .parse()
+            .unwrap_or_else(|e| panic!("`{name}` is not an integer: {e}"))
+    };
+    assert!(value("brace_serve_runs_total") >= 1);
+    assert!(value("brace_executor_ticks_total") >= 20, "the 20-tick run must have recorded its ticks");
+    assert!(value("brace_phase_query_ns_count") >= 20);
+    assert!(metrics.contains("brace_phase_query_ns_bucket{le=\"+Inf\"}"), "histograms must end at +Inf");
+}

@@ -1,0 +1,90 @@
+//! Telemetry observes, never perturbs: with recording enabled, every
+//! scenario's conformance run — single-node and 2-worker cluster — must
+//! produce checksums bit-identical to the same run with telemetry off.
+//!
+//! This is its own test binary because the enable flag is process-global:
+//! flipping it here can never race another suite's expectations. The two
+//! tests below still share the flag with each other, so they serialize
+//! behind one mutex and restore the prior state on drop.
+
+use brace_scenario::{Backend, Registry, Runner};
+use std::sync::{Mutex, MutexGuard};
+
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the flag lock and restores the pre-test flag state on drop.
+struct FlagGuard {
+    was: bool,
+    _lock: MutexGuard<'static, ()>,
+}
+
+fn flag_lock() -> FlagGuard {
+    let lock = FLAG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    FlagGuard { was: brace_telemetry::enabled(), _lock: lock }
+}
+
+impl Drop for FlagGuard {
+    fn drop(&mut self) {
+        brace_telemetry::set_enabled(self.was);
+    }
+}
+
+const TICKS: u64 = 10;
+
+/// Run `scenario`'s conformance form on `backend` and return the checksum.
+fn checksum(registry: &Registry, name: &str, backend: Backend) -> u64 {
+    let scenario = registry.get(name).expect("registry scenario");
+    Runner::new(scenario)
+        .conformance()
+        .backend(backend)
+        .run(TICKS)
+        .unwrap_or_else(|e| panic!("`{name}` failed: {e}"))
+        .checksum
+}
+
+#[test]
+fn telemetry_on_and_off_agree_bit_for_bit_across_the_registry() {
+    let _g = flag_lock();
+    let registry = Registry::builtin();
+    for scenario in registry.iter() {
+        let name = scenario.name();
+        for backend in [Backend::single(), Backend::cluster(2)] {
+            brace_telemetry::set_enabled(false);
+            let off = checksum(&registry, name, backend.clone());
+            brace_telemetry::set_enabled(true);
+            let on = checksum(&registry, name, backend.clone());
+            assert_eq!(
+                off,
+                on,
+                "`{name}` on backend `{}` changed its checksum when telemetry was enabled",
+                backend.label()
+            );
+        }
+    }
+}
+
+/// The enabled runs above are not silently no-ops: an enabled run must
+/// actually move the executor counters and phase histograms.
+#[test]
+fn enabled_runs_record_into_the_registry() {
+    let _g = flag_lock();
+    brace_telemetry::set_enabled(true);
+    brace_telemetry::reset();
+    let registry = Registry::builtin();
+    let scenario = registry.get("epidemic").unwrap();
+    Runner::new(scenario).conformance().run(TICKS).unwrap();
+    let text = brace_telemetry::render_prometheus();
+    let value = |metric: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(metric) && l.as_bytes().get(metric.len()) == Some(&b' '))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap_or_else(|| panic!("`{metric}` missing from render"))
+            .parse()
+            .expect("metric value is an integer")
+    };
+    assert!(value("brace_executor_ticks_total") >= TICKS, "{text}");
+    assert!(value("brace_phase_query_ns_count") >= TICKS);
+    assert!(value("brace_phase_update_ns_count") >= TICKS);
+    assert!(value("brace_executor_neighbor_visits_total") > 0, "an epidemic run visits neighbors");
+    brace_telemetry::reset();
+}
